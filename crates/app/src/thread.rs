@@ -1,0 +1,520 @@
+//! The activity thread: instance table, async tasks, UI message queue.
+
+use crate::activity::{Activity, ActivityInstanceId};
+use crate::model::{AppModel, AsyncResult, AsyncSpec};
+use crate::state::{ActivityState, StateError};
+use core::fmt;
+use droidsim_atms::ActivityRecordId;
+use droidsim_bundle::Bundle;
+use droidsim_config::Configuration;
+use droidsim_kernel::{IdGen, SimTime};
+use droidsim_looper::{AsyncTaskId, AsyncTaskPool, MessageQueue};
+use droidsim_view::ViewError;
+use std::collections::BTreeMap;
+
+/// A completed background task heading for the UI thread: which instance's
+/// callback runs and what it does.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AsyncWork {
+    /// The instance whose callback was captured when the task started.
+    pub instance: ActivityInstanceId,
+    /// The callback's effect.
+    pub result: AsyncResult,
+}
+
+/// Messages on the UI thread's queue.
+#[derive(Debug, Clone, PartialEq)]
+pub enum UiMessage {
+    /// An async task finished; run its callback.
+    AsyncResult(AsyncWork),
+}
+
+/// Activity-thread errors.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ThreadError {
+    /// No such instance.
+    UnknownInstance(ActivityInstanceId),
+    /// Illegal lifecycle transition.
+    State(StateError),
+    /// A view operation failed (possibly a crash).
+    View(ViewError),
+}
+
+impl fmt::Display for ThreadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ThreadError::UnknownInstance(id) => write!(f, "unknown activity instance {id}"),
+            ThreadError::State(e) => write!(f, "{e}"),
+            ThreadError::View(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for ThreadError {}
+
+impl From<StateError> for ThreadError {
+    fn from(e: StateError) -> Self {
+        ThreadError::State(e)
+    }
+}
+
+impl From<ViewError> for ThreadError {
+    fn from(e: ViewError) -> Self {
+        ThreadError::View(e)
+    }
+}
+
+/// One app process's activity thread.
+///
+/// Owns the activity instances, the in-flight async tasks and the UI
+/// message queue. The paper's `ActivityThread` patch (+91 LoC) adds the
+/// `current_shadow`/`current_sunny` pointers and hooks three functions;
+/// the pointers live here, the behaviour is driven by the change handler.
+///
+/// # Examples
+///
+/// ```
+/// use droidsim_app::{ActivityThread, SimpleApp};
+/// use droidsim_atms::ActivityRecordId;
+/// use droidsim_config::Configuration;
+///
+/// let model = SimpleApp::with_views(2);
+/// let mut thread = ActivityThread::new();
+/// let id = thread.perform_launch_activity(
+///     &model,
+///     ActivityRecordId::new(0),
+///     Configuration::phone_portrait(),
+///     None,
+/// );
+/// thread.resume_sequence(id, false).unwrap();
+/// assert!(thread.instance(id).unwrap().state().is_foreground());
+/// ```
+#[derive(Debug)]
+pub struct ActivityThread {
+    instances: BTreeMap<ActivityInstanceId, Activity>,
+    ids: IdGen,
+    current_shadow: Option<ActivityInstanceId>,
+    current_sunny: Option<ActivityInstanceId>,
+    tasks: AsyncTaskPool<AsyncWork>,
+    ui_queue: MessageQueue<UiMessage>,
+}
+
+impl ActivityThread {
+    /// Creates an empty thread.
+    pub fn new() -> Self {
+        ActivityThread {
+            instances: BTreeMap::new(),
+            ids: IdGen::new(),
+            current_shadow: None,
+            current_sunny: None,
+            tasks: AsyncTaskPool::new(),
+            ui_queue: MessageQueue::new(),
+        }
+    }
+
+    /// `performLaunchActivity`: creates an instance bound to `token` and
+    /// runs its `onCreate` with the optional saved-state bundle (for
+    /// relaunches this is the pre-restart state; for RCHDroid sunny starts
+    /// it is the shadow bundle).
+    pub fn perform_launch_activity(
+        &mut self,
+        model: &dyn AppModel,
+        token: ActivityRecordId,
+        config: Configuration,
+        saved: Option<&Bundle>,
+    ) -> ActivityInstanceId {
+        let id = ActivityInstanceId::new(self.ids.next());
+        let mut activity = Activity::new(id, token, model.component_name(), config);
+        activity.perform_create(model, saved);
+        self.instances.insert(id, activity);
+        id
+    }
+
+    /// Walks an instance to the foreground: `Created/Stopped → Started →
+    /// Resumed` (or `Sunny` when `sunny` is set — `handleResumeActivity`
+    /// with the sunny flag).
+    ///
+    /// # Errors
+    ///
+    /// [`ThreadError::UnknownInstance`] / [`ThreadError::State`].
+    pub fn resume_sequence(
+        &mut self,
+        id: ActivityInstanceId,
+        sunny: bool,
+    ) -> Result<(), ThreadError> {
+        let a = self.instance_mut(id)?;
+        if matches!(a.state(), ActivityState::Created | ActivityState::Stopped) {
+            a.transition(ActivityState::Started)?;
+        }
+        match a.state() {
+            ActivityState::Started => {
+                a.transition(if sunny { ActivityState::Sunny } else { ActivityState::Resumed })?;
+            }
+            ActivityState::Paused => {
+                a.transition(ActivityState::Resumed)?;
+            }
+            ActivityState::Shadow if sunny => {
+                a.transition(ActivityState::Sunny)?;
+            }
+            _ => {}
+        }
+        if sunny {
+            self.current_sunny = Some(id);
+        }
+        Ok(())
+    }
+
+    /// Walks an instance into the background: `Resumed/Sunny → Paused →
+    /// Stopped`.
+    ///
+    /// # Errors
+    ///
+    /// [`ThreadError::UnknownInstance`] / [`ThreadError::State`].
+    pub fn pause_stop_sequence(&mut self, id: ActivityInstanceId) -> Result<(), ThreadError> {
+        let a = self.instance_mut(id)?;
+        if a.state().is_foreground() {
+            a.transition(ActivityState::Paused)?;
+        }
+        if a.state() == ActivityState::Paused {
+            a.transition(ActivityState::Stopped)?;
+        }
+        Ok(())
+    }
+
+    /// Puts an instance into the Shadow state, snapshotting its saved
+    /// state into the shadow bundle (§3.2). The instance becomes the
+    /// thread's current shadow.
+    ///
+    /// # Errors
+    ///
+    /// [`ThreadError::UnknownInstance`] / [`ThreadError::State`].
+    pub fn enter_shadow(
+        &mut self,
+        id: ActivityInstanceId,
+        model: &dyn AppModel,
+    ) -> Result<(), ThreadError> {
+        let a = self.instance_mut(id)?;
+        if a.state().is_foreground() {
+            a.transition(ActivityState::Paused)?;
+        }
+        let snapshot = a.save_instance_state(model);
+        let a = self.instance_mut(id)?;
+        a.shadow_bundle = Some(snapshot);
+        a.transition(ActivityState::Shadow)?;
+        if self.current_sunny == Some(id) {
+            self.current_sunny = None;
+        }
+        self.current_shadow = Some(id);
+        Ok(())
+    }
+
+    /// Destroys an instance (releasing its views). In-flight async tasks
+    /// are **not** cancelled — faithfully reproducing the failure mode the
+    /// paper targets.
+    ///
+    /// # Errors
+    ///
+    /// [`ThreadError::UnknownInstance`].
+    pub fn destroy_activity(&mut self, id: ActivityInstanceId) -> Result<(), ThreadError> {
+        let a = self.instance_mut(id)?;
+        a.destroy();
+        if self.current_shadow == Some(id) {
+            self.current_shadow = None;
+        }
+        if self.current_sunny == Some(id) {
+            self.current_sunny = None;
+        }
+        Ok(())
+    }
+
+    /// Starts a background task whose callback targets `instance`.
+    ///
+    /// # Errors
+    ///
+    /// [`ThreadError::UnknownInstance`].
+    pub fn start_async(
+        &mut self,
+        instance: ActivityInstanceId,
+        spec: AsyncSpec,
+        now: SimTime,
+    ) -> Result<AsyncTaskId, ThreadError> {
+        if !self.instances.contains_key(&instance) {
+            return Err(ThreadError::UnknownInstance(instance));
+        }
+        Ok(self.tasks.spawn(now, spec.duration, AsyncWork { instance, result: spec.result }))
+    }
+
+    /// Moves finished tasks onto the UI queue (worker thread → looper).
+    pub fn pump_async(&mut self, now: SimTime) {
+        for completion in self.tasks.completions_until(now) {
+            self.ui_queue.post(completion.finished_at, UiMessage::AsyncResult(completion.payload));
+        }
+    }
+
+    /// Drains UI messages due at or before `now`.
+    pub fn drain_ui(&mut self, now: SimTime) -> Vec<UiMessage> {
+        self.ui_queue.drain_until(now).into_iter().map(|m| m.what).collect()
+    }
+
+    /// Runs one async callback against its instance (the UI thread's
+    /// dispatch step).
+    ///
+    /// # Errors
+    ///
+    /// [`ThreadError::View`] with a crash error if the instance is gone —
+    /// the stock NullPointer scenario; [`ThreadError::UnknownInstance`] if
+    /// the id was never valid.
+    pub fn deliver_async(
+        &mut self,
+        model: &dyn AppModel,
+        work: &AsyncWork,
+    ) -> Result<(), ThreadError> {
+        let a = self
+            .instances
+            .get_mut(&work.instance)
+            .ok_or(ThreadError::UnknownInstance(work.instance))?;
+        model.on_async_result(a, &work.result)?;
+        Ok(())
+    }
+
+    /// The earliest instant at which new work becomes due (async deadline
+    /// or queued UI message).
+    pub fn next_wakeup(&self) -> Option<SimTime> {
+        match (self.tasks.next_deadline(), self.ui_queue.next_due()) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        }
+    }
+
+    /// Looks up an instance.
+    ///
+    /// # Errors
+    ///
+    /// [`ThreadError::UnknownInstance`].
+    pub fn instance(&self, id: ActivityInstanceId) -> Result<&Activity, ThreadError> {
+        self.instances.get(&id).ok_or(ThreadError::UnknownInstance(id))
+    }
+
+    /// Mutable instance lookup.
+    ///
+    /// # Errors
+    ///
+    /// [`ThreadError::UnknownInstance`].
+    pub fn instance_mut(&mut self, id: ActivityInstanceId) -> Result<&mut Activity, ThreadError> {
+        self.instances.get_mut(&id).ok_or(ThreadError::UnknownInstance(id))
+    }
+
+    /// Runs `f` with mutable access to two *distinct* instances at once —
+    /// the shape RCHDroid needs to couple and migrate between the shadow
+    /// and sunny trees.
+    ///
+    /// # Errors
+    ///
+    /// [`ThreadError::UnknownInstance`] if either id is stale or the ids
+    /// are equal.
+    pub fn with_instance_pair<R>(
+        &mut self,
+        a: ActivityInstanceId,
+        b: ActivityInstanceId,
+        f: impl FnOnce(&mut Activity, &mut Activity) -> R,
+    ) -> Result<R, ThreadError> {
+        if a == b {
+            return Err(ThreadError::UnknownInstance(b));
+        }
+        let mut act_a = self.instances.remove(&a).ok_or(ThreadError::UnknownInstance(a))?;
+        let result = match self.instances.get_mut(&b) {
+            Some(act_b) => Ok(f(&mut act_a, act_b)),
+            None => Err(ThreadError::UnknownInstance(b)),
+        };
+        self.instances.insert(a, act_a);
+        result
+    }
+
+    /// The current shadow instance pointer (+91 LoC patch field).
+    pub fn current_shadow(&self) -> Option<ActivityInstanceId> {
+        self.current_shadow
+    }
+
+    /// The current sunny instance pointer (+91 LoC patch field).
+    pub fn current_sunny(&self) -> Option<ActivityInstanceId> {
+        self.current_sunny
+    }
+
+    /// Explicitly repoints the shadow pointer (coin flip bookkeeping).
+    pub fn set_current_shadow(&mut self, id: Option<ActivityInstanceId>) {
+        self.current_shadow = id;
+    }
+
+    /// Explicitly repoints the sunny pointer (coin flip bookkeeping).
+    pub fn set_current_sunny(&mut self, id: Option<ActivityInstanceId>) {
+        self.current_sunny = id;
+    }
+
+    /// Number of in-flight async tasks.
+    pub fn async_task_count(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// Alive (non-destroyed) instances.
+    pub fn alive_instances(&self) -> Vec<ActivityInstanceId> {
+        self.instances
+            .values()
+            .filter(|a| a.state().is_alive())
+            .map(Activity::id)
+            .collect()
+    }
+
+    /// Total heap footprint of alive instances, in bytes.
+    pub fn heap_bytes(&self) -> u64 {
+        self.instances
+            .values()
+            .filter(|a| a.state().is_alive())
+            .map(Activity::heap_bytes)
+            .sum()
+    }
+
+    /// Finds the instance bound to a record token.
+    pub fn instance_for_token(&self, token: ActivityRecordId) -> Option<ActivityInstanceId> {
+        self.instances
+            .values()
+            .filter(|a| a.state().is_alive())
+            .find(|a| a.token() == token)
+            .map(Activity::id)
+    }
+}
+
+impl Default for ActivityThread {
+    fn default() -> Self {
+        ActivityThread::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::SimpleApp;
+
+    fn launched() -> (ActivityThread, SimpleApp, ActivityInstanceId) {
+        let model = SimpleApp::with_views(2);
+        let mut thread = ActivityThread::new();
+        let id = thread.perform_launch_activity(
+            &model,
+            ActivityRecordId::new(0),
+            Configuration::phone_portrait(),
+            None,
+        );
+        thread.resume_sequence(id, false).unwrap();
+        (thread, model, id)
+    }
+
+    #[test]
+    fn launch_and_resume() {
+        let (thread, _, id) = launched();
+        assert_eq!(thread.instance(id).unwrap().state(), ActivityState::Resumed);
+        assert_eq!(thread.alive_instances(), vec![id]);
+    }
+
+    #[test]
+    fn async_round_trip_updates_views() {
+        let (mut thread, model, id) = launched();
+        let spec = model.button_task();
+        thread.start_async(id, spec, SimTime::ZERO).unwrap();
+        assert_eq!(thread.async_task_count(), 1);
+        assert_eq!(thread.next_wakeup(), Some(SimTime::from_secs(5)));
+
+        thread.pump_async(SimTime::from_secs(5));
+        let messages = thread.drain_ui(SimTime::from_secs(5));
+        assert_eq!(messages.len(), 1);
+        let UiMessage::AsyncResult(work) = &messages[0];
+        thread.deliver_async(&model, work).unwrap();
+        let a = thread.instance(id).unwrap();
+        let img = a.tree.find_by_id_name("image_1").unwrap();
+        assert_eq!(a.tree.view(img).unwrap().attrs.drawable.as_ref().unwrap().0, "loaded_1.png");
+    }
+
+    #[test]
+    fn async_after_destroy_crashes() {
+        let (mut thread, model, id) = launched();
+        thread.start_async(id, model.button_task(), SimTime::ZERO).unwrap();
+        // The restart destroys the instance but does NOT cancel the task.
+        thread.destroy_activity(id).unwrap();
+        assert_eq!(thread.async_task_count(), 1);
+
+        thread.pump_async(SimTime::from_secs(5));
+        let messages = thread.drain_ui(SimTime::from_secs(5));
+        let UiMessage::AsyncResult(work) = &messages[0];
+        let err = thread.deliver_async(&model, work).unwrap_err();
+        match err {
+            ThreadError::View(v) => assert!(v.is_crash()),
+            other => panic!("expected a crash, got {other}"),
+        }
+    }
+
+    #[test]
+    fn enter_shadow_snapshots_state() {
+        let (mut thread, model, id) = launched();
+        thread.instance_mut(id).unwrap().member_state.put_i32("field", 7);
+        thread.enter_shadow(id, &model).unwrap();
+        let a = thread.instance(id).unwrap();
+        assert_eq!(a.state(), ActivityState::Shadow);
+        assert!(a.shadow_bundle.is_some());
+        assert_eq!(thread.current_shadow(), Some(id));
+    }
+
+    #[test]
+    fn shadow_instance_still_receives_async_results() {
+        let (mut thread, model, id) = launched();
+        thread.start_async(id, model.button_task(), SimTime::ZERO).unwrap();
+        thread.enter_shadow(id, &model).unwrap();
+
+        thread.pump_async(SimTime::from_secs(5));
+        let messages = thread.drain_ui(SimTime::from_secs(5));
+        let UiMessage::AsyncResult(work) = &messages[0];
+        // The shadow instance is alive: the callback succeeds.
+        thread.deliver_async(&model, work).unwrap();
+        let a = thread.instance_mut(id).unwrap();
+        assert_eq!(a.tree.drain_invalidations().len(), 2, "updates caught for migration");
+    }
+
+    #[test]
+    fn destroy_clears_pointers() {
+        let (mut thread, model, id) = launched();
+        thread.enter_shadow(id, &model).unwrap();
+        thread.destroy_activity(id).unwrap();
+        assert_eq!(thread.current_shadow(), None);
+        assert!(thread.alive_instances().is_empty());
+    }
+
+    #[test]
+    fn token_lookup_skips_dead_instances() {
+        let (mut thread, model, id) = launched();
+        let token = thread.instance(id).unwrap().token();
+        assert_eq!(thread.instance_for_token(token), Some(id));
+        thread.destroy_activity(id).unwrap();
+        assert_eq!(thread.instance_for_token(token), None);
+        let _ = model;
+    }
+
+    #[test]
+    fn sunny_resume_sets_pointer() {
+        let model = SimpleApp::with_views(1);
+        let mut thread = ActivityThread::new();
+        let id = thread.perform_launch_activity(
+            &model,
+            ActivityRecordId::new(1),
+            Configuration::phone_landscape(),
+            None,
+        );
+        thread.resume_sequence(id, true).unwrap();
+        assert_eq!(thread.instance(id).unwrap().state(), ActivityState::Sunny);
+        assert_eq!(thread.current_sunny(), Some(id));
+    }
+
+    #[test]
+    fn start_async_on_unknown_instance_errors() {
+        let (mut thread, model, _) = launched();
+        let bogus = ActivityInstanceId::new(99);
+        let err = thread.start_async(bogus, model.button_task(), SimTime::ZERO).unwrap_err();
+        assert_eq!(err, ThreadError::UnknownInstance(bogus));
+    }
+}

@@ -1,0 +1,42 @@
+//! The activity task manager service (ATMS) — the system-server side of
+//! activity management.
+//!
+//! Mirrors the structures of Fig. 2(b): the ATMS owns an *activity stack*
+//! of *task records*; each task owns a stack of *activity records*; the
+//! topmost record of the topmost task is the foreground interface. The
+//! system server controls activity lifecycles through these records and
+//! IPCs back to the app's activity thread.
+//!
+//! The paper's patch touches three classes here (Table 2):
+//!
+//! * `ActivityRecord` (+11 LoC) — a shadow-state field and accessors, and
+//!   `ensureActivityConfiguration` modified to skip the relaunch when
+//!   RCHDroid handles the change ([`Atms::ensure_activity_configuration`]
+//!   takes the handling mode),
+//! * `ActivityStack` (+29 LoC) — [`TaskRecord::find_shadow_activity`],
+//! * `ActivityStarter` (+41 LoC) — the coin-flipping start path taken for
+//!   intents carrying the new [`IntentFlags::SUNNY`] flag (itself the
+//!   +4 LoC `Intent` patch).
+//!
+//! # Examples
+//!
+//! ```
+//! use droidsim_atms::{Atms, Intent, StartDisposition};
+//! use droidsim_config::Configuration;
+//!
+//! let mut atms = Atms::new(Configuration::phone_portrait());
+//! let start = atms.start_activity(&Intent::new("com.example/.Main"));
+//! assert!(matches!(start.disposition, StartDisposition::CreatedNew));
+//! let record = atms.record(start.record).unwrap();
+//! assert_eq!(record.component(), "com.example/.Main");
+//! ```
+
+pub mod intent;
+pub mod record;
+pub mod service;
+pub mod stack;
+
+pub use intent::{Intent, IntentFlags};
+pub use record::{ActivityRecord, ActivityRecordId, RecordState};
+pub use service::{Atms, AtmsError, ConfigDecision, StartDisposition, StartResult};
+pub use stack::{ActivityStack, TaskId, TaskRecord};

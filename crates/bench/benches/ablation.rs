@@ -1,0 +1,49 @@
+//! Ablation bench: steady-state handling cost with each design choice
+//! removed (see `rch_experiments::ablation`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use droidsim_device::HandlingMode;
+use rch_experiments::ablation;
+use rchdroid::RchOptions;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    println!("{}", ablation::run().render());
+
+    let arms: [(&str, HandlingMode); 4] = [
+        ("full", HandlingMode::rchdroid_default()),
+        (
+            "no_coin_flip",
+            HandlingMode::rchdroid_ablated(RchOptions { coin_flip: false, ..RchOptions::default() }),
+        ),
+        (
+            "no_lazy_migration",
+            HandlingMode::rchdroid_ablated(RchOptions {
+                lazy_migration: false,
+                ..RchOptions::default()
+            }),
+        ),
+        ("no_gc", HandlingMode::RchDroid(ablation::gc_disabled(), RchOptions::default())),
+    ];
+    let mut group = c.benchmark_group("ablation");
+    for (label, mode) in arms {
+        group.bench_with_input(BenchmarkId::from_parameter(label), &mode, |b, &m| {
+            b.iter(|| black_box(ablation::run_arm("bench", m)))
+        });
+    }
+    group.finish();
+}
+
+fn fast() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(200))
+        .measurement_time(std::time::Duration::from_millis(800))
+}
+
+criterion_group! {
+    name = benches;
+    config = fast();
+    targets = bench
+}
+criterion_main!(benches);

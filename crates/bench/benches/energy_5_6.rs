@@ -1,0 +1,28 @@
+//! §5.6: the board-power measurement.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let study = rch_experiments::energy::run();
+    println!("{}", study.render());
+
+    c.bench_function("energy_27_app_study", |b| {
+        b.iter(|| black_box(rch_experiments::energy::run().rows.len()))
+    });
+}
+
+fn fast() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(200))
+        .measurement_time(std::time::Duration::from_millis(800))
+}
+
+criterion_group! {
+    name = benches;
+    config = fast();
+    targets = bench
+}
+criterion_main!(benches);
+

@@ -1,0 +1,43 @@
+//! Fig. 7: per-app handling time on the TP-27 set, both systems.
+//! The bench runs the full 4-change scenario for a representative app
+//! under each system and, once per session, prints the figure's series.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use droidsim_device::HandlingMode;
+use rch_experiments::{run_app, RunConfig};
+use rch_workloads::tp27_specs;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let fig = rch_experiments::fig7::run();
+    println!("{}", fig.render());
+
+    let spec = {
+        let mut s = tp27_specs().swap_remove(0);
+        s.uses_async_task = false;
+        s
+    };
+    let mut group = c.benchmark_group("fig07_handling_time_27");
+    group.bench_function("android10_4_changes", |b| {
+        b.iter(|| black_box(run_app(&spec, &RunConfig::new(HandlingMode::Android10))))
+    });
+    group.bench_function("rchdroid_4_changes", |b| {
+        b.iter(|| black_box(run_app(&spec, &RunConfig::new(HandlingMode::rchdroid_default()))))
+    });
+    group.finish();
+}
+
+fn fast() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(200))
+        .measurement_time(std::time::Duration::from_millis(800))
+}
+
+criterion_group! {
+    name = benches;
+    config = fast();
+    targets = bench
+}
+criterion_main!(benches);
+

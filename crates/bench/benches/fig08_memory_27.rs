@@ -1,0 +1,29 @@
+//! Fig. 8: per-app memory usage on the TP-27 set.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let fig = rch_experiments::fig8::run();
+    println!("{}", fig.render());
+
+    c.bench_function("fig08_memory_snapshot", |b| {
+        let device = rch_bench::bench_device(droidsim_device::HandlingMode::rchdroid_default(), 16);
+        b.iter(|| black_box(device.memory_snapshot("com.bench/.Main").unwrap().total_mib()))
+    });
+}
+
+fn fast() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(200))
+        .measurement_time(std::time::Duration::from_millis(800))
+}
+
+criterion_group! {
+    name = benches;
+    config = fast();
+    targets = bench
+}
+criterion_main!(benches);
+

@@ -1,0 +1,36 @@
+//! Fig. 9: CPU/memory trace of the crash-vs-migrate scenario.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use droidsim_device::HandlingMode;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let fig = rch_experiments::fig9::run();
+    println!("{}", fig.render());
+
+    let mut group = c.benchmark_group("fig09_trace");
+    group.bench_function("android10_scripted_timeline", |b| {
+        b.iter(|| black_box(rch_experiments::fig9::run_mode(HandlingMode::Android10, "A10")))
+    });
+    group.bench_function("rchdroid_scripted_timeline", |b| {
+        b.iter(|| {
+            black_box(rch_experiments::fig9::run_mode(HandlingMode::rchdroid_default(), "RCH"))
+        })
+    });
+    group.finish();
+}
+
+fn fast() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(200))
+        .measurement_time(std::time::Duration::from_millis(800))
+}
+
+criterion_group! {
+    name = benches;
+    config = fast();
+    targets = bench
+}
+criterion_main!(benches);
+

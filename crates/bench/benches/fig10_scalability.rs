@@ -1,0 +1,38 @@
+//! Fig. 10: handling time and migration time vs view count.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let fig = rch_experiments::fig10::run();
+    println!("{}", fig.render());
+
+    let mut group = c.benchmark_group("fig10_scalability");
+    for views in rch_workloads::view_sweep() {
+        group.bench_with_input(BenchmarkId::new("android10", views), &views, |b, &v| {
+            b.iter(|| black_box(rch_bench::one_stock_change(v)))
+        });
+        group.bench_with_input(BenchmarkId::new("rchdroid_init", views), &views, |b, &v| {
+            b.iter(|| black_box(rch_bench::one_rchdroid_init(v)))
+        });
+        group.bench_with_input(BenchmarkId::new("rchdroid_flip", views), &views, |b, &v| {
+            b.iter(|| black_box(rch_bench::one_rchdroid_flip(v)))
+        });
+    }
+    group.finish();
+}
+
+fn fast() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(200))
+        .measurement_time(std::time::Duration::from_millis(800))
+}
+
+criterion_group! {
+    name = benches;
+    config = fast();
+    targets = bench
+}
+criterion_main!(benches);
+

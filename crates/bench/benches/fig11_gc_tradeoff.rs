@@ -1,0 +1,32 @@
+//! Fig. 11: the GC THRESH_T trade-off.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let fig = rch_experiments::fig11::run();
+    println!("{}", fig.render());
+
+    let mut group = c.benchmark_group("fig11_gc_tradeoff");
+    for thresh in [10u64, 50] {
+        group.bench_with_input(BenchmarkId::new("ten_minute_run", thresh), &thresh, |b, &t| {
+            b.iter(|| black_box(rch_experiments::fig11::run_one(t)))
+        });
+    }
+    group.finish();
+}
+
+fn fast() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(200))
+        .measurement_time(std::time::Duration::from_millis(800))
+}
+
+criterion_group! {
+    name = benches;
+    config = fast();
+    targets = bench
+}
+criterion_main!(benches);
+

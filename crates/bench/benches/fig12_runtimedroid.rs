@@ -1,0 +1,31 @@
+//! Fig. 12 + Table 4: the RuntimeDroid comparison.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use droidsim_device::HandlingMode;
+use rch_experiments::{run_app, RunConfig};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let fig = rch_experiments::fig12::run();
+    println!("{}", fig.render());
+
+    let spec = rch_workloads::GenericAppSpec::sized("AlarmKlock", "500K+", false);
+    c.bench_function("fig12_runtimedroid_4_changes", |b| {
+        b.iter(|| black_box(run_app(&spec, &RunConfig::new(HandlingMode::RuntimeDroid))))
+    });
+}
+
+fn fast() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(200))
+        .measurement_time(std::time::Duration::from_millis(800))
+}
+
+criterion_group! {
+    name = benches;
+    config = fast();
+    targets = bench
+}
+criterion_main!(benches);
+

@@ -1,0 +1,36 @@
+//! Fig. 14: handling time and memory across the top-100 set.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use droidsim_device::HandlingMode;
+use rch_experiments::{run_app, RunConfig};
+use rch_workloads::top100_specs;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    // The full study is printed by the table5_study bench; here we track
+    // the per-app cost of the heavy (large-app) scenario.
+    let spec = top100_specs().swap_remove(27); // Twitter
+    let mut group = c.benchmark_group("fig14_top100");
+    group.bench_function("android10_large_app", |b| {
+        b.iter(|| black_box(run_app(&spec, &RunConfig::new(HandlingMode::Android10))))
+    });
+    group.bench_function("rchdroid_large_app", |b| {
+        b.iter(|| black_box(run_app(&spec, &RunConfig::new(HandlingMode::rchdroid_default()))))
+    });
+    group.finish();
+}
+
+fn fast() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(200))
+        .measurement_time(std::time::Duration::from_millis(800))
+}
+
+criterion_group! {
+    name = benches;
+    config = fast();
+    targets = bench
+}
+criterion_main!(benches);
+

@@ -1,0 +1,75 @@
+//! Micro-benches of the framework substrate itself: the operations whose
+//! costs the paper's patch touches (inflation, hierarchy save/restore,
+//! mapping build, lazy migration, coin-flip search).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use droidsim_view::{ViewKind, ViewOp, ViewTree};
+use rchdroid::MigrationEngine;
+use std::hint::black_box;
+
+fn tree_with(n: usize) -> ViewTree {
+    let mut t = ViewTree::new();
+    let root = t.add_view(t.root(), ViewKind::LinearLayout, Some("root")).unwrap();
+    for i in 0..n {
+        t.add_view(root, ViewKind::ImageView, Some(&format!("v{i}"))).unwrap();
+    }
+    t
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("framework_micro");
+    for n in [16usize, 128, 1024] {
+        group.bench_with_input(BenchmarkId::new("hierarchy_save", n), &n, |b, &n| {
+            let mut t = tree_with(n);
+            let ids = t.iter_ids();
+            for id in &ids[2..] {
+                t.apply(*id, ViewOp::SetDrawable("x.png".into(), 64)).unwrap();
+            }
+            b.iter(|| black_box(t.save_hierarchy_state()))
+        });
+        group.bench_with_input(BenchmarkId::new("mapping_build", n), &n, |b, &n| {
+            b.iter_batched(
+                || (tree_with(n), tree_with(n), MigrationEngine::new()),
+                |(mut shadow, mut sunny, mut engine)| {
+                    black_box(engine.build_mapping(&mut shadow, &mut sunny))
+                },
+                criterion::BatchSize::SmallInput,
+            )
+        });
+        group.bench_with_input(BenchmarkId::new("lazy_migration", n), &n, |b, &n| {
+            b.iter_batched(
+                || {
+                    let mut shadow = tree_with(n);
+                    let mut sunny = tree_with(n);
+                    let mut engine = MigrationEngine::new();
+                    engine.build_mapping(&mut shadow, &mut sunny);
+                    for i in 0..n {
+                        let v = shadow.find_by_id_name(&format!("v{i}")).unwrap();
+                        shadow.apply(v, ViewOp::SetDrawable("new.png".into(), 64)).unwrap();
+                    }
+                    (shadow, sunny, engine)
+                },
+                |(mut shadow, mut sunny, engine)| {
+                    black_box(engine.migrate_invalidations(&mut shadow, &mut sunny).unwrap())
+                },
+                criterion::BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+fn fast() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(200))
+        .measurement_time(std::time::Duration::from_millis(800))
+}
+
+criterion_group! {
+    name = benches;
+    config = fast();
+    targets = bench
+}
+criterion_main!(benches);
+

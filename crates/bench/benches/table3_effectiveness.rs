@@ -1,0 +1,29 @@
+//! Table 3: effectiveness on the TP-27 set.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let table = rch_experiments::table3::run();
+    println!("{}", table.render());
+    assert_eq!(table.fixed_count(), 25, "the paper's 25/27");
+
+    c.bench_function("table3_full_27_app_study", |b| {
+        b.iter(|| black_box(rch_experiments::table3::run().fixed_count()))
+    });
+}
+
+fn fast() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(200))
+        .measurement_time(std::time::Duration::from_millis(800))
+}
+
+criterion_group! {
+    name = benches;
+    config = fast();
+    targets = bench
+}
+criterion_main!(benches);
+

@@ -1,0 +1,32 @@
+//! Table 5 + Fig. 14 summaries: the Google-Play top-100 study.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let study = rch_experiments::table5::run();
+    println!("{}", study.render());
+    assert_eq!(study.issue_count(), 63);
+    assert_eq!(study.fixed_count(), 59);
+
+    let mut group = c.benchmark_group("table5_study");
+    group.bench_function("full_100_app_study", |b| {
+        b.iter(|| black_box(rch_experiments::table5::run().fixed_count()))
+    });
+    group.finish();
+}
+
+fn fast() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(200))
+        .measurement_time(std::time::Duration::from_millis(800))
+}
+
+criterion_group! {
+    name = benches;
+    config = fast();
+    targets = bench
+}
+criterion_main!(benches);
+

@@ -1,0 +1,53 @@
+//! Shared helpers for the Criterion benches.
+//!
+//! Each bench in `benches/` regenerates one of the paper's tables or
+//! figures (the *simulated* latencies are the figures' subject; Criterion
+//! additionally measures the wall-clock cost of running each experiment,
+//! which is what a CI perf gate would track). The helpers here build the
+//! standard devices and scenarios so benches stay declarative.
+
+use droidsim_app::SimpleApp;
+use droidsim_device::{ChangeReport, Device, HandlingMode};
+
+/// Builds a device with the benchmark app (`views` ImageViews) launched.
+pub fn bench_device(mode: HandlingMode, views: usize) -> Device {
+    let mut device = Device::new(mode);
+    device
+        .install_and_launch(
+            Box::new(SimpleApp::with_views(views)),
+            rch_workloads::BENCHMARK_BASE_MEMORY,
+            1.0,
+        )
+        .expect("launch succeeds on a fresh device");
+    device
+}
+
+/// One rotation on a fresh stock device: the Android-10 relaunch path.
+pub fn one_stock_change(views: usize) -> ChangeReport {
+    bench_device(HandlingMode::Android10, views).rotate().expect("handled")
+}
+
+/// One rotation on a fresh RCHDroid device: the init path.
+pub fn one_rchdroid_init(views: usize) -> ChangeReport {
+    bench_device(HandlingMode::rchdroid_default(), views).rotate().expect("handled")
+}
+
+/// Two rotations on a fresh RCHDroid device, returning the second (flip).
+pub fn one_rchdroid_flip(views: usize) -> ChangeReport {
+    let mut device = bench_device(HandlingMode::rchdroid_default(), views);
+    device.rotate().expect("init");
+    device.rotate().expect("flip")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn helpers_exercise_the_three_paths() {
+        use droidsim_device::HandlingPath;
+        assert_eq!(one_stock_change(4).path, HandlingPath::Relaunch);
+        assert_eq!(one_rchdroid_init(4).path, HandlingPath::RchInit);
+        assert_eq!(one_rchdroid_flip(4).path, HandlingPath::RchFlip);
+    }
+}

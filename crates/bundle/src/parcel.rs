@@ -1,0 +1,305 @@
+//! A binder-style flat byte buffer.
+//!
+//! `Parcel` gives the simulator a byte-accurate flattening of bundles so the
+//! memory model can account for saved-state footprints, and so IPC payload
+//! sizes can feed the latency model. The format is a simple length-prefixed
+//! tag stream; it can be read back, which the tests use to prove the
+//! flattening is lossless.
+
+use crate::bundle::{Bundle, Value};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+/// A flat byte buffer with Android-Parcel-like typed read/write.
+///
+/// # Examples
+///
+/// ```
+/// use droidsim_bundle::{Bundle, Parcel};
+///
+/// let mut b = Bundle::new();
+/// b.put_i32("answer", 42);
+/// let mut p = Parcel::new();
+/// p.write_bundle(&b);
+/// let restored = p.into_reader().read_bundle().expect("lossless");
+/// assert_eq!(restored.i32("answer"), Some(42));
+/// ```
+#[derive(Debug, Default)]
+pub struct Parcel {
+    buf: BytesMut,
+}
+
+/// A reader over a finished parcel.
+#[derive(Debug)]
+pub struct ParcelReader {
+    buf: Bytes,
+}
+
+/// Error produced when reading a malformed parcel.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParcelError {
+    what: &'static str,
+}
+
+impl core::fmt::Display for ParcelError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "malformed parcel: {}", self.what)
+    }
+}
+
+impl std::error::Error for ParcelError {}
+
+const TAG_BOOL: u8 = 1;
+const TAG_I32: u8 = 2;
+const TAG_I64: u8 = 3;
+const TAG_F64: u8 = 4;
+const TAG_STR: u8 = 5;
+const TAG_BLOB: u8 = 6;
+const TAG_I32LIST: u8 = 7;
+const TAG_STRLIST: u8 = 8;
+const TAG_BUNDLE: u8 = 9;
+
+impl Parcel {
+    /// Creates an empty parcel.
+    pub fn new() -> Self {
+        Parcel::default()
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Writes a string (length-prefixed UTF-8).
+    pub fn write_str(&mut self, s: &str) {
+        self.buf.put_u32_le(s.len() as u32);
+        self.buf.put_slice(s.as_bytes());
+    }
+
+    /// Writes a single value with its type tag.
+    pub fn write_value(&mut self, value: &Value) {
+        match value {
+            Value::Bool(v) => {
+                self.buf.put_u8(TAG_BOOL);
+                self.buf.put_u8(u8::from(*v));
+            }
+            Value::I32(v) => {
+                self.buf.put_u8(TAG_I32);
+                self.buf.put_i32_le(*v);
+            }
+            Value::I64(v) => {
+                self.buf.put_u8(TAG_I64);
+                self.buf.put_i64_le(*v);
+            }
+            Value::F64(v) => {
+                self.buf.put_u8(TAG_F64);
+                self.buf.put_f64_le(*v);
+            }
+            Value::Str(v) => {
+                self.buf.put_u8(TAG_STR);
+                self.write_str(v);
+            }
+            Value::Blob(v) => {
+                self.buf.put_u8(TAG_BLOB);
+                self.buf.put_u32_le(v.len() as u32);
+                self.buf.put_slice(v);
+            }
+            Value::I32List(v) => {
+                self.buf.put_u8(TAG_I32LIST);
+                self.buf.put_u32_le(v.len() as u32);
+                for item in v {
+                    self.buf.put_i32_le(*item);
+                }
+            }
+            Value::StrList(v) => {
+                self.buf.put_u8(TAG_STRLIST);
+                self.buf.put_u32_le(v.len() as u32);
+                for item in v {
+                    self.write_str(item);
+                }
+            }
+            Value::Nested(v) => {
+                self.buf.put_u8(TAG_BUNDLE);
+                self.write_bundle(v);
+            }
+        }
+    }
+
+    /// Writes a whole bundle (entry count, then sorted key/value pairs).
+    pub fn write_bundle(&mut self, bundle: &Bundle) {
+        self.buf.put_u32_le(bundle.len() as u32);
+        for (key, value) in bundle.iter() {
+            self.write_str(key);
+            self.write_value(value);
+        }
+    }
+
+    /// Finishes writing and returns a reader over the bytes.
+    pub fn into_reader(self) -> ParcelReader {
+        ParcelReader { buf: self.buf.freeze() }
+    }
+
+    /// Finishes writing and returns the raw bytes (binder wire format).
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf.freeze().to_vec()
+    }
+}
+
+impl ParcelReader {
+    /// Creates a reader over raw bytes previously produced by
+    /// [`Parcel::into_bytes`] (or received "over the wire").
+    pub fn from_bytes(bytes: Vec<u8>) -> ParcelReader {
+        ParcelReader { buf: Bytes::from(bytes) }
+    }
+}
+
+impl ParcelReader {
+    fn need(&self, n: usize, what: &'static str) -> Result<(), ParcelError> {
+        if self.buf.remaining() < n {
+            Err(ParcelError { what })
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Reads a length-prefixed string.
+    pub fn read_str(&mut self) -> Result<String, ParcelError> {
+        self.need(4, "string length")?;
+        let len = self.buf.get_u32_le() as usize;
+        self.need(len, "string bytes")?;
+        let bytes = self.buf.copy_to_bytes(len);
+        String::from_utf8(bytes.to_vec()).map_err(|_| ParcelError { what: "utf-8" })
+    }
+
+    /// Reads one tagged value.
+    pub fn read_value(&mut self) -> Result<Value, ParcelError> {
+        self.need(1, "value tag")?;
+        let tag = self.buf.get_u8();
+        Ok(match tag {
+            TAG_BOOL => {
+                self.need(1, "bool")?;
+                Value::Bool(self.buf.get_u8() != 0)
+            }
+            TAG_I32 => {
+                self.need(4, "i32")?;
+                Value::I32(self.buf.get_i32_le())
+            }
+            TAG_I64 => {
+                self.need(8, "i64")?;
+                Value::I64(self.buf.get_i64_le())
+            }
+            TAG_F64 => {
+                self.need(8, "f64")?;
+                Value::F64(self.buf.get_f64_le())
+            }
+            TAG_STR => Value::Str(self.read_str()?),
+            TAG_BLOB => {
+                self.need(4, "blob length")?;
+                let len = self.buf.get_u32_le() as usize;
+                self.need(len, "blob bytes")?;
+                Value::Blob(self.buf.copy_to_bytes(len).to_vec())
+            }
+            TAG_I32LIST => {
+                self.need(4, "list length")?;
+                let len = self.buf.get_u32_le() as usize;
+                self.need(len * 4, "list items")?;
+                Value::I32List((0..len).map(|_| self.buf.get_i32_le()).collect())
+            }
+            TAG_STRLIST => {
+                self.need(4, "list length")?;
+                let len = self.buf.get_u32_le() as usize;
+                let mut items = Vec::with_capacity(len.min(1024));
+                for _ in 0..len {
+                    items.push(self.read_str()?);
+                }
+                Value::StrList(items)
+            }
+            TAG_BUNDLE => Value::Nested(self.read_bundle()?),
+            _ => return Err(ParcelError { what: "unknown tag" }),
+        })
+    }
+
+    /// Reads a whole bundle.
+    pub fn read_bundle(&mut self) -> Result<Bundle, ParcelError> {
+        self.need(4, "bundle length")?;
+        let len = self.buf.get_u32_le() as usize;
+        let mut entries = Vec::with_capacity(len.min(1024));
+        for _ in 0..len {
+            let key = self.read_str()?;
+            let value = self.read_value()?;
+            entries.push((key, value));
+        }
+        Ok(entries.into_iter().collect())
+    }
+
+    /// Unread bytes remaining.
+    pub fn remaining(&self) -> usize {
+        self.buf.remaining()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bundle() -> Bundle {
+        let mut inner = Bundle::new();
+        inner.put_i32("selector_pos", 3);
+        inner.put("checked", vec![1, 4, 7]);
+        let mut b = Bundle::new();
+        b.put_bool("alarm_on", true);
+        b.put_i64("epoch", 1_234_567_890);
+        b.put_f64("brightness", 0.75);
+        b.put_string("text", "draft message");
+        b.put("blob", vec![0u8, 255, 128]);
+        b.put("labels", vec!["a".to_owned(), "b".to_owned()]);
+        b.put_bundle("listview", inner);
+        b
+    }
+
+    #[test]
+    fn round_trip_is_lossless() {
+        let original = sample_bundle();
+        let mut parcel = Parcel::new();
+        parcel.write_bundle(&original);
+        let mut reader = parcel.into_reader();
+        let restored = reader.read_bundle().expect("parcel should parse");
+        assert_eq!(restored, original);
+        assert_eq!(reader.remaining(), 0);
+    }
+
+    #[test]
+    fn empty_bundle_round_trips() {
+        let mut parcel = Parcel::new();
+        parcel.write_bundle(&Bundle::new());
+        assert_eq!(parcel.len(), 4);
+        let restored = parcel.into_reader().read_bundle().unwrap();
+        assert!(restored.is_empty());
+    }
+
+    #[test]
+    fn truncated_parcel_errors() {
+        let mut parcel = Parcel::new();
+        parcel.write_bundle(&sample_bundle());
+        let reader = parcel.into_reader();
+        let bytes = reader.buf.slice(0..reader.buf.len() / 2);
+        let mut truncated = ParcelReader { buf: bytes };
+        assert!(truncated.read_bundle().is_err());
+    }
+
+    #[test]
+    fn unknown_tag_errors() {
+        let mut buf = BytesMut::new();
+        buf.put_u32_le(1); // one entry
+        buf.put_u32_le(1); // key length
+        buf.put_slice(b"k");
+        buf.put_u8(99); // bogus tag
+        let mut reader = ParcelReader { buf: buf.freeze() };
+        let err = reader.read_bundle().unwrap_err();
+        assert_eq!(err.to_string(), "malformed parcel: unknown tag");
+    }
+}

@@ -1,0 +1,33 @@
+//! Android configuration model.
+//!
+//! An Android [`Configuration`] describes the device state that resource
+//! selection depends on: screen orientation and size, locale, keyboard
+//! attachment, font scale and UI (day/night) mode. When any of these change
+//! while an app is in the foreground, the system computes a *change mask*
+//! ([`ConfigChanges`]) describing what differs and, in stock Android,
+//! restarts the foreground activity unless the app declared that it handles
+//! those changes itself (the `android:configChanges` manifest attribute,
+//! modelled by [`ConfigChanges`] handled-masks).
+//!
+//! # Examples
+//!
+//! ```
+//! use droidsim_config::{Configuration, ConfigChanges, Orientation};
+//!
+//! let portrait = Configuration::phone_portrait();
+//! let landscape = portrait.rotated();
+//! let diff = portrait.diff(&landscape);
+//! assert!(diff.contains(ConfigChanges::ORIENTATION));
+//! assert!(diff.contains(ConfigChanges::SCREEN_SIZE));
+//! assert_eq!(landscape.orientation, Orientation::Landscape);
+//! ```
+
+pub mod changes;
+pub mod configuration;
+pub mod locale;
+pub mod screen;
+
+pub use changes::ConfigChanges;
+pub use configuration::{Configuration, KeyboardState, UiMode};
+pub use locale::Locale;
+pub use screen::{Orientation, ScreenSize};

@@ -1,0 +1,638 @@
+//! The RCHDroid change handler: orchestrates the shadow/sunny protocol
+//! across the activity thread and the ATMS (Fig. 3).
+
+use crate::gc::{GcDecision, GcPolicy, ShadowAgeTracker};
+use crate::migration::{MigrationEngine, MigrationReport};
+use core::fmt;
+use droidsim_app::{ActivityState, ActivityThread, AppModel, AsyncWork, ThreadError};
+use droidsim_app::ActivityInstanceId;
+use droidsim_atms::{Atms, AtmsError, ConfigDecision, Intent, StartDisposition};
+use droidsim_kernel::SimTime;
+use droidsim_view::ViewError;
+
+/// Which path a runtime change took.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChangeKind {
+    /// The global configuration did not actually change.
+    NoChange,
+    /// The app declared `android:configChanges` and handled it in place.
+    HandledByApp,
+    /// First change: a new sunny instance was created and coupled
+    /// (RCHDroid-init in the paper's plots).
+    Init,
+    /// Steady state: the coupled shadow instance was coin-flipped back.
+    Flip,
+}
+
+/// The outcome of one handled runtime change.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChangeOutcome {
+    /// The path taken.
+    pub kind: ChangeKind,
+    /// The foreground instance after handling.
+    pub sunny_instance: ActivityInstanceId,
+    /// The coupled shadow instance, if one exists.
+    pub shadow_instance: Option<ActivityInstanceId>,
+    /// Views linked by the essence-based mapping (0 for flips — the
+    /// mapping already exists).
+    pub mapped_views: usize,
+    /// The view count of the foreground tree (cost-model input).
+    pub view_count: usize,
+}
+
+/// Handler errors.
+#[derive(Debug, Clone, PartialEq)]
+pub enum HandlerError {
+    /// No foreground activity to handle the change for.
+    NoForegroundActivity,
+    /// Activity-thread failure.
+    Thread(ThreadError),
+    /// ATMS failure.
+    Atms(AtmsError),
+    /// View-system failure during coupling/migration.
+    View(ViewError),
+}
+
+impl fmt::Display for HandlerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HandlerError::NoForegroundActivity => write!(f, "no foreground activity"),
+            HandlerError::Thread(e) => write!(f, "{e}"),
+            HandlerError::Atms(e) => write!(f, "{e}"),
+            HandlerError::View(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for HandlerError {}
+
+impl From<ThreadError> for HandlerError {
+    fn from(e: ThreadError) -> Self {
+        HandlerError::Thread(e)
+    }
+}
+
+impl From<AtmsError> for HandlerError {
+    fn from(e: AtmsError) -> Self {
+        HandlerError::Atms(e)
+    }
+}
+
+impl From<ViewError> for HandlerError {
+    fn from(e: ViewError) -> Self {
+        HandlerError::View(e)
+    }
+}
+
+/// Ablation switches for RCHDroid's design choices (all on by default —
+/// the paper's full system). Turning one off isolates its contribution:
+///
+/// * without **coin-flipping**, every change pays the init cost (creating
+///   a fresh sunny instance and rebuilding the mapping) — the Fig. 10a
+///   "RCHDroid-init" line becomes the steady state,
+/// * without **lazy migration**, async-task results still land safely on
+///   the alive shadow instance (no crash), but the foreground tree never
+///   learns about them — stale UI.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RchOptions {
+    /// Reuse the coupled shadow instance on later changes (§3.4).
+    pub coin_flip: bool,
+    /// Migrate intercepted shadow-tree updates to the sunny tree (§3.3).
+    pub lazy_migration: bool,
+}
+
+impl Default for RchOptions {
+    fn default() -> Self {
+        RchOptions { coin_flip: true, lazy_migration: true }
+    }
+}
+
+/// The RCHDroid runtime-change handler.
+///
+/// One handler instance serves one app process (matching the paper's
+/// at-most-one-shadow-per-system invariant for the foreground app).
+#[derive(Debug)]
+pub struct RchDroid {
+    tracker: ShadowAgeTracker,
+    engine: MigrationEngine,
+    options: RchOptions,
+}
+
+impl RchDroid {
+    /// A handler with the paper's GC operating point.
+    pub fn new() -> Self {
+        RchDroid::with_policy(GcPolicy::paper_default())
+    }
+
+    /// A handler with a custom GC policy (the Fig. 11 sweep).
+    pub fn with_policy(policy: GcPolicy) -> Self {
+        RchDroid::with_options(policy, RchOptions::default())
+    }
+
+    /// A handler with ablation options.
+    pub fn with_options(policy: GcPolicy, options: RchOptions) -> Self {
+        RchDroid {
+            tracker: ShadowAgeTracker::new(policy),
+            engine: MigrationEngine::new(),
+            options,
+        }
+    }
+
+    /// The GC policy in force.
+    pub fn gc_policy(&self) -> GcPolicy {
+        self.tracker.policy()
+    }
+
+    /// The ablation options in force.
+    pub fn options(&self) -> RchOptions {
+        self.options
+    }
+
+    /// Handles a runtime configuration change for the foreground activity
+    /// (the ATMS global configuration must already be updated).
+    ///
+    /// Implements steps ①–③ of Fig. 3: shadow the current instance,
+    /// sunny-start (create or coin-flip), restore state and couple the
+    /// trees. Step ④ (lazy migration) happens later, per async return,
+    /// via [`RchDroid::on_async_delivered`].
+    ///
+    /// # Errors
+    ///
+    /// [`HandlerError::NoForegroundActivity`] when nothing is in the
+    /// foreground; otherwise propagated thread/ATMS/view errors.
+    pub fn handle_configuration_change(
+        &mut self,
+        thread: &mut ActivityThread,
+        atms: &mut Atms,
+        model: &dyn AppModel,
+        now: SimTime,
+    ) -> Result<ChangeOutcome, HandlerError> {
+        let fore_record = atms.foreground_record().ok_or(HandlerError::NoForegroundActivity)?;
+        let old_instance = thread
+            .instance_for_token(fore_record)
+            .ok_or(HandlerError::NoForegroundActivity)?;
+
+        // RCHDroid always prevents the relaunch test (§3.1).
+        let decision = atms.ensure_activity_configuration(fore_record, true)?;
+        match decision {
+            ConfigDecision::NoChange => {
+                let view_count = thread.instance(old_instance)?.tree.view_count();
+                return Ok(ChangeOutcome {
+                    kind: ChangeKind::NoChange,
+                    sunny_instance: old_instance,
+                    shadow_instance: thread.current_shadow(),
+                    mapped_views: 0,
+                    view_count,
+                });
+            }
+            ConfigDecision::HandledByApp(_) => {
+                let activity = thread.instance_mut(old_instance)?;
+                model.on_configuration_changed(activity);
+                let view_count = activity.tree.view_count();
+                return Ok(ChangeOutcome {
+                    kind: ChangeKind::HandledByApp,
+                    sunny_instance: old_instance,
+                    shadow_instance: thread.current_shadow(),
+                    mapped_views: 0,
+                    view_count,
+                });
+            }
+            ConfigDecision::Relaunch(_) => {
+                unreachable!("prevent_relaunch=true never yields Relaunch")
+            }
+            ConfigDecision::PreventedRelaunch(_) => {}
+        }
+
+        // Ablation: with coin-flipping disabled, release any existing
+        // shadow so the starter's search finds nothing and every change
+        // pays the creation cost.
+        if !self.options.coin_flip {
+            if let Some(existing) = thread.current_shadow() {
+                if existing != old_instance {
+                    self.release_shadow(thread, atms, existing)?;
+                }
+            }
+        }
+
+        // Step ①: put the current instance into the Shadow state (this
+        // snapshots its saved state into the shadow bundle).
+        thread.enter_shadow(old_instance, model)?;
+        self.tracker.note_shadow_entry(now);
+
+        // Step ②: sunny-start through the ATMS (creates or coin-flips).
+        let component = thread.instance(old_instance)?.component().to_owned();
+        let start = atms.start_activity_with_mask(
+            &Intent::sunny(&component),
+            now,
+            model.handled_changes(),
+        );
+
+        match start.disposition {
+            StartDisposition::CreatedNew => {
+                // First change: launch the sunny instance from the shadow
+                // bundle and build the essence-based mapping (step ③).
+                let shadow_bundle = thread.instance(old_instance)?.shadow_bundle.clone();
+                let sunny_instance = thread.perform_launch_activity(
+                    model,
+                    start.record,
+                    atms.global_config().clone(),
+                    shadow_bundle.as_ref(),
+                );
+                thread.resume_sequence(sunny_instance, true)?;
+                thread.set_current_shadow(Some(old_instance));
+                let engine = &mut self.engine;
+                let (mapped, view_count) =
+                    thread.with_instance_pair(old_instance, sunny_instance, |shadow, sunny| {
+                        let mapped = engine.build_mapping(&mut shadow.tree, &mut sunny.tree);
+                        // Seed user state the bundle restore missed (views
+                        // that skip onSaveInstanceState), then clear the
+                        // bookkeeping invalidations.
+                        let _ = engine.seed_user_state(&shadow.tree, &mut sunny.tree);
+                        shadow.tree.drain_invalidations();
+                        sunny.tree.drain_invalidations();
+                        (mapped, sunny.tree.view_count())
+                    })?;
+                Ok(ChangeOutcome {
+                    kind: ChangeKind::Init,
+                    sunny_instance,
+                    shadow_instance: Some(old_instance),
+                    mapped_views: mapped,
+                    view_count,
+                })
+            }
+            StartDisposition::FlippedShadow { .. } => {
+                // The record that came back on top belongs to the previous
+                // shadow instance: flip it to Sunny on the thread side.
+                let sunny_instance = thread
+                    .instance_for_token(start.record)
+                    .ok_or(HandlerError::NoForegroundActivity)?;
+                thread.resume_sequence(sunny_instance, true)?;
+                thread.set_current_shadow(Some(old_instance));
+                thread.set_current_sunny(Some(sunny_instance));
+                let view_count = thread.instance(sunny_instance)?.tree.view_count();
+                Ok(ChangeOutcome {
+                    kind: ChangeKind::Flip,
+                    sunny_instance,
+                    shadow_instance: Some(old_instance),
+                    mapped_views: 0, // the mapping already exists
+                    view_count,
+                })
+            }
+            StartDisposition::ReusedTop => {
+                // Cannot happen for SUNNY intents.
+                unreachable!("SUNNY starts never reuse the top record")
+            }
+        }
+    }
+
+    /// Step ④ (lazy migration): runs an async callback and, if it landed
+    /// on the shadow instance, migrates the intercepted view updates to
+    /// the coupled sunny instance. Returns the migration report when a
+    /// migration happened.
+    ///
+    /// # Errors
+    ///
+    /// Thread/view errors. Under RCHDroid the starting instance is alive
+    /// (shadow at worst), so crashes only occur if the shadow was GC'd
+    /// before the task returned — the same residual risk the paper has.
+    pub fn on_async_delivered(
+        &mut self,
+        thread: &mut ActivityThread,
+        model: &dyn AppModel,
+        work: &AsyncWork,
+    ) -> Result<Option<MigrationReport>, HandlerError> {
+        thread.deliver_async(model, work)?;
+        let instance = work.instance;
+        let state = thread.instance(instance)?.state();
+        if !self.options.lazy_migration {
+            // Ablation: the callback ran safely on the shadow instance,
+            // but nothing propagates to the foreground tree.
+            thread.instance_mut(instance)?.tree.drain_invalidations();
+            return Ok(None);
+        }
+        if state != ActivityState::Shadow {
+            // Foreground instance updated directly; nothing to migrate.
+            thread.instance_mut(instance)?.tree.drain_invalidations();
+            return Ok(None);
+        }
+        let Some(sunny) = thread.current_sunny() else {
+            return Ok(None);
+        };
+        let engine = &self.engine;
+        let report = thread.with_instance_pair(instance, sunny, |shadow, sunny| {
+            engine.migrate_invalidations(&mut shadow.tree, &mut sunny.tree)
+        })??;
+        Ok(Some(report))
+    }
+
+    /// `doGcForShadowIfNeeded` (§3.5): evaluates Algorithm 1 and, on a
+    /// `Collect` verdict, destroys the shadow instance, its record, and
+    /// the sunny side's peer pointers.
+    ///
+    /// # Errors
+    ///
+    /// Thread/ATMS errors during reclamation.
+    pub fn run_gc(
+        &mut self,
+        thread: &mut ActivityThread,
+        atms: &mut Atms,
+        now: SimTime,
+    ) -> Result<GcDecision, HandlerError> {
+        let Some(shadow_instance) = thread.current_shadow() else {
+            return Ok(GcDecision::NothingToCollect);
+        };
+        let token = thread.instance(shadow_instance)?.token();
+        let shadow_since = atms.record(token).and_then(|r| r.shadow_since);
+        let decision = self.tracker.evaluate(now, shadow_since);
+        if decision.should_collect() {
+            self.release_shadow(thread, atms, shadow_instance)?;
+        }
+        Ok(decision)
+    }
+
+    /// Releases the shadow immediately (foreground activity finished or
+    /// switched to another app — §3.5's immediate-release rule).
+    ///
+    /// # Errors
+    ///
+    /// Thread/ATMS errors during reclamation.
+    pub fn on_foreground_switched(
+        &mut self,
+        thread: &mut ActivityThread,
+        atms: &mut Atms,
+    ) -> Result<bool, HandlerError> {
+        let Some(shadow_instance) = thread.current_shadow() else {
+            self.tracker.reset();
+            return Ok(false);
+        };
+        self.release_shadow(thread, atms, shadow_instance)?;
+        self.tracker.reset();
+        Ok(true)
+    }
+
+    fn release_shadow(
+        &mut self,
+        thread: &mut ActivityThread,
+        atms: &mut Atms,
+        shadow_instance: ActivityInstanceId,
+    ) -> Result<(), HandlerError> {
+        let token = thread.instance(shadow_instance)?.token();
+        thread.destroy_activity(shadow_instance)?;
+        atms.destroy_record(token)?;
+        if let Some(sunny) = thread.current_sunny() {
+            if let Ok(s) = thread.instance_mut(sunny) {
+                s.tree.clear_sunny_peers();
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Default for RchDroid {
+    fn default() -> Self {
+        RchDroid::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use droidsim_app::SimpleApp;
+    use droidsim_config::Configuration;
+    use droidsim_kernel::SimDuration;
+    use droidsim_view::ViewOp;
+
+    struct Rig {
+        model: SimpleApp,
+        atms: Atms,
+        thread: ActivityThread,
+        rch: RchDroid,
+        instance: ActivityInstanceId,
+    }
+
+    fn boot(views: usize) -> Rig {
+        let model = SimpleApp::with_views(views);
+        let mut atms = Atms::new(Configuration::phone_portrait());
+        let mut thread = ActivityThread::new();
+        let start = atms.start_activity(&Intent::new(model.component_name()));
+        let instance = thread.perform_launch_activity(
+            &model,
+            start.record,
+            Configuration::phone_portrait(),
+            None,
+        );
+        thread.resume_sequence(instance, false).unwrap();
+        Rig { model, atms, thread, rch: RchDroid::new(), instance }
+    }
+
+    fn rotate(rig: &mut Rig, now: SimTime) -> ChangeOutcome {
+        let next = rig.atms.global_config().rotated();
+        rig.atms.update_global_config(next);
+        rig.rch
+            .handle_configuration_change(&mut rig.thread, &mut rig.atms, &rig.model, now)
+            .unwrap()
+    }
+
+    #[test]
+    fn first_change_is_init_and_couples_instances() {
+        let mut rig = boot(4);
+        let outcome = rotate(&mut rig, SimTime::from_millis(17));
+        assert_eq!(outcome.kind, ChangeKind::Init);
+        assert_eq!(outcome.shadow_instance, Some(rig.instance));
+        assert_ne!(outcome.sunny_instance, rig.instance);
+        assert!(outcome.mapped_views > 0);
+        // Old instance alive in Shadow, new one in Sunny.
+        assert_eq!(rig.thread.instance(rig.instance).unwrap().state(), ActivityState::Shadow);
+        assert_eq!(
+            rig.thread.instance(outcome.sunny_instance).unwrap().state(),
+            ActivityState::Sunny
+        );
+    }
+
+    #[test]
+    fn second_change_is_flip_back_to_original_instance() {
+        let mut rig = boot(4);
+        let first = rotate(&mut rig, SimTime::from_millis(17));
+        let second = rotate(&mut rig, SimTime::from_millis(79));
+        assert_eq!(second.kind, ChangeKind::Flip);
+        assert_eq!(second.sunny_instance, rig.instance, "original instance returns");
+        assert_eq!(second.shadow_instance, Some(first.sunny_instance));
+        assert_eq!(rig.thread.alive_instances().len(), 2, "never a third instance");
+    }
+
+    #[test]
+    fn no_change_short_circuits() {
+        let mut rig = boot(2);
+        let same = rig.atms.global_config().clone();
+        rig.atms.update_global_config(same);
+        let outcome = rig
+            .rch
+            .handle_configuration_change(&mut rig.thread, &mut rig.atms, &rig.model, SimTime::ZERO)
+            .unwrap();
+        assert_eq!(outcome.kind, ChangeKind::NoChange);
+        assert_eq!(rig.thread.alive_instances().len(), 1);
+    }
+
+    #[test]
+    fn self_handling_app_stays_in_place() {
+        let model = SimpleApp::builder(2).handles(droidsim_config::ConfigChanges::ALL).build();
+        let mut atms = Atms::new(Configuration::phone_portrait());
+        let mut thread = ActivityThread::new();
+        let start = atms.start_activity_with_mask(
+            &Intent::new(model.component_name()),
+            SimTime::ZERO,
+            model.handled_changes(),
+        );
+        let instance = thread.perform_launch_activity(
+            &model,
+            start.record,
+            Configuration::phone_portrait(),
+            None,
+        );
+        thread.resume_sequence(instance, false).unwrap();
+        let mut rch = RchDroid::new();
+        atms.update_global_config(Configuration::phone_landscape());
+        let outcome = rch
+            .handle_configuration_change(&mut thread, &mut atms, &model, SimTime::ZERO)
+            .unwrap();
+        assert_eq!(outcome.kind, ChangeKind::HandledByApp);
+        assert_eq!(thread.alive_instances().len(), 1);
+    }
+
+    #[test]
+    fn state_survives_the_change_via_the_bundle() {
+        let mut rig = boot(2);
+        // The user scrolls the list — genuine user state on a container.
+        {
+            let a = rig.thread.instance_mut(rig.instance).unwrap();
+            let root = a.tree.find_by_id_name("root").unwrap();
+            a.tree.apply(root, ViewOp::ScrollTo(480)).unwrap();
+        }
+        let outcome = rotate(&mut rig, SimTime::from_millis(10));
+        let sunny = rig.thread.instance(outcome.sunny_instance).unwrap();
+        let root = sunny.tree.find_by_id_name("root").unwrap();
+        assert_eq!(sunny.tree.view(root).unwrap().attrs.scroll_y, 480);
+    }
+
+    #[test]
+    fn async_task_survives_and_migrates_to_sunny() {
+        let mut rig = boot(3);
+        // Start the 5 s AsyncTask, then rotate before it returns (Fig. 1b).
+        rig.thread.start_async(rig.instance, rig.model.button_task(), SimTime::ZERO).unwrap();
+        let outcome = rotate(&mut rig, SimTime::from_millis(100));
+
+        // Task returns at t = 5 s, onto the SHADOW instance.
+        rig.thread.pump_async(SimTime::from_secs(5));
+        let messages = rig.thread.drain_ui(SimTime::from_secs(5));
+        assert_eq!(messages.len(), 1);
+        let droidsim_app::UiMessage::AsyncResult(work) = &messages[0];
+        let report = rig
+            .rch
+            .on_async_delivered(&mut rig.thread, &rig.model, work)
+            .unwrap()
+            .expect("migration ran");
+        assert_eq!(report.migrated, 3, "all three images migrated");
+
+        // The SUNNY tree shows the loaded images.
+        let sunny = rig.thread.instance(outcome.sunny_instance).unwrap();
+        for i in 0..3 {
+            let v = sunny.tree.find_by_id_name(&format!("image_{i}")).unwrap();
+            assert_eq!(
+                sunny.tree.view(v).unwrap().attrs.drawable.as_ref().unwrap().0,
+                format!("loaded_{i}.png")
+            );
+        }
+    }
+
+    #[test]
+    fn async_to_foreground_instance_needs_no_migration() {
+        let mut rig = boot(2);
+        let outcome = rotate(&mut rig, SimTime::from_millis(10));
+        // Task started AFTER the change, on the sunny instance.
+        rig.thread
+            .start_async(outcome.sunny_instance, rig.model.button_task(), SimTime::from_secs(1))
+            .unwrap();
+        rig.thread.pump_async(SimTime::from_secs(6));
+        let messages = rig.thread.drain_ui(SimTime::from_secs(6));
+        let droidsim_app::UiMessage::AsyncResult(work) = &messages[0];
+        let report = rig.rch.on_async_delivered(&mut rig.thread, &rig.model, work).unwrap();
+        assert!(report.is_none());
+    }
+
+    #[test]
+    fn gc_collects_old_shadow_and_next_change_is_init_again() {
+        let mut rig = boot(2);
+        rotate(&mut rig, SimTime::from_secs(1));
+        // 100 s later: age 99 > 50 and frequency 0 → collect.
+        let decision =
+            rig.rch.run_gc(&mut rig.thread, &mut rig.atms, SimTime::from_secs(101)).unwrap();
+        assert!(decision.should_collect());
+        assert_eq!(rig.thread.current_shadow(), None);
+        assert_eq!(rig.thread.alive_instances().len(), 1);
+
+        // The next change cannot flip: it's an init again.
+        let outcome = rotate(&mut rig, SimTime::from_secs(102));
+        assert_eq!(outcome.kind, ChangeKind::Init);
+    }
+
+    #[test]
+    fn gc_keeps_young_shadow() {
+        let mut rig = boot(2);
+        rotate(&mut rig, SimTime::from_secs(1));
+        let decision =
+            rig.rch.run_gc(&mut rig.thread, &mut rig.atms, SimTime::from_secs(10)).unwrap();
+        assert!(!decision.should_collect());
+        assert!(rig.thread.current_shadow().is_some());
+    }
+
+    #[test]
+    fn gc_keeps_frequent_flipper() {
+        let mut rig = boot(2);
+        let policy = GcPolicy::paper_default().with_thresh_t(SimDuration::from_secs(2));
+        rig.rch = RchDroid::with_policy(policy);
+        // Six flips, 10 s apart.
+        for i in 0..6u64 {
+            rotate(&mut rig, SimTime::from_secs(10 * i));
+        }
+        // 5 s after the last flip: age 5 > 2 but frequency ≥ 4 → keep.
+        let decision =
+            rig.rch.run_gc(&mut rig.thread, &mut rig.atms, SimTime::from_secs(55)).unwrap();
+        assert!(matches!(decision, GcDecision::TooFrequent { .. }));
+    }
+
+    #[test]
+    fn foreground_switch_releases_shadow_immediately() {
+        let mut rig = boot(2);
+        rotate(&mut rig, SimTime::from_secs(1));
+        assert!(rig.thread.current_shadow().is_some());
+        let released =
+            rig.rch.on_foreground_switched(&mut rig.thread, &mut rig.atms).unwrap();
+        assert!(released);
+        assert_eq!(rig.thread.current_shadow(), None);
+    }
+
+    #[test]
+    fn at_most_one_shadow_exists_across_many_changes() {
+        let mut rig = boot(2);
+        for i in 0..8u64 {
+            rotate(&mut rig, SimTime::from_secs(i + 1));
+            assert!(rig.atms.shadow_records().len() <= 1);
+            assert_eq!(rig.thread.alive_instances().len(), 2);
+        }
+    }
+
+    #[test]
+    fn member_unsaved_state_is_still_lost() {
+        // Apps #9/#10 of Table 3: state not in any view, no
+        // onSaveInstanceState → RCHDroid cannot help (§5.2).
+        let mut rig = boot(1);
+        rig.thread
+            .instance_mut(rig.instance)
+            .unwrap()
+            .member_state
+            .put_string("scan_pct", "47");
+        let outcome = rotate(&mut rig, SimTime::from_secs(1));
+        let sunny = rig.thread.instance(outcome.sunny_instance).unwrap();
+        assert!(sunny.member_state.is_empty(), "the field did not survive");
+    }
+}

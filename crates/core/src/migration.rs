@@ -1,0 +1,353 @@
+//! View-tree migration (§3.3): essence-based mapping + lazy migration.
+//!
+//! The key observation of the paper: no matter what an app's async
+//! callback does internally, its effect always ends as attribute updates
+//! on views, funnelled through the generic `invalidate` step. RCHDroid
+//! therefore (a) builds, once per coupling, a hash-table mapping between
+//! the shadow and sunny trees keyed by view id, and (b) on every drained
+//! invalidation, copies the *essence* of the shadow view to its sunny
+//! peer with a per-type policy (Table 1).
+
+use droidsim_view::{MigrationClass, ViewError, ViewId, ViewOp, ViewTree};
+
+/// The result of one lazy-migration pass.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct MigrationReport {
+    /// Invalidated shadow views examined.
+    pub examined: usize,
+    /// Views whose essence was copied to a sunny peer.
+    pub migrated: usize,
+    /// Invalidated views with no peer in the sunny tree (e.g. anonymous
+    /// or removed in the new layout).
+    pub unmapped: usize,
+}
+
+impl MigrationReport {
+    /// Merges two reports.
+    pub fn merge(self, other: MigrationReport) -> MigrationReport {
+        MigrationReport {
+            examined: self.examined + other.examined,
+            migrated: self.migrated + other.migrated,
+            unmapped: self.unmapped + other.unmapped,
+        }
+    }
+}
+
+/// Copies the migratable essence of `shadow_view` (in `shadow`) onto its
+/// sunny peer (in `sunny`), per the Table 1 policy for the view's basic
+/// class. Returns `true` if a peer existed and was updated.
+///
+/// # Errors
+///
+/// Propagates [`ViewError`]s from the sunny tree (released tree, stale
+/// ids). The shadow view not existing is reported as `UnknownView`.
+pub fn migrate_view(
+    shadow: &ViewTree,
+    sunny: &mut ViewTree,
+    shadow_view: ViewId,
+) -> Result<bool, ViewError> {
+    let node = shadow.view(shadow_view)?;
+    let Some(peer) = node.sunny_peer else {
+        return Ok(false);
+    };
+    let class = node.kind.migration_class();
+    let attrs = node.attrs.clone();
+
+    // Per-type policies of Table 1. Ops go through ViewTree::apply so the
+    // sunny tree invalidates (and redraws) exactly as if the app had
+    // updated it directly.
+    match class {
+        MigrationClass::TextView => {
+            if let Some(text) = attrs.text {
+                sunny.apply(peer, ViewOp::SetText(text))?;
+            }
+            if let Some(checked) = attrs.checked {
+                sunny.apply(peer, ViewOp::SetChecked(checked))?;
+            }
+        }
+        MigrationClass::ImageView => {
+            if let Some((name, bytes)) = attrs.drawable {
+                sunny.apply(peer, ViewOp::SetDrawable(name, bytes))?;
+            }
+        }
+        MigrationClass::AbsListView => {
+            if let Some(pos) = attrs.selector_position {
+                sunny.apply(peer, ViewOp::SetSelection(pos))?;
+            }
+            for item in attrs.checked_items {
+                sunny.apply(peer, ViewOp::SetItemChecked(item, true))?;
+            }
+            if attrs.scroll_y != 0 {
+                sunny.apply(peer, ViewOp::ScrollTo(attrs.scroll_y))?;
+            }
+        }
+        MigrationClass::VideoView => {
+            if let Some(uri) = attrs.video_uri {
+                sunny.apply(peer, ViewOp::SetVideoUri(uri))?;
+            }
+        }
+        MigrationClass::ProgressBar => {
+            if let Some(p) = attrs.progress {
+                sunny.apply(peer, ViewOp::SetProgress(p))?;
+            }
+        }
+        MigrationClass::Container => {
+            if attrs.scroll_y != 0 {
+                sunny.apply(peer, ViewOp::ScrollTo(attrs.scroll_y))?;
+            }
+        }
+        MigrationClass::Opaque => {}
+    }
+    // Visibility and enablement migrate for every class.
+    sunny.apply(peer, ViewOp::SetEnabled(attrs.enabled))?;
+    sunny.apply(peer, ViewOp::SetVisible(attrs.visible))?;
+    Ok(true)
+}
+
+/// The coupling between a shadow tree and a sunny tree.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MigrationEngine {
+    mapped_views: usize,
+}
+
+impl MigrationEngine {
+    /// Creates an engine with no coupling built.
+    pub fn new() -> Self {
+        MigrationEngine::default()
+    }
+
+    /// Builds the essence-based mapping **both ways**: each tree's views
+    /// store peers into the other, so a coin flip swaps roles without
+    /// rebuilding (the paper: the flip "avoids … the building of the
+    /// essence-based mapping"). Returns the number of shadow views mapped.
+    pub fn build_mapping(&mut self, shadow: &mut ViewTree, sunny: &mut ViewTree) -> usize {
+        let sunny_index = sunny.id_name_index();
+        let shadow_index = shadow.id_name_index();
+        let mapped = shadow.set_sunny_peers(&sunny_index);
+        sunny.set_sunny_peers(&shadow_index);
+        self.mapped_views = mapped;
+        mapped
+    }
+
+    /// Views mapped by the last [`MigrationEngine::build_mapping`].
+    pub fn mapped_views(&self) -> usize {
+        self.mapped_views
+    }
+
+    /// Lazy migration: drains the shadow tree's recorded invalidations and
+    /// migrates each invalidated view's essence to its sunny peer.
+    ///
+    /// # Errors
+    ///
+    /// Propagates sunny-tree [`ViewError`]s (a released sunny tree is a
+    /// bug in the handler, not the app).
+    pub fn migrate_invalidations(
+        &self,
+        shadow: &mut ViewTree,
+        sunny: &mut ViewTree,
+    ) -> Result<MigrationReport, ViewError> {
+        let mut report = MigrationReport::default();
+        for view in shadow.drain_invalidations() {
+            report.examined += 1;
+            if migrate_view(shadow, sunny, view)? {
+                report.migrated += 1;
+            } else {
+                report.unmapped += 1;
+            }
+        }
+        Ok(report)
+    }
+
+    /// Seeds the sunny tree with the shadow tree's *user state* right
+    /// after coupling — direct object access, so it also covers views
+    /// that skip the save/restore protocol (the paper's custom-view
+    /// state-loss class). Unlike full essence migration, seeding never
+    /// copies *content* (label text, drawables): the sunny tree just
+    /// loaded the correct resources for the new configuration and stale
+    /// old-configuration content must not overwrite them.
+    ///
+    /// # Errors
+    ///
+    /// Propagates sunny-tree [`ViewError`]s.
+    pub fn seed_user_state(
+        &self,
+        shadow: &ViewTree,
+        sunny: &mut ViewTree,
+    ) -> Result<MigrationReport, ViewError> {
+        let mut report = MigrationReport::default();
+        for view in shadow.iter_ids() {
+            let node = shadow.view(view)?;
+            report.examined += 1;
+            let Some(peer) = node.sunny_peer else {
+                report.unmapped += 1;
+                continue;
+            };
+            let mut state = node.attrs.save_user_state();
+            if !node.freezes_text {
+                state.remove("text");
+            }
+            sunny.view_mut(peer)?.attrs.restore_user_state(&state);
+            report.migrated += 1;
+        }
+        Ok(report)
+    }
+
+    /// Full-tree migration (used right after coupling to seed the sunny
+    /// tree with any shadow-side state that the bundle restore may have
+    /// missed, e.g. attributes set after the snapshot).
+    ///
+    /// # Errors
+    ///
+    /// Propagates sunny-tree [`ViewError`]s.
+    pub fn migrate_all(
+        &self,
+        shadow: &ViewTree,
+        sunny: &mut ViewTree,
+    ) -> Result<MigrationReport, ViewError> {
+        let mut report = MigrationReport::default();
+        for view in shadow.iter_ids() {
+            report.examined += 1;
+            if migrate_view(shadow, sunny, view)? {
+                report.migrated += 1;
+            } else {
+                report.unmapped += 1;
+            }
+        }
+        Ok(report)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use droidsim_view::ViewKind;
+
+    fn coupled_trees() -> (ViewTree, ViewTree, MigrationEngine) {
+        let build = |container: ViewKind| {
+            let mut t = ViewTree::new();
+            let root = t.add_view(t.root(), container, Some("panel")).unwrap();
+            t.add_view(root, ViewKind::EditText, Some("name")).unwrap();
+            t.add_view(root, ViewKind::ImageView, Some("hero")).unwrap();
+            t.add_view(root, ViewKind::ListView, Some("list")).unwrap();
+            t.add_view(root, ViewKind::VideoView, Some("player")).unwrap();
+            t.add_view(root, ViewKind::ProgressBar, Some("bar")).unwrap();
+            t.add_view(root, ViewKind::TextView, None).unwrap(); // anonymous
+            t
+        };
+        let mut shadow = build(ViewKind::LinearLayout);
+        let mut sunny = build(ViewKind::GridLayout); // different layout, same ids
+        let mut engine = MigrationEngine::new();
+        engine.build_mapping(&mut shadow, &mut sunny);
+        (shadow, sunny, engine)
+    }
+
+    #[test]
+    fn mapping_links_by_id_name_both_ways() {
+        let (shadow, sunny, engine) = coupled_trees();
+        // decor, panel, name, hero, list, player, bar = 7 named views.
+        assert_eq!(engine.mapped_views(), 7);
+        let s_name = shadow.find_by_id_name("name").unwrap();
+        let peer = shadow.view(s_name).unwrap().sunny_peer.unwrap();
+        assert_eq!(peer, sunny.find_by_id_name("name").unwrap());
+        // Reverse direction too (flip support).
+        let r_peer = sunny.view(peer).unwrap().sunny_peer.unwrap();
+        assert_eq!(r_peer, s_name);
+    }
+
+    #[test]
+    fn table1_policies_copy_the_right_essence() {
+        let (mut shadow, mut sunny, engine) = coupled_trees();
+        let ids = |t: &ViewTree, n: &str| t.find_by_id_name(n).unwrap();
+        shadow.apply(ids(&shadow, "name"), ViewOp::SetText("alice".into())).unwrap();
+        shadow
+            .apply(ids(&shadow, "hero"), ViewOp::SetDrawable("landscape.png".into(), 123))
+            .unwrap();
+        shadow.apply(ids(&shadow, "list"), ViewOp::SetSelection(5)).unwrap();
+        shadow.apply(ids(&shadow, "list"), ViewOp::SetItemChecked(2, true)).unwrap();
+        shadow.apply(ids(&shadow, "player"), ViewOp::SetVideoUri("clip.mp4".into())).unwrap();
+        shadow.apply(ids(&shadow, "bar"), ViewOp::SetProgress(66)).unwrap();
+
+        let report = engine.migrate_invalidations(&mut shadow, &mut sunny).unwrap();
+        assert_eq!(report.examined, 5);
+        assert_eq!(report.migrated, 5);
+
+        let get = |n: &str| sunny.view(sunny.find_by_id_name(n).unwrap()).unwrap().attrs.clone();
+        assert_eq!(get("name").text.as_deref(), Some("alice"));
+        assert_eq!(get("hero").drawable.as_ref().unwrap().0, "landscape.png");
+        assert_eq!(get("list").selector_position, Some(5));
+        assert_eq!(get("list").checked_items, vec![2]);
+        assert_eq!(get("player").video_uri.as_deref(), Some("clip.mp4"));
+        assert_eq!(get("bar").progress, Some(66));
+    }
+
+    #[test]
+    fn anonymous_views_are_unmapped_not_errors() {
+        let (mut shadow, mut sunny, engine) = coupled_trees();
+        // The anonymous TextView is the last child of "panel".
+        let panel = shadow.find_by_id_name("panel").unwrap();
+        let anon = *shadow.view(panel).unwrap().children.last().unwrap();
+        shadow.apply(anon, ViewOp::SetText("nobody sees this".into())).unwrap();
+        let report = engine.migrate_invalidations(&mut shadow, &mut sunny).unwrap();
+        assert_eq!(report.unmapped, 1);
+        assert_eq!(report.migrated, 0);
+    }
+
+    #[test]
+    fn migration_invalidates_the_sunny_tree() {
+        let (mut shadow, mut sunny, engine) = coupled_trees();
+        let name = shadow.find_by_id_name("name").unwrap();
+        shadow.apply(name, ViewOp::SetText("x".into())).unwrap();
+        sunny.drain_invalidations();
+        engine.migrate_invalidations(&mut shadow, &mut sunny).unwrap();
+        assert!(!sunny.drain_invalidations().is_empty(), "sunny redraws");
+    }
+
+    #[test]
+    fn drained_invalidations_do_not_remigrate() {
+        let (mut shadow, mut sunny, engine) = coupled_trees();
+        let name = shadow.find_by_id_name("name").unwrap();
+        shadow.apply(name, ViewOp::SetText("x".into())).unwrap();
+        engine.migrate_invalidations(&mut shadow, &mut sunny).unwrap();
+        let second = engine.migrate_invalidations(&mut shadow, &mut sunny).unwrap();
+        assert_eq!(second.examined, 0);
+    }
+
+    #[test]
+    fn migrate_all_seeds_everything_named() {
+        let (mut shadow, mut sunny, engine) = coupled_trees();
+        let name = shadow.find_by_id_name("name").unwrap();
+        shadow.apply(name, ViewOp::SetText("seed".into())).unwrap();
+        shadow.drain_invalidations();
+        let report = engine.migrate_all(&shadow, &mut sunny).unwrap();
+        assert_eq!(report.examined, shadow.view_count());
+        assert_eq!(report.unmapped, 1, "only the anonymous view");
+        let s_name = sunny.find_by_id_name("name").unwrap();
+        assert_eq!(sunny.view(s_name).unwrap().attrs.text.as_deref(), Some("seed"));
+    }
+
+    #[test]
+    fn visibility_migrates_for_every_class() {
+        let (mut shadow, mut sunny, engine) = coupled_trees();
+        let hero = shadow.find_by_id_name("hero").unwrap();
+        shadow.apply(hero, ViewOp::SetVisible(false)).unwrap();
+        engine.migrate_invalidations(&mut shadow, &mut sunny).unwrap();
+        let s_hero = sunny.find_by_id_name("hero").unwrap();
+        assert!(!sunny.view(s_hero).unwrap().attrs.visible);
+    }
+
+    #[test]
+    fn custom_views_migrate_via_their_base_class() {
+        let mut shadow = ViewTree::new();
+        let custom = ViewKind::from_class_name("com.app.FancyTextView");
+        shadow.add_view(shadow.root(), custom.clone(), Some("fancy")).unwrap();
+        let mut sunny = ViewTree::new();
+        sunny.add_view(sunny.root(), custom, Some("fancy")).unwrap();
+        let mut engine = MigrationEngine::new();
+        engine.build_mapping(&mut shadow, &mut sunny);
+        let f = shadow.find_by_id_name("fancy").unwrap();
+        shadow.apply(f, ViewOp::SetText("styled".into())).unwrap();
+        engine.migrate_invalidations(&mut shadow, &mut sunny).unwrap();
+        let sf = sunny.find_by_id_name("fancy").unwrap();
+        assert_eq!(sunny.view(sf).unwrap().attrs.text.as_deref(), Some("styled"));
+    }
+}

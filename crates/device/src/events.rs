@@ -1,0 +1,132 @@
+//! The device's observable event log — what the experiment harnesses
+//! consume to rebuild the paper's figures.
+
+use droidsim_kernel::{SimDuration, SimTime};
+
+/// Which handling path a configuration change took.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HandlingPath {
+    /// Global configuration unchanged.
+    NoChange,
+    /// App-declared `configChanges`; in-place `onConfigurationChanged`.
+    HandledByApp,
+    /// Stock Android 10 destroy + recreate.
+    Relaunch,
+    /// RCHDroid first change (create + couple).
+    RchInit,
+    /// RCHDroid steady-state coin flip.
+    RchFlip,
+    /// RuntimeDroid in-place reconstruction.
+    RuntimeDroidInPlace,
+}
+
+/// One entry of the device's event log.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DeviceEvent {
+    /// An app was installed and brought to the foreground.
+    AppLaunched {
+        /// Completion time.
+        at: SimTime,
+        /// Component name.
+        component: String,
+    },
+    /// A runtime configuration change was handled.
+    ConfigChange {
+        /// Arrival time at the ATMS.
+        at: SimTime,
+        /// Handling latency (change arrival → activity resumed).
+        latency: SimDuration,
+        /// Path taken.
+        path: HandlingPath,
+        /// Foreground component.
+        component: String,
+    },
+    /// An async callback was delivered.
+    AsyncDelivered {
+        /// Delivery time.
+        at: SimTime,
+        /// Component.
+        component: String,
+        /// Lazy-migration cost, when the callback landed on a shadow
+        /// instance and its updates were migrated (RCHDroid only).
+        migration_latency: Option<SimDuration>,
+        /// Views migrated in that pass.
+        migrated_views: usize,
+    },
+    /// An app crashed (uncaught exception on the UI thread).
+    Crash {
+        /// Crash time.
+        at: SimTime,
+        /// Component.
+        component: String,
+        /// The exception, rendered.
+        exception: String,
+    },
+    /// A shadow-GC pass ran.
+    GcPass {
+        /// Time of the pass.
+        at: SimTime,
+        /// Whether the shadow instance was reclaimed.
+        collected: bool,
+    },
+}
+
+impl DeviceEvent {
+    /// The event's timestamp.
+    pub fn at(&self) -> SimTime {
+        match self {
+            DeviceEvent::AppLaunched { at, .. }
+            | DeviceEvent::ConfigChange { at, .. }
+            | DeviceEvent::AsyncDelivered { at, .. }
+            | DeviceEvent::Crash { at, .. }
+            | DeviceEvent::GcPass { at, .. } => *at,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn at_extracts_the_timestamp_of_every_variant() {
+        let t = SimTime::from_millis(5);
+        let events = [
+            DeviceEvent::AppLaunched { at: t, component: "c".into() },
+            DeviceEvent::ConfigChange {
+                at: t,
+                latency: SimDuration::from_millis(1),
+                path: HandlingPath::RchFlip,
+                component: "c".into(),
+            },
+            DeviceEvent::AsyncDelivered {
+                at: t,
+                component: "c".into(),
+                migration_latency: None,
+                migrated_views: 0,
+            },
+            DeviceEvent::Crash { at: t, component: "c".into(), exception: "e".into() },
+            DeviceEvent::GcPass { at: t, collected: false },
+        ];
+        for e in events {
+            assert_eq!(e.at(), t);
+        }
+    }
+
+    #[test]
+    fn handling_paths_are_distinct() {
+        let paths = [
+            HandlingPath::NoChange,
+            HandlingPath::HandledByApp,
+            HandlingPath::Relaunch,
+            HandlingPath::RchInit,
+            HandlingPath::RchFlip,
+            HandlingPath::RuntimeDroidInPlace,
+        ];
+        for (i, a) in paths.iter().enumerate() {
+            for (j, b) in paths.iter().enumerate() {
+                assert_eq!(a == b, i == j);
+            }
+        }
+    }
+}

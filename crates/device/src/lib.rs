@@ -1,0 +1,39 @@
+//! Whole-device integration: one virtual Android device with a pluggable
+//! runtime-change handling mode.
+//!
+//! A [`Device`] owns the system server ([`Atms`](droidsim_atms::Atms)), a
+//! set of installed app processes, the calibrated cost model and the
+//! virtual clock. Its public API mirrors the paper's experiment workflow
+//! (§A.5): install and launch an app, issue `wm size`-style configuration
+//! changes, touch buttons to start async tasks, advance time, and read
+//! latencies / memory / crash state back out.
+//!
+//! The handling mode selects the system under test:
+//!
+//! * [`HandlingMode::Android10`] — stock restarting-based handling; async
+//!   tasks returning after a relaunch crash the app,
+//! * [`HandlingMode::RchDroid`] — the paper's shadow/sunny protocol with
+//!   coin-flipping and threshold GC,
+//! * [`HandlingMode::RuntimeDroid`] — the app-level patching baseline.
+//!
+//! # Examples
+//!
+//! ```
+//! use droidsim_app::SimpleApp;
+//! use droidsim_device::{Device, HandlingMode};
+//!
+//! let mut device = Device::new(HandlingMode::rchdroid_default());
+//! let app = device.install_and_launch(Box::new(SimpleApp::with_views(4)), 40 << 20, 1.0).unwrap();
+//! let report = device.rotate().unwrap();
+//! assert!(report.latency.as_millis_f64() > 0.0);
+//! assert!(!device.is_crashed(&app));
+//! ```
+
+pub mod device;
+pub mod logcat;
+pub mod events;
+pub mod process;
+
+pub use device::{ChangeReport, Device, DeviceError, HandlingMode};
+pub use events::{DeviceEvent, HandlingPath};
+pub use process::AppProcess;

@@ -1,0 +1,4 @@
+//! Runs the design-choice ablation study; see `rch_experiments::ablation`.
+fn main() {
+    print!("{}", rch_experiments::ablation::run().render());
+}

@@ -1,0 +1,25 @@
+//! Regenerates every table and figure of the paper in one run.
+fn main() {
+    println!("==== Table 3 ====");
+    print!("{}", rch_experiments::table3::run().render());
+    println!("\n==== Fig. 7 ====");
+    print!("{}", rch_experiments::fig7::run().render());
+    println!("\n==== Fig. 8 ====");
+    print!("{}", rch_experiments::fig8::run().render());
+    println!("\n==== Fig. 9 ====");
+    print!("{}", rch_experiments::fig9::run().render());
+    println!("\n==== Fig. 10 ====");
+    print!("{}", rch_experiments::fig10::run().render());
+    println!("\n==== Fig. 11 ====");
+    print!("{}", rch_experiments::fig11::run().render());
+    println!("\n==== Fig. 12 / Table 4 ====");
+    print!("{}", rch_experiments::fig12::run().render());
+    println!("\n==== Fig. 13 ====");
+    print!("{}", rch_experiments::fig13::run().render());
+    println!("\n==== Table 5 / Fig. 14 ====");
+    print!("{}", rch_experiments::table5::run().render());
+    println!("\n==== §5.6 Energy ====");
+    print!("{}", rch_experiments::energy::run().render());
+    println!("\n==== Ablation (beyond the paper) ====");
+    print!("{}", rch_experiments::ablation::run().render());
+}

@@ -1,0 +1,4 @@
+//! Prints the per-step cost decomposition of every handling path.
+fn main() {
+    print!("{}", rch_experiments::breakdown::run().render());
+}

@@ -1,0 +1,4 @@
+//! Regenerates the paper's energy result; see `rch_experiments::energy`.
+fn main() {
+    print!("{}", rch_experiments::energy::run().render());
+}

@@ -1,0 +1,4 @@
+//! Regenerates the paper's fig10 result; see `rch_experiments::fig10`.
+fn main() {
+    print!("{}", rch_experiments::fig10::run().render());
+}

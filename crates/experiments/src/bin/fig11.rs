@@ -1,0 +1,4 @@
+//! Regenerates the paper's fig11 result; see `rch_experiments::fig11`.
+fn main() {
+    print!("{}", rch_experiments::fig11::run().render());
+}

@@ -1,0 +1,4 @@
+//! Regenerates the paper's fig12 result; see `rch_experiments::fig12`.
+fn main() {
+    print!("{}", rch_experiments::fig12::run().render());
+}

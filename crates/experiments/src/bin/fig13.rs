@@ -1,0 +1,4 @@
+//! Regenerates the Fig. 13 showcase as textual state dumps.
+fn main() {
+    print!("{}", rch_experiments::fig13::run().render());
+}

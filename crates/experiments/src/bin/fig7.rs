@@ -1,0 +1,4 @@
+//! Regenerates the paper's fig7 result; see `rch_experiments::fig7`.
+fn main() {
+    print!("{}", rch_experiments::fig7::run().render());
+}

@@ -1,0 +1,4 @@
+//! Regenerates the paper's fig8 result; see `rch_experiments::fig8`.
+fn main() {
+    print!("{}", rch_experiments::fig8::run().render());
+}

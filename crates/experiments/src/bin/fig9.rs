@@ -1,0 +1,4 @@
+//! Regenerates the paper's fig9 result; see `rch_experiments::fig9`.
+fn main() {
+    print!("{}", rch_experiments::fig9::run().render());
+}

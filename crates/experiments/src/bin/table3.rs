@@ -1,0 +1,4 @@
+//! Regenerates the paper's table3 result; see `rch_experiments::table3`.
+fn main() {
+    print!("{}", rch_experiments::table3::run().render());
+}

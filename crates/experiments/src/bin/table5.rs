@@ -1,0 +1,4 @@
+//! Regenerates the paper's table5 result; see `rch_experiments::table5`.
+fn main() {
+    print!("{}", rch_experiments::table5::run().render());
+}

@@ -1,0 +1,4 @@
+//! Checks the paper's §5.1 measurement protocol under injected jitter.
+fn main() {
+    print!("{}", rch_experiments::variance::run().render());
+}

@@ -1,0 +1,135 @@
+//! An automated runtime-change issue detector.
+//!
+//! §6's methodology — "when it is running in a state, we change screen
+//! sizes and observe if the state can be correctly restored" — as a
+//! reusable oracle, in the spirit of the double-orientation GUI checks of
+//! Amalfitano et al. and Zaeem et al. (§7.1): set the app's user state,
+//! rotate once and twice, and compare what the user sees against what
+//! they left. A crash or any lost state item is an issue.
+//!
+//! Checking after **one** rotation matters: systems that preserve the
+//! original instance (RCHDroid's coin flip) would mask member-state loss
+//! on any even rotation count.
+
+use droidsim_device::{Device, HandlingMode};
+use droidsim_kernel::SimDuration;
+use rch_workloads::GenericAppSpec;
+
+/// What the oracle found for one app under one system.
+#[derive(Debug, Clone)]
+pub struct DetectionReport {
+    /// App name.
+    pub app: String,
+    /// State items lost after a single rotation.
+    pub lost_after_one: Vec<String>,
+    /// State items lost after the double rotation.
+    pub lost_after_two: Vec<String>,
+    /// Whether the app crashed during the check.
+    pub crashed: bool,
+}
+
+impl DetectionReport {
+    /// The oracle's verdict: does this app have a runtime-change issue
+    /// under the checked system?
+    pub fn has_issue(&self) -> bool {
+        self.crashed || !self.lost_after_one.is_empty() || !self.lost_after_two.is_empty()
+    }
+}
+
+fn lost_items(device: &mut Device, probe: &rch_workloads::GenericApp) -> Vec<String> {
+    device
+        .with_foreground_activity_mut(|a| {
+            probe
+                .surviving_state(a)
+                .into_iter()
+                .filter(|(_, survived)| !survived)
+                .map(|(item, _)| item.key.clone())
+                .collect()
+        })
+        .unwrap_or_default()
+}
+
+/// Runs the oracle for one app under one system.
+pub fn check(spec: &GenericAppSpec, mode: HandlingMode) -> DetectionReport {
+    let mut device = Device::new(mode);
+    let probe = spec.build();
+    let component = device
+        .install_and_launch(Box::new(spec.build()), spec.base_memory_bytes, spec.complexity)
+        .expect("launch");
+    device
+        .with_foreground_activity_mut(|a| probe.apply_user_state(a))
+        .expect("foreground");
+    if spec.uses_async_task {
+        let _ = device.start_async_on_foreground(spec.async_task());
+    }
+
+    let _ = device.rotate();
+    device.advance(SimDuration::from_secs(8)); // let any async task land
+    let lost_after_one =
+        if device.is_crashed(&component) { Vec::new() } else { lost_items(&mut device, &probe) };
+
+    let _ = device.rotate();
+    let crashed = device.is_crashed(&component);
+    let lost_after_two = if crashed { Vec::new() } else { lost_items(&mut device, &probe) };
+
+    DetectionReport { app: spec.name.clone(), lost_after_one, lost_after_two, crashed }
+}
+
+/// Runs the oracle over a whole app set; returns the apps flagged.
+pub fn flagged(specs: &[GenericAppSpec], mode: HandlingMode) -> Vec<String> {
+    specs
+        .iter()
+        .map(|s| check(s, mode))
+        .filter(DetectionReport::has_issue)
+        .map(|r| r.app)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rch_workloads::{top100_specs, tp27_specs};
+
+    #[test]
+    fn oracle_rediscovers_table3_under_stock() {
+        let specs = tp27_specs();
+        let flagged = flagged(&specs, HandlingMode::Android10);
+        assert_eq!(flagged.len(), 27, "every TP-27 app is flagged: {flagged:?}");
+    }
+
+    #[test]
+    fn oracle_confirms_rchdroids_residue_on_tp27() {
+        let specs = tp27_specs();
+        let flagged = flagged(&specs, HandlingMode::rchdroid_default());
+        assert_eq!(flagged, vec!["DiskDiggerPro", "Dock4Droid"], "only the member-unsaved two");
+    }
+
+    #[test]
+    fn oracle_rediscovers_table5_counts() {
+        let specs = top100_specs();
+        let stock = flagged(&specs, HandlingMode::Android10);
+        assert_eq!(stock.len(), 63);
+        let rch = flagged(&specs, HandlingMode::rchdroid_default());
+        assert_eq!(rch, vec!["Filto", "HaircutPrank", "CastForChrome", "KingJamesBible"]);
+    }
+
+    #[test]
+    fn single_rotation_check_is_what_catches_member_state() {
+        // Under RCHDroid the double rotation flips the ORIGINAL instance
+        // back: member state reappears and only the single-rotation check
+        // sees the loss.
+        let spec = tp27_specs().swap_remove(8); // DiskDiggerPro (MemberUnsaved)
+        let report = check(&spec, HandlingMode::rchdroid_default());
+        assert!(!report.lost_after_one.is_empty());
+        assert!(report.lost_after_two.is_empty(), "masked by the flip");
+        assert!(report.has_issue());
+    }
+
+    #[test]
+    fn issue_free_apps_pass_the_oracle() {
+        let specs = top100_specs();
+        let instagram = specs.iter().find(|s| s.name == "Instagram").unwrap();
+        let report = check(instagram, HandlingMode::Android10);
+        assert!(!report.has_issue());
+    }
+}

@@ -1,0 +1,124 @@
+//! Fig. 12 + Table 4 + §5.7: comparison with RuntimeDroid.
+//!
+//! The eight apps of Table 4 run under Android-10, RCHDroid and the
+//! RuntimeDroid baseline; Fig. 12 reports handling time normalized to
+//! Android-10. RuntimeDroid is faster (app-level, no new instance, no
+//! system IPC) — but Table 4 shows it needs 760–2077 modified LoC per
+//! app, while RCHDroid needs zero; §5.7's deployment-overhead comparison
+//! is reproduced from the same constants.
+
+use crate::scenario::{run_app, RunConfig};
+use droidsim_device::HandlingMode;
+use rch_workloads::GenericAppSpec;
+use runtimedroid_baseline::{deployment, table4_apps, PatchInfo};
+
+/// One app's comparison row.
+#[derive(Debug, Clone)]
+pub struct Fig12Row {
+    /// App name.
+    pub name: String,
+    /// Android-10 mean latency (ms) — the normalization base.
+    pub android10_ms: f64,
+    /// RCHDroid normalized latency (fraction of Android-10).
+    pub rchdroid_norm: f64,
+    /// RuntimeDroid normalized latency.
+    pub runtimedroid_norm: f64,
+    /// RuntimeDroid's per-app patch size (Table 4).
+    pub patch_loc: u32,
+    /// RCHDroid's per-app modification (always zero).
+    pub rchdroid_loc: u32,
+}
+
+/// The comparison data.
+#[derive(Debug, Clone)]
+pub struct Fig12 {
+    /// Per-app rows.
+    pub rows: Vec<Fig12Row>,
+}
+
+impl Fig12 {
+    /// Renders Fig. 12, Table 4 and the deployment comparison.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str("Fig. 12: handling time normalized to Android-10\n");
+        out.push_str(&format!(
+            "{:<14} {:>12} {:>13} {:>17}\n",
+            "App", "Android-10", "RCHDroid", "RuntimeDroid"
+        ));
+        for r in &self.rows {
+            out.push_str(&format!(
+                "{:<14} {:>12.2} {:>13.2} {:>17.2}\n",
+                r.name, 1.0, r.rchdroid_norm, r.runtimedroid_norm
+            ));
+        }
+        out.push_str("\nTable 4: modifications to apps (LoC)\n");
+        out.push_str(&format!(
+            "{:<14} {:>18} {:>14}\n",
+            "App", "RuntimeDroid mods", "RCHDroid mods"
+        ));
+        for r in &self.rows {
+            out.push_str(&format!("{:<14} {:>18} {:>14}\n", r.name, r.patch_loc, r.rchdroid_loc));
+        }
+        out.push_str(&format!(
+            "\nDeployment: RCHDroid one-off system deploy {} ms; RuntimeDroid per-app \
+             patching {}..{} ms\n",
+            deployment::RCHDROID_SYSTEM_DEPLOY_MS,
+            deployment::RUNTIMEDROID_PATCH_MS.0,
+            deployment::RUNTIMEDROID_PATCH_MS.1
+        ));
+        out
+    }
+}
+
+fn spec_for(info: &PatchInfo) -> GenericAppSpec {
+    GenericAppSpec::sized(info.app, "n/a", false)
+}
+
+/// Runs the comparison.
+pub fn run() -> Fig12 {
+    let rows = table4_apps()
+        .iter()
+        .map(|info| {
+            let spec = spec_for(info);
+            let stock = run_app(&spec, &RunConfig::new(HandlingMode::Android10));
+            let rch = run_app(&spec, &RunConfig::new(HandlingMode::rchdroid_default()));
+            let rtd = run_app(&spec, &RunConfig::new(HandlingMode::RuntimeDroid));
+            let base = stock.mean_latency_ms();
+            Fig12Row {
+                name: info.app.to_owned(),
+                android10_ms: base,
+                rchdroid_norm: rch.mean_latency_ms() / base,
+                runtimedroid_norm: rtd.mean_latency_ms() / base,
+                patch_loc: info.modification_loc(),
+                rchdroid_loc: 0,
+            }
+        })
+        .collect();
+    Fig12 { rows }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runtimedroid_is_faster_but_needs_patches() {
+        let fig = run();
+        assert_eq!(fig.rows.len(), 8);
+        for r in &fig.rows {
+            // §5.7: "Compared with RCHDroid, RuntimeDroid is more efficient."
+            assert!(r.runtimedroid_norm < r.rchdroid_norm, "{}", r.name);
+            // Both beat stock.
+            assert!(r.rchdroid_norm < 1.0, "{}", r.name);
+            // Table 4's range vs zero.
+            assert!((760..=2077).contains(&r.patch_loc), "{}", r.name);
+            assert_eq!(r.rchdroid_loc, 0);
+        }
+    }
+
+    #[test]
+    fn deployment_constants_match_section_5_7() {
+        assert_eq!(deployment::RCHDROID_SYSTEM_DEPLOY_MS, 92_870);
+        assert_eq!(deployment::RUNTIMEDROID_PATCH_MS, (12_867, 161_598));
+    }
+}

@@ -1,0 +1,126 @@
+//! Fig. 13: the four runtime-change-issue showcases — Twitter (login box
+//! cleared), Disney+ (scroll reset), KJVBible (quiz timer reset) and
+//! Orbot (bridge selection reset).
+//!
+//! The paper shows screenshots; the simulator shows the state values:
+//! each app is driven to its "red box" state, the screen size changes,
+//! and the state is read back under stock Android 10 and under RCHDroid.
+
+use droidsim_device::{Device, HandlingMode};
+use rch_workloads::top100_specs;
+
+/// One showcase row.
+#[derive(Debug, Clone)]
+pub struct Fig13Row {
+    /// App name.
+    pub name: String,
+    /// The documented problem.
+    pub problem: String,
+    /// The user-visible state before the change.
+    pub before: String,
+    /// What stock Android shows after the change.
+    pub after_stock: String,
+    /// What RCHDroid shows after the change.
+    pub after_rchdroid: String,
+}
+
+/// The showcase.
+#[derive(Debug, Clone)]
+pub struct Fig13 {
+    /// The four example apps.
+    pub rows: Vec<Fig13Row>,
+}
+
+impl Fig13 {
+    /// Renders the showcase.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str("Fig. 13: runtime change issue examples (state before/after)\n");
+        for r in &self.rows {
+            out.push_str(&format!("\n{} — {}\n", r.name, r.problem));
+            out.push_str(&format!("  before change:       {:?}\n", r.before));
+            out.push_str(&format!("  after (Android-10):  {:?}\n", r.after_stock));
+            out.push_str(&format!("  after (RCHDroid):    {:?}\n", r.after_rchdroid));
+        }
+        out
+    }
+}
+
+/// The four apps Fig. 13 shows.
+pub const SHOWCASE: [&str; 4] = ["Twitter", "Disney+", "KJVBible", "Orbot"];
+
+fn state_after_one_change(spec: &rch_workloads::GenericAppSpec, mode: HandlingMode) -> String {
+    let mut device = Device::new(mode);
+    let probe = spec.build();
+    let _ = device
+        .install_and_launch(Box::new(spec.build()), spec.base_memory_bytes, spec.complexity)
+        .expect("launch");
+    device
+        .with_foreground_activity_mut(|a| probe.apply_user_state(a))
+        .expect("foreground");
+    let _ = device.rotate();
+    device
+        .with_foreground_activity_mut(|a| {
+            probe
+                .surviving_state(a)
+                .first()
+                .map(|(item, survived)| {
+                    if *survived {
+                        item.test_value.clone()
+                    } else {
+                        "<reset to default>".to_owned()
+                    }
+                })
+                .unwrap_or_default()
+        })
+        .unwrap_or_else(|_| "<app crashed>".to_owned())
+}
+
+/// Runs the showcase.
+pub fn run() -> Fig13 {
+    let specs = top100_specs();
+    let rows = SHOWCASE
+        .iter()
+        .map(|&name| {
+            let spec = specs.iter().find(|s| s.name == name).expect("showcase app in Table 5");
+            Fig13Row {
+                name: spec.name.clone(),
+                problem: spec.issue.clone().unwrap_or_default(),
+                before: spec.state_items[0].test_value.clone(),
+                after_stock: state_after_one_change(spec, HandlingMode::Android10),
+                after_rchdroid: state_after_one_change(spec, HandlingMode::rchdroid_default()),
+            }
+        })
+        .collect();
+    Fig13 { rows }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::{run_app, RunConfig};
+
+    #[test]
+    fn all_four_examples_lose_state_under_stock_and_keep_it_under_rchdroid() {
+        let fig = run();
+        assert_eq!(fig.rows.len(), 4);
+        for r in &fig.rows {
+            assert_eq!(r.after_stock, "<reset to default>", "{}", r.name);
+            assert_eq!(r.after_rchdroid, r.before, "{}", r.name);
+        }
+    }
+
+    #[test]
+    fn scenario_runner_agrees() {
+        // Cross-check via the standard single-change scenario.
+        let specs = top100_specs();
+        for &name in &SHOWCASE {
+            let spec = specs.iter().find(|s| s.name == name).unwrap();
+            let stock = run_app(spec, &RunConfig::new(HandlingMode::Android10).changes(1));
+            let rch =
+                run_app(spec, &RunConfig::new(HandlingMode::rchdroid_default()).changes(1));
+            assert!(stock.issue_observed(), "{name}");
+            assert!(!rch.issue_observed(), "{name}");
+        }
+    }
+}

@@ -1,0 +1,117 @@
+//! Fig. 7: runtime change handling time, RCHDroid vs Android-10, on the
+//! TP-27 set.
+//!
+//! Each app runs the 4-change workflow under both systems; the reported
+//! per-app number is the mean handling latency. The paper's headline:
+//! RCHDroid saves 25.46 % on average.
+
+use crate::scenario::{run_app, RunConfig};
+use droidsim_device::HandlingMode;
+use droidsim_metrics::Summary;
+use rch_workloads::tp27_specs;
+
+/// One app's bar pair.
+#[derive(Debug, Clone)]
+pub struct Fig7Row {
+    /// App name.
+    pub name: String,
+    /// Mean handling latency under Android 10 (ms).
+    pub android10_ms: f64,
+    /// Mean handling latency under RCHDroid (ms).
+    pub rchdroid_ms: f64,
+}
+
+impl Fig7Row {
+    /// Relative saving for this app.
+    pub fn saving(&self) -> f64 {
+        (self.android10_ms - self.rchdroid_ms) / self.android10_ms
+    }
+}
+
+/// The figure's data.
+#[derive(Debug, Clone)]
+pub struct Fig7 {
+    /// Per-app pairs.
+    pub rows: Vec<Fig7Row>,
+}
+
+impl Fig7 {
+    /// Mean saving across apps (the paper's 25.46 %).
+    pub fn mean_saving(&self) -> f64 {
+        let stock = Summary::of(&self.rows.iter().map(|r| r.android10_ms).collect::<Vec<_>>());
+        let rch = Summary::of(&self.rows.iter().map(|r| r.rchdroid_ms).collect::<Vec<_>>());
+        rch.saving_vs(&stock)
+    }
+
+    /// Renders the series.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str("Fig. 7: runtime change handling time (ms), TP-27 set\n");
+        out.push_str(&format!("{:<18} {:>12} {:>12} {:>9}\n", "App", "Android-10", "RCHDroid", "Saving"));
+        for r in &self.rows {
+            out.push_str(&format!(
+                "{:<18} {:>12.1} {:>12.1} {:>8.1}%\n",
+                r.name,
+                r.android10_ms,
+                r.rchdroid_ms,
+                r.saving() * 100.0
+            ));
+        }
+        out.push_str(&format!(
+            "=> average saving: {:.2}% (paper: 25.46%)\n",
+            self.mean_saving() * 100.0
+        ));
+        out
+    }
+}
+
+/// Runs the Fig. 7 experiment. Async tasks are disabled so every app
+/// survives the full stock sequence (latency comparison needs equal
+/// change counts; crashes are Table 3's subject).
+pub fn run() -> Fig7 {
+    let rows = tp27_specs()
+        .iter()
+        .map(|spec| {
+            let mut spec = spec.clone();
+            spec.uses_async_task = false;
+            let stock = run_app(&spec, &RunConfig::new(HandlingMode::Android10));
+            let rch = run_app(&spec, &RunConfig::new(HandlingMode::rchdroid_default()));
+            Fig7Row {
+                name: spec.name.clone(),
+                android10_ms: stock.mean_latency_ms(),
+                rchdroid_ms: rch.mean_latency_ms(),
+            }
+        })
+        .collect();
+    Fig7 { rows }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn saving_is_near_the_papers_25_percent() {
+        let fig = run();
+        assert_eq!(fig.rows.len(), 27);
+        let saving = fig.mean_saving() * 100.0;
+        assert!((20.0..=32.0).contains(&saving), "saving = {saving:.2}% (paper: 25.46%)");
+    }
+
+    #[test]
+    fn rchdroid_wins_on_every_app() {
+        let fig = run();
+        for r in &fig.rows {
+            assert!(r.rchdroid_ms < r.android10_ms, "{}", r.name);
+        }
+    }
+
+    #[test]
+    fn latencies_are_in_plausible_ranges() {
+        let fig = run();
+        for r in &fig.rows {
+            assert!((100.0..=260.0).contains(&r.android10_ms), "{}: {}", r.name, r.android10_ms);
+            assert!((70.0..=220.0).contains(&r.rchdroid_ms), "{}: {}", r.name, r.rchdroid_ms);
+        }
+    }
+}

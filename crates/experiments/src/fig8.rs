@@ -1,0 +1,112 @@
+//! Fig. 8: memory usage, RCHDroid vs Android-10, on the TP-27 set.
+//!
+//! Memory is read right after the runtime changes, while RCHDroid still
+//! holds the shadow instance. Paper: 53.53 MB vs 47.56 MB on average
+//! (1.12×).
+
+use crate::scenario::{run_app, RunConfig};
+use droidsim_device::HandlingMode;
+use droidsim_metrics::Summary;
+use rch_workloads::tp27_specs;
+
+/// One app's bar pair.
+#[derive(Debug, Clone)]
+pub struct Fig8Row {
+    /// App name.
+    pub name: String,
+    /// PSS under Android 10 (MiB).
+    pub android10_mib: f64,
+    /// PSS under RCHDroid (MiB).
+    pub rchdroid_mib: f64,
+}
+
+/// The figure's data.
+#[derive(Debug, Clone)]
+pub struct Fig8 {
+    /// Per-app pairs.
+    pub rows: Vec<Fig8Row>,
+}
+
+impl Fig8 {
+    /// Mean PSS under Android 10.
+    pub fn mean_android10(&self) -> f64 {
+        Summary::of(&self.rows.iter().map(|r| r.android10_mib).collect::<Vec<_>>()).mean
+    }
+
+    /// Mean PSS under RCHDroid.
+    pub fn mean_rchdroid(&self) -> f64 {
+        Summary::of(&self.rows.iter().map(|r| r.rchdroid_mib).collect::<Vec<_>>()).mean
+    }
+
+    /// RCHDroid/stock memory ratio (the paper's 1.12×).
+    pub fn ratio(&self) -> f64 {
+        self.mean_rchdroid() / self.mean_android10()
+    }
+
+    /// Renders the series.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str("Fig. 8: memory usage (MiB), TP-27 set\n");
+        out.push_str(&format!("{:<18} {:>12} {:>12}\n", "App", "Android-10", "RCHDroid"));
+        for r in &self.rows {
+            out.push_str(&format!(
+                "{:<18} {:>12.2} {:>12.2}\n",
+                r.name, r.android10_mib, r.rchdroid_mib
+            ));
+        }
+        out.push_str(&format!(
+            "=> averages: Android-10 {:.2} MiB, RCHDroid {:.2} MiB, ratio {:.2}x \
+             (paper: 47.56 / 53.53 / 1.12x)\n",
+            self.mean_android10(),
+            self.mean_rchdroid(),
+            self.ratio()
+        ));
+        out
+    }
+}
+
+/// Runs the Fig. 8 experiment.
+pub fn run() -> Fig8 {
+    let rows = tp27_specs()
+        .iter()
+        .map(|spec| {
+            let mut spec = spec.clone();
+            spec.uses_async_task = false; // a crashed process reads 0 MiB
+            let stock = run_app(&spec, &RunConfig::new(HandlingMode::Android10));
+            let rch = run_app(&spec, &RunConfig::new(HandlingMode::rchdroid_default()));
+            Fig8Row {
+                name: spec.name.clone(),
+                android10_mib: stock.memory_mib,
+                rchdroid_mib: rch.memory_mib,
+            }
+        })
+        .collect();
+    Fig8 { rows }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn averages_match_the_paper_band() {
+        let fig = run();
+        let stock = fig.mean_android10();
+        let rch = fig.mean_rchdroid();
+        assert!((45.0..=51.0).contains(&stock), "Android-10 mean = {stock:.2} (paper 47.56)");
+        assert!((50.0..=57.0).contains(&rch), "RCHDroid mean = {rch:.2} (paper 53.53)");
+        let ratio = fig.ratio();
+        assert!((1.08..=1.16).contains(&ratio), "ratio = {ratio:.3} (paper 1.12)");
+    }
+
+    #[test]
+    fn overhead_is_exactly_one_extra_instance() {
+        let fig = run();
+        for r in &fig.rows {
+            assert!(r.rchdroid_mib > r.android10_mib, "{}", r.name);
+            // The shadow instance is bounded by the app's activity heap
+            // (≤ 7 MiB for TP-27 apps) plus the saved bundle.
+            assert!(r.rchdroid_mib - r.android10_mib < 8.0, "{}", r.name);
+        }
+    }
+}

@@ -1,0 +1,41 @@
+//! Experiment harnesses reproducing every table and figure of the
+//! paper's evaluation (§5 and §6).
+//!
+//! Each module regenerates one result and prints the same rows/series the
+//! paper reports; the binaries in `src/bin/` are thin wrappers. The
+//! mapping to the paper:
+//!
+//! | Module | Paper result |
+//! |---|---|
+//! | [`table3`]  | Table 3 — effectiveness on the TP-27 set (25/27) |
+//! | [`fig7`]    | Fig. 7 — per-app handling time, RCHDroid vs Android-10 |
+//! | [`fig8`]    | Fig. 8 — per-app memory usage |
+//! | [`fig9`]    | Fig. 9 — CPU/memory trace incl. the Android-10 crash |
+//! | [`fig10`]   | Fig. 10 — scalability in view count (a: handling, b: migration) |
+//! | [`fig11`]   | Fig. 11 — GC THRESH_T trade-off |
+//! | [`fig12`]   | Fig. 12 + Table 4 — RuntimeDroid comparison |
+//! | [`table5`]  | Table 5 + Fig. 14 — Google-Play top-100 study |
+//! | [`energy`]  | §5.6 — board power |
+//! | [`ablation`] | design-choice ablations (not in the paper; DESIGN.md §5) |
+//!
+//! All harnesses run on the deterministic simulator; see DESIGN.md for the
+//! substitution rationale and EXPERIMENTS.md for paper-vs-measured values.
+
+pub mod ablation;
+pub mod breakdown;
+pub mod detector;
+pub mod energy;
+pub mod fig10;
+pub mod fig11;
+pub mod fig12;
+pub mod fig13;
+pub mod fig7;
+pub mod fig8;
+pub mod fig9;
+pub mod report;
+pub mod scenario;
+pub mod table3;
+pub mod table5;
+pub mod variance;
+
+pub use scenario::{run_app, RunConfig, RunOutcome};

@@ -1,0 +1,36 @@
+//! Deterministic discrete-event simulation kernel.
+//!
+//! The whole RCHDroid reproduction runs on a *virtual* clock: there are no OS
+//! threads, no wall-clock reads, and every run is reproducible from a seed.
+//! This crate provides the three primitives everything else builds on:
+//!
+//! * [`SimTime`] / [`SimDuration`] — microsecond-resolution virtual time,
+//! * [`EventQueue`] — a monotone priority queue of timestamped events with
+//!   FIFO tie-breaking (two events scheduled for the same instant fire in the
+//!   order they were scheduled),
+//! * [`SplitMix64`] / [`Xoshiro256`] — small, dependency-free deterministic
+//!   PRNGs used for workload generation and jitter injection,
+//! * [`IdGen`] — monotonically increasing id allocation for tokens, views,
+//!   records, …
+//!
+//! # Examples
+//!
+//! ```
+//! use droidsim_kernel::{EventQueue, SimDuration, SimTime};
+//!
+//! let mut q: EventQueue<&'static str> = EventQueue::new();
+//! q.schedule(SimTime::ZERO + SimDuration::from_millis(5), "second");
+//! q.schedule(SimTime::ZERO, "first");
+//! assert_eq!(q.pop().map(|e| e.payload), Some("first"));
+//! assert_eq!(q.pop().map(|e| e.payload), Some("second"));
+//! ```
+
+pub mod id;
+pub mod queue;
+pub mod rng;
+pub mod time;
+
+pub use id::IdGen;
+pub use queue::{Event, EventQueue};
+pub use rng::{SplitMix64, Xoshiro256};
+pub use time::{SimDuration, SimTime};

@@ -1,0 +1,179 @@
+//! Timestamped event queue with deterministic FIFO tie-breaking.
+
+use crate::time::SimTime;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// A scheduled event: a payload due at a virtual instant.
+#[derive(Debug, Clone)]
+pub struct Event<P> {
+    /// When the event fires.
+    pub at: SimTime,
+    /// Monotone sequence number; breaks ties between events scheduled for
+    /// the same instant (earlier-scheduled fires first).
+    pub seq: u64,
+    /// The event payload.
+    pub payload: P,
+}
+
+#[derive(Debug)]
+struct HeapEntry<P>(Event<P>);
+
+impl<P> PartialEq for HeapEntry<P> {
+    fn eq(&self, other: &Self) -> bool {
+        self.0.at == other.0.at && self.0.seq == other.0.seq
+    }
+}
+
+impl<P> Eq for HeapEntry<P> {}
+
+impl<P> PartialOrd for HeapEntry<P> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<P> Ord for HeapEntry<P> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest (time, seq) pops
+        // first.
+        (other.0.at, other.0.seq).cmp(&(self.0.at, self.0.seq))
+    }
+}
+
+/// A monotone priority queue of timestamped events.
+///
+/// Events pop in `(time, insertion order)` order, which makes simulations
+/// built on it fully deterministic.
+///
+/// # Examples
+///
+/// ```
+/// use droidsim_kernel::{EventQueue, SimTime};
+///
+/// let mut q = EventQueue::new();
+/// q.schedule(SimTime::from_millis(3), 'b');
+/// q.schedule(SimTime::from_millis(3), 'c');
+/// q.schedule(SimTime::from_millis(1), 'a');
+/// let order: Vec<char> = std::iter::from_fn(|| q.pop().map(|e| e.payload)).collect();
+/// assert_eq!(order, vec!['a', 'b', 'c']);
+/// ```
+#[derive(Debug)]
+pub struct EventQueue<P> {
+    heap: BinaryHeap<HeapEntry<P>>,
+    next_seq: u64,
+}
+
+impl<P> EventQueue<P> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        EventQueue { heap: BinaryHeap::new(), next_seq: 0 }
+    }
+
+    /// Schedules `payload` to fire at `at`. Returns the event's sequence
+    /// number (useful for cancellation bookkeeping by the caller).
+    pub fn schedule(&mut self, at: SimTime, payload: P) -> u64 {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(HeapEntry(Event { at, seq, payload }));
+        seq
+    }
+
+    /// Removes and returns the earliest event, or `None` if empty.
+    pub fn pop(&mut self) -> Option<Event<P>> {
+        self.heap.pop().map(|e| e.0)
+    }
+
+    /// The instant of the earliest pending event, if any.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|e| e.0.at)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Drops every pending event.
+    pub fn clear(&mut self) {
+        self.heap.clear();
+    }
+}
+
+impl<P> Default for EventQueue<P> {
+    fn default() -> Self {
+        EventQueue::new()
+    }
+}
+
+impl<P> std::iter::Extend<(SimTime, P)> for EventQueue<P> {
+    fn extend<T: IntoIterator<Item = (SimTime, P)>>(&mut self, iter: T) {
+        for (at, payload) in iter {
+            self.schedule(at, payload);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimDuration;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_millis(5), 5);
+        q.schedule(SimTime::from_millis(1), 1);
+        q.schedule(SimTime::from_millis(3), 3);
+        assert_eq!(q.pop().unwrap().payload, 1);
+        assert_eq!(q.pop().unwrap().payload, 3);
+        assert_eq!(q.pop().unwrap().payload, 5);
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn ties_break_fifo() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_millis(2);
+        for i in 0..100 {
+            q.schedule(t, i);
+        }
+        for i in 0..100 {
+            assert_eq!(q.pop().unwrap().payload, i);
+        }
+    }
+
+    #[test]
+    fn interleaved_schedule_pop_stays_deterministic() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_millis(10), "late");
+        q.schedule(SimTime::from_millis(1), "early");
+        assert_eq!(q.pop().unwrap().payload, "early");
+        q.schedule(SimTime::from_millis(5), "mid");
+        assert_eq!(q.pop().unwrap().payload, "mid");
+        assert_eq!(q.pop().unwrap().payload, "late");
+    }
+
+    #[test]
+    fn peek_time_reports_earliest() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.peek_time(), None);
+        q.schedule(SimTime::from_millis(7), ());
+        q.schedule(SimTime::from_millis(2), ());
+        assert_eq!(q.peek_time(), Some(SimTime::from_millis(2)));
+    }
+
+    #[test]
+    fn extend_schedules_all() {
+        let mut q = EventQueue::new();
+        q.extend((0..4u64).map(|i| (SimTime::ZERO + SimDuration::from_millis(i), i)));
+        assert_eq!(q.len(), 4);
+        q.clear();
+        assert!(q.is_empty());
+    }
+}

@@ -1,0 +1,35 @@
+//! Message queues and asynchronous tasks on the virtual clock.
+//!
+//! Android's threading contract is central to the paper's problem
+//! statement: only the activity (UI) thread may touch the view tree, so
+//! worker threads finish by *posting a message* to the UI thread's queue;
+//! the message runs a user-defined callback which updates views. If a
+//! restart destroyed those views in the meantime, the callback crashes the
+//! app (Fig. 1a). This crate models exactly that machinery:
+//!
+//! * [`MessageQueue`] — a per-thread queue of timestamped messages,
+//! * [`AsyncTaskPool`] — in-flight background work; each task completes at
+//!   a virtual deadline and delivers its payload to the UI queue,
+//!   supporting cancellation (which well-written apps do and the TP-set
+//!   apps famously do not).
+//!
+//! # Examples
+//!
+//! ```
+//! use droidsim_kernel::{SimDuration, SimTime};
+//! use droidsim_looper::AsyncTaskPool;
+//!
+//! let mut pool: AsyncTaskPool<&'static str> = AsyncTaskPool::new();
+//! let start = SimTime::ZERO;
+//! pool.spawn(start, SimDuration::from_secs(5), "update images");
+//! assert!(pool.completions_until(start + SimDuration::from_secs(1)).is_empty());
+//! let done = pool.completions_until(start + SimDuration::from_secs(5));
+//! assert_eq!(done.len(), 1);
+//! assert_eq!(done[0].payload, "update images");
+//! ```
+
+pub mod message;
+pub mod task;
+
+pub use message::{Message, MessageQueue};
+pub use task::{AsyncTaskId, AsyncTaskPool, TaskCompletion};

@@ -1,0 +1,122 @@
+//! Per-thread message queues.
+
+use droidsim_kernel::{EventQueue, SimTime};
+
+/// A message delivered to a thread's looper at a virtual instant.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Message<M> {
+    /// Delivery time.
+    pub when: SimTime,
+    /// Payload.
+    pub what: M,
+}
+
+/// A thread's message queue (Android `MessageQueue` + `Looper` combined:
+/// the simulator's scheduler plays the role of `Looper.loop()`).
+///
+/// # Examples
+///
+/// ```
+/// use droidsim_kernel::SimTime;
+/// use droidsim_looper::MessageQueue;
+///
+/// let mut q = MessageQueue::new();
+/// q.post(SimTime::from_millis(10), "later");
+/// q.post(SimTime::from_millis(1), "sooner");
+/// let due = q.drain_until(SimTime::from_millis(5));
+/// assert_eq!(due.len(), 1);
+/// assert_eq!(due[0].what, "sooner");
+/// ```
+#[derive(Debug)]
+pub struct MessageQueue<M> {
+    queue: EventQueue<M>,
+}
+
+impl<M> MessageQueue<M> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        MessageQueue { queue: EventQueue::new() }
+    }
+
+    /// Posts a message for delivery at `when`.
+    pub fn post(&mut self, when: SimTime, what: M) {
+        self.queue.schedule(when, what);
+    }
+
+    /// Removes and returns every message due at or before `now`, in
+    /// delivery order.
+    pub fn drain_until(&mut self, now: SimTime) -> Vec<Message<M>> {
+        let mut due = Vec::new();
+        while let Some(t) = self.queue.peek_time() {
+            if t > now {
+                break;
+            }
+            let event = self.queue.pop().expect("peeked event exists");
+            due.push(Message { when: event.at, what: event.payload });
+        }
+        due
+    }
+
+    /// The delivery time of the next pending message.
+    pub fn next_due(&self) -> Option<SimTime> {
+        self.queue.peek_time()
+    }
+
+    /// Number of pending messages.
+    pub fn len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.queue.is_empty()
+    }
+
+    /// Drops all pending messages (process death).
+    pub fn clear(&mut self) {
+        self.queue.clear();
+    }
+}
+
+impl<M> Default for MessageQueue<M> {
+    fn default() -> Self {
+        MessageQueue::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn drain_respects_deadline() {
+        let mut q = MessageQueue::new();
+        q.post(SimTime::from_millis(1), 1);
+        q.post(SimTime::from_millis(2), 2);
+        q.post(SimTime::from_millis(10), 10);
+        let due = q.drain_until(SimTime::from_millis(2));
+        assert_eq!(due.iter().map(|m| m.what).collect::<Vec<_>>(), vec![1, 2]);
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.next_due(), Some(SimTime::from_millis(10)));
+    }
+
+    #[test]
+    fn same_instant_messages_preserve_post_order() {
+        let mut q = MessageQueue::new();
+        let t = SimTime::from_millis(3);
+        q.post(t, "a");
+        q.post(t, "b");
+        q.post(t, "c");
+        let due: Vec<&str> = q.drain_until(t).into_iter().map(|m| m.what).collect();
+        assert_eq!(due, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn clear_empties() {
+        let mut q = MessageQueue::new();
+        q.post(SimTime::ZERO, ());
+        q.clear();
+        assert!(q.is_empty());
+        assert!(q.drain_until(SimTime::from_secs(100)).is_empty());
+    }
+}

@@ -1,0 +1,168 @@
+//! Per-view attributes: the migratable "essence" of a view.
+
+use droidsim_bundle::Bundle;
+use serde::{Deserialize, Serialize};
+
+/// A view's attribute set.
+///
+/// The fields cover what Table 1's migration policies move between trees
+/// (text, drawable, selector position, checked items, video URI, progress)
+/// plus scroll offset and checked state, which Android's view hierarchy
+/// state saves. Fields irrelevant to a given view kind simply stay `None`.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct ViewAttrs {
+    /// Displayed or entered text (TextView family).
+    pub text: Option<String>,
+    /// Drawable asset name and decoded byte size (ImageView).
+    pub drawable: Option<(String, u64)>,
+    /// Selector position (AbsListView family).
+    pub selector_position: Option<i32>,
+    /// Checked item positions (AbsListView family).
+    pub checked_items: Vec<i32>,
+    /// Scroll offset in px (scrolling views).
+    pub scroll_y: i32,
+    /// Video URI (VideoView).
+    pub video_uri: Option<String>,
+    /// Progress in `[0, max]` (ProgressBar family).
+    pub progress: Option<i32>,
+    /// Two-state checked flag (CheckBox).
+    pub checked: Option<bool>,
+    /// Whether the view is enabled.
+    pub enabled: bool,
+    /// Whether the view is visible.
+    pub visible: bool,
+}
+
+impl ViewAttrs {
+    /// Attributes of a freshly constructed view.
+    pub fn new() -> Self {
+        ViewAttrs { enabled: true, visible: true, ..ViewAttrs::default() }
+    }
+
+    /// Approximate heap footprint of this attribute set in bytes — the
+    /// memory model charges drawables at their decoded size.
+    pub fn heap_bytes(&self) -> u64 {
+        let mut bytes = 64; // object header + scalar fields
+        if let Some(t) = &self.text {
+            bytes += t.len() as u64;
+        }
+        if let Some((name, decoded)) = &self.drawable {
+            bytes += name.len() as u64 + decoded;
+        }
+        if let Some(u) = &self.video_uri {
+            bytes += u.len() as u64;
+        }
+        bytes += self.checked_items.len() as u64 * 4;
+        bytes
+    }
+
+    /// Saves the *user state* (what `View.onSaveInstanceState` persists:
+    /// entered text, scroll, selection, checked state, progress — not
+    /// static content like drawables) into a bundle.
+    pub fn save_user_state(&self) -> Bundle {
+        let mut b = Bundle::new();
+        if let Some(t) = &self.text {
+            b.put_string("text", t);
+        }
+        if let Some(p) = self.selector_position {
+            b.put_i32("selector_position", p);
+        }
+        if !self.checked_items.is_empty() {
+            b.put("checked_items", self.checked_items.clone());
+        }
+        if self.scroll_y != 0 {
+            b.put_i32("scroll_y", self.scroll_y);
+        }
+        if let Some(p) = self.progress {
+            b.put_i32("progress", p);
+        }
+        if let Some(c) = self.checked {
+            b.put_bool("checked", c);
+        }
+        b
+    }
+
+    /// Restores user state saved by [`ViewAttrs::save_user_state`].
+    /// Missing keys leave the current value untouched.
+    pub fn restore_user_state(&mut self, state: &Bundle) {
+        if let Some(t) = state.string("text") {
+            self.text = Some(t.to_owned());
+        }
+        if let Some(p) = state.i32("selector_position") {
+            self.selector_position = Some(p);
+        }
+        if let Some(droidsim_bundle::Value::I32List(items)) = state.get("checked_items") {
+            self.checked_items = items.clone();
+        }
+        if let Some(s) = state.i32("scroll_y") {
+            self.scroll_y = s;
+        }
+        if let Some(p) = state.i32("progress") {
+            self.progress = Some(p);
+        }
+        if let Some(c) = state.bool("checked") {
+            self.checked = Some(c);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rich_attrs() -> ViewAttrs {
+        let mut a = ViewAttrs::new();
+        a.text = Some("draft".to_owned());
+        a.selector_position = Some(3);
+        a.checked_items = vec![1, 2];
+        a.scroll_y = 480;
+        a.progress = Some(66);
+        a.checked = Some(true);
+        a
+    }
+
+    #[test]
+    fn save_restore_round_trips_user_state() {
+        let original = rich_attrs();
+        let saved = original.save_user_state();
+        let mut restored = ViewAttrs::new();
+        restored.restore_user_state(&saved);
+        assert_eq!(restored.text, original.text);
+        assert_eq!(restored.selector_position, original.selector_position);
+        assert_eq!(restored.checked_items, original.checked_items);
+        assert_eq!(restored.scroll_y, original.scroll_y);
+        assert_eq!(restored.progress, original.progress);
+        assert_eq!(restored.checked, original.checked);
+    }
+
+    #[test]
+    fn drawables_are_content_not_user_state() {
+        let mut a = ViewAttrs::new();
+        a.drawable = Some(("hero.png".to_owned(), 10_000));
+        assert!(a.save_user_state().is_empty());
+    }
+
+    #[test]
+    fn restore_leaves_unsaved_fields_alone() {
+        let mut target = ViewAttrs::new();
+        target.text = Some("keep me".to_owned());
+        target.restore_user_state(&Bundle::new());
+        assert_eq!(target.text.as_deref(), Some("keep me"));
+    }
+
+    #[test]
+    fn heap_accounts_for_drawable_bytes() {
+        let mut a = ViewAttrs::new();
+        let base = a.heap_bytes();
+        a.drawable = Some(("x.png".to_owned(), 1_000_000));
+        assert!(a.heap_bytes() >= base + 1_000_000);
+    }
+
+    #[test]
+    fn new_is_enabled_and_visible() {
+        let a = ViewAttrs::new();
+        assert!(a.enabled);
+        assert!(a.visible);
+        assert_eq!(a.scroll_y, 0);
+    }
+}

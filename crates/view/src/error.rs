@@ -1,0 +1,92 @@
+//! View-system errors, including the two crash exceptions from the paper's
+//! motivation (Fig. 1): `NullPointerException` and `WindowLeakedException`.
+
+use crate::tree::ViewId;
+use core::fmt;
+
+/// Errors raised by view-tree operations.
+///
+/// `NullPointer` and `WindowLeaked` model the exceptions that crash apps
+/// when an asynchronous task returns after a restarting-based runtime
+/// change has released the view tree (§2.3 of the paper).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ViewError {
+    /// The view id does not exist in this tree.
+    UnknownView(ViewId),
+    /// The target tree has been released (activity destroyed); touching any
+    /// view dereferences null — crashes the app on stock Android.
+    NullPointer {
+        /// The view the callback tried to update.
+        view: ViewId,
+    },
+    /// A window-scoped resource (dialog, video surface) outlived its
+    /// activity's window.
+    WindowLeaked {
+        /// The offending view.
+        view: ViewId,
+    },
+    /// Attempt to add a child to a non-container view.
+    NotAContainer {
+        /// The would-be parent.
+        parent: ViewId,
+    },
+    /// An operation that does not apply to the view's kind (e.g.
+    /// `SetProgress` on a `TextView`). Android silently ignores some of
+    /// these; the simulator surfaces them so tests can assert policy
+    /// dispatch is exact.
+    InapplicableOp {
+        /// Target view.
+        view: ViewId,
+        /// Operation name.
+        op: &'static str,
+    },
+}
+
+impl fmt::Display for ViewError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ViewError::UnknownView(v) => write!(f, "unknown view {v}"),
+            ViewError::NullPointer { view } => {
+                write!(f, "java.lang.NullPointerException: view {view} of a destroyed activity")
+            }
+            ViewError::WindowLeaked { view } => {
+                write!(f, "android.view.WindowLeaked: view {view} outlived its window")
+            }
+            ViewError::NotAContainer { parent } => {
+                write!(f, "view {parent} is not a view group")
+            }
+            ViewError::InapplicableOp { view, op } => {
+                write!(f, "operation {op} does not apply to view {view}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ViewError {}
+
+impl ViewError {
+    /// Whether this error crashes the app (uncaught exception) under stock
+    /// Android semantics.
+    pub fn is_crash(&self) -> bool {
+        matches!(self, ViewError::NullPointer { .. } | ViewError::WindowLeaked { .. })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crash_classification() {
+        assert!(ViewError::NullPointer { view: ViewId::new(1) }.is_crash());
+        assert!(ViewError::WindowLeaked { view: ViewId::new(1) }.is_crash());
+        assert!(!ViewError::UnknownView(ViewId::new(1)).is_crash());
+        assert!(!ViewError::NotAContainer { parent: ViewId::new(1) }.is_crash());
+    }
+
+    #[test]
+    fn display_mentions_java_exception() {
+        let e = ViewError::NullPointer { view: ViewId::new(3) };
+        assert!(e.to_string().contains("NullPointerException"));
+    }
+}

@@ -1,0 +1,606 @@
+//! The view-tree arena.
+//!
+//! A [`ViewTree`] is the per-activity hierarchy rooted at a decor view.
+//! Besides the stock Android behaviour (structure, attribute mutation via
+//! [`ViewOp`], hierarchy state save/restore, invalidation), the tree also
+//! carries the *hook points* the paper's patch adds to `View`/`ViewGroup`
+//! (Table 2): a per-view **sunny peer pointer** (81+79 LoC of the patch)
+//! and shadow/sunny dispatch along the tree (12 LoC in `ViewGroup`).
+//! The hooks are inert unless a change handler uses them, so with no
+//! handler installed the tree behaves exactly like stock Android 10.
+
+use crate::attrs::ViewAttrs;
+use crate::error::ViewError;
+use crate::kind::{MigrationClass, ViewKind};
+use crate::ops::ViewOp;
+use droidsim_bundle::Bundle;
+use serde::{Deserialize, Serialize};
+
+droidsim_kernel::define_id! {
+    /// Identifies one view *instance* within a tree.
+    ///
+    /// Not to be confused with the `android:id` resource name
+    /// ([`ViewNode::id_name`]), which is what survives re-inflation and
+    /// keys both hierarchy state and RCHDroid's essence-based mapping.
+    pub struct ViewId
+}
+
+/// One view in the arena.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ViewNode {
+    /// Instance id within the tree.
+    pub id: ViewId,
+    /// The `android:id` name, if declared.
+    pub id_name: Option<String>,
+    /// Concrete class.
+    pub kind: ViewKind,
+    /// Attribute set.
+    pub attrs: ViewAttrs,
+    /// Parent instance (`None` only for the decor view).
+    pub parent: Option<ViewId>,
+    /// Children in order.
+    pub children: Vec<ViewId>,
+    /// RCHDroid hook: pointer to the corresponding view in the coupled
+    /// sunny-state tree. `None` by default (stock behaviour).
+    pub sunny_peer: Option<ViewId>,
+    /// Whether the view participates in hierarchy state save/restore.
+    /// Framework views do (`true`); a user-defined view that fails to
+    /// implement `onSaveInstanceState` — the most common cause of the
+    /// paper's state-loss bugs — does not. RCHDroid's essence migration
+    /// copies *live attributes* and therefore fixes these views anyway.
+    pub saves_state: bool,
+    /// Android's `freezesText`: whether the view's text is user input
+    /// that persists across save/restore (true for editable kinds).
+    /// Label text set by the app or from resources is content, not state.
+    pub freezes_text: bool,
+}
+
+impl ViewNode {
+    /// Approximate heap footprint in bytes (object + attrs).
+    pub fn heap_bytes(&self) -> u64 {
+        // Rough per-View object cost on ART; dominated by attrs/drawables.
+        512 + self.attrs.heap_bytes()
+    }
+}
+
+/// A per-activity view hierarchy.
+///
+/// # Examples
+///
+/// ```
+/// use droidsim_view::{ViewKind, ViewOp, ViewTree};
+///
+/// let mut tree = ViewTree::new();
+/// let field = tree.add_view(tree.root(), ViewKind::EditText, Some("name")).unwrap();
+/// tree.apply(field, ViewOp::SetText("alice".into())).unwrap();
+/// let state = tree.save_hierarchy_state();
+/// assert!(state.bundle("view:name").is_some());
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ViewTree {
+    nodes: Vec<Option<ViewNode>>,
+    root: ViewId,
+    released: bool,
+    pending_invalidations: Vec<ViewId>,
+    /// RCHDroid hook: when true the tree is in the Shadow state — it is
+    /// invisible but alive, and its invalidations are what lazy migration
+    /// consumes.
+    shadow: bool,
+    /// RCHDroid hook: when true the tree belongs to the Sunny (foreground)
+    /// activity.
+    sunny: bool,
+}
+
+impl ViewTree {
+    /// Creates a tree containing only a decor view.
+    pub fn new() -> Self {
+        let root = ViewId::new(0);
+        let decor = ViewNode {
+            id: root,
+            id_name: Some("decor".to_owned()),
+            kind: ViewKind::DecorView,
+            attrs: ViewAttrs::new(),
+            parent: None,
+            children: Vec::new(),
+            sunny_peer: None,
+            saves_state: true,
+            freezes_text: false,
+        };
+        ViewTree {
+            nodes: vec![Some(decor)],
+            root,
+            released: false,
+            pending_invalidations: Vec::new(),
+            shadow: false,
+            sunny: false,
+        }
+    }
+
+    /// The decor view's id.
+    pub fn root(&self) -> ViewId {
+        self.root
+    }
+
+    /// Whether the tree has been released (its activity destroyed).
+    pub fn is_released(&self) -> bool {
+        self.released
+    }
+
+    /// Releases the tree: every subsequent access raises
+    /// [`ViewError::NullPointer`] — the stock-Android crash scenario.
+    pub fn release(&mut self) {
+        self.released = true;
+        self.pending_invalidations.clear();
+    }
+
+    fn check_alive(&self, view: ViewId) -> Result<(), ViewError> {
+        if self.released {
+            return Err(ViewError::NullPointer { view });
+        }
+        Ok(())
+    }
+
+    /// Looks up a view.
+    ///
+    /// # Errors
+    ///
+    /// [`ViewError::NullPointer`] if the tree is released,
+    /// [`ViewError::UnknownView`] if the id is stale.
+    pub fn view(&self, id: ViewId) -> Result<&ViewNode, ViewError> {
+        self.check_alive(id)?;
+        self.nodes
+            .get(id.raw() as usize)
+            .and_then(Option::as_ref)
+            .ok_or(ViewError::UnknownView(id))
+    }
+
+    /// Mutable lookup; same errors as [`ViewTree::view`].
+    pub fn view_mut(&mut self, id: ViewId) -> Result<&mut ViewNode, ViewError> {
+        self.check_alive(id)?;
+        self.nodes
+            .get_mut(id.raw() as usize)
+            .and_then(Option::as_mut)
+            .ok_or(ViewError::UnknownView(id))
+    }
+
+    /// Adds a view under `parent`.
+    ///
+    /// # Errors
+    ///
+    /// [`ViewError::NotAContainer`] if `parent` cannot hold children, plus
+    /// the usual liveness errors.
+    pub fn add_view(
+        &mut self,
+        parent: ViewId,
+        kind: ViewKind,
+        id_name: Option<&str>,
+    ) -> Result<ViewId, ViewError> {
+        let parent_node = self.view(parent)?;
+        if !parent_node.kind.is_container() {
+            return Err(ViewError::NotAContainer { parent });
+        }
+        let id = ViewId::new(self.nodes.len() as u64);
+        let freezes_text = kind.is_editable();
+        self.nodes.push(Some(ViewNode {
+            id,
+            id_name: id_name.map(str::to_owned),
+            kind,
+            attrs: ViewAttrs::new(),
+            parent: Some(parent),
+            children: Vec::new(),
+            sunny_peer: None,
+            saves_state: true,
+            freezes_text,
+        }));
+        self.view_mut(parent)?.children.push(id);
+        Ok(id)
+    }
+
+    /// Removes a view and its whole subtree. Removing the decor view is
+    /// not allowed.
+    ///
+    /// # Errors
+    ///
+    /// Liveness errors; [`ViewError::InapplicableOp`] when targeting the
+    /// decor view.
+    pub fn remove_view(&mut self, id: ViewId) -> Result<(), ViewError> {
+        if id == self.root {
+            return Err(ViewError::InapplicableOp { view: id, op: "removeView(decor)" });
+        }
+        let parent = self.view(id)?.parent;
+        let mut stack = vec![id];
+        while let Some(current) = stack.pop() {
+            if let Some(node) = self.nodes.get_mut(current.raw() as usize).and_then(Option::take) {
+                stack.extend(node.children);
+            }
+        }
+        if let Some(parent) = parent {
+            if let Ok(p) = self.view_mut(parent) {
+                p.children.retain(|&c| c != id);
+            }
+        }
+        Ok(())
+    }
+
+    /// Applies a mutation and records an invalidation (the generic update
+    /// step that any view change funnels through).
+    ///
+    /// # Errors
+    ///
+    /// Liveness errors; [`ViewError::InapplicableOp`] when the op does not
+    /// fit the view's migration class.
+    pub fn apply(&mut self, id: ViewId, op: ViewOp) -> Result<(), ViewError> {
+        let node = self.view_mut(id)?;
+        let class = node.kind.migration_class();
+        let applicable = match (&op, class) {
+            (ViewOp::SetText(_), MigrationClass::TextView) => true,
+            (ViewOp::SetChecked(_), MigrationClass::TextView) => true, // CheckBox
+            (ViewOp::SetDrawable(..), MigrationClass::ImageView) => true,
+            (
+                ViewOp::SetSelection(_) | ViewOp::SetItemChecked(..),
+                MigrationClass::AbsListView,
+            ) => true,
+            (ViewOp::ScrollTo(_), MigrationClass::AbsListView | MigrationClass::Container) => true,
+            (ViewOp::SetVideoUri(_), MigrationClass::VideoView) => true,
+            (ViewOp::SetProgress(_), MigrationClass::ProgressBar) => true,
+            (ViewOp::SetEnabled(_) | ViewOp::SetVisible(_), _) => true,
+            _ => false,
+        };
+        if !applicable {
+            return Err(ViewError::InapplicableOp { view: id, op: op.name() });
+        }
+        match op {
+            ViewOp::SetText(t) => node.attrs.text = Some(t),
+            ViewOp::SetDrawable(name, bytes) => node.attrs.drawable = Some((name, bytes)),
+            ViewOp::SetSelection(p) => node.attrs.selector_position = Some(p),
+            ViewOp::SetItemChecked(item, checked) => {
+                if checked {
+                    if !node.attrs.checked_items.contains(&item) {
+                        node.attrs.checked_items.push(item);
+                        node.attrs.checked_items.sort_unstable();
+                    }
+                } else {
+                    node.attrs.checked_items.retain(|&i| i != item);
+                }
+            }
+            ViewOp::ScrollTo(y) => node.attrs.scroll_y = y,
+            ViewOp::SetVideoUri(u) => node.attrs.video_uri = Some(u),
+            ViewOp::SetProgress(p) => node.attrs.progress = Some(p),
+            ViewOp::SetChecked(c) => node.attrs.checked = Some(c),
+            ViewOp::SetEnabled(e) => node.attrs.enabled = e,
+            ViewOp::SetVisible(v) => node.attrs.visible = v,
+        }
+        self.invalidate(id)?;
+        Ok(())
+    }
+
+    /// Marks a view dirty. In stock Android this schedules a redraw; the
+    /// paper's patch modifies exactly this function to catch updates for
+    /// lazy migration, so the simulator records each invalidation for a
+    /// change handler to drain.
+    pub fn invalidate(&mut self, id: ViewId) -> Result<(), ViewError> {
+        self.view(id)?;
+        self.pending_invalidations.push(id);
+        Ok(())
+    }
+
+    /// Drains the invalidations recorded since the last drain, in order,
+    /// de-duplicated (a view invalidated twice migrates once).
+    pub fn drain_invalidations(&mut self) -> Vec<ViewId> {
+        let mut seen = std::collections::HashSet::new();
+        let drained: Vec<ViewId> = self
+            .pending_invalidations
+            .drain(..)
+            .filter(|id| seen.insert(*id))
+            .collect();
+        drained
+    }
+
+    /// Pre-order traversal of live view ids.
+    pub fn iter_ids(&self) -> Vec<ViewId> {
+        let mut out = Vec::new();
+        let mut stack = vec![self.root];
+        while let Some(id) = stack.pop() {
+            if let Some(node) = self.nodes.get(id.raw() as usize).and_then(Option::as_ref) {
+                out.push(id);
+                for &child in node.children.iter().rev() {
+                    stack.push(child);
+                }
+            }
+        }
+        out
+    }
+
+    /// Number of live views.
+    pub fn view_count(&self) -> usize {
+        self.nodes.iter().flatten().count()
+    }
+
+    /// Finds a view by its `android:id` name.
+    pub fn find_by_id_name(&self, id_name: &str) -> Option<ViewId> {
+        self.nodes
+            .iter()
+            .flatten()
+            .find(|n| n.id_name.as_deref() == Some(id_name))
+            .map(|n| n.id)
+    }
+
+    /// Total heap footprint of the hierarchy in bytes.
+    pub fn heap_bytes(&self) -> u64 {
+        self.nodes.iter().flatten().map(ViewNode::heap_bytes).sum()
+    }
+
+    /// Saves the hierarchy state: for every view *with an id name*, its
+    /// user state goes into the bundle under `view:{id_name}`. Views
+    /// without ids are skipped — exactly Android's (lossy) contract.
+    pub fn save_hierarchy_state(&self) -> Bundle {
+        let mut out = Bundle::new();
+        for id in self.iter_ids() {
+            let Ok(node) = self.view(id) else { continue };
+            if !node.saves_state {
+                continue; // custom view without onSaveInstanceState
+            }
+            if let Some(name) = &node.id_name {
+                let mut state = node.attrs.save_user_state();
+                if !node.freezes_text {
+                    state.remove("text");
+                }
+                if !state.is_empty() {
+                    out.put_bundle(&format!("view:{name}"), state);
+                }
+            }
+        }
+        out
+    }
+
+    /// Restores state previously produced by
+    /// [`ViewTree::save_hierarchy_state`], matching views by id name.
+    /// Unknown names are ignored (the new layout may not contain them).
+    pub fn restore_hierarchy_state(&mut self, state: &Bundle) {
+        for id in self.iter_ids() {
+            let Ok(node) = self.view(id) else { continue };
+            let Some(name) = node.id_name.clone() else { continue };
+            if let Some(saved) = state.bundle(&format!("view:{name}")) {
+                let saved = saved.clone();
+                if let Ok(node) = self.view_mut(id) {
+                    node.attrs.restore_user_state(&saved);
+                }
+            }
+        }
+    }
+
+    // ---- RCHDroid hook points (Table 2 patch surface) ----
+
+    /// Whether the tree is in the Shadow state.
+    pub fn is_shadow(&self) -> bool {
+        self.shadow
+    }
+
+    /// Whether the tree is in the Sunny state.
+    pub fn is_sunny(&self) -> bool {
+        self.sunny
+    }
+
+    /// `ViewGroup.dispatchShadowStateChanged`: flips the shadow flag for
+    /// the whole tree.
+    pub fn dispatch_shadow_state_changed(&mut self, shadow: bool) {
+        self.shadow = shadow;
+        if shadow {
+            self.sunny = false;
+        }
+    }
+
+    /// `ViewGroup.dispatchSunnyStateChanged`: flips the sunny flag for the
+    /// whole tree.
+    pub fn dispatch_sunny_state_changed(&mut self, sunny: bool) {
+        self.sunny = sunny;
+        if sunny {
+            self.shadow = false;
+        }
+    }
+
+    /// `Activity.getAllSunnyViews`: the hash table of id name → view id
+    /// built by traversing a sunny tree (the first half of the
+    /// essence-based mapping).
+    pub fn id_name_index(&self) -> std::collections::HashMap<String, ViewId> {
+        let mut index = std::collections::HashMap::new();
+        for id in self.iter_ids() {
+            if let Ok(node) = self.view(id) {
+                if let Some(name) = &node.id_name {
+                    index.entry(name.clone()).or_insert(id);
+                }
+            }
+        }
+        index
+    }
+
+    /// `Activity.setSunnyViews`: stores sunny-peer pointers on this
+    /// (shadow) tree by looking up each view's id name in a sunny tree's
+    /// index. Returns how many views were mapped.
+    pub fn set_sunny_peers(
+        &mut self,
+        sunny_index: &std::collections::HashMap<String, ViewId>,
+    ) -> usize {
+        let ids = self.iter_ids();
+        let mut mapped = 0;
+        for id in ids {
+            let Ok(node) = self.view_mut(id) else { continue };
+            node.sunny_peer = node.id_name.as_ref().and_then(|n| sunny_index.get(n)).copied();
+            if node.sunny_peer.is_some() {
+                mapped += 1;
+            }
+        }
+        mapped
+    }
+
+    /// Clears every sunny-peer pointer (used when the coupling is broken,
+    /// e.g. the shadow activity is garbage collected).
+    pub fn clear_sunny_peers(&mut self) {
+        for node in self.nodes.iter_mut().flatten() {
+            node.sunny_peer = None;
+        }
+    }
+}
+
+impl Default for ViewTree {
+    fn default() -> Self {
+        ViewTree::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tree_with_views() -> (ViewTree, ViewId, ViewId, ViewId) {
+        let mut t = ViewTree::new();
+        let panel = t.add_view(t.root(), ViewKind::LinearLayout, Some("panel")).unwrap();
+        let text = t.add_view(panel, ViewKind::EditText, Some("name")).unwrap();
+        let image = t.add_view(panel, ViewKind::ImageView, None).unwrap();
+        (t, panel, text, image)
+    }
+
+    #[test]
+    fn structure_is_navigable() {
+        let (t, panel, text, image) = tree_with_views();
+        assert_eq!(t.view_count(), 4);
+        assert_eq!(t.view(text).unwrap().parent, Some(panel));
+        assert_eq!(t.view(panel).unwrap().children, vec![text, image]);
+        assert_eq!(t.iter_ids(), vec![t.root(), panel, text, image]);
+    }
+
+    #[test]
+    fn leaf_views_reject_children() {
+        let (mut t, _, text, _) = tree_with_views();
+        let err = t.add_view(text, ViewKind::TextView, None).unwrap_err();
+        assert_eq!(err, ViewError::NotAContainer { parent: text });
+    }
+
+    #[test]
+    fn remove_view_drops_subtree() {
+        let (mut t, panel, _, _) = tree_with_views();
+        t.remove_view(panel).unwrap();
+        assert_eq!(t.view_count(), 1);
+        assert!(t.view(panel).is_err());
+    }
+
+    #[test]
+    fn decor_view_cannot_be_removed() {
+        let (mut t, ..) = tree_with_views();
+        assert!(t.remove_view(t.root()).is_err());
+    }
+
+    #[test]
+    fn apply_updates_attrs_and_invalidates() {
+        let (mut t, _, text, _) = tree_with_views();
+        t.apply(text, ViewOp::SetText("alice".into())).unwrap();
+        assert_eq!(t.view(text).unwrap().attrs.text.as_deref(), Some("alice"));
+        assert_eq!(t.drain_invalidations(), vec![text]);
+        assert!(t.drain_invalidations().is_empty(), "drain consumes");
+    }
+
+    #[test]
+    fn duplicate_invalidations_dedupe() {
+        let (mut t, _, text, image) = tree_with_views();
+        t.apply(text, ViewOp::SetText("a".into())).unwrap();
+        t.apply(image, ViewOp::SetDrawable("x.png".into(), 10)).unwrap();
+        t.apply(text, ViewOp::SetText("b".into())).unwrap();
+        assert_eq!(t.drain_invalidations(), vec![text, image]);
+    }
+
+    #[test]
+    fn inapplicable_op_is_rejected() {
+        let (mut t, _, text, _) = tree_with_views();
+        let err = t.apply(text, ViewOp::SetProgress(10)).unwrap_err();
+        assert_eq!(err, ViewError::InapplicableOp { view: text, op: "setProgress" });
+    }
+
+    #[test]
+    fn released_tree_raises_null_pointer() {
+        let (mut t, _, text, _) = tree_with_views();
+        t.release();
+        let err = t.apply(text, ViewOp::SetText("boom".into())).unwrap_err();
+        assert!(err.is_crash());
+        assert!(t.view(text).is_err());
+    }
+
+    #[test]
+    fn hierarchy_state_round_trips_by_id_name() {
+        let (mut t, ..) = tree_with_views();
+        let text = t.find_by_id_name("name").unwrap();
+        t.apply(text, ViewOp::SetText("draft".into())).unwrap();
+        let state = t.save_hierarchy_state();
+
+        // Fresh inflation of "the same layout" (same id names).
+        let (mut t2, ..) = tree_with_views();
+        t2.restore_hierarchy_state(&state);
+        let text2 = t2.find_by_id_name("name").unwrap();
+        assert_eq!(t2.view(text2).unwrap().attrs.text.as_deref(), Some("draft"));
+    }
+
+    #[test]
+    fn custom_views_without_save_impl_lose_state() {
+        let mut t = ViewTree::new();
+        let broken = t
+            .add_view(t.root(), ViewKind::from_class_name("com.app.BrokenEditText"), Some("field"))
+            .unwrap();
+        t.view_mut(broken).unwrap().saves_state = false;
+        t.apply(broken, ViewOp::SetText("typed".into())).unwrap();
+        let state = t.save_hierarchy_state();
+        assert!(state.bundle("view:field").is_none(), "skipped from the bundle");
+    }
+
+    #[test]
+    fn views_without_ids_lose_state() {
+        let (mut t, _, _, image) = tree_with_views();
+        t.apply(image, ViewOp::SetDrawable("hero.png".into(), 100)).unwrap();
+        // ImageView has no id and its drawable is content anyway: nothing
+        // saved under any anonymous key.
+        let state = t.save_hierarchy_state();
+        assert!(state.iter().all(|(k, _)| k != "view:"), "no anonymous entries");
+    }
+
+    #[test]
+    fn sunny_peer_mapping_by_id_name() {
+        let (mut shadow, ..) = tree_with_views();
+        let (sunny, ..) = tree_with_views();
+        let index = sunny.id_name_index();
+        let mapped = shadow.set_sunny_peers(&index);
+        // decor + panel + name have ids → 3 mapped; anonymous image not.
+        assert_eq!(mapped, 3);
+        let name_view = shadow.find_by_id_name("name").unwrap();
+        let peer = shadow.view(name_view).unwrap().sunny_peer.unwrap();
+        assert_eq!(peer, sunny.find_by_id_name("name").unwrap());
+        shadow.clear_sunny_peers();
+        assert!(shadow.view(name_view).unwrap().sunny_peer.is_none());
+    }
+
+    #[test]
+    fn shadow_sunny_dispatch_is_exclusive() {
+        let (mut t, ..) = tree_with_views();
+        t.dispatch_sunny_state_changed(true);
+        assert!(t.is_sunny() && !t.is_shadow());
+        t.dispatch_shadow_state_changed(true);
+        assert!(t.is_shadow() && !t.is_sunny());
+    }
+
+    #[test]
+    fn heap_grows_with_drawables() {
+        let (mut t, _, _, image) = tree_with_views();
+        let before = t.heap_bytes();
+        t.apply(image, ViewOp::SetDrawable("big.png".into(), 1 << 20)).unwrap();
+        assert!(t.heap_bytes() > before + (1 << 20) - 1);
+    }
+
+    #[test]
+    fn checked_items_toggle() {
+        let mut t = ViewTree::new();
+        let list = t.add_view(t.root(), ViewKind::ListView, Some("list")).unwrap();
+        t.apply(list, ViewOp::SetItemChecked(4, true)).unwrap();
+        t.apply(list, ViewOp::SetItemChecked(2, true)).unwrap();
+        t.apply(list, ViewOp::SetItemChecked(4, true)).unwrap();
+        assert_eq!(t.view(list).unwrap().attrs.checked_items, vec![2, 4]);
+        t.apply(list, ViewOp::SetItemChecked(2, false)).unwrap();
+        assert_eq!(t.view(list).unwrap().attrs.checked_items, vec![4]);
+    }
+}

@@ -1,0 +1,262 @@
+//! The Google-Play top-100 study (§6, Table 5).
+//!
+//! 63 of the 100 apps exhibit runtime-change issues under the stock
+//! restarting-based handling; of the remaining 37, 26 declare
+//! `android:configChanges` and handle changes themselves and 11 use the
+//! default handling without observable issues. RCHDroid fixes 59 of the
+//! 63 (§6 "Effectiveness"); the four exceptions — Filto (#2),
+//! HaircutPrank (#57), CastForChrome (#66) and KingJamesBible (#70) —
+//! keep the lossy state in unsaved member fields.
+//!
+//! (Table 5's last row, Wish, reads "Yes / No" in the paper; §6's counts
+//! — 63 with issues, 37 without — only add up if Wish is issue-free, so
+//! it is classified as restart-safe here.)
+
+use crate::generic::{GenericAppSpec, StateItem, StateMechanism};
+
+/// Rows of Table 5: `(name, downloads, problem)` where `problem` is
+/// `None` for issue-free apps.
+fn table5_rows() -> Vec<(&'static str, &'static str, Option<&'static str>)> {
+    vec![
+        ("AmazonPrimeVideo", "100M+", Some("State loss (text box)")),
+        ("Filto", "5M+", Some("State loss (selection list)")),
+        ("TikTok", "1B+", Some("State loss (text box)")),
+        ("Instagram", "1B+", None),
+        ("WhatsApp", "5B+", None),
+        ("CashApp", "50M+", None),
+        ("DeepCleaner", "10M+", None),
+        ("ZOOM", "500M+", None),
+        ("Disney+", "100M+", Some("State loss (scroll location)")),
+        ("Snapchat", "1B+", Some("State loss (login page)")),
+        ("AmazonShopping", "500M+", None),
+        ("Telegram", "1B+", Some("State loss (text box)")),
+        ("TorBrowser", "10M+", None),
+        ("MaxCleaner", "5M+", None),
+        ("Messenger", "5B+", None),
+        ("PeacockTV", "10M+", None),
+        ("WalmartShopping", "50M+", Some("State loss (scroll location)")),
+        ("McDonald's", "10M+", None),
+        ("Facebook", "5B+", Some("State loss (selection list)")),
+        ("NewsBreak", "50M+", Some("State loss (text box)")),
+        ("CapCut", "100M+", None),
+        ("QR&BarcodeScanner", "100M+", Some("State loss (zoom bar)")),
+        ("MicrosoftTeams", "100M+", Some("State loss (text box)")),
+        ("Indeed", "100M+", None),
+        ("Tubi", "100M+", None),
+        ("SHEIN", "100M+", Some("State loss (selection list)")),
+        ("TextNow", "50M+", Some("State loss (login page)")),
+        ("Twitter", "1B+", Some("State loss (text box)")),
+        ("Wonder", "1M+", None),
+        ("Netflix", "1B+", Some("State loss (FAQ list)")),
+        ("AllDocumentReader", "50M+", Some("State loss (selection list)")),
+        ("Roku", "50M+", None),
+        ("PlutoTV", "100M+", None),
+        ("DoorDash", "10M+", Some("State loss (selection list)")),
+        ("Uber", "500M+", None),
+        ("Discord", "100M+", Some("State loss (register page)")),
+        ("Audible", "100M+", Some("State loss (text box)")),
+        ("Ticketmaster", "10M+", Some("State loss (selection list)")),
+        ("Life360", "100M+", None),
+        ("Hulu", "50M+", Some("State loss (text box)")),
+        ("Orbot", "10M+", Some("State loss (selection list)")),
+        ("MovetoiOS", "100M+", Some("State loss (scroll location)")),
+        ("DailyDiary", "10M+", Some("State loss (text box)")),
+        ("Yoshion", "1M+", Some("State loss (selection list)")),
+        ("MSAuthenticator", "50M+", Some("State loss (text box)")),
+        ("PowerCleaner", "10M+", Some("State loss (report page)")),
+        ("SamsungSmartSwitch", "100M+", None),
+        ("Alibaba.com", "100M+", Some("State loss (selection list)")),
+        ("Reddit", "100M+", None),
+        ("Paramount+", "10M+", None),
+        ("Lyft", "50M+", None),
+        ("Pinterest", "500M+", Some("State loss (text box)")),
+        ("OfferUp", "50M+", None),
+        ("BeReal", "5M+", Some("State loss (text box)")),
+        ("UberEats", "100M+", Some("State loss (text box)")),
+        ("FetchRewards", "10M+", Some("State loss (scroll location)")),
+        ("HaircutPrank", "1M+", Some("State loss (volume bar)")),
+        ("MyBath&BodyWorks", "1M+", Some("State loss (scroll location)")),
+        ("Wholee", "5M+", Some("State loss (selection list)")),
+        ("UltraCleaner", "1M+", Some("State loss (file number)")),
+        ("eBay", "100M+", None),
+        ("FacebookLite", "1B+", Some("State loss (text box)")),
+        ("Adidas", "10M+", Some("State loss (product list)")),
+        ("Duolingo", "100M+", None),
+        ("BravoCleaner", "10M+", Some("State loss (selection list)")),
+        ("CastForChrome", "10M+", Some("State loss (selection list)")),
+        ("Waze", "100M+", None),
+        ("UltraSurf", "10M+", Some("State loss (selection list)")),
+        ("PetDiary", "500K+", Some("State loss (scroll location)")),
+        ("KingJamesBible", "50M+", Some("State loss (selection list)")),
+        ("EmailHome", "5M+", None),
+        ("CapitalOne", "10M+", None),
+        ("Plex", "10M+", None),
+        ("DoordashDasher", "10M+", Some("State loss (text box)")),
+        ("Shop", "10M+", None),
+        ("Expedia", "10M+", Some("State loss (text box)")),
+        ("ESPN", "50M+", Some("State loss (scroll location)")),
+        ("Pandora", "100M+", None),
+        ("Picsart", "500M+", Some("State loss (scroll location)")),
+        ("FileRecovery", "10M+", Some("State loss (report page)")),
+        ("Callapp", "100M+", Some("State loss (selection list)")),
+        ("Tinder", "100M+", Some("State loss (text box)")),
+        ("Etsy", "10M+", Some("State loss (text box)")),
+        ("SiriusXM", "10M+", None),
+        ("AliExpress", "500M+", Some("State loss (scroll location)")),
+        ("NFL", "100M+", None),
+        ("Adobe", "500M+", Some("State loss (login page)")),
+        ("KJVBible", "100K+", Some("State loss (timer state)")),
+        ("HomeDepot", "10M+", Some("State loss (selection list)")),
+        ("TacoBell", "10M+", Some("State loss (location page)")),
+        ("UberDriver", "100M+", Some("State loss (login page)")),
+        ("Booking.com", "500M+", Some("State loss (text box)")),
+        ("CCFileManager", "5M+", Some("State loss (selection list)")),
+        ("SpeedBooster", "5M+", Some("State loss (report page)")),
+        ("Firefox", "100M+", None),
+        ("Twitch", "100M+", None),
+        ("Target", "10M+", Some("State loss (check box)")),
+        ("SmartBooster", "10M+", Some("State loss (report page)")),
+        ("Bumble", "10M+", Some("State loss (selection list)")),
+        ("Wish", "500M+", None),
+    ]
+}
+
+/// Apps whose lossy state RCHDroid cannot restore (unsaved member
+/// fields) — §6's four exceptions.
+pub const UNFIXABLE: [&str; 4] = ["Filto", "HaircutPrank", "CastForChrome", "KingJamesBible"];
+
+/// "Report page" style apps recreate their result views in code —
+/// RuntimeDroid's static reconstruction cannot rebuild those.
+const DYNAMIC_VIEW_APPS: [&str; 5] =
+    ["PowerCleaner", "UltraCleaner", "FileRecovery", "SpeedBooster", "SmartBooster"];
+
+/// The 100 specs of Table 5, in the paper's order.
+pub fn top100_specs() -> Vec<GenericAppSpec> {
+    let rows = table5_rows();
+    let mut no_issue_seen = 0;
+    rows.into_iter()
+        .map(|(name, downloads, problem)| {
+            let mut spec = GenericAppSpec::sized(name, downloads, true);
+            match problem {
+                Some(problem) => {
+                    let mechanism = if UNFIXABLE.contains(&name) {
+                        StateMechanism::MemberUnsaved
+                    } else if DYNAMIC_VIEW_APPS.contains(&name) {
+                        StateMechanism::DynamicViewNoSave
+                    } else {
+                        StateMechanism::CustomViewNoSave
+                    };
+                    let test_value = showcase_value(problem);
+                    spec = spec.with_issue(
+                        problem,
+                        StateItem::new("issue_state", mechanism, test_value),
+                    );
+                }
+                None => {
+                    // Of the 37 issue-free apps, 26 declare configChanges
+                    // and 11 are restart-safe (their state lives in
+                    // framework views / saved bundles).
+                    no_issue_seen += 1;
+                    if no_issue_seen <= 26 {
+                        spec = spec.self_handling();
+                    } else {
+                        spec = spec.saving_state().with_issue_free_state();
+                    }
+                }
+            }
+            spec
+        })
+        .collect()
+}
+
+/// A representative user-visible value for each problem class (what the
+/// Fig. 13 "red boxes" contain).
+fn showcase_value(problem: &str) -> &'static str {
+    if problem.contains("text box") || problem.contains("login") || problem.contains("register") {
+        "alice@example.com"
+    } else if problem.contains("scroll") {
+        "scrolled to 1840 px"
+    } else if problem.contains("timer") {
+        "04:37 remaining"
+    } else if problem.contains("selection") || problem.contains("list") {
+        "item #3 selected"
+    } else if problem.contains("zoom") || problem.contains("volume") {
+        "level 7"
+    } else if problem.contains("check box") {
+        "checked"
+    } else {
+        "user input"
+    }
+}
+
+impl GenericAppSpec {
+    /// Gives an issue-free app a framework-view state item so the
+    /// restart-safe behaviour is actually exercised, not just absent.
+    fn with_issue_free_state(mut self) -> Self {
+        self.state_items.push(StateItem::new(
+            "safe_state",
+            StateMechanism::FrameworkView,
+            "safe value",
+        ));
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_match_section6() {
+        let specs = top100_specs();
+        assert_eq!(specs.len(), 100);
+        let with_issue = specs.iter().filter(|s| s.has_issue()).count();
+        assert_eq!(with_issue, 63, "63 of 100 apps have issues");
+        let self_handling = specs.iter().filter(|s| s.handles_changes).count();
+        assert_eq!(self_handling, 26, "26 declare configChanges");
+        let restart_safe =
+            specs.iter().filter(|s| !s.has_issue() && !s.handles_changes).count();
+        assert_eq!(restart_safe, 11, "11 restart-safe");
+    }
+
+    #[test]
+    fn four_apps_are_unfixable() {
+        let specs = top100_specs();
+        let unfixable: Vec<&str> = specs
+            .iter()
+            .filter(|s| s.has_issue() && !s.fixed_by_rchdroid())
+            .map(|s| s.name.as_str())
+            .collect();
+        assert_eq!(unfixable, UNFIXABLE.to_vec());
+        let fixed = specs.iter().filter(|s| s.has_issue() && s.fixed_by_rchdroid()).count();
+        assert_eq!(fixed, 59, "59 of 63 fixed (93.65 %)");
+    }
+
+    #[test]
+    fn known_rows_match_the_table() {
+        let specs = top100_specs();
+        assert_eq!(specs[0].name, "AmazonPrimeVideo");
+        assert_eq!(specs[27].name, "Twitter");
+        assert_eq!(specs[27].issue.as_deref(), Some("State loss (text box)"));
+        assert_eq!(specs[3].name, "Instagram");
+        assert!(!specs[3].has_issue());
+        assert_eq!(specs[99].name, "Wish");
+    }
+
+    #[test]
+    fn large_app_calibration_ranges() {
+        for spec in top100_specs() {
+            assert!((80..=250).contains(&spec.view_count), "{}", spec.name);
+            assert!(spec.complexity >= 1.5 && spec.complexity <= 2.3, "{}", spec.name);
+            let base_mb = spec.base_memory_bytes as f64 / (1 << 20) as f64;
+            assert!((140.0..=161.0).contains(&base_mb), "{}", spec.name);
+        }
+    }
+
+    #[test]
+    fn issue_apps_lose_state_under_stock() {
+        for spec in top100_specs().iter().filter(|s| s.has_issue()) {
+            assert!(spec.issue_under_stock(), "{}", spec.name);
+        }
+    }
+}

@@ -1,0 +1,30 @@
+//! Sweeping the shadow-GC threshold (the paper's Fig. 11 experiment).
+//!
+//! Shows the latency/CPU vs memory trade-off of `THRESH_T` and why the
+//! paper settles on 50 seconds.
+//!
+//! Run with: `cargo run --release --example gc_tuning`
+
+fn main() {
+    println!("Sweeping THRESH_T on the 32-ImageView benchmark app");
+    println!("(10 minutes, 6 bursty runtime changes per minute, THRESH_F = 4)\n");
+    let fig = rch_experiments::fig11::run();
+    print!("{}", fig.render());
+
+    let best = fig
+        .rows
+        .iter()
+        .min_by(|a, b| {
+            // The paper's operating point: smallest THRESH_T whose latency
+            // is within 1 ms of the flat region's.
+            let flat = fig.rows.last().unwrap().avg_latency_ms;
+            let ka = (a.avg_latency_ms - flat).abs() <= 1.0;
+            let kb = (b.avg_latency_ms - flat).abs() <= 1.0;
+            kb.cmp(&ka).then(a.thresh_t_secs.cmp(&b.thresh_t_secs))
+        })
+        .unwrap();
+    println!(
+        "\nchosen operating point: THRESH_T = {} s (paper: 50 s)",
+        best.thresh_t_secs
+    );
+}

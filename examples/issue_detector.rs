@@ -1,0 +1,40 @@
+//! The automated issue oracle (§6's methodology as a tool): audit an app
+//! set for runtime-change issues by setting state, rotating once and
+//! twice, and diffing what the user sees.
+//!
+//! Run with: `cargo run --release --example issue_detector`
+
+use droidsim_device::HandlingMode;
+use rch_experiments::detector;
+use rch_workloads::tp27_specs;
+
+fn main() {
+    let specs = tp27_specs();
+
+    println!("Auditing the TP-27 set under stock Android 10…");
+    let mut stock_flagged = 0;
+    for spec in &specs {
+        let report = detector::check(spec, HandlingMode::Android10);
+        if report.has_issue() {
+            stock_flagged += 1;
+            let cause = if report.crashed {
+                "CRASH".to_owned()
+            } else {
+                format!("state loss: {:?}", report.lost_after_one)
+            };
+            println!("  {:<18} {}", report.app, cause);
+        }
+    }
+    println!("=> {stock_flagged}/{} apps flagged under stock\n", specs.len());
+
+    println!("Auditing the same set under RCHDroid…");
+    let rch_flagged = detector::flagged(&specs, HandlingMode::rchdroid_default());
+    for app in &rch_flagged {
+        println!("  {app:<18} still loses state (unsaved member fields)");
+    }
+    println!(
+        "=> {}/{} apps still flagged under RCHDroid (paper: 2 — apps #9 and #10)",
+        rch_flagged.len(),
+        specs.len()
+    );
+}

@@ -1,0 +1,105 @@
+//! Runtime changes are not only rotations: this example switches the
+//! system language while an app is in the foreground and shows RCHDroid
+//! reloading the localized resources without restarting the activity —
+//! while the user's half-typed input survives.
+//!
+//! Run with: `cargo run --example language_switch`
+
+use droidsim_app::{Activity, AppModel};
+use droidsim_bundle::Bundle;
+use droidsim_config::{ConfigChanges, Locale};
+use droidsim_device::{Device, HandlingMode};
+use droidsim_resources::{LayoutNode, LayoutTemplate, Qualifiers, ResourceTable, ResourceValue};
+use droidsim_view::ViewOp;
+
+/// A tiny localized app: a greeting label (from resources) and a
+/// free-text input field.
+#[derive(Debug)]
+struct LocalizedApp {
+    resources: ResourceTable,
+}
+
+impl LocalizedApp {
+    fn new() -> Self {
+        let mut resources = ResourceTable::new();
+        resources.put("greeting", Qualifiers::any(), ResourceValue::string("Hello!"));
+        resources.put(
+            "greeting",
+            Qualifiers::any().with_language("zh"),
+            ResourceValue::string("你好！"),
+        );
+        let root = LayoutNode::new("LinearLayout")
+            .with_id("root")
+            .with_child(
+                LayoutNode::new("TextView").with_id("greeting").with_attr("text", "@string/greeting"),
+            )
+            .with_child(LayoutNode::new("EditText").with_id("message"));
+        resources.put(
+            "activity_main",
+            Qualifiers::any(),
+            ResourceValue::Layout(LayoutTemplate::new("activity_main", root)),
+        );
+        LocalizedApp { resources }
+    }
+}
+
+impl AppModel for LocalizedApp {
+    fn component_name(&self) -> &str {
+        "com.localized/.Main"
+    }
+
+    fn resources(&self) -> &ResourceTable {
+        &self.resources
+    }
+
+    fn main_layout(&self) -> &str {
+        "activity_main"
+    }
+
+    fn handled_changes(&self) -> ConfigChanges {
+        ConfigChanges::NONE // the default: restart on language switch
+    }
+
+    fn on_save_instance_state(&self, _activity: &Activity, _out: &mut Bundle) {}
+}
+
+fn read(device: &mut Device, id: &str) -> String {
+    device
+        .with_foreground_activity_mut(|a| {
+            let v = a.tree.find_by_id_name(id).unwrap();
+            a.tree.view(v).unwrap().attrs.text.clone().unwrap_or_default()
+        })
+        .expect("foreground alive")
+}
+
+fn main() {
+    let mut device = Device::new(HandlingMode::rchdroid_default());
+    device
+        .install_and_launch(Box::new(LocalizedApp::new()), 30 << 20, 1.0)
+        .expect("launch");
+
+    // The user starts typing.
+    device
+        .with_foreground_activity_mut(|a| {
+            let field = a.tree.find_by_id_name("message").unwrap();
+            a.tree.apply(field, ViewOp::SetText("meet at 6pm —".into())).unwrap();
+        })
+        .unwrap();
+    println!("greeting before switch: {}", read(&mut device, "greeting"));
+    println!("input before switch:    {}", read(&mut device, "message"));
+
+    // Switch the system language to Chinese: a runtime configuration
+    // change with the LOCALE flag.
+    let zh = device.configuration().with_locale(Locale::zh_cn());
+    let report = device.change_configuration(zh).expect("handled");
+    println!("\nswitched locale via {:?} in {}\n", report.path, report.latency);
+
+    // The sunny instance inflated the zh resources, and the half-typed
+    // input migrated from the shadow instance.
+    let greeting = read(&mut device, "greeting");
+    let message = read(&mut device, "message");
+    println!("greeting after switch:  {greeting}");
+    println!("input after switch:     {message}");
+    assert_eq!(greeting, "你好！", "localized resources reloaded");
+    assert_eq!(message, "meet at 6pm —", "user input survived");
+}

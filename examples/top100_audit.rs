@@ -1,0 +1,23 @@
+//! The §6 study in miniature: audit the Google-Play top-100 set for
+//! runtime-change issues under stock handling, then check how many
+//! RCHDroid fixes, printing Table 5 plus the Fig. 14 summaries.
+//!
+//! Run with: `cargo run --release --example top100_audit`
+
+fn main() {
+    let study = rch_experiments::table5::run();
+    print!("{}", study.render());
+
+    // A few highlighted rows (the paper's Fig. 13 examples).
+    println!("\nhighlights:");
+    for name in ["Twitter", "Disney+", "KJVBible", "Orbot"] {
+        if let Some(row) = study.rows.iter().find(|r| r.name == name) {
+            println!(
+                "  {:<10} issue: {:<32} fixed by RCHDroid: {}",
+                row.name,
+                row.problem.as_deref().unwrap_or("none"),
+                row.fixed_by_rchdroid
+            );
+        }
+    }
+}

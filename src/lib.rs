@@ -1,0 +1,5 @@
+//! Umbrella crate re-exporting the RCHDroid reproduction workspace.
+pub use droidsim_device as device;
+pub use rch_workloads as workloads;
+pub use rchdroid as core;
+

@@ -1,0 +1,80 @@
+//! Display integrity: after any handling path, the foreground tree must
+//! lay out cleanly for the *current* screen — the paper's "mess up the
+//! display" failure is geometry computed for the wrong configuration.
+
+use droidsim_app::SimpleApp;
+use droidsim_device::{Device, HandlingMode};
+use droidsim_view::layout;
+
+fn assert_foreground_fits(device: &Device, component: &str, context: &str) {
+    let p = device.process(component).unwrap();
+    let fg = p.foreground_activity().expect("foreground alive");
+    let screen = device.configuration().screen;
+    let result = layout(&fg.tree, screen);
+    assert!(result.len() > 1, "{context}: something laid out");
+    assert!(
+        result.out_of_bounds().is_empty(),
+        "{context}: views out of the {screen} screen: {:?}",
+        result.out_of_bounds()
+    );
+}
+
+#[test]
+fn every_mode_relayouts_correctly_after_rotation() {
+    for mode in [
+        HandlingMode::Android10,
+        HandlingMode::rchdroid_default(),
+        HandlingMode::RuntimeDroid,
+    ] {
+        let mut d = Device::new(mode);
+        let c = d
+            .install_and_launch(Box::new(SimpleApp::with_views(6)), 40 << 20, 1.0)
+            .unwrap();
+        assert_foreground_fits(&d, &c, "before any change");
+        for i in 0..4 {
+            d.rotate().unwrap();
+            assert_foreground_fits(&d, &c, &format!("{mode:?} after rotation {i}"));
+        }
+    }
+}
+
+#[test]
+fn coin_flip_reuses_geometry_that_matches_the_flipped_config() {
+    // The flip's O(1) cost rests on the reused instance having been built
+    // for the configuration being flipped back to — verify the geometry
+    // really matches.
+    let mut d = Device::new(HandlingMode::rchdroid_default());
+    let c = d.install_and_launch(Box::new(SimpleApp::with_views(4)), 40 << 20, 1.0).unwrap();
+    d.rotate().unwrap(); // portrait → landscape (init)
+    d.rotate().unwrap(); // landscape → portrait (flip: original instance)
+    assert_foreground_fits(&d, &c, "after flip back to portrait");
+
+    // The flipped-in tree uses the portrait container (LinearLayout), not
+    // the landscape one — it IS the original instance.
+    let p = d.process(&c).unwrap();
+    let fg = p.foreground_activity().unwrap();
+    let root = fg.tree.find_by_id_name("root").unwrap();
+    assert_eq!(fg.tree.view(root).unwrap().kind.class_name(), "LinearLayout");
+}
+
+#[test]
+fn shadow_tree_geometry_is_stale_by_design() {
+    // The shadow instance keeps its old-configuration tree; it is
+    // invisible, so the staleness is harmless — but it is real, and it is
+    // why a flip to a *third* configuration would need a relayout pass.
+    let mut d = Device::new(HandlingMode::rchdroid_default());
+    let c = d.install_and_launch(Box::new(SimpleApp::with_views(4)), 40 << 20, 1.0).unwrap();
+    d.rotate().unwrap();
+    let p = d.process(&c).unwrap();
+    let shadow_activity = p.thread().instance(p.thread().current_shadow().unwrap()).unwrap();
+    // The shadow instance still carries its creation-time configuration…
+    let shadow_screen = shadow_activity.config().screen;
+    let current_screen = d.configuration().screen;
+    assert_ne!(shadow_screen, current_screen, "shadow config predates the change");
+    // …so its natural geometry is for the old screen: its decor rect does
+    // not match the current screen's dimensions.
+    let natural = layout(&shadow_activity.tree, shadow_screen);
+    let decor = natural.rect(shadow_activity.tree.root()).unwrap();
+    assert_eq!((decor.width, decor.height), (shadow_screen.width_dp, shadow_screen.height_dp));
+    assert_ne!((decor.width, decor.height), (current_screen.width_dp, current_screen.height_dp));
+}

@@ -1,0 +1,212 @@
+//! End-to-end integration tests spanning the whole stack: device, ATMS,
+//! activity thread, RCHDroid handler, workloads and cost model.
+
+use droidsim_app::SimpleApp;
+use droidsim_device::{Device, DeviceEvent, HandlingMode, HandlingPath};
+use droidsim_kernel::SimDuration;
+use droidsim_view::ViewOp;
+use rch_workloads::{tp27_specs, StateMechanism};
+
+fn bench_device(mode: HandlingMode, views: usize) -> (Device, String) {
+    let mut device = Device::new(mode);
+    let component = device
+        .install_and_launch(Box::new(SimpleApp::with_views(views)), 40 << 20, 1.0)
+        .expect("launch");
+    (device, component)
+}
+
+#[test]
+fn identical_runs_are_bit_identical() {
+    // The whole simulator is deterministic: two identical scripted runs
+    // produce identical event logs and final memory.
+    let run = || {
+        let (mut d, c) = bench_device(HandlingMode::rchdroid_default(), 8);
+        d.start_async_on_foreground(SimpleApp::with_views(8).button_task()).unwrap();
+        for _ in 0..3 {
+            d.rotate().unwrap();
+            d.advance(SimDuration::from_secs(3));
+        }
+        d.advance(SimDuration::from_secs(10));
+        let events = format!("{:?}", d.events());
+        let memory = d.memory_snapshot(&c).unwrap().total_bytes();
+        (events, memory, d.now())
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn rchdroid_never_exceeds_two_instances_and_one_shadow() {
+    let (mut d, c) = bench_device(HandlingMode::rchdroid_default(), 4);
+    for i in 0..20 {
+        d.rotate().unwrap();
+        d.advance(SimDuration::from_secs(1));
+        let p = d.process(&c).unwrap();
+        assert!(p.thread().alive_instances().len() <= 2, "iteration {i}");
+        assert!(d.atms().shadow_records().len() <= 1, "iteration {i}");
+    }
+}
+
+#[test]
+fn stock_mode_keeps_exactly_one_instance() {
+    let (mut d, c) = bench_device(HandlingMode::Android10, 4);
+    for _ in 0..10 {
+        d.rotate().unwrap();
+        assert_eq!(d.process(&c).unwrap().thread().alive_instances().len(), 1);
+    }
+}
+
+#[test]
+fn flip_latency_is_independent_of_change_count() {
+    let (mut d, c) = bench_device(HandlingMode::rchdroid_default(), 16);
+    let mut flips = Vec::new();
+    for _ in 0..12 {
+        let report = d.rotate().unwrap();
+        if report.path == HandlingPath::RchFlip {
+            flips.push(report.latency);
+        }
+        d.advance(SimDuration::from_secs(1));
+    }
+    assert!(flips.len() >= 10);
+    assert!(flips.windows(2).all(|w| w[0] == w[1]), "flips are constant-cost");
+    let _ = c;
+}
+
+#[test]
+fn async_work_survives_arbitrary_rotation_counts_under_rchdroid() {
+    for rotations in 1..=5 {
+        let (mut d, c) = bench_device(HandlingMode::rchdroid_default(), 3);
+        d.start_async_on_foreground(SimpleApp::with_views(3).button_task()).unwrap();
+        for _ in 0..rotations {
+            d.rotate().unwrap();
+        }
+        d.advance(SimDuration::from_secs(8));
+        assert!(!d.is_crashed(&c), "{rotations} rotations");
+        // The images always end up loaded on whatever instance is in the
+        // foreground.
+        let p = d.process(&c).unwrap();
+        let fg = p.foreground_activity().expect("foreground alive");
+        let img = fg.tree.find_by_id_name("image_0").unwrap();
+        assert_eq!(
+            fg.tree.view(img).unwrap().attrs.drawable.as_ref().unwrap().0,
+            "loaded_0.png",
+            "{rotations} rotations"
+        );
+    }
+}
+
+#[test]
+fn stock_crash_requires_an_inflight_task() {
+    // No async task → rotation alone never crashes stock Android.
+    let (mut d, c) = bench_device(HandlingMode::Android10, 4);
+    for _ in 0..5 {
+        d.rotate().unwrap();
+        d.advance(SimDuration::from_secs(2));
+    }
+    assert!(!d.is_crashed(&c));
+}
+
+#[test]
+fn gc_then_new_change_pays_init_cost_again() {
+    let (mut d, _) = bench_device(HandlingMode::rchdroid_default(), 4);
+    let first = d.rotate().unwrap();
+    assert_eq!(first.path, HandlingPath::RchInit);
+    // Wait past THRESH_T with an empty frequency window → GC collects.
+    d.advance(SimDuration::from_secs(120));
+    let after_gc = d.rotate().unwrap();
+    assert_eq!(after_gc.path, HandlingPath::RchInit, "shadow was reclaimed");
+    assert_eq!(after_gc.latency, first.latency, "same init cost");
+}
+
+#[test]
+fn every_tp27_mechanism_behaves_as_designed_end_to_end() {
+    // Drive each app through a single change under all three systems and
+    // check the mechanism table's predictions hold in the full simulation.
+    use rch_experiments::{run_app, RunConfig};
+    for spec in tp27_specs().iter().take(12) {
+        let lossy = spec.state_items[0].mechanism;
+        let stock =
+            run_app(spec, &RunConfig::new(HandlingMode::Android10).changes(1));
+        let rch =
+            run_app(spec, &RunConfig::new(HandlingMode::rchdroid_default()).changes(1));
+        let rtd = run_app(spec, &RunConfig::new(HandlingMode::RuntimeDroid).changes(1));
+        assert!(stock.issue_observed(), "{}: stock must show the issue", spec.name);
+        assert_eq!(
+            !rch.issue_observed(),
+            lossy.fixed_by_rchdroid(),
+            "{}: RCHDroid prediction",
+            spec.name
+        );
+        if !spec.uses_async_task {
+            assert_eq!(
+                !rtd.issue_observed(),
+                lossy.fixed_by_runtimedroid(),
+                "{}: RuntimeDroid prediction",
+                spec.name
+            );
+        }
+    }
+}
+
+#[test]
+fn self_handled_change_is_in_place_in_every_mode() {
+    use droidsim_config::ConfigChanges;
+    for mode in [HandlingMode::Android10, HandlingMode::rchdroid_default()] {
+        let mut d = Device::new(mode);
+        let app = SimpleApp::builder(4).handles(ConfigChanges::ALL).build();
+        let c = d.install_and_launch(Box::new(app), 40 << 20, 1.0).unwrap();
+        let report = d.rotate().unwrap();
+        assert_eq!(report.path, HandlingPath::HandledByApp, "{mode:?}");
+        assert_eq!(d.process(&c).unwrap().thread().alive_instances().len(), 1);
+    }
+}
+
+#[test]
+fn scroll_state_round_trips_through_both_restart_and_rchdroid() {
+    for mode in [HandlingMode::Android10, HandlingMode::rchdroid_default()] {
+        let (mut d, _) = bench_device(mode, 4);
+        d.with_foreground_activity_mut(|a| {
+            let root = a.tree.find_by_id_name("root").unwrap();
+            a.tree.apply(root, ViewOp::ScrollTo(1234)).unwrap();
+        })
+        .unwrap();
+        d.rotate().unwrap();
+        let scroll = d
+            .with_foreground_activity_mut(|a| {
+                let root = a.tree.find_by_id_name("root").unwrap();
+                a.tree.view(root).unwrap().attrs.scroll_y
+            })
+            .unwrap();
+        // Framework-view user state survives under BOTH systems — that is
+        // not what distinguishes them.
+        assert_eq!(scroll, 1234, "{mode:?}");
+    }
+}
+
+#[test]
+fn event_log_is_ordered_and_complete() {
+    let (mut d, c) = bench_device(HandlingMode::rchdroid_default(), 4);
+    d.start_async_on_foreground(SimpleApp::with_views(4).button_task()).unwrap();
+    d.rotate().unwrap();
+    d.advance(SimDuration::from_secs(8));
+    let events = d.events();
+    assert!(events.windows(2).all(|w| w[0].at() <= w[1].at()), "monotone timestamps");
+    assert!(events.iter().any(|e| matches!(e, DeviceEvent::AppLaunched { .. })));
+    assert!(events.iter().any(|e| matches!(e, DeviceEvent::ConfigChange { .. })));
+    assert!(events
+        .iter()
+        .any(|e| matches!(e, DeviceEvent::AsyncDelivered { migration_latency: Some(_), .. })));
+    let _ = c;
+}
+
+#[test]
+fn member_unsaved_state_lost_under_rchdroid_but_kept_by_runtimedroid() {
+    use rch_experiments::{run_app, RunConfig};
+    let spec = tp27_specs()
+        .into_iter()
+        .find(|s| s.state_items[0].mechanism == StateMechanism::MemberUnsaved)
+        .expect("DiskDiggerPro");
+    let rch = run_app(&spec, &RunConfig::new(HandlingMode::rchdroid_default()).changes(1));
+    assert!(rch.issue_observed(), "RCHDroid cannot restore unsaved fields");
+    let rtd = run_app(&spec, &RunConfig::new(HandlingMode::RuntimeDroid).changes(1));
+    assert!(rtd.crashed || !rtd.issue_observed() || spec.uses_async_task);
+}

@@ -1,0 +1,103 @@
+//! The Shadow state's system-kill exemption (§3.2) under memory pressure.
+
+use droidsim_device::{Device, HandlingMode};
+use droidsim_kernel::SimDuration;
+use rch_workloads::GenericAppSpec;
+
+fn two_apps(mode: HandlingMode) -> (Device, String, String) {
+    let mut d = Device::new(mode);
+    let a = GenericAppSpec::sized("PressureA", "1M+", false);
+    let b = GenericAppSpec::sized("PressureB", "1M+", false);
+    let ac = d.install_and_launch(Box::new(a.build()), a.base_memory_bytes, a.complexity).unwrap();
+    let bc = d.install_and_launch(Box::new(b.build()), b.base_memory_bytes, b.complexity).unwrap();
+    (d, ac, bc)
+}
+
+#[test]
+fn pressure_reclaims_stopped_background_activities() {
+    let (mut d, a, b) = two_apps(HandlingMode::rchdroid_default());
+    // `a` was backgrounded by `b`'s launch → its activity is Stopped.
+    let reclaimed = d.trigger_memory_pressure();
+    assert_eq!(reclaimed, 1);
+    assert!(d.process(&a).unwrap().thread().alive_instances().is_empty());
+    // The foreground app is untouched.
+    assert_eq!(d.process(&b).unwrap().thread().alive_instances().len(), 1);
+}
+
+#[test]
+fn shadow_instances_are_exempt() {
+    let (mut d, _a, b) = two_apps(HandlingMode::rchdroid_default());
+    // Create the shadow coupling on the foreground app.
+    d.rotate().unwrap();
+    assert_eq!(d.process(&b).unwrap().thread().alive_instances().len(), 2);
+
+    let before_shadow = d.process(&b).unwrap().thread().current_shadow();
+    assert!(before_shadow.is_some());
+    d.trigger_memory_pressure();
+    // §3.2: the shadow survives system reclamation; only the GC policy
+    // may release it.
+    assert_eq!(d.process(&b).unwrap().thread().current_shadow(), before_shadow);
+    assert_eq!(d.process(&b).unwrap().thread().alive_instances().len(), 2);
+}
+
+#[test]
+fn gc_still_reclaims_the_exempted_shadow_later() {
+    let (mut d, _a, b) = two_apps(HandlingMode::rchdroid_default());
+    d.rotate().unwrap();
+    d.trigger_memory_pressure();
+    assert_eq!(d.process(&b).unwrap().thread().alive_instances().len(), 2);
+    // The threshold GC is the one legitimate path.
+    d.advance(SimDuration::from_secs(120));
+    assert_eq!(d.process(&b).unwrap().thread().alive_instances().len(), 1);
+}
+
+#[test]
+fn pressure_is_idempotent() {
+    let (mut d, ..) = two_apps(HandlingMode::rchdroid_default());
+    assert_eq!(d.trigger_memory_pressure(), 1);
+    assert_eq!(d.trigger_memory_pressure(), 0, "nothing left to reclaim");
+}
+
+#[test]
+fn reclaimed_activity_restores_from_the_retained_bundle() {
+    // Android keeps onSaveInstanceState's bundle in the system server:
+    // the user can return to a reclaimed background activity and find
+    // their (view-held) state back.
+    use droidsim_view::ViewOp;
+    let (mut d, a, b) = two_apps(HandlingMode::rchdroid_default());
+    d.switch_to_app(&a).unwrap();
+    d.with_foreground_activity_mut(|act| {
+        let root = act.tree.find_by_id_name("root").unwrap();
+        act.tree.apply(root, ViewOp::ScrollTo(987)).unwrap();
+    })
+    .unwrap();
+    d.switch_to_app(&b).unwrap();
+    assert_eq!(d.trigger_memory_pressure(), 1, "a's instance reclaimed");
+    assert!(d.process(&a).unwrap().thread().alive_instances().is_empty());
+
+    // Coming back relaunches from the retained bundle.
+    d.switch_to_app(&a).unwrap();
+    let scroll = d
+        .with_foreground_activity_mut(|act| {
+            let root = act.tree.find_by_id_name("root").unwrap();
+            act.tree.view(root).unwrap().attrs.scroll_y
+        })
+        .unwrap();
+    assert_eq!(scroll, 987);
+}
+
+#[test]
+fn async_task_to_a_reclaimed_background_activity_crashes_like_stock() {
+    // The exemption matters: a background activity WITHOUT shadow status
+    // that is reclaimed while a task is in flight still produces the
+    // classic crash — RCHDroid only protects the runtime-change path.
+    let (mut d, a, _b) = two_apps(HandlingMode::rchdroid_default());
+    d.switch_to_app(&a).unwrap();
+    let spec = GenericAppSpec::sized("PressureA", "1M+", false);
+    d.start_async_on_foreground(spec.async_task()).unwrap();
+    // Background it again, then reclaim it.
+    d.switch_to_app("com.pressureb/.Main").unwrap();
+    d.trigger_memory_pressure();
+    d.advance(SimDuration::from_secs(8));
+    assert!(d.is_crashed(&a), "the stopped instance was reclaimed under the task");
+}

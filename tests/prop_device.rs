@@ -1,0 +1,154 @@
+//! Device-level property tests: random interaction scripts against the
+//! whole stack, checking the invariants the paper's design promises.
+
+use droidsim_app::SimpleApp;
+use droidsim_config::{Locale, UiMode};
+use droidsim_device::{Device, HandlingMode};
+use droidsim_kernel::SimDuration;
+use droidsim_view::ViewOp;
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum Action {
+    Rotate,
+    WmSize(u32, u32),
+    SwitchLocale(bool),
+    ToggleDarkMode,
+    PressButton,
+    Scroll(i32),
+    Advance(u64),
+}
+
+fn arb_action() -> impl Strategy<Value = Action> {
+    prop_oneof![
+        Just(Action::Rotate),
+        (600u32..2200, 600u32..2200).prop_map(|(w, h)| Action::WmSize(w, h)),
+        any::<bool>().prop_map(Action::SwitchLocale),
+        Just(Action::ToggleDarkMode),
+        Just(Action::PressButton),
+        (-3000i32..3000).prop_map(Action::Scroll),
+        (1u64..20).prop_map(Action::Advance),
+    ]
+}
+
+fn run_script(mode: HandlingMode, script: &[Action]) -> Device {
+    let mut d = Device::new(mode);
+    let c = d
+        .install_and_launch(Box::new(SimpleApp::with_views(4)), 40 << 20, 1.0)
+        .expect("launch");
+    for action in script {
+        if d.is_crashed(&c) {
+            break;
+        }
+        match action {
+            Action::Rotate => {
+                let _ = d.rotate();
+            }
+            Action::WmSize(w, h) => {
+                let _ = d.wm_size(*w, *h);
+            }
+            Action::SwitchLocale(zh) => {
+                let locale = if *zh { Locale::zh_cn() } else { Locale::en_us() };
+                let next = d.configuration().with_locale(locale);
+                let _ = d.change_configuration(next);
+            }
+            Action::ToggleDarkMode => {
+                let mode = match d.configuration().ui_mode {
+                    UiMode::Day => UiMode::Night,
+                    UiMode::Night => UiMode::Day,
+                };
+                let next = d.configuration().with_ui_mode(mode);
+                let _ = d.change_configuration(next);
+            }
+            Action::PressButton => {
+                let _ = d.start_async_on_foreground(SimpleApp::with_views(4).button_task());
+            }
+            Action::Scroll(y) => {
+                let _ = d.with_foreground_activity_mut(|a| {
+                    let root = a.tree.find_by_id_name("root").unwrap();
+                    let _ = a.tree.apply(root, ViewOp::ScrollTo(*y));
+                });
+            }
+            Action::Advance(secs) => d.advance(SimDuration::from_secs(*secs)),
+        }
+    }
+    d
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn rchdroid_never_crashes_under_any_script(
+        script in proptest::collection::vec(arb_action(), 0..30)
+    ) {
+        let d = run_script(HandlingMode::rchdroid_default(), &script);
+        prop_assert!(!d.is_crashed("com.bench/.Main"), "events: {:?}", d.events());
+    }
+
+    #[test]
+    fn rchdroid_instance_bound_holds_under_any_script(
+        script in proptest::collection::vec(arb_action(), 0..30)
+    ) {
+        let d = run_script(HandlingMode::rchdroid_default(), &script);
+        let p = d.process("com.bench/.Main").unwrap();
+        prop_assert!(p.thread().alive_instances().len() <= 2);
+        prop_assert!(d.atms().shadow_records().len() <= 1);
+        // Exactly one foreground instance, always.
+        prop_assert!(p.foreground_activity().is_some());
+    }
+
+    #[test]
+    fn memory_decomposes_exactly(
+        script in proptest::collection::vec(arb_action(), 0..20)
+    ) {
+        let d = run_script(HandlingMode::rchdroid_default(), &script);
+        let snapshot = d.memory_snapshot("com.bench/.Main").unwrap();
+        let p = d.process("com.bench/.Main").unwrap();
+        let heaps: u64 = p
+            .thread()
+            .alive_instances()
+            .into_iter()
+            .map(|id| p.thread().instance(id).unwrap().heap_bytes())
+            .sum();
+        prop_assert_eq!(snapshot.activities_bytes, heaps);
+        prop_assert_eq!(snapshot.base_bytes, 40 << 20);
+    }
+
+    #[test]
+    fn clock_is_monotone_and_events_ordered(
+        script in proptest::collection::vec(arb_action(), 0..30)
+    ) {
+        let d = run_script(HandlingMode::rchdroid_default(), &script);
+        let events = d.events();
+        prop_assert!(events.windows(2).all(|w| w[0].at() <= w[1].at()));
+        if let Some(last) = events.last() {
+            prop_assert!(last.at() <= d.now());
+        }
+    }
+
+    #[test]
+    fn stock_mode_never_exceeds_one_instance(
+        script in proptest::collection::vec(arb_action(), 0..30)
+    ) {
+        let d = run_script(HandlingMode::Android10, &script);
+        if !d.is_crashed("com.bench/.Main") {
+            let p = d.process("com.bench/.Main").unwrap();
+            prop_assert!(p.thread().alive_instances().len() <= 1);
+        }
+    }
+
+    #[test]
+    fn same_script_same_outcome(
+        script in proptest::collection::vec(arb_action(), 0..20)
+    ) {
+        let a = run_script(HandlingMode::rchdroid_default(), &script);
+        let b = run_script(HandlingMode::rchdroid_default(), &script);
+        prop_assert_eq!(a.now(), b.now());
+        prop_assert_eq!(a.events().len(), b.events().len());
+        prop_assert_eq!(
+            a.memory_snapshot("com.bench/.Main").unwrap(),
+            b.memory_snapshot("com.bench/.Main").unwrap()
+        );
+    }
+}

@@ -1,0 +1,107 @@
+//! Property tests on the threshold GC (Algorithm 1).
+
+use droidsim_kernel::{SimDuration, SimTime};
+use proptest::prelude::*;
+use rchdroid::{GcDecision, GcPolicy, ShadowAgeTracker};
+
+fn tracker_with(entries: &[u64], policy: GcPolicy) -> ShadowAgeTracker {
+    let mut t = ShadowAgeTracker::new(policy);
+    for &e in entries {
+        t.note_shadow_entry(SimTime::from_secs(e));
+    }
+    t
+}
+
+proptest! {
+    #[test]
+    fn collection_is_monotone_in_thresh_t(
+        mut entries in proptest::collection::vec(0u64..500, 1..20),
+        now in 500u64..1_000,
+        small in 1u64..100,
+        extra in 1u64..100,
+    ) {
+        entries.sort_unstable();
+        let last = *entries.last().unwrap();
+        let policy = |t: u64| GcPolicy {
+            thresh_t: SimDuration::from_secs(t),
+            thresh_f: 4,
+            window: SimDuration::from_secs(60),
+        };
+        let decide = |t: u64| {
+            tracker_with(&entries, policy(t))
+                .evaluate(SimTime::from_secs(now), Some(SimTime::from_secs(last)))
+        };
+        // If the shadow survives at THRESH_T = small, it also survives at
+        // any larger threshold (keeping is monotone in THRESH_T).
+        if !decide(small).should_collect() {
+            prop_assert!(!decide(small + extra).should_collect());
+        }
+    }
+
+    #[test]
+    fn collect_requires_both_conditions(
+        entries in proptest::collection::vec(0u64..500, 1..20),
+        now in 0u64..1_000,
+    ) {
+        let policy = GcPolicy::paper_default();
+        let last = *entries.iter().max().unwrap();
+        if now < last {
+            return Ok(()); // evaluation before the last entry is vacuous
+        }
+        let mut tracker = tracker_with(&entries, policy);
+        let frequency = tracker.frequency(SimTime::from_secs(now));
+        let mut tracker = tracker_with(&entries, policy);
+        let decision =
+            tracker.evaluate(SimTime::from_secs(now), Some(SimTime::from_secs(last)));
+        let age = now - last;
+        match decision {
+            GcDecision::Collect => {
+                prop_assert!(age > 50, "age {age} must exceed THRESH_T");
+                prop_assert!(frequency < 4, "frequency {frequency} must be below THRESH_F");
+            }
+            GcDecision::TooYoung { .. } => prop_assert!(age <= 50),
+            GcDecision::TooFrequent { entries_in_window } => {
+                prop_assert!(entries_in_window >= 4);
+                prop_assert!(age > 50);
+            }
+            GcDecision::NothingToCollect => prop_assert!(false, "shadow was supplied"),
+        }
+    }
+
+    #[test]
+    fn frequency_counts_exactly_the_window(
+        entries in proptest::collection::vec(0u64..300, 0..30),
+        now in 0u64..400,
+    ) {
+        let policy = GcPolicy::paper_default(); // 60 s window
+        let mut sorted = entries.clone();
+        sorted.sort_unstable();
+        let mut tracker = tracker_with(&sorted, policy);
+        let measured = tracker.frequency(SimTime::from_secs(now));
+        let expected = sorted
+            .iter()
+            .filter(|&&e| e <= now && now.saturating_sub(e) <= 60)
+            // Entries in the future of `now` are still in the deque but
+            // not expired; the tracker counts them too (they cannot exist
+            // in a causal run).
+            .count()
+            + sorted.iter().filter(|&&e| e > now).count();
+        prop_assert_eq!(measured as usize, expected);
+    }
+
+    #[test]
+    fn no_shadow_is_never_collected(now in 0u64..10_000) {
+        let mut tracker = ShadowAgeTracker::new(GcPolicy::paper_default());
+        prop_assert_eq!(
+            tracker.evaluate(SimTime::from_secs(now), None),
+            GcDecision::NothingToCollect
+        );
+    }
+
+    #[test]
+    fn reset_forgets_history(entries in proptest::collection::vec(0u64..100, 0..20)) {
+        let mut tracker = tracker_with(&entries, GcPolicy::paper_default());
+        tracker.reset();
+        prop_assert_eq!(tracker.frequency(SimTime::from_secs(100)), 0);
+    }
+}

@@ -1,0 +1,100 @@
+//! Property tests on the activity lifecycle state machine (Fig. 4) and
+//! the deterministic simulation kernel.
+
+use droidsim_app::ActivityState;
+use droidsim_kernel::{EventQueue, SimTime, Xoshiro256};
+use proptest::prelude::*;
+
+const ALL_STATES: [ActivityState; 8] = [
+    ActivityState::Created,
+    ActivityState::Started,
+    ActivityState::Resumed,
+    ActivityState::Paused,
+    ActivityState::Stopped,
+    ActivityState::Destroyed,
+    ActivityState::Shadow,
+    ActivityState::Sunny,
+];
+
+proptest! {
+    #[test]
+    fn destroyed_is_absorbing(target in 0usize..8) {
+        let to = ALL_STATES[target];
+        prop_assert!(!ActivityState::Destroyed.can_transition_to(to));
+    }
+
+    #[test]
+    fn random_walks_stay_on_legal_edges(choices in proptest::collection::vec(any::<usize>(), 0..50)) {
+        let mut state = ActivityState::Created;
+        for choice in choices {
+            let to = ALL_STATES[choice % 8];
+            match state.transition_to(to) {
+                Ok(next) => {
+                    prop_assert!(state.can_transition_to(to));
+                    state = next;
+                }
+                Err(e) => {
+                    prop_assert_eq!(e.from, state);
+                    prop_assert_eq!(e.to, to);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn shadow_is_alive_and_invisible_everywhere(choices in proptest::collection::vec(any::<usize>(), 0..50)) {
+        let mut state = ActivityState::Created;
+        for choice in choices {
+            if let Ok(next) = state.transition_to(ALL_STATES[choice % 8]) {
+                state = next;
+            }
+            if state == ActivityState::Shadow {
+                prop_assert!(state.is_alive());
+                prop_assert!(!state.is_visible());
+                prop_assert!(!state.is_foreground());
+            }
+            if state == ActivityState::Sunny {
+                prop_assert!(state.is_foreground());
+            }
+        }
+    }
+
+    #[test]
+    fn event_queue_pops_sorted_and_stable(times in proptest::collection::vec(0u64..1_000, 0..100)) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.schedule(SimTime::from_micros(t), i);
+        }
+        let mut popped = Vec::new();
+        while let Some(e) = q.pop() {
+            popped.push((e.at, e.payload));
+        }
+        // Sorted by time…
+        prop_assert!(popped.windows(2).all(|w| w[0].0 <= w[1].0));
+        // …and FIFO within equal times.
+        prop_assert!(popped
+            .windows(2)
+            .all(|w| w[0].0 < w[1].0 || w[0].1 < w[1].1));
+        // Nothing lost.
+        prop_assert_eq!(popped.len(), times.len());
+    }
+
+    #[test]
+    fn rng_streams_are_reproducible(seed in any::<u64>()) {
+        let mut a = Xoshiro256::seed_from(seed);
+        let mut b = Xoshiro256::seed_from(seed);
+        for _ in 0..64 {
+            prop_assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn rng_range_is_inclusive_and_bounded(seed in any::<u64>(), lo in 0u64..100, span in 0u64..100) {
+        let hi = lo + span;
+        let mut rng = Xoshiro256::seed_from(seed);
+        for _ in 0..100 {
+            let v = rng.next_range(lo, hi);
+            prop_assert!((lo..=hi).contains(&v));
+        }
+    }
+}

@@ -1,0 +1,148 @@
+//! Property tests: view-tree structural invariants under random operation
+//! sequences, and save/restore behaviour.
+
+use droidsim_view::{ViewKind, ViewOp, ViewTree};
+use proptest::prelude::*;
+
+/// A random tree-building script: each step adds a view under one of the
+/// already-created containers.
+#[derive(Debug, Clone)]
+enum BuildStep {
+    Add { parent_choice: usize, kind: ViewKind, with_id: bool },
+    Remove { choice: usize },
+    Mutate { choice: usize, op: ViewOp },
+}
+
+fn arb_kind() -> impl Strategy<Value = ViewKind> {
+    prop_oneof![
+        Just(ViewKind::TextView),
+        Just(ViewKind::EditText),
+        Just(ViewKind::Button),
+        Just(ViewKind::ImageView),
+        Just(ViewKind::ListView),
+        Just(ViewKind::ScrollView),
+        Just(ViewKind::ProgressBar),
+        Just(ViewKind::LinearLayout),
+        Just(ViewKind::FrameLayout),
+    ]
+}
+
+fn arb_op() -> impl Strategy<Value = ViewOp> {
+    prop_oneof![
+        "[a-z ]{0,16}".prop_map(ViewOp::SetText),
+        ("[a-z]{1,8}", 0u64..100_000).prop_map(|(n, b)| ViewOp::SetDrawable(n, b)),
+        (0i32..100).prop_map(ViewOp::SetSelection),
+        (0i32..50, any::<bool>()).prop_map(|(i, c)| ViewOp::SetItemChecked(i, c)),
+        (-5_000i32..5_000).prop_map(ViewOp::ScrollTo),
+        (0i32..100).prop_map(ViewOp::SetProgress),
+        any::<bool>().prop_map(ViewOp::SetEnabled),
+        any::<bool>().prop_map(ViewOp::SetVisible),
+    ]
+}
+
+fn arb_step() -> impl Strategy<Value = BuildStep> {
+    prop_oneof![
+        (any::<usize>(), arb_kind(), any::<bool>())
+            .prop_map(|(parent_choice, kind, with_id)| BuildStep::Add {
+                parent_choice,
+                kind,
+                with_id
+            }),
+        any::<usize>().prop_map(|choice| BuildStep::Remove { choice }),
+        (any::<usize>(), arb_op()).prop_map(|(choice, op)| BuildStep::Mutate { choice, op }),
+    ]
+}
+
+fn run_script(steps: &[BuildStep]) -> ViewTree {
+    let mut tree = ViewTree::new();
+    let mut next_id = 0usize;
+    for step in steps {
+        let ids = tree.iter_ids();
+        match step {
+            BuildStep::Add { parent_choice, kind, with_id } => {
+                let parent = ids[parent_choice % ids.len()];
+                let id_name = with_id.then(|| {
+                    next_id += 1;
+                    format!("v{next_id}")
+                });
+                let _ = tree.add_view(parent, kind.clone(), id_name.as_deref());
+            }
+            BuildStep::Remove { choice } => {
+                let target = ids[choice % ids.len()];
+                let _ = tree.remove_view(target);
+            }
+            BuildStep::Mutate { choice, op } => {
+                let target = ids[choice % ids.len()];
+                let _ = tree.apply(target, op.clone());
+            }
+        }
+    }
+    tree
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn structure_stays_consistent(steps in proptest::collection::vec(arb_step(), 0..60)) {
+        let tree = run_script(&steps);
+        let ids = tree.iter_ids();
+        // The root is always alive and first in pre-order.
+        prop_assert_eq!(ids[0], tree.root());
+        // Every live view is reachable from the root exactly once.
+        prop_assert_eq!(ids.len(), tree.view_count());
+        // Parent/child links are symmetric.
+        for id in &ids {
+            let node = tree.view(*id).unwrap();
+            for child in &node.children {
+                prop_assert_eq!(tree.view(*child).unwrap().parent, Some(*id));
+            }
+            if let Some(parent) = node.parent {
+                prop_assert!(tree.view(parent).unwrap().children.contains(id));
+            }
+        }
+    }
+
+    #[test]
+    fn invalidations_reference_live_views(steps in proptest::collection::vec(arb_step(), 0..60)) {
+        let mut tree = run_script(&steps);
+        let live = tree.iter_ids();
+        for inv in tree.drain_invalidations() {
+            // An invalidation may reference a view that was since removed;
+            // but if it is live it must resolve.
+            if live.contains(&inv) {
+                prop_assert!(tree.view(inv).is_ok());
+            }
+        }
+    }
+
+    #[test]
+    fn save_restore_is_idempotent(steps in proptest::collection::vec(arb_step(), 0..60)) {
+        let tree = run_script(&steps);
+        let saved_once = tree.save_hierarchy_state();
+        let mut copy = tree.clone();
+        copy.restore_hierarchy_state(&saved_once);
+        let saved_twice = copy.save_hierarchy_state();
+        // Restoring a tree's own saved state then saving again yields the
+        // same bundle (fixpoint).
+        prop_assert_eq!(saved_once, saved_twice);
+    }
+
+    #[test]
+    fn released_trees_reject_everything(steps in proptest::collection::vec(arb_step(), 0..30)) {
+        let mut tree = run_script(&steps);
+        let ids = tree.iter_ids();
+        tree.release();
+        for id in ids {
+            prop_assert!(tree.view(id).is_err());
+            prop_assert!(tree.apply(id, ViewOp::SetVisible(false)).is_err());
+        }
+    }
+
+    #[test]
+    fn heap_accounting_never_underflows(steps in proptest::collection::vec(arb_step(), 0..60)) {
+        let tree = run_script(&steps);
+        // decor view alone is > 0.
+        prop_assert!(tree.heap_bytes() >= 512);
+    }
+}
