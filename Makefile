@@ -1,0 +1,27 @@
+# Mirrors .github/workflows/ci.yml so `make ci` locally reproduces the
+# gate a PR has to pass.
+
+CARGO ?= cargo
+
+.PHONY: ci build test fmt fmt-fix clippy bench-smoke
+
+ci: build test fmt clippy bench-smoke
+
+build:
+	$(CARGO) build --release
+
+test:
+	$(CARGO) test -q
+
+fmt:
+	$(CARGO) fmt --all --check
+
+fmt-fix:
+	$(CARGO) fmt --all
+
+clippy:
+	$(CARGO) clippy --workspace --all-targets -- -D warnings
+
+bench-smoke:
+	$(CARGO) bench -p rch-bench --bench fig07_handling_time_27 -- --test
+	$(CARGO) bench -p rch-bench --bench migration_batching -- --test

@@ -188,7 +188,10 @@ impl Activity {
     /// Approximate heap footprint: instance overhead + view tree + bundles.
     pub fn heap_bytes(&self) -> u64 {
         let bundles = self.member_state.parcel_size() as u64
-            + self.shadow_bundle.as_ref().map_or(0, |b| b.parcel_size() as u64);
+            + self
+                .shadow_bundle
+                .as_ref()
+                .map_or(0, |b| b.parcel_size() as u64);
         4 * 1024 + self.tree.heap_bytes() + bundles
     }
 }
@@ -265,7 +268,9 @@ mod tests {
         // configuration's resources, not restored from the bundle.
         let (mut a, model) = created_activity();
         let button = a.tree.find_by_id_name("button").unwrap();
-        a.tree.apply(button, ViewOp::SetText("pressed".into())).unwrap();
+        a.tree
+            .apply(button, ViewOp::SetText("pressed".into()))
+            .unwrap();
         let saved = a.save_instance_state(&model);
 
         let mut b = Activity::new(
@@ -276,7 +281,10 @@ mod tests {
         );
         b.perform_create(&model, Some(&saved));
         let button_b = b.tree.find_by_id_name("button").unwrap();
-        assert_eq!(b.tree.view(button_b).unwrap().attrs.text.as_deref(), Some("Load"));
+        assert_eq!(
+            b.tree.view(button_b).unwrap().attrs.text.as_deref(),
+            Some("Load")
+        );
     }
 
     #[test]
@@ -314,7 +322,9 @@ mod tests {
         let before = a.heap_bytes();
         let img = a.tree.find_by_id_name("image_0").unwrap();
         // Replaces the 64 KiB placeholder with a 1 MiB drawable.
-        a.tree.apply(img, ViewOp::SetDrawable("big.png".into(), 1 << 20)).unwrap();
+        a.tree
+            .apply(img, ViewOp::SetDrawable("big.png".into(), 1 << 20))
+            .unwrap();
         assert!(a.heap_bytes() >= before + 900_000);
     }
 }

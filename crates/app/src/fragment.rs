@@ -121,7 +121,10 @@ impl Activity {
             .clone();
         let (fragment_tree, _) = inflate(&template, resources, &config);
         let root_view = graft(&fragment_tree, &mut self.tree, container)?;
-        let attached = AttachedFragment { spec: spec.clone(), root_view };
+        let attached = AttachedFragment {
+            spec: spec.clone(),
+            root_view,
+        };
         self.fragments.push(attached.clone());
         Ok(attached)
     }
@@ -233,7 +236,10 @@ mod tests {
         let resources = resources_with_fragment();
         let before = a.tree.view_count();
         let attached = a
-            .attach_fragment(&resources, &FragmentSpec::new("login", "fragment_login", "root"))
+            .attach_fragment(
+                &resources,
+                &FragmentSpec::new("login", "fragment_login", "root"),
+            )
             .unwrap();
         assert_eq!(a.tree.view_count(), before + 3);
         assert!(a.tree.find_by_id_name("username").is_some());
@@ -244,10 +250,15 @@ mod tests {
     fn fragment_views_behave_like_normal_views() {
         let mut a = activity();
         let resources = resources_with_fragment();
-        a.attach_fragment(&resources, &FragmentSpec::new("login", "fragment_login", "root"))
-            .unwrap();
+        a.attach_fragment(
+            &resources,
+            &FragmentSpec::new("login", "fragment_login", "root"),
+        )
+        .unwrap();
         let username = a.tree.find_by_id_name("username").unwrap();
-        a.tree.apply(username, ViewOp::SetText("alice".into())).unwrap();
+        a.tree
+            .apply(username, ViewOp::SetText("alice".into()))
+            .unwrap();
         // EditText in a fragment saves its state like any other.
         let state = a.tree.save_hierarchy_state();
         assert!(state.bundle("view:username").is_some());
@@ -257,12 +268,18 @@ mod tests {
     fn detach_removes_the_subtree() {
         let mut a = activity();
         let resources = resources_with_fragment();
-        a.attach_fragment(&resources, &FragmentSpec::new("login", "fragment_login", "root"))
-            .unwrap();
+        a.attach_fragment(
+            &resources,
+            &FragmentSpec::new("login", "fragment_login", "root"),
+        )
+        .unwrap();
         a.detach_fragment("login").unwrap();
         assert!(a.tree.find_by_id_name("username").is_none());
         assert!(a.fragments().is_empty());
-        assert_eq!(a.detach_fragment("login"), Err(FragmentError::UnknownTag("login".into())));
+        assert_eq!(
+            a.detach_fragment("login"),
+            Err(FragmentError::UnknownTag("login".into()))
+        );
     }
 
     #[test]
@@ -282,7 +299,10 @@ mod tests {
         let mut a = activity();
         let resources = resources_with_fragment();
         assert_eq!(
-            a.attach_fragment(&resources, &FragmentSpec::new("x", "fragment_login", "nope")),
+            a.attach_fragment(
+                &resources,
+                &FragmentSpec::new("x", "fragment_login", "nope")
+            ),
             Err(FragmentError::UnknownContainer("nope".into()))
         );
         assert_eq!(

@@ -35,7 +35,10 @@ impl AsyncSpec {
     pub fn updating(duration: SimDuration, id_name: &str, op: ViewOp) -> Self {
         AsyncSpec {
             duration,
-            result: AsyncResult { ops: vec![(id_name.to_owned(), op)], shows_dialog: false },
+            result: AsyncResult {
+                ops: vec![(id_name.to_owned(), op)],
+                shows_dialog: false,
+            },
         }
     }
 }
@@ -160,7 +163,11 @@ impl SimpleApp {
 
     /// Starts building a customised benchmark app.
     pub fn builder(image_count: usize) -> SimpleAppBuilder {
-        SimpleAppBuilder { image_count, handled: ConfigChanges::NONE, saves_state: false }
+        SimpleAppBuilder {
+            image_count,
+            handled: ConfigChanges::NONE,
+            saves_state: false,
+        }
     }
 
     /// Number of ImageViews in the layout.
@@ -217,8 +224,7 @@ impl SimpleAppBuilder {
         for (qualifiers, suffix) in [
             (Qualifiers::any(), "port"),
             (
-                Qualifiers::any()
-                    .with_orientation(droidsim_config::Orientation::Landscape),
+                Qualifiers::any().with_orientation(droidsim_config::Orientation::Landscape),
                 "land",
             ),
         ] {
@@ -227,10 +233,18 @@ impl SimpleAppBuilder {
                     .with_id(&format!("image_{i}"))
                     .with_attr("src", "@drawable/placeholder")
             });
-            let root = LayoutNode::new(if suffix == "port" { "LinearLayout" } else { "GridLayout" })
-                .with_id("root")
-                .with_children(images)
-                .with_child(LayoutNode::new("Button").with_id("button").with_attr("text", "Load"));
+            let root = LayoutNode::new(if suffix == "port" {
+                "LinearLayout"
+            } else {
+                "GridLayout"
+            })
+            .with_id("root")
+            .with_children(images)
+            .with_child(
+                LayoutNode::new("Button")
+                    .with_id("button")
+                    .with_attr("text", "Load"),
+            );
             resources.put(
                 "activity_main",
                 qualifiers,
@@ -336,7 +350,9 @@ mod tests {
         let model = SimpleApp::with_views(1);
         let mut a = activity_for(&model);
         a.destroy();
-        let err = model.on_async_result(&mut a, &model.button_task().result).unwrap_err();
+        let err = model
+            .on_async_result(&mut a, &model.button_task().result)
+            .unwrap_err();
         assert!(err.is_crash());
     }
 
@@ -345,7 +361,10 @@ mod tests {
         let model = SimpleApp::with_views(1);
         let mut a = activity_for(&model);
         a.destroy();
-        let result = AsyncResult { ops: vec![], shows_dialog: true };
+        let result = AsyncResult {
+            ops: vec![],
+            shows_dialog: true,
+        };
         let err = model.on_async_result(&mut a, &result).unwrap_err();
         assert!(matches!(err, ViewError::WindowLeaked { .. }));
     }
@@ -363,7 +382,10 @@ mod tests {
 
     #[test]
     fn builder_configures_flags() {
-        let app = SimpleApp::builder(1).handles(ConfigChanges::ALL).saves_state().build();
+        let app = SimpleApp::builder(1)
+            .handles(ConfigChanges::ALL)
+            .saves_state()
+            .build();
         assert_eq!(app.handled_changes(), ConfigChanges::ALL);
         assert!(app.implements_save_instance_state());
     }

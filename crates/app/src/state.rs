@@ -43,7 +43,11 @@ pub struct StateError {
 
 impl fmt::Display for StateError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "illegal lifecycle transition {} -> {}", self.from, self.to)
+        write!(
+            f,
+            "illegal lifecycle transition {} -> {}",
+            self.from, self.to
+        )
     }
 }
 
@@ -57,7 +61,10 @@ impl ActivityState {
 
     /// Whether the instance is visible to the user.
     pub fn is_visible(self) -> bool {
-        matches!(self, ActivityState::Resumed | ActivityState::Paused | ActivityState::Sunny)
+        matches!(
+            self,
+            ActivityState::Resumed | ActivityState::Paused | ActivityState::Sunny
+        )
     }
 
     /// Whether the instance is in the foreground and interactive.
@@ -163,9 +170,15 @@ mod tests {
         assert!(Created.transition_to(Resumed).is_err());
         assert!(Destroyed.transition_to(Started).is_err());
         assert!(Resumed.transition_to(Shadow).is_err(), "must pause first");
-        assert!(Shadow.transition_to(Resumed).is_err(), "shadow exits via sunny or GC");
+        assert!(
+            Shadow.transition_to(Resumed).is_err(),
+            "shadow exits via sunny or GC"
+        );
         let err = Created.transition_to(Destroyed).unwrap_err();
-        assert_eq!(err.to_string(), "illegal lifecycle transition Created -> Destroyed");
+        assert_eq!(
+            err.to_string(),
+            "illegal lifecycle transition Created -> Destroyed"
+        );
     }
 
     #[test]

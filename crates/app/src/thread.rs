@@ -148,7 +148,11 @@ impl ActivityThread {
         }
         match a.state() {
             ActivityState::Started => {
-                a.transition(if sunny { ActivityState::Sunny } else { ActivityState::Resumed })?;
+                a.transition(if sunny {
+                    ActivityState::Sunny
+                } else {
+                    ActivityState::Resumed
+                })?;
             }
             ActivityState::Paused => {
                 a.transition(ActivityState::Resumed)?;
@@ -241,19 +245,33 @@ impl ActivityThread {
         if !self.instances.contains_key(&instance) {
             return Err(ThreadError::UnknownInstance(instance));
         }
-        Ok(self.tasks.spawn(now, spec.duration, AsyncWork { instance, result: spec.result }))
+        Ok(self.tasks.spawn(
+            now,
+            spec.duration,
+            AsyncWork {
+                instance,
+                result: spec.result,
+            },
+        ))
     }
 
     /// Moves finished tasks onto the UI queue (worker thread → looper).
     pub fn pump_async(&mut self, now: SimTime) {
         for completion in self.tasks.completions_until(now) {
-            self.ui_queue.post(completion.finished_at, UiMessage::AsyncResult(completion.payload));
+            self.ui_queue.post(
+                completion.finished_at,
+                UiMessage::AsyncResult(completion.payload),
+            );
         }
     }
 
     /// Drains UI messages due at or before `now`.
     pub fn drain_ui(&mut self, now: SimTime) -> Vec<UiMessage> {
-        self.ui_queue.drain_until(now).into_iter().map(|m| m.what).collect()
+        self.ui_queue
+            .drain_until(now)
+            .into_iter()
+            .map(|m| m.what)
+            .collect()
     }
 
     /// Runs one async callback against its instance (the UI thread's
@@ -292,7 +310,9 @@ impl ActivityThread {
     ///
     /// [`ThreadError::UnknownInstance`].
     pub fn instance(&self, id: ActivityInstanceId) -> Result<&Activity, ThreadError> {
-        self.instances.get(&id).ok_or(ThreadError::UnknownInstance(id))
+        self.instances
+            .get(&id)
+            .ok_or(ThreadError::UnknownInstance(id))
     }
 
     /// Mutable instance lookup.
@@ -301,7 +321,9 @@ impl ActivityThread {
     ///
     /// [`ThreadError::UnknownInstance`].
     pub fn instance_mut(&mut self, id: ActivityInstanceId) -> Result<&mut Activity, ThreadError> {
-        self.instances.get_mut(&id).ok_or(ThreadError::UnknownInstance(id))
+        self.instances
+            .get_mut(&id)
+            .ok_or(ThreadError::UnknownInstance(id))
     }
 
     /// Runs `f` with mutable access to two *distinct* instances at once —
@@ -321,7 +343,10 @@ impl ActivityThread {
         if a == b {
             return Err(ThreadError::UnknownInstance(b));
         }
-        let mut act_a = self.instances.remove(&a).ok_or(ThreadError::UnknownInstance(a))?;
+        let mut act_a = self
+            .instances
+            .remove(&a)
+            .ok_or(ThreadError::UnknownInstance(a))?;
         let result = match self.instances.get_mut(&b) {
             Some(act_b) => Ok(f(&mut act_a, act_b)),
             None => Err(ThreadError::UnknownInstance(b)),
@@ -429,13 +454,18 @@ mod tests {
         thread.deliver_async(&model, work).unwrap();
         let a = thread.instance(id).unwrap();
         let img = a.tree.find_by_id_name("image_1").unwrap();
-        assert_eq!(a.tree.view(img).unwrap().attrs.drawable.as_ref().unwrap().0, "loaded_1.png");
+        assert_eq!(
+            a.tree.view(img).unwrap().attrs.drawable.as_ref().unwrap().0,
+            "loaded_1.png"
+        );
     }
 
     #[test]
     fn async_after_destroy_crashes() {
         let (mut thread, model, id) = launched();
-        thread.start_async(id, model.button_task(), SimTime::ZERO).unwrap();
+        thread
+            .start_async(id, model.button_task(), SimTime::ZERO)
+            .unwrap();
         // The restart destroys the instance but does NOT cancel the task.
         thread.destroy_activity(id).unwrap();
         assert_eq!(thread.async_task_count(), 1);
@@ -453,7 +483,11 @@ mod tests {
     #[test]
     fn enter_shadow_snapshots_state() {
         let (mut thread, model, id) = launched();
-        thread.instance_mut(id).unwrap().member_state.put_i32("field", 7);
+        thread
+            .instance_mut(id)
+            .unwrap()
+            .member_state
+            .put_i32("field", 7);
         thread.enter_shadow(id, &model).unwrap();
         let a = thread.instance(id).unwrap();
         assert_eq!(a.state(), ActivityState::Shadow);
@@ -464,7 +498,9 @@ mod tests {
     #[test]
     fn shadow_instance_still_receives_async_results() {
         let (mut thread, model, id) = launched();
-        thread.start_async(id, model.button_task(), SimTime::ZERO).unwrap();
+        thread
+            .start_async(id, model.button_task(), SimTime::ZERO)
+            .unwrap();
         thread.enter_shadow(id, &model).unwrap();
 
         thread.pump_async(SimTime::from_secs(5));
@@ -473,7 +509,11 @@ mod tests {
         // The shadow instance is alive: the callback succeeds.
         thread.deliver_async(&model, work).unwrap();
         let a = thread.instance_mut(id).unwrap();
-        assert_eq!(a.tree.drain_invalidations().len(), 2, "updates caught for migration");
+        assert_eq!(
+            a.tree.drain_invalidations().len(),
+            2,
+            "updates caught for migration"
+        );
     }
 
     #[test]
@@ -514,7 +554,9 @@ mod tests {
     fn start_async_on_unknown_instance_errors() {
         let (mut thread, model, _) = launched();
         let bogus = ActivityInstanceId::new(99);
-        let err = thread.start_async(bogus, model.button_task(), SimTime::ZERO).unwrap_err();
+        let err = thread
+            .start_async(bogus, model.button_task(), SimTime::ZERO)
+            .unwrap_err();
         assert_eq!(err, ThreadError::UnknownInstance(bogus));
     }
 }

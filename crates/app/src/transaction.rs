@@ -68,7 +68,10 @@ pub struct ClientTransaction {
 impl ClientTransaction {
     /// Creates an empty transaction for a token.
     pub fn new(token: ActivityRecordId) -> Self {
-        ClientTransaction { token, items: Vec::new() }
+        ClientTransaction {
+            token,
+            items: Vec::new(),
+        }
     }
 
     /// Appends an item.
@@ -91,7 +94,10 @@ impl ClientTransaction {
         parcel.write_str(&format!("token:{}", self.token));
         for item in &self.items {
             match item {
-                LifecycleItem::Launch { config, saved_state } => {
+                LifecycleItem::Launch {
+                    config,
+                    saved_state,
+                } => {
                     parcel.write_str(&format!("launch:{config}"));
                     if let Some(saved) = saved_state {
                         parcel.write_bundle(saved);
@@ -129,7 +135,10 @@ impl ActivityThread {
         let mut instance = self.instance_for_token(transaction.token);
         for item in &transaction.items {
             match item {
-                LifecycleItem::Launch { config, saved_state } => {
+                LifecycleItem::Launch {
+                    config,
+                    saved_state,
+                } => {
                     let id = self.perform_launch_activity(
                         model,
                         transaction.token,
@@ -139,8 +148,9 @@ impl ActivityThread {
                     instance = Some(id);
                 }
                 LifecycleItem::Relaunch { config } => {
-                    let current = instance
-                        .ok_or(ThreadError::UnknownInstance(ActivityInstanceId::new(u64::MAX)))?;
+                    let current = instance.ok_or(ThreadError::UnknownInstance(
+                        ActivityInstanceId::new(u64::MAX),
+                    ))?;
                     // Android saves the instance state before destroying.
                     let saved = self.instance(current)?.save_instance_state(model);
                     self.destroy_activity(current)?;
@@ -153,46 +163,57 @@ impl ActivityThread {
                     instance = Some(id);
                 }
                 LifecycleItem::Resume { sunny } => {
-                    let current = instance
-                        .ok_or(ThreadError::UnknownInstance(ActivityInstanceId::new(u64::MAX)))?;
+                    let current = instance.ok_or(ThreadError::UnknownInstance(
+                        ActivityInstanceId::new(u64::MAX),
+                    ))?;
                     self.resume_sequence(current, *sunny)?;
                 }
                 LifecycleItem::Stop => {
-                    let current = instance
-                        .ok_or(ThreadError::UnknownInstance(ActivityInstanceId::new(u64::MAX)))?;
+                    let current = instance.ok_or(ThreadError::UnknownInstance(
+                        ActivityInstanceId::new(u64::MAX),
+                    ))?;
                     self.pause_stop_sequence(current)?;
                 }
                 LifecycleItem::EnterShadow => {
-                    let current = instance
-                        .ok_or(ThreadError::UnknownInstance(ActivityInstanceId::new(u64::MAX)))?;
+                    let current = instance.ok_or(ThreadError::UnknownInstance(
+                        ActivityInstanceId::new(u64::MAX),
+                    ))?;
                     self.enter_shadow(current, model)?;
                 }
                 LifecycleItem::Destroy => {
-                    let current = instance
-                        .ok_or(ThreadError::UnknownInstance(ActivityInstanceId::new(u64::MAX)))?;
+                    let current = instance.ok_or(ThreadError::UnknownInstance(
+                        ActivityInstanceId::new(u64::MAX),
+                    ))?;
                     self.destroy_activity(current)?;
                 }
                 LifecycleItem::ConfigurationChanged => {
-                    let current = instance
-                        .ok_or(ThreadError::UnknownInstance(ActivityInstanceId::new(u64::MAX)))?;
+                    let current = instance.ok_or(ThreadError::UnknownInstance(
+                        ActivityInstanceId::new(u64::MAX),
+                    ))?;
                     let activity: &mut Activity = self.instance_mut(current)?;
                     model.on_configuration_changed(activity);
                 }
             }
         }
-        instance.ok_or(ThreadError::UnknownInstance(ActivityInstanceId::new(u64::MAX)))
+        instance.ok_or(ThreadError::UnknownInstance(ActivityInstanceId::new(
+            u64::MAX,
+        )))
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::state::ActivityState;
     use crate::model::SimpleApp;
+    use crate::state::ActivityState;
     use droidsim_view::ViewOp;
 
     fn setup() -> (ActivityThread, SimpleApp, ActivityRecordId) {
-        (ActivityThread::new(), SimpleApp::with_views(2), ActivityRecordId::new(7))
+        (
+            ActivityThread::new(),
+            SimpleApp::with_views(2),
+            ActivityRecordId::new(7),
+        )
     }
 
     #[test]
@@ -205,7 +226,10 @@ mod tests {
             })
             .with(LifecycleItem::Resume { sunny: false });
         let instance = thread.execute_transaction(&model, &txn).unwrap();
-        assert_eq!(thread.instance(instance).unwrap().state(), ActivityState::Resumed);
+        assert_eq!(
+            thread.instance(instance).unwrap().state(),
+            ActivityState::Resumed
+        );
         assert_eq!(thread.instance_for_token(token), Some(instance));
     }
 
@@ -261,7 +285,10 @@ mod tests {
             })
             .with(LifecycleItem::Resume { sunny: true });
         let sunny = thread.execute_transaction(&model, &sunny_txn).unwrap();
-        assert_eq!(thread.instance(sunny).unwrap().state(), ActivityState::Sunny);
+        assert_eq!(
+            thread.instance(sunny).unwrap().state(),
+            ActivityState::Sunny
+        );
         assert_eq!(thread.alive_instances().len(), 2);
     }
 

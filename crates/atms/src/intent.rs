@@ -107,7 +107,10 @@ pub struct Intent {
 impl Intent {
     /// Creates a default-flag intent for a component.
     pub fn new(component: &str) -> Self {
-        Intent { component: component.to_owned(), flags: IntentFlags::NONE }
+        Intent {
+            component: component.to_owned(),
+            flags: IntentFlags::NONE,
+        }
     }
 
     /// Adds launch flags.

@@ -183,14 +183,11 @@ impl Atms {
         // the task, destroy everything above it and deliver to it.
         if intent.flags.contains(IntentFlags::CLEAR_TOP) {
             let existing = self.stack.task(task_id).and_then(|t| {
-                t.records()
-                    .iter()
-                    .copied()
-                    .find(|id| {
-                        self.records
-                            .get(id)
-                            .is_some_and(|r| r.component() == intent.component && r.is_alive())
-                    })
+                t.records().iter().copied().find(|id| {
+                    self.records
+                        .get(id)
+                        .is_some_and(|r| r.component() == intent.component && r.is_alive())
+                })
             });
             if let Some(target) = existing {
                 let above: Vec<ActivityRecordId> = self
@@ -237,8 +234,15 @@ impl Atms {
         }
 
         let record = self.create_record(&intent.component, handled);
-        self.stack.task_mut(task_id).expect("task just ensured").push(record);
-        StartResult { record, task: task_id, disposition: StartDisposition::CreatedNew }
+        self.stack
+            .task_mut(task_id)
+            .expect("task just ensured")
+            .push(record);
+        StartResult {
+            record,
+            task: task_id,
+            disposition: StartDisposition::CreatedNew,
+        }
     }
 
     /// The SUNNY start path (RCHDroid §3.4).
@@ -260,7 +264,10 @@ impl Atms {
         if let Some(shadow_id) = shadow {
             // Reorder it to the top, remove its shadow state, and flip the
             // previous top into the shadow state.
-            self.stack.task_mut(task_id).expect("task exists").move_to_top(shadow_id);
+            self.stack
+                .task_mut(task_id)
+                .expect("task exists")
+                .move_to_top(shadow_id);
             if let Some(r) = self.records.get_mut(&shadow_id) {
                 r.set_shadow(false, now);
                 r.config = self.global_config.clone();
@@ -284,14 +291,21 @@ impl Atms {
         // component (the stock same-as-top test is bypassed for SUNNY),
         // push it, and shadow the previous top.
         let record = self.create_record(&intent.component, handled);
-        self.stack.task_mut(task_id).expect("task exists").push(record);
+        self.stack
+            .task_mut(task_id)
+            .expect("task exists")
+            .push(record);
         if let Some(prev) = current_top {
             if let Some(r) = self.records.get_mut(&prev) {
                 r.set_shadow(true, now);
                 r.state = RecordState::Stopped;
             }
         }
-        StartResult { record, task: task_id, disposition: StartDisposition::CreatedNew }
+        StartResult {
+            record,
+            task: task_id,
+            disposition: StartDisposition::CreatedNew,
+        }
     }
 
     fn create_record(&mut self, component: &str, handled: ConfigChanges) -> ActivityRecordId {
@@ -320,7 +334,10 @@ impl Atms {
         prevent_relaunch: bool,
     ) -> Result<ConfigDecision, AtmsError> {
         let global = self.global_config.clone();
-        let r = self.records.get_mut(&record).ok_or(AtmsError::UnknownRecord(record))?;
+        let r = self
+            .records
+            .get_mut(&record)
+            .ok_or(AtmsError::UnknownRecord(record))?;
         let diff = r.config.diff(&global);
         if diff.is_empty() {
             return Ok(ConfigDecision::NoChange);
@@ -359,7 +376,10 @@ impl Atms {
     ///
     /// [`AtmsError::UnknownRecord`] for stale tokens.
     pub fn destroy_record(&mut self, record: ActivityRecordId) -> Result<(), AtmsError> {
-        let r = self.records.get_mut(&record).ok_or(AtmsError::UnknownRecord(record))?;
+        let r = self
+            .records
+            .get_mut(&record)
+            .ok_or(AtmsError::UnknownRecord(record))?;
         r.state = RecordState::Destroyed;
         r.set_shadow(false, SimTime::ZERO);
         let task_ids: Vec<TaskId> = self.stack.tasks().iter().map(|t| t.id()).collect();
@@ -473,7 +493,9 @@ mod tests {
         // No third record: the shadow (first) was flipped back to sunny.
         assert_eq!(
             third.disposition,
-            StartDisposition::FlippedShadow { now_shadow: second.record }
+            StartDisposition::FlippedShadow {
+                now_shadow: second.record
+            }
         );
         assert_eq!(third.record, first.record);
         assert_eq!(a.alive_record_count(), 2);
@@ -486,11 +508,16 @@ mod tests {
     fn coin_flip_alternates_indefinitely() {
         let mut a = atms();
         let r0 = a.start_activity(&Intent::new("com.x/.Main")).record;
-        let r1 = a.start_activity_at(&Intent::sunny("com.x/.Main"), SimTime::from_secs(1)).record;
+        let r1 = a
+            .start_activity_at(&Intent::sunny("com.x/.Main"), SimTime::from_secs(1))
+            .record;
         let mut expect = [r0, r1];
         for i in 2..10u64 {
             let res = a.start_activity_at(&Intent::sunny("com.x/.Main"), SimTime::from_secs(i));
-            assert!(matches!(res.disposition, StartDisposition::FlippedShadow { .. }));
+            assert!(matches!(
+                res.disposition,
+                StartDisposition::FlippedShadow { .. }
+            ));
             assert_eq!(res.record, expect[0]);
             expect.swap(0, 1);
             assert_eq!(a.alive_record_count(), 2, "never more than two instances");
@@ -518,12 +545,14 @@ mod tests {
         a.start_activity(&Intent::new("com.x/.Settings"));
         assert_eq!(a.stack().top_task().unwrap().len(), 3);
 
-        let res = a.start_activity(
-            &Intent::new("com.x/.Main").with_flags(IntentFlags::CLEAR_TOP),
-        );
+        let res = a.start_activity(&Intent::new("com.x/.Main").with_flags(IntentFlags::CLEAR_TOP));
         assert_eq!(res.record, main);
         assert_eq!(res.disposition, StartDisposition::ReusedTop);
-        assert_eq!(a.stack().top_task().unwrap().len(), 1, "everything above destroyed");
+        assert_eq!(
+            a.stack().top_task().unwrap().len(),
+            1,
+            "everything above destroyed"
+        );
         assert_eq!(a.alive_record_count(), 1);
         assert_eq!(a.foreground_record(), Some(main));
     }
@@ -532,9 +561,7 @@ mod tests {
     fn clear_top_without_existing_instance_creates() {
         let mut a = atms();
         a.start_activity(&Intent::new("com.x/.Main"));
-        let res = a.start_activity(
-            &Intent::new("com.x/.Other").with_flags(IntentFlags::CLEAR_TOP),
-        );
+        let res = a.start_activity(&Intent::new("com.x/.Other").with_flags(IntentFlags::CLEAR_TOP));
         assert_eq!(res.disposition, StartDisposition::CreatedNew);
         assert_eq!(a.stack().top_task().unwrap().len(), 2);
     }

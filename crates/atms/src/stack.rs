@@ -22,7 +22,11 @@ pub struct TaskRecord {
 impl TaskRecord {
     /// Creates an empty task.
     pub fn new(id: TaskId, affinity: &str) -> Self {
-        TaskRecord { id, affinity: affinity.to_owned(), records: Vec::new() }
+        TaskRecord {
+            id,
+            affinity: affinity.to_owned(),
+            records: Vec::new(),
+        }
     }
 
     /// The task id.
@@ -115,7 +119,10 @@ impl ActivityStack {
 
     /// Finds a task by affinity.
     pub fn task_by_affinity(&self, affinity: &str) -> Option<TaskId> {
-        self.tasks.iter().find(|t| t.affinity == affinity).map(TaskRecord::id)
+        self.tasks
+            .iter()
+            .find(|t| t.affinity == affinity)
+            .map(TaskRecord::id)
     }
 
     /// Looks up a task.

@@ -14,7 +14,10 @@ fn bench(c: &mut Criterion) {
         ("full", HandlingMode::rchdroid_default()),
         (
             "no_coin_flip",
-            HandlingMode::rchdroid_ablated(RchOptions { coin_flip: false, ..RchOptions::default() }),
+            HandlingMode::rchdroid_ablated(RchOptions {
+                coin_flip: false,
+                ..RchOptions::default()
+            }),
         ),
         (
             "no_lazy_migration",
@@ -23,7 +26,10 @@ fn bench(c: &mut Criterion) {
                 ..RchOptions::default()
             }),
         ),
-        ("no_gc", HandlingMode::RchDroid(ablation::gc_disabled(), RchOptions::default())),
+        (
+            "no_gc",
+            HandlingMode::RchDroid(ablation::gc_disabled(), RchOptions::default()),
+        ),
     ];
     let mut group = c.benchmark_group("ablation");
     for (label, mode) in arms {

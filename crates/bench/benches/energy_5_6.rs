@@ -25,4 +25,3 @@ criterion_group! {
     targets = bench
 }
 criterion_main!(benches);
-

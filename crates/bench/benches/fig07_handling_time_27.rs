@@ -22,7 +22,12 @@ fn bench(c: &mut Criterion) {
         b.iter(|| black_box(run_app(&spec, &RunConfig::new(HandlingMode::Android10))))
     });
     group.bench_function("rchdroid_4_changes", |b| {
-        b.iter(|| black_box(run_app(&spec, &RunConfig::new(HandlingMode::rchdroid_default()))))
+        b.iter(|| {
+            black_box(run_app(
+                &spec,
+                &RunConfig::new(HandlingMode::rchdroid_default()),
+            ))
+        })
     });
     group.finish();
 }
@@ -40,4 +45,3 @@ criterion_group! {
     targets = bench
 }
 criterion_main!(benches);
-

@@ -9,7 +9,14 @@ fn bench(c: &mut Criterion) {
 
     c.bench_function("fig08_memory_snapshot", |b| {
         let device = rch_bench::bench_device(droidsim_device::HandlingMode::rchdroid_default(), 16);
-        b.iter(|| black_box(device.memory_snapshot("com.bench/.Main").unwrap().total_mib()))
+        b.iter(|| {
+            black_box(
+                device
+                    .memory_snapshot("com.bench/.Main")
+                    .unwrap()
+                    .total_mib(),
+            )
+        })
     });
 }
 
@@ -26,4 +33,3 @@ criterion_group! {
     targets = bench
 }
 criterion_main!(benches);
-

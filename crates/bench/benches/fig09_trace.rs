@@ -10,11 +10,19 @@ fn bench(c: &mut Criterion) {
 
     let mut group = c.benchmark_group("fig09_trace");
     group.bench_function("android10_scripted_timeline", |b| {
-        b.iter(|| black_box(rch_experiments::fig9::run_mode(HandlingMode::Android10, "A10")))
+        b.iter(|| {
+            black_box(rch_experiments::fig9::run_mode(
+                HandlingMode::Android10,
+                "A10",
+            ))
+        })
     });
     group.bench_function("rchdroid_scripted_timeline", |b| {
         b.iter(|| {
-            black_box(rch_experiments::fig9::run_mode(HandlingMode::rchdroid_default(), "RCH"))
+            black_box(rch_experiments::fig9::run_mode(
+                HandlingMode::rchdroid_default(),
+                "RCH",
+            ))
         })
     });
     group.finish();
@@ -33,4 +41,3 @@ criterion_group! {
     targets = bench
 }
 criterion_main!(benches);
-

@@ -35,4 +35,3 @@ criterion_group! {
     targets = bench
 }
 criterion_main!(benches);
-

@@ -9,9 +9,11 @@ fn bench(c: &mut Criterion) {
 
     let mut group = c.benchmark_group("fig11_gc_tradeoff");
     for thresh in [10u64, 50] {
-        group.bench_with_input(BenchmarkId::new("ten_minute_run", thresh), &thresh, |b, &t| {
-            b.iter(|| black_box(rch_experiments::fig11::run_one(t)))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("ten_minute_run", thresh),
+            &thresh,
+            |b, &t| b.iter(|| black_box(rch_experiments::fig11::run_one(t))),
+        );
     }
     group.finish();
 }
@@ -29,4 +31,3 @@ criterion_group! {
     targets = bench
 }
 criterion_main!(benches);
-

@@ -28,4 +28,3 @@ criterion_group! {
     targets = bench
 }
 criterion_main!(benches);
-

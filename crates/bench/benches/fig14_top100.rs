@@ -15,7 +15,12 @@ fn bench(c: &mut Criterion) {
         b.iter(|| black_box(run_app(&spec, &RunConfig::new(HandlingMode::Android10))))
     });
     group.bench_function("rchdroid_large_app", |b| {
-        b.iter(|| black_box(run_app(&spec, &RunConfig::new(HandlingMode::rchdroid_default()))))
+        b.iter(|| {
+            black_box(run_app(
+                &spec,
+                &RunConfig::new(HandlingMode::rchdroid_default()),
+            ))
+        })
     });
     group.finish();
 }
@@ -33,4 +38,3 @@ criterion_group! {
     targets = bench
 }
 criterion_main!(benches);
-

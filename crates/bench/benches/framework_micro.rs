@@ -3,15 +3,19 @@
 //! mapping build, lazy migration, coin-flip search).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use droidsim_kernel::SimTime;
 use droidsim_view::{ViewKind, ViewOp, ViewTree};
 use rchdroid::MigrationEngine;
 use std::hint::black_box;
 
 fn tree_with(n: usize) -> ViewTree {
     let mut t = ViewTree::new();
-    let root = t.add_view(t.root(), ViewKind::LinearLayout, Some("root")).unwrap();
+    let root = t
+        .add_view(t.root(), ViewKind::LinearLayout, Some("root"))
+        .unwrap();
     for i in 0..n {
-        t.add_view(root, ViewKind::ImageView, Some(&format!("v{i}"))).unwrap();
+        t.add_view(root, ViewKind::ImageView, Some(&format!("v{i}")))
+            .unwrap();
     }
     t
 }
@@ -23,7 +27,8 @@ fn bench(c: &mut Criterion) {
             let mut t = tree_with(n);
             let ids = t.iter_ids();
             for id in &ids[2..] {
-                t.apply(*id, ViewOp::SetDrawable("x.png".into(), 64)).unwrap();
+                t.apply(*id, ViewOp::SetDrawable("x.png".into(), 64))
+                    .unwrap();
             }
             b.iter(|| black_box(t.save_hierarchy_state()))
         });
@@ -45,12 +50,18 @@ fn bench(c: &mut Criterion) {
                     engine.build_mapping(&mut shadow, &mut sunny);
                     for i in 0..n {
                         let v = shadow.find_by_id_name(&format!("v{i}")).unwrap();
-                        shadow.apply(v, ViewOp::SetDrawable("new.png".into(), 64)).unwrap();
+                        shadow
+                            .apply(v, ViewOp::SetDrawable("new.png".into(), 64))
+                            .unwrap();
                     }
                     (shadow, sunny, engine)
                 },
-                |(mut shadow, mut sunny, engine)| {
-                    black_box(engine.migrate_invalidations(&mut shadow, &mut sunny).unwrap())
+                |(mut shadow, mut sunny, mut engine)| {
+                    black_box(
+                        engine
+                            .migrate_invalidations(&mut shadow, &mut sunny, SimTime::ZERO)
+                            .unwrap(),
+                    )
                 },
                 criterion::BatchSize::SmallInput,
             )
@@ -72,4 +83,3 @@ criterion_group! {
     targets = bench
 }
 criterion_main!(benches);
-

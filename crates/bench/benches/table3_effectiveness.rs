@@ -26,4 +26,3 @@ criterion_group! {
     targets = bench
 }
 criterion_main!(benches);
-

@@ -29,4 +29,3 @@ criterion_group! {
     targets = bench
 }
 criterion_main!(benches);
-

@@ -24,12 +24,16 @@ pub fn bench_device(mode: HandlingMode, views: usize) -> Device {
 
 /// One rotation on a fresh stock device: the Android-10 relaunch path.
 pub fn one_stock_change(views: usize) -> ChangeReport {
-    bench_device(HandlingMode::Android10, views).rotate().expect("handled")
+    bench_device(HandlingMode::Android10, views)
+        .rotate()
+        .expect("handled")
 }
 
 /// One rotation on a fresh RCHDroid device: the init path.
 pub fn one_rchdroid_init(views: usize) -> ChangeReport {
-    bench_device(HandlingMode::rchdroid_default(), views).rotate().expect("handled")
+    bench_device(HandlingMode::rchdroid_default(), views)
+        .rotate()
+        .expect("handled")
 }
 
 /// Two rotations on a fresh RCHDroid device, returning the second (flip).

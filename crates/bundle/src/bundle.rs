@@ -222,7 +222,9 @@ impl Bundle {
 
 impl FromIterator<(String, Value)> for Bundle {
     fn from_iter<T: IntoIterator<Item = (String, Value)>>(iter: T) -> Self {
-        Bundle { entries: iter.into_iter().collect() }
+        Bundle {
+            entries: iter.into_iter().collect(),
+        }
     }
 }
 

@@ -140,7 +140,9 @@ impl Parcel {
 
     /// Finishes writing and returns a reader over the bytes.
     pub fn into_reader(self) -> ParcelReader {
-        ParcelReader { buf: self.buf.freeze() }
+        ParcelReader {
+            buf: self.buf.freeze(),
+        }
     }
 
     /// Finishes writing and returns the raw bytes (binder wire format).
@@ -153,7 +155,9 @@ impl ParcelReader {
     /// Creates a reader over raw bytes previously produced by
     /// [`Parcel::into_bytes`] (or received "over the wire").
     pub fn from_bytes(bytes: Vec<u8>) -> ParcelReader {
-        ParcelReader { buf: Bytes::from(bytes) }
+        ParcelReader {
+            buf: Bytes::from(bytes),
+        }
     }
 }
 
@@ -219,7 +223,11 @@ impl ParcelReader {
                 Value::StrList(items)
             }
             TAG_BUNDLE => Value::Nested(self.read_bundle()?),
-            _ => return Err(ParcelError { what: "unknown tag" }),
+            _ => {
+                return Err(ParcelError {
+                    what: "unknown tag",
+                })
+            }
         })
     }
 

@@ -88,7 +88,9 @@ impl ConfigChanges {
 
     /// Iterator over the individual set flags.
     pub fn iter(self) -> impl Iterator<Item = ConfigChanges> {
-        (0..9u32).map(|b| ConfigChanges(1 << b)).filter(move |f| self.contains(*f))
+        (0..9u32)
+            .map(|b| ConfigChanges(1 << b))
+            .filter(move |f| self.contains(*f))
     }
 }
 

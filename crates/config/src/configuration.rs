@@ -176,7 +176,11 @@ impl Default for Configuration {
 
 impl fmt::Display for Configuration {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{} {} {} {:?}", self.orientation, self.screen, self.locale, self.ui_mode)
+        write!(
+            f,
+            "{} {} {} {:?}",
+            self.orientation, self.screen, self.locale, self.ui_mode
+        )
     }
 }
 

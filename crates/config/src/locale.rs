@@ -26,7 +26,10 @@ impl Locale {
     /// Creates a locale from language and region subtags. Subtags are
     /// normalised (language lowercased, region uppercased).
     pub fn new(language: &str, region: &str) -> Self {
-        Locale { language: language.to_ascii_lowercase(), region: region.to_ascii_uppercase() }
+        Locale {
+            language: language.to_ascii_lowercase(),
+            region: region.to_ascii_uppercase(),
+        }
     }
 
     /// US English — the default system locale.

@@ -54,7 +54,10 @@ pub struct ScreenSize {
 impl ScreenSize {
     /// Creates a screen size.
     pub const fn new(width_dp: u32, height_dp: u32) -> Self {
-        ScreenSize { width_dp, height_dp }
+        ScreenSize {
+            width_dp,
+            height_dp,
+        }
     }
 
     /// The orientation implied by the aspect ratio (square counts as
@@ -69,7 +72,10 @@ impl ScreenSize {
 
     /// The same physical screen rotated 90°.
     pub const fn swapped(self) -> ScreenSize {
-        ScreenSize { width_dp: self.height_dp, height_dp: self.width_dp }
+        ScreenSize {
+            width_dp: self.height_dp,
+            height_dp: self.width_dp,
+        }
     }
 
     /// The smaller of the two dimensions — Android's `smallestWidth`
@@ -107,9 +113,18 @@ mod tests {
 
     #[test]
     fn orientation_follows_aspect() {
-        assert_eq!(ScreenSize::new(1080, 1920).orientation(), Orientation::Portrait);
-        assert_eq!(ScreenSize::new(1920, 1080).orientation(), Orientation::Landscape);
-        assert_eq!(ScreenSize::new(500, 500).orientation(), Orientation::Portrait);
+        assert_eq!(
+            ScreenSize::new(1080, 1920).orientation(),
+            Orientation::Portrait
+        );
+        assert_eq!(
+            ScreenSize::new(1920, 1080).orientation(),
+            Orientation::Landscape
+        );
+        assert_eq!(
+            ScreenSize::new(500, 500).orientation(),
+            Orientation::Portrait
+        );
     }
 
     #[test]

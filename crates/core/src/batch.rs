@@ -1,0 +1,334 @@
+//! Batched lazy migration: flush policy, coalescing dirty queue, and the
+//! sharded essence map.
+//!
+//! The paper's lazy migration (§3.3) copies essence on *every* drained
+//! `invalidate()`. For chatty async callbacks — a progress bar ticking
+//! dozens of times between frames — most of those copies are overwritten
+//! before anyone sees them. The batched fast path keeps the interception
+//! point but defers the copy:
+//!
+//! 1. every drained invalidation lands in a [`DirtyQueue`] entry keyed by
+//!    view id; repeat invalidations of a queued view OR their
+//!    [`DirtyMask`]s into the existing entry (last-write-wins per
+//!    attribute, since the essence copy always reads the *current* shadow
+//!    attributes),
+//! 2. the queue drains as one batch when the [`FlushPolicy`] fires —
+//!    either the coalesced entry count reached `max_pending` or the
+//!    oldest entry has waited `max_delay` of virtual time,
+//! 3. at flush, each entry's shadow→sunny peer is resolved through a
+//!    [`ShardedEssenceMap`] — the essence mapping held in N independent
+//!    shards keyed by view id instead of one monolithic hash table, so a
+//!    flush touches only the shards its batch hashes into.
+//!
+//! [`FlushPolicy::Eager`] (the default) queues and immediately flushes
+//! every delivery, which is bit-for-bit the paper's behaviour — batching
+//! is strictly opt-in.
+
+use droidsim_kernel::{EventQueue, SimDuration, SimTime};
+use droidsim_view::{DirtyMask, ViewId};
+use std::collections::HashMap;
+
+/// When queued invalidations are migrated to the sunny tree.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FlushPolicy {
+    /// Flush on every async delivery — the paper's per-`invalidate()`
+    /// behaviour. The default.
+    #[default]
+    Eager,
+    /// Coalesce deliveries and flush when either trigger fires.
+    Batched {
+        /// Flush once this many *coalesced* entries are pending.
+        max_pending: usize,
+        /// Flush once the oldest pending entry has waited this long in
+        /// virtual time. [`SimDuration::ZERO`] means "every delivery",
+        /// degenerating to eager behaviour with queue bookkeeping.
+        max_delay: SimDuration,
+    },
+}
+
+impl FlushPolicy {
+    /// A batched policy. `max_pending` of 0 is clamped to 1 (a queue that
+    /// never fires on count would only flush on deadline).
+    pub fn batched(max_pending: usize, max_delay: SimDuration) -> FlushPolicy {
+        FlushPolicy::Batched {
+            max_pending: max_pending.max(1),
+            max_delay,
+        }
+    }
+
+    /// Whether this is the paper's eager policy.
+    pub fn is_eager(&self) -> bool {
+        matches!(self, FlushPolicy::Eager)
+    }
+}
+
+/// One coalesced pending migration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DirtyEntry {
+    /// The invalidated shadow view.
+    pub view: ViewId,
+    /// Union of the attributes dirtied since the entry was created.
+    pub mask: DirtyMask,
+    /// Raw invalidations absorbed into this entry.
+    pub raw: usize,
+    /// When the entry was created (starts the `max_delay` clock).
+    pub first_enqueued_at: SimTime,
+}
+
+/// An order-preserving, coalescing queue of pending migrations.
+///
+/// First-invalidation order is preserved; re-invalidating a queued view
+/// updates its entry in place. Deadlines ride on the kernel's
+/// deterministic [`EventQueue`] (one event per *entry*, scheduled at its
+/// creation time), so "oldest pending entry" is a `peek`, not a scan.
+#[derive(Debug, Clone, Default)]
+pub struct DirtyQueue {
+    order: Vec<ViewId>,
+    entries: HashMap<ViewId, DirtyEntry>,
+    deadlines: EventQueue<ViewId>,
+}
+
+impl DirtyQueue {
+    /// An empty queue.
+    pub fn new() -> DirtyQueue {
+        DirtyQueue::default()
+    }
+
+    /// Records one drained invalidation. Returns `true` if it coalesced
+    /// into an existing entry (no new migration work was added).
+    pub fn enqueue(&mut self, view: ViewId, mask: DirtyMask, raw: usize, now: SimTime) -> bool {
+        if let Some(entry) = self.entries.get_mut(&view) {
+            entry.mask |= mask;
+            entry.raw += raw;
+            true
+        } else {
+            self.order.push(view);
+            self.entries.insert(
+                view,
+                DirtyEntry {
+                    view,
+                    mask,
+                    raw,
+                    first_enqueued_at: now,
+                },
+            );
+            self.deadlines.schedule(now, view);
+            false
+        }
+    }
+
+    /// Coalesced entries pending.
+    pub fn len(&self) -> usize {
+        self.order.len()
+    }
+
+    /// Whether nothing is pending.
+    pub fn is_empty(&self) -> bool {
+        self.order.is_empty()
+    }
+
+    /// Raw invalidations absorbed since the last drain.
+    pub fn raw_pending(&self) -> usize {
+        self.entries.values().map(|e| e.raw).sum()
+    }
+
+    /// Creation time of the oldest pending entry.
+    pub fn oldest_enqueued_at(&self) -> Option<SimTime> {
+        self.deadlines.peek_time()
+    }
+
+    /// Whether the oldest pending entry has waited at least `max_delay`.
+    pub fn deadline_due(&self, now: SimTime, max_delay: SimDuration) -> bool {
+        self.oldest_enqueued_at()
+            .is_some_and(|first| now.saturating_since(first) >= max_delay)
+    }
+
+    /// Drains every pending entry in first-invalidation order.
+    pub fn drain(&mut self) -> Vec<DirtyEntry> {
+        let drained = self
+            .order
+            .drain(..)
+            .map(|view| {
+                self.entries
+                    .remove(&view)
+                    .expect("queue order and entries stay in sync")
+            })
+            .collect();
+        self.deadlines.clear();
+        drained
+    }
+
+    /// Drops all pending entries (used when a coupling is torn down).
+    pub fn clear(&mut self) {
+        self.order.clear();
+        self.entries.clear();
+        self.deadlines.clear();
+    }
+}
+
+/// The essence-based shadow↔sunny mapping, split into `N` shards.
+///
+/// The paper stores the coupling in one hash table; here each direction
+/// of the mapping lives in [`ShardedEssenceMap::DEFAULT_SHARDS`]
+/// independent shards selected by `view_id % N`. A flush therefore only
+/// touches the shards its batch hashes into — the structural prerequisite
+/// for per-shard locking if migration ever moves off the UI thread — and
+/// shard occupancy is directly inspectable for balance metrics.
+#[derive(Debug, Clone)]
+pub struct ShardedEssenceMap {
+    shards: Vec<HashMap<ViewId, ViewId>>,
+}
+
+impl Default for ShardedEssenceMap {
+    fn default() -> Self {
+        ShardedEssenceMap::new(ShardedEssenceMap::DEFAULT_SHARDS)
+    }
+}
+
+impl ShardedEssenceMap {
+    /// Default shard count: enough to spread any realistic activity tree
+    /// (the paper's benchmark app tops out at dozens of views).
+    pub const DEFAULT_SHARDS: usize = 8;
+
+    /// Creates an empty map with `shards` shards (clamped to ≥ 1).
+    pub fn new(shards: usize) -> ShardedEssenceMap {
+        ShardedEssenceMap {
+            shards: vec![HashMap::new(); shards.max(1)],
+        }
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    fn shard_of(&self, view: ViewId) -> usize {
+        (view.raw() % self.shards.len() as u64) as usize
+    }
+
+    /// Records `from → to`.
+    pub fn insert(&mut self, from: ViewId, to: ViewId) {
+        let shard = self.shard_of(from);
+        self.shards[shard].insert(from, to);
+    }
+
+    /// Resolves a peer.
+    pub fn get(&self, from: ViewId) -> Option<ViewId> {
+        self.shards[self.shard_of(from)].get(&from).copied()
+    }
+
+    /// Total mapped views across all shards.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(HashMap::len).sum()
+    }
+
+    /// Whether no view is mapped.
+    pub fn is_empty(&self) -> bool {
+        self.shards.iter().all(HashMap::is_empty)
+    }
+
+    /// Entries in shard `i` (balance inspection).
+    pub fn shard_len(&self, i: usize) -> usize {
+        self.shards[i].len()
+    }
+
+    /// Removes every mapping, keeping the shard count.
+    pub fn clear(&mut self) {
+        for shard in &mut self.shards {
+            shard.clear();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(raw: u64) -> ViewId {
+        ViewId::new(raw)
+    }
+
+    #[test]
+    fn default_policy_is_eager() {
+        assert!(FlushPolicy::default().is_eager());
+        assert!(!FlushPolicy::batched(4, SimDuration::ZERO).is_eager());
+    }
+
+    #[test]
+    fn batched_clamps_zero_max_pending() {
+        let FlushPolicy::Batched { max_pending, .. } =
+            FlushPolicy::batched(0, SimDuration::from_millis(1))
+        else {
+            panic!("batched() builds Batched")
+        };
+        assert_eq!(max_pending, 1);
+    }
+
+    #[test]
+    fn queue_coalesces_repeat_invalidations() {
+        let mut q = DirtyQueue::new();
+        let t0 = SimTime::from_millis(10);
+        assert!(!q.enqueue(v(1), DirtyMask::TEXT, 1, t0));
+        assert!(!q.enqueue(v(2), DirtyMask::PROGRESS, 1, t0));
+        // Re-invalidation coalesces: mask ORs, raw accumulates, order and
+        // first_enqueued_at stay put.
+        assert!(q.enqueue(v(1), DirtyMask::SCROLL, 2, SimTime::from_millis(30)));
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.raw_pending(), 4);
+        let drained = q.drain();
+        assert_eq!(drained.len(), 2);
+        assert_eq!(drained[0].view, v(1));
+        assert_eq!(drained[0].mask, DirtyMask::TEXT | DirtyMask::SCROLL);
+        assert_eq!(drained[0].raw, 3);
+        assert_eq!(drained[0].first_enqueued_at, t0);
+        assert_eq!(drained[1].view, v(2));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn deadline_tracks_the_oldest_entry() {
+        let mut q = DirtyQueue::new();
+        let delay = SimDuration::from_millis(16);
+        assert!(!q.deadline_due(SimTime::from_secs(99), delay), "empty");
+        q.enqueue(v(1), DirtyMask::TEXT, 1, SimTime::from_millis(10));
+        q.enqueue(v(2), DirtyMask::TEXT, 1, SimTime::from_millis(20));
+        assert_eq!(q.oldest_enqueued_at(), Some(SimTime::from_millis(10)));
+        assert!(!q.deadline_due(SimTime::from_millis(25), delay));
+        assert!(q.deadline_due(SimTime::from_millis(26), delay));
+        q.drain();
+        assert_eq!(q.oldest_enqueued_at(), None);
+    }
+
+    #[test]
+    fn sharded_map_resolves_and_spreads() {
+        let mut m = ShardedEssenceMap::new(4);
+        for i in 0..16u64 {
+            m.insert(v(i), v(100 + i));
+        }
+        assert_eq!(m.len(), 16);
+        assert_eq!(m.get(v(7)), Some(v(107)));
+        assert_eq!(m.get(v(40)), None);
+        // Sequential ids spread evenly over `id % 4`.
+        for shard in 0..4 {
+            assert_eq!(m.shard_len(shard), 4);
+        }
+        m.clear();
+        assert!(m.is_empty());
+        assert_eq!(m.shard_count(), 4);
+    }
+
+    #[test]
+    fn sharded_map_clamps_zero_shards() {
+        let m = ShardedEssenceMap::new(0);
+        assert_eq!(m.shard_count(), 1);
+    }
+
+    #[test]
+    fn insert_overwrites_stale_peer() {
+        let mut m = ShardedEssenceMap::default();
+        m.insert(v(3), v(10));
+        m.insert(v(3), v(11));
+        assert_eq!(m.get(v(3)), Some(v(11)));
+        assert_eq!(m.len(), 1);
+    }
+}

@@ -100,7 +100,10 @@ pub struct ShadowAgeTracker {
 impl ShadowAgeTracker {
     /// Creates a tracker with the given policy.
     pub fn new(policy: GcPolicy) -> Self {
-        ShadowAgeTracker { policy, entries: VecDeque::new() }
+        ShadowAgeTracker {
+            policy,
+            entries: VecDeque::new(),
+        }
     }
 
     /// The policy in force.
@@ -185,7 +188,10 @@ mod tests {
 
     #[test]
     fn frequent_flipper_is_kept_even_when_old() {
-        let policy = GcPolicy { thresh_t: SimDuration::from_secs(5), ..GcPolicy::paper_default() };
+        let policy = GcPolicy {
+            thresh_t: SimDuration::from_secs(5),
+            ..GcPolicy::paper_default()
+        };
         let mut t = ShadowAgeTracker::new(policy);
         // Six entries in the last minute (the Fig. 11 workload rate).
         for i in 0..6 {
@@ -193,7 +199,9 @@ mod tests {
         }
         let d = t.evaluate(secs(96), Some(secs(90)));
         // age = 6s > 5s, but frequency ≥ 4 → kept.
-        assert!(matches!(d, GcDecision::TooFrequent { entries_in_window } if entries_in_window >= 4));
+        assert!(
+            matches!(d, GcDecision::TooFrequent { entries_in_window } if entries_in_window >= 4)
+        );
     }
 
     #[test]
@@ -211,7 +219,10 @@ mod tests {
         let mut t = ShadowAgeTracker::new(GcPolicy::paper_default());
         t.note_shadow_entry(secs(0));
         let d = t.evaluate(secs(50), Some(secs(0)));
-        assert!(matches!(d, GcDecision::TooYoung { .. }), "strictly-greater comparison");
+        assert!(
+            matches!(d, GcDecision::TooYoung { .. }),
+            "strictly-greater comparison"
+        );
     }
 
     #[test]

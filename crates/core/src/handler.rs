@@ -1,11 +1,12 @@
 //! The RCHDroid change handler: orchestrates the shadow/sunny protocol
 //! across the activity thread and the ATMS (Fig. 3).
 
+use crate::batch::FlushPolicy;
 use crate::gc::{GcDecision, GcPolicy, ShadowAgeTracker};
 use crate::migration::{MigrationEngine, MigrationReport};
 use core::fmt;
-use droidsim_app::{ActivityState, ActivityThread, AppModel, AsyncWork, ThreadError};
 use droidsim_app::ActivityInstanceId;
+use droidsim_app::{ActivityState, ActivityThread, AppModel, AsyncWork, ThreadError};
 use droidsim_atms::{Atms, AtmsError, ConfigDecision, Intent, StartDisposition};
 use droidsim_kernel::SimTime;
 use droidsim_view::ViewError;
@@ -93,17 +94,27 @@ impl From<ViewError> for HandlerError {
 /// * without **lazy migration**, async-task results still land safely on
 ///   the alive shadow instance (no crash), but the foreground tree never
 ///   learns about them — stale UI.
+///
+/// `flush_policy` is not an ablation but a tuning knob: it selects when
+/// intercepted updates migrate ([`FlushPolicy::Eager`], the paper's
+/// per-delivery behaviour, or [`FlushPolicy::Batched`] coalescing).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RchOptions {
     /// Reuse the coupled shadow instance on later changes (§3.4).
     pub coin_flip: bool,
     /// Migrate intercepted shadow-tree updates to the sunny tree (§3.3).
     pub lazy_migration: bool,
+    /// When intercepted updates migrate (eager vs. batched coalescing).
+    pub flush_policy: FlushPolicy,
 }
 
 impl Default for RchOptions {
     fn default() -> Self {
-        RchOptions { coin_flip: true, lazy_migration: true }
+        RchOptions {
+            coin_flip: true,
+            lazy_migration: true,
+            flush_policy: FlushPolicy::Eager,
+        }
     }
 }
 
@@ -133,7 +144,7 @@ impl RchDroid {
     pub fn with_options(policy: GcPolicy, options: RchOptions) -> Self {
         RchDroid {
             tracker: ShadowAgeTracker::new(policy),
-            engine: MigrationEngine::new(),
+            engine: MigrationEngine::with_flush_policy(options.flush_policy),
             options,
         }
     }
@@ -146,6 +157,62 @@ impl RchDroid {
     /// The ablation options in force.
     pub fn options(&self) -> RchOptions {
         self.options
+    }
+
+    /// The migration flush policy in force.
+    pub fn flush_policy(&self) -> FlushPolicy {
+        self.engine.flush_policy()
+    }
+
+    /// Lifetime migration metrics (batch sizes, coalesce ratio, flush
+    /// latencies) of this handler's engine.
+    pub fn migration_metrics(&self) -> &droidsim_metrics::MigrationMetrics {
+        self.engine.metrics()
+    }
+
+    /// Drains any batched migrations that are still queued, regardless of
+    /// the flush policy's triggers. The handler calls this itself before
+    /// every shadow/sunny role change; hosts should also call it on frame
+    /// boundaries (via [`RchDroid::on_frame_tick`]) so a deadline trigger
+    /// fires even when no further async delivery arrives.
+    ///
+    /// # Errors
+    ///
+    /// Thread/view errors while draining.
+    pub fn flush_pending_migrations(
+        &mut self,
+        thread: &mut ActivityThread,
+    ) -> Result<Option<MigrationReport>, HandlerError> {
+        if self.engine.pending_entries() == 0 {
+            return Ok(None);
+        }
+        let (Some(shadow), Some(sunny)) = (thread.current_shadow(), thread.current_sunny()) else {
+            // The coupling is gone; queued updates have nowhere to land.
+            self.engine.discard_pending();
+            return Ok(None);
+        };
+        let engine = &mut self.engine;
+        let report = thread.with_instance_pair(shadow, sunny, |shadow, sunny| {
+            engine.flush(&mut shadow.tree, &mut sunny.tree)
+        })??;
+        Ok(Some(report))
+    }
+
+    /// Frame-boundary hook: flushes the batched queue if its count or
+    /// deadline trigger is due at `now`. Cheap no-op otherwise.
+    ///
+    /// # Errors
+    ///
+    /// Thread/view errors while draining.
+    pub fn on_frame_tick(
+        &mut self,
+        thread: &mut ActivityThread,
+        now: SimTime,
+    ) -> Result<Option<MigrationReport>, HandlerError> {
+        if !self.engine.flush_due(now) {
+            return Ok(None);
+        }
+        self.flush_pending_migrations(thread)
     }
 
     /// Handles a runtime configuration change for the foreground activity
@@ -167,7 +234,9 @@ impl RchDroid {
         model: &dyn AppModel,
         now: SimTime,
     ) -> Result<ChangeOutcome, HandlerError> {
-        let fore_record = atms.foreground_record().ok_or(HandlerError::NoForegroundActivity)?;
+        let fore_record = atms
+            .foreground_record()
+            .ok_or(HandlerError::NoForegroundActivity)?;
         let old_instance = thread
             .instance_for_token(fore_record)
             .ok_or(HandlerError::NoForegroundActivity)?;
@@ -203,6 +272,11 @@ impl RchDroid {
             ConfigDecision::PreventedRelaunch(_) => {}
         }
 
+        // A real change is about to swap shadow/sunny roles: drain any
+        // batched migrations first, while the queue's direction is still
+        // the one its entries were recorded under.
+        self.flush_pending_migrations(thread)?;
+
         // Ablation: with coin-flipping disabled, release any existing
         // shadow so the starter's search finds nothing and every change
         // pays the creation cost.
@@ -221,11 +295,8 @@ impl RchDroid {
 
         // Step ②: sunny-start through the ATMS (creates or coin-flips).
         let component = thread.instance(old_instance)?.component().to_owned();
-        let start = atms.start_activity_with_mask(
-            &Intent::sunny(&component),
-            now,
-            model.handled_changes(),
-        );
+        let start =
+            atms.start_activity_with_mask(&Intent::sunny(&component), now, model.handled_changes());
 
         match start.disposition {
             StartDisposition::CreatedNew => {
@@ -300,6 +371,7 @@ impl RchDroid {
         thread: &mut ActivityThread,
         model: &dyn AppModel,
         work: &AsyncWork,
+        now: SimTime,
     ) -> Result<Option<MigrationReport>, HandlerError> {
         thread.deliver_async(model, work)?;
         let instance = work.instance;
@@ -318,9 +390,9 @@ impl RchDroid {
         let Some(sunny) = thread.current_sunny() else {
             return Ok(None);
         };
-        let engine = &self.engine;
+        let engine = &mut self.engine;
         let report = thread.with_instance_pair(instance, sunny, |shadow, sunny| {
-            engine.migrate_invalidations(&mut shadow.tree, &mut sunny.tree)
+            engine.migrate_invalidations(&mut shadow.tree, &mut sunny.tree, now)
         })??;
         Ok(Some(report))
     }
@@ -376,6 +448,13 @@ impl RchDroid {
         atms: &mut Atms,
         shadow_instance: ActivityInstanceId,
     ) -> Result<(), HandlerError> {
+        // Batched updates queued from this shadow must migrate before the
+        // instance disappears, or they are lost for good.
+        if thread.current_shadow() == Some(shadow_instance) {
+            self.flush_pending_migrations(thread)?;
+        } else {
+            self.engine.discard_pending();
+        }
         let token = thread.instance(shadow_instance)?.token();
         thread.destroy_activity(shadow_instance)?;
         atms.destroy_record(token)?;
@@ -422,7 +501,13 @@ mod tests {
             None,
         );
         thread.resume_sequence(instance, false).unwrap();
-        Rig { model, atms, thread, rch: RchDroid::new(), instance }
+        Rig {
+            model,
+            atms,
+            thread,
+            rch: RchDroid::new(),
+            instance,
+        }
     }
 
     fn rotate(rig: &mut Rig, now: SimTime) -> ChangeOutcome {
@@ -442,7 +527,10 @@ mod tests {
         assert_ne!(outcome.sunny_instance, rig.instance);
         assert!(outcome.mapped_views > 0);
         // Old instance alive in Shadow, new one in Sunny.
-        assert_eq!(rig.thread.instance(rig.instance).unwrap().state(), ActivityState::Shadow);
+        assert_eq!(
+            rig.thread.instance(rig.instance).unwrap().state(),
+            ActivityState::Shadow
+        );
         assert_eq!(
             rig.thread.instance(outcome.sunny_instance).unwrap().state(),
             ActivityState::Sunny
@@ -455,9 +543,16 @@ mod tests {
         let first = rotate(&mut rig, SimTime::from_millis(17));
         let second = rotate(&mut rig, SimTime::from_millis(79));
         assert_eq!(second.kind, ChangeKind::Flip);
-        assert_eq!(second.sunny_instance, rig.instance, "original instance returns");
+        assert_eq!(
+            second.sunny_instance, rig.instance,
+            "original instance returns"
+        );
         assert_eq!(second.shadow_instance, Some(first.sunny_instance));
-        assert_eq!(rig.thread.alive_instances().len(), 2, "never a third instance");
+        assert_eq!(
+            rig.thread.alive_instances().len(),
+            2,
+            "never a third instance"
+        );
     }
 
     #[test]
@@ -475,7 +570,9 @@ mod tests {
 
     #[test]
     fn self_handling_app_stays_in_place() {
-        let model = SimpleApp::builder(2).handles(droidsim_config::ConfigChanges::ALL).build();
+        let model = SimpleApp::builder(2)
+            .handles(droidsim_config::ConfigChanges::ALL)
+            .build();
         let mut atms = Atms::new(Configuration::phone_portrait());
         let mut thread = ActivityThread::new();
         let start = atms.start_activity_with_mask(
@@ -518,7 +615,9 @@ mod tests {
     fn async_task_survives_and_migrates_to_sunny() {
         let mut rig = boot(3);
         // Start the 5 s AsyncTask, then rotate before it returns (Fig. 1b).
-        rig.thread.start_async(rig.instance, rig.model.button_task(), SimTime::ZERO).unwrap();
+        rig.thread
+            .start_async(rig.instance, rig.model.button_task(), SimTime::ZERO)
+            .unwrap();
         let outcome = rotate(&mut rig, SimTime::from_millis(100));
 
         // Task returns at t = 5 s, onto the SHADOW instance.
@@ -528,7 +627,7 @@ mod tests {
         let droidsim_app::UiMessage::AsyncResult(work) = &messages[0];
         let report = rig
             .rch
-            .on_async_delivered(&mut rig.thread, &rig.model, work)
+            .on_async_delivered(&mut rig.thread, &rig.model, work, SimTime::from_secs(5))
             .unwrap()
             .expect("migration ran");
         assert_eq!(report.migrated, 3, "all three images migrated");
@@ -538,7 +637,15 @@ mod tests {
         for i in 0..3 {
             let v = sunny.tree.find_by_id_name(&format!("image_{i}")).unwrap();
             assert_eq!(
-                sunny.tree.view(v).unwrap().attrs.drawable.as_ref().unwrap().0,
+                sunny
+                    .tree
+                    .view(v)
+                    .unwrap()
+                    .attrs
+                    .drawable
+                    .as_ref()
+                    .unwrap()
+                    .0,
                 format!("loaded_{i}.png")
             );
         }
@@ -550,12 +657,19 @@ mod tests {
         let outcome = rotate(&mut rig, SimTime::from_millis(10));
         // Task started AFTER the change, on the sunny instance.
         rig.thread
-            .start_async(outcome.sunny_instance, rig.model.button_task(), SimTime::from_secs(1))
+            .start_async(
+                outcome.sunny_instance,
+                rig.model.button_task(),
+                SimTime::from_secs(1),
+            )
             .unwrap();
         rig.thread.pump_async(SimTime::from_secs(6));
         let messages = rig.thread.drain_ui(SimTime::from_secs(6));
         let droidsim_app::UiMessage::AsyncResult(work) = &messages[0];
-        let report = rig.rch.on_async_delivered(&mut rig.thread, &rig.model, work).unwrap();
+        let report = rig
+            .rch
+            .on_async_delivered(&mut rig.thread, &rig.model, work, SimTime::from_secs(6))
+            .unwrap();
         assert!(report.is_none());
     }
 
@@ -564,8 +678,10 @@ mod tests {
         let mut rig = boot(2);
         rotate(&mut rig, SimTime::from_secs(1));
         // 100 s later: age 99 > 50 and frequency 0 → collect.
-        let decision =
-            rig.rch.run_gc(&mut rig.thread, &mut rig.atms, SimTime::from_secs(101)).unwrap();
+        let decision = rig
+            .rch
+            .run_gc(&mut rig.thread, &mut rig.atms, SimTime::from_secs(101))
+            .unwrap();
         assert!(decision.should_collect());
         assert_eq!(rig.thread.current_shadow(), None);
         assert_eq!(rig.thread.alive_instances().len(), 1);
@@ -579,8 +695,10 @@ mod tests {
     fn gc_keeps_young_shadow() {
         let mut rig = boot(2);
         rotate(&mut rig, SimTime::from_secs(1));
-        let decision =
-            rig.rch.run_gc(&mut rig.thread, &mut rig.atms, SimTime::from_secs(10)).unwrap();
+        let decision = rig
+            .rch
+            .run_gc(&mut rig.thread, &mut rig.atms, SimTime::from_secs(10))
+            .unwrap();
         assert!(!decision.should_collect());
         assert!(rig.thread.current_shadow().is_some());
     }
@@ -595,8 +713,10 @@ mod tests {
             rotate(&mut rig, SimTime::from_secs(10 * i));
         }
         // 5 s after the last flip: age 5 > 2 but frequency ≥ 4 → keep.
-        let decision =
-            rig.rch.run_gc(&mut rig.thread, &mut rig.atms, SimTime::from_secs(55)).unwrap();
+        let decision = rig
+            .rch
+            .run_gc(&mut rig.thread, &mut rig.atms, SimTime::from_secs(55))
+            .unwrap();
         assert!(matches!(decision, GcDecision::TooFrequent { .. }));
     }
 
@@ -605,8 +725,10 @@ mod tests {
         let mut rig = boot(2);
         rotate(&mut rig, SimTime::from_secs(1));
         assert!(rig.thread.current_shadow().is_some());
-        let released =
-            rig.rch.on_foreground_switched(&mut rig.thread, &mut rig.atms).unwrap();
+        let released = rig
+            .rch
+            .on_foreground_switched(&mut rig.thread, &mut rig.atms)
+            .unwrap();
         assert!(released);
         assert_eq!(rig.thread.current_shadow(), None);
     }
@@ -634,5 +756,186 @@ mod tests {
         let outcome = rotate(&mut rig, SimTime::from_secs(1));
         let sunny = rig.thread.instance(outcome.sunny_instance).unwrap();
         assert!(sunny.member_state.is_empty(), "the field did not survive");
+    }
+
+    /// A rig whose handler runs the batched flush policy.
+    fn boot_batched(views: usize, max_pending: usize, max_delay: SimDuration) -> Rig {
+        let mut rig = boot(views);
+        rig.rch = RchDroid::with_options(
+            GcPolicy::paper_default(),
+            RchOptions {
+                flush_policy: FlushPolicy::batched(max_pending, max_delay),
+                ..RchOptions::default()
+            },
+        );
+        rig
+    }
+
+    /// Delivers every due async message through the handler, merging the
+    /// flushed reports.
+    fn pump_deliveries(rig: &mut Rig, now: SimTime) -> MigrationReport {
+        rig.thread.pump_async(now);
+        let mut merged = MigrationReport::default();
+        for message in rig.thread.drain_ui(now) {
+            let droidsim_app::UiMessage::AsyncResult(work) = &message;
+            if let Some(r) = rig
+                .rch
+                .on_async_delivered(&mut rig.thread, &rig.model, work, now)
+                .unwrap()
+            {
+                merged = merged.merge(r);
+            }
+        }
+        merged
+    }
+
+    #[test]
+    fn batched_policy_defers_until_frame_tick() {
+        let mut rig = boot_batched(3, 100, SimDuration::from_millis(16));
+        rig.thread
+            .start_async(rig.instance, rig.model.button_task(), SimTime::ZERO)
+            .unwrap();
+        let outcome = rotate(&mut rig, SimTime::from_millis(100));
+
+        // Delivery at t=5s: the 3 invalidations queue, none flush (count
+        // trigger is 100 and the deadline has not elapsed).
+        let report = pump_deliveries(&mut rig, SimTime::from_secs(5));
+        assert_eq!(report.migrated, 0);
+        let sunny = rig.thread.instance(outcome.sunny_instance).unwrap();
+        let v = sunny.tree.find_by_id_name("image_0").unwrap();
+        // The sunny tree still shows its inflated placeholder: the loaded
+        // drawable sits in the dirty queue, not on the sunny views.
+        assert_ne!(
+            sunny
+                .tree
+                .view(v)
+                .unwrap()
+                .attrs
+                .drawable
+                .as_ref()
+                .unwrap()
+                .0,
+            "loaded_0.png",
+            "not yet migrated"
+        );
+
+        // One frame past the deadline, the tick drains the batch.
+        let tick = SimTime::from_secs(5) + SimDuration::from_millis(16);
+        let flushed = rig
+            .rch
+            .on_frame_tick(&mut rig.thread, tick)
+            .unwrap()
+            .expect("deadline flush");
+        assert_eq!(flushed.migrated, 3);
+        let sunny = rig.thread.instance(outcome.sunny_instance).unwrap();
+        let v = sunny.tree.find_by_id_name("image_0").unwrap();
+        assert_eq!(
+            sunny
+                .tree
+                .view(v)
+                .unwrap()
+                .attrs
+                .drawable
+                .as_ref()
+                .unwrap()
+                .0,
+            "loaded_0.png"
+        );
+    }
+
+    #[test]
+    fn config_change_flushes_queued_migrations_first() {
+        let mut rig = boot_batched(3, 100, SimDuration::from_secs(60));
+        rig.thread
+            .start_async(rig.instance, rig.model.button_task(), SimTime::ZERO)
+            .unwrap();
+        rotate(&mut rig, SimTime::from_millis(100));
+        let report = pump_deliveries(&mut rig, SimTime::from_secs(5));
+        assert_eq!(report.migrated, 0, "still queued");
+
+        // The next change must not flip with the queue pending: the
+        // handler drains it before swapping roles, so the then-sunny tree
+        // (the shadow after the flip) has the images.
+        let second = rotate(&mut rig, SimTime::from_secs(6));
+        assert_eq!(second.kind, ChangeKind::Flip);
+        let then_sunny = rig
+            .thread
+            .instance(second.shadow_instance.unwrap())
+            .unwrap();
+        let v = then_sunny.tree.find_by_id_name("image_0").unwrap();
+        assert_eq!(
+            then_sunny
+                .tree
+                .view(v)
+                .unwrap()
+                .attrs
+                .drawable
+                .as_ref()
+                .unwrap()
+                .0,
+            "loaded_0.png",
+            "the pre-flip flush landed the images on the then-sunny tree"
+        );
+        assert_eq!(rig.rch.migration_metrics().flushes, 1);
+    }
+
+    #[test]
+    fn gc_flushes_queue_before_collecting_the_shadow() {
+        let mut rig = boot_batched(3, 100, SimDuration::from_secs(600));
+        rig.thread
+            .start_async(rig.instance, rig.model.button_task(), SimTime::ZERO)
+            .unwrap();
+        let outcome = rotate(&mut rig, SimTime::from_millis(100));
+        pump_deliveries(&mut rig, SimTime::from_secs(5));
+        assert_eq!(rig.rch.migration_metrics().flushes, 0);
+
+        // 100 s later the GC collects the shadow — after draining.
+        let decision = rig
+            .rch
+            .run_gc(&mut rig.thread, &mut rig.atms, SimTime::from_secs(101))
+            .unwrap();
+        assert!(decision.should_collect());
+        let sunny = rig.thread.instance(outcome.sunny_instance).unwrap();
+        let v = sunny.tree.find_by_id_name("image_0").unwrap();
+        assert_eq!(
+            sunny
+                .tree
+                .view(v)
+                .unwrap()
+                .attrs
+                .drawable
+                .as_ref()
+                .unwrap()
+                .0,
+            "loaded_0.png",
+            "queued updates migrated before the shadow died"
+        );
+    }
+
+    #[test]
+    fn batched_handler_coalesces_chatty_tasks() {
+        // Three deliveries of the same 3-view task before any flush: the
+        // queue coalesces 9 raw invalidations into 3 entries.
+        let mut rig = boot_batched(3, 100, SimDuration::from_secs(60));
+        for i in 0..3u64 {
+            rig.thread
+                .start_async(
+                    rig.instance,
+                    rig.model.button_task(),
+                    SimTime::from_millis(i),
+                )
+                .unwrap();
+        }
+        rotate(&mut rig, SimTime::from_millis(100));
+        pump_deliveries(&mut rig, SimTime::from_secs(6));
+        let flushed = rig
+            .rch
+            .flush_pending_migrations(&mut rig.thread)
+            .unwrap()
+            .expect("entries were pending");
+        assert_eq!(flushed.examined, 3);
+        assert_eq!(flushed.coalesced, 6, "9 raw − 3 entries");
+        let m = rig.rch.migration_metrics();
+        assert!((m.coalesce_ratio() - 3.0).abs() < 1e-12);
     }
 }

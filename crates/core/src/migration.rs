@@ -3,11 +3,29 @@
 //! The key observation of the paper: no matter what an app's async
 //! callback does internally, its effect always ends as attribute updates
 //! on views, funnelled through the generic `invalidate` step. RCHDroid
-//! therefore (a) builds, once per coupling, a hash-table mapping between
-//! the shadow and sunny trees keyed by view id, and (b) on every drained
-//! invalidation, copies the *essence* of the shadow view to its sunny
-//! peer with a per-type policy (Table 1).
+//! therefore (a) builds, once per coupling, a mapping between the shadow
+//! and sunny trees keyed by view id, and (b) copies the *essence* of an
+//! invalidated shadow view to its sunny peer with a per-type policy
+//! (Table 1).
+//!
+//! Two paths do the copying:
+//!
+//! * **eager** ([`FlushPolicy::Eager`], the default): every drained
+//!   invalidation migrates immediately — the paper's behaviour,
+//! * **batched** ([`FlushPolicy::Batched`]): drained invalidations land
+//!   in a coalescing [`DirtyQueue`](crate::batch::DirtyQueue) and migrate
+//!   as one batch when a count or deadline trigger fires; peers resolve
+//!   through the engine's [`ShardedEssenceMap`]. Because the essence copy
+//!   reads the *current* shadow attributes, flushing once after N
+//!   invalidations produces the same sunny tree as migrating each one
+//!   eagerly — a debug-mode checker replays the eager path on a clone and
+//!   asserts exactly that after every flush.
 
+#[cfg(debug_assertions)]
+use crate::batch::DirtyEntry;
+use crate::batch::{DirtyQueue, FlushPolicy, ShardedEssenceMap};
+use droidsim_kernel::SimTime;
+use droidsim_metrics::MigrationMetrics;
 use droidsim_view::{MigrationClass, ViewError, ViewId, ViewOp, ViewTree};
 
 /// The result of one lazy-migration pass.
@@ -20,6 +38,11 @@ pub struct MigrationReport {
     /// Invalidated views with no peer in the sunny tree (e.g. anonymous
     /// or removed in the new layout).
     pub unmapped: usize,
+    /// Raw invalidations that coalesced into an already-pending entry —
+    /// essence copies the batched path skipped relative to eager (always
+    /// 0 under [`FlushPolicy::Eager`] for single-delivery drains, where
+    /// the per-delivery dedup happens in the tree itself).
+    pub coalesced: usize,
 }
 
 impl MigrationReport {
@@ -29,6 +52,7 @@ impl MigrationReport {
             examined: self.examined + other.examined,
             migrated: self.migrated + other.migrated,
             unmapped: self.unmapped + other.unmapped,
+            coalesced: self.coalesced + other.coalesced,
         }
     }
 }
@@ -46,10 +70,23 @@ pub fn migrate_view(
     sunny: &mut ViewTree,
     shadow_view: ViewId,
 ) -> Result<bool, ViewError> {
-    let node = shadow.view(shadow_view)?;
-    let Some(peer) = node.sunny_peer else {
+    let Some(peer) = shadow.view(shadow_view)?.sunny_peer else {
         return Ok(false);
     };
+    copy_essence(shadow, sunny, shadow_view, peer)?;
+    Ok(true)
+}
+
+/// The Table-1 essence copy itself, with the peer already resolved (the
+/// eager path resolves through the per-view pointer, the batched path
+/// through the engine's sharded map).
+fn copy_essence(
+    shadow: &ViewTree,
+    sunny: &mut ViewTree,
+    shadow_view: ViewId,
+    peer: ViewId,
+) -> Result<(), ViewError> {
+    let node = shadow.view(shadow_view)?;
     let class = node.kind.migration_class();
     let attrs = node.attrs.clone();
 
@@ -101,30 +138,99 @@ pub fn migrate_view(
     // Visibility and enablement migrate for every class.
     sunny.apply(peer, ViewOp::SetEnabled(attrs.enabled))?;
     sunny.apply(peer, ViewOp::SetVisible(attrs.visible))?;
-    Ok(true)
+    Ok(())
 }
 
 /// The coupling between a shadow tree and a sunny tree.
-#[derive(Debug, Clone, Copy, Default)]
+///
+/// Holds the sharded essence map (one per coupling side, so coin flips
+/// keep resolving without a rebuild), the coalescing dirty queue, the
+/// [`FlushPolicy`] that decides when the queue drains, and lifetime
+/// [`MigrationMetrics`].
+#[derive(Debug, Clone)]
 pub struct MigrationEngine {
     mapped_views: usize,
+    policy: FlushPolicy,
+    queue: DirtyQueue,
+    /// `peers[side]` maps a view of coupling side `side` to its peer on
+    /// the other side. Side 0 is the tree that was shadow when the
+    /// mapping was built; a coin flip swaps *roles* but not *sides*.
+    peers: [ShardedEssenceMap; 2],
+    metrics: MigrationMetrics,
+    check_equivalence: bool,
+}
+
+impl Default for MigrationEngine {
+    fn default() -> Self {
+        MigrationEngine::new()
+    }
 }
 
 impl MigrationEngine {
-    /// Creates an engine with no coupling built.
+    /// Creates an engine with no coupling built and the paper's eager
+    /// flush policy.
     pub fn new() -> Self {
-        MigrationEngine::default()
+        MigrationEngine::with_flush_policy(FlushPolicy::Eager)
+    }
+
+    /// Creates an engine with an explicit flush policy. The debug-mode
+    /// batched≡eager equivalence checker is on in debug builds.
+    pub fn with_flush_policy(policy: FlushPolicy) -> Self {
+        MigrationEngine {
+            mapped_views: 0,
+            policy,
+            queue: DirtyQueue::new(),
+            peers: [ShardedEssenceMap::default(), ShardedEssenceMap::default()],
+            metrics: MigrationMetrics::new(),
+            check_equivalence: cfg!(debug_assertions),
+        }
+    }
+
+    /// The flush policy in force.
+    pub fn flush_policy(&self) -> FlushPolicy {
+        self.policy
+    }
+
+    /// Changes the flush policy. Pending entries stay queued; a switch to
+    /// [`FlushPolicy::Eager`] drains them on the next delivery.
+    pub fn set_flush_policy(&mut self, policy: FlushPolicy) {
+        self.policy = policy;
+    }
+
+    /// Enables/disables the debug-mode equivalence checker (it is a
+    /// no-op in release builds regardless).
+    pub fn set_equivalence_checking(&mut self, on: bool) {
+        self.check_equivalence = on;
+    }
+
+    /// Lifetime flush/coalescing metrics.
+    pub fn metrics(&self) -> &MigrationMetrics {
+        &self.metrics
     }
 
     /// Builds the essence-based mapping **both ways**: each tree's views
     /// store peers into the other, so a coin flip swaps roles without
     /// rebuilding (the paper: the flip "avoids … the building of the
-    /// essence-based mapping"). Returns the number of shadow views mapped.
+    /// essence-based mapping"). The same pairs are loaded into the
+    /// engine's sharded maps — the structure the batched flush resolves
+    /// through — and any stale queue is dropped. Returns the number of
+    /// shadow views mapped.
     pub fn build_mapping(&mut self, shadow: &mut ViewTree, sunny: &mut ViewTree) -> usize {
         let sunny_index = sunny.id_name_index();
         let shadow_index = shadow.id_name_index();
         let mapped = shadow.set_sunny_peers(&sunny_index);
         sunny.set_sunny_peers(&shadow_index);
+        shadow.set_coupling_side(Some(0));
+        sunny.set_coupling_side(Some(1));
+        self.peers[0].clear();
+        self.peers[1].clear();
+        for id in shadow.iter_ids() {
+            if let Some(peer) = shadow.view(id).ok().and_then(|n| n.sunny_peer) {
+                self.peers[0].insert(id, peer);
+                self.peers[1].insert(peer, id);
+            }
+        }
+        self.queue.clear();
         self.mapped_views = mapped;
         mapped
     }
@@ -134,26 +240,116 @@ impl MigrationEngine {
         self.mapped_views
     }
 
-    /// Lazy migration: drains the shadow tree's recorded invalidations and
-    /// migrates each invalidated view's essence to its sunny peer.
+    /// Coalesced entries waiting for a flush.
+    pub fn pending_entries(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Raw invalidations absorbed into the pending queue.
+    pub fn pending_raw(&self) -> usize {
+        self.queue.raw_pending()
+    }
+
+    /// Whether the flush policy says the pending queue should drain now.
+    pub fn flush_due(&self, now: SimTime) -> bool {
+        if self.queue.is_empty() {
+            return false;
+        }
+        match self.policy {
+            FlushPolicy::Eager => true,
+            FlushPolicy::Batched {
+                max_pending,
+                max_delay,
+            } => self.queue.len() >= max_pending || self.queue.deadline_due(now, max_delay),
+        }
+    }
+
+    /// Drops the pending queue without migrating (the coupling is gone —
+    /// e.g. the sunny instance died with the app).
+    pub fn discard_pending(&mut self) {
+        self.queue.clear();
+    }
+
+    /// Resolves a shadow view's sunny peer. Coupled trees resolve through
+    /// the sharded essence map of their side; uncoupled trees fall back
+    /// to the per-view pointer (the stock hook).
+    fn resolve_peer(&self, shadow: &ViewTree, view: ViewId) -> Option<ViewId> {
+        match shadow.coupling_side() {
+            Some(side) => self.peers[side as usize].get(view),
+            None => shadow.view(view).ok().and_then(|n| n.sunny_peer),
+        }
+    }
+
+    /// Lazy migration: drains the shadow tree's recorded invalidations
+    /// into the coalescing queue and, when the flush policy fires (always,
+    /// for [`FlushPolicy::Eager`]), migrates each queued view's essence to
+    /// its sunny peer. Returns the report of what *this call* flushed — an
+    /// empty report means the updates are queued, not lost.
     ///
     /// # Errors
     ///
     /// Propagates sunny-tree [`ViewError`]s (a released sunny tree is a
     /// bug in the handler, not the app).
     pub fn migrate_invalidations(
-        &self,
+        &mut self,
+        shadow: &mut ViewTree,
+        sunny: &mut ViewTree,
+        now: SimTime,
+    ) -> Result<MigrationReport, ViewError> {
+        for (view, mask, raw) in shadow.drain_dirty_counted() {
+            self.queue.enqueue(view, mask, raw, now);
+        }
+        if self.flush_due(now) {
+            self.flush(shadow, sunny)
+        } else {
+            Ok(MigrationReport::default())
+        }
+    }
+
+    /// Unconditionally drains the pending queue to the sunny tree (the
+    /// handler calls this before any shadow/sunny role change so queued
+    /// updates can never migrate in a stale direction).
+    ///
+    /// # Errors
+    ///
+    /// Propagates sunny-tree [`ViewError`]s.
+    pub fn flush(
+        &mut self,
         shadow: &mut ViewTree,
         sunny: &mut ViewTree,
     ) -> Result<MigrationReport, ViewError> {
+        if self.queue.is_empty() {
+            return Ok(MigrationReport::default());
+        }
+        let batch = self.queue.drain();
+        let raw: usize = batch.iter().map(|e| e.raw).sum();
+
+        #[cfg(debug_assertions)]
+        let reference = if self.check_equivalence {
+            Some(eager_reference(shadow, sunny, &batch)?)
+        } else {
+            None
+        };
+
+        let started = std::time::Instant::now();
         let mut report = MigrationReport::default();
-        for view in shadow.drain_invalidations() {
+        for entry in &batch {
             report.examined += 1;
-            if migrate_view(shadow, sunny, view)? {
-                report.migrated += 1;
-            } else {
-                report.unmapped += 1;
+            match self.resolve_peer(shadow, entry.view) {
+                Some(peer) => {
+                    copy_essence(shadow, sunny, entry.view, peer)?;
+                    report.migrated += 1;
+                }
+                None => report.unmapped += 1,
             }
+        }
+        report.coalesced = raw.saturating_sub(report.examined);
+        self.metrics
+            .record_flush(report.examined, raw, started.elapsed().as_nanos() as u64);
+
+        #[cfg(debug_assertions)]
+        if let Some(reference) = reference {
+            assert_equivalent_to_eager(sunny, &reference);
         }
         Ok(report)
     }
@@ -217,6 +413,37 @@ impl MigrationEngine {
     }
 }
 
+/// Replays the *eager* path for `batch` on a clone of the sunny tree:
+/// each queued view migrates through [`migrate_view`], which resolves via
+/// the per-view pointer — independently of the sharded map the batched
+/// flush uses.
+#[cfg(debug_assertions)]
+fn eager_reference(
+    shadow: &ViewTree,
+    sunny: &ViewTree,
+    batch: &[DirtyEntry],
+) -> Result<ViewTree, ViewError> {
+    let mut reference = sunny.clone();
+    for entry in batch {
+        migrate_view(shadow, &mut reference, entry.view)?;
+    }
+    Ok(reference)
+}
+
+/// Asserts the batched flush produced exactly the sunny tree that eager
+/// migration would have: same attributes on every live view.
+#[cfg(debug_assertions)]
+fn assert_equivalent_to_eager(sunny: &ViewTree, reference: &ViewTree) {
+    for id in sunny.iter_ids() {
+        let got = sunny.view(id).expect("live id");
+        let want = reference.view(id).expect("same arena");
+        assert_eq!(
+            got.attrs, want.attrs,
+            "batched flush diverged from eager migration on {id}"
+        );
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -229,8 +456,10 @@ mod tests {
             t.add_view(root, ViewKind::EditText, Some("name")).unwrap();
             t.add_view(root, ViewKind::ImageView, Some("hero")).unwrap();
             t.add_view(root, ViewKind::ListView, Some("list")).unwrap();
-            t.add_view(root, ViewKind::VideoView, Some("player")).unwrap();
-            t.add_view(root, ViewKind::ProgressBar, Some("bar")).unwrap();
+            t.add_view(root, ViewKind::VideoView, Some("player"))
+                .unwrap();
+            t.add_view(root, ViewKind::ProgressBar, Some("bar"))
+                .unwrap();
             t.add_view(root, ViewKind::TextView, None).unwrap(); // anonymous
             t
         };
@@ -256,22 +485,46 @@ mod tests {
 
     #[test]
     fn table1_policies_copy_the_right_essence() {
-        let (mut shadow, mut sunny, engine) = coupled_trees();
+        let (mut shadow, mut sunny, mut engine) = coupled_trees();
         let ids = |t: &ViewTree, n: &str| t.find_by_id_name(n).unwrap();
-        shadow.apply(ids(&shadow, "name"), ViewOp::SetText("alice".into())).unwrap();
         shadow
-            .apply(ids(&shadow, "hero"), ViewOp::SetDrawable("landscape.png".into(), 123))
+            .apply(ids(&shadow, "name"), ViewOp::SetText("alice".into()))
             .unwrap();
-        shadow.apply(ids(&shadow, "list"), ViewOp::SetSelection(5)).unwrap();
-        shadow.apply(ids(&shadow, "list"), ViewOp::SetItemChecked(2, true)).unwrap();
-        shadow.apply(ids(&shadow, "player"), ViewOp::SetVideoUri("clip.mp4".into())).unwrap();
-        shadow.apply(ids(&shadow, "bar"), ViewOp::SetProgress(66)).unwrap();
+        shadow
+            .apply(
+                ids(&shadow, "hero"),
+                ViewOp::SetDrawable("landscape.png".into(), 123),
+            )
+            .unwrap();
+        shadow
+            .apply(ids(&shadow, "list"), ViewOp::SetSelection(5))
+            .unwrap();
+        shadow
+            .apply(ids(&shadow, "list"), ViewOp::SetItemChecked(2, true))
+            .unwrap();
+        shadow
+            .apply(
+                ids(&shadow, "player"),
+                ViewOp::SetVideoUri("clip.mp4".into()),
+            )
+            .unwrap();
+        shadow
+            .apply(ids(&shadow, "bar"), ViewOp::SetProgress(66))
+            .unwrap();
 
-        let report = engine.migrate_invalidations(&mut shadow, &mut sunny).unwrap();
+        let report = engine
+            .migrate_invalidations(&mut shadow, &mut sunny, SimTime::ZERO)
+            .unwrap();
         assert_eq!(report.examined, 5);
         assert_eq!(report.migrated, 5);
 
-        let get = |n: &str| sunny.view(sunny.find_by_id_name(n).unwrap()).unwrap().attrs.clone();
+        let get = |n: &str| {
+            sunny
+                .view(sunny.find_by_id_name(n).unwrap())
+                .unwrap()
+                .attrs
+                .clone()
+        };
         assert_eq!(get("name").text.as_deref(), Some("alice"));
         assert_eq!(get("hero").drawable.as_ref().unwrap().0, "landscape.png");
         assert_eq!(get("list").selector_position, Some(5));
@@ -282,33 +535,43 @@ mod tests {
 
     #[test]
     fn anonymous_views_are_unmapped_not_errors() {
-        let (mut shadow, mut sunny, engine) = coupled_trees();
+        let (mut shadow, mut sunny, mut engine) = coupled_trees();
         // The anonymous TextView is the last child of "panel".
         let panel = shadow.find_by_id_name("panel").unwrap();
         let anon = *shadow.view(panel).unwrap().children.last().unwrap();
-        shadow.apply(anon, ViewOp::SetText("nobody sees this".into())).unwrap();
-        let report = engine.migrate_invalidations(&mut shadow, &mut sunny).unwrap();
+        shadow
+            .apply(anon, ViewOp::SetText("nobody sees this".into()))
+            .unwrap();
+        let report = engine
+            .migrate_invalidations(&mut shadow, &mut sunny, SimTime::ZERO)
+            .unwrap();
         assert_eq!(report.unmapped, 1);
         assert_eq!(report.migrated, 0);
     }
 
     #[test]
     fn migration_invalidates_the_sunny_tree() {
-        let (mut shadow, mut sunny, engine) = coupled_trees();
+        let (mut shadow, mut sunny, mut engine) = coupled_trees();
         let name = shadow.find_by_id_name("name").unwrap();
         shadow.apply(name, ViewOp::SetText("x".into())).unwrap();
         sunny.drain_invalidations();
-        engine.migrate_invalidations(&mut shadow, &mut sunny).unwrap();
+        engine
+            .migrate_invalidations(&mut shadow, &mut sunny, SimTime::ZERO)
+            .unwrap();
         assert!(!sunny.drain_invalidations().is_empty(), "sunny redraws");
     }
 
     #[test]
     fn drained_invalidations_do_not_remigrate() {
-        let (mut shadow, mut sunny, engine) = coupled_trees();
+        let (mut shadow, mut sunny, mut engine) = coupled_trees();
         let name = shadow.find_by_id_name("name").unwrap();
         shadow.apply(name, ViewOp::SetText("x".into())).unwrap();
-        engine.migrate_invalidations(&mut shadow, &mut sunny).unwrap();
-        let second = engine.migrate_invalidations(&mut shadow, &mut sunny).unwrap();
+        engine
+            .migrate_invalidations(&mut shadow, &mut sunny, SimTime::ZERO)
+            .unwrap();
+        let second = engine
+            .migrate_invalidations(&mut shadow, &mut sunny, SimTime::ZERO)
+            .unwrap();
         assert_eq!(second.examined, 0);
     }
 
@@ -322,15 +585,20 @@ mod tests {
         assert_eq!(report.examined, shadow.view_count());
         assert_eq!(report.unmapped, 1, "only the anonymous view");
         let s_name = sunny.find_by_id_name("name").unwrap();
-        assert_eq!(sunny.view(s_name).unwrap().attrs.text.as_deref(), Some("seed"));
+        assert_eq!(
+            sunny.view(s_name).unwrap().attrs.text.as_deref(),
+            Some("seed")
+        );
     }
 
     #[test]
     fn visibility_migrates_for_every_class() {
-        let (mut shadow, mut sunny, engine) = coupled_trees();
+        let (mut shadow, mut sunny, mut engine) = coupled_trees();
         let hero = shadow.find_by_id_name("hero").unwrap();
         shadow.apply(hero, ViewOp::SetVisible(false)).unwrap();
-        engine.migrate_invalidations(&mut shadow, &mut sunny).unwrap();
+        engine
+            .migrate_invalidations(&mut shadow, &mut sunny, SimTime::ZERO)
+            .unwrap();
         let s_hero = sunny.find_by_id_name("hero").unwrap();
         assert!(!sunny.view(s_hero).unwrap().attrs.visible);
     }
@@ -339,15 +607,184 @@ mod tests {
     fn custom_views_migrate_via_their_base_class() {
         let mut shadow = ViewTree::new();
         let custom = ViewKind::from_class_name("com.app.FancyTextView");
-        shadow.add_view(shadow.root(), custom.clone(), Some("fancy")).unwrap();
+        shadow
+            .add_view(shadow.root(), custom.clone(), Some("fancy"))
+            .unwrap();
         let mut sunny = ViewTree::new();
         sunny.add_view(sunny.root(), custom, Some("fancy")).unwrap();
         let mut engine = MigrationEngine::new();
         engine.build_mapping(&mut shadow, &mut sunny);
         let f = shadow.find_by_id_name("fancy").unwrap();
         shadow.apply(f, ViewOp::SetText("styled".into())).unwrap();
-        engine.migrate_invalidations(&mut shadow, &mut sunny).unwrap();
+        engine
+            .migrate_invalidations(&mut shadow, &mut sunny, SimTime::ZERO)
+            .unwrap();
         let sf = sunny.find_by_id_name("fancy").unwrap();
-        assert_eq!(sunny.view(sf).unwrap().attrs.text.as_deref(), Some("styled"));
+        assert_eq!(
+            sunny.view(sf).unwrap().attrs.text.as_deref(),
+            Some("styled")
+        );
+    }
+
+    fn batched_engine(max_pending: usize, max_delay_ms: u64) -> FlushPolicy {
+        FlushPolicy::batched(
+            max_pending,
+            droidsim_kernel::SimDuration::from_millis(max_delay_ms),
+        )
+    }
+
+    #[test]
+    fn batched_policy_queues_until_count_trigger() {
+        let (mut shadow, mut sunny, mut engine) = coupled_trees();
+        engine.set_flush_policy(batched_engine(3, 1_000));
+        let name = shadow.find_by_id_name("name").unwrap();
+        let bar = shadow.find_by_id_name("bar").unwrap();
+
+        // Two distinct views: below the count trigger, nothing flushes.
+        shadow.apply(name, ViewOp::SetText("a".into())).unwrap();
+        let r = engine
+            .migrate_invalidations(&mut shadow, &mut sunny, SimTime::ZERO)
+            .unwrap();
+        assert_eq!(r.examined, 0);
+        shadow.apply(bar, ViewOp::SetProgress(10)).unwrap();
+        let r = engine
+            .migrate_invalidations(&mut shadow, &mut sunny, SimTime::from_millis(1))
+            .unwrap();
+        assert_eq!(r.examined, 0);
+        assert_eq!(engine.pending_entries(), 2);
+        let s_name = sunny.find_by_id_name("name").unwrap();
+        assert_eq!(sunny.view(s_name).unwrap().attrs.text, None, "not yet");
+
+        // Third distinct view reaches max_pending → the batch drains.
+        let hero = shadow.find_by_id_name("hero").unwrap();
+        shadow.apply(hero, ViewOp::SetVisible(false)).unwrap();
+        let r = engine
+            .migrate_invalidations(&mut shadow, &mut sunny, SimTime::from_millis(2))
+            .unwrap();
+        assert_eq!(r.examined, 3);
+        assert_eq!(r.migrated, 3);
+        assert_eq!(engine.pending_entries(), 0);
+        assert_eq!(sunny.view(s_name).unwrap().attrs.text.as_deref(), Some("a"));
+    }
+
+    #[test]
+    fn batched_flush_applies_last_write_per_attribute() {
+        let (mut shadow, mut sunny, mut engine) = coupled_trees();
+        engine.set_flush_policy(batched_engine(100, 1_000));
+        let bar = shadow.find_by_id_name("bar").unwrap();
+        // A chatty progress bar: 10 updates, one queue entry.
+        for p in 1..=10 {
+            shadow.apply(bar, ViewOp::SetProgress(p * 10)).unwrap();
+            engine
+                .migrate_invalidations(&mut shadow, &mut sunny, SimTime::from_millis(p as u64))
+                .unwrap();
+        }
+        assert_eq!(engine.pending_entries(), 1);
+        assert_eq!(engine.pending_raw(), 10);
+        let r = engine.flush(&mut shadow, &mut sunny).unwrap();
+        assert_eq!(r.examined, 1, "ten raw updates, one essence copy");
+        assert_eq!(r.coalesced, 9);
+        let s_bar = sunny.find_by_id_name("bar").unwrap();
+        assert_eq!(
+            sunny.view(s_bar).unwrap().attrs.progress,
+            Some(100),
+            "last write wins"
+        );
+    }
+
+    #[test]
+    fn deadline_trigger_flushes_a_stale_queue() {
+        let (mut shadow, mut sunny, mut engine) = coupled_trees();
+        engine.set_flush_policy(batched_engine(100, 16));
+        let name = shadow.find_by_id_name("name").unwrap();
+        shadow.apply(name, ViewOp::SetText("late".into())).unwrap();
+        let r = engine
+            .migrate_invalidations(&mut shadow, &mut sunny, SimTime::from_millis(100))
+            .unwrap();
+        assert_eq!(r.examined, 0);
+        assert!(!engine.flush_due(SimTime::from_millis(110)));
+        assert!(engine.flush_due(SimTime::from_millis(116)));
+        // An empty delivery at/after the deadline still drains the queue.
+        let r = engine
+            .migrate_invalidations(&mut shadow, &mut sunny, SimTime::from_millis(120))
+            .unwrap();
+        assert_eq!(r.migrated, 1);
+    }
+
+    #[test]
+    fn sharded_resolution_survives_a_coin_flip() {
+        let (mut side0, mut side1, mut engine) = coupled_trees();
+        engine.set_flush_policy(batched_engine(1, 0));
+        // Forward direction: side0 is the shadow.
+        let name = side0.find_by_id_name("name").unwrap();
+        side0.apply(name, ViewOp::SetText("fwd".into())).unwrap();
+        engine
+            .migrate_invalidations(&mut side0, &mut side1, SimTime::ZERO)
+            .unwrap();
+        // Coin flip: roles swap, the mapping is NOT rebuilt. Side1 is now
+        // the shadow; resolution must go through the reverse shard set.
+        let peer_name = side1.find_by_id_name("name").unwrap();
+        side1
+            .apply(peer_name, ViewOp::SetText("rev".into()))
+            .unwrap();
+        let r = engine
+            .migrate_invalidations(&mut side1, &mut side0, SimTime::ZERO)
+            .unwrap();
+        assert_eq!(r.migrated, 1);
+        assert_eq!(side0.view(name).unwrap().attrs.text.as_deref(), Some("rev"));
+    }
+
+    #[test]
+    fn metrics_track_batches_and_coalescing() {
+        let (mut shadow, mut sunny, mut engine) = coupled_trees();
+        engine.set_flush_policy(batched_engine(2, 1_000));
+        let name = shadow.find_by_id_name("name").unwrap();
+        let bar = shadow.find_by_id_name("bar").unwrap();
+        shadow.apply(name, ViewOp::SetText("a".into())).unwrap();
+        shadow.apply(name, ViewOp::SetText("b".into())).unwrap();
+        shadow.apply(bar, ViewOp::SetProgress(1)).unwrap();
+        engine
+            .migrate_invalidations(&mut shadow, &mut sunny, SimTime::ZERO)
+            .unwrap();
+        let m = engine.metrics();
+        assert_eq!(m.flushes, 1);
+        assert_eq!(m.raw_invalidations, 3);
+        assert_eq!(m.coalesced_entries, 2);
+        assert!((m.coalesce_ratio() - 1.5).abs() < 1e-12);
+        assert_eq!(m.batch_size.max(), 2.0);
+        assert_eq!(m.flush_latency_ns.count(), 1);
+    }
+
+    #[test]
+    fn eager_default_flushes_every_delivery() {
+        let (mut shadow, mut sunny, mut engine) = coupled_trees();
+        assert!(engine.flush_policy().is_eager());
+        let name = shadow.find_by_id_name("name").unwrap();
+        for i in 0..4 {
+            shadow
+                .apply(name, ViewOp::SetText(format!("v{i}")))
+                .unwrap();
+            let r = engine
+                .migrate_invalidations(&mut shadow, &mut sunny, SimTime::ZERO)
+                .unwrap();
+            assert_eq!(r.migrated, 1);
+            assert_eq!(engine.pending_entries(), 0);
+        }
+        assert_eq!(engine.metrics().flushes, 4);
+        assert!((engine.metrics().coalesce_ratio() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rebuilding_the_mapping_drops_a_stale_queue() {
+        let (mut shadow, mut sunny, mut engine) = coupled_trees();
+        engine.set_flush_policy(batched_engine(100, 1_000));
+        let name = shadow.find_by_id_name("name").unwrap();
+        shadow.apply(name, ViewOp::SetText("stale".into())).unwrap();
+        engine
+            .migrate_invalidations(&mut shadow, &mut sunny, SimTime::ZERO)
+            .unwrap();
+        assert_eq!(engine.pending_entries(), 1);
+        engine.build_mapping(&mut shadow, &mut sunny);
+        assert_eq!(engine.pending_entries(), 0);
     }
 }

@@ -208,7 +208,9 @@ impl Device {
 
         let component = model.component_name().to_owned();
         if self.apps.contains_key(&component) {
-            return Err(DeviceError::Handling(format!("`{component}` is already installed")));
+            return Err(DeviceError::Handling(format!(
+                "`{component}` is already installed"
+            )));
         }
         let handled = model.handled_changes();
         let mut process = AppProcess::new(model, base_memory_bytes, complexity);
@@ -216,11 +218,9 @@ impl Device {
             process.rch = rchdroid::RchDroid::with_options(policy, options);
         }
 
-        let start = self.atms.start_activity_with_mask(
-            &Intent::new(&component),
-            self.clock,
-            handled,
-        );
+        let start =
+            self.atms
+                .start_activity_with_mask(&Intent::new(&component), self.clock, handled);
         let instance = process.thread.perform_launch_activity(
             process.model.as_ref(),
             start.record,
@@ -231,14 +231,19 @@ impl Device {
             .thread
             .resume_sequence(instance, false)
             .map_err(|e| DeviceError::Handling(e.to_string()))?;
-        let _ = self.atms.set_record_state(start.record, RecordState::Resumed);
+        let _ = self
+            .atms
+            .set_record_state(start.record, RecordState::Resumed);
 
         let profile = process.cost_profile();
         let latency = self.cost.create(&profile)
             + self.cost.inflate(&profile)
             + self.cost.resume_fresh(&profile);
         self.clock += latency;
-        self.events.push(DeviceEvent::AppLaunched { at: self.clock, component: component.clone() });
+        self.events.push(DeviceEvent::AppLaunched {
+            at: self.clock,
+            component: component.clone(),
+        });
         self.apps.insert(component.clone(), process);
         Ok(component)
     }
@@ -302,7 +307,10 @@ impl Device {
             // The instance was reclaimed under memory pressure: relaunch
             // it from the bundle the system retained.
             let transaction = droidsim_app::ClientTransaction::new(record)
-                .with(droidsim_app::LifecycleItem::Launch { config, saved_state })
+                .with(droidsim_app::LifecycleItem::Launch {
+                    config,
+                    saved_state,
+                })
                 .with(droidsim_app::LifecycleItem::Resume { sunny: false });
             p.thread
                 .execute_transaction(p.model.as_ref(), &transaction)
@@ -338,8 +346,13 @@ impl Device {
     ///
     /// [`DeviceError::NoForegroundApp`] with nothing in the foreground.
     pub fn press_back(&mut self) -> Result<(), DeviceError> {
-        let component = self.foreground_component().ok_or(DeviceError::NoForegroundApp)?;
-        let record = self.atms.foreground_record().ok_or(DeviceError::NoForegroundApp)?;
+        let component = self
+            .foreground_component()
+            .ok_or(DeviceError::NoForegroundApp)?;
+        let record = self
+            .atms
+            .foreground_record()
+            .ok_or(DeviceError::NoForegroundApp)?;
         let p = self.apps.get_mut(&component).expect("installed");
 
         if self.mode.is_rchdroid() {
@@ -364,12 +377,16 @@ impl Device {
         let mut reclaimed = 0;
         let components: Vec<String> = self.apps.keys().cloned().collect();
         for component in components {
-            let Some(p) = self.apps.get_mut(&component) else { continue };
+            let Some(p) = self.apps.get_mut(&component) else {
+                continue;
+            };
             if p.crashed.is_some() {
                 continue;
             }
             for instance in p.thread.alive_instances() {
-                let Ok(activity) = p.thread.instance(instance) else { continue };
+                let Ok(activity) = p.thread.instance(instance) else {
+                    continue;
+                };
                 // Only Stopped instances are reclaimable; Shadow is exempt.
                 if activity.state() != droidsim_app::ActivityState::Stopped {
                     continue;
@@ -396,12 +413,16 @@ impl Device {
     ///
     /// [`DeviceError::UnknownApp`].
     pub fn process(&self, component: &str) -> Result<&AppProcess, DeviceError> {
-        self.apps.get(component).ok_or_else(|| DeviceError::UnknownApp(component.to_owned()))
+        self.apps
+            .get(component)
+            .ok_or_else(|| DeviceError::UnknownApp(component.to_owned()))
     }
 
     /// Whether an app has crashed.
     pub fn is_crashed(&self, component: &str) -> bool {
-        self.apps.get(component).is_some_and(|p| p.crashed.is_some())
+        self.apps
+            .get(component)
+            .is_some_and(|p| p.crashed.is_some())
     }
 
     /// PSS snapshot for an app.
@@ -423,14 +444,23 @@ impl Device {
         &mut self,
         f: impl FnOnce(&mut droidsim_app::Activity) -> R,
     ) -> Result<R, DeviceError> {
-        let component = self.foreground_component().ok_or(DeviceError::NoForegroundApp)?;
-        let p = self.apps.get_mut(&component).expect("foreground app installed");
+        let component = self
+            .foreground_component()
+            .ok_or(DeviceError::NoForegroundApp)?;
+        let p = self
+            .apps
+            .get_mut(&component)
+            .expect("foreground app installed");
         if p.crashed.is_some() {
             return Err(DeviceError::AppCrashed(component));
         }
-        let instance = p.foreground_instance().ok_or(DeviceError::NoForegroundApp)?;
-        let activity =
-            p.thread.instance_mut(instance).map_err(|e| DeviceError::Handling(e.to_string()))?;
+        let instance = p
+            .foreground_instance()
+            .ok_or(DeviceError::NoForegroundApp)?;
+        let activity = p
+            .thread
+            .instance_mut(instance)
+            .map_err(|e| DeviceError::Handling(e.to_string()))?;
         Ok(f(activity))
     }
 
@@ -441,12 +471,19 @@ impl Device {
     ///
     /// [`DeviceError::NoForegroundApp`] / [`DeviceError::AppCrashed`].
     pub fn start_async_on_foreground(&mut self, spec: AsyncSpec) -> Result<(), DeviceError> {
-        let component = self.foreground_component().ok_or(DeviceError::NoForegroundApp)?;
-        let p = self.apps.get_mut(&component).expect("foreground app installed");
+        let component = self
+            .foreground_component()
+            .ok_or(DeviceError::NoForegroundApp)?;
+        let p = self
+            .apps
+            .get_mut(&component)
+            .expect("foreground app installed");
         if p.crashed.is_some() {
             return Err(DeviceError::AppCrashed(component));
         }
-        let instance = p.foreground_instance().ok_or(DeviceError::NoForegroundApp)?;
+        let instance = p
+            .foreground_instance()
+            .ok_or(DeviceError::NoForegroundApp)?;
         let now = self.clock;
         p.thread
             .start_async(instance, spec, now)
@@ -498,11 +535,16 @@ impl Device {
         &mut self,
         config: Configuration,
     ) -> Result<ChangeReport, DeviceError> {
-        let component = self.foreground_component().ok_or(DeviceError::NoForegroundApp)?;
+        let component = self
+            .foreground_component()
+            .ok_or(DeviceError::NoForegroundApp)?;
         if self.is_crashed(&component) {
             return Err(DeviceError::AppCrashed(component));
         }
-        let record = self.atms.foreground_record().ok_or(DeviceError::NoForegroundApp)?;
+        let record = self
+            .atms
+            .foreground_record()
+            .ok_or(DeviceError::NoForegroundApp)?;
         self.atms.update_global_config(config);
 
         let p = self.apps.get_mut(&component).expect("installed");
@@ -525,7 +567,10 @@ impl Device {
                                 .map_err(|e| DeviceError::Handling(e.to_string()))?;
                             p.model.on_configuration_changed(activity);
                         }
-                        (HandlingPath::HandledByApp, self.cost.handled_by_app(&profile))
+                        (
+                            HandlingPath::HandledByApp,
+                            self.cost.handled_by_app(&profile),
+                        )
                     }
                     ConfigDecision::Relaunch(_) => {
                         // Stock relaunch: the ATMS ships a relaunch
@@ -540,7 +585,10 @@ impl Device {
                             .execute_transaction(p.model.as_ref(), &transaction)
                             .map_err(|e| DeviceError::Handling(e.to_string()))?;
                         let _ = self.atms.set_record_state(record, RecordState::Resumed);
-                        (HandlingPath::Relaunch, self.cost.android10_relaunch(&profile))
+                        (
+                            HandlingPath::Relaunch,
+                            self.cost.android10_relaunch(&profile),
+                        )
                     }
                     ConfigDecision::PreventedRelaunch(_) => {
                         unreachable!("prevent=false never yields PreventedRelaunch")
@@ -559,9 +607,10 @@ impl Device {
                     .map_err(|e| DeviceError::Handling(e.to_string()))?;
                 match outcome.kind {
                     ChangeKind::NoChange => (HandlingPath::NoChange, SimDuration::ZERO),
-                    ChangeKind::HandledByApp => {
-                        (HandlingPath::HandledByApp, self.cost.handled_by_app(&profile))
-                    }
+                    ChangeKind::HandledByApp => (
+                        HandlingPath::HandledByApp,
+                        self.cost.handled_by_app(&profile),
+                    ),
                     ChangeKind::Init => (HandlingPath::RchInit, self.cost.rchdroid_init(&profile)),
                     ChangeKind::Flip => (HandlingPath::RchFlip, self.cost.rchdroid_flip(&profile)),
                 }
@@ -570,7 +619,10 @@ impl Device {
                 p.rtd
                     .handle_configuration_change(&mut p.thread, &mut self.atms, p.model.as_ref())
                     .map_err(|e| DeviceError::Handling(e.to_string()))?;
-                (HandlingPath::RuntimeDroidInPlace, self.cost.runtimedroid(&profile))
+                (
+                    HandlingPath::RuntimeDroidInPlace,
+                    self.cost.runtimedroid(&profile),
+                )
             }
         };
 
@@ -586,7 +638,11 @@ impl Device {
             path,
             component: component.clone(),
         });
-        Ok(ChangeReport { path, latency, component })
+        Ok(ChangeReport {
+            path,
+            latency,
+            component,
+        })
     }
 
     /// Advances the virtual clock by `duration`, delivering async-task
@@ -601,8 +657,11 @@ impl Device {
                 .filter(|p| p.crashed.is_none())
                 .filter_map(|p| p.thread.next_wakeup())
                 .min();
-            let next_gc =
-                if self.mode.is_rchdroid() { Some(self.next_gc) } else { None };
+            let next_gc = if self.mode.is_rchdroid() {
+                Some(self.next_gc)
+            } else {
+                None
+            };
             let next = match (next_app_wakeup, next_gc) {
                 (Some(a), Some(g)) => Some(a.min(g)),
                 (a, g) => a.or(g),
@@ -648,7 +707,9 @@ impl Device {
     fn pump_apps_until(&mut self, now: SimTime) {
         let components: Vec<String> = self.apps.keys().cloned().collect();
         for component in components {
-            let Some(p) = self.apps.get_mut(&component) else { continue };
+            let Some(p) = self.apps.get_mut(&component) else {
+                continue;
+            };
             if p.crashed.is_some() {
                 continue;
             }
@@ -658,7 +719,10 @@ impl Device {
                 let UiMessage::AsyncResult(work) = message;
                 match self.mode {
                     HandlingMode::RchDroid(..) => {
-                        match p.rch.on_async_delivered(&mut p.thread, p.model.as_ref(), &work) {
+                        match p
+                            .rch
+                            .on_async_delivered(&mut p.thread, p.model.as_ref(), &work, now)
+                        {
                             Ok(report) => {
                                 let (latency, migrated) = match report {
                                     Some(r) => {
@@ -716,6 +780,16 @@ impl Device {
                                 );
                             }
                         }
+                    }
+                }
+            }
+            // Frame boundary: a batched flush policy may have a deadline
+            // due even when no further delivery arrives. No-op for the
+            // default eager policy.
+            if self.mode.is_rchdroid() {
+                if let Some(p) = self.apps.get_mut(&component) {
+                    if p.crashed.is_none() {
+                        let _ = p.rch.on_frame_tick(&mut p.thread, now);
                     }
                 }
             }
@@ -823,7 +897,11 @@ mod tests {
             .iter()
             .any(|e| matches!(e, DeviceEvent::Crash { exception, .. }
                 if exception.contains("NullPointerException"))));
-        assert_eq!(d.memory_snapshot(&c).unwrap().total_bytes(), 0, "process gone");
+        assert_eq!(
+            d.memory_snapshot(&c).unwrap().total_bytes(),
+            0,
+            "process gone"
+        );
     }
 
     #[test]
@@ -847,7 +925,17 @@ mod tests {
         let p = d.process(&c).unwrap();
         let fg = p.foreground_activity().unwrap();
         let img = fg.tree.find_by_id_name("image_0").unwrap();
-        assert_eq!(fg.tree.view(img).unwrap().attrs.drawable.as_ref().unwrap().0, "loaded_0.png");
+        assert_eq!(
+            fg.tree
+                .view(img)
+                .unwrap()
+                .attrs
+                .drawable
+                .as_ref()
+                .unwrap()
+                .0,
+            "loaded_0.png"
+        );
     }
 
     #[test]
@@ -877,10 +965,13 @@ mod tests {
         // THRESH_T = 50 s: idle 60 s (frequency drops out of the window).
         d.advance(SimDuration::from_secs(70));
         assert_eq!(d.process(&c).unwrap().thread().alive_instances().len(), 1);
-        assert!(d
-            .events()
-            .iter()
-            .any(|e| matches!(e, DeviceEvent::GcPass { collected: true, .. })));
+        assert!(d.events().iter().any(|e| matches!(
+            e,
+            DeviceEvent::GcPass {
+                collected: true,
+                ..
+            }
+        )));
     }
 
     #[test]
@@ -904,7 +995,8 @@ mod tests {
     #[test]
     fn crashed_app_rejects_further_changes() {
         let (mut d, c) = device_with_app(HandlingMode::Android10, 2);
-        d.start_async_on_foreground(SimpleApp::with_views(2).button_task()).unwrap();
+        d.start_async_on_foreground(SimpleApp::with_views(2).button_task())
+            .unwrap();
         d.rotate().unwrap();
         d.advance(SimDuration::from_secs(6));
         assert!(d.is_crashed(&c));
@@ -922,7 +1014,9 @@ mod tests {
         // Give it a distinct component by wrapping: SimpleApp is fixed to
         // com.bench/.Main, so simulate the switch directly instead.
         let p = d.apps.get_mut(&c1).unwrap();
-        p.rch.on_foreground_switched(&mut p.thread, &mut d.atms).unwrap();
+        p.rch
+            .on_foreground_switched(&mut p.thread, &mut d.atms)
+            .unwrap();
         assert_eq!(d.process(&c1).unwrap().thread().alive_instances().len(), 1);
     }
 

@@ -92,7 +92,10 @@ mod tests {
     fn at_extracts_the_timestamp_of_every_variant() {
         let t = SimTime::from_millis(5);
         let events = [
-            DeviceEvent::AppLaunched { at: t, component: "c".into() },
+            DeviceEvent::AppLaunched {
+                at: t,
+                component: "c".into(),
+            },
             DeviceEvent::ConfigChange {
                 at: t,
                 latency: SimDuration::from_millis(1),
@@ -105,8 +108,15 @@ mod tests {
                 migration_latency: None,
                 migrated_views: 0,
             },
-            DeviceEvent::Crash { at: t, component: "c".into(), exception: "e".into() },
-            DeviceEvent::GcPass { at: t, collected: false },
+            DeviceEvent::Crash {
+                at: t,
+                component: "c".into(),
+                exception: "e".into(),
+            },
+            DeviceEvent::GcPass {
+                at: t,
+                collected: false,
+            },
         ];
         for e in events {
             assert_eq!(e.at(), t);

@@ -30,8 +30,8 @@
 //! ```
 
 pub mod device;
-pub mod logcat;
 pub mod events;
+pub mod logcat;
 pub mod process;
 
 pub use device::{ChangeReport, Device, DeviceError, HandlingMode};

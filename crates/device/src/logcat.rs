@@ -75,8 +75,10 @@ mod tests {
 
     fn device_with_history() -> Device {
         let mut d = Device::new(HandlingMode::rchdroid_default());
-        d.install_and_launch(Box::new(SimpleApp::with_views(4)), 40 << 20, 1.0).unwrap();
-        d.start_async_on_foreground(SimpleApp::with_views(4).button_task()).unwrap();
+        d.install_and_launch(Box::new(SimpleApp::with_views(4)), 40 << 20, 1.0)
+            .unwrap();
+        d.start_async_on_foreground(SimpleApp::with_views(4).button_task())
+            .unwrap();
         d.rotate().unwrap();
         d.advance(SimDuration::from_secs(8));
         d
@@ -86,8 +88,14 @@ mod tests {
     fn grep_zizhan_yields_handling_and_migration_lines() {
         let d = device_with_history();
         let lines = d.logcat(Some(super::TAG));
-        assert!(lines.iter().any(|l| l.contains("rchdroid-init")), "{lines:?}");
-        assert!(lines.iter().any(|l| l.contains("lazy-migrated 4 views")), "{lines:?}");
+        assert!(
+            lines.iter().any(|l| l.contains("rchdroid-init")),
+            "{lines:?}"
+        );
+        assert!(
+            lines.iter().any(|l| l.contains("lazy-migrated 4 views")),
+            "{lines:?}"
+        );
         // Every tagged line parses a millisecond number, as the artifact's
         // measurement script expects.
         for line in &lines {
@@ -108,8 +116,10 @@ mod tests {
     #[test]
     fn crash_appears_as_fatal_exception() {
         let mut d = Device::new(HandlingMode::Android10);
-        d.install_and_launch(Box::new(SimpleApp::with_views(2)), 40 << 20, 1.0).unwrap();
-        d.start_async_on_foreground(SimpleApp::with_views(2).button_task()).unwrap();
+        d.install_and_launch(Box::new(SimpleApp::with_views(2)), 40 << 20, 1.0)
+            .unwrap();
+        d.start_async_on_foreground(SimpleApp::with_views(2).button_task())
+            .unwrap();
         d.rotate().unwrap();
         d.advance(SimDuration::from_secs(6));
         let fatals = d.logcat(Some("FATAL EXCEPTION"));

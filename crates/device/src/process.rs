@@ -60,7 +60,10 @@ impl AppProcess {
 
     /// Latencies in milliseconds (experiment convenience).
     pub fn latencies_ms(&self) -> Vec<f64> {
-        self.latencies.iter().map(|(_, d)| d.as_millis_f64()).collect()
+        self.latencies
+            .iter()
+            .map(|(_, d)| d.as_millis_f64())
+            .collect()
     }
 
     /// The cost profile for the current foreground tree.
@@ -69,7 +72,10 @@ impl AppProcess {
             .foreground_activity()
             .map(|a| a.tree.view_count())
             .unwrap_or(1);
-        AppCostProfile { complexity: self.complexity, view_count }
+        AppCostProfile {
+            complexity: self.complexity,
+            view_count,
+        }
     }
 
     /// The instance currently in the foreground (resumed or sunny).
@@ -162,7 +168,8 @@ mod tests {
     #[test]
     fn latencies_convert_to_ms() {
         let mut p = process_with_instance();
-        p.latencies.push((droidsim_kernel::SimTime::ZERO, SimDuration::from_millis(89)));
+        p.latencies
+            .push((droidsim_kernel::SimTime::ZERO, SimDuration::from_millis(89)));
         assert_eq!(p.latencies_ms(), vec![89.0]);
         assert_eq!(p.latencies().len(), 1);
     }

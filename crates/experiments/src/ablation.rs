@@ -54,7 +54,11 @@ impl Ablation {
         for a in &self.arms {
             out.push_str(&format!(
                 "{:<26} {:>12.1} {:>9} {:>11} {:>12.2}\n",
-                a.label, a.steady_latency_ms, a.survived, a.foreground_updated, a.settled_memory_mib
+                a.label,
+                a.steady_latency_ms,
+                a.survived,
+                a.foreground_updated,
+                a.settled_memory_mib
             ));
         }
         out
@@ -165,14 +169,21 @@ pub fn run() -> Ablation {
 pub fn paths_taken(mode: HandlingMode) -> Vec<HandlingPath> {
     let mut device = Device::new(mode);
     device
-        .install_and_launch(Box::new(SimpleApp::with_views(4)), BENCHMARK_BASE_MEMORY, 1.0)
+        .install_and_launch(
+            Box::new(SimpleApp::with_views(4)),
+            BENCHMARK_BASE_MEMORY,
+            1.0,
+        )
         .expect("launch");
     let mut paths = Vec::new();
     for _ in 0..4 {
         paths.push(device.rotate().expect("handled").path);
         device.advance(SimDuration::from_secs(1));
     }
-    let _ = device.events().iter().filter(|e| matches!(e, DeviceEvent::GcPass { .. }));
+    let _ = device
+        .events()
+        .iter()
+        .filter(|e| matches!(e, DeviceEvent::GcPass { .. }));
     paths
 }
 
@@ -186,7 +197,10 @@ mod tests {
             coin_flip: false,
             ..RchOptions::default()
         }));
-        assert!(paths.iter().all(|&p| p == HandlingPath::RchInit), "{paths:?}");
+        assert!(
+            paths.iter().all(|&p| p == HandlingPath::RchInit),
+            "{paths:?}"
+        );
 
         let full = paths_taken(HandlingMode::rchdroid_default());
         assert_eq!(full[0], HandlingPath::RchInit);

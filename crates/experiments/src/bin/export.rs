@@ -1,8 +1,10 @@
 //! Exports every figure's data as CSV: `export [dir]` (default ./results).
 fn main() {
-    let dir = std::env::args().nth(1).unwrap_or_else(|| "results".to_owned());
-    let written = rch_experiments::report::export_all(std::path::Path::new(&dir))
-        .expect("export succeeds");
+    let dir = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "results".to_owned());
+    let written =
+        rch_experiments::report::export_all(std::path::Path::new(&dir)).expect("export succeeds");
     for path in written {
         println!("wrote {}", path.display());
     }

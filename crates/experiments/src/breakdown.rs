@@ -50,10 +50,17 @@ impl Breakdown {
             self.profile.complexity, self.profile.view_count
         ));
         for path in &self.paths {
-            out.push_str(&format!("\n{} — total {:.2} ms\n", path.path, path.total_ms()));
+            out.push_str(&format!(
+                "\n{} — total {:.2} ms\n",
+                path.path,
+                path.total_ms()
+            ));
             for step in &path.steps {
                 let share = step.ms / path.total_ms() * 100.0;
-                out.push_str(&format!("  {:<28} {:>8.2} ms {:>5.1}%\n", step.name, step.ms, share));
+                out.push_str(&format!(
+                    "  {:<28} {:>8.2} ms {:>5.1}%\n",
+                    step.name, step.ms, share
+                ));
             }
         }
         out
@@ -72,40 +79,100 @@ pub fn breakdown(profile: AppCostProfile) -> Breakdown {
         PathBreakdown {
             path: "Android-10 relaunch",
             steps: vec![
-                Step { name: "IPC (2 hops)", ms: ms(m.ipc()) * 2.0 },
-                Step { name: "destroy old instance", ms: ms(m.destroy(p)) },
-                Step { name: "create new instance", ms: ms(m.create(p)) },
-                Step { name: "inflate layout", ms: ms(m.inflate(p)) },
-                Step { name: "restore instance state", ms: ms(m.restore(p)) },
-                Step { name: "first measure/layout/draw", ms: ms(m.resume_fresh(p)) },
+                Step {
+                    name: "IPC (2 hops)",
+                    ms: ms(m.ipc()) * 2.0,
+                },
+                Step {
+                    name: "destroy old instance",
+                    ms: ms(m.destroy(p)),
+                },
+                Step {
+                    name: "create new instance",
+                    ms: ms(m.create(p)),
+                },
+                Step {
+                    name: "inflate layout",
+                    ms: ms(m.inflate(p)),
+                },
+                Step {
+                    name: "restore instance state",
+                    ms: ms(m.restore(p)),
+                },
+                Step {
+                    name: "first measure/layout/draw",
+                    ms: ms(m.resume_fresh(p)),
+                },
             ],
         },
         PathBreakdown {
             path: "RCHDroid first change (init)",
             steps: vec![
-                Step { name: "IPC (2 hops)", ms: ms(m.ipc()) * 2.0 },
-                Step { name: "enter shadow + snapshot", ms: ms(m.shadow_enter(p)) },
-                Step { name: "create sunny instance", ms: ms(m.create(p)) },
-                Step { name: "inflate layout", ms: ms(m.inflate(p)) },
-                Step { name: "restore from shadow bundle", ms: ms(m.restore(p)) },
-                Step { name: "build essence mapping", ms: ms(m.mapping_build(p.view_count)) },
-                Step { name: "couple instances", ms: ms(m.init_coupling()) },
-                Step { name: "first measure/layout/draw", ms: ms(m.resume_fresh(p)) },
+                Step {
+                    name: "IPC (2 hops)",
+                    ms: ms(m.ipc()) * 2.0,
+                },
+                Step {
+                    name: "enter shadow + snapshot",
+                    ms: ms(m.shadow_enter(p)),
+                },
+                Step {
+                    name: "create sunny instance",
+                    ms: ms(m.create(p)),
+                },
+                Step {
+                    name: "inflate layout",
+                    ms: ms(m.inflate(p)),
+                },
+                Step {
+                    name: "restore from shadow bundle",
+                    ms: ms(m.restore(p)),
+                },
+                Step {
+                    name: "build essence mapping",
+                    ms: ms(m.mapping_build(p.view_count)),
+                },
+                Step {
+                    name: "couple instances",
+                    ms: ms(m.init_coupling()),
+                },
+                Step {
+                    name: "first measure/layout/draw",
+                    ms: ms(m.resume_fresh(p)),
+                },
             ],
         },
         PathBreakdown {
             path: "RCHDroid later change (flip)",
             steps: vec![
-                Step { name: "IPC (2 hops)", ms: ms(m.ipc()) * 2.0 },
-                Step { name: "search task stack", ms: ms(m.stack_search()) },
-                Step { name: "reorder record to top", ms: ms(m.reorder()) },
-                Step { name: "swap shadow/sunny states", ms: ms(m.state_swap()) },
-                Step { name: "re-show existing instance", ms: ms(m.resume_existing(p)) },
+                Step {
+                    name: "IPC (2 hops)",
+                    ms: ms(m.ipc()) * 2.0,
+                },
+                Step {
+                    name: "search task stack",
+                    ms: ms(m.stack_search()),
+                },
+                Step {
+                    name: "reorder record to top",
+                    ms: ms(m.reorder()),
+                },
+                Step {
+                    name: "swap shadow/sunny states",
+                    ms: ms(m.state_swap()),
+                },
+                Step {
+                    name: "re-show existing instance",
+                    ms: ms(m.resume_existing(p)),
+                },
             ],
         },
         PathBreakdown {
             path: "RuntimeDroid in-place",
-            steps: vec![Step { name: "reload + reconstruct + relayout", ms: ms(m.runtimedroid(p)) }],
+            steps: vec![Step {
+                name: "reload + reconstruct + relayout",
+                ms: ms(m.runtimedroid(p)),
+            }],
         },
     ];
     Breakdown { profile, paths }
@@ -125,7 +192,13 @@ mod tests {
         let m = CostModel::calibrated();
         let p = AppCostProfile::benchmark(7);
         let b = breakdown(p);
-        let by_name = |n: &str| b.paths.iter().find(|x| x.path.contains(n)).unwrap().total_ms();
+        let by_name = |n: &str| {
+            b.paths
+                .iter()
+                .find(|x| x.path.contains(n))
+                .unwrap()
+                .total_ms()
+        };
         assert!((by_name("Android-10") - m.android10_relaunch(&p).as_millis_f64()).abs() < 1e-6);
         assert!((by_name("init") - m.rchdroid_init(&p).as_millis_f64()).abs() < 1e-6);
         assert!((by_name("flip") - m.rchdroid_flip(&p).as_millis_f64()).abs() < 1e-6);
@@ -144,7 +217,14 @@ mod tests {
     fn creation_dominates_the_init_path() {
         let b = run();
         let init = b.paths.iter().find(|p| p.path.contains("init")).unwrap();
-        let create = init.steps.iter().find(|s| s.name.contains("create")).unwrap();
-        assert!(create.ms > init.total_ms() * 0.25, "creation is the biggest single step");
+        let create = init
+            .steps
+            .iter()
+            .find(|s| s.name.contains("create"))
+            .unwrap();
+        assert!(
+            create.ms > init.total_ms() * 0.25,
+            "creation is the biggest single step"
+        );
     }
 }

@@ -54,7 +54,11 @@ pub fn check(spec: &GenericAppSpec, mode: HandlingMode) -> DetectionReport {
     let mut device = Device::new(mode);
     let probe = spec.build();
     let component = device
-        .install_and_launch(Box::new(spec.build()), spec.base_memory_bytes, spec.complexity)
+        .install_and_launch(
+            Box::new(spec.build()),
+            spec.base_memory_bytes,
+            spec.complexity,
+        )
         .expect("launch");
     device
         .with_foreground_activity_mut(|a| probe.apply_user_state(a))
@@ -65,14 +69,26 @@ pub fn check(spec: &GenericAppSpec, mode: HandlingMode) -> DetectionReport {
 
     let _ = device.rotate();
     device.advance(SimDuration::from_secs(8)); // let any async task land
-    let lost_after_one =
-        if device.is_crashed(&component) { Vec::new() } else { lost_items(&mut device, &probe) };
+    let lost_after_one = if device.is_crashed(&component) {
+        Vec::new()
+    } else {
+        lost_items(&mut device, &probe)
+    };
 
     let _ = device.rotate();
     let crashed = device.is_crashed(&component);
-    let lost_after_two = if crashed { Vec::new() } else { lost_items(&mut device, &probe) };
+    let lost_after_two = if crashed {
+        Vec::new()
+    } else {
+        lost_items(&mut device, &probe)
+    };
 
-    DetectionReport { app: spec.name.clone(), lost_after_one, lost_after_two, crashed }
+    DetectionReport {
+        app: spec.name.clone(),
+        lost_after_one,
+        lost_after_two,
+        crashed,
+    }
 }
 
 /// Runs the oracle over a whole app set; returns the apps flagged.
@@ -101,7 +117,11 @@ mod tests {
     fn oracle_confirms_rchdroids_residue_on_tp27() {
         let specs = tp27_specs();
         let flagged = flagged(&specs, HandlingMode::rchdroid_default());
-        assert_eq!(flagged, vec!["DiskDiggerPro", "Dock4Droid"], "only the member-unsaved two");
+        assert_eq!(
+            flagged,
+            vec!["DiskDiggerPro", "Dock4Droid"],
+            "only the member-unsaved two"
+        );
     }
 
     #[test]
@@ -110,7 +130,10 @@ mod tests {
         let stock = flagged(&specs, HandlingMode::Android10);
         assert_eq!(stock.len(), 63);
         let rch = flagged(&specs, HandlingMode::rchdroid_default());
-        assert_eq!(rch, vec!["Filto", "HaircutPrank", "CastForChrome", "KingJamesBible"]);
+        assert_eq!(
+            rch,
+            vec!["Filto", "HaircutPrank", "CastForChrome", "KingJamesBible"]
+        );
     }
 
     #[test]

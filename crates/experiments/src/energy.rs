@@ -34,7 +34,10 @@ impl EnergyStudy {
     pub fn render(&self) -> String {
         let mut out = String::new();
         out.push_str("§5.6: board power after runtime changes (W)\n");
-        out.push_str(&format!("{:<18} {:>12} {:>12}\n", "App", "Android-10", "RCHDroid"));
+        out.push_str(&format!(
+            "{:<18} {:>12} {:>12}\n",
+            "App", "Android-10", "RCHDroid"
+        ));
         for r in &self.rows {
             out.push_str(&format!(
                 "{:<18} {:>12.2} {:>12.2}\n",
@@ -56,7 +59,11 @@ fn observe(mode: HandlingMode, spec: &rch_workloads::GenericAppSpec) -> f64 {
     let meter = EnergyModel::rk3399();
     let mut device = Device::new(mode);
     let _ = device
-        .install_and_launch(Box::new(spec.build()), spec.base_memory_bytes, spec.complexity)
+        .install_and_launch(
+            Box::new(spec.build()),
+            spec.base_memory_bytes,
+            spec.complexity,
+        )
         .expect("launch");
     for _ in 0..4 {
         let _ = device.rotate();
@@ -73,7 +80,10 @@ fn observe(mode: HandlingMode, spec: &rch_workloads::GenericAppSpec) -> f64 {
         .iter()
         .map(|e| match e {
             DeviceEvent::GcPass { .. } => gc_run,
-            DeviceEvent::AsyncDelivered { migration_latency: Some(d), .. } => *d,
+            DeviceEvent::AsyncDelivered {
+                migration_latency: Some(d),
+                ..
+            } => *d,
             _ => SimDuration::ZERO,
         })
         .sum();
@@ -106,8 +116,18 @@ mod tests {
         let study = run();
         assert_eq!(study.rows.len(), 27);
         for r in &study.rows {
-            assert!((r.android10_watts - 4.03).abs() <= 0.03, "{}: {}", r.name, r.android10_watts);
-            assert!((r.rchdroid_watts - 4.03).abs() <= 0.03, "{}: {}", r.name, r.rchdroid_watts);
+            assert!(
+                (r.android10_watts - 4.03).abs() <= 0.03,
+                "{}: {}",
+                r.name,
+                r.android10_watts
+            );
+            assert!(
+                (r.rchdroid_watts - 4.03).abs() <= 0.03,
+                "{}: {}",
+                r.name,
+                r.rchdroid_watts
+            );
         }
     }
 

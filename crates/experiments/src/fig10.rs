@@ -61,7 +61,10 @@ impl Fig10 {
             ));
         }
         out.push_str("\nFig. 10(b): async view-tree migration time vs #views (ms)\n");
-        out.push_str(&format!("{:>6} {:>12} {:>12}\n", "views", "migration", "Android-10"));
+        out.push_str(&format!(
+            "{:>6} {:>12} {:>12}\n",
+            "views", "migration", "Android-10"
+        ));
         for r in &self.b {
             out.push_str(&format!(
                 "{:>6} {:>12.2} {:>12.1}\n",
@@ -86,7 +89,8 @@ fn measure(views: usize) -> (Fig10aRow, Fig10bRow) {
     let mut rch = Device::new(HandlingMode::rchdroid_default());
     let app = benchmark_app(views);
     let task = app.button_task();
-    rch.install_and_launch(Box::new(app), BENCHMARK_BASE_MEMORY, 1.0).expect("launch");
+    rch.install_and_launch(Box::new(app), BENCHMARK_BASE_MEMORY, 1.0)
+        .expect("launch");
 
     rch.start_async_on_foreground(task).expect("button press");
     let init = rch.rotate().expect("first change");
@@ -101,9 +105,10 @@ fn measure(views: usize) -> (Fig10aRow, Fig10bRow) {
         .events()
         .iter()
         .find_map(|e| match e {
-            DeviceEvent::AsyncDelivered { migration_latency: Some(d), .. } => {
-                Some(d.as_millis_f64())
-            }
+            DeviceEvent::AsyncDelivered {
+                migration_latency: Some(d),
+                ..
+            } => Some(d.as_millis_f64()),
             _ => None,
         })
         .expect("the task's updates were migrated");
@@ -115,7 +120,11 @@ fn measure(views: usize) -> (Fig10aRow, Fig10bRow) {
             rchdroid_ms: flip.latency.as_millis_f64(),
             rchdroid_init_ms: init.latency.as_millis_f64(),
         },
-        Fig10bRow { views, migration_ms, android10_ms },
+        Fig10bRow {
+            views,
+            migration_ms,
+            android10_ms,
+        },
     )
 }
 
@@ -135,7 +144,12 @@ mod tests {
         assert_eq!(fig.a.len(), 5);
         // RCHDroid is flat at 89.2 ms.
         for r in &fig.a {
-            assert!((r.rchdroid_ms - 89.2).abs() < 0.5, "flip({}) = {}", r.views, r.rchdroid_ms);
+            assert!(
+                (r.rchdroid_ms - 89.2).abs() < 0.5,
+                "flip({}) = {}",
+                r.views,
+                r.rchdroid_ms
+            );
         }
         // Android-10 near 141.8 ms across the sweep.
         for r in &fig.a {
@@ -149,8 +163,16 @@ mod tests {
         // Init grows from ≈154.6 to ≈180.2 ms.
         let first = fig.a.first().unwrap();
         let last = fig.a.last().unwrap();
-        assert!((first.rchdroid_init_ms - 154.6).abs() < 4.0, "{}", first.rchdroid_init_ms);
-        assert!((last.rchdroid_init_ms - 180.2).abs() < 4.0, "{}", last.rchdroid_init_ms);
+        assert!(
+            (first.rchdroid_init_ms - 154.6).abs() < 4.0,
+            "{}",
+            first.rchdroid_init_ms
+        );
+        assert!(
+            (last.rchdroid_init_ms - 180.2).abs() < 4.0,
+            "{}",
+            last.rchdroid_init_ms
+        );
         // And init is monotonically increasing.
         for pair in fig.a.windows(2) {
             assert!(pair[1].rchdroid_init_ms > pair[0].rchdroid_init_ms);
@@ -162,8 +184,16 @@ mod tests {
         let fig = run();
         let first = fig.b.first().unwrap();
         let last = fig.b.last().unwrap();
-        assert!((first.migration_ms - 8.6).abs() < 0.3, "{}", first.migration_ms);
-        assert!((last.migration_ms - 20.2).abs() < 0.5, "{}", last.migration_ms);
+        assert!(
+            (first.migration_ms - 8.6).abs() < 0.3,
+            "{}",
+            first.migration_ms
+        );
+        assert!(
+            (last.migration_ms - 20.2).abs() < 0.5,
+            "{}",
+            last.migration_ms
+        );
         // Migration is far cheaper than a stock restart at every point.
         for r in &fig.b {
             assert!(r.migration_ms < r.android10_ms / 5.0, "views={}", r.views);

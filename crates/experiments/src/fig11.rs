@@ -56,10 +56,16 @@ impl Fig11 {
         for r in &self.rows {
             out.push_str(&format!(
                 "{:>8}s {:>12.1} {:>12.1} {:>11.2} {:>12}\n",
-                r.thresh_t_secs, r.avg_latency_ms, r.cpu_ms_per_min, r.avg_memory_mib, r.collections
+                r.thresh_t_secs,
+                r.avg_latency_ms,
+                r.cpu_ms_per_min,
+                r.avg_memory_mib,
+                r.collections
             ));
         }
-        out.push_str("=> paper: latency/CPU fall and memory rises with THRESH_T; all flatten at 50 s\n");
+        out.push_str(
+            "=> paper: latency/CPU fall and memory rises with THRESH_T; all flatten at 50 s\n",
+        );
         out
     }
 }
@@ -135,22 +141,44 @@ pub fn run_one_seeded(thresh_t_secs: u64, seed: u64) -> Fig11Row {
         t = next_tick;
     }
 
-    let latencies = device.process(&component).expect("installed").latencies_ms();
+    let latencies = device
+        .process(&component)
+        .expect("installed")
+        .latencies_ms();
     let avg_latency_ms = latencies.iter().sum::<f64>() / latencies.len().max(1) as f64;
     let cpu_ms_per_min = latencies.iter().sum::<f64>() / MINUTES as f64;
     let avg_memory_mib = memory_samples.iter().sum::<f64>() / memory_samples.len().max(1) as f64;
     let collections = device
         .events()
         .iter()
-        .filter(|e| matches!(e, DeviceEvent::GcPass { collected: true, .. }))
+        .filter(|e| {
+            matches!(
+                e,
+                DeviceEvent::GcPass {
+                    collected: true,
+                    ..
+                }
+            )
+        })
         .count();
 
-    Fig11Row { thresh_t_secs, avg_latency_ms, cpu_ms_per_min, avg_memory_mib, collections }
+    Fig11Row {
+        thresh_t_secs,
+        avg_latency_ms,
+        cpu_ms_per_min,
+        avg_memory_mib,
+        collections,
+    }
 }
 
 /// Runs the full THRESH_T sweep (10 … 70 s).
 pub fn run() -> Fig11 {
-    Fig11 { rows: [10, 20, 30, 40, 50, 60, 70].into_iter().map(run_one).collect() }
+    Fig11 {
+        rows: [10, 20, 30, 40, 50, 60, 70]
+            .into_iter()
+            .map(run_one)
+            .collect(),
+    }
 }
 
 #[cfg(test)]
@@ -161,17 +189,28 @@ mod tests {
     fn schedule_is_bursty_at_about_six_per_minute() {
         let s = change_schedule(0x5EED);
         let per_minute = s.len() as f64 / MINUTES as f64;
-        assert!((4.0..=8.0).contains(&per_minute), "{per_minute} changes/min");
-        assert!(s.windows(2).all(|w| w[0] < w[1]), "sorted, strictly increasing");
-        let gaps: Vec<f64> =
-            s.windows(2).map(|w| w[1].saturating_since(w[0]).as_secs_f64()).collect();
+        assert!(
+            (4.0..=8.0).contains(&per_minute),
+            "{per_minute} changes/min"
+        );
+        assert!(
+            s.windows(2).all(|w| w[0] < w[1]),
+            "sorted, strictly increasing"
+        );
+        let gaps: Vec<f64> = s
+            .windows(2)
+            .map(|w| w[1].saturating_since(w[0]).as_secs_f64())
+            .collect();
         let max_gap = gaps.iter().copied().fold(0.0f64, f64::max);
         // Long quiet gaps exist (so small THRESH_T values collect) but
         // none exceeds 50 s (so THRESH_T = 50 s is the knee).
         assert!(max_gap > 35.0, "max gap = {max_gap}");
         assert!(max_gap < 50.0, "max gap = {max_gap}");
         // And gaps span the sweep range so the curves fall gradually.
-        assert!(gaps.iter().any(|&g| (20.0..30.0).contains(&g)), "mid-range gaps exist");
+        assert!(
+            gaps.iter().any(|&g| (20.0..30.0).contains(&g)),
+            "mid-range gaps exist"
+        );
     }
 
     #[test]
@@ -187,7 +226,10 @@ mod tests {
                 t10.avg_latency_ms,
                 t70.avg_latency_ms
             );
-            assert!(t10.avg_memory_mib <= t70.avg_memory_mib + 0.01, "seed {seed}");
+            assert!(
+                t10.avg_memory_mib <= t70.avg_memory_mib + 0.01,
+                "seed {seed}"
+            );
         }
     }
 
@@ -198,7 +240,12 @@ mod tests {
         let t50 = &fig.rows[4];
         let t70 = &fig.rows[6];
         // Latency and CPU fall as THRESH_T grows…
-        assert!(t10.avg_latency_ms > t50.avg_latency_ms, "{} vs {}", t10.avg_latency_ms, t50.avg_latency_ms);
+        assert!(
+            t10.avg_latency_ms > t50.avg_latency_ms,
+            "{} vs {}",
+            t10.avg_latency_ms,
+            t50.avg_latency_ms
+        );
         assert!(t10.cpu_ms_per_min > t50.cpu_ms_per_min);
         // …memory rises…
         assert!(t10.avg_memory_mib < t50.avg_memory_mib);

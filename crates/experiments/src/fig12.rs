@@ -57,7 +57,10 @@ impl Fig12 {
             "App", "RuntimeDroid mods", "RCHDroid mods"
         ));
         for r in &self.rows {
-            out.push_str(&format!("{:<14} {:>18} {:>14}\n", r.name, r.patch_loc, r.rchdroid_loc));
+            out.push_str(&format!(
+                "{:<14} {:>18} {:>14}\n",
+                r.name, r.patch_loc, r.rchdroid_loc
+            ));
         }
         out.push_str(&format!(
             "\nDeployment: RCHDroid one-off system deploy {} ms; RuntimeDroid per-app \

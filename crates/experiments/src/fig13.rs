@@ -53,7 +53,11 @@ fn state_after_one_change(spec: &rch_workloads::GenericAppSpec, mode: HandlingMo
     let mut device = Device::new(mode);
     let probe = spec.build();
     let _ = device
-        .install_and_launch(Box::new(spec.build()), spec.base_memory_bytes, spec.complexity)
+        .install_and_launch(
+            Box::new(spec.build()),
+            spec.base_memory_bytes,
+            spec.complexity,
+        )
         .expect("launch");
     device
         .with_foreground_activity_mut(|a| probe.apply_user_state(a))
@@ -82,7 +86,10 @@ pub fn run() -> Fig13 {
     let rows = SHOWCASE
         .iter()
         .map(|&name| {
-            let spec = specs.iter().find(|s| s.name == name).expect("showcase app in Table 5");
+            let spec = specs
+                .iter()
+                .find(|s| s.name == name)
+                .expect("showcase app in Table 5");
             Fig13Row {
                 name: spec.name.clone(),
                 problem: spec.issue.clone().unwrap_or_default(),
@@ -117,8 +124,10 @@ mod tests {
         for &name in &SHOWCASE {
             let spec = specs.iter().find(|s| s.name == name).unwrap();
             let stock = run_app(spec, &RunConfig::new(HandlingMode::Android10).changes(1));
-            let rch =
-                run_app(spec, &RunConfig::new(HandlingMode::rchdroid_default()).changes(1));
+            let rch = run_app(
+                spec,
+                &RunConfig::new(HandlingMode::rchdroid_default()).changes(1),
+            );
             assert!(stock.issue_observed(), "{name}");
             assert!(!rch.issue_observed(), "{name}");
         }

@@ -47,7 +47,10 @@ impl Fig7 {
     pub fn render(&self) -> String {
         let mut out = String::new();
         out.push_str("Fig. 7: runtime change handling time (ms), TP-27 set\n");
-        out.push_str(&format!("{:<18} {:>12} {:>12} {:>9}\n", "App", "Android-10", "RCHDroid", "Saving"));
+        out.push_str(&format!(
+            "{:<18} {:>12} {:>12} {:>9}\n",
+            "App", "Android-10", "RCHDroid", "Saving"
+        ));
         for r in &self.rows {
             out.push_str(&format!(
                 "{:<18} {:>12.1} {:>12.1} {:>8.1}%\n",
@@ -95,7 +98,10 @@ mod tests {
         let fig = run();
         assert_eq!(fig.rows.len(), 27);
         let saving = fig.mean_saving() * 100.0;
-        assert!((20.0..=32.0).contains(&saving), "saving = {saving:.2}% (paper: 25.46%)");
+        assert!(
+            (20.0..=32.0).contains(&saving),
+            "saving = {saving:.2}% (paper: 25.46%)"
+        );
     }
 
     #[test]
@@ -110,8 +116,18 @@ mod tests {
     fn latencies_are_in_plausible_ranges() {
         let fig = run();
         for r in &fig.rows {
-            assert!((100.0..=260.0).contains(&r.android10_ms), "{}: {}", r.name, r.android10_ms);
-            assert!((70.0..=220.0).contains(&r.rchdroid_ms), "{}: {}", r.name, r.rchdroid_ms);
+            assert!(
+                (100.0..=260.0).contains(&r.android10_ms),
+                "{}: {}",
+                r.name,
+                r.android10_ms
+            );
+            assert!(
+                (70.0..=220.0).contains(&r.rchdroid_ms),
+                "{}: {}",
+                r.name,
+                r.rchdroid_ms
+            );
         }
     }
 }

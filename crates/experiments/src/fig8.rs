@@ -30,7 +30,14 @@ pub struct Fig8 {
 impl Fig8 {
     /// Mean PSS under Android 10.
     pub fn mean_android10(&self) -> f64 {
-        Summary::of(&self.rows.iter().map(|r| r.android10_mib).collect::<Vec<_>>()).mean
+        Summary::of(
+            &self
+                .rows
+                .iter()
+                .map(|r| r.android10_mib)
+                .collect::<Vec<_>>(),
+        )
+        .mean
     }
 
     /// Mean PSS under RCHDroid.
@@ -47,7 +54,10 @@ impl Fig8 {
     pub fn render(&self) -> String {
         let mut out = String::new();
         out.push_str("Fig. 8: memory usage (MiB), TP-27 set\n");
-        out.push_str(&format!("{:<18} {:>12} {:>12}\n", "App", "Android-10", "RCHDroid"));
+        out.push_str(&format!(
+            "{:<18} {:>12} {:>12}\n",
+            "App", "Android-10", "RCHDroid"
+        ));
         for r in &self.rows {
             out.push_str(&format!(
                 "{:<18} {:>12.2} {:>12.2}\n",
@@ -93,10 +103,19 @@ mod tests {
         let fig = run();
         let stock = fig.mean_android10();
         let rch = fig.mean_rchdroid();
-        assert!((45.0..=51.0).contains(&stock), "Android-10 mean = {stock:.2} (paper 47.56)");
-        assert!((50.0..=57.0).contains(&rch), "RCHDroid mean = {rch:.2} (paper 53.53)");
+        assert!(
+            (45.0..=51.0).contains(&stock),
+            "Android-10 mean = {stock:.2} (paper 47.56)"
+        );
+        assert!(
+            (50.0..=57.0).contains(&rch),
+            "RCHDroid mean = {rch:.2} (paper 53.53)"
+        );
         let ratio = fig.ratio();
-        assert!((1.08..=1.16).contains(&ratio), "ratio = {ratio:.3} (paper 1.12)");
+        assert!(
+            (1.08..=1.16).contains(&ratio),
+            "ratio = {ratio:.3} (paper 1.12)"
+        );
     }
 
     #[test]

@@ -122,10 +122,16 @@ pub fn run_mode(mode: HandlingMode, label: &'static str) -> SystemTrace {
     // Busy intervals from the event log.
     for event in device.events() {
         match event {
-            DeviceEvent::ConfigChange { at, latency, path, .. } => {
+            DeviceEvent::ConfigChange {
+                at, latency, path, ..
+            } => {
                 tracer.record_busy(*at, *latency, burst_utilisation(*path));
             }
-            DeviceEvent::AsyncDelivered { at, migration_latency: Some(d), .. } => {
+            DeviceEvent::AsyncDelivered {
+                at,
+                migration_latency: Some(d),
+                ..
+            } => {
                 tracer.record_busy(*at, *d, 0.5);
             }
             DeviceEvent::Crash { at, .. } => {
@@ -166,7 +172,11 @@ mod tests {
         let fig = run();
         assert!(!fig.rchdroid.crashed);
         let last = fig.rchdroid.points.last().unwrap();
-        assert!(last.memory_mib > 40.0, "process alive: {} MiB", last.memory_mib);
+        assert!(
+            last.memory_mib > 40.0,
+            "process alive: {} MiB",
+            last.memory_mib
+        );
     }
 
     #[test]
@@ -187,17 +197,42 @@ mod tests {
         let rch_first = peak_in(&fig.rchdroid.points, 1.5, 3.0);
         // Second change at 7.9 s.
         let rch_second = peak_in(&fig.rchdroid.points, 7.5, 9.0);
-        assert!((a10_first - 11.0).abs() < 2.5, "Android-10 ≈ 11%: {a10_first:.1}");
-        assert!((rch_first - 15.0).abs() < 2.5, "RCHDroid init ≈ 15%: {rch_first:.1}");
-        assert!((rch_second - 12.0).abs() < 2.5, "RCHDroid flip ≈ 12%: {rch_second:.1}");
-        assert!(rch_second < rch_first, "coin flip reduces the second-change CPU cost");
+        assert!(
+            (a10_first - 11.0).abs() < 2.5,
+            "Android-10 ≈ 11%: {a10_first:.1}"
+        );
+        assert!(
+            (rch_first - 15.0).abs() < 2.5,
+            "RCHDroid init ≈ 15%: {rch_first:.1}"
+        );
+        assert!(
+            (rch_second - 12.0).abs() < 2.5,
+            "RCHDroid flip ≈ 12%: {rch_second:.1}"
+        );
+        assert!(
+            rch_second < rch_first,
+            "coin flip reduces the second-change CPU cost"
+        );
     }
 
     #[test]
     fn rchdroid_memory_rises_after_first_change() {
         let fig = run();
-        let before = fig.rchdroid.points.iter().find(|p| p.at.as_secs_f64() >= 1.0).unwrap();
-        let after = fig.rchdroid.points.iter().find(|p| p.at.as_secs_f64() >= 3.0).unwrap();
-        assert!(after.memory_mib > before.memory_mib, "shadow instance retained");
+        let before = fig
+            .rchdroid
+            .points
+            .iter()
+            .find(|p| p.at.as_secs_f64() >= 1.0)
+            .unwrap();
+        let after = fig
+            .rchdroid
+            .points
+            .iter()
+            .find(|p| p.at.as_secs_f64() >= 3.0)
+            .unwrap();
+        assert!(
+            after.memory_mib > before.memory_mib,
+            "shadow instance retained"
+        );
     }
 }

@@ -37,7 +37,15 @@ pub fn export_all(dir: &Path) -> std::io::Result<Vec<PathBuf>> {
         &fig7
             .rows
             .iter()
-            .map(|r| format!("{},{:.3},{:.3},{:.4}", r.name, r.android10_ms, r.rchdroid_ms, r.saving()))
+            .map(|r| {
+                format!(
+                    "{},{:.3},{:.3},{:.4}",
+                    r.name,
+                    r.android10_ms,
+                    r.rchdroid_ms,
+                    r.saving()
+                )
+            })
             .collect::<Vec<_>>(),
     )?);
 
@@ -114,7 +122,11 @@ pub fn export_all(dir: &Path) -> std::io::Result<Vec<PathBuf>> {
             .map(|r| {
                 format!(
                     "{},{:.3},{:.3},{:.3},{}",
-                    r.thresh_t_secs, r.avg_latency_ms, r.cpu_ms_per_min, r.avg_memory_mib, r.collections
+                    r.thresh_t_secs,
+                    r.avg_latency_ms,
+                    r.cpu_ms_per_min,
+                    r.avg_memory_mib,
+                    r.collections
                 )
             })
             .collect::<Vec<_>>(),
@@ -129,7 +141,10 @@ pub fn export_all(dir: &Path) -> std::io::Result<Vec<PathBuf>> {
             .rows
             .iter()
             .map(|r| {
-                format!("{},{:.4},{:.4},{}", r.name, r.rchdroid_norm, r.runtimedroid_norm, r.patch_loc)
+                format!(
+                    "{},{:.4},{:.4},{}",
+                    r.name, r.rchdroid_norm, r.runtimedroid_norm, r.patch_loc
+                )
             })
             .collect::<Vec<_>>(),
     )?);

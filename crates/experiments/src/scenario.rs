@@ -85,7 +85,11 @@ pub fn run_app(spec: &GenericAppSpec, cfg: &RunConfig) -> RunOutcome {
     let mut device = Device::new(cfg.mode);
     let probe = spec.build(); // state helpers (stateless twin of the installed model)
     let component = device
-        .install_and_launch(Box::new(spec.build()), spec.base_memory_bytes, spec.complexity)
+        .install_and_launch(
+            Box::new(spec.build()),
+            spec.base_memory_bytes,
+            spec.complexity,
+        )
         .expect("launch succeeds on a fresh device");
 
     // Stable state + user interaction.
@@ -95,7 +99,9 @@ pub fn run_app(spec: &GenericAppSpec, cfg: &RunConfig) -> RunOutcome {
         .expect("foreground just launched");
 
     if cfg.with_async_task || spec.uses_async_task {
-        device.start_async_on_foreground(spec.async_task()).expect("foreground alive");
+        device
+            .start_async_on_foreground(spec.async_task())
+            .expect("foreground alive");
     }
 
     // The runtime changes.
@@ -132,14 +138,21 @@ pub fn run_app(spec: &GenericAppSpec, cfg: &RunConfig) -> RunOutcome {
             .events()
             .iter()
             .filter_map(|e| match e {
-                DeviceEvent::AsyncDelivered { migration_latency: Some(d), .. } => {
-                    Some(d.as_millis_f64())
-                }
+                DeviceEvent::AsyncDelivered {
+                    migration_latency: Some(d),
+                    ..
+                } => Some(d.as_millis_f64()),
                 _ => None,
             })
             .sum::<f64>();
 
-    RunOutcome { latencies_ms, crashed, state_ok, memory_mib, busy_ms }
+    RunOutcome {
+        latencies_ms,
+        crashed,
+        state_ok,
+        memory_mib,
+        busy_ms,
+    }
 }
 
 /// Convenience: run the same spec under two modes (comparison shape).
@@ -158,7 +171,10 @@ mod tests {
     fn stock_run_on_issue_app_observes_the_issue() {
         let specs = tp27_specs();
         let outcome = run_app(&specs[0], &RunConfig::new(HandlingMode::Android10));
-        assert!(outcome.issue_observed(), "AlarmClockPlus loses state under stock");
+        assert!(
+            outcome.issue_observed(),
+            "AlarmClockPlus loses state under stock"
+        );
         assert_eq!(outcome.latencies_ms.len(), 4);
     }
 

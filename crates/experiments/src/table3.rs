@@ -54,7 +54,11 @@ impl Table3 {
                 r.name,
                 r.downloads,
                 r.issue,
-                if r.fixed_by_rchdroid { "fixed" } else { "NOT fixed" }
+                if r.fixed_by_rchdroid {
+                    "fixed"
+                } else {
+                    "NOT fixed"
+                }
             ));
         }
         out.push_str(&format!(
@@ -85,7 +89,10 @@ fn evaluate(number: usize, spec: &GenericAppSpec) -> Table3Row {
     // member-state loss.
     let single = RunConfig::new(HandlingMode::Android10).changes(1);
     let stock = run_app(spec, &single);
-    let rch = run_app(spec, &RunConfig::new(HandlingMode::rchdroid_default()).changes(1));
+    let rch = run_app(
+        spec,
+        &RunConfig::new(HandlingMode::rchdroid_default()).changes(1),
+    );
     Table3Row {
         number,
         name: spec.name.clone(),
@@ -105,11 +112,18 @@ mod tests {
         let table = run();
         assert_eq!(table.rows.len(), 27);
         // Every documented issue reproduces under stock.
-        assert!(table.rows.iter().all(|r| r.issue_under_stock), "issues reproduce");
+        assert!(
+            table.rows.iter().all(|r| r.issue_under_stock),
+            "issues reproduce"
+        );
         // 25 of 27 fixed, failing exactly on #9 and #10.
         assert_eq!(table.fixed_count(), 25);
-        let unfixed: Vec<usize> =
-            table.rows.iter().filter(|r| !r.fixed_by_rchdroid).map(|r| r.number).collect();
+        let unfixed: Vec<usize> = table
+            .rows
+            .iter()
+            .filter(|r| !r.fixed_by_rchdroid)
+            .map(|r| r.number)
+            .collect();
         assert_eq!(unfixed, vec![9, 10]);
     }
 

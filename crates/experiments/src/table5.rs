@@ -50,12 +50,18 @@ impl Top100Study {
 
     /// Issue apps that RCHDroid fixed.
     pub fn fixed_count(&self) -> usize {
-        self.rows.iter().filter(|r| r.issue_under_stock && r.fixed_by_rchdroid).count()
+        self.rows
+            .iter()
+            .filter(|r| r.issue_under_stock && r.fixed_by_rchdroid)
+            .count()
     }
 
     /// The 59 fixed apps' rows (Fig. 14's population).
     pub fn fixed_rows(&self) -> Vec<&Top100Row> {
-        self.rows.iter().filter(|r| r.issue_under_stock && r.fixed_by_rchdroid).collect()
+        self.rows
+            .iter()
+            .filter(|r| r.issue_under_stock && r.fixed_by_rchdroid)
+            .collect()
     }
 
     /// Fig. 14(a): mean handling latencies `(android10, rchdroid)` over
@@ -136,8 +142,10 @@ pub fn run() -> Top100Study {
             // procedure: change once and observe the state); performance
             // and memory use the steady-state 4-change workflow.
             let stock_once = run_app(spec, &RunConfig::new(HandlingMode::Android10).changes(1));
-            let rch_once =
-                run_app(spec, &RunConfig::new(HandlingMode::rchdroid_default()).changes(1));
+            let rch_once = run_app(
+                spec,
+                &RunConfig::new(HandlingMode::rchdroid_default()).changes(1),
+            );
             let stock = run_app(spec, &RunConfig::new(HandlingMode::Android10));
             let rch = run_app(spec, &RunConfig::new(HandlingMode::rchdroid_default()));
             Top100Row {
@@ -173,27 +181,48 @@ mod tests {
             .filter(|r| r.issue_under_stock && !r.fixed_by_rchdroid)
             .map(|r| r.name.as_str())
             .collect();
-        assert_eq!(unfixed, vec!["Filto", "HaircutPrank", "CastForChrome", "KingJamesBible"]);
+        assert_eq!(
+            unfixed,
+            vec!["Filto", "HaircutPrank", "CastForChrome", "KingJamesBible"]
+        );
     }
 
     #[test]
     fn fig14a_matches_the_paper_band() {
         let study = run();
         let (a10, rch) = study.fig14a();
-        assert!((380.0..=460.0).contains(&a10), "Android-10 {a10:.1} (paper 420.58)");
-        assert!((220.0..=290.0).contains(&rch), "RCHDroid {rch:.1} (paper 250.39)");
+        assert!(
+            (380.0..=460.0).contains(&a10),
+            "Android-10 {a10:.1} (paper 420.58)"
+        );
+        assert!(
+            (220.0..=290.0).contains(&rch),
+            "RCHDroid {rch:.1} (paper 250.39)"
+        );
         let saving = (a10 - rch) / a10 * 100.0;
-        assert!((33.0..=45.0).contains(&saving), "saving {saving:.1}% (paper 38.60%)");
+        assert!(
+            (33.0..=45.0).contains(&saving),
+            "saving {saving:.1}% (paper 38.60%)"
+        );
     }
 
     #[test]
     fn fig14b_matches_the_paper_band() {
         let study = run();
         let (a10, rch) = study.fig14b();
-        assert!((155.0..=170.0).contains(&a10), "Android-10 {a10:.1} MiB (paper 162.28)");
-        assert!((165.0..=182.0).contains(&rch), "RCHDroid {rch:.1} MiB (paper 173.85)");
+        assert!(
+            (155.0..=170.0).contains(&a10),
+            "Android-10 {a10:.1} MiB (paper 162.28)"
+        );
+        assert!(
+            (165.0..=182.0).contains(&rch),
+            "RCHDroid {rch:.1} MiB (paper 173.85)"
+        );
         let overhead = (rch - a10) / a10 * 100.0;
-        assert!((5.0..=9.5).contains(&overhead), "overhead {overhead:.1}% (paper 7.13%)");
+        assert!(
+            (5.0..=9.5).contains(&overhead),
+            "overhead {overhead:.1}% (paper 7.13%)"
+        );
     }
 
     #[test]

@@ -64,7 +64,11 @@ impl VarianceStudy {
 fn one_run(mode: HandlingMode, seed: u64) -> f64 {
     let mut device = Device::new(mode).with_jitter(seed, JITTER_CV);
     device
-        .install_and_launch(Box::new(SimpleApp::with_views(4)), BENCHMARK_BASE_MEMORY, 1.0)
+        .install_and_launch(
+            Box::new(SimpleApp::with_views(4)),
+            BENCHMARK_BASE_MEMORY,
+            1.0,
+        )
         .expect("launch");
     let mut latencies = Vec::new();
     for _ in 0..4 {
@@ -83,10 +87,15 @@ pub fn run() -> VarianceStudy {
     let rows = systems
         .into_iter()
         .map(|(label, mode)| {
-            let runs_ms: Vec<f64> =
-                (0..RUNS as u64).map(|seed| one_run(mode, 0xC0FFEE + seed)).collect();
+            let runs_ms: Vec<f64> = (0..RUNS as u64)
+                .map(|seed| one_run(mode, 0xC0FFEE + seed))
+                .collect();
             let summary = Summary::of(&runs_ms);
-            VarianceRow { label, runs_ms, summary }
+            VarianceRow {
+                label,
+                runs_ms,
+                summary,
+            }
         })
         .collect();
     VarianceStudy { rows }
@@ -101,8 +110,17 @@ mod tests {
         let study = run();
         for row in &study.rows {
             assert_eq!(row.runs_ms.len(), RUNS);
-            assert!(row.summary.cv() < 0.05, "{}: cv = {:.3}", row.label, row.summary.cv());
-            assert!(row.summary.std_dev > 0.0, "{}: jitter actually applied", row.label);
+            assert!(
+                row.summary.cv() < 0.05,
+                "{}: cv = {:.3}",
+                row.label,
+                row.summary.cv()
+            );
+            assert!(
+                row.summary.std_dev > 0.0,
+                "{}: jitter actually applied",
+                row.label
+            );
         }
     }
 
@@ -129,7 +147,11 @@ mod tests {
     fn one_run_no_jitter() -> f64 {
         let mut device = Device::new(HandlingMode::rchdroid_default());
         device
-            .install_and_launch(Box::new(SimpleApp::with_views(4)), BENCHMARK_BASE_MEMORY, 1.0)
+            .install_and_launch(
+                Box::new(SimpleApp::with_views(4)),
+                BENCHMARK_BASE_MEMORY,
+                1.0,
+            )
             .unwrap();
         device.rotate().unwrap().latency.as_millis_f64()
     }

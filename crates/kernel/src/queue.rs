@@ -16,7 +16,7 @@ pub struct Event<P> {
     pub payload: P,
 }
 
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct HeapEntry<P>(Event<P>);
 
 impl<P> PartialEq for HeapEntry<P> {
@@ -58,7 +58,7 @@ impl<P> Ord for HeapEntry<P> {
 /// let order: Vec<char> = std::iter::from_fn(|| q.pop().map(|e| e.payload)).collect();
 /// assert_eq!(order, vec!['a', 'b', 'c']);
 /// ```
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct EventQueue<P> {
     heap: BinaryHeap<HeapEntry<P>>,
     next_seq: u64,
@@ -67,7 +67,10 @@ pub struct EventQueue<P> {
 impl<P> EventQueue<P> {
     /// Creates an empty queue.
     pub fn new() -> Self {
-        EventQueue { heap: BinaryHeap::new(), next_seq: 0 }
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+        }
     }
 
     /// Schedules `payload` to fire at `at`. Returns the event's sequence

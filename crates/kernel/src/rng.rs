@@ -58,7 +58,9 @@ impl Xoshiro256 {
     /// SplitMix64 (the construction recommended by the xoshiro authors).
     pub fn seed_from(seed: u64) -> Self {
         let mut sm = SplitMix64::new(seed);
-        Xoshiro256 { s: [sm.next_u64(), sm.next_u64(), sm.next_u64(), sm.next_u64()] }
+        Xoshiro256 {
+            s: [sm.next_u64(), sm.next_u64(), sm.next_u64(), sm.next_u64()],
+        }
     }
 
     /// Returns the next 64 random bits.

@@ -20,7 +20,9 @@ use serde::{Deserialize, Serialize};
 /// let t = SimTime::ZERO + SimDuration::from_millis(89);
 /// assert_eq!(t.as_micros(), 89_000);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct SimTime(u64);
 
 /// A span of virtual time, in microseconds.
@@ -34,7 +36,9 @@ pub struct SimTime(u64);
 /// assert_eq!(d.as_micros(), 2_500);
 /// assert_eq!(d.as_millis_f64(), 2.5);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct SimDuration(u64);
 
 impl SimTime {
@@ -232,7 +236,10 @@ mod tests {
         let early = SimTime::from_millis(1);
         let late = SimTime::from_millis(2);
         assert_eq!(early.saturating_since(late), SimDuration::ZERO);
-        assert_eq!(SimDuration::from_millis(1) - SimDuration::from_millis(5), SimDuration::ZERO);
+        assert_eq!(
+            SimDuration::from_millis(1) - SimDuration::from_millis(5),
+            SimDuration::ZERO
+        );
     }
 
     #[test]
@@ -252,7 +259,10 @@ mod tests {
     fn mul_f64_scales() {
         let d = SimDuration::from_millis(10).mul_f64(1.5);
         assert_eq!(d.as_micros(), 15_000);
-        assert_eq!(SimDuration::from_millis(10).mul_f64(-2.0), SimDuration::ZERO);
+        assert_eq!(
+            SimDuration::from_millis(10).mul_f64(-2.0),
+            SimDuration::ZERO
+        );
     }
 
     #[test]

@@ -35,7 +35,9 @@ pub struct MessageQueue<M> {
 impl<M> MessageQueue<M> {
     /// Creates an empty queue.
     pub fn new() -> Self {
-        MessageQueue { queue: EventQueue::new() }
+        MessageQueue {
+            queue: EventQueue::new(),
+        }
     }
 
     /// Posts a message for delivery at `when`.
@@ -52,7 +54,10 @@ impl<M> MessageQueue<M> {
                 break;
             }
             let event = self.queue.pop().expect("peeked event exists");
-            due.push(Message { when: event.at, what: event.payload });
+            due.push(Message {
+                when: event.at,
+                what: event.payload,
+            });
         }
         due
     }

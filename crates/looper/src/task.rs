@@ -53,7 +53,10 @@ pub struct AsyncTaskPool<P> {
 impl<P> AsyncTaskPool<P> {
     /// Creates an empty pool.
     pub fn new() -> Self {
-        AsyncTaskPool { next_id: 0, in_flight: BTreeMap::new() }
+        AsyncTaskPool {
+            next_id: 0,
+            in_flight: BTreeMap::new(),
+        }
     }
 
     /// Starts a task at `now` that will complete after `duration`,
@@ -61,7 +64,13 @@ impl<P> AsyncTaskPool<P> {
     pub fn spawn(&mut self, now: SimTime, duration: SimDuration, payload: P) -> AsyncTaskId {
         let id = AsyncTaskId::new(self.next_id);
         self.next_id += 1;
-        self.in_flight.insert(id, InFlight { deadline: now + duration, payload });
+        self.in_flight.insert(
+            id,
+            InFlight {
+                deadline: now + duration,
+                payload,
+            },
+        );
         id
     }
 
@@ -92,7 +101,11 @@ impl<P> AsyncTaskPool<P> {
             .into_iter()
             .map(|id| {
                 let t = self.in_flight.remove(&id).expect("collected above");
-                TaskCompletion { id, finished_at: t.deadline, payload: t.payload }
+                TaskCompletion {
+                    id,
+                    finished_at: t.deadline,
+                    payload: t.payload,
+                }
             })
             .collect();
         completions.sort_by_key(|c| (c.finished_at, c.id));

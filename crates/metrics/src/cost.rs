@@ -36,13 +36,19 @@ pub struct AppCostProfile {
 impl AppCostProfile {
     /// A profile with unit complexity — the benchmark app shape.
     pub fn benchmark(view_count: usize) -> Self {
-        AppCostProfile { complexity: 1.0, view_count }
+        AppCostProfile {
+            complexity: 1.0,
+            view_count,
+        }
     }
 }
 
 impl Default for AppCostProfile {
     fn default() -> Self {
-        AppCostProfile { complexity: 1.0, view_count: 4 }
+        AppCostProfile {
+            complexity: 1.0,
+            view_count: 4,
+        }
     }
 }
 
@@ -177,7 +183,9 @@ pub struct CostModel {
 impl CostModel {
     /// The model with paper-calibrated constants.
     pub fn calibrated() -> Self {
-        CostModel { params: CostParams::default() }
+        CostModel {
+            params: CostParams::default(),
+        }
     }
 
     /// A model with custom constants (ablations).
@@ -214,8 +222,7 @@ impl CostModel {
     /// Inflating the layout.
     pub fn inflate(&self, p: &AppCostProfile) -> SimDuration {
         Self::ms(
-            (self.params.inflate_base_ms
-                + self.params.inflate_per_view_ms * p.view_count as f64)
+            (self.params.inflate_base_ms + self.params.inflate_per_view_ms * p.view_count as f64)
                 * p.complexity,
         )
     }
@@ -223,8 +230,7 @@ impl CostModel {
     /// Restoring instance state into a fresh tree.
     pub fn restore(&self, p: &AppCostProfile) -> SimDuration {
         Self::ms(
-            (self.params.restore_base_ms
-                + self.params.restore_per_view_ms * p.view_count as f64)
+            (self.params.restore_base_ms + self.params.restore_per_view_ms * p.view_count as f64)
                 * p.complexity,
         )
     }
@@ -232,8 +238,7 @@ impl CostModel {
     /// First measure/layout/draw of a fresh instance.
     pub fn resume_fresh(&self, p: &AppCostProfile) -> SimDuration {
         Self::ms(
-            (self.params.resume_fresh_ms
-                + self.params.layout_per_view_ms * p.view_count as f64)
+            (self.params.resume_fresh_ms + self.params.layout_per_view_ms * p.view_count as f64)
                 * p.complexity,
         )
     }
@@ -289,8 +294,7 @@ impl CostModel {
     /// Lazy migration of `migrated_views` invalidated views.
     pub fn async_migration(&self, migrated_views: usize) -> SimDuration {
         Self::ms(
-            self.params.migrate_base_ms
-                + self.params.migrate_per_view_ms * migrated_views as f64,
+            self.params.migrate_base_ms + self.params.migrate_per_view_ms * migrated_views as f64,
         )
     }
 
@@ -434,10 +438,19 @@ mod tests {
     #[test]
     fn complexity_scales_cpu_steps() {
         let m = model();
-        let small = AppCostProfile { complexity: 1.0, view_count: 50 };
-        let big = AppCostProfile { complexity: 2.0, view_count: 50 };
+        let small = AppCostProfile {
+            complexity: 1.0,
+            view_count: 50,
+        };
+        let big = AppCostProfile {
+            complexity: 2.0,
+            view_count: 50,
+        };
         let ratio = ms(m.android10_relaunch(&big)) / ms(m.android10_relaunch(&small));
-        assert!(ratio > 1.9 && ratio < 2.0, "IPC is the only unscaled term: {ratio}");
+        assert!(
+            ratio > 1.9 && ratio < 2.0,
+            "IPC is the only unscaled term: {ratio}"
+        );
     }
 
     #[test]
@@ -446,8 +459,14 @@ mod tests {
         // so bigger apps save a larger fraction (25 % for TP-27 vs 38 %
         // for the top-100 in the paper).
         let m = model();
-        let small = AppCostProfile { complexity: 1.0, view_count: 30 };
-        let big = AppCostProfile { complexity: 2.2, view_count: 150 };
+        let small = AppCostProfile {
+            complexity: 1.0,
+            view_count: 30,
+        };
+        let big = AppCostProfile {
+            complexity: 2.2,
+            view_count: 150,
+        };
         let saving = |p: &AppCostProfile| {
             let a10 = ms(m.android10_relaunch(p));
             let avg = (ms(m.rchdroid_init(p)) + 3.0 * ms(m.rchdroid_flip(p))) / 4.0;

@@ -26,11 +26,13 @@
 pub mod cost;
 pub mod energy;
 pub mod memory;
+pub mod migration;
 pub mod stats;
 pub mod trace;
 
 pub use cost::{AppCostProfile, CostModel, CostParams};
 pub use energy::EnergyModel;
 pub use memory::{MemoryModel, MemorySnapshot};
-pub use stats::Summary;
-pub use trace::{Tracer, TracePoint};
+pub use migration::MigrationMetrics;
+pub use stats::{Histogram, Summary};
+pub use trace::{TracePoint, Tracer};

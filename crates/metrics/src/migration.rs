@@ -1,0 +1,145 @@
+//! Instrumentation for the batched lazy-migration path.
+//!
+//! The eager path (the paper's baseline) copies class essence on *every*
+//! `invalidate()` delivered while an activity is shadowed. The batched
+//! path queues invalidations and drains them in bursts, so two questions
+//! decide whether batching is worth it:
+//!
+//! * **coalesce ratio** — raw invalidations per coalesced queue entry.
+//!   A ratio of 4 means four `invalidate()` calls collapsed into one
+//!   essence copy; 1.0 means batching bought nothing.
+//! * **flush behaviour** — how big batches get and how long a flush
+//!   takes, captured as [`Histogram`]s of per-batch entry counts and
+//!   wall-clock flush latency.
+//!
+//! [`MigrationMetrics`] accumulates all of these over an engine's
+//! lifetime; the fig10-style benchmarks and the handler tests read them
+//! back to verify the fast path actually coalesces.
+
+use core::fmt;
+
+use crate::stats::Histogram;
+
+/// Lifetime counters and distributions for one migration engine.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MigrationMetrics {
+    /// Number of flushes performed (eager single-view drains count too).
+    pub flushes: u64,
+    /// Raw `invalidate()` deliveries observed before coalescing.
+    pub raw_invalidations: u64,
+    /// Coalesced queue entries actually migrated (≤ raw).
+    pub coalesced_entries: u64,
+    /// Per-flush batch size in coalesced entries.
+    pub batch_size: Histogram,
+    /// Per-flush wall-clock latency in nanoseconds.
+    pub flush_latency_ns: Histogram,
+}
+
+impl MigrationMetrics {
+    /// Fresh, all-zero metrics.
+    pub fn new() -> MigrationMetrics {
+        MigrationMetrics::default()
+    }
+
+    /// Records one flush: `raw` invalidations collapsed into `batch`
+    /// coalesced entries, drained in `latency_ns` nanoseconds.
+    pub fn record_flush(&mut self, batch: usize, raw: usize, latency_ns: u64) {
+        debug_assert!(
+            batch <= raw,
+            "cannot coalesce {raw} raw into {batch} entries"
+        );
+        self.flushes += 1;
+        self.raw_invalidations += raw as u64;
+        self.coalesced_entries += batch as u64;
+        self.batch_size.record(batch as f64);
+        self.flush_latency_ns.record(latency_ns as f64);
+    }
+
+    /// Raw invalidations per coalesced entry (≥ 1 once anything was
+    /// flushed; 1.0 when batching saved nothing; 0 when idle).
+    pub fn coalesce_ratio(&self) -> f64 {
+        if self.coalesced_entries == 0 {
+            0.0
+        } else {
+            self.raw_invalidations as f64 / self.coalesced_entries as f64
+        }
+    }
+
+    /// Mean coalesced entries per flush (0 when idle).
+    pub fn mean_batch_size(&self) -> f64 {
+        self.batch_size.mean()
+    }
+
+    /// Folds another engine's metrics into this one (e.g. to aggregate
+    /// across apps in an experiment harness).
+    pub fn merge(&mut self, other: &MigrationMetrics) {
+        self.flushes += other.flushes;
+        self.raw_invalidations += other.raw_invalidations;
+        self.coalesced_entries += other.coalesced_entries;
+        self.batch_size.merge(&other.batch_size);
+        self.flush_latency_ns.merge(&other.flush_latency_ns);
+    }
+}
+
+impl fmt::Display for MigrationMetrics {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "flushes={} raw={} coalesced={} ratio={:.2} batch[{}] latency_ns[{}]",
+            self.flushes,
+            self.raw_invalidations,
+            self.coalesced_entries,
+            self.coalesce_ratio(),
+            self.batch_size,
+            self.flush_latency_ns
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn coalesce_ratio_tracks_raw_over_entries() {
+        let mut m = MigrationMetrics::new();
+        assert_eq!(m.coalesce_ratio(), 0.0);
+        m.record_flush(3, 12, 1_000);
+        assert!((m.coalesce_ratio() - 4.0).abs() < 1e-12);
+        m.record_flush(1, 1, 500);
+        assert!((m.coalesce_ratio() - 13.0 / 4.0).abs() < 1e-12);
+        assert_eq!(m.flushes, 2);
+        assert!((m.mean_batch_size() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn eager_equivalent_usage_has_unit_ratio() {
+        let mut m = MigrationMetrics::new();
+        for _ in 0..5 {
+            m.record_flush(1, 1, 100);
+        }
+        assert!((m.coalesce_ratio() - 1.0).abs() < 1e-12);
+        assert_eq!(m.batch_size.max(), 1.0);
+    }
+
+    #[test]
+    fn merge_aggregates_engines() {
+        let mut a = MigrationMetrics::new();
+        a.record_flush(2, 4, 100);
+        let mut b = MigrationMetrics::new();
+        b.record_flush(3, 9, 200);
+        a.merge(&b);
+        assert_eq!(a.flushes, 2);
+        assert_eq!(a.raw_invalidations, 13);
+        assert_eq!(a.coalesced_entries, 5);
+        assert_eq!(a.flush_latency_ns.count(), 2);
+    }
+
+    #[test]
+    fn display_is_human_readable() {
+        let mut m = MigrationMetrics::new();
+        m.record_flush(2, 6, 1_500);
+        let line = m.to_string();
+        assert!(line.contains("ratio=3.00"), "got {line}");
+    }
+}

@@ -32,7 +32,13 @@ impl Summary {
             min = min.min(x);
             max = max.max(x);
         }
-        Summary { count, mean, std_dev: var.sqrt(), min, max }
+        Summary {
+            count,
+            mean,
+            std_dev: var.sqrt(),
+            min,
+            max,
+        }
     }
 
     /// Coefficient of variation (σ/µ); 0 for a zero mean.
@@ -92,6 +98,80 @@ pub fn percentile(samples: &[f64], q: f64) -> f64 {
     }
 }
 
+/// An accumulating sample distribution.
+///
+/// Samples are kept exactly (the simulator's batch counts are small, so
+/// there is no need for bucketing); summaries and percentiles are computed
+/// on demand. Used by the migration engine to track per-batch sizes and
+/// flush latencies.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Histogram {
+    samples: Vec<f64>,
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Histogram {
+        Histogram::default()
+    }
+
+    /// Adds one observation. Non-finite values are rejected so that
+    /// percentiles stay well-defined.
+    pub fn record(&mut self, value: f64) {
+        assert!(value.is_finite(), "histogram sample must be finite");
+        self.samples.push(value);
+    }
+
+    /// Number of observations recorded.
+    pub fn count(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether nothing has been recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Mean of all observations (0 when empty).
+    pub fn mean(&self) -> f64 {
+        mean(&self.samples)
+    }
+
+    /// Largest observation (0 when empty).
+    pub fn max(&self) -> f64 {
+        self.samples.iter().copied().fold(0.0, f64::max)
+    }
+
+    /// Linear-interpolation percentile (`q` in `[0, 1]`; 0 when empty).
+    pub fn percentile(&self, q: f64) -> f64 {
+        percentile(&self.samples, q)
+    }
+
+    /// Full summary statistics over the recorded observations.
+    pub fn summary(&self) -> Summary {
+        Summary::of(&self.samples)
+    }
+
+    /// Merges another histogram's observations into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        self.samples.extend_from_slice(&other.samples);
+    }
+}
+
+impl fmt::Display for Histogram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "n={} mean={:.2} p50={:.2} p95={:.2} max={:.2}",
+            self.count(),
+            self.mean(),
+            self.percentile(0.5),
+            self.percentile(0.95),
+            self.max()
+        )
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -138,5 +218,37 @@ mod tests {
     #[should_panic(expected = "q must be in")]
     fn percentile_rejects_bad_q() {
         percentile(&[1.0], 1.5);
+    }
+
+    #[test]
+    fn histogram_accumulates_and_summarises() {
+        let mut h = Histogram::new();
+        assert!(h.is_empty());
+        assert_eq!(h.mean(), 0.0);
+        for v in [1.0, 2.0, 3.0, 4.0] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 4);
+        assert!((h.mean() - 2.5).abs() < 1e-12);
+        assert_eq!(h.max(), 4.0);
+        assert!((h.percentile(0.5) - 2.5).abs() < 1e-12);
+        assert_eq!(h.summary().min, 1.0);
+    }
+
+    #[test]
+    fn histogram_merge_combines_samples() {
+        let mut a = Histogram::new();
+        a.record(1.0);
+        let mut b = Histogram::new();
+        b.record(3.0);
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        assert!((a.mean() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be finite")]
+    fn histogram_rejects_nan() {
+        Histogram::new().record(f64::NAN);
     }
 }

@@ -58,7 +58,11 @@ impl Tracer {
     /// Panics if the window is zero.
     pub fn new(window: SimDuration) -> Self {
         assert!(!window.is_zero(), "sampling window must be positive");
-        Tracer { window, busy: Vec::new(), memory: Vec::new() }
+        Tracer {
+            window,
+            busy: Vec::new(),
+            memory: Vec::new(),
+        }
     }
 
     /// Reports CPU work: the app was busy from `start` for `duration` at
@@ -105,7 +109,11 @@ impl Tracer {
                 .take_while(|&&(at, _)| at <= window_end)
                 .last()
                 .map_or(0.0, |&(_, m)| m);
-            points.push(TracePoint { at: window_end, cpu_percent, memory_mib });
+            points.push(TracePoint {
+                at: window_end,
+                cpu_percent,
+                memory_mib,
+            });
             t = window_end;
         }
         points
@@ -169,7 +177,10 @@ mod tests {
         let points = tracer.sample(ms(40));
         assert_eq!(points[0].memory_mib, 47.0);
         assert_eq!(points[1].memory_mib, 47.0);
-        assert_eq!(points[2].memory_mib, 53.0, "reading at 25ms lands in window 3");
+        assert_eq!(
+            points[2].memory_mib, 53.0,
+            "reading at 25ms lands in window 3"
+        );
         assert_eq!(points[3].memory_mib, 53.0);
     }
 

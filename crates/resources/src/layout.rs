@@ -61,12 +61,21 @@ impl LayoutNode {
 
     /// Total number of nodes in this subtree (including `self`).
     pub fn node_count(&self) -> usize {
-        1 + self.children.iter().map(LayoutNode::node_count).sum::<usize>()
+        1 + self
+            .children
+            .iter()
+            .map(LayoutNode::node_count)
+            .sum::<usize>()
     }
 
     /// Depth of this subtree (a leaf has depth 1).
     pub fn depth(&self) -> usize {
-        1 + self.children.iter().map(LayoutNode::depth).max().unwrap_or(0)
+        1 + self
+            .children
+            .iter()
+            .map(LayoutNode::depth)
+            .max()
+            .unwrap_or(0)
     }
 
     /// Pre-order iteration over the subtree.
@@ -107,7 +116,10 @@ pub struct LayoutTemplate {
 impl LayoutTemplate {
     /// Creates a template.
     pub fn new(name: &str, root: LayoutNode) -> Self {
-        LayoutTemplate { name: name.to_owned(), root }
+        LayoutTemplate {
+            name: name.to_owned(),
+            root,
+        }
     }
 
     /// Total node count.
@@ -117,7 +129,10 @@ impl LayoutTemplate {
 
     /// Collects the id names declared anywhere in the template.
     pub fn declared_ids(&self) -> Vec<&str> {
-        self.root.iter().filter_map(|n| n.id_name.as_deref()).collect()
+        self.root
+            .iter()
+            .filter_map(|n| n.id_name.as_deref())
+            .collect()
     }
 }
 
@@ -128,12 +143,18 @@ mod tests {
     fn sample() -> LayoutTemplate {
         LayoutTemplate::new(
             "activity_main",
-            LayoutNode::new("LinearLayout").with_id("root").with_children([
-                LayoutNode::new("TextView").with_id("title").with_attr("text", "@string/title"),
-                LayoutNode::new("FrameLayout")
-                    .with_child(LayoutNode::new("ImageView").with_id("hero")),
-                LayoutNode::new("Button").with_id("go").with_attr("text", "Go"),
-            ]),
+            LayoutNode::new("LinearLayout")
+                .with_id("root")
+                .with_children([
+                    LayoutNode::new("TextView")
+                        .with_id("title")
+                        .with_attr("text", "@string/title"),
+                    LayoutNode::new("FrameLayout")
+                        .with_child(LayoutNode::new("ImageView").with_id("hero")),
+                    LayoutNode::new("Button")
+                        .with_id("go")
+                        .with_attr("text", "Go"),
+                ]),
         )
     }
 
@@ -148,7 +169,16 @@ mod tests {
     fn preorder_iteration_is_left_to_right() {
         let t = sample();
         let classes: Vec<&str> = t.root.iter().map(|n| n.class.as_str()).collect();
-        assert_eq!(classes, vec!["LinearLayout", "TextView", "FrameLayout", "ImageView", "Button"]);
+        assert_eq!(
+            classes,
+            vec![
+                "LinearLayout",
+                "TextView",
+                "FrameLayout",
+                "ImageView",
+                "Button"
+            ]
+        );
     }
 
     #[test]

@@ -45,7 +45,10 @@ impl ResourceValue {
 
     /// Convenience constructor for a drawable resource.
     pub fn drawable(name: &str, bytes_hint: u64) -> Self {
-        ResourceValue::Drawable { name: name.to_owned(), bytes_hint }
+        ResourceValue::Drawable {
+            name: name.to_owned(),
+            bytes_hint,
+        }
     }
 }
 
@@ -135,7 +138,10 @@ impl ResourceTable {
 
     /// The stable id for `name`, if the name exists.
     pub fn id_of(&self, name: &str) -> Option<ResId> {
-        self.entries.keys().position(|k| k == name).map(|i| ResId(i as u32))
+        self.entries
+            .keys()
+            .position(|k| k == name)
+            .map(|i| ResId(i as u32))
     }
 
     /// Resolves `name` against `config`, returning the best-matching
@@ -185,7 +191,10 @@ impl ResourceTable {
     ) -> Result<&LayoutTemplate, ResourceError> {
         match self.resolve(name, config)? {
             ResourceValue::Layout(t) => Ok(t),
-            _ => Err(ResourceError::WrongType { name: name.to_owned(), expected: "layout" }),
+            _ => Err(ResourceError::WrongType {
+                name: name.to_owned(),
+                expected: "layout",
+            }),
         }
     }
 
@@ -201,8 +210,14 @@ impl ResourceTable {
         config: &Configuration,
     ) -> Result<(&str, u64), ResourceError> {
         match self.resolve(name, config)? {
-            ResourceValue::Drawable { name: asset, bytes_hint } => Ok((asset.as_str(), *bytes_hint)),
-            _ => Err(ResourceError::WrongType { name: name.to_owned(), expected: "drawable" }),
+            ResourceValue::Drawable {
+                name: asset,
+                bytes_hint,
+            } => Ok((asset.as_str(), *bytes_hint)),
+            _ => Err(ResourceError::WrongType {
+                name: name.to_owned(),
+                expected: "drawable",
+            }),
         }
     }
 
@@ -230,7 +245,11 @@ mod tests {
 
     fn table_with_variants() -> ResourceTable {
         let mut t = ResourceTable::new();
-        t.put("greeting", Qualifiers::any(), ResourceValue::string("Hello"));
+        t.put(
+            "greeting",
+            Qualifiers::any(),
+            ResourceValue::string("Hello"),
+        );
         t.put(
             "greeting",
             Qualifiers::any().with_language("zh"),
@@ -269,7 +288,9 @@ mod tests {
     #[test]
     fn unknown_name_errors() {
         let t = table_with_variants();
-        let err = t.resolve("nope", &Configuration::phone_portrait()).unwrap_err();
+        let err = t
+            .resolve("nope", &Configuration::phone_portrait())
+            .unwrap_err();
         assert_eq!(err, ResourceError::UnknownName("nope".to_owned()));
     }
 
@@ -281,14 +302,21 @@ mod tests {
             Qualifiers::any().with_ui_mode(UiMode::Night),
             ResourceValue::string("dark"),
         );
-        let err = t.resolve("night_only", &Configuration::phone_portrait()).unwrap_err();
-        assert_eq!(err, ResourceError::NoMatchingVariant("night_only".to_owned()));
+        let err = t
+            .resolve("night_only", &Configuration::phone_portrait())
+            .unwrap_err();
+        assert_eq!(
+            err,
+            ResourceError::NoMatchingVariant("night_only".to_owned())
+        );
     }
 
     #[test]
     fn wrong_type_errors() {
         let t = table_with_variants();
-        let err = t.resolve_layout("greeting", &Configuration::phone_portrait()).unwrap_err();
+        let err = t
+            .resolve_layout("greeting", &Configuration::phone_portrait())
+            .unwrap_err();
         assert!(matches!(err, ResourceError::WrongType { .. }));
         assert_eq!(err.to_string(), "resource `greeting` is not a layout");
     }
@@ -315,9 +343,13 @@ mod tests {
             Qualifiers::any().with_orientation(Orientation::Landscape),
             ResourceValue::Layout(LayoutTemplate::new("main", LayoutNode::new("GridLayout"))),
         );
-        let land = t.resolve_layout("main", &Configuration::phone_landscape()).unwrap();
+        let land = t
+            .resolve_layout("main", &Configuration::phone_landscape())
+            .unwrap();
         assert_eq!(land.root.class, "GridLayout");
-        let port = t.resolve_layout("main", &Configuration::phone_portrait()).unwrap();
+        let port = t
+            .resolve_layout("main", &Configuration::phone_portrait())
+            .unwrap();
         assert_eq!(port.root.class, "LinearLayout");
     }
 
@@ -332,9 +364,14 @@ mod tests {
     #[test]
     fn drawable_resolution() {
         let mut t = ResourceTable::new();
-        t.put("hero", Qualifiers::any(), ResourceValue::drawable("hero.png", 4096));
-        let (asset, bytes) =
-            t.resolve_drawable("hero", &Configuration::phone_portrait()).unwrap();
+        t.put(
+            "hero",
+            Qualifiers::any(),
+            ResourceValue::drawable("hero.png", 4096),
+        );
+        let (asset, bytes) = t
+            .resolve_drawable("hero", &Configuration::phone_portrait())
+            .unwrap();
         assert_eq!(asset, "hero.png");
         assert_eq!(bytes, 4096);
     }

@@ -96,10 +96,12 @@ impl RuntimeDroid {
         atms: &mut Atms,
         model: &dyn AppModel,
     ) -> Result<RtdOutcome, RtdError> {
-        let record: ActivityRecordId =
-            atms.foreground_record().ok_or(RtdError::NoForegroundActivity)?;
-        let instance =
-            thread.instance_for_token(record).ok_or(RtdError::NoForegroundActivity)?;
+        let record: ActivityRecordId = atms
+            .foreground_record()
+            .ok_or(RtdError::NoForegroundActivity)?;
+        let instance = thread
+            .instance_for_token(record)
+            .ok_or(RtdError::NoForegroundActivity)?;
         // The patched app masks the relaunch (equivalent to RCHDroid's
         // prevent flag at the record level).
         let decision = atms.ensure_activity_configuration(record, true)?;
@@ -189,14 +191,46 @@ impl PatchInfo {
 /// Table 4's eight evaluation apps.
 pub fn table4_apps() -> Vec<PatchInfo> {
     vec![
-        PatchInfo { app: "Mdapp", loc_android10: 26_342, loc_runtimedroid: 28_419 },
-        PatchInfo { app: "Remindly", loc_android10: 6_966, loc_runtimedroid: 7_820 },
-        PatchInfo { app: "AlarmKlock", loc_android10: 2_838, loc_runtimedroid: 3_610 },
-        PatchInfo { app: "Weather", loc_android10: 10_949, loc_runtimedroid: 12_208 },
-        PatchInfo { app: "PDFCreator", loc_android10: 19_624, loc_runtimedroid: 20_895 },
-        PatchInfo { app: "Sieben", loc_android10: 20_518, loc_runtimedroid: 22_123 },
-        PatchInfo { app: "AndroPTPB", loc_android10: 3_405, loc_runtimedroid: 5_127 },
-        PatchInfo { app: "VlilleChecker", loc_android10: 12_083, loc_runtimedroid: 12_843 },
+        PatchInfo {
+            app: "Mdapp",
+            loc_android10: 26_342,
+            loc_runtimedroid: 28_419,
+        },
+        PatchInfo {
+            app: "Remindly",
+            loc_android10: 6_966,
+            loc_runtimedroid: 7_820,
+        },
+        PatchInfo {
+            app: "AlarmKlock",
+            loc_android10: 2_838,
+            loc_runtimedroid: 3_610,
+        },
+        PatchInfo {
+            app: "Weather",
+            loc_android10: 10_949,
+            loc_runtimedroid: 12_208,
+        },
+        PatchInfo {
+            app: "PDFCreator",
+            loc_android10: 19_624,
+            loc_runtimedroid: 20_895,
+        },
+        PatchInfo {
+            app: "Sieben",
+            loc_android10: 20_518,
+            loc_runtimedroid: 22_123,
+        },
+        PatchInfo {
+            app: "AndroPTPB",
+            loc_android10: 3_405,
+            loc_runtimedroid: 5_127,
+        },
+        PatchInfo {
+            app: "VlilleChecker",
+            loc_android10: 12_083,
+            loc_runtimedroid: 12_843,
+        },
     ]
 }
 
@@ -246,12 +280,19 @@ mod tests {
     #[test]
     fn member_state_survives_for_free() {
         let (model, mut atms, mut thread, instance) = boot();
-        thread.instance_mut(instance).unwrap().member_state.put_i32("field", 9);
+        thread
+            .instance_mut(instance)
+            .unwrap()
+            .member_state
+            .put_i32("field", 9);
         atms.update_global_config(Configuration::phone_landscape());
         RuntimeDroid::new()
             .handle_configuration_change(&mut thread, &mut atms, &model)
             .unwrap();
-        assert_eq!(thread.instance(instance).unwrap().member_state.i32("field"), Some(9));
+        assert_eq!(
+            thread.instance(instance).unwrap().member_state.i32("field"),
+            Some(9)
+        );
     }
 
     #[test]
@@ -279,7 +320,9 @@ mod tests {
         {
             let a = thread.instance_mut(instance).unwrap();
             let root = a.tree.find_by_id_name("root").unwrap();
-            a.tree.add_view(root, ViewKind::TextView, Some("dynamic_banner")).unwrap();
+            a.tree
+                .add_view(root, ViewKind::TextView, Some("dynamic_banner"))
+                .unwrap();
         }
         atms.update_global_config(Configuration::phone_landscape());
         let outcome = RuntimeDroid::new()
@@ -294,7 +337,11 @@ mod tests {
     fn async_task_cannot_crash_the_surviving_instance() {
         let (model, mut atms, mut thread, instance) = boot();
         thread
-            .start_async(instance, model.button_task(), droidsim_kernel::SimTime::ZERO)
+            .start_async(
+                instance,
+                model.button_task(),
+                droidsim_kernel::SimTime::ZERO,
+            )
             .unwrap();
         atms.update_global_config(Configuration::phone_landscape());
         RuntimeDroid::new()

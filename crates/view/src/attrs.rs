@@ -36,7 +36,11 @@ pub struct ViewAttrs {
 impl ViewAttrs {
     /// Attributes of a freshly constructed view.
     pub fn new() -> Self {
-        ViewAttrs { enabled: true, visible: true, ..ViewAttrs::default() }
+        ViewAttrs {
+            enabled: true,
+            visible: true,
+            ..ViewAttrs::default()
+        }
     }
 
     /// Approximate heap footprint of this attribute set in bytes — the

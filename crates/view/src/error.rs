@@ -47,10 +47,16 @@ impl fmt::Display for ViewError {
         match self {
             ViewError::UnknownView(v) => write!(f, "unknown view {v}"),
             ViewError::NullPointer { view } => {
-                write!(f, "java.lang.NullPointerException: view {view} of a destroyed activity")
+                write!(
+                    f,
+                    "java.lang.NullPointerException: view {view} of a destroyed activity"
+                )
             }
             ViewError::WindowLeaked { view } => {
-                write!(f, "android.view.WindowLeaked: view {view} outlived its window")
+                write!(
+                    f,
+                    "android.view.WindowLeaked: view {view} outlived its window"
+                )
             }
             ViewError::NotAContainer { parent } => {
                 write!(f, "view {parent} is not a view group")
@@ -68,7 +74,10 @@ impl ViewError {
     /// Whether this error crashes the app (uncaught exception) under stock
     /// Android semantics.
     pub fn is_crash(&self) -> bool {
-        matches!(self, ViewError::NullPointer { .. } | ViewError::WindowLeaked { .. })
+        matches!(
+            self,
+            ViewError::NullPointer { .. } | ViewError::WindowLeaked { .. }
+        )
     }
 }
 
@@ -78,15 +87,26 @@ mod tests {
 
     #[test]
     fn crash_classification() {
-        assert!(ViewError::NullPointer { view: ViewId::new(1) }.is_crash());
-        assert!(ViewError::WindowLeaked { view: ViewId::new(1) }.is_crash());
+        assert!(ViewError::NullPointer {
+            view: ViewId::new(1)
+        }
+        .is_crash());
+        assert!(ViewError::WindowLeaked {
+            view: ViewId::new(1)
+        }
+        .is_crash());
         assert!(!ViewError::UnknownView(ViewId::new(1)).is_crash());
-        assert!(!ViewError::NotAContainer { parent: ViewId::new(1) }.is_crash());
+        assert!(!ViewError::NotAContainer {
+            parent: ViewId::new(1)
+        }
+        .is_crash());
     }
 
     #[test]
     fn display_mentions_java_exception() {
-        let e = ViewError::NullPointer { view: ViewId::new(3) };
+        let e = ViewError::NullPointer {
+            view: ViewId::new(3),
+        };
         assert!(e.to_string().contains("NullPointerException"));
     }
 }

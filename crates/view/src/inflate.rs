@@ -48,7 +48,14 @@ pub fn inflate(
 ) -> (ViewTree, InflateStats) {
     let mut tree = ViewTree::new();
     let mut stats = InflateStats::default();
-    inflate_node(&template.root, tree.root(), &mut tree, resources, config, &mut stats);
+    inflate_node(
+        &template.root,
+        tree.root(),
+        &mut tree,
+        resources,
+        config,
+        &mut stats,
+    );
     (tree, stats)
 }
 
@@ -108,7 +115,10 @@ fn resolve_string(
 ) -> String {
     if let Some(name) = value.strip_prefix("@string/") {
         stats.strings_resolved += 1;
-        resources.resolve_string(name, config).unwrap_or(value).to_owned()
+        resources
+            .resolve_string(name, config)
+            .unwrap_or(value)
+            .to_owned()
     } else {
         value.to_owned()
     }
@@ -138,8 +148,16 @@ mod tests {
     fn resources() -> ResourceTable {
         let mut t = ResourceTable::new();
         t.put("title", Qualifiers::any(), ResourceValue::string("Hello"));
-        t.put("title", Qualifiers::any().with_language("zh"), ResourceValue::string("你好"));
-        t.put("hero", Qualifiers::any(), ResourceValue::drawable("hero_port.png", 1_000));
+        t.put(
+            "title",
+            Qualifiers::any().with_language("zh"),
+            ResourceValue::string("你好"),
+        );
+        t.put(
+            "hero",
+            Qualifiers::any(),
+            ResourceValue::drawable("hero_port.png", 1_000),
+        );
         t.put(
             "hero",
             Qualifiers::any().with_orientation(Orientation::Landscape),
@@ -151,18 +169,25 @@ mod tests {
     fn template() -> LayoutTemplate {
         LayoutTemplate::new(
             "main",
-            LayoutNode::new("LinearLayout").with_id("root").with_children([
-                LayoutNode::new("TextView").with_id("title").with_attr("text", "@string/title"),
-                LayoutNode::new("ImageView").with_id("hero").with_attr("src", "@drawable/hero"),
-                LayoutNode::new("ProgressBar").with_id("bar").with_attr("progress", "30"),
-            ]),
+            LayoutNode::new("LinearLayout")
+                .with_id("root")
+                .with_children([
+                    LayoutNode::new("TextView")
+                        .with_id("title")
+                        .with_attr("text", "@string/title"),
+                    LayoutNode::new("ImageView")
+                        .with_id("hero")
+                        .with_attr("src", "@drawable/hero"),
+                    LayoutNode::new("ProgressBar")
+                        .with_id("bar")
+                        .with_attr("progress", "30"),
+                ]),
         )
     }
 
     #[test]
     fn inflation_builds_the_tree() {
-        let (tree, stats) =
-            inflate(&template(), &resources(), &Configuration::phone_portrait());
+        let (tree, stats) = inflate(&template(), &resources(), &Configuration::phone_portrait());
         assert_eq!(stats.views_created, 4);
         assert_eq!(tree.view_count(), 5); // + decor
         assert_eq!(stats.strings_resolved, 1);
@@ -173,7 +198,10 @@ mod tests {
         let config = Configuration::phone_portrait().with_locale(Locale::zh_cn());
         let (tree, _) = inflate(&template(), &resources(), &config);
         let title = tree.find_by_id_name("title").unwrap();
-        assert_eq!(tree.view(title).unwrap().attrs.text.as_deref(), Some("你好"));
+        assert_eq!(
+            tree.view(title).unwrap().attrs.text.as_deref(),
+            Some("你好")
+        );
     }
 
     #[test]
@@ -183,11 +211,23 @@ mod tests {
         let hero_p = port.find_by_id_name("hero").unwrap();
         let hero_l = land.find_by_id_name("hero").unwrap();
         assert_eq!(
-            port.view(hero_p).unwrap().attrs.drawable.as_ref().unwrap().0,
+            port.view(hero_p)
+                .unwrap()
+                .attrs
+                .drawable
+                .as_ref()
+                .unwrap()
+                .0,
             "hero_port.png"
         );
         assert_eq!(
-            land.view(hero_l).unwrap().attrs.drawable.as_ref().unwrap().0,
+            land.view(hero_l)
+                .unwrap()
+                .attrs
+                .drawable
+                .as_ref()
+                .unwrap()
+                .0,
             "hero_land.png"
         );
         assert_eq!(sp.drawable_bytes, 1_000);
@@ -204,7 +244,10 @@ mod tests {
         let (tree, stats) = inflate(&t, &ResourceTable::new(), &Configuration::phone_portrait());
         let ids = tree.iter_ids();
         let text_view = ids.last().copied().unwrap();
-        assert_eq!(tree.view(text_view).unwrap().attrs.text.as_deref(), Some("literal"));
+        assert_eq!(
+            tree.view(text_view).unwrap().attrs.text.as_deref(),
+            Some("literal")
+        );
         assert_eq!(stats.strings_resolved, 0);
     }
 
@@ -217,7 +260,10 @@ mod tests {
         );
         let (tree, _) = inflate(&t, &ResourceTable::new(), &Configuration::phone_portrait());
         let leaf = *tree.iter_ids().last().unwrap();
-        assert_eq!(tree.view(leaf).unwrap().attrs.text.as_deref(), Some("@string/nope"));
+        assert_eq!(
+            tree.view(leaf).unwrap().attrs.text.as_deref(),
+            Some("@string/nope")
+        );
     }
 
     #[test]

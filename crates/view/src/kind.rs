@@ -178,7 +178,10 @@ impl ViewKind {
                 } else {
                     MigrationClass::Opaque
                 };
-                ViewKind::Custom { class_name: other.to_owned(), base }
+                ViewKind::Custom {
+                    class_name: other.to_owned(),
+                    base,
+                }
             }
         }
     }
@@ -220,13 +223,31 @@ mod tests {
 
     #[test]
     fn table1_policy_dispatch() {
-        assert_eq!(ViewKind::EditText.migration_class(), MigrationClass::TextView);
+        assert_eq!(
+            ViewKind::EditText.migration_class(),
+            MigrationClass::TextView
+        );
         assert_eq!(ViewKind::Button.migration_class(), MigrationClass::TextView);
-        assert_eq!(ViewKind::ImageView.migration_class(), MigrationClass::ImageView);
-        assert_eq!(ViewKind::ScrollView.migration_class(), MigrationClass::AbsListView);
-        assert_eq!(ViewKind::GridView.migration_class(), MigrationClass::AbsListView);
-        assert_eq!(ViewKind::VideoView.migration_class(), MigrationClass::VideoView);
-        assert_eq!(ViewKind::SeekBar.migration_class(), MigrationClass::ProgressBar);
+        assert_eq!(
+            ViewKind::ImageView.migration_class(),
+            MigrationClass::ImageView
+        );
+        assert_eq!(
+            ViewKind::ScrollView.migration_class(),
+            MigrationClass::AbsListView
+        );
+        assert_eq!(
+            ViewKind::GridView.migration_class(),
+            MigrationClass::AbsListView
+        );
+        assert_eq!(
+            ViewKind::VideoView.migration_class(),
+            MigrationClass::VideoView
+        );
+        assert_eq!(
+            ViewKind::SeekBar.migration_class(),
+            MigrationClass::ProgressBar
+        );
     }
 
     #[test]
@@ -240,7 +261,10 @@ mod tests {
     #[test]
     fn class_name_resolution_known() {
         assert_eq!(ViewKind::from_class_name("Button"), ViewKind::Button);
-        assert_eq!(ViewKind::from_class_name("GridLayout"), ViewKind::GridLayout);
+        assert_eq!(
+            ViewKind::from_class_name("GridLayout"),
+            ViewKind::GridLayout
+        );
     }
 
     #[test]

@@ -40,7 +40,12 @@ pub struct Rect {
 impl Rect {
     /// A rectangle at the origin with the given size.
     pub const fn sized(width: u32, height: u32) -> Rect {
-        Rect { x: 0, y: 0, width, height }
+        Rect {
+            x: 0,
+            y: 0,
+            width,
+            height,
+        }
     }
 
     /// Whether `self` lies fully inside `outer`.
@@ -102,8 +107,10 @@ impl LayoutResult {
 /// Invisible views (and their subtrees) are skipped, like Android's
 /// `GONE`. Returns the rectangle of every laid-out view.
 pub fn layout(tree: &ViewTree, screen: ScreenSize) -> LayoutResult {
-    let mut result =
-        LayoutResult { screen, rects: HashMap::with_capacity(tree.view_count()) };
+    let mut result = LayoutResult {
+        screen,
+        rects: HashMap::with_capacity(tree.view_count()),
+    };
     let root_rect = Rect::sized(screen.width_dp, screen.height_dp);
     if tree.view(tree.root()).is_ok() {
         place(tree, tree.root(), root_rect, &mut result);
@@ -160,8 +167,12 @@ fn place(tree: &ViewTree, id: ViewId, rect: Rect, result: &mut LayoutResult) {
         _ => {
             // Frame-like containers: every child gets the content box.
             for child in children {
-                let child_rect =
-                    Rect { x: rect.x, y: rect.y - scroll, width: rect.width, height: rect.height };
+                let child_rect = Rect {
+                    x: rect.x,
+                    y: rect.y - scroll,
+                    width: rect.width,
+                    height: rect.height,
+                };
                 place(tree, child, child_rect, result);
             }
         }
@@ -175,9 +186,14 @@ mod tests {
 
     fn column_tree(n: usize) -> (ViewTree, Vec<ViewId>) {
         let mut t = ViewTree::new();
-        let root = t.add_view(t.root(), ViewKind::LinearLayout, Some("root")).unwrap();
+        let root = t
+            .add_view(t.root(), ViewKind::LinearLayout, Some("root"))
+            .unwrap();
         let children: Vec<ViewId> = (0..n)
-            .map(|i| t.add_view(root, ViewKind::ImageView, Some(&format!("v{i}"))).unwrap())
+            .map(|i| {
+                t.add_view(root, ViewKind::ImageView, Some(&format!("v{i}")))
+                    .unwrap()
+            })
             .collect();
         (t, children)
     }
@@ -198,9 +214,15 @@ mod tests {
     #[test]
     fn grid_layout_tiles() {
         let mut t = ViewTree::new();
-        let root = t.add_view(t.root(), ViewKind::GridLayout, Some("root")).unwrap();
-        let children: Vec<ViewId> =
-            (0..4).map(|i| t.add_view(root, ViewKind::ImageView, Some(&format!("v{i}"))).unwrap()).collect();
+        let root = t
+            .add_view(t.root(), ViewKind::GridLayout, Some("root"))
+            .unwrap();
+        let children: Vec<ViewId> = (0..4)
+            .map(|i| {
+                t.add_view(root, ViewKind::ImageView, Some(&format!("v{i}")))
+                    .unwrap()
+            })
+            .collect();
         let result = layout(&t, ScreenSize::new(1000, 1000));
         // 4 children → 2×2 grid of 500×500 cells.
         let rects: Vec<Rect> = children.iter().map(|&c| result.rect(c).unwrap()).collect();
@@ -219,7 +241,10 @@ mod tests {
         assert!(portrait.out_of_bounds().is_empty());
 
         // Stale: portrait rects checked against the landscape screen.
-        let stale = LayoutResult { screen: ScreenSize::new(1920, 1080), ..portrait.clone() };
+        let stale = LayoutResult {
+            screen: ScreenSize::new(1920, 1080),
+            ..portrait.clone()
+        };
         assert!(!stale.out_of_bounds().is_empty(), "the messed-up display");
 
         let fresh = layout(&t, ScreenSize::new(1920, 1080));
@@ -250,8 +275,20 @@ mod tests {
     #[test]
     fn rect_geometry_helpers() {
         let outer = Rect::sized(100, 100);
-        assert!(Rect { x: 10, y: 10, width: 50, height: 50 }.fits_inside(&outer));
-        assert!(!Rect { x: 60, y: 60, width: 50, height: 50 }.fits_inside(&outer));
+        assert!(Rect {
+            x: 10,
+            y: 10,
+            width: 50,
+            height: 50
+        }
+        .fits_inside(&outer));
+        assert!(!Rect {
+            x: 60,
+            y: 60,
+            width: 50,
+            height: 50
+        }
+        .fits_inside(&outer));
         assert_eq!(outer.area(), 10_000);
     }
 

@@ -45,5 +45,5 @@ pub use error::ViewError;
 pub use inflate::{inflate, InflateStats};
 pub use kind::{MigrationClass, ViewKind};
 pub use layout::{layout, LayoutResult, Rect};
-pub use ops::ViewOp;
+pub use ops::{DirtyMask, ViewOp};
 pub use tree::{ViewId, ViewNode, ViewTree};

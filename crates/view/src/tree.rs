@@ -12,9 +12,10 @@
 use crate::attrs::ViewAttrs;
 use crate::error::ViewError;
 use crate::kind::{MigrationClass, ViewKind};
-use crate::ops::ViewOp;
+use crate::ops::{DirtyMask, ViewOp};
 use droidsim_bundle::Bundle;
 use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
 
 droidsim_kernel::define_id! {
     /// Identifies one view *instance* within a tree.
@@ -82,6 +83,11 @@ pub struct ViewTree {
     root: ViewId,
     released: bool,
     pending_invalidations: Vec<ViewId>,
+    /// Which attributes each pending view dirtied since the last drain.
+    /// Repeat invalidations of the same view OR into the same entry, so
+    /// the map size is the *coalesced* count while
+    /// `pending_invalidations.len()` is the raw count.
+    pending_dirty: HashMap<ViewId, DirtyMask>,
     /// RCHDroid hook: when true the tree is in the Shadow state — it is
     /// invisible but alive, and its invalidations are what lazy migration
     /// consumes.
@@ -89,6 +95,12 @@ pub struct ViewTree {
     /// RCHDroid hook: when true the tree belongs to the Sunny (foreground)
     /// activity.
     sunny: bool,
+    /// RCHDroid hook: which side of an essence coupling this tree is
+    /// (0 = the tree that was shadow when the mapping was built, 1 = the
+    /// tree that was sunny). Set by the migration engine's mapping build;
+    /// `None` for uncoupled trees. Survives coin flips — the *side* is a
+    /// stable identity even though the shadow/sunny *roles* swap.
+    coupling_side: Option<u8>,
 }
 
 impl ViewTree {
@@ -111,9 +123,22 @@ impl ViewTree {
             root,
             released: false,
             pending_invalidations: Vec::new(),
+            pending_dirty: HashMap::new(),
             shadow: false,
             sunny: false,
+            coupling_side: None,
         }
+    }
+
+    /// The coupling side assigned by the last essence-mapping build, if
+    /// any. See the field docs.
+    pub fn coupling_side(&self) -> Option<u8> {
+        self.coupling_side
+    }
+
+    /// Tags this tree as one side of an essence coupling (engine hook).
+    pub fn set_coupling_side(&mut self, side: Option<u8>) {
+        self.coupling_side = side;
     }
 
     /// The decor view's id.
@@ -131,6 +156,7 @@ impl ViewTree {
     pub fn release(&mut self) {
         self.released = true;
         self.pending_invalidations.clear();
+        self.pending_dirty.clear();
     }
 
     fn check_alive(&self, view: ViewId) -> Result<(), ViewError> {
@@ -205,12 +231,19 @@ impl ViewTree {
     /// decor view.
     pub fn remove_view(&mut self, id: ViewId) -> Result<(), ViewError> {
         if id == self.root {
-            return Err(ViewError::InapplicableOp { view: id, op: "removeView(decor)" });
+            return Err(ViewError::InapplicableOp {
+                view: id,
+                op: "removeView(decor)",
+            });
         }
         let parent = self.view(id)?.parent;
         let mut stack = vec![id];
         while let Some(current) = stack.pop() {
-            if let Some(node) = self.nodes.get_mut(current.raw() as usize).and_then(Option::take) {
+            if let Some(node) = self
+                .nodes
+                .get_mut(current.raw() as usize)
+                .and_then(Option::take)
+            {
                 stack.extend(node.children);
             }
         }
@@ -230,16 +263,16 @@ impl ViewTree {
     /// Liveness errors; [`ViewError::InapplicableOp`] when the op does not
     /// fit the view's migration class.
     pub fn apply(&mut self, id: ViewId, op: ViewOp) -> Result<(), ViewError> {
+        let dirty = op.dirty_bit();
         let node = self.view_mut(id)?;
         let class = node.kind.migration_class();
         let applicable = match (&op, class) {
             (ViewOp::SetText(_), MigrationClass::TextView) => true,
             (ViewOp::SetChecked(_), MigrationClass::TextView) => true, // CheckBox
             (ViewOp::SetDrawable(..), MigrationClass::ImageView) => true,
-            (
-                ViewOp::SetSelection(_) | ViewOp::SetItemChecked(..),
-                MigrationClass::AbsListView,
-            ) => true,
+            (ViewOp::SetSelection(_) | ViewOp::SetItemChecked(..), MigrationClass::AbsListView) => {
+                true
+            }
             (ViewOp::ScrollTo(_), MigrationClass::AbsListView | MigrationClass::Container) => true,
             (ViewOp::SetVideoUri(_), MigrationClass::VideoView) => true,
             (ViewOp::SetProgress(_), MigrationClass::ProgressBar) => true,
@@ -247,7 +280,10 @@ impl ViewTree {
             _ => false,
         };
         if !applicable {
-            return Err(ViewError::InapplicableOp { view: id, op: op.name() });
+            return Err(ViewError::InapplicableOp {
+                view: id,
+                op: op.name(),
+            });
         }
         match op {
             ViewOp::SetText(t) => node.attrs.text = Some(t),
@@ -270,7 +306,7 @@ impl ViewTree {
             ViewOp::SetEnabled(e) => node.attrs.enabled = e,
             ViewOp::SetVisible(v) => node.attrs.visible = v,
         }
-        self.invalidate(id)?;
+        self.invalidate_attrs(id, dirty)?;
         Ok(())
     }
 
@@ -278,22 +314,77 @@ impl ViewTree {
     /// paper's patch modifies exactly this function to catch updates for
     /// lazy migration, so the simulator records each invalidation for a
     /// change handler to drain.
+    ///
+    /// A bare `invalidate` carries no information about *what* changed,
+    /// so it conservatively marks every attribute dirty. Mutations routed
+    /// through [`ViewTree::apply`] record the precise bit instead.
     pub fn invalidate(&mut self, id: ViewId) -> Result<(), ViewError> {
+        self.invalidate_attrs(id, DirtyMask::all())
+    }
+
+    /// Marks a view dirty for a known set of attributes.
+    pub fn invalidate_attrs(&mut self, id: ViewId, dirty: DirtyMask) -> Result<(), ViewError> {
         self.view(id)?;
         self.pending_invalidations.push(id);
+        *self.pending_dirty.entry(id).or_default() |= dirty;
         Ok(())
     }
 
     /// Drains the invalidations recorded since the last drain, in order,
     /// de-duplicated (a view invalidated twice migrates once).
     pub fn drain_invalidations(&mut self) -> Vec<ViewId> {
-        let mut seen = std::collections::HashSet::new();
-        let drained: Vec<ViewId> = self
-            .pending_invalidations
-            .drain(..)
-            .filter(|id| seen.insert(*id))
+        self.drain_dirty().into_iter().map(|(id, _)| id).collect()
+    }
+
+    /// Drains pending invalidations together with the coalesced dirty
+    /// mask of each view: first-invalidation order, one entry per view,
+    /// masks OR-ed across all of the view's invalidations.
+    pub fn drain_dirty(&mut self) -> Vec<(ViewId, DirtyMask)> {
+        self.drain_dirty_counted()
+            .into_iter()
+            .map(|(id, mask, _)| (id, mask))
+            .collect()
+    }
+
+    /// Like [`ViewTree::drain_dirty`], but each entry also carries the
+    /// number of raw invalidations that coalesced into it — what the
+    /// batched migration queue needs for its coalesce-ratio accounting.
+    pub fn drain_dirty_counted(&mut self) -> Vec<(ViewId, DirtyMask, usize)> {
+        let mut counts: HashMap<ViewId, usize> = HashMap::new();
+        let mut order = Vec::new();
+        for id in self.pending_invalidations.drain(..) {
+            match counts.entry(id) {
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    e.insert(1);
+                    order.push(id);
+                }
+                std::collections::hash_map::Entry::Occupied(mut e) => *e.get_mut() += 1,
+            }
+        }
+        let drained = order
+            .into_iter()
+            .map(|id| {
+                (
+                    id,
+                    self.pending_dirty.get(&id).copied().unwrap_or_default(),
+                    counts[&id],
+                )
+            })
             .collect();
+        self.pending_dirty.clear();
         drained
+    }
+
+    /// Raw (uncoalesced) number of invalidations recorded since the last
+    /// drain.
+    pub fn pending_invalidation_count(&self) -> usize {
+        self.pending_invalidations.len()
+    }
+
+    /// Number of distinct views with pending invalidations — the size a
+    /// drained batch would have.
+    pub fn pending_dirty_views(&self) -> usize {
+        self.pending_dirty.len()
     }
 
     /// Pre-order traversal of live view ids.
@@ -359,7 +450,9 @@ impl ViewTree {
     pub fn restore_hierarchy_state(&mut self, state: &Bundle) {
         for id in self.iter_ids() {
             let Ok(node) = self.view(id) else { continue };
-            let Some(name) = node.id_name.clone() else { continue };
+            let Some(name) = node.id_name.clone() else {
+                continue;
+            };
             if let Some(saved) = state.bundle(&format!("view:{name}")) {
                 let saved = saved.clone();
                 if let Ok(node) = self.view_mut(id) {
@@ -424,8 +517,14 @@ impl ViewTree {
         let ids = self.iter_ids();
         let mut mapped = 0;
         for id in ids {
-            let Ok(node) = self.view_mut(id) else { continue };
-            node.sunny_peer = node.id_name.as_ref().and_then(|n| sunny_index.get(n)).copied();
+            let Ok(node) = self.view_mut(id) else {
+                continue;
+            };
+            node.sunny_peer = node
+                .id_name
+                .as_ref()
+                .and_then(|n| sunny_index.get(n))
+                .copied();
             if node.sunny_peer.is_some() {
                 mapped += 1;
             }
@@ -439,6 +538,7 @@ impl ViewTree {
         for node in self.nodes.iter_mut().flatten() {
             node.sunny_peer = None;
         }
+        self.coupling_side = None;
     }
 }
 
@@ -454,7 +554,9 @@ mod tests {
 
     fn tree_with_views() -> (ViewTree, ViewId, ViewId, ViewId) {
         let mut t = ViewTree::new();
-        let panel = t.add_view(t.root(), ViewKind::LinearLayout, Some("panel")).unwrap();
+        let panel = t
+            .add_view(t.root(), ViewKind::LinearLayout, Some("panel"))
+            .unwrap();
         let text = t.add_view(panel, ViewKind::EditText, Some("name")).unwrap();
         let image = t.add_view(panel, ViewKind::ImageView, None).unwrap();
         (t, panel, text, image)
@@ -503,16 +605,61 @@ mod tests {
     fn duplicate_invalidations_dedupe() {
         let (mut t, _, text, image) = tree_with_views();
         t.apply(text, ViewOp::SetText("a".into())).unwrap();
-        t.apply(image, ViewOp::SetDrawable("x.png".into(), 10)).unwrap();
+        t.apply(image, ViewOp::SetDrawable("x.png".into(), 10))
+            .unwrap();
         t.apply(text, ViewOp::SetText("b".into())).unwrap();
         assert_eq!(t.drain_invalidations(), vec![text, image]);
+    }
+
+    #[test]
+    fn drain_dirty_coalesces_masks_per_view() {
+        let (mut t, _, text, image) = tree_with_views();
+        t.apply(text, ViewOp::SetText("a".into())).unwrap();
+        t.apply(text, ViewOp::SetEnabled(false)).unwrap();
+        t.apply(image, ViewOp::SetDrawable("x.png".into(), 10))
+            .unwrap();
+        t.apply(text, ViewOp::SetText("b".into())).unwrap();
+        assert_eq!(t.pending_invalidation_count(), 4);
+        assert_eq!(t.pending_dirty_views(), 2);
+        let drained = t.drain_dirty();
+        assert_eq!(
+            drained,
+            vec![
+                (text, DirtyMask::TEXT | DirtyMask::ENABLED),
+                (image, DirtyMask::DRAWABLE),
+            ]
+        );
+        assert!(t.drain_dirty().is_empty(), "drain consumes");
+        assert_eq!(t.pending_invalidation_count(), 0);
+    }
+
+    #[test]
+    fn bare_invalidate_marks_all_attrs() {
+        let (mut t, _, text, _) = tree_with_views();
+        t.invalidate(text).unwrap();
+        assert_eq!(t.drain_dirty(), vec![(text, DirtyMask::all())]);
+    }
+
+    #[test]
+    fn release_discards_pending_dirty_state() {
+        let (mut t, _, text, _) = tree_with_views();
+        t.apply(text, ViewOp::SetText("a".into())).unwrap();
+        t.release();
+        assert_eq!(t.pending_dirty_views(), 0);
+        assert_eq!(t.pending_invalidation_count(), 0);
     }
 
     #[test]
     fn inapplicable_op_is_rejected() {
         let (mut t, _, text, _) = tree_with_views();
         let err = t.apply(text, ViewOp::SetProgress(10)).unwrap_err();
-        assert_eq!(err, ViewError::InapplicableOp { view: text, op: "setProgress" });
+        assert_eq!(
+            err,
+            ViewError::InapplicableOp {
+                view: text,
+                op: "setProgress"
+            }
+        );
     }
 
     #[test]
@@ -542,22 +689,33 @@ mod tests {
     fn custom_views_without_save_impl_lose_state() {
         let mut t = ViewTree::new();
         let broken = t
-            .add_view(t.root(), ViewKind::from_class_name("com.app.BrokenEditText"), Some("field"))
+            .add_view(
+                t.root(),
+                ViewKind::from_class_name("com.app.BrokenEditText"),
+                Some("field"),
+            )
             .unwrap();
         t.view_mut(broken).unwrap().saves_state = false;
         t.apply(broken, ViewOp::SetText("typed".into())).unwrap();
         let state = t.save_hierarchy_state();
-        assert!(state.bundle("view:field").is_none(), "skipped from the bundle");
+        assert!(
+            state.bundle("view:field").is_none(),
+            "skipped from the bundle"
+        );
     }
 
     #[test]
     fn views_without_ids_lose_state() {
         let (mut t, _, _, image) = tree_with_views();
-        t.apply(image, ViewOp::SetDrawable("hero.png".into(), 100)).unwrap();
+        t.apply(image, ViewOp::SetDrawable("hero.png".into(), 100))
+            .unwrap();
         // ImageView has no id and its drawable is content anyway: nothing
         // saved under any anonymous key.
         let state = t.save_hierarchy_state();
-        assert!(state.iter().all(|(k, _)| k != "view:"), "no anonymous entries");
+        assert!(
+            state.iter().all(|(k, _)| k != "view:"),
+            "no anonymous entries"
+        );
     }
 
     #[test]
@@ -588,14 +746,17 @@ mod tests {
     fn heap_grows_with_drawables() {
         let (mut t, _, _, image) = tree_with_views();
         let before = t.heap_bytes();
-        t.apply(image, ViewOp::SetDrawable("big.png".into(), 1 << 20)).unwrap();
+        t.apply(image, ViewOp::SetDrawable("big.png".into(), 1 << 20))
+            .unwrap();
         assert!(t.heap_bytes() > before + (1 << 20) - 1);
     }
 
     #[test]
     fn checked_items_toggle() {
         let mut t = ViewTree::new();
-        let list = t.add_view(t.root(), ViewKind::ListView, Some("list")).unwrap();
+        let list = t
+            .add_view(t.root(), ViewKind::ListView, Some("list"))
+            .unwrap();
         t.apply(list, ViewOp::SetItemChecked(4, true)).unwrap();
         t.apply(list, ViewOp::SetItemChecked(2, true)).unwrap();
         t.apply(list, ViewOp::SetItemChecked(4, true)).unwrap();

@@ -35,7 +35,10 @@ pub enum StateMechanism {
 impl StateMechanism {
     /// Whether the item survives a stock restarting-based change.
     pub fn survives_stock_restart(self) -> bool {
-        matches!(self, StateMechanism::FrameworkView | StateMechanism::MemberSaved)
+        matches!(
+            self,
+            StateMechanism::FrameworkView | StateMechanism::MemberSaved
+        )
     }
 
     /// Whether RCHDroid preserves the item.
@@ -73,7 +76,11 @@ pub struct StateItem {
 impl StateItem {
     /// Creates an item.
     pub fn new(key: &str, mechanism: StateMechanism, test_value: &str) -> Self {
-        StateItem { key: key.to_owned(), mechanism, test_value: test_value.to_owned() }
+        StateItem {
+            key: key.to_owned(),
+            mechanism,
+            test_value: test_value.to_owned(),
+        }
     }
 }
 
@@ -174,7 +181,10 @@ impl GenericAppSpec {
     /// Predicted: does the issue persist under stock Android?
     pub fn issue_under_stock(&self) -> bool {
         self.has_issue()
-            && self.state_items.iter().any(|i| !i.mechanism.survives_stock_restart())
+            && self
+                .state_items
+                .iter()
+                .any(|i| !i.mechanism.survives_stock_restart())
     }
 
     /// Predicted: does RCHDroid fix every lossy item?
@@ -196,7 +206,10 @@ impl GenericAppSpec {
         AsyncSpec {
             duration: SimDuration::from_secs(5),
             result: AsyncResult {
-                ops: vec![("async_target".to_owned(), ViewOp::SetText("async done".into()))],
+                ops: vec![(
+                    "async_target".to_owned(),
+                    ViewOp::SetText("async done".into()),
+                )],
                 shows_dialog: false,
             },
         }
@@ -223,7 +236,9 @@ impl GenericApp {
     pub fn new(spec: GenericAppSpec) -> Self {
         let component = format!(
             "com.{}/.Main",
-            spec.name.to_ascii_lowercase().replace([' ', '+', '&', '.', '\''], "")
+            spec.name
+                .to_ascii_lowercase()
+                .replace([' ', '+', '&', '.', '\''], "")
         );
         let image_count = spec.view_count.max(1);
         let per_image = spec.activity_heap_bytes / image_count as u64;
@@ -265,9 +280,17 @@ impl GenericApp {
                 ResourceValue::Layout(LayoutTemplate::new("activity_main", root)),
             );
         }
-        resources.put("asset", Qualifiers::any(), ResourceValue::drawable("asset.png", per_image));
+        resources.put(
+            "asset",
+            Qualifiers::any(),
+            ResourceValue::drawable("asset.png", per_image),
+        );
 
-        GenericApp { spec, component, resources }
+        GenericApp {
+            spec,
+            component,
+            resources,
+        }
     }
 
     /// The descriptor this app was built from.
@@ -281,10 +304,14 @@ impl GenericApp {
         for item in &self.spec.state_items {
             if item.mechanism.is_view_held() {
                 if let Some(view) = activity.tree.find_by_id_name(&item.key) {
-                    let _ = activity.tree.apply(view, ViewOp::SetText(item.test_value.clone()));
+                    let _ = activity
+                        .tree
+                        .apply(view, ViewOp::SetText(item.test_value.clone()));
                 }
             } else {
-                activity.member_state.put_string(&item.key, &item.test_value);
+                activity
+                    .member_state
+                    .put_string(&item.key, &item.test_value);
             }
         }
         activity.tree.drain_invalidations();
@@ -355,9 +382,10 @@ impl AppModel for GenericApp {
                 }
                 StateMechanism::DynamicViewNoSave => {
                     // Created by code, absent from the layout resource.
-                    let root = activity.tree.find_by_id_name("root").unwrap_or_else(|| {
-                        activity.tree.root()
-                    });
+                    let root = activity
+                        .tree
+                        .find_by_id_name("root")
+                        .unwrap_or_else(|| activity.tree.root());
                     if activity.tree.find_by_id_name(&item.key).is_none() {
                         if let Ok(view) = activity.tree.add_view(
                             root,
@@ -396,7 +424,8 @@ mod tests {
 
     fn spec_with(mechanism: StateMechanism) -> GenericAppSpec {
         let mut spec = GenericAppSpec::sized("TestApp", "1K+", false);
-        spec.state_items.push(StateItem::new("the_state", mechanism, "value-1"));
+        spec.state_items
+            .push(StateItem::new("the_state", mechanism, "value-1"));
         if mechanism == StateMechanism::MemberSaved {
             spec.saves_instance_state = true;
         }
@@ -541,7 +570,10 @@ mod tests {
         let a = launched(&app);
         let heap = a.heap_bytes() as f64;
         let target = spec.activity_heap_bytes as f64;
-        assert!((heap - target).abs() / target < 0.05, "heap {heap} vs target {target}");
+        assert!(
+            (heap - target).abs() / target < 0.05,
+            "heap {heap} vs target {target}"
+        );
     }
 
     #[test]

@@ -34,7 +34,11 @@ fn table5_rows() -> Vec<(&'static str, &'static str, Option<&'static str>)> {
         ("MaxCleaner", "5M+", None),
         ("Messenger", "5B+", None),
         ("PeacockTV", "10M+", None),
-        ("WalmartShopping", "50M+", Some("State loss (scroll location)")),
+        (
+            "WalmartShopping",
+            "50M+",
+            Some("State loss (scroll location)"),
+        ),
         ("McDonald's", "10M+", None),
         ("Facebook", "5B+", Some("State loss (selection list)")),
         ("NewsBreak", "50M+", Some("State loss (text box)")),
@@ -48,7 +52,11 @@ fn table5_rows() -> Vec<(&'static str, &'static str, Option<&'static str>)> {
         ("Twitter", "1B+", Some("State loss (text box)")),
         ("Wonder", "1M+", None),
         ("Netflix", "1B+", Some("State loss (FAQ list)")),
-        ("AllDocumentReader", "50M+", Some("State loss (selection list)")),
+        (
+            "AllDocumentReader",
+            "50M+",
+            Some("State loss (selection list)"),
+        ),
         ("Roku", "50M+", None),
         ("PlutoTV", "100M+", None),
         ("DoorDash", "10M+", Some("State loss (selection list)")),
@@ -75,7 +83,11 @@ fn table5_rows() -> Vec<(&'static str, &'static str, Option<&'static str>)> {
         ("UberEats", "100M+", Some("State loss (text box)")),
         ("FetchRewards", "10M+", Some("State loss (scroll location)")),
         ("HaircutPrank", "1M+", Some("State loss (volume bar)")),
-        ("MyBath&BodyWorks", "1M+", Some("State loss (scroll location)")),
+        (
+            "MyBath&BodyWorks",
+            "1M+",
+            Some("State loss (scroll location)"),
+        ),
         ("Wholee", "5M+", Some("State loss (selection list)")),
         ("UltraCleaner", "1M+", Some("State loss (file number)")),
         ("eBay", "100M+", None),
@@ -87,7 +99,11 @@ fn table5_rows() -> Vec<(&'static str, &'static str, Option<&'static str>)> {
         ("Waze", "100M+", None),
         ("UltraSurf", "10M+", Some("State loss (selection list)")),
         ("PetDiary", "500K+", Some("State loss (scroll location)")),
-        ("KingJamesBible", "50M+", Some("State loss (selection list)")),
+        (
+            "KingJamesBible",
+            "50M+",
+            Some("State loss (selection list)"),
+        ),
         ("EmailHome", "5M+", None),
         ("CapitalOne", "10M+", None),
         ("Plex", "10M+", None),
@@ -127,8 +143,13 @@ pub const UNFIXABLE: [&str; 4] = ["Filto", "HaircutPrank", "CastForChrome", "Kin
 
 /// "Report page" style apps recreate their result views in code —
 /// RuntimeDroid's static reconstruction cannot rebuild those.
-const DYNAMIC_VIEW_APPS: [&str; 5] =
-    ["PowerCleaner", "UltraCleaner", "FileRecovery", "SpeedBooster", "SmartBooster"];
+const DYNAMIC_VIEW_APPS: [&str; 5] = [
+    "PowerCleaner",
+    "UltraCleaner",
+    "FileRecovery",
+    "SpeedBooster",
+    "SmartBooster",
+];
 
 /// The 100 specs of Table 5, in the paper's order.
 pub fn top100_specs() -> Vec<GenericAppSpec> {
@@ -214,8 +235,10 @@ mod tests {
         assert_eq!(with_issue, 63, "63 of 100 apps have issues");
         let self_handling = specs.iter().filter(|s| s.handles_changes).count();
         assert_eq!(self_handling, 26, "26 declare configChanges");
-        let restart_safe =
-            specs.iter().filter(|s| !s.has_issue() && !s.handles_changes).count();
+        let restart_safe = specs
+            .iter()
+            .filter(|s| !s.has_issue() && !s.handles_changes)
+            .count();
         assert_eq!(restart_safe, 11, "11 restart-safe");
     }
 
@@ -228,7 +251,10 @@ mod tests {
             .map(|s| s.name.as_str())
             .collect();
         assert_eq!(unfixable, UNFIXABLE.to_vec());
-        let fixed = specs.iter().filter(|s| s.has_issue() && s.fixed_by_rchdroid()).count();
+        let fixed = specs
+            .iter()
+            .filter(|s| s.has_issue() && s.fixed_by_rchdroid())
+            .count();
         assert_eq!(fixed, 59, "59 of 63 fixed (93.65 %)");
     }
 
@@ -247,7 +273,11 @@ mod tests {
     fn large_app_calibration_ranges() {
         for spec in top100_specs() {
             assert!((80..=250).contains(&spec.view_count), "{}", spec.name);
-            assert!(spec.complexity >= 1.5 && spec.complexity <= 2.3, "{}", spec.name);
+            assert!(
+                spec.complexity >= 1.5 && spec.complexity <= 2.3,
+                "{}",
+                spec.name
+            );
             let base_mb = spec.base_memory_bytes as f64 / (1 << 20) as f64;
             assert!((140.0..=161.0).contains(&base_mb), "{}", spec.name);
         }

@@ -14,33 +14,195 @@ use crate::generic::{GenericAppSpec, StateItem, StateMechanism};
 pub fn tp27_specs() -> Vec<GenericAppSpec> {
     use StateMechanism::{CustomViewNoSave, DynamicViewNoSave, MemberUnsaved};
     let rows: [(&str, &str, &str, StateMechanism, bool); 27] = [
-        ("AlarmClockPlus", "5M+", "The alarm state is lost after restart", CustomViewNoSave, false),
-        ("AlarmKlock", "500K+", "The alarm time change is gone after restart", CustomViewNoSave, false),
-        ("AndroidToken", "5M+", "The selected token is lost after restart", CustomViewNoSave, false),
-        ("BlueNET", "500K+", "The server is unexpectedly turned off after restart", CustomViewNoSave, true),
-        ("BrightnessProfile", "5M+", "Brightness level is lost after restart", CustomViewNoSave, false),
-        ("BTHFPowerSave", "500K+", "State changes are lost after restart", CustomViewNoSave, false),
-        ("CalenMob", "10K+", "The working date resets to current date after restart", DynamicViewNoSave, false),
-        ("DateSlider", "10K+", "The chosen date is lost after restart", CustomViewNoSave, false),
-        ("DiskDiggerPro", "100K+", "The percentage set by the user is lost after restart", MemberUnsaved, true),
-        ("Dock4Droid", "10K+", "The last-added app is missing after restart", MemberUnsaved, false),
-        ("DrWebAntiVirus", "100M+", "The check box setting is lost after restart", CustomViewNoSave, true),
-        ("Droidstack", "100K+", "The title is not preserved after restart", CustomViewNoSave, false),
-        ("FoxFi", "10M+", "The entered email is lost after restart", CustomViewNoSave, false),
-        ("MOBILedit", "1K+", "The WiFi settings are not retained after restart", CustomViewNoSave, false),
-        ("OIFileManager", "5M+", "The last-opened path is lost after restart", CustomViewNoSave, false),
-        ("OpenSudoku", "1M+", "User-filled numbers are lost after restart", DynamicViewNoSave, false),
-        ("OpenWordSearch", "1M+", "The word filled by user is lost after restarts", CustomViewNoSave, false),
-        ("WorkRecorder", "5K+", "The workout start time is lost after restart", CustomViewNoSave, false),
-        ("PowerToggles", "10K+", "The notification widgets are lost after restart", DynamicViewNoSave, false),
-        ("PhoneCopier", "10K+", "The email address is lost after restart", CustomViewNoSave, false),
-        ("ScrambledNet", "10K+", "The game state is lost after a restart", CustomViewNoSave, true),
-        ("ScrollableNews", "1K+", "The color selection is lost after restart", CustomViewNoSave, false),
-        ("ServDroidWeb", "1K+", "The new status is gone after restarts", CustomViewNoSave, true),
-        ("SouveyMusicPro", "1K+", "The settings of Metronome are lost after restart", CustomViewNoSave, false),
-        ("SSHTunnel", "100K+", "SSH connection profile is lost upon restart", CustomViewNoSave, false),
-        ("VPNConnection", "1K+", "The IPSec ID is lost upon restart", CustomViewNoSave, false),
-        ("ZircoBrowser", "1K+", "Bookmark is lost after restart", DynamicViewNoSave, false),
+        (
+            "AlarmClockPlus",
+            "5M+",
+            "The alarm state is lost after restart",
+            CustomViewNoSave,
+            false,
+        ),
+        (
+            "AlarmKlock",
+            "500K+",
+            "The alarm time change is gone after restart",
+            CustomViewNoSave,
+            false,
+        ),
+        (
+            "AndroidToken",
+            "5M+",
+            "The selected token is lost after restart",
+            CustomViewNoSave,
+            false,
+        ),
+        (
+            "BlueNET",
+            "500K+",
+            "The server is unexpectedly turned off after restart",
+            CustomViewNoSave,
+            true,
+        ),
+        (
+            "BrightnessProfile",
+            "5M+",
+            "Brightness level is lost after restart",
+            CustomViewNoSave,
+            false,
+        ),
+        (
+            "BTHFPowerSave",
+            "500K+",
+            "State changes are lost after restart",
+            CustomViewNoSave,
+            false,
+        ),
+        (
+            "CalenMob",
+            "10K+",
+            "The working date resets to current date after restart",
+            DynamicViewNoSave,
+            false,
+        ),
+        (
+            "DateSlider",
+            "10K+",
+            "The chosen date is lost after restart",
+            CustomViewNoSave,
+            false,
+        ),
+        (
+            "DiskDiggerPro",
+            "100K+",
+            "The percentage set by the user is lost after restart",
+            MemberUnsaved,
+            true,
+        ),
+        (
+            "Dock4Droid",
+            "10K+",
+            "The last-added app is missing after restart",
+            MemberUnsaved,
+            false,
+        ),
+        (
+            "DrWebAntiVirus",
+            "100M+",
+            "The check box setting is lost after restart",
+            CustomViewNoSave,
+            true,
+        ),
+        (
+            "Droidstack",
+            "100K+",
+            "The title is not preserved after restart",
+            CustomViewNoSave,
+            false,
+        ),
+        (
+            "FoxFi",
+            "10M+",
+            "The entered email is lost after restart",
+            CustomViewNoSave,
+            false,
+        ),
+        (
+            "MOBILedit",
+            "1K+",
+            "The WiFi settings are not retained after restart",
+            CustomViewNoSave,
+            false,
+        ),
+        (
+            "OIFileManager",
+            "5M+",
+            "The last-opened path is lost after restart",
+            CustomViewNoSave,
+            false,
+        ),
+        (
+            "OpenSudoku",
+            "1M+",
+            "User-filled numbers are lost after restart",
+            DynamicViewNoSave,
+            false,
+        ),
+        (
+            "OpenWordSearch",
+            "1M+",
+            "The word filled by user is lost after restarts",
+            CustomViewNoSave,
+            false,
+        ),
+        (
+            "WorkRecorder",
+            "5K+",
+            "The workout start time is lost after restart",
+            CustomViewNoSave,
+            false,
+        ),
+        (
+            "PowerToggles",
+            "10K+",
+            "The notification widgets are lost after restart",
+            DynamicViewNoSave,
+            false,
+        ),
+        (
+            "PhoneCopier",
+            "10K+",
+            "The email address is lost after restart",
+            CustomViewNoSave,
+            false,
+        ),
+        (
+            "ScrambledNet",
+            "10K+",
+            "The game state is lost after a restart",
+            CustomViewNoSave,
+            true,
+        ),
+        (
+            "ScrollableNews",
+            "1K+",
+            "The color selection is lost after restart",
+            CustomViewNoSave,
+            false,
+        ),
+        (
+            "ServDroidWeb",
+            "1K+",
+            "The new status is gone after restarts",
+            CustomViewNoSave,
+            true,
+        ),
+        (
+            "SouveyMusicPro",
+            "1K+",
+            "The settings of Metronome are lost after restart",
+            CustomViewNoSave,
+            false,
+        ),
+        (
+            "SSHTunnel",
+            "100K+",
+            "SSH connection profile is lost upon restart",
+            CustomViewNoSave,
+            false,
+        ),
+        (
+            "VPNConnection",
+            "1K+",
+            "The IPSec ID is lost upon restart",
+            CustomViewNoSave,
+            false,
+        ),
+        (
+            "ZircoBrowser",
+            "1K+",
+            "Bookmark is lost after restart",
+            DynamicViewNoSave,
+            false,
+        ),
     ];
     rows.iter()
         .map(|&(name, downloads, issue, mechanism, with_async)| {
@@ -92,7 +254,11 @@ mod tests {
     fn small_app_calibration_ranges() {
         for spec in tp27_specs() {
             assert!((12..=56).contains(&spec.view_count), "{}", spec.name);
-            assert!(spec.complexity >= 0.8 && spec.complexity <= 1.2, "{}", spec.name);
+            assert!(
+                spec.complexity >= 0.8 && spec.complexity <= 1.2,
+                "{}",
+                spec.name
+            );
             let base_mb = spec.base_memory_bytes as f64 / (1 << 20) as f64;
             assert!((38.0..=45.0).contains(&base_mb), "{}", spec.name);
         }

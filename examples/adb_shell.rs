@@ -27,8 +27,7 @@ fn run_command(device: &mut Device, installed: &mut Option<String>, line: &str) 
         [] | ["#", ..] => {}
         ["install", views] => {
             let views: usize = views.parse().unwrap_or(4);
-            match device.install_and_launch(Box::new(SimpleApp::with_views(views)), 40 << 20, 1.0)
-            {
+            match device.install_and_launch(Box::new(SimpleApp::with_views(views)), 40 << 20, 1.0) {
                 Ok(component) => {
                     println!("Success: installed and launched {component} ({views} ImageViews)");
                     *installed = Some(component);

@@ -27,7 +27,12 @@ fn scenario(mode: HandlingMode, label: &str) {
 
     // The user rotates before the task returns.
     let report = device.rotate().expect("handled");
-    println!("t={}: rotation handled via {:?} in {}", device.now(), report.path, report.latency);
+    println!(
+        "t={}: rotation handled via {:?} in {}",
+        device.now(),
+        report.path,
+        report.latency
+    );
 
     // Let the task return.
     device.advance(SimDuration::from_secs(6));
@@ -61,13 +66,25 @@ fn scenario(mode: HandlingMode, label: &str) {
         let img = fg.tree.find_by_id_name("image_0").unwrap();
         println!(
             "image_0 now shows {:?}",
-            fg.tree.view(img).unwrap().attrs.drawable.as_ref().map(|d| d.0.clone())
+            fg.tree
+                .view(img)
+                .unwrap()
+                .attrs
+                .drawable
+                .as_ref()
+                .map(|d| d.0.clone())
         );
     }
     println!();
 }
 
 fn main() {
-    scenario(HandlingMode::Android10, "stock Android 10 (restarting-based)");
-    scenario(HandlingMode::rchdroid_default(), "RCHDroid (shadow/sunny + lazy migration)");
+    scenario(
+        HandlingMode::Android10,
+        "stock Android 10 (restarting-based)",
+    );
+    scenario(
+        HandlingMode::rchdroid_default(),
+        "RCHDroid (shadow/sunny + lazy migration)",
+    );
 }

@@ -60,7 +60,10 @@ impl AppModel for FormApp {
 
     fn on_create(&self, activity: &mut Activity) {
         activity
-            .attach_fragment(&self.resources, &FragmentSpec::new("form", "fragment_form", "form_host"))
+            .attach_fragment(
+                &self.resources,
+                &FragmentSpec::new("form", "fragment_form", "form_host"),
+            )
             .expect("host exists");
     }
 
@@ -69,13 +72,17 @@ impl AppModel for FormApp {
 
 fn main() {
     let mut device = Device::new(HandlingMode::rchdroid_default());
-    device.install_and_launch(Box::new(FormApp::new()), 45 << 20, 1.0).expect("launch");
+    device
+        .install_and_launch(Box::new(FormApp::new()), 45 << 20, 1.0)
+        .expect("launch");
 
     // The user fills half the form.
     device
         .with_foreground_activity_mut(|a| {
             let email = a.tree.find_by_id_name("email").unwrap();
-            a.tree.apply(email, ViewOp::SetText("alice@example.com".into())).unwrap();
+            a.tree
+                .apply(email, ViewOp::SetText("alice@example.com".into()))
+                .unwrap();
             let remember = a.tree.find_by_id_name("remember_me").unwrap();
             a.tree.apply(remember, ViewOp::SetChecked(true)).unwrap();
         })
@@ -84,7 +91,10 @@ fn main() {
 
     // Rotate mid-form.
     let report = device.rotate().expect("handled");
-    println!("rotation handled via {:?} in {}", report.path, report.latency);
+    println!(
+        "rotation handled via {:?} in {}",
+        report.path, report.latency
+    );
 
     // Everything typed is still there.
     device

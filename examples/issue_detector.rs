@@ -25,7 +25,10 @@ fn main() {
             println!("  {:<18} {}", report.app, cause);
         }
     }
-    println!("=> {stock_flagged}/{} apps flagged under stock\n", specs.len());
+    println!(
+        "=> {stock_flagged}/{} apps flagged under stock\n",
+        specs.len()
+    );
 
     println!("Auditing the same set under RCHDroid…");
     let rch_flagged = detector::flagged(&specs, HandlingMode::rchdroid_default());

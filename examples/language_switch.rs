@@ -22,7 +22,11 @@ struct LocalizedApp {
 impl LocalizedApp {
     fn new() -> Self {
         let mut resources = ResourceTable::new();
-        resources.put("greeting", Qualifiers::any(), ResourceValue::string("Hello!"));
+        resources.put(
+            "greeting",
+            Qualifiers::any(),
+            ResourceValue::string("Hello!"),
+        );
         resources.put(
             "greeting",
             Qualifiers::any().with_language("zh"),
@@ -31,7 +35,9 @@ impl LocalizedApp {
         let root = LayoutNode::new("LinearLayout")
             .with_id("root")
             .with_child(
-                LayoutNode::new("TextView").with_id("greeting").with_attr("text", "@string/greeting"),
+                LayoutNode::new("TextView")
+                    .with_id("greeting")
+                    .with_attr("text", "@string/greeting"),
             )
             .with_child(LayoutNode::new("EditText").with_id("message"));
         resources.put(
@@ -67,7 +73,13 @@ fn read(device: &mut Device, id: &str) -> String {
     device
         .with_foreground_activity_mut(|a| {
             let v = a.tree.find_by_id_name(id).unwrap();
-            a.tree.view(v).unwrap().attrs.text.clone().unwrap_or_default()
+            a.tree
+                .view(v)
+                .unwrap()
+                .attrs
+                .text
+                .clone()
+                .unwrap_or_default()
         })
         .expect("foreground alive")
 }
@@ -82,7 +94,9 @@ fn main() {
     device
         .with_foreground_activity_mut(|a| {
             let field = a.tree.find_by_id_name("message").unwrap();
-            a.tree.apply(field, ViewOp::SetText("meet at 6pm —".into())).unwrap();
+            a.tree
+                .apply(field, ViewOp::SetText("meet at 6pm —".into()))
+                .unwrap();
         })
         .unwrap();
     println!("greeting before switch: {}", read(&mut device, "greeting"));
@@ -92,7 +106,10 @@ fn main() {
     // change with the LOCALE flag.
     let zh = device.configuration().with_locale(Locale::zh_cn());
     let report = device.change_configuration(zh).expect("handled");
-    println!("\nswitched locale via {:?} in {}\n", report.path, report.latency);
+    println!(
+        "\nswitched locale via {:?} in {}\n",
+        report.path, report.latency
+    );
 
     // The sunny instance inflated the zh resources, and the half-typed
     // input migrated from the shadow instance.

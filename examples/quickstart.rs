@@ -19,7 +19,10 @@ fn main() {
     // the root container).
     device
         .with_foreground_activity_mut(|activity| {
-            let root = activity.tree.find_by_id_name("root").expect("layout has a root");
+            let root = activity
+                .tree
+                .find_by_id_name("root")
+                .expect("layout has a root");
             activity.tree.apply(root, ViewOp::ScrollTo(960)).unwrap();
         })
         .expect("foreground alive");
@@ -27,11 +30,17 @@ fn main() {
     // Rotate the device: RCHDroid shadows the old instance and creates a
     // sunny one for the new configuration — no restart.
     let first = device.rotate().expect("handled");
-    println!("first change handled via {:?} in {}", first.path, first.latency);
+    println!(
+        "first change handled via {:?} in {}",
+        first.path, first.latency
+    );
 
     // Rotate back: the coin flip reuses the shadow instance.
     let second = device.rotate().expect("handled");
-    println!("second change handled via {:?} in {}", second.path, second.latency);
+    println!(
+        "second change handled via {:?} in {}",
+        second.path, second.latency
+    );
 
     // The scroll position survived both changes, with zero app
     // modifications.

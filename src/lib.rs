@@ -2,4 +2,3 @@
 pub use droidsim_device as device;
 pub use rch_workloads as workloads;
 pub use rchdroid as core;
-

@@ -10,7 +10,8 @@ use droidsim_view::ViewOp;
 
 fn device() -> Device {
     let mut d = Device::new(HandlingMode::rchdroid_default());
-    d.install_and_launch(Box::new(SimpleApp::with_views(4)), 40 << 20, 1.0).unwrap();
+    d.install_and_launch(Box::new(SimpleApp::with_views(4)), 40 << 20, 1.0)
+        .unwrap();
     // User state to carry across every change.
     d.with_foreground_activity_mut(|a| {
         let root = a.tree.find_by_id_name("root").unwrap();
@@ -116,9 +117,7 @@ fn flip_requires_matching_configuration_history() {
     let mut d = device();
     d.wm_size(1920, 1080).unwrap();
     let third = d
-        .change_configuration(
-            d.configuration().with_locale(Locale::zh_cn()),
-        )
+        .change_configuration(d.configuration().with_locale(Locale::zh_cn()))
         .unwrap();
     assert_eq!(third.path, HandlingPath::RchFlip);
     assert_eq!(foreground_scroll(&mut d), 555);

@@ -8,7 +8,9 @@ use rch_workloads::DeepApp;
 
 fn deep_device(depth: usize) -> (Device, String) {
     let mut d = Device::new(HandlingMode::rchdroid_default());
-    let c = d.install_and_launch(Box::new(DeepApp::new(depth)), 40 << 20, 1.0).unwrap();
+    let c = d
+        .install_and_launch(Box::new(DeepApp::new(depth)), 40 << 20, 1.0)
+        .unwrap();
     (d, c)
 }
 
@@ -28,7 +30,9 @@ fn state_survives_the_change_at_depth() {
     let (mut d, _) = deep_device(300);
     d.with_foreground_activity_mut(|a| {
         let leaf = a.tree.find_by_id_name("leaf").unwrap();
-        a.tree.apply(leaf, ViewOp::SetText("bottom of the world".into())).unwrap();
+        a.tree
+            .apply(leaf, ViewOp::SetText("bottom of the world".into()))
+            .unwrap();
     })
     .unwrap();
     let first = d.rotate().unwrap();

@@ -44,7 +44,9 @@ fn coin_flip_reuses_geometry_that_matches_the_flipped_config() {
     // for the configuration being flipped back to — verify the geometry
     // really matches.
     let mut d = Device::new(HandlingMode::rchdroid_default());
-    let c = d.install_and_launch(Box::new(SimpleApp::with_views(4)), 40 << 20, 1.0).unwrap();
+    let c = d
+        .install_and_launch(Box::new(SimpleApp::with_views(4)), 40 << 20, 1.0)
+        .unwrap();
     d.rotate().unwrap(); // portrait → landscape (init)
     d.rotate().unwrap(); // landscape → portrait (flip: original instance)
     assert_foreground_fits(&d, &c, "after flip back to portrait");
@@ -54,7 +56,10 @@ fn coin_flip_reuses_geometry_that_matches_the_flipped_config() {
     let p = d.process(&c).unwrap();
     let fg = p.foreground_activity().unwrap();
     let root = fg.tree.find_by_id_name("root").unwrap();
-    assert_eq!(fg.tree.view(root).unwrap().kind.class_name(), "LinearLayout");
+    assert_eq!(
+        fg.tree.view(root).unwrap().kind.class_name(),
+        "LinearLayout"
+    );
 }
 
 #[test]
@@ -63,18 +68,32 @@ fn shadow_tree_geometry_is_stale_by_design() {
     // invisible, so the staleness is harmless — but it is real, and it is
     // why a flip to a *third* configuration would need a relayout pass.
     let mut d = Device::new(HandlingMode::rchdroid_default());
-    let c = d.install_and_launch(Box::new(SimpleApp::with_views(4)), 40 << 20, 1.0).unwrap();
+    let c = d
+        .install_and_launch(Box::new(SimpleApp::with_views(4)), 40 << 20, 1.0)
+        .unwrap();
     d.rotate().unwrap();
     let p = d.process(&c).unwrap();
-    let shadow_activity = p.thread().instance(p.thread().current_shadow().unwrap()).unwrap();
+    let shadow_activity = p
+        .thread()
+        .instance(p.thread().current_shadow().unwrap())
+        .unwrap();
     // The shadow instance still carries its creation-time configuration…
     let shadow_screen = shadow_activity.config().screen;
     let current_screen = d.configuration().screen;
-    assert_ne!(shadow_screen, current_screen, "shadow config predates the change");
+    assert_ne!(
+        shadow_screen, current_screen,
+        "shadow config predates the change"
+    );
     // …so its natural geometry is for the old screen: its decor rect does
     // not match the current screen's dimensions.
     let natural = layout(&shadow_activity.tree, shadow_screen);
     let decor = natural.rect(shadow_activity.tree.root()).unwrap();
-    assert_eq!((decor.width, decor.height), (shadow_screen.width_dp, shadow_screen.height_dp));
-    assert_ne!((decor.width, decor.height), (current_screen.width_dp, current_screen.height_dp));
+    assert_eq!(
+        (decor.width, decor.height),
+        (shadow_screen.width_dp, shadow_screen.height_dp)
+    );
+    assert_ne!(
+        (decor.width, decor.height),
+        (current_screen.width_dp, current_screen.height_dp)
+    );
 }

@@ -21,7 +21,8 @@ fn identical_runs_are_bit_identical() {
     // produce identical event logs and final memory.
     let run = || {
         let (mut d, c) = bench_device(HandlingMode::rchdroid_default(), 8);
-        d.start_async_on_foreground(SimpleApp::with_views(8).button_task()).unwrap();
+        d.start_async_on_foreground(SimpleApp::with_views(8).button_task())
+            .unwrap();
         for _ in 0..3 {
             d.rotate().unwrap();
             d.advance(SimDuration::from_secs(3));
@@ -67,7 +68,10 @@ fn flip_latency_is_independent_of_change_count() {
         d.advance(SimDuration::from_secs(1));
     }
     assert!(flips.len() >= 10);
-    assert!(flips.windows(2).all(|w| w[0] == w[1]), "flips are constant-cost");
+    assert!(
+        flips.windows(2).all(|w| w[0] == w[1]),
+        "flips are constant-cost"
+    );
     let _ = c;
 }
 
@@ -75,7 +79,8 @@ fn flip_latency_is_independent_of_change_count() {
 fn async_work_survives_arbitrary_rotation_counts_under_rchdroid() {
     for rotations in 1..=5 {
         let (mut d, c) = bench_device(HandlingMode::rchdroid_default(), 3);
-        d.start_async_on_foreground(SimpleApp::with_views(3).button_task()).unwrap();
+        d.start_async_on_foreground(SimpleApp::with_views(3).button_task())
+            .unwrap();
         for _ in 0..rotations {
             d.rotate().unwrap();
         }
@@ -87,7 +92,14 @@ fn async_work_survives_arbitrary_rotation_counts_under_rchdroid() {
         let fg = p.foreground_activity().expect("foreground alive");
         let img = fg.tree.find_by_id_name("image_0").unwrap();
         assert_eq!(
-            fg.tree.view(img).unwrap().attrs.drawable.as_ref().unwrap().0,
+            fg.tree
+                .view(img)
+                .unwrap()
+                .attrs
+                .drawable
+                .as_ref()
+                .unwrap()
+                .0,
             "loaded_0.png",
             "{rotations} rotations"
         );
@@ -124,12 +136,17 @@ fn every_tp27_mechanism_behaves_as_designed_end_to_end() {
     use rch_experiments::{run_app, RunConfig};
     for spec in tp27_specs().iter().take(12) {
         let lossy = spec.state_items[0].mechanism;
-        let stock =
-            run_app(spec, &RunConfig::new(HandlingMode::Android10).changes(1));
-        let rch =
-            run_app(spec, &RunConfig::new(HandlingMode::rchdroid_default()).changes(1));
+        let stock = run_app(spec, &RunConfig::new(HandlingMode::Android10).changes(1));
+        let rch = run_app(
+            spec,
+            &RunConfig::new(HandlingMode::rchdroid_default()).changes(1),
+        );
         let rtd = run_app(spec, &RunConfig::new(HandlingMode::RuntimeDroid).changes(1));
-        assert!(stock.issue_observed(), "{}: stock must show the issue", spec.name);
+        assert!(
+            stock.issue_observed(),
+            "{}: stock must show the issue",
+            spec.name
+        );
         assert_eq!(
             !rch.issue_observed(),
             lossy.fixed_by_rchdroid(),
@@ -185,16 +202,28 @@ fn scroll_state_round_trips_through_both_restart_and_rchdroid() {
 #[test]
 fn event_log_is_ordered_and_complete() {
     let (mut d, c) = bench_device(HandlingMode::rchdroid_default(), 4);
-    d.start_async_on_foreground(SimpleApp::with_views(4).button_task()).unwrap();
+    d.start_async_on_foreground(SimpleApp::with_views(4).button_task())
+        .unwrap();
     d.rotate().unwrap();
     d.advance(SimDuration::from_secs(8));
     let events = d.events();
-    assert!(events.windows(2).all(|w| w[0].at() <= w[1].at()), "monotone timestamps");
-    assert!(events.iter().any(|e| matches!(e, DeviceEvent::AppLaunched { .. })));
-    assert!(events.iter().any(|e| matches!(e, DeviceEvent::ConfigChange { .. })));
+    assert!(
+        events.windows(2).all(|w| w[0].at() <= w[1].at()),
+        "monotone timestamps"
+    );
     assert!(events
         .iter()
-        .any(|e| matches!(e, DeviceEvent::AsyncDelivered { migration_latency: Some(_), .. })));
+        .any(|e| matches!(e, DeviceEvent::AppLaunched { .. })));
+    assert!(events
+        .iter()
+        .any(|e| matches!(e, DeviceEvent::ConfigChange { .. })));
+    assert!(events.iter().any(|e| matches!(
+        e,
+        DeviceEvent::AsyncDelivered {
+            migration_latency: Some(_),
+            ..
+        }
+    )));
     let _ = c;
 }
 
@@ -205,8 +234,17 @@ fn member_unsaved_state_lost_under_rchdroid_but_kept_by_runtimedroid() {
         .into_iter()
         .find(|s| s.state_items[0].mechanism == StateMechanism::MemberUnsaved)
         .expect("DiskDiggerPro");
-    let rch = run_app(&spec, &RunConfig::new(HandlingMode::rchdroid_default()).changes(1));
-    assert!(rch.issue_observed(), "RCHDroid cannot restore unsaved fields");
-    let rtd = run_app(&spec, &RunConfig::new(HandlingMode::RuntimeDroid).changes(1));
+    let rch = run_app(
+        &spec,
+        &RunConfig::new(HandlingMode::rchdroid_default()).changes(1),
+    );
+    assert!(
+        rch.issue_observed(),
+        "RCHDroid cannot restore unsaved fields"
+    );
+    let rtd = run_app(
+        &spec,
+        &RunConfig::new(HandlingMode::RuntimeDroid).changes(1),
+    );
     assert!(rtd.crashed || !rtd.issue_observed() || spec.uses_async_task);
 }

@@ -8,7 +8,9 @@ use droidsim_view::ViewOp;
 
 fn device(mode: HandlingMode) -> (Device, String) {
     let mut d = Device::new(mode);
-    let c = d.install_and_launch(Box::new(SimpleApp::with_views(2)), 40 << 20, 1.0).unwrap();
+    let c = d
+        .install_and_launch(Box::new(SimpleApp::with_views(2)), 40 << 20, 1.0)
+        .unwrap();
     (d, c)
 }
 
@@ -30,7 +32,10 @@ fn buggy_task() -> AsyncSpec {
 fn dialog_task() -> AsyncSpec {
     AsyncSpec {
         duration: SimDuration::from_secs(5),
-        result: AsyncResult { ops: vec![], shows_dialog: true },
+        result: AsyncResult {
+            ops: vec![],
+            shows_dialog: true,
+        },
     }
 }
 
@@ -53,10 +58,9 @@ fn dialog_after_restart_leaks_window_under_stock() {
     d.rotate().unwrap();
     d.advance(SimDuration::from_secs(6));
     assert!(d.is_crashed(&c));
-    let has_leak = d
-        .events()
-        .iter()
-        .any(|e| matches!(e, DeviceEvent::Crash { exception, .. } if exception.contains("WindowLeaked")));
+    let has_leak = d.events().iter().any(
+        |e| matches!(e, DeviceEvent::Crash { exception, .. } if exception.contains("WindowLeaked")),
+    );
     assert!(has_leak, "events: {:?}", d.events());
 }
 
@@ -86,7 +90,8 @@ fn crash_cleans_up_every_instance_and_record() {
 #[test]
 fn crash_time_matches_the_task_deadline() {
     let (mut d, c) = device(HandlingMode::Android10);
-    d.start_async_on_foreground(SimpleApp::with_views(2).button_task()).unwrap();
+    d.start_async_on_foreground(SimpleApp::with_views(2).button_task())
+        .unwrap();
     let change_at = d.now();
     d.rotate().unwrap();
     d.advance(SimDuration::from_secs(10));

@@ -21,8 +21,7 @@ impl FragmentApp {
         for (qualifiers, container) in [
             (Qualifiers::any(), "LinearLayout"),
             (
-                Qualifiers::any()
-                    .with_orientation(droidsim_config::Orientation::Landscape),
+                Qualifiers::any().with_orientation(droidsim_config::Orientation::Landscape),
                 "GridLayout",
             ),
         ] {
@@ -86,7 +85,9 @@ fn launch(mode: HandlingMode) -> (Device, String) {
     device
         .with_foreground_activity_mut(|a| {
             let username = a.tree.find_by_id_name("username").unwrap();
-            a.tree.apply(username, ViewOp::SetText("alice@example.com".into())).unwrap();
+            a.tree
+                .apply(username, ViewOp::SetText("alice@example.com".into()))
+                .unwrap();
         })
         .unwrap();
     (device, component)
@@ -118,7 +119,10 @@ fn rchdroid_preserves_fragment_state() {
     // The sunny instance re-runs onCreate (re-attaching the fragment);
     // the essence mapping then links fragment views by id and the typed
     // username migrates.
-    assert_eq!(username_after_rotation(&mut device).as_deref(), Some("alice@example.com"));
+    assert_eq!(
+        username_after_rotation(&mut device).as_deref(),
+        Some("alice@example.com")
+    );
 }
 
 #[test]
@@ -127,7 +131,10 @@ fn stock_restart_preserves_framework_fragment_state() {
     // so the hierarchy bundle restores it: the framework-managed fragment
     // pattern is safe under stock Android too.
     let (mut device, _) = launch(HandlingMode::Android10);
-    assert_eq!(username_after_rotation(&mut device).as_deref(), Some("alice@example.com"));
+    assert_eq!(
+        username_after_rotation(&mut device).as_deref(),
+        Some("alice@example.com")
+    );
 }
 
 #[test]
@@ -137,11 +144,21 @@ fn runtimedroid_drops_the_whole_fragment() {
     // these situations." Static reconstruction re-inflates the layout
     // resource, which contains only the empty fragment host.
     let (mut device, component) = launch(HandlingMode::RuntimeDroid);
-    assert_eq!(username_after_rotation(&mut device), None, "fragment subtree is gone");
+    assert_eq!(
+        username_after_rotation(&mut device),
+        None,
+        "fragment subtree is gone"
+    );
     let p = device.process(&component).unwrap();
     let fg = p.foreground_activity().unwrap();
-    assert!(fg.tree.find_by_id_name("fragment_host").is_some(), "host survives");
-    assert!(fg.tree.find_by_id_name("login_root").is_none(), "fragment does not");
+    assert!(
+        fg.tree.find_by_id_name("fragment_host").is_some(),
+        "host survives"
+    );
+    assert!(
+        fg.tree.find_by_id_name("login_root").is_none(),
+        "fragment does not"
+    );
 }
 
 #[test]

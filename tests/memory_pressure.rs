@@ -8,8 +8,12 @@ fn two_apps(mode: HandlingMode) -> (Device, String, String) {
     let mut d = Device::new(mode);
     let a = GenericAppSpec::sized("PressureA", "1M+", false);
     let b = GenericAppSpec::sized("PressureB", "1M+", false);
-    let ac = d.install_and_launch(Box::new(a.build()), a.base_memory_bytes, a.complexity).unwrap();
-    let bc = d.install_and_launch(Box::new(b.build()), b.base_memory_bytes, b.complexity).unwrap();
+    let ac = d
+        .install_and_launch(Box::new(a.build()), a.base_memory_bytes, a.complexity)
+        .unwrap();
+    let bc = d
+        .install_and_launch(Box::new(b.build()), b.base_memory_bytes, b.complexity)
+        .unwrap();
     (d, ac, bc)
 }
 
@@ -36,7 +40,10 @@ fn shadow_instances_are_exempt() {
     d.trigger_memory_pressure();
     // §3.2: the shadow survives system reclamation; only the GC policy
     // may release it.
-    assert_eq!(d.process(&b).unwrap().thread().current_shadow(), before_shadow);
+    assert_eq!(
+        d.process(&b).unwrap().thread().current_shadow(),
+        before_shadow
+    );
     assert_eq!(d.process(&b).unwrap().thread().alive_instances().len(), 2);
 }
 
@@ -99,5 +106,8 @@ fn async_task_to_a_reclaimed_background_activity_crashes_like_stock() {
     d.switch_to_app("com.pressureb/.Main").unwrap();
     d.trigger_memory_pressure();
     d.advance(SimDuration::from_secs(8));
-    assert!(d.is_crashed(&a), "the stopped instance was reclaimed under the task");
+    assert!(
+        d.is_crashed(&a),
+        "the stopped instance was reclaimed under the task"
+    );
 }

@@ -11,10 +11,18 @@ fn two_apps(mode: HandlingMode) -> (Device, String, String) {
     let mail = GenericAppSpec::sized("MailClient", "10M+", false);
     let maps = GenericAppSpec::sized("MapsViewer", "10M+", false);
     let mail_c = d
-        .install_and_launch(Box::new(mail.build()), mail.base_memory_bytes, mail.complexity)
+        .install_and_launch(
+            Box::new(mail.build()),
+            mail.base_memory_bytes,
+            mail.complexity,
+        )
         .unwrap();
     let maps_c = d
-        .install_and_launch(Box::new(maps.build()), maps.base_memory_bytes, maps.complexity)
+        .install_and_launch(
+            Box::new(maps.build()),
+            maps.base_memory_bytes,
+            maps.complexity,
+        )
         .unwrap();
     (d, mail_c, maps_c)
 }
@@ -45,12 +53,18 @@ fn app_switch_releases_the_shadow_immediately() {
     let (mut d, mail, maps) = two_apps(HandlingMode::rchdroid_default());
     // maps is in the foreground; rotate to create its shadow coupling.
     d.rotate().unwrap();
-    assert_eq!(d.process(&maps).unwrap().thread().alive_instances().len(), 2);
+    assert_eq!(
+        d.process(&maps).unwrap().thread().alive_instances().len(),
+        2
+    );
 
     // §3.5: switching away releases the shadow at once — no waiting for
     // the threshold GC.
     d.switch_to_app(&mail).unwrap();
-    assert_eq!(d.process(&maps).unwrap().thread().alive_instances().len(), 1);
+    assert_eq!(
+        d.process(&maps).unwrap().thread().alive_instances().len(),
+        1
+    );
     assert_eq!(d.process(&maps).unwrap().thread().current_shadow(), None);
     // (Mail may now hold a shadow of its own: it resumed with a stale
     // configuration and RCHDroid handled that via the shadow/sunny path.)
@@ -69,8 +83,14 @@ fn at_most_one_shadow_across_the_whole_system() {
     // The paper: "we maintain at most one shadow-state activity instance
     // for the whole Android system at any time."
     assert_eq!(d.atms().shadow_records().len(), 1);
-    assert_eq!(d.process(&mail).unwrap().thread().alive_instances().len(), 2);
-    assert_eq!(d.process(&maps).unwrap().thread().alive_instances().len(), 1);
+    assert_eq!(
+        d.process(&mail).unwrap().thread().alive_instances().len(),
+        2
+    );
+    assert_eq!(
+        d.process(&maps).unwrap().thread().alive_instances().len(),
+        1
+    );
 }
 
 #[test]
@@ -100,10 +120,18 @@ fn a_crash_in_one_app_does_not_touch_the_other() {
     let mut risky = GenericAppSpec::sized("RiskyApp", "1M+", false);
     risky.uses_async_task = true;
     let safe_c = d
-        .install_and_launch(Box::new(safe.build()), safe.base_memory_bytes, safe.complexity)
+        .install_and_launch(
+            Box::new(safe.build()),
+            safe.base_memory_bytes,
+            safe.complexity,
+        )
         .unwrap();
     let risky_c = d
-        .install_and_launch(Box::new(risky.build()), risky.base_memory_bytes, risky.complexity)
+        .install_and_launch(
+            Box::new(risky.build()),
+            risky.base_memory_bytes,
+            risky.complexity,
+        )
         .unwrap();
 
     // risky starts its task, rotates (restart), task returns → crash.
@@ -123,11 +151,19 @@ fn a_crash_in_one_app_does_not_touch_the_other() {
 fn back_press_releases_shadow_and_yields_the_foreground() {
     let (mut d, mail, maps) = two_apps(HandlingMode::rchdroid_default());
     d.rotate().unwrap(); // maps holds a shadow
-    assert_eq!(d.process(&maps).unwrap().thread().alive_instances().len(), 2);
+    assert_eq!(
+        d.process(&maps).unwrap().thread().alive_instances().len(),
+        2
+    );
 
     d.press_back().unwrap();
     // §3.5 "terminated": both maps instances are gone…
-    assert!(d.process(&maps).unwrap().thread().alive_instances().is_empty());
+    assert!(d
+        .process(&maps)
+        .unwrap()
+        .thread()
+        .alive_instances()
+        .is_empty());
     assert!(d.atms().shadow_records().is_empty());
     // …and mail's task is now on top.
     assert_eq!(d.foreground_component(), Some(mail));
@@ -137,8 +173,12 @@ fn back_press_releases_shadow_and_yields_the_foreground() {
 fn back_press_on_the_last_app_empties_the_stack() {
     let mut d = Device::new(HandlingMode::rchdroid_default());
     let spec = GenericAppSpec::sized("OnlyApp", "1K+", false);
-    d.install_and_launch(Box::new(spec.build()), spec.base_memory_bytes, spec.complexity)
-        .unwrap();
+    d.install_and_launch(
+        Box::new(spec.build()),
+        spec.base_memory_bytes,
+        spec.complexity,
+    )
+    .unwrap();
     d.press_back().unwrap();
     assert_eq!(d.foreground_component(), None);
     assert_eq!(d.press_back(), Err(DeviceError::NoForegroundApp));

@@ -15,8 +15,11 @@ enum AtmsAction {
 
 fn arb_action() -> impl Strategy<Value = AtmsAction> {
     prop_oneof![
-        (0u8..3, 0u8..3, 0u8..4)
-            .prop_map(|(app, activity, flags)| AtmsAction::Start { app, activity, flags }),
+        (0u8..3, 0u8..3, 0u8..4).prop_map(|(app, activity, flags)| AtmsAction::Start {
+            app,
+            activity,
+            flags
+        }),
         Just(AtmsAction::SunnyStart),
         Just(AtmsAction::DestroyForeground),
         any::<bool>().prop_map(AtmsAction::UpdateConfig),
@@ -39,12 +42,13 @@ fn run_script(script: &[AtmsAction]) -> Atms {
         clock += 1;
         let now = SimTime::from_secs(clock);
         match action {
-            AtmsAction::Start { app, activity, flags } => {
+            AtmsAction::Start {
+                app,
+                activity,
+                flags,
+            } => {
                 let component = format!("com.app{app}/.Activity{activity}");
-                atms.start_activity_at(
-                    &Intent::new(&component).with_flags(flags_of(*flags)),
-                    now,
-                );
+                atms.start_activity_at(&Intent::new(&component).with_flags(flags_of(*flags)), now);
             }
             AtmsAction::SunnyStart => {
                 if let Some(record) = atms.foreground_record() {

@@ -48,7 +48,11 @@ fn run_script(mode: HandlingMode, script: &[Action]) -> Device {
                 let _ = d.wm_size(*w, *h);
             }
             Action::SwitchLocale(zh) => {
-                let locale = if *zh { Locale::zh_cn() } else { Locale::en_us() };
+                let locale = if *zh {
+                    Locale::zh_cn()
+                } else {
+                    Locale::en_us()
+                };
                 let next = d.configuration().with_locale(locale);
                 let _ = d.change_configuration(next);
             }

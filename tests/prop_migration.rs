@@ -1,8 +1,9 @@
 //! Property tests on RCHDroid's essence-based mapping and lazy migration.
 
+use droidsim_kernel::{SimDuration, SimTime};
 use droidsim_view::{ViewKind, ViewOp, ViewTree};
 use proptest::prelude::*;
-use rchdroid::MigrationEngine;
+use rchdroid::{FlushPolicy, MigrationEngine};
 
 /// Builds two trees with the same id names (as two inflations of one
 /// layout would) containing `n` views of assorted migratable kinds.
@@ -51,13 +52,13 @@ proptest! {
         n in 1usize..24,
         updates in proptest::collection::vec((any::<usize>(), any::<i32>()), 0..40),
     ) {
-        let (mut shadow, mut sunny, engine) = coupled_trees(n);
+        let (mut shadow, mut sunny, mut engine) = coupled_trees(n);
         for (which, payload) in &updates {
             let i = which % n;
             let view = shadow.find_by_id_name(&format!("v{i}")).unwrap();
             shadow.apply(view, op_for(i, *payload)).unwrap();
         }
-        engine.migrate_invalidations(&mut shadow, &mut sunny).unwrap();
+        engine.migrate_invalidations(&mut shadow, &mut sunny, SimTime::ZERO).unwrap();
 
         // Every updated view's migratable essence matches on the peer.
         for i in 0..n {
@@ -82,16 +83,16 @@ proptest! {
         n in 1usize..16,
         updates in proptest::collection::vec((any::<usize>(), any::<i32>()), 1..20),
     ) {
-        let (mut shadow, mut sunny, engine) = coupled_trees(n);
+        let (mut shadow, mut sunny, mut engine) = coupled_trees(n);
         for (which, payload) in &updates {
             let i = which % n;
             let view = shadow.find_by_id_name(&format!("v{i}")).unwrap();
             shadow.apply(view, op_for(i, *payload)).unwrap();
         }
-        engine.migrate_invalidations(&mut shadow, &mut sunny).unwrap();
+        engine.migrate_invalidations(&mut shadow, &mut sunny, SimTime::ZERO).unwrap();
         let snapshot = sunny.clone();
         // A second pass with no new invalidations changes nothing.
-        let report = engine.migrate_invalidations(&mut shadow, &mut sunny).unwrap();
+        let report = engine.migrate_invalidations(&mut shadow, &mut sunny, SimTime::ZERO).unwrap();
         prop_assert_eq!(report.examined, 0);
         prop_assert_eq!(format!("{:?}", sunny), format!("{:?}", snapshot));
     }
@@ -151,6 +152,126 @@ proptest! {
                 sunny.view(s_img).unwrap().attrs.drawable.is_none(),
                 "drawable content must not be seeded"
             );
+        }
+    }
+}
+
+/// One step of a shadow-instance lifetime: an app update to some view, an
+/// async delivery draining invalidations into the engine, or a runtime
+/// configuration change (which swaps the shadow/sunny roles — and, like
+/// the handler, flushes any batched queue *before* the swap).
+#[derive(Debug, Clone)]
+enum Step {
+    Update { which: usize, payload: i32 },
+    Deliver,
+    ConfigChange,
+}
+
+/// A coupled pair plus the engine driving it, with roles that can swap.
+struct System {
+    trees: [ViewTree; 2],
+    shadow: usize,
+    engine: MigrationEngine,
+    clock: SimTime,
+}
+
+impl System {
+    fn new(n: usize, policy: FlushPolicy) -> System {
+        let (shadow, sunny, mut engine) = coupled_trees(n);
+        engine.set_flush_policy(policy);
+        System {
+            trees: [shadow, sunny],
+            shadow: 0,
+            engine,
+            clock: SimTime::ZERO,
+        }
+    }
+
+    fn run(&mut self, n: usize, script: &[Step]) {
+        for step in script {
+            self.clock += SimDuration::from_millis(1);
+            match step {
+                Step::Update { which, payload } => {
+                    let i = which % n;
+                    let t = &mut self.trees[self.shadow];
+                    let view = t.find_by_id_name(&format!("v{i}")).unwrap();
+                    t.apply(view, op_for(i, *payload)).unwrap();
+                }
+                Step::Deliver => {
+                    let [a, b] = &mut self.trees;
+                    let (shadow, sunny) = if self.shadow == 0 { (a, b) } else { (b, a) };
+                    self.engine
+                        .migrate_invalidations(shadow, sunny, self.clock)
+                        .unwrap();
+                }
+                Step::ConfigChange => {
+                    let [a, b] = &mut self.trees;
+                    let (shadow, sunny) = if self.shadow == 0 { (a, b) } else { (b, a) };
+                    // The handler delivers outstanding callbacks and flushes
+                    // the engine queue before any role change, so no applied
+                    // update is ever stranded across a swap.
+                    self.engine
+                        .migrate_invalidations(shadow, sunny, self.clock)
+                        .unwrap();
+                    self.engine.flush(shadow, sunny).unwrap();
+                    self.shadow = 1 - self.shadow;
+                }
+            }
+        }
+        // End of scenario: drain whatever is still queued.
+        let [a, b] = &mut self.trees;
+        let (shadow, sunny) = if self.shadow == 0 { (a, b) } else { (b, a) };
+        let raw = shadow.pending_invalidation_count();
+        if raw > 0 {
+            self.engine
+                .migrate_invalidations(shadow, sunny, self.clock)
+                .unwrap();
+        }
+        self.engine.flush(shadow, sunny).unwrap();
+    }
+}
+
+fn step_strategy() -> impl Strategy<Value = Step> {
+    prop_oneof![
+        (any::<usize>(), any::<i32>()).prop_map(|(which, payload)| Step::Update { which, payload }),
+        Just(Step::Deliver),
+        Just(Step::ConfigChange),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The tentpole invariant: for ANY interleaving of view updates,
+    /// async deliveries and configuration changes, a batched engine ends
+    /// with bit-identical trees to an eager engine fed the same script.
+    /// (Each batched flush additionally self-checks against an eager
+    /// replay via the engine's debug-mode equivalence checker.)
+    #[test]
+    fn batched_flush_is_equivalent_to_eager_migration(
+        n in 1usize..16,
+        script in proptest::collection::vec(step_strategy(), 0..48),
+        max_pending in 1usize..10,
+        max_delay_ms in 0u64..32,
+    ) {
+        let mut eager = System::new(n, FlushPolicy::Eager);
+        let mut batched = System::new(
+            n,
+            FlushPolicy::batched(max_pending, SimDuration::from_millis(max_delay_ms)),
+        );
+        eager.run(n, &script);
+        batched.run(n, &script);
+
+        for side in 0..2 {
+            for id in eager.trees[side].iter_ids() {
+                let want = eager.trees[side].view(id).unwrap();
+                let got = batched.trees[side].view(id).unwrap();
+                prop_assert_eq!(
+                    &want.attrs,
+                    &got.attrs,
+                    "side {} view {} diverged", side, id
+                );
+            }
         }
     }
 }

@@ -8,9 +8,18 @@ use proptest::prelude::*;
 /// already-created containers.
 #[derive(Debug, Clone)]
 enum BuildStep {
-    Add { parent_choice: usize, kind: ViewKind, with_id: bool },
-    Remove { choice: usize },
-    Mutate { choice: usize, op: ViewOp },
+    Add {
+        parent_choice: usize,
+        kind: ViewKind,
+        with_id: bool,
+    },
+    Remove {
+        choice: usize,
+    },
+    Mutate {
+        choice: usize,
+        op: ViewOp,
+    },
 }
 
 fn arb_kind() -> impl Strategy<Value = ViewKind> {
@@ -42,12 +51,13 @@ fn arb_op() -> impl Strategy<Value = ViewOp> {
 
 fn arb_step() -> impl Strategy<Value = BuildStep> {
     prop_oneof![
-        (any::<usize>(), arb_kind(), any::<bool>())
-            .prop_map(|(parent_choice, kind, with_id)| BuildStep::Add {
+        (any::<usize>(), arb_kind(), any::<bool>()).prop_map(|(parent_choice, kind, with_id)| {
+            BuildStep::Add {
                 parent_choice,
                 kind,
-                with_id
-            }),
+                with_id,
+            }
+        }),
         any::<usize>().prop_map(|choice| BuildStep::Remove { choice }),
         (any::<usize>(), arb_op()).prop_map(|(choice, op)| BuildStep::Mutate { choice, op }),
     ]
@@ -59,7 +69,11 @@ fn run_script(steps: &[BuildStep]) -> ViewTree {
     for step in steps {
         let ids = tree.iter_ids();
         match step {
-            BuildStep::Add { parent_choice, kind, with_id } => {
+            BuildStep::Add {
+                parent_choice,
+                kind,
+                with_id,
+            } => {
                 let parent = ids[parent_choice % ids.len()];
                 let id_name = with_id.then(|| {
                     next_id += 1;

@@ -1,0 +1,324 @@
+//! Offline stand-in for the `criterion` benchmark harness.
+//!
+//! Implements the API surface the `rch-bench` targets use: groups,
+//! `bench_function` / `bench_with_input`, `iter` / `iter_batched`, the
+//! `criterion_group!` / `criterion_main!` macros and the builder knobs
+//! (`sample_size`, `warm_up_time`, `measurement_time`).
+//!
+//! Measurement is deliberately simple: warm up for `warm_up_time`, then
+//! time batches of iterations until `measurement_time` elapses and
+//! report the mean wall-clock per iteration. There is no outlier
+//! analysis, no plots and no saved baselines. Passing `--test` on the
+//! command line (what `cargo bench -- --test` and CI smoke runs do)
+//! switches every benchmark to a single untimed iteration, making the
+//! harness usable as a correctness gate.
+
+use std::time::{Duration, Instant};
+
+/// Re-export mirroring `criterion::black_box`.
+pub use std::hint::black_box;
+
+/// Harness configuration and entry point handed to benchmark functions.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 100,
+            warm_up_time: Duration::from_secs(3),
+            measurement_time: Duration::from_secs(5),
+            test_mode: false,
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the target number of samples (used as an iteration floor).
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Sets how long to run untimed before measuring.
+    pub fn warm_up_time(mut self, t: Duration) -> Self {
+        self.warm_up_time = t;
+        self
+    }
+
+    /// Sets how long to spend measuring each benchmark.
+    pub fn measurement_time(mut self, t: Duration) -> Self {
+        self.measurement_time = t;
+        self
+    }
+
+    /// Applies command-line flags (`--test` selects single-iteration
+    /// smoke mode). Called by `criterion_main!`.
+    pub fn configure_from_args(mut self) -> Self {
+        if std::env::args().any(|a| a == "--test") {
+            self.test_mode = true;
+        }
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher::new(self.clone());
+        f(&mut bencher);
+        bencher.report(id);
+        self
+    }
+
+    /// Opens a named group; benchmark ids are prefixed with its name.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+        }
+    }
+}
+
+/// A named set of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs one benchmark within the group.
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id);
+        self.criterion.bench_function(&full, f);
+        self
+    }
+
+    /// Runs one parameterised benchmark within the group.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.id);
+        self.criterion.bench_function(&full, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (kept for API compatibility; nothing to flush).
+    pub fn finish(self) {}
+}
+
+/// Identifier for a parameterised benchmark (`function/parameter`).
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function/parameter`.
+    pub fn new(function: &str, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{function}/{parameter}"),
+        }
+    }
+
+    /// Just the parameter, for single-function sweeps.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// How `iter_batched` amortises setup; all variants behave identically
+/// here (setup is always excluded from timing).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration input.
+    SmallInput,
+    /// Large per-iteration input.
+    LargeInput,
+    /// Fresh input per iteration.
+    PerIteration,
+}
+
+/// Timing loop handed to each benchmark closure.
+pub struct Bencher {
+    config: Criterion,
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    fn new(config: Criterion) -> Self {
+        Bencher {
+            config,
+            iters: 0,
+            elapsed: Duration::ZERO,
+        }
+    }
+
+    /// Times `routine` until the measurement budget is spent.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        self.run(|| (), |()| routine());
+    }
+
+    /// Times `routine` over inputs built by `setup`; setup time is not
+    /// counted.
+    pub fn iter_batched<I, O, S, R>(&mut self, setup: S, routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        self.run(setup, routine);
+    }
+
+    fn run<I, O, S, R>(&mut self, mut setup: S, mut routine: R)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        if self.config.test_mode {
+            black_box(routine(setup()));
+            self.iters = 1;
+            return;
+        }
+
+        let warm_up_end = Instant::now() + self.config.warm_up_time;
+        while Instant::now() < warm_up_end {
+            black_box(routine(setup()));
+        }
+
+        let measure_end = Instant::now() + self.config.measurement_time;
+        let mut iters = 0u64;
+        let mut elapsed = Duration::ZERO;
+        while iters < self.config.sample_size as u64 || Instant::now() < measure_end {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            elapsed += start.elapsed();
+            iters += 1;
+        }
+        self.iters = iters;
+        self.elapsed = elapsed;
+    }
+
+    fn report(&self, id: &str) {
+        if self.config.test_mode {
+            println!("test {id} ... ok (1 iteration, --test mode)");
+        } else if self.iters > 0 {
+            let mean_ns = self.elapsed.as_nanos() as f64 / self.iters as f64;
+            println!(
+                "{id}: {} ns/iter (mean over {} iterations)",
+                mean_ns.round(),
+                self.iters
+            );
+        } else {
+            println!("{id}: no iterations recorded");
+        }
+    }
+}
+
+/// Declares a benchmark group function, mirroring upstream's
+/// `name = ...; config = ...; targets = ...` form (and a positional
+/// form with default configuration).
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            criterion = criterion.configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Declares `main` running the given benchmark groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn test_mode() -> Criterion {
+        Criterion {
+            sample_size: 2,
+            warm_up_time: Duration::ZERO,
+            measurement_time: Duration::ZERO,
+            test_mode: true,
+        }
+    }
+
+    #[test]
+    fn test_mode_runs_exactly_once() {
+        let mut c = test_mode();
+        let mut runs = 0;
+        c.bench_function("smoke", |b| b.iter(|| runs += 1));
+        assert_eq!(runs, 1);
+    }
+
+    #[test]
+    fn groups_prefix_ids_and_forward_inputs() {
+        let mut c = test_mode();
+        let mut seen = 0;
+        let mut group = c.benchmark_group("grp");
+        group.bench_with_input(BenchmarkId::new("case", 27), &27, |b, &v| {
+            b.iter(|| seen = v)
+        });
+        group.finish();
+        assert_eq!(seen, 27);
+    }
+
+    #[test]
+    fn iter_batched_separates_setup_from_routine() {
+        let mut c = test_mode();
+        let mut total = 0;
+        c.bench_function("batched", |b| {
+            b.iter_batched(|| 21, |v| total = v * 2, BatchSize::SmallInput)
+        });
+        assert_eq!(total, 42);
+    }
+
+    #[test]
+    fn measured_mode_hits_the_sample_floor() {
+        let mut config = test_mode();
+        config.test_mode = false;
+        config.sample_size = 5;
+        let mut c = config;
+        let mut runs = 0u64;
+        c.bench_function("floor", |b| b.iter(|| runs += 1));
+        assert!(runs >= 5);
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("f", 3).id, "f/3");
+        assert_eq!(BenchmarkId::from_parameter("p").id, "p");
+    }
+}

@@ -1,0 +1,88 @@
+//! Collection strategies: `collection::vec` and `collection::btree_map`.
+
+use crate::rng::TestRng;
+use crate::strategy::Strategy;
+use std::collections::BTreeMap;
+use std::ops::Range;
+
+/// Vectors of `element` values with a length drawn from `size`.
+pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+    VecStrategy { element, size }
+}
+
+/// Strategy returned by [`vec`].
+#[derive(Debug, Clone)]
+pub struct VecStrategy<S> {
+    element: S,
+    size: Range<usize>,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn new_value(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let span = self.size.end.saturating_sub(self.size.start);
+        let len = self.size.start + rng.usize_below(span);
+        (0..len).map(|_| self.element.new_value(rng)).collect()
+    }
+}
+
+/// Maps of `keys → values` with roughly `size` entries (duplicate keys
+/// coalesce, exactly as upstream's btree_map strategy behaves).
+pub fn btree_map<K: Strategy, V: Strategy>(
+    keys: K,
+    values: V,
+    size: Range<usize>,
+) -> BTreeMapStrategy<K, V> {
+    BTreeMapStrategy { keys, values, size }
+}
+
+/// Strategy returned by [`btree_map`].
+#[derive(Debug, Clone)]
+pub struct BTreeMapStrategy<K, V> {
+    keys: K,
+    values: V,
+    size: Range<usize>,
+}
+
+impl<K, V> Strategy for BTreeMapStrategy<K, V>
+where
+    K: Strategy,
+    K::Value: Ord,
+    V: Strategy,
+{
+    type Value = BTreeMap<K::Value, V::Value>;
+
+    fn new_value(&self, rng: &mut TestRng) -> BTreeMap<K::Value, V::Value> {
+        let span = self.size.end.saturating_sub(self.size.start);
+        let len = self.size.start + rng.usize_below(span);
+        (0..len)
+            .map(|_| (self.keys.new_value(rng), self.values.new_value(rng)))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arbitrary::any;
+
+    #[test]
+    fn vec_length_stays_in_range() {
+        let strat = vec(any::<u8>(), 2..10);
+        let mut rng = TestRng::from_seed(21);
+        for _ in 0..300 {
+            let v = strat.new_value(&mut rng);
+            assert!((2..10).contains(&v.len()));
+        }
+    }
+
+    #[test]
+    fn btree_map_respects_size_ceiling() {
+        let strat = btree_map("[a-z]{1,4}", any::<i32>(), 0..8);
+        let mut rng = TestRng::from_seed(22);
+        for _ in 0..300 {
+            assert!(strat.new_value(&mut rng).len() < 8);
+        }
+    }
+}

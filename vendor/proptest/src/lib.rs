@@ -1,0 +1,153 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Implements the subset of the proptest API this workspace's property
+//! tests use: the `proptest!` macro, `Strategy` with `prop_map` /
+//! `prop_recursive` / `boxed`, `any::<T>()`, range and char-class string
+//! strategies, tuples, `Just`, `prop_oneof!`, and the `collection::vec` /
+//! `collection::btree_map` builders.
+//!
+//! Differences from upstream, by design:
+//!
+//! * Generation is fully deterministic: each `(test name, case index)`
+//!   pair derives its RNG seed, so failures reproduce exactly on every
+//!   machine with no persistence files.
+//! * There is **no shrinking** — a failing case reports its inputs via
+//!   the panic message and the case index instead.
+//! * The default case count is 64 (upstream: 256) to keep the tier-1
+//!   gate fast; `ProptestConfig::with_cases` overrides it per block.
+
+pub mod arbitrary;
+pub mod collection;
+pub mod rng;
+pub mod strategy;
+pub mod string;
+pub mod test_runner;
+
+/// The glob-import surface: `use proptest::prelude::*;`.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Defines `#[test]` functions whose arguments are drawn from strategies.
+///
+/// Supports the upstream grammar used in this workspace: an optional
+/// `#![proptest_config(...)]` header followed by `fn name(pat in strategy,
+/// ...) { body }` items (any outer attributes on the functions are kept).
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($config); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! {
+            ($crate::test_runner::ProptestConfig::default()); $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($config:expr); $($(#[$meta:meta])* fn $name:ident(
+        $($arg:pat_param in $strat:expr),+ $(,)?
+    ) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $config;
+                let runner = $crate::test_runner::TestRunner::new(config, stringify!($name));
+                for case in 0..runner.cases() {
+                    let mut rng = runner.rng_for(case);
+                    $(let $arg =
+                        $crate::strategy::Strategy::new_value(&($strat), &mut rng);)+
+                    let mut body = move ||
+                        -> ::std::result::Result<(), $crate::test_runner::TestCaseError> {
+                        $body
+                        ::std::result::Result::Ok(())
+                    };
+                    if let ::std::result::Result::Err(e) = body() {
+                        panic!(
+                            "proptest `{}` failed at case {} of {}: {}",
+                            stringify!($name),
+                            case,
+                            runner.cases(),
+                            e
+                        );
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// `prop_assert!`: like `assert!` but reports through the proptest
+/// runner (here: an early `Err` return that the runner turns into a
+/// panic annotated with the failing case index).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)*)),
+            );
+        }
+    };
+}
+
+/// `prop_assert_eq!`: equality assertion inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left == *right,
+            "assertion failed: `{} == {}` (left: `{:?}`, right: `{:?}`)",
+            stringify!($left), stringify!($right), left, right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left == *right,
+            "assertion failed: `{} == {}` (left: `{:?}`, right: `{:?}`): {}",
+            stringify!($left), stringify!($right), left, right, format!($($fmt)*)
+        );
+    }};
+}
+
+/// `prop_assert_ne!`: inequality assertion inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left != *right,
+            "assertion failed: `{} != {}` (both: `{:?}`)",
+            stringify!($left), stringify!($right), left
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left != *right,
+            "assertion failed: `{} != {}` (both: `{:?}`): {}",
+            stringify!($left), stringify!($right), left, format!($($fmt)*)
+        );
+    }};
+}
+
+/// Uniform choice between strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}

@@ -1,0 +1,255 @@
+//! Core [`Strategy`] trait and the combinators the workspace tests use.
+
+use crate::rng::TestRng;
+use std::ops::Range;
+use std::sync::Arc;
+
+/// A recipe for generating values of `Self::Value`.
+///
+/// Unlike upstream proptest there is no value tree and no shrinking: a
+/// strategy here is just a deterministic sampler over a [`TestRng`].
+pub trait Strategy {
+    /// The type of value this strategy generates.
+    type Value;
+
+    /// Draws one value from the strategy.
+    fn new_value(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transforms generated values with `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { source: self, f }
+    }
+
+    /// Type-erases the strategy behind a cheaply cloneable handle.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy {
+            sample: Arc::new(move |rng| self.new_value(rng)),
+        }
+    }
+
+    /// Builds recursive structures: `recurse` receives the strategy for
+    /// the previous depth and returns the strategy for one level deeper.
+    ///
+    /// `depth` bounds nesting; `_desired_size` and `_expected_branch`
+    /// are accepted for upstream signature compatibility but unused —
+    /// collection sizes already bound the footprint here.
+    fn prop_recursive<R, F>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch: u32,
+        recurse: F,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+        R: Strategy<Value = Self::Value> + 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> R,
+    {
+        let mut strat = self.boxed();
+        for _ in 0..depth {
+            let deeper = recurse(strat.clone()).boxed();
+            // Each level flips between "stop here" and "go deeper", so
+            // expected nesting stays shallow while still exercising the
+            // full `depth` on some cases.
+            strat = Union::new(vec![strat, deeper]).boxed();
+        }
+        strat
+    }
+}
+
+/// Type-erased, cloneable strategy handle (`Strategy::boxed`).
+pub struct BoxedStrategy<V> {
+    sample: Arc<dyn Fn(&mut TestRng) -> V>,
+}
+
+impl<V> Clone for BoxedStrategy<V> {
+    fn clone(&self) -> Self {
+        BoxedStrategy {
+            sample: Arc::clone(&self.sample),
+        }
+    }
+}
+
+impl<V> std::fmt::Debug for BoxedStrategy<V> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("BoxedStrategy")
+    }
+}
+
+impl<V> Strategy for BoxedStrategy<V> {
+    type Value = V;
+
+    fn new_value(&self, rng: &mut TestRng) -> V {
+        (self.sample)(rng)
+    }
+}
+
+/// Always generates a clone of the wrapped value.
+#[derive(Debug, Clone)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn new_value(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// `Strategy::prop_map` adapter.
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    source: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+
+    fn new_value(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.source.new_value(rng))
+    }
+}
+
+/// Uniform choice between arms (`prop_oneof!`).
+#[derive(Debug, Clone)]
+pub struct Union<V> {
+    arms: Vec<BoxedStrategy<V>>,
+}
+
+impl<V> Union<V> {
+    /// Builds a union; panics on an empty arm list.
+    pub fn new(arms: Vec<BoxedStrategy<V>>) -> Self {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        Union { arms }
+    }
+}
+
+impl<V> Strategy for Union<V> {
+    type Value = V;
+
+    fn new_value(&self, rng: &mut TestRng) -> V {
+        let arm = rng.usize_below(self.arms.len());
+        self.arms[arm].new_value(rng)
+    }
+}
+
+/// Integer `Range` strategies: `0u64..1_000`, `-5_000i32..5_000`, ...
+macro_rules! int_range_strategy {
+    ($($ty:ty),+ $(,)?) => {$(
+        impl Strategy for Range<$ty> {
+            type Value = $ty;
+
+            fn new_value(&self, rng: &mut TestRng) -> $ty {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + rng.below(span) as i128) as $ty
+            }
+        }
+    )+};
+}
+
+int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+
+    fn new_value(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty range strategy");
+        self.start + rng.f64_unit() * (self.end - self.start)
+    }
+}
+
+/// `"[a-z_]{1,12}"`-style char-class string patterns generate `String`s.
+impl Strategy for &'static str {
+    type Value = String;
+
+    fn new_value(&self, rng: &mut TestRng) -> String {
+        crate::string::sample_pattern(self, rng)
+    }
+}
+
+/// Tuple strategies generate element-wise, left to right.
+macro_rules! tuple_strategy {
+    ($($name:ident : $idx:tt),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.new_value(rng),)+)
+            }
+        }
+    };
+}
+
+tuple_strategy!(A: 0, B: 1);
+tuple_strategy!(A: 0, B: 1, C: 2);
+tuple_strategy!(A: 0, B: 1, C: 2, D: 3);
+tuple_strategy!(A: 0, B: 1, C: 2, D: 3, E: 4);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranges_honor_bounds() {
+        let mut rng = TestRng::from_seed(1);
+        for _ in 0..500 {
+            let v = (-5_000i32..5_000).new_value(&mut rng);
+            assert!((-5_000..5_000).contains(&v));
+            let u = (600u32..2200).new_value(&mut rng);
+            assert!((600..2200).contains(&u));
+            let f = (-1.0e12f64..1.0e12).new_value(&mut rng);
+            assert!((-1.0e12..1.0e12).contains(&f));
+        }
+    }
+
+    #[test]
+    fn map_and_union_compose() {
+        let strat = Union::new(vec![
+            Just(1i32).boxed(),
+            (10i32..20).prop_map(|v| v * 2).boxed(),
+        ]);
+        let mut rng = TestRng::from_seed(2);
+        for _ in 0..200 {
+            let v = strat.new_value(&mut rng);
+            assert!(v == 1 || (20..40).contains(&v));
+        }
+    }
+
+    #[test]
+    fn recursive_strategies_terminate() {
+        #[derive(Debug)]
+        enum Tree {
+            Leaf,
+            Node(Vec<Tree>),
+        }
+        fn depth(t: &Tree) -> usize {
+            match t {
+                Tree::Leaf => 0,
+                Tree::Node(kids) => 1 + kids.iter().map(depth).max().unwrap_or(0),
+            }
+        }
+        let strat = (0i32..10)
+            .prop_map(|_| Tree::Leaf)
+            .prop_recursive(3, 64, 4, |inner| {
+                crate::collection::vec(inner, 0..4).prop_map(Tree::Node)
+            });
+        let mut rng = TestRng::from_seed(3);
+        for _ in 0..100 {
+            assert!(depth(&strat.new_value(&mut rng)) <= 3);
+        }
+    }
+}

@@ -1,0 +1,115 @@
+//! Char-class string patterns: the `"[a-z_]{1,12}"` subset of the
+//! regex grammar that upstream proptest accepts for `&str` strategies.
+
+use crate::rng::TestRng;
+
+/// Samples a string from `pattern`, which must have the shape
+/// `[class]{m}` or `[class]{m,n}` where `class` mixes literal chars and
+/// `a-z`-style ranges. Repetition bounds are inclusive, as in regex.
+///
+/// # Panics
+///
+/// Panics on any pattern outside that grammar — loudly, so a new test
+/// using unsupported regex syntax fails at first run rather than
+/// generating garbage.
+pub fn sample_pattern(pattern: &str, rng: &mut TestRng) -> String {
+    let (alphabet, min, max) = parse(pattern);
+    let len = min + rng.usize_below(max - min + 1);
+    (0..len)
+        .map(|_| alphabet[rng.usize_below(alphabet.len())])
+        .collect()
+}
+
+fn unsupported(pattern: &str) -> ! {
+    panic!("unsupported string pattern {pattern:?}: expected \"[class]{{m,n}}\"")
+}
+
+fn parse(pattern: &str) -> (Vec<char>, usize, usize) {
+    let Some(rest) = pattern.strip_prefix('[') else {
+        unsupported(pattern)
+    };
+    let Some((class, counts)) = rest.split_once(']') else {
+        unsupported(pattern)
+    };
+
+    let mut alphabet = Vec::new();
+    let chars: Vec<char> = class.chars().collect();
+    let mut i = 0;
+    while i < chars.len() {
+        if i + 2 < chars.len() && chars[i + 1] == '-' {
+            assert!(
+                chars[i] <= chars[i + 2],
+                "descending char range in {pattern:?}"
+            );
+            alphabet.extend(chars[i]..=chars[i + 2]);
+            i += 3;
+        } else {
+            alphabet.push(chars[i]);
+            i += 1;
+        }
+    }
+    assert!(!alphabet.is_empty(), "empty char class in {pattern:?}");
+
+    let Some(counts) = counts.strip_prefix('{').and_then(|c| c.strip_suffix('}')) else {
+        unsupported(pattern)
+    };
+    let (min, max) = match counts.split_once(',') {
+        Some((m, n)) => (m, n),
+        None => (counts, counts),
+    };
+    let Ok(min) = min.trim().parse::<usize>() else {
+        unsupported(pattern)
+    };
+    let Ok(max) = max.trim().parse::<usize>() else {
+        unsupported(pattern)
+    };
+    assert!(min <= max, "inverted repetition bounds in {pattern:?}");
+    (alphabet, min, max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lengths_are_inclusive() {
+        let mut rng = TestRng::from_seed(31);
+        let mut saw_min = false;
+        let mut saw_max = false;
+        for _ in 0..500 {
+            let s = sample_pattern("[a-z]{1,3}", &mut rng);
+            assert!((1..=3).contains(&s.len()));
+            saw_min |= s.len() == 1;
+            saw_max |= s.len() == 3;
+            assert!(s.chars().all(|c| c.is_ascii_lowercase()));
+        }
+        assert!(
+            saw_min && saw_max,
+            "both repetition bounds should be reachable"
+        );
+    }
+
+    #[test]
+    fn classes_mix_ranges_and_literals() {
+        let mut rng = TestRng::from_seed(32);
+        for _ in 0..500 {
+            let s = sample_pattern("[a-z_:.]{1,16}", &mut rng);
+            assert!(s
+                .chars()
+                .all(|c| c.is_ascii_lowercase() || "_:.".contains(c)));
+        }
+    }
+
+    #[test]
+    fn exact_repetition_count() {
+        let mut rng = TestRng::from_seed(33);
+        assert_eq!(sample_pattern("[x]{5}", &mut rng).len(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "unsupported string pattern")]
+    fn rejects_arbitrary_regex() {
+        let mut rng = TestRng::from_seed(34);
+        let _ = sample_pattern("foo|bar", &mut rng);
+    }
+}

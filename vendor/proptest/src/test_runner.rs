@@ -1,0 +1,105 @@
+//! Per-test configuration and the case-loop runner behind `proptest!`.
+
+use crate::rng::TestRng;
+use std::fmt;
+
+/// Block-level configuration (`#![proptest_config(...)]`).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of cases generated per property.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // Upstream defaults to 256; 64 keeps the tier-1 gate quick
+        // while still exercising a meaningful slice of each domain.
+        ProptestConfig { cases: 64 }
+    }
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// Failure raised by `prop_assert*` inside a property body.
+#[derive(Debug, Clone)]
+pub struct TestCaseError {
+    message: String,
+}
+
+impl TestCaseError {
+    /// Wraps an assertion message.
+    pub fn fail(message: impl Into<String>) -> Self {
+        TestCaseError {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+/// Drives the case loop for one property.
+#[derive(Debug)]
+pub struct TestRunner {
+    cases: u32,
+    seed: u64,
+}
+
+impl TestRunner {
+    /// Seeds the runner from the property's name so each test has an
+    /// independent but reproducible stream.
+    pub fn new(config: ProptestConfig, test_name: &str) -> Self {
+        // FNV-1a over the name: stable across runs and platforms.
+        let mut seed: u64 = 0xCBF2_9CE4_8422_2325;
+        for b in test_name.bytes() {
+            seed ^= b as u64;
+            seed = seed.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        TestRunner {
+            cases: config.cases,
+            seed,
+        }
+    }
+
+    /// Number of cases to run.
+    pub fn cases(&self) -> u32 {
+        self.cases
+    }
+
+    /// The RNG for one case: reproducible from `(test name, index)`.
+    pub fn rng_for(&self, case: u32) -> TestRng {
+        TestRng::from_seed(
+            self.seed
+                .wrapping_add((case as u64).wrapping_mul(0x2545_F491_4F6C_DD1D)),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runner_streams_are_reproducible() {
+        let a = TestRunner::new(ProptestConfig::with_cases(8), "some_property");
+        let b = TestRunner::new(ProptestConfig::with_cases(8), "some_property");
+        for case in 0..8 {
+            assert_eq!(a.rng_for(case).next_u64(), b.rng_for(case).next_u64());
+        }
+    }
+
+    #[test]
+    fn different_tests_get_different_streams() {
+        let a = TestRunner::new(ProptestConfig::default(), "prop_a");
+        let b = TestRunner::new(ProptestConfig::default(), "prop_b");
+        assert_ne!(a.rng_for(0).next_u64(), b.rng_for(0).next_u64());
+    }
+}

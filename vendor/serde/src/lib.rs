@@ -1,0 +1,15 @@
+//! Offline stand-in for `serde`.
+//!
+//! Exposes the `Serialize`/`Deserialize` trait names (so `use serde::…`
+//! resolves) and re-exports the no-op derive macros from the sibling
+//! `serde_derive` stub. The workspace treats serde derives as a
+//! forward-compatibility annotation only; no code path serialises
+//! through serde at runtime, so marker traits are sufficient here.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker counterpart of `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker counterpart of `serde::Deserialize`.
+pub trait Deserialize<'de> {}

@@ -1,0 +1,22 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The simulator only uses `#[derive(Serialize, Deserialize)]` as a
+//! declaration of intent — nothing in the workspace serialises through
+//! serde at runtime. The real crates are unavailable in the offline
+//! build environment, so these derives expand to empty token streams;
+//! swapping the workspace dependency back to crates.io restores full
+//! serde behaviour without touching any annotated type.
+
+use proc_macro::TokenStream;
+
+/// Accepts (and ignores) `#[derive(Serialize)]` and `#[serde(...)]`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accepts (and ignores) `#[derive(Deserialize)]` and `#[serde(...)]`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
