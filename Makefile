@@ -3,9 +3,14 @@
 
 CARGO ?= cargo
 
-.PHONY: ci build test fmt fmt-fix clippy bench-smoke
+.PHONY: ci build test fmt fmt-fix clippy bench-smoke fault-matrix
 
-ci: build test fmt clippy bench-smoke
+ci: build test fmt clippy fault-matrix bench-smoke
+
+# Seeds for the fault-injection suite. Debug builds keep the
+# batched-vs-eager equivalence checker armed, so each seed also
+# cross-checks the two flush policies against each other.
+FAULT_SEEDS ?= 1 2 3 5 8
 
 build:
 	$(CARGO) build --release
@@ -22,6 +27,13 @@ fmt-fix:
 clippy:
 	$(CARGO) clippy --workspace --all-targets -- -D warnings
 
+fault-matrix:
+	for seed in $(FAULT_SEEDS); do \
+		echo "--- fault matrix, seed $$seed ---"; \
+		FAULT_SEED=$$seed $(CARGO) test -q --test fault_matrix || exit 1; \
+	done
+
 bench-smoke:
 	$(CARGO) bench -p rch-bench --bench fig07_handling_time_27 -- --test
 	$(CARGO) bench -p rch-bench --bench migration_batching -- --test
+	$(CARGO) bench -p rch-bench --bench robustness_faults -- --test

@@ -234,14 +234,24 @@ impl Atms {
         }
 
         let record = self.create_record(&intent.component, handled);
-        self.stack
-            .task_mut(task_id)
-            .expect("task just ensured")
-            .push(record);
+        self.push_record(task_id, &affinity, record);
         StartResult {
             record,
             task: task_id,
             disposition: StartDisposition::CreatedNew,
+        }
+    }
+
+    /// Pushes `record` onto `task_id`, recreating the task if it vanished
+    /// in between (keeps the starter panic-free on the hot path).
+    fn push_record(&mut self, task_id: TaskId, affinity: &str, record: ActivityRecordId) {
+        let task_id = if self.stack.task(task_id).is_some() {
+            task_id
+        } else {
+            self.stack.create_task(affinity)
+        };
+        if let Some(task) = self.stack.task_mut(task_id) {
+            task.push(record);
         }
     }
 
@@ -264,10 +274,9 @@ impl Atms {
         if let Some(shadow_id) = shadow {
             // Reorder it to the top, remove its shadow state, and flip the
             // previous top into the shadow state.
-            self.stack
-                .task_mut(task_id)
-                .expect("task exists")
-                .move_to_top(shadow_id);
+            if let Some(task) = self.stack.task_mut(task_id) {
+                task.move_to_top(shadow_id);
+            }
             if let Some(r) = self.records.get_mut(&shadow_id) {
                 r.set_shadow(false, now);
                 r.config = self.global_config.clone();
@@ -291,10 +300,8 @@ impl Atms {
         // component (the stock same-as-top test is bypassed for SUNNY),
         // push it, and shadow the previous top.
         let record = self.create_record(&intent.component, handled);
-        self.stack
-            .task_mut(task_id)
-            .expect("task exists")
-            .push(record);
+        let affinity = affinity_of(&intent.component);
+        self.push_record(task_id, &affinity, record);
         if let Some(prev) = current_top {
             if let Some(r) = self.records.get_mut(&prev) {
                 r.set_shadow(true, now);
@@ -394,6 +401,51 @@ impl Atms {
         if let Some(tid) = emptied {
             self.stack.remove_task(tid);
         }
+        Ok(())
+    }
+
+    /// Rolls back a SUNNY start whose sunny instance could not be brought
+    /// up (RCHDroid's fallback-restart path): the record the starter just
+    /// put on top is destroyed, and `previous_top` — the record that was
+    /// foreground before the start — is un-shadowed, resumed and
+    /// reordered back to the top. After this the stack looks exactly as
+    /// it did before [`Atms::start_activity_with_mask`] ran, so it never
+    /// references an instance that failed to come up.
+    ///
+    /// # Errors
+    ///
+    /// [`AtmsError::UnknownRecord`] if `previous_top` is gone.
+    pub fn rollback_sunny_start(
+        &mut self,
+        start: &StartResult,
+        previous_top: ActivityRecordId,
+        now: SimTime,
+    ) -> Result<(), AtmsError> {
+        match start.disposition {
+            StartDisposition::CreatedNew | StartDisposition::FlippedShadow { .. } => {
+                if start.record != previous_top {
+                    let _ = self.destroy_record(start.record);
+                }
+            }
+            StartDisposition::ReusedTop => {}
+        }
+        let r = self
+            .records
+            .get_mut(&previous_top)
+            .ok_or(AtmsError::UnknownRecord(previous_top))?;
+        r.set_shadow(false, now);
+        r.state = RecordState::Resumed;
+        let affinity = affinity_of(r.component());
+        let task_id = self
+            .stack
+            .task_by_affinity(&affinity)
+            .unwrap_or_else(|| self.stack.create_task(&affinity));
+        if let Some(task) = self.stack.task_mut(task_id) {
+            if !task.move_to_top(previous_top) {
+                task.push(previous_top);
+            }
+        }
+        self.stack.move_task_to_front(task_id);
         Ok(())
     }
 
@@ -621,6 +673,47 @@ mod tests {
             Err(AtmsError::UnknownRecord(bogus))
         );
         assert!(a.destroy_record(bogus).is_err());
+    }
+
+    #[test]
+    fn rollback_of_created_sunny_start_restores_the_stack() {
+        let mut a = atms();
+        let first = a.start_activity(&Intent::new("com.x/.Main")).record;
+        let start = a.start_activity_at(&Intent::sunny("com.x/.Main"), SimTime::from_secs(1));
+        assert!(a.record(first).unwrap().is_shadow());
+
+        a.rollback_sunny_start(&start, first, SimTime::from_secs(1))
+            .unwrap();
+        assert_eq!(a.foreground_record(), Some(first));
+        assert!(!a.record(first).unwrap().is_shadow());
+        assert_eq!(a.record(first).unwrap().state, RecordState::Resumed);
+        assert_eq!(a.alive_record_count(), 1, "the stillborn record is gone");
+        assert!(a.shadow_records().is_empty());
+        assert_eq!(a.stack().top_task().unwrap().len(), 1, "single top");
+    }
+
+    #[test]
+    fn rollback_of_flipped_sunny_start_restores_the_stack() {
+        let mut a = atms();
+        let r0 = a.start_activity(&Intent::new("com.x/.Main")).record;
+        let r1 = a
+            .start_activity_at(&Intent::sunny("com.x/.Main"), SimTime::from_secs(1))
+            .record;
+        // Second change coin-flips r0 back to the top; r1 becomes shadow.
+        let flip = a.start_activity_at(&Intent::sunny("com.x/.Main"), SimTime::from_secs(2));
+        assert_eq!(flip.record, r0);
+
+        // The flip could not be brought up on the thread side: roll back.
+        a.rollback_sunny_start(&flip, r1, SimTime::from_secs(2))
+            .unwrap();
+        assert_eq!(a.foreground_record(), Some(r1), "previous top returns");
+        assert!(!a.record(r1).unwrap().is_shadow());
+        assert!(
+            !a.record(r0).unwrap().is_alive(),
+            "the dead flip target left the stack"
+        );
+        assert!(a.shadow_records().is_empty(), "no shadow-record leak");
+        assert_eq!(a.stack().top_task().unwrap().len(), 1);
     }
 
     #[test]

@@ -145,14 +145,12 @@ impl DirtyQueue {
 
     /// Drains every pending entry in first-invalidation order.
     pub fn drain(&mut self) -> Vec<DirtyEntry> {
+        // Order and entries stay in sync by construction; a desynced view
+        // is silently skipped rather than panicking the handling path.
         let drained = self
             .order
             .drain(..)
-            .map(|view| {
-                self.entries
-                    .remove(&view)
-                    .expect("queue order and entries stay in sync")
-            })
+            .filter_map(|view| self.entries.remove(&view))
             .collect();
         self.deadlines.clear();
         drained

@@ -4,12 +4,16 @@
 use crate::batch::FlushPolicy;
 use crate::gc::{GcDecision, GcPolicy, ShadowAgeTracker};
 use crate::migration::{MigrationEngine, MigrationReport};
+use crate::supervise::{FaultLog, FaultRecord, MigrationError, MigrationWatchdog};
 use core::fmt;
 use droidsim_app::ActivityInstanceId;
 use droidsim_app::{ActivityState, ActivityThread, AppModel, AsyncWork, ThreadError};
-use droidsim_atms::{Atms, AtmsError, ConfigDecision, Intent, StartDisposition};
+use droidsim_atms::{Atms, AtmsError, ConfigDecision, Intent, RecordState, StartDisposition};
+use droidsim_faults::{FaultPlan, FaultSite};
 use droidsim_kernel::SimTime;
+use droidsim_metrics::FaultMetrics;
 use droidsim_view::ViewError;
+use std::panic::{self, AssertUnwindSafe};
 
 /// Which path a runtime change took.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -23,6 +27,9 @@ pub enum ChangeKind {
     Init,
     /// Steady state: the coupled shadow instance was coin-flipped back.
     Flip,
+    /// A fault degraded the change to the stock restart path (rung 2 of
+    /// the ladder): saved state → destroy → recreate, coupling abandoned.
+    FallbackRestart,
 }
 
 /// The outcome of one handled runtime change.
@@ -39,6 +46,43 @@ pub struct ChangeOutcome {
     pub mapped_views: usize,
     /// The view count of the foreground tree (cost-model input).
     pub view_count: usize,
+    /// The fault that forced a [`ChangeKind::FallbackRestart`], if it is
+    /// attributable to a named injection site.
+    pub fault: Option<FaultSite>,
+}
+
+/// What one async delivery amounted to under supervision.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AsyncDelivery {
+    /// The callback ran; nothing needed migrating (foreground delivery,
+    /// or the lazy-migration ablation is off).
+    Delivered,
+    /// The callback ran on the shadow and its updates flushed.
+    Migrated(MigrationReport),
+    /// The callback panicked (or an injected `async-callback-panic`
+    /// struck); the delivery was dropped and the fault contained.
+    CallbackPanicked,
+    /// The callback's captured instance no longer exists (it died in a
+    /// fallback restart or a GC pass); the supervisor dropped the stale
+    /// delivery instead of replaying the stock NullPointerException.
+    DroppedStale,
+    /// Migration faulted uncontainably; the foreground activity was
+    /// restarted through the stock path.
+    FallbackRestart {
+        /// The named injection site, when the fault has one.
+        site: Option<FaultSite>,
+    },
+}
+
+impl AsyncDelivery {
+    /// The migration report, when this delivery flushed one (keeps the
+    /// happy-path call sites shaped like the old `Option` return).
+    pub fn report(&self) -> Option<MigrationReport> {
+        match self {
+            AsyncDelivery::Migrated(r) => Some(*r),
+            _ => None,
+        }
+    }
 }
 
 /// Handler errors.
@@ -52,6 +96,12 @@ pub enum HandlerError {
     Atms(AtmsError),
     /// View-system failure during coupling/migration.
     View(ViewError),
+    /// Migration failure the ladder could not absorb below rung 3 (an
+    /// app-logic crash stock Android would die on too).
+    Migration(MigrationError),
+    /// A protocol invariant the handler relies on was violated (these
+    /// replace what used to be `unreachable!` panics).
+    Internal(&'static str),
 }
 
 impl fmt::Display for HandlerError {
@@ -61,6 +111,8 @@ impl fmt::Display for HandlerError {
             HandlerError::Thread(e) => write!(f, "{e}"),
             HandlerError::Atms(e) => write!(f, "{e}"),
             HandlerError::View(e) => write!(f, "{e}"),
+            HandlerError::Migration(e) => write!(f, "{e}"),
+            HandlerError::Internal(what) => write!(f, "handler invariant violated: {what}"),
         }
     }
 }
@@ -82,6 +134,12 @@ impl From<AtmsError> for HandlerError {
 impl From<ViewError> for HandlerError {
     fn from(e: ViewError) -> Self {
         HandlerError::View(e)
+    }
+}
+
+impl From<MigrationError> for HandlerError {
+    fn from(e: MigrationError) -> Self {
+        HandlerError::Migration(e)
     }
 }
 
@@ -127,6 +185,17 @@ pub struct RchDroid {
     tracker: ShadowAgeTracker,
     engine: MigrationEngine,
     options: RchOptions,
+    /// Fault schedule probed on the change path (sites
+    /// `bundle-corruption`, `async-callback-panic`,
+    /// `allocation-failure`). The engine holds a clone probing the
+    /// *disjoint* flush-path sites, so per-site streams stay aligned.
+    faults: FaultPlan,
+    fault_log: FaultLog,
+    /// Instances THIS handler destroyed (fallback restarts, shadow
+    /// releases, GC passes). A late async callback bound to one of these
+    /// is dropped as rung-1 containment; a callback to an instance the
+    /// *system* reclaimed outside the protocol still crashes like stock.
+    supervised_dead: std::collections::HashSet<ActivityInstanceId>,
 }
 
 impl RchDroid {
@@ -146,7 +215,39 @@ impl RchDroid {
             tracker: ShadowAgeTracker::new(policy),
             engine: MigrationEngine::with_flush_policy(options.flush_policy),
             options,
+            faults: FaultPlan::disarmed(),
+            fault_log: FaultLog::default(),
+            supervised_dead: std::collections::HashSet::new(),
         }
+    }
+
+    /// Arms (or disarms) the fault schedule. The plan is cloned into the
+    /// migration engine too; that is deterministic because the handler
+    /// and the engine probe disjoint site sets and every site draws from
+    /// its own PRNG stream.
+    pub fn arm_faults(&mut self, plan: FaultPlan) {
+        self.engine.arm_faults(plan.clone());
+        self.faults = plan;
+    }
+
+    /// Replaces the migration watchdog's per-flush budget.
+    pub fn set_watchdog(&mut self, watchdog: MigrationWatchdog) {
+        self.engine.set_watchdog(watchdog);
+    }
+
+    /// Lifetime fault metrics: handler-path and flush-path faults merged.
+    pub fn fault_metrics(&self) -> FaultMetrics {
+        let mut merged = self.fault_log.metrics().clone();
+        merged.merge(self.engine.fault_metrics());
+        merged
+    }
+
+    /// Drains the recent fault records from both the handler and the
+    /// engine (the device layer turns these into logcat events).
+    pub fn take_fault_records(&mut self) -> Vec<FaultRecord> {
+        let mut records = self.fault_log.drain();
+        records.extend(self.engine.take_fault_records());
+        records
     }
 
     /// The GC policy in force.
@@ -199,20 +300,35 @@ impl RchDroid {
     }
 
     /// Frame-boundary hook: flushes the batched queue if its count or
-    /// deadline trigger is due at `now`. Cheap no-op otherwise.
+    /// deadline trigger is due at `now`. Cheap no-op otherwise. A flush
+    /// fault degrades through the ladder: the foreground activity is
+    /// restarted via the stock path instead of erroring out.
     ///
     /// # Errors
     ///
-    /// Thread/view errors while draining.
+    /// Thread/view errors while draining, or a rung-3 migration error.
     pub fn on_frame_tick(
         &mut self,
         thread: &mut ActivityThread,
+        atms: &mut Atms,
+        model: &dyn AppModel,
         now: SimTime,
     ) -> Result<Option<MigrationReport>, HandlerError> {
         if !self.engine.flush_due(now) {
             return Ok(None);
         }
-        self.flush_pending_migrations(thread)
+        match self.flush_pending_migrations(thread) {
+            Ok(report) => Ok(report),
+            Err(HandlerError::Migration(e)) if !e.is_app_crash() => {
+                if let Some(foreground) = thread.current_sunny() {
+                    self.fallback_restart(thread, atms, model, foreground, e.site(), now)?;
+                } else {
+                    self.engine.discard_pending();
+                }
+                Ok(None)
+            }
+            Err(e) => Err(self.escalate(e)),
+        }
     }
 
     /// Handles a runtime configuration change for the foreground activity
@@ -226,7 +342,10 @@ impl RchDroid {
     /// # Errors
     ///
     /// [`HandlerError::NoForegroundActivity`] when nothing is in the
-    /// foreground; otherwise propagated thread/ATMS/view errors.
+    /// foreground; otherwise propagated thread/ATMS/view errors. Handling
+    /// faults never surface as errors here — the degradation ladder
+    /// absorbs them into a [`ChangeKind::FallbackRestart`] outcome; only
+    /// rung-3 app-logic crashes propagate.
     pub fn handle_configuration_change(
         &mut self,
         thread: &mut ActivityThread,
@@ -252,6 +371,7 @@ impl RchDroid {
                     shadow_instance: thread.current_shadow(),
                     mapped_views: 0,
                     view_count,
+                    fault: None,
                 });
             }
             ConfigDecision::HandledByApp(_) => {
@@ -264,18 +384,28 @@ impl RchDroid {
                     shadow_instance: thread.current_shadow(),
                     mapped_views: 0,
                     view_count,
+                    fault: None,
                 });
             }
             ConfigDecision::Relaunch(_) => {
-                unreachable!("prevent_relaunch=true never yields Relaunch")
+                return Err(HandlerError::Internal(
+                    "prevent_relaunch=true never yields Relaunch",
+                ));
             }
             ConfigDecision::PreventedRelaunch(_) => {}
         }
 
         // A real change is about to swap shadow/sunny roles: drain any
         // batched migrations first, while the queue's direction is still
-        // the one its entries were recorded under.
-        self.flush_pending_migrations(thread)?;
+        // the one its entries were recorded under. A flush fault here
+        // degrades the whole change to the stock restart path.
+        match self.flush_pending_migrations(thread) {
+            Ok(_) => {}
+            Err(HandlerError::Migration(e)) if !e.is_app_crash() => {
+                return self.fallback_restart(thread, atms, model, old_instance, e.site(), now);
+            }
+            Err(e) => return Err(self.escalate(e)),
+        }
 
         // Ablation: with coin-flipping disabled, release any existing
         // shadow so the starter's search finds nothing and every change
@@ -293,6 +423,24 @@ impl RchDroid {
         thread.enter_shadow(old_instance, model)?;
         self.tracker.note_shadow_entry(now);
 
+        // Fault site `bundle-corruption`: the snapshot parcel is lost.
+        // The sunny instance cannot restore from it, so the change falls
+        // back to a stock restart — launched without saved state, exactly
+        // what stock Android does when a parcel fails to unmarshal.
+        if self.faults.should_inject(FaultSite::BundleCorruption) {
+            if let Ok(activity) = thread.instance_mut(old_instance) {
+                activity.shadow_bundle = None;
+            }
+            return self.fallback_restart(
+                thread,
+                atms,
+                model,
+                old_instance,
+                Some(FaultSite::BundleCorruption),
+                now,
+            );
+        }
+
         // Step ②: sunny-start through the ATMS (creates or coin-flips).
         let component = thread.instance(old_instance)?.component().to_owned();
         let start =
@@ -300,6 +448,21 @@ impl RchDroid {
 
         match start.disposition {
             StartDisposition::CreatedNew => {
+                // Fault site `allocation-failure`: creating the sunny
+                // instance fails under GC pressure. The record swap the
+                // starter just performed is rolled back so the stack
+                // never references an instance that was never born.
+                if self.faults.should_inject(FaultSite::AllocationFailure) {
+                    atms.rollback_sunny_start(&start, fore_record, now)?;
+                    return self.fallback_restart(
+                        thread,
+                        atms,
+                        model,
+                        old_instance,
+                        Some(FaultSite::AllocationFailure),
+                        now,
+                    );
+                }
                 // First change: launch the sunny instance from the shadow
                 // bundle and build the essence-based mapping (step ③).
                 let shadow_bundle = thread.instance(old_instance)?.shadow_bundle.clone();
@@ -309,7 +472,12 @@ impl RchDroid {
                     atms.global_config().clone(),
                     shadow_bundle.as_ref(),
                 );
-                thread.resume_sequence(sunny_instance, true)?;
+                if thread.resume_sequence(sunny_instance, true).is_err() {
+                    self.supervised_dead.insert(sunny_instance);
+                    let _ = thread.destroy_activity(sunny_instance);
+                    atms.rollback_sunny_start(&start, fore_record, now)?;
+                    return self.fallback_restart(thread, atms, model, old_instance, None, now);
+                }
                 thread.set_current_shadow(Some(old_instance));
                 let engine = &mut self.engine;
                 let (mapped, view_count) =
@@ -329,15 +497,24 @@ impl RchDroid {
                     shadow_instance: Some(old_instance),
                     mapped_views: mapped,
                     view_count,
+                    fault: None,
                 })
             }
             StartDisposition::FlippedShadow { .. } => {
                 // The record that came back on top belongs to the previous
-                // shadow instance: flip it to Sunny on the thread side.
-                let sunny_instance = thread
-                    .instance_for_token(start.record)
-                    .ok_or(HandlerError::NoForegroundActivity)?;
-                thread.resume_sequence(sunny_instance, true)?;
+                // shadow instance: flip it to Sunny on the thread side. If
+                // the thread lost that instance, the record swap is rolled
+                // back and the change degrades to a stock restart.
+                let Some(sunny_instance) = thread.instance_for_token(start.record) else {
+                    atms.rollback_sunny_start(&start, fore_record, now)?;
+                    return self.fallback_restart(thread, atms, model, old_instance, None, now);
+                };
+                if thread.resume_sequence(sunny_instance, true).is_err() {
+                    self.supervised_dead.insert(sunny_instance);
+                    let _ = thread.destroy_activity(sunny_instance);
+                    atms.rollback_sunny_start(&start, fore_record, now)?;
+                    return self.fallback_restart(thread, atms, model, old_instance, None, now);
+                }
                 thread.set_current_shadow(Some(old_instance));
                 thread.set_current_sunny(Some(sunny_instance));
                 let view_count = thread.instance(sunny_instance)?.tree.view_count();
@@ -347,54 +524,201 @@ impl RchDroid {
                     shadow_instance: Some(old_instance),
                     mapped_views: 0, // the mapping already exists
                     view_count,
+                    fault: None,
                 })
             }
-            StartDisposition::ReusedTop => {
-                // Cannot happen for SUNNY intents.
-                unreachable!("SUNNY starts never reuse the top record")
-            }
+            StartDisposition::ReusedTop => Err(HandlerError::Internal(
+                "SUNNY starts never reuse the top record",
+            )),
         }
     }
 
     /// Step ④ (lazy migration): runs an async callback and, if it landed
     /// on the shadow instance, migrates the intercepted view updates to
-    /// the coupled sunny instance. Returns the migration report when a
-    /// migration happened.
+    /// the coupled sunny instance.
+    ///
+    /// The supervision boundary lives here: a panicking callback (app
+    /// bug or injected `async-callback-panic`) is caught and contained —
+    /// the delivery is dropped, the process survives. A migration fault
+    /// degrades through the ladder (per-view containment inside the
+    /// flush, fallback restart of the foreground when the whole flush is
+    /// poisoned).
     ///
     /// # Errors
     ///
-    /// Thread/view errors. Under RCHDroid the starting instance is alive
-    /// (shadow at worst), so crashes only occur if the shadow was GC'd
-    /// before the task returned — the same residual risk the paper has.
+    /// Thread errors (a crash-worthy delivery target — e.g. the shadow
+    /// was GC'd before the task returned, the paper's residual risk —
+    /// is recorded as a rung-3 fault and propagated for the process to
+    /// be marked crashed), and rung-3 migration errors.
     pub fn on_async_delivered(
         &mut self,
         thread: &mut ActivityThread,
+        atms: &mut Atms,
         model: &dyn AppModel,
         work: &AsyncWork,
         now: SimTime,
-    ) -> Result<Option<MigrationReport>, HandlerError> {
-        thread.deliver_async(model, work)?;
+    ) -> Result<AsyncDelivery, HandlerError> {
+        // Fault site `async-callback-panic`: the callback throws before
+        // touching any view. Contained — the delivery is dropped.
+        if self.faults.should_inject(FaultSite::AsyncCallbackPanic) {
+            self.fault_log
+                .contained(FaultSite::AsyncCallbackPanic.name());
+            return Ok(AsyncDelivery::CallbackPanicked);
+        }
+        // A callback captured by an instance THIS handler destroyed — in
+        // a fallback restart, a shadow release, or a GC pass. Stock
+        // Android replays this as the motivating NullPointerException;
+        // the supervised handler drops it as rung-1 containment instead.
+        // (An instance the system reclaimed outside the protocol is NOT
+        // covered: that delivery crashes exactly as on stock.)
+        if self.supervised_dead.contains(&work.instance) {
+            self.fault_log.contained("stale-callback");
+            return Ok(AsyncDelivery::DroppedStale);
+        }
+        match panic::catch_unwind(AssertUnwindSafe(|| thread.deliver_async(model, work))) {
+            Ok(Ok(())) => {}
+            Ok(Err(e)) => return Err(self.escalate(HandlerError::Thread(e))),
+            Err(_) => {
+                // An organic panic in the app's callback: same containment
+                // as the injected one.
+                self.fault_log
+                    .contained(FaultSite::AsyncCallbackPanic.name());
+                return Ok(AsyncDelivery::CallbackPanicked);
+            }
+        }
         let instance = work.instance;
         let state = thread.instance(instance)?.state();
         if !self.options.lazy_migration {
             // Ablation: the callback ran safely on the shadow instance,
             // but nothing propagates to the foreground tree.
             thread.instance_mut(instance)?.tree.drain_invalidations();
-            return Ok(None);
+            return Ok(AsyncDelivery::Delivered);
         }
         if state != ActivityState::Shadow {
             // Foreground instance updated directly; nothing to migrate.
             thread.instance_mut(instance)?.tree.drain_invalidations();
-            return Ok(None);
+            return Ok(AsyncDelivery::Delivered);
         }
         let Some(sunny) = thread.current_sunny() else {
-            return Ok(None);
+            return Ok(AsyncDelivery::Delivered);
         };
         let engine = &mut self.engine;
-        let report = thread.with_instance_pair(instance, sunny, |shadow, sunny| {
+        let migrated = thread.with_instance_pair(instance, sunny, |shadow, sunny| {
             engine.migrate_invalidations(&mut shadow.tree, &mut sunny.tree, now)
-        })??;
-        Ok(Some(report))
+        })?;
+        match migrated {
+            Ok(report) => Ok(AsyncDelivery::Migrated(report)),
+            Err(e) if !e.is_app_crash() => {
+                let site = e.site();
+                self.fallback_restart(thread, atms, model, sunny, site, now)?;
+                Ok(AsyncDelivery::FallbackRestart { site })
+            }
+            Err(e) => Err(self.escalate(HandlerError::Migration(e))),
+        }
+    }
+
+    /// Rung 2 of the degradation ladder: abandon shadow/sunny handling
+    /// for this change and replay the stock restart path —
+    /// `onSaveInstanceState` → destroy → recreate → resume — on
+    /// `old_instance`'s record. Any coupled partner instance (and its
+    /// record) is reclaimed first so the task stack never references a
+    /// dead instance.
+    fn fallback_restart(
+        &mut self,
+        thread: &mut ActivityThread,
+        atms: &mut Atms,
+        model: &dyn AppModel,
+        old_instance: ActivityInstanceId,
+        site: Option<FaultSite>,
+        _now: SimTime,
+    ) -> Result<ChangeOutcome, HandlerError> {
+        let recovery_started = std::time::Instant::now();
+        self.abandon_coupling(thread, atms, old_instance)?;
+
+        // Stock `onSaveInstanceState`: reuse the shadow snapshot when the
+        // protocol already took one this change, save fresh otherwise. A
+        // corrupted parcel restores nothing — stock behaviour again.
+        let bundle = if site == Some(FaultSite::BundleCorruption) {
+            None
+        } else {
+            let activity = thread.instance(old_instance)?;
+            match activity.shadow_bundle.clone() {
+                Some(bundle) if activity.state() == ActivityState::Shadow => Some(bundle),
+                _ => Some(activity.save_instance_state(model)),
+            }
+        };
+
+        // Stock destroy → recreate on the same record token, with the
+        // configuration the change was about.
+        let token = thread.instance(old_instance)?.token();
+        self.supervised_dead.insert(old_instance);
+        thread.destroy_activity(old_instance)?;
+        let new_instance = thread.perform_launch_activity(
+            model,
+            token,
+            atms.global_config().clone(),
+            bundle.as_ref(),
+        );
+        thread.resume_sequence(new_instance, false)?;
+        atms.set_record_state(token, RecordState::Resumed)?;
+
+        let site_name = site.map(FaultSite::name).unwrap_or("migration-error");
+        self.fault_log
+            .fallback(site_name, recovery_started.elapsed().as_secs_f64() * 1e3);
+
+        let view_count = thread.instance(new_instance)?.tree.view_count();
+        Ok(ChangeOutcome {
+            kind: ChangeKind::FallbackRestart,
+            sunny_instance: new_instance,
+            shadow_instance: None,
+            mapped_views: 0,
+            view_count,
+            fault: site,
+        })
+    }
+
+    /// Tears down everything the shadow/sunny protocol holds except
+    /// `keep`: the engine's coupling state, any partner instance still on
+    /// the thread, and the partner's ATMS record. Partners are found by
+    /// component, not by the shadow/sunny pointers — `enter_shadow`
+    /// repoints those mid-change, and a second alive instance of the
+    /// activity can only ever be the protocol's coupling partner.
+    fn abandon_coupling(
+        &mut self,
+        thread: &mut ActivityThread,
+        atms: &mut Atms,
+        keep: ActivityInstanceId,
+    ) -> Result<(), HandlerError> {
+        self.engine.reset_coupling();
+        let component = thread.instance(keep)?.component().to_owned();
+        let partners: Vec<ActivityInstanceId> = thread
+            .alive_instances()
+            .into_iter()
+            .filter(|&id| {
+                id != keep
+                    && thread
+                        .instance(id)
+                        .is_ok_and(|a| a.component() == component)
+            })
+            .collect();
+        for partner in partners {
+            let token = thread.instance(partner)?.token();
+            self.supervised_dead.insert(partner);
+            thread.destroy_activity(partner)?;
+            let _ = atms.destroy_record(token);
+        }
+        thread.set_current_shadow(None);
+        thread.set_current_sunny(None);
+        self.tracker.reset();
+        Ok(())
+    }
+
+    /// Records a rung-3 escalation for errors that are about to unwind to
+    /// the device layer (which marks the process crashed — never a
+    /// panic).
+    fn escalate(&mut self, error: HandlerError) -> HandlerError {
+        self.fault_log.crashed("app-logic");
+        error
     }
 
     /// `doGcForShadowIfNeeded` (§3.5): evaluates Algorithm 1 and, on a
@@ -449,13 +773,22 @@ impl RchDroid {
         shadow_instance: ActivityInstanceId,
     ) -> Result<(), HandlerError> {
         // Batched updates queued from this shadow must migrate before the
-        // instance disappears, or they are lost for good.
+        // instance disappears, or they are lost for good. A flush fault
+        // cannot stop the teardown: the updates are dropped (the shadow is
+        // dying anyway) and the teardown proceeds.
         if thread.current_shadow() == Some(shadow_instance) {
-            self.flush_pending_migrations(thread)?;
+            match self.flush_pending_migrations(thread) {
+                Ok(_) => {}
+                Err(HandlerError::Migration(e)) if !e.is_app_crash() => {
+                    self.engine.discard_pending();
+                }
+                Err(e) => return Err(self.escalate(e)),
+            }
         } else {
             self.engine.discard_pending();
         }
         let token = thread.instance(shadow_instance)?.token();
+        self.supervised_dead.insert(shadow_instance);
         thread.destroy_activity(shadow_instance)?;
         atms.destroy_record(token)?;
         if let Some(sunny) = thread.current_sunny() {
@@ -476,6 +809,7 @@ impl Default for RchDroid {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::supervise::LadderRung;
     use droidsim_app::SimpleApp;
     use droidsim_config::Configuration;
     use droidsim_kernel::SimDuration;
@@ -627,8 +961,15 @@ mod tests {
         let droidsim_app::UiMessage::AsyncResult(work) = &messages[0];
         let report = rig
             .rch
-            .on_async_delivered(&mut rig.thread, &rig.model, work, SimTime::from_secs(5))
+            .on_async_delivered(
+                &mut rig.thread,
+                &mut rig.atms,
+                &rig.model,
+                work,
+                SimTime::from_secs(5),
+            )
             .unwrap()
+            .report()
             .expect("migration ran");
         assert_eq!(report.migrated, 3, "all three images migrated");
 
@@ -666,11 +1007,18 @@ mod tests {
         rig.thread.pump_async(SimTime::from_secs(6));
         let messages = rig.thread.drain_ui(SimTime::from_secs(6));
         let droidsim_app::UiMessage::AsyncResult(work) = &messages[0];
-        let report = rig
+        let delivery = rig
             .rch
-            .on_async_delivered(&mut rig.thread, &rig.model, work, SimTime::from_secs(6))
+            .on_async_delivered(
+                &mut rig.thread,
+                &mut rig.atms,
+                &rig.model,
+                work,
+                SimTime::from_secs(6),
+            )
             .unwrap();
-        assert!(report.is_none());
+        assert_eq!(delivery, AsyncDelivery::Delivered);
+        assert!(delivery.report().is_none());
     }
 
     #[test]
@@ -780,8 +1128,9 @@ mod tests {
             let droidsim_app::UiMessage::AsyncResult(work) = &message;
             if let Some(r) = rig
                 .rch
-                .on_async_delivered(&mut rig.thread, &rig.model, work, now)
+                .on_async_delivered(&mut rig.thread, &mut rig.atms, &rig.model, work, now)
                 .unwrap()
+                .report()
             {
                 merged = merged.merge(r);
             }
@@ -823,7 +1172,7 @@ mod tests {
         let tick = SimTime::from_secs(5) + SimDuration::from_millis(16);
         let flushed = rig
             .rch
-            .on_frame_tick(&mut rig.thread, tick)
+            .on_frame_tick(&mut rig.thread, &mut rig.atms, &rig.model, tick)
             .unwrap()
             .expect("deadline flush");
         assert_eq!(flushed.migrated, 3);
@@ -937,5 +1286,207 @@ mod tests {
         assert_eq!(flushed.coalesced, 6, "9 raw − 3 entries");
         let m = rig.rch.migration_metrics();
         assert!((m.coalesce_ratio() - 3.0).abs() < 1e-12);
+    }
+
+    /// Asserts the single-activity steady state the fallback must leave
+    /// behind: one alive instance, one resumed record, no shadow records.
+    fn assert_stock_steady_state(rig: &Rig, foreground: ActivityInstanceId) {
+        assert_eq!(rig.thread.alive_instances(), vec![foreground]);
+        assert!(rig.atms.shadow_records().is_empty(), "no shadow leaked");
+        let token = rig.thread.instance(foreground).unwrap().token();
+        assert_eq!(rig.atms.foreground_record(), Some(token));
+        assert_eq!(
+            rig.thread.instance(foreground).unwrap().state(),
+            ActivityState::Resumed,
+            "stock restart resumes, not sunny"
+        );
+        assert_eq!(rig.thread.current_shadow(), None);
+        assert_eq!(rig.thread.current_sunny(), None);
+    }
+
+    #[test]
+    fn bundle_corruption_falls_back_to_stock_restart() {
+        let mut rig = boot(2);
+        // The user scrolls; a corrupted parcel must lose this state,
+        // exactly like a stock restart whose bundle never arrives.
+        {
+            let a = rig.thread.instance_mut(rig.instance).unwrap();
+            let root = a.tree.find_by_id_name("root").unwrap();
+            a.tree.apply(root, ViewOp::ScrollTo(480)).unwrap();
+        }
+        rig.rch
+            .arm_faults(FaultPlan::seeded(7).on_nth_probe(FaultSite::BundleCorruption, 1));
+        let outcome = rotate(&mut rig, SimTime::from_secs(1));
+        assert_eq!(outcome.kind, ChangeKind::FallbackRestart);
+        assert_eq!(outcome.fault, Some(FaultSite::BundleCorruption));
+        assert_eq!(outcome.shadow_instance, None);
+        assert_stock_steady_state(&rig, outcome.sunny_instance);
+        let fresh = rig.thread.instance(outcome.sunny_instance).unwrap();
+        let root = fresh.tree.find_by_id_name("root").unwrap();
+        assert_eq!(
+            fresh.tree.view(root).unwrap().attrs.scroll_y,
+            0,
+            "corrupted parcel restores nothing"
+        );
+        let m = rig.rch.fault_metrics();
+        assert_eq!(m.fallback_restarts, 1);
+        assert_eq!(m.site_count("bundle-corruption"), 1);
+        assert_eq!(m.recovery_latency_ms.count(), 1);
+    }
+
+    #[test]
+    fn allocation_failure_rolls_back_the_sunny_start() {
+        let mut rig = boot(3);
+        let token = rig.thread.instance(rig.instance).unwrap().token();
+        rig.rch
+            .arm_faults(FaultPlan::seeded(9).on_nth_probe(FaultSite::AllocationFailure, 1));
+        let outcome = rotate(&mut rig, SimTime::from_secs(1));
+        assert_eq!(outcome.kind, ChangeKind::FallbackRestart);
+        assert_eq!(outcome.fault, Some(FaultSite::AllocationFailure));
+        assert_stock_steady_state(&rig, outcome.sunny_instance);
+        // The stillborn sunny record was rolled back: the surviving
+        // record is the ORIGINAL token, and only one record is alive.
+        assert_eq!(
+            rig.thread.instance(outcome.sunny_instance).unwrap().token(),
+            token
+        );
+        assert_eq!(rig.atms.alive_record_count(), 1);
+
+        // The ladder recovers: the next change runs the full protocol.
+        let next = rotate(&mut rig, SimTime::from_secs(2));
+        assert_eq!(next.kind, ChangeKind::Init);
+    }
+
+    #[test]
+    fn fallback_during_flip_reclaims_the_old_shadow() {
+        let mut rig = boot(2);
+        rotate(&mut rig, SimTime::from_secs(1));
+        assert_eq!(rig.thread.alive_instances().len(), 2);
+        // Second change is a flip; corrupt its bundle mid-change. The
+        // fallback must reclaim the change-1 shadow partner even though
+        // `enter_shadow` already repointed the pointers at the old sunny.
+        rig.rch
+            .arm_faults(FaultPlan::seeded(11).on_nth_probe(FaultSite::BundleCorruption, 1));
+        let second = rotate(&mut rig, SimTime::from_secs(2));
+        assert_eq!(second.kind, ChangeKind::FallbackRestart);
+        assert_stock_steady_state(&rig, second.sunny_instance);
+        assert_eq!(rig.atms.alive_record_count(), 1);
+        // And the protocol restarts cleanly afterwards.
+        let next = rotate(&mut rig, SimTime::from_secs(3));
+        assert_eq!(next.kind, ChangeKind::Init);
+        assert_eq!(rig.thread.alive_instances().len(), 2);
+    }
+
+    #[test]
+    fn async_callback_panic_is_contained() {
+        let mut rig = boot(3);
+        rig.thread
+            .start_async(rig.instance, rig.model.button_task(), SimTime::ZERO)
+            .unwrap();
+        let outcome = rotate(&mut rig, SimTime::from_millis(100));
+        rig.rch
+            .arm_faults(FaultPlan::seeded(13).on_nth_probe(FaultSite::AsyncCallbackPanic, 1));
+        rig.thread.pump_async(SimTime::from_secs(5));
+        let messages = rig.thread.drain_ui(SimTime::from_secs(5));
+        let droidsim_app::UiMessage::AsyncResult(work) = &messages[0];
+        let delivery = rig
+            .rch
+            .on_async_delivered(
+                &mut rig.thread,
+                &mut rig.atms,
+                &rig.model,
+                work,
+                SimTime::from_secs(5),
+            )
+            .unwrap();
+        assert_eq!(delivery, AsyncDelivery::CallbackPanicked);
+        // Rung 1: the callback was dropped, both instances live on.
+        assert_eq!(rig.thread.alive_instances().len(), 2);
+        let sunny = rig.thread.instance(outcome.sunny_instance).unwrap();
+        let v = sunny.tree.find_by_id_name("image_0").unwrap();
+        assert_ne!(
+            sunny
+                .tree
+                .view(v)
+                .unwrap()
+                .attrs
+                .drawable
+                .as_ref()
+                .unwrap()
+                .0,
+            "loaded_0.png",
+            "the dropped callback never mutated the tree"
+        );
+        let m = rig.rch.fault_metrics();
+        assert_eq!(m.contained_per_view, 1);
+        assert_eq!(m.site_count("async-callback-panic"), 1);
+        assert_eq!(m.fallback_restarts, 0);
+    }
+
+    #[test]
+    fn deadline_overrun_during_change_falls_back() {
+        let mut rig = boot_batched(3, 100, SimDuration::from_secs(60));
+        rig.thread
+            .start_async(rig.instance, rig.model.button_task(), SimTime::ZERO)
+            .unwrap();
+        rotate(&mut rig, SimTime::from_millis(100));
+        pump_deliveries(&mut rig, SimTime::from_secs(5));
+
+        // The pre-change flush of the pending batch blows its deadline;
+        // the change degrades to the stock restart path.
+        rig.rch
+            .arm_faults(FaultPlan::seeded(17).on_nth_probe(FaultSite::FlushDeadlineOverrun, 1));
+        let second = rotate(&mut rig, SimTime::from_secs(6));
+        assert_eq!(second.kind, ChangeKind::FallbackRestart);
+        assert_eq!(second.fault, Some(FaultSite::FlushDeadlineOverrun));
+        assert_stock_steady_state(&rig, second.sunny_instance);
+        let m = rig.rch.fault_metrics();
+        assert_eq!(m.fallback_restarts, 1);
+        assert_eq!(m.site_count("flush-deadline-overrun"), 1);
+    }
+
+    #[test]
+    fn watchdog_overrun_on_frame_tick_falls_back() {
+        let mut rig = boot_batched(3, 100, SimDuration::from_millis(16));
+        rig.rch.set_watchdog(MigrationWatchdog::new(
+            SimDuration::from_micros(50),
+            SimDuration::from_micros(100),
+        ));
+        rig.thread
+            .start_async(rig.instance, rig.model.button_task(), SimTime::ZERO)
+            .unwrap();
+        rotate(&mut rig, SimTime::from_millis(100));
+        pump_deliveries(&mut rig, SimTime::from_secs(5));
+
+        // The deadline tick tries to flush 3 entries × 100 µs against a
+        // 50 µs budget: the watchdog fires and the tick degrades to a
+        // fallback restart of the foreground.
+        let tick = SimTime::from_secs(5) + SimDuration::from_millis(16);
+        let flushed = rig
+            .rch
+            .on_frame_tick(&mut rig.thread, &mut rig.atms, &rig.model, tick)
+            .unwrap();
+        assert!(
+            flushed.is_none(),
+            "no migration report on the fallback path"
+        );
+        let foreground = rig.thread.alive_instances()[0];
+        assert_stock_steady_state(&rig, foreground);
+        let m = rig.rch.fault_metrics();
+        assert_eq!(m.fallback_restarts, 1);
+        assert_eq!(m.site_count("flush-deadline-overrun"), 1);
+    }
+
+    #[test]
+    fn fault_records_name_the_rung_that_handled_each_fault() {
+        let mut rig = boot(2);
+        rig.rch
+            .arm_faults(FaultPlan::seeded(19).on_nth_probe(FaultSite::BundleCorruption, 1));
+        rotate(&mut rig, SimTime::from_secs(1));
+        let records = rig.rch.take_fault_records();
+        assert_eq!(records.len(), 1);
+        assert_eq!(records[0].site, "bundle-corruption");
+        assert_eq!(records[0].rung, LadderRung::FallbackRestart);
+        assert!(rig.rch.take_fault_records().is_empty(), "drained");
     }
 }

@@ -59,9 +59,11 @@ pub mod gc;
 pub mod handler;
 pub mod migration;
 pub mod patch;
+pub mod supervise;
 
 pub use batch::{DirtyEntry, DirtyQueue, FlushPolicy, ShardedEssenceMap};
 pub use gc::{GcDecision, GcPolicy, ShadowAgeTracker};
-pub use handler::{ChangeKind, ChangeOutcome, HandlerError, RchDroid, RchOptions};
+pub use handler::{AsyncDelivery, ChangeKind, ChangeOutcome, HandlerError, RchDroid, RchOptions};
 pub use migration::{migrate_view, MigrationEngine, MigrationReport};
 pub use patch::{patch_inventory, PatchEntry};
+pub use supervise::{FaultRecord, LadderRung, MigrationError, MigrationWatchdog};

@@ -24,9 +24,12 @@
 #[cfg(debug_assertions)]
 use crate::batch::DirtyEntry;
 use crate::batch::{DirtyQueue, FlushPolicy, ShardedEssenceMap};
+use crate::supervise::{FaultLog, FaultRecord, MigrationError, MigrationWatchdog};
+use droidsim_faults::{FaultPlan, FaultSite};
 use droidsim_kernel::SimTime;
 use droidsim_metrics::MigrationMetrics;
 use droidsim_view::{MigrationClass, ViewError, ViewId, ViewOp, ViewTree};
+use std::panic::{self, AssertUnwindSafe};
 
 /// The result of one lazy-migration pass.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -43,6 +46,10 @@ pub struct MigrationReport {
     /// 0 under [`FlushPolicy::Eager`] for single-delivery drains, where
     /// the per-delivery dedup happens in the tree itself).
     pub coalesced: usize,
+    /// Views whose migration faulted and was contained per-view (rung 1
+    /// of the degradation ladder): the view was skipped and marked
+    /// stale, the rest of the batch migrated.
+    pub contained: usize,
 }
 
 impl MigrationReport {
@@ -53,6 +60,7 @@ impl MigrationReport {
             migrated: self.migrated + other.migrated,
             unmapped: self.unmapped + other.unmapped,
             coalesced: self.coalesced + other.coalesced,
+            contained: self.contained + other.contained,
         }
     }
 }
@@ -158,6 +166,14 @@ pub struct MigrationEngine {
     peers: [ShardedEssenceMap; 2],
     metrics: MigrationMetrics,
     check_equivalence: bool,
+    /// Fault schedule probed on the flush path (sites
+    /// `essence-mapping-miss`, `attribute-copy`,
+    /// `flush-deadline-overrun`). Disarmed by default.
+    faults: FaultPlan,
+    watchdog: MigrationWatchdog,
+    fault_log: FaultLog,
+    /// Views skipped by rung-1 containment since the last mapping build.
+    stale_views: Vec<ViewId>,
 }
 
 impl Default for MigrationEngine {
@@ -183,7 +199,54 @@ impl MigrationEngine {
             peers: [ShardedEssenceMap::default(), ShardedEssenceMap::default()],
             metrics: MigrationMetrics::new(),
             check_equivalence: cfg!(debug_assertions),
+            faults: FaultPlan::disarmed(),
+            watchdog: MigrationWatchdog::default(),
+            fault_log: FaultLog::default(),
+            stale_views: Vec::new(),
         }
+    }
+
+    /// Arms (or disarms) the fault schedule probed during flushes.
+    pub fn arm_faults(&mut self, plan: FaultPlan) {
+        self.faults = plan;
+    }
+
+    /// Replaces the per-flush watchdog budget.
+    pub fn set_watchdog(&mut self, watchdog: MigrationWatchdog) {
+        self.watchdog = watchdog;
+    }
+
+    /// The per-flush watchdog budget in force.
+    pub fn watchdog(&self) -> MigrationWatchdog {
+        self.watchdog
+    }
+
+    /// Views skipped by rung-1 containment since the last mapping build:
+    /// their sunny copy may be stale and must not be trusted.
+    pub fn stale_views(&self) -> &[ViewId] {
+        &self.stale_views
+    }
+
+    /// Lifetime fault metrics for the flush path.
+    pub(crate) fn fault_metrics(&self) -> &droidsim_metrics::FaultMetrics {
+        self.fault_log.metrics()
+    }
+
+    /// Drains the recent fault records (device layer → logcat).
+    pub(crate) fn take_fault_records(&mut self) -> Vec<FaultRecord> {
+        self.fault_log.drain()
+    }
+
+    /// Tears the coupling down entirely: pending queue, both sharded peer
+    /// maps, the stale set and the mapped count. Called when a fallback
+    /// restart abandons shadow/sunny handling so nothing can migrate
+    /// toward a destroyed tree.
+    pub fn reset_coupling(&mut self) {
+        self.queue.clear();
+        self.peers[0].clear();
+        self.peers[1].clear();
+        self.stale_views.clear();
+        self.mapped_views = 0;
     }
 
     /// The flush policy in force.
@@ -231,6 +294,7 @@ impl MigrationEngine {
             }
         }
         self.queue.clear();
+        self.stale_views.clear();
         self.mapped_views = mapped;
         mapped
     }
@@ -288,14 +352,16 @@ impl MigrationEngine {
     ///
     /// # Errors
     ///
-    /// Propagates sunny-tree [`ViewError`]s (a released sunny tree is a
-    /// bug in the handler, not the app).
+    /// Returns a [`MigrationError`] when the flush aborts: an injected
+    /// uncontainable fault, a watchdog overrun, or an app-crashing
+    /// sunny-tree error. Per-view faults never error — they are contained
+    /// and counted in [`MigrationReport::contained`].
     pub fn migrate_invalidations(
         &mut self,
         shadow: &mut ViewTree,
         sunny: &mut ViewTree,
         now: SimTime,
-    ) -> Result<MigrationReport, ViewError> {
+    ) -> Result<MigrationReport, MigrationError> {
         for (view, mask, raw) in shadow.drain_dirty_counted() {
             self.queue.enqueue(view, mask, raw, now);
         }
@@ -310,23 +376,44 @@ impl MigrationEngine {
     /// handler calls this before any shadow/sunny role change so queued
     /// updates can never migrate in a stale direction).
     ///
+    /// Rung 1 of the degradation ladder lives here: a fault touching one
+    /// view (injected essence-map miss or attribute-copy error, a panic
+    /// inside the Table-1 copy, a benign tree rejection) skips that view,
+    /// marks it stale and keeps migrating the rest of the batch.
+    ///
     /// # Errors
     ///
-    /// Propagates sunny-tree [`ViewError`]s.
+    /// Returns a [`MigrationError`] only for faults that poison the whole
+    /// flush: an injected `flush-deadline-overrun`, a watchdog budget
+    /// overrun, or an app-crashing sunny-tree error (released tree,
+    /// leaked window) that stock Android would die on too.
     pub fn flush(
         &mut self,
         shadow: &mut ViewTree,
         sunny: &mut ViewTree,
-    ) -> Result<MigrationReport, ViewError> {
+    ) -> Result<MigrationReport, MigrationError> {
         if self.queue.is_empty() {
             return Ok(MigrationReport::default());
+        }
+        if self.faults.should_inject(FaultSite::FlushDeadlineOverrun) {
+            self.queue.clear();
+            return Err(MigrationError::Injected {
+                site: FaultSite::FlushDeadlineOverrun,
+            });
+        }
+        if let Some(needed) = self.watchdog.exceeded(self.queue.len()) {
+            self.queue.clear();
+            return Err(MigrationError::DeadlineExceeded {
+                budget: self.watchdog.budget,
+                needed,
+            });
         }
         let batch = self.queue.drain();
         let raw: usize = batch.iter().map(|e| e.raw).sum();
 
         #[cfg(debug_assertions)]
         let reference = if self.check_equivalence {
-            Some(eager_reference(shadow, sunny, &batch)?)
+            Some(eager_reference(shadow, sunny, &batch))
         } else {
             None
         };
@@ -335,12 +422,32 @@ impl MigrationEngine {
         let mut report = MigrationReport::default();
         for entry in &batch {
             report.examined += 1;
-            match self.resolve_peer(shadow, entry.view) {
-                Some(peer) => {
-                    copy_essence(shadow, sunny, entry.view, peer)?;
-                    report.migrated += 1;
+            let peer = if self.faults.should_inject(FaultSite::EssenceMappingMiss) {
+                None
+            } else {
+                self.resolve_peer(shadow, entry.view)
+            };
+            let Some(peer) = peer else {
+                // A genuinely anonymous view is business as usual; a view
+                // that *was* mapped losing its peer is a contained fault.
+                if self.peers_contain(shadow, entry.view) {
+                    self.contain(entry.view, FaultSite::EssenceMappingMiss, &mut report);
+                } else {
+                    report.unmapped += 1;
                 }
-                None => report.unmapped += 1,
+                continue;
+            };
+            if self.faults.should_inject(FaultSite::AttributeCopy) {
+                self.contain(entry.view, FaultSite::AttributeCopy, &mut report);
+                continue;
+            }
+            match panic::catch_unwind(AssertUnwindSafe(|| {
+                copy_essence(shadow, sunny, entry.view, peer)
+            })) {
+                Ok(Ok(())) => report.migrated += 1,
+                Ok(Err(e)) if e.is_crash() => return Err(MigrationError::Tree(e)),
+                Ok(Err(_)) => self.contain(entry.view, FaultSite::AttributeCopy, &mut report),
+                Err(_) => self.contain(entry.view, FaultSite::AttributeCopy, &mut report),
             }
         }
         report.coalesced = raw.saturating_sub(report.examined);
@@ -349,9 +456,31 @@ impl MigrationEngine {
 
         #[cfg(debug_assertions)]
         if let Some(reference) = reference {
-            assert_equivalent_to_eager(sunny, &reference);
+            // A contained fault intentionally diverges from the eager
+            // replay (the skipped view keeps its old sunny state), so the
+            // equivalence invariant only holds for fault-free flushes.
+            if report.contained == 0 {
+                assert_equivalent_to_eager(sunny, &reference);
+            }
         }
         Ok(report)
+    }
+
+    /// Whether the coupling (sharded map or per-view pointer) knows a
+    /// peer for `view` — distinguishes "anonymous by design" from "the
+    /// mapping lost an entry".
+    fn peers_contain(&self, shadow: &ViewTree, view: ViewId) -> bool {
+        match shadow.coupling_side() {
+            Some(side) => self.peers[side as usize].get(view).is_some(),
+            None => shadow.view(view).ok().and_then(|n| n.sunny_peer).is_some(),
+        }
+    }
+
+    /// Rung-1 containment bookkeeping for one skipped view.
+    fn contain(&mut self, view: ViewId, site: FaultSite, report: &mut MigrationReport) {
+        self.stale_views.push(view);
+        self.fault_log.contained(site.name());
+        report.contained += 1;
     }
 
     /// Seeds the sunny tree with the shadow tree's *user state* right
@@ -416,18 +545,16 @@ impl MigrationEngine {
 /// Replays the *eager* path for `batch` on a clone of the sunny tree:
 /// each queued view migrates through [`migrate_view`], which resolves via
 /// the per-view pointer — independently of the sharded map the batched
-/// flush uses.
+/// flush uses. Per-view errors are skipped, mirroring the supervised
+/// path's rung-1 containment (the assert is skipped whenever containment
+/// fired, so tolerating them here can never mask a real divergence).
 #[cfg(debug_assertions)]
-fn eager_reference(
-    shadow: &ViewTree,
-    sunny: &ViewTree,
-    batch: &[DirtyEntry],
-) -> Result<ViewTree, ViewError> {
+fn eager_reference(shadow: &ViewTree, sunny: &ViewTree, batch: &[DirtyEntry]) -> ViewTree {
     let mut reference = sunny.clone();
     for entry in batch {
-        migrate_view(shadow, &mut reference, entry.view)?;
+        let _ = migrate_view(shadow, &mut reference, entry.view);
     }
-    Ok(reference)
+    reference
 }
 
 /// Asserts the batched flush produced exactly the sunny tree that eager
@@ -435,8 +562,9 @@ fn eager_reference(
 #[cfg(debug_assertions)]
 fn assert_equivalent_to_eager(sunny: &ViewTree, reference: &ViewTree) {
     for id in sunny.iter_ids() {
-        let got = sunny.view(id).expect("live id");
-        let want = reference.view(id).expect("same arena");
+        let (Ok(got), Ok(want)) = (sunny.view(id), reference.view(id)) else {
+            continue;
+        };
         assert_eq!(
             got.attrs, want.attrs,
             "batched flush diverged from eager migration on {id}"
@@ -772,6 +900,84 @@ mod tests {
         }
         assert_eq!(engine.metrics().flushes, 4);
         assert!((engine.metrics().coalesce_ratio() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn injected_attribute_copy_fault_is_contained_per_view() {
+        let (mut shadow, mut sunny, mut engine) = coupled_trees();
+        engine.arm_faults(FaultPlan::seeded(3).on_nth_probe(FaultSite::AttributeCopy, 1));
+        let name = shadow.find_by_id_name("name").unwrap();
+        let bar = shadow.find_by_id_name("bar").unwrap();
+        shadow.apply(name, ViewOp::SetText("a".into())).unwrap();
+        shadow.apply(bar, ViewOp::SetProgress(42)).unwrap();
+        let r = engine
+            .migrate_invalidations(&mut shadow, &mut sunny, SimTime::ZERO)
+            .unwrap();
+        assert_eq!(r.examined, 2);
+        assert_eq!(r.contained, 1, "one view skipped");
+        assert_eq!(r.migrated, 1, "the rest of the batch migrated");
+        assert_eq!(engine.stale_views().len(), 1);
+        assert_eq!(engine.fault_metrics().contained_per_view, 1);
+        assert_eq!(engine.take_fault_records().len(), 1);
+    }
+
+    #[test]
+    fn injected_mapping_miss_on_a_mapped_view_is_contained() {
+        let (mut shadow, mut sunny, mut engine) = coupled_trees();
+        engine.arm_faults(FaultPlan::seeded(4).on_nth_probe(FaultSite::EssenceMappingMiss, 1));
+        let name = shadow.find_by_id_name("name").unwrap();
+        shadow.apply(name, ViewOp::SetText("lost".into())).unwrap();
+        let r = engine
+            .migrate_invalidations(&mut shadow, &mut sunny, SimTime::ZERO)
+            .unwrap();
+        assert_eq!(r.contained, 1);
+        assert_eq!(r.unmapped, 0, "a mapped view losing its peer is a fault");
+        assert_eq!(engine.fault_metrics().site_count("essence-mapping-miss"), 1);
+    }
+
+    #[test]
+    fn injected_deadline_overrun_aborts_the_flush() {
+        let (mut shadow, mut sunny, mut engine) = coupled_trees();
+        engine.arm_faults(FaultPlan::seeded(5).on_nth_probe(FaultSite::FlushDeadlineOverrun, 1));
+        let name = shadow.find_by_id_name("name").unwrap();
+        shadow.apply(name, ViewOp::SetText("x".into())).unwrap();
+        let err = engine
+            .migrate_invalidations(&mut shadow, &mut sunny, SimTime::ZERO)
+            .unwrap_err();
+        assert_eq!(err.site(), Some(FaultSite::FlushDeadlineOverrun));
+        assert_eq!(engine.pending_entries(), 0, "aborted batch is dropped");
+    }
+
+    #[test]
+    fn watchdog_overrun_aborts_the_flush() {
+        let (mut shadow, mut sunny, mut engine) = coupled_trees();
+        engine.set_watchdog(crate::supervise::MigrationWatchdog {
+            budget: droidsim_kernel::SimDuration::from_micros(50),
+            per_entry_cost: droidsim_kernel::SimDuration::from_micros(100),
+        });
+        let name = shadow.find_by_id_name("name").unwrap();
+        shadow.apply(name, ViewOp::SetText("x".into())).unwrap();
+        let err = engine
+            .migrate_invalidations(&mut shadow, &mut sunny, SimTime::ZERO)
+            .unwrap_err();
+        assert!(matches!(err, MigrationError::DeadlineExceeded { .. }));
+        assert_eq!(err.site(), Some(FaultSite::FlushDeadlineOverrun));
+    }
+
+    #[test]
+    fn reset_coupling_clears_everything() {
+        let (mut shadow, mut sunny, mut engine) = coupled_trees();
+        engine.set_flush_policy(batched_engine(100, 1_000));
+        let name = shadow.find_by_id_name("name").unwrap();
+        shadow.apply(name, ViewOp::SetText("x".into())).unwrap();
+        engine
+            .migrate_invalidations(&mut shadow, &mut sunny, SimTime::ZERO)
+            .unwrap();
+        assert_eq!(engine.pending_entries(), 1);
+        engine.reset_coupling();
+        assert_eq!(engine.pending_entries(), 0);
+        assert_eq!(engine.mapped_views(), 0);
+        assert!(engine.stale_views().is_empty());
     }
 
     #[test]

@@ -6,9 +6,10 @@ use core::fmt;
 use droidsim_app::{AppModel, AsyncSpec, ThreadError, UiMessage};
 use droidsim_atms::{Atms, ConfigDecision, Intent, RecordState};
 use droidsim_config::Configuration;
+use droidsim_faults::FaultPlan;
 use droidsim_kernel::{SimDuration, SimTime, Xoshiro256};
-use droidsim_metrics::{CostModel, MemorySnapshot};
-use rchdroid::{ChangeKind, GcPolicy, RchOptions};
+use droidsim_metrics::{CostModel, FaultMetrics, MemorySnapshot};
+use rchdroid::{AsyncDelivery, ChangeKind, GcPolicy, LadderRung, RchOptions};
 use std::collections::BTreeMap;
 
 /// Which runtime-change handling system the device runs.
@@ -591,20 +592,34 @@ impl Device {
                         )
                     }
                     ConfigDecision::PreventedRelaunch(_) => {
-                        unreachable!("prevent=false never yields PreventedRelaunch")
+                        return Err(DeviceError::Handling(
+                            "prevent=false never yields PreventedRelaunch".to_owned(),
+                        ));
                     }
                 }
             }
             HandlingMode::RchDroid(..) => {
-                let outcome = p
-                    .rch
-                    .handle_configuration_change(
-                        &mut p.thread,
-                        &mut self.atms,
-                        p.model.as_ref(),
-                        now,
-                    )
-                    .map_err(|e| DeviceError::Handling(e.to_string()))?;
+                let outcome = match p.rch.handle_configuration_change(
+                    &mut p.thread,
+                    &mut self.atms,
+                    p.model.as_ref(),
+                    now,
+                ) {
+                    Ok(outcome) => outcome,
+                    // Rung 3: the ladder could not absorb the failure.
+                    // The process is marked crashed — never an unwind.
+                    Err(e) => {
+                        Self::mark_crashed(
+                            &mut self.atms,
+                            &mut self.events,
+                            p,
+                            &component,
+                            now,
+                            e.to_string(),
+                        );
+                        return Err(DeviceError::AppCrashed(component));
+                    }
+                };
                 match outcome.kind {
                     ChangeKind::NoChange => (HandlingPath::NoChange, SimDuration::ZERO),
                     ChangeKind::HandledByApp => (
@@ -613,6 +628,12 @@ impl Device {
                     ),
                     ChangeKind::Init => (HandlingPath::RchInit, self.cost.rchdroid_init(&profile)),
                     ChangeKind::Flip => (HandlingPath::RchFlip, self.cost.rchdroid_flip(&profile)),
+                    // Rung 2: the change degraded to the stock restart
+                    // path, so it pays the stock relaunch price.
+                    ChangeKind::FallbackRestart => (
+                        HandlingPath::RchFallback,
+                        self.cost.android10_relaunch(&profile),
+                    ),
                 }
             }
             HandlingMode::RuntimeDroid => {
@@ -631,6 +652,9 @@ impl Device {
         let p = self.apps.get_mut(&component).expect("installed");
         if path != HandlingPath::NoChange {
             p.latencies.push((now, latency));
+        }
+        if self.mode.is_rchdroid() {
+            Self::drain_fault_records(&mut self.events, p, &component, now);
         }
         self.events.push(DeviceEvent::ConfigChange {
             at: now,
@@ -719,24 +743,37 @@ impl Device {
                 let UiMessage::AsyncResult(work) = message;
                 match self.mode {
                     HandlingMode::RchDroid(..) => {
-                        match p
-                            .rch
-                            .on_async_delivered(&mut p.thread, p.model.as_ref(), &work, now)
-                        {
-                            Ok(report) => {
-                                let (latency, migrated) = match report {
-                                    Some(r) => {
-                                        (Some(self.cost.async_migration(r.migrated)), r.migrated)
-                                    }
-                                    None => (None, 0),
-                                };
+                        match p.rch.on_async_delivered(
+                            &mut p.thread,
+                            &mut self.atms,
+                            p.model.as_ref(),
+                            &work,
+                            now,
+                        ) {
+                            Ok(AsyncDelivery::Delivered) => {
                                 self.events.push(DeviceEvent::AsyncDelivered {
                                     at: now,
                                     component: component.clone(),
-                                    migration_latency: latency,
-                                    migrated_views: migrated,
+                                    migration_latency: None,
+                                    migrated_views: 0,
                                 });
                             }
+                            Ok(AsyncDelivery::Migrated(r)) => {
+                                self.events.push(DeviceEvent::AsyncDelivered {
+                                    at: now,
+                                    component: component.clone(),
+                                    migration_latency: Some(self.cost.async_migration(r.migrated)),
+                                    migrated_views: r.migrated,
+                                });
+                            }
+                            // Rungs 1 and 2: the callback was dropped
+                            // (panic, stale target) or the handler
+                            // degraded to a stock restart. Nothing was
+                            // delivered; the fault-record drain below
+                            // logs what happened.
+                            Ok(AsyncDelivery::CallbackPanicked)
+                            | Ok(AsyncDelivery::DroppedStale)
+                            | Ok(AsyncDelivery::FallbackRestart { .. }) => {}
                             Err(e) => {
                                 Self::mark_crashed(
                                     &mut self.atms,
@@ -789,11 +826,75 @@ impl Device {
             if self.mode.is_rchdroid() {
                 if let Some(p) = self.apps.get_mut(&component) {
                     if p.crashed.is_none() {
-                        let _ = p.rch.on_frame_tick(&mut p.thread, now);
+                        if let Err(e) = p.rch.on_frame_tick(
+                            &mut p.thread,
+                            &mut self.atms,
+                            p.model.as_ref(),
+                            now,
+                        ) {
+                            Self::mark_crashed(
+                                &mut self.atms,
+                                &mut self.events,
+                                p,
+                                &component,
+                                now,
+                                e.to_string(),
+                            );
+                        }
                     }
+                    Self::drain_fault_records(&mut self.events, p, &component, now);
                 }
             }
         }
+    }
+
+    /// Moves the handler's absorbed-fault records (rungs 1 and 2) into
+    /// the device event log. Rung-3 records are skipped — the same
+    /// escalation already surfaced as a [`DeviceEvent::Crash`].
+    fn drain_fault_records(
+        events: &mut Vec<DeviceEvent>,
+        p: &mut AppProcess,
+        component: &str,
+        now: SimTime,
+    ) {
+        for record in p.rch.take_fault_records() {
+            if record.rung == LadderRung::ProcessCrash {
+                continue;
+            }
+            events.push(DeviceEvent::Fault {
+                at: now,
+                component: component.to_owned(),
+                site: record.site.to_owned(),
+                rung: record.rung.name().to_owned(),
+            });
+        }
+    }
+
+    /// Arms a deterministic fault plan on an app's RCHDroid handler
+    /// ([`FaultPlan::disarmed`] turns injection back off). Only
+    /// meaningful in RCHDroid mode; other modes ignore the plan.
+    ///
+    /// # Errors
+    ///
+    /// [`DeviceError::UnknownApp`].
+    pub fn arm_faults(&mut self, component: &str, plan: FaultPlan) -> Result<(), DeviceError> {
+        let p = self
+            .apps
+            .get_mut(component)
+            .ok_or_else(|| DeviceError::UnknownApp(component.to_owned()))?;
+        p.rch.arm_faults(plan);
+        Ok(())
+    }
+
+    /// Lifetime fault-handling metrics of an app's RCHDroid handler:
+    /// faults by site, the rung that absorbed each, and recovery
+    /// latencies.
+    ///
+    /// # Errors
+    ///
+    /// [`DeviceError::UnknownApp`].
+    pub fn fault_metrics(&self, component: &str) -> Result<FaultMetrics, DeviceError> {
+        Ok(self.process(component)?.rch.fault_metrics())
     }
 
     fn mark_crashed(
@@ -1044,6 +1145,61 @@ mod tests {
         let report = d.change_configuration(same).unwrap();
         assert_eq!(report.path, HandlingPath::NoChange);
         assert_eq!(report.latency, SimDuration::ZERO);
+    }
+
+    #[test]
+    fn injected_fault_degrades_to_fallback_not_crash() {
+        use droidsim_faults::FaultSite;
+        let (mut d, c) = device_with_app(HandlingMode::rchdroid_default(), 4);
+        d.arm_faults(
+            &c,
+            FaultPlan::seeded(1).on_nth_probe(FaultSite::BundleCorruption, 1),
+        )
+        .unwrap();
+        let report = d.rotate().unwrap();
+        assert_eq!(report.path, HandlingPath::RchFallback);
+        assert!(
+            report.latency > SimDuration::ZERO,
+            "fallback pays the stock relaunch price"
+        );
+        assert!(!d.is_crashed(&c), "absorbed, not fatal");
+        assert!(d.events().iter().any(|e| matches!(
+            e,
+            DeviceEvent::Fault { site, rung, .. }
+                if site == "bundle-corruption" && rung == "fallback-restart"
+        )));
+        let m = d.fault_metrics(&c).unwrap();
+        assert_eq!(m.fallback_restarts, 1);
+        assert_eq!(m.site_count("bundle-corruption"), 1);
+        // The ladder recovers: the next change runs the protocol again.
+        assert_eq!(d.rotate().unwrap().path, HandlingPath::RchInit);
+    }
+
+    #[test]
+    fn contained_async_fault_is_logged_not_fatal() {
+        use droidsim_faults::FaultSite;
+        let (mut d, c) = device_with_app(HandlingMode::rchdroid_default(), 4);
+        d.start_async_on_foreground(SimpleApp::with_views(4).button_task())
+            .unwrap();
+        d.rotate().unwrap();
+        d.arm_faults(
+            &c,
+            FaultPlan::seeded(2).on_nth_probe(FaultSite::AsyncCallbackPanic, 1),
+        )
+        .unwrap();
+        d.advance(SimDuration::from_secs(6));
+        assert!(!d.is_crashed(&c), "rung 1 contained the panic");
+        assert!(d.events().iter().any(|e| matches!(
+            e,
+            DeviceEvent::Fault { site, rung, .. }
+                if site == "async-callback-panic" && rung == "contained-per-view"
+        )));
+        assert_eq!(d.fault_metrics(&c).unwrap().contained_per_view, 1);
+        assert_eq!(
+            d.process(&c).unwrap().thread().alive_instances().len(),
+            2,
+            "shadow and sunny both survive the dropped callback"
+        );
     }
 
     #[test]

@@ -16,6 +16,9 @@ pub enum HandlingPath {
     RchInit,
     /// RCHDroid steady-state coin flip.
     RchFlip,
+    /// RCHDroid degraded to the stock restart path after an absorbed
+    /// fault (rung 2 of the degradation ladder).
+    RchFallback,
     /// RuntimeDroid in-place reconstruction.
     RuntimeDroidInPlace,
 }
@@ -69,6 +72,18 @@ pub enum DeviceEvent {
         /// Whether the shadow instance was reclaimed.
         collected: bool,
     },
+    /// The degradation ladder absorbed an injected or organic fault
+    /// (rungs 1 and 2 — rung 3 surfaces as [`DeviceEvent::Crash`]).
+    Fault {
+        /// When the fault was absorbed.
+        at: SimTime,
+        /// Component whose handler absorbed it.
+        component: String,
+        /// The fault site's stable name (e.g. `"bundle-corruption"`).
+        site: String,
+        /// The ladder rung that handled it (e.g. `"contained-per-view"`).
+        rung: String,
+    },
 }
 
 impl DeviceEvent {
@@ -79,7 +94,8 @@ impl DeviceEvent {
             | DeviceEvent::ConfigChange { at, .. }
             | DeviceEvent::AsyncDelivered { at, .. }
             | DeviceEvent::Crash { at, .. }
-            | DeviceEvent::GcPass { at, .. } => *at,
+            | DeviceEvent::GcPass { at, .. }
+            | DeviceEvent::Fault { at, .. } => *at,
         }
     }
 }
@@ -117,6 +133,12 @@ mod tests {
                 at: t,
                 collected: false,
             },
+            DeviceEvent::Fault {
+                at: t,
+                component: "c".into(),
+                site: "bundle-corruption".into(),
+                rung: "fallback-restart".into(),
+            },
         ];
         for e in events {
             assert_eq!(e.at(), t);
@@ -131,6 +153,7 @@ mod tests {
             HandlingPath::Relaunch,
             HandlingPath::RchInit,
             HandlingPath::RchFlip,
+            HandlingPath::RchFallback,
             HandlingPath::RuntimeDroidInPlace,
         ];
         for (i, a) in paths.iter().enumerate() {

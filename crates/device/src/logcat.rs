@@ -19,6 +19,7 @@ fn path_name(path: HandlingPath) -> &'static str {
         HandlingPath::Relaunch => "relaunch",
         HandlingPath::RchInit => "rchdroid-init",
         HandlingPath::RchFlip => "rchdroid-flip",
+        HandlingPath::RchFallback => "rchdroid-fallback",
         HandlingPath::RuntimeDroidInPlace => "runtimedroid-inplace",
     }
 }
@@ -60,6 +61,10 @@ impl Device {
                     "{:>10.3} D {TAG}: shadow GC pass ({})",
                     at.as_secs_f64(),
                     if *collected { "collected" } else { "kept" }
+                ),
+                DeviceEvent::Fault { at, component, site, rung } => format!(
+                    "{:>10.3} W {TAG}: fault at {site} in {component} absorbed by {rung}",
+                    at.as_secs_f64()
                 ),
             })
             .filter(|line| filter.is_none_or(|f| line.contains(f)))
@@ -111,6 +116,30 @@ mod tests {
         let all = d.logcat(None);
         assert!(all.iter().any(|l| l.contains("Displayed com.bench/.Main")));
         assert!(all.len() > d.logcat(Some(super::TAG)).len());
+    }
+
+    #[test]
+    fn absorbed_fault_appears_as_tagged_warning() {
+        use droidsim_faults::{FaultPlan, FaultSite};
+        let mut d = Device::new(HandlingMode::rchdroid_default());
+        let c = d
+            .install_and_launch(Box::new(SimpleApp::with_views(2)), 40 << 20, 1.0)
+            .unwrap();
+        d.arm_faults(
+            &c,
+            FaultPlan::seeded(3).on_nth_probe(FaultSite::BundleCorruption, 1),
+        )
+        .unwrap();
+        d.rotate().unwrap();
+        let faults = d.logcat(Some("fault at"));
+        assert_eq!(faults.len(), 1);
+        assert!(faults[0].contains(super::TAG));
+        assert!(faults[0].contains("bundle-corruption"));
+        assert!(faults[0].contains("fallback-restart"));
+        assert!(d
+            .logcat(Some(super::TAG))
+            .iter()
+            .any(|l| l.contains("rchdroid-fallback")));
     }
 
     #[test]

@@ -5,7 +5,10 @@
 //!
 //! * **coin-flipping** (§3.4) — with it off, every change creates a fresh
 //!   sunny instance: steady-state latency degrades from the flip cost to
-//!   the init cost (Fig. 10a's two RCHDroid lines collapse into one),
+//!   the init cost (Fig. 10a's two RCHDroid lines collapse into one), and
+//!   in-flight async callbacks go stale when the single-shadow invariant
+//!   releases the previous shadow — the supervisor drops them (the update
+//!   is lost) where stock Android would crash,
 //! * **lazy migration** (§3.3) — with it off, async results still land
 //!   safely (the shadow is alive, so no crash), but the foreground tree
 //!   goes stale: correctness, not latency, is what migration buys,
@@ -219,12 +222,32 @@ mod tests {
             no_flip.steady_latency_ms
         );
         // A second-order finding the ablation surfaces: the coin flip
-        // also extends *safety*. Without reuse, the single-shadow
-        // invariant forces the previous shadow to be released on every
-        // change — and an async task still bound to it crashes exactly as
-        // on stock Android.
-        assert!(!no_flip.survived);
+        // also preserves in-flight async work. Without reuse, the
+        // single-shadow invariant forces the previous shadow to be
+        // released on every change, so a task still bound to it goes
+        // stale — the supervisor drops the callback (rung-1 containment
+        // of what stock Android surfaces as the NullPointerException
+        // crash), and the update is silently lost.
+        assert!(no_flip.survived, "supervision contains the stale callback");
         assert!(full.survived);
+
+        // The lost update is visible in the fault ledger.
+        let mut d = Device::new(HandlingMode::rchdroid_ablated(RchOptions {
+            coin_flip: false,
+            ..RchOptions::default()
+        }));
+        let app = SimpleApp::with_views(4);
+        let task = app.button_task();
+        let c = d
+            .install_and_launch(Box::new(app), BENCHMARK_BASE_MEMORY, 1.0)
+            .expect("launch");
+        d.start_async_on_foreground(task).expect("press");
+        let _ = d.rotate();
+        d.advance(SimDuration::from_secs(1));
+        let _ = d.rotate(); // releases the first shadow: the task is now stale
+        d.advance(SimDuration::from_secs(8));
+        assert!(!d.is_crashed(&c));
+        assert_eq!(d.fault_metrics(&c).unwrap().site_count("stale-callback"), 1);
     }
 
     #[test]

@@ -29,6 +29,8 @@ fn burst_utilisation(path: HandlingPath) -> f64 {
         HandlingPath::Relaunch => 0.39,
         HandlingPath::RchInit => 0.46,
         HandlingPath::RchFlip => 0.67,
+        // The fallback replays the stock restart path.
+        HandlingPath::RchFallback => 0.39,
         HandlingPath::RuntimeDroidInPlace => 0.45,
         HandlingPath::HandledByApp => 0.30,
         HandlingPath::NoChange => 0.0,

@@ -1,0 +1,285 @@
+//! Deterministic fault injection for the supervised migration subsystem.
+//!
+//! RCHDroid's promise is that runtime-change handling never leaves an
+//! activity in a worse state than stock Android's restart path. Testing
+//! that promise needs failures on demand: a [`FaultPlan`] decides, at
+//! named [`FaultSite`]s on the handling path, whether this particular
+//! probe fails — either at a seeded per-site rate or forced at an exact
+//! probe index.
+//!
+//! Determinism is the whole point: every site draws from its **own**
+//! PRNG stream (derived from the plan seed with a SplitMix64 splitter),
+//! so the verdicts at one site do not depend on how often other sites
+//! were probed, and two holders of clones of the same plan that probe
+//! *disjoint* site sets reproduce the exact same fault schedule as a
+//! single holder would. Replaying a failing seed replays the faults.
+
+use core::fmt;
+use droidsim_kernel::{SplitMix64, Xoshiro256};
+
+/// A named point on the change-handling path where a fault can strike.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum FaultSite {
+    /// The essence-based mapping fails to resolve a view's sunny peer
+    /// even though one should exist (a stale or lost coupling entry).
+    EssenceMappingMiss,
+    /// The per-type Table-1 attribute copy of one view blows up.
+    AttributeCopy,
+    /// The saved-instance-state parcel is corrupted when the shadow
+    /// bundle is snapshotted (restore must proceed without it).
+    BundleCorruption,
+    /// The app's async callback panics while running on the shadow
+    /// instance.
+    AsyncCallbackPanic,
+    /// A migration flush overruns its virtual-time deadline budget.
+    FlushDeadlineOverrun,
+    /// Allocating the sunny instance fails under GC pressure.
+    AllocationFailure,
+}
+
+impl FaultSite {
+    /// Every site, in a fixed order (the fault matrix iterates this).
+    pub const ALL: [FaultSite; 6] = [
+        FaultSite::EssenceMappingMiss,
+        FaultSite::AttributeCopy,
+        FaultSite::BundleCorruption,
+        FaultSite::AsyncCallbackPanic,
+        FaultSite::FlushDeadlineOverrun,
+        FaultSite::AllocationFailure,
+    ];
+
+    /// A stable, log-friendly name (keys metrics and logcat lines).
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultSite::EssenceMappingMiss => "essence-mapping-miss",
+            FaultSite::AttributeCopy => "attribute-copy",
+            FaultSite::BundleCorruption => "bundle-corruption",
+            FaultSite::AsyncCallbackPanic => "async-callback-panic",
+            FaultSite::FlushDeadlineOverrun => "flush-deadline-overrun",
+            FaultSite::AllocationFailure => "allocation-failure",
+        }
+    }
+
+    fn index(self) -> usize {
+        match self {
+            FaultSite::EssenceMappingMiss => 0,
+            FaultSite::AttributeCopy => 1,
+            FaultSite::BundleCorruption => 2,
+            FaultSite::AsyncCallbackPanic => 3,
+            FaultSite::FlushDeadlineOverrun => 4,
+            FaultSite::AllocationFailure => 5,
+        }
+    }
+}
+
+impl fmt::Display for FaultSite {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+const SITES: usize = FaultSite::ALL.len();
+
+/// A seeded, deterministic schedule of injected faults.
+///
+/// Each site has an independent injection rate (probability per probe),
+/// an optional set of *forced* probe indices (1-based: "fail the nth
+/// time this site is asked"), and its own PRNG stream. The default plan
+/// is [`FaultPlan::disarmed`] — it never injects and never draws.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPlan {
+    seed: u64,
+    rngs: [Xoshiro256; SITES],
+    rates: [f64; SITES],
+    forced: [Vec<u64>; SITES],
+    probes: [u64; SITES],
+    injected: [u64; SITES],
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        FaultPlan::disarmed()
+    }
+}
+
+impl FaultPlan {
+    /// A plan that never injects (the production configuration).
+    pub fn disarmed() -> Self {
+        FaultPlan::seeded(0)
+    }
+
+    /// A plan with per-site streams derived from `seed` and all rates at
+    /// zero; arm sites with [`FaultPlan::with_rate`] /
+    /// [`FaultPlan::on_nth_probe`].
+    pub fn seeded(seed: u64) -> Self {
+        let mut splitter = SplitMix64::new(seed);
+        FaultPlan {
+            seed,
+            rngs: core::array::from_fn(|_| Xoshiro256::seed_from(splitter.next_u64())),
+            rates: [0.0; SITES],
+            forced: core::array::from_fn(|_| Vec::new()),
+            probes: [0; SITES],
+            injected: [0; SITES],
+        }
+    }
+
+    /// The seed the per-site streams derive from.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Sets one site's injection probability per probe (clamped to
+    /// `[0, 1]`).
+    pub fn with_rate(mut self, site: FaultSite, rate: f64) -> Self {
+        self.rates[site.index()] = rate.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Sets every site's injection probability (clamped to `[0, 1]`).
+    pub fn with_rate_everywhere(mut self, rate: f64) -> Self {
+        for site in FaultSite::ALL {
+            self.rates[site.index()] = rate.clamp(0.0, 1.0);
+        }
+        self
+    }
+
+    /// Forces an injection at the `nth` probe of `site` (1-based),
+    /// regardless of the site's rate. Repeatable for several indices.
+    pub fn on_nth_probe(mut self, site: FaultSite, nth: u64) -> Self {
+        if nth > 0 {
+            self.forced[site.index()].push(nth);
+        }
+        self
+    }
+
+    /// Whether any site can ever inject.
+    pub fn is_armed(&self) -> bool {
+        self.rates.iter().any(|&r| r > 0.0) || self.forced.iter().any(|f| !f.is_empty())
+    }
+
+    /// One probe: should the fault at `site` strike now?
+    ///
+    /// Counts the probe, consults the forced indices, then (only for a
+    /// non-zero rate) draws from the site's own stream — so rate-zero
+    /// sites cost nothing and never perturb other sites' verdicts.
+    pub fn should_inject(&mut self, site: FaultSite) -> bool {
+        let i = site.index();
+        self.probes[i] += 1;
+        let hit = if self.forced[i].contains(&self.probes[i]) {
+            true
+        } else if self.rates[i] > 0.0 {
+            self.rngs[i].next_f64() < self.rates[i]
+        } else {
+            false
+        };
+        if hit {
+            self.injected[i] += 1;
+        }
+        hit
+    }
+
+    /// Probes recorded at `site` so far.
+    pub fn probes(&self, site: FaultSite) -> u64 {
+        self.probes[site.index()]
+    }
+
+    /// Injections recorded at `site` so far.
+    pub fn injected(&self, site: FaultSite) -> u64 {
+        self.injected[site.index()]
+    }
+
+    /// Total injections across all sites.
+    pub fn total_injected(&self) -> u64 {
+        self.injected.iter().sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disarmed_plan_never_injects() {
+        let mut plan = FaultPlan::disarmed();
+        assert!(!plan.is_armed());
+        for _ in 0..1000 {
+            for site in FaultSite::ALL {
+                assert!(!plan.should_inject(site));
+            }
+        }
+        assert_eq!(plan.total_injected(), 0);
+        assert_eq!(plan.probes(FaultSite::AttributeCopy), 1000);
+    }
+
+    #[test]
+    fn same_seed_reproduces_the_same_schedule() {
+        let schedule = |seed: u64| -> Vec<bool> {
+            let mut plan = FaultPlan::seeded(seed).with_rate_everywhere(0.3);
+            (0..200)
+                .map(|i| plan.should_inject(FaultSite::ALL[i % FaultSite::ALL.len()]))
+                .collect()
+        };
+        assert_eq!(schedule(42), schedule(42));
+        assert_ne!(schedule(42), schedule(43), "different seeds diverge");
+    }
+
+    #[test]
+    fn sites_draw_from_independent_streams() {
+        // Probing extra sites in between must not change another site's
+        // verdict sequence.
+        let isolated = |noise: bool| -> Vec<bool> {
+            let mut plan = FaultPlan::seeded(7).with_rate_everywhere(0.5);
+            (0..100)
+                .map(|_| {
+                    if noise {
+                        plan.should_inject(FaultSite::BundleCorruption);
+                        plan.should_inject(FaultSite::AllocationFailure);
+                    }
+                    plan.should_inject(FaultSite::AttributeCopy)
+                })
+                .collect()
+        };
+        assert_eq!(isolated(false), isolated(true));
+    }
+
+    #[test]
+    fn rate_controls_the_injection_fraction() {
+        let mut plan = FaultPlan::seeded(1).with_rate(FaultSite::AttributeCopy, 0.2);
+        let hits = (0..10_000)
+            .filter(|_| plan.should_inject(FaultSite::AttributeCopy))
+            .count();
+        let fraction = hits as f64 / 10_000.0;
+        assert!((fraction - 0.2).abs() < 0.02, "got {fraction}");
+        assert_eq!(plan.injected(FaultSite::AttributeCopy), hits as u64);
+    }
+
+    #[test]
+    fn forced_nth_probe_fires_exactly_there() {
+        let mut plan = FaultPlan::seeded(9)
+            .on_nth_probe(FaultSite::BundleCorruption, 3)
+            .on_nth_probe(FaultSite::BundleCorruption, 5);
+        let verdicts: Vec<bool> = (0..6)
+            .map(|_| plan.should_inject(FaultSite::BundleCorruption))
+            .collect();
+        assert_eq!(verdicts, [false, false, true, false, true, false]);
+        assert!(plan.is_armed());
+    }
+
+    #[test]
+    fn rates_clamp_to_unit_interval() {
+        let mut plan = FaultPlan::seeded(2).with_rate(FaultSite::AsyncCallbackPanic, 7.5);
+        assert!(plan.should_inject(FaultSite::AsyncCallbackPanic));
+        let mut never = FaultPlan::seeded(2).with_rate(FaultSite::AsyncCallbackPanic, -1.0);
+        assert!(!never.should_inject(FaultSite::AsyncCallbackPanic));
+    }
+
+    #[test]
+    fn names_are_stable_and_distinct() {
+        let mut seen = std::collections::BTreeSet::new();
+        for site in FaultSite::ALL {
+            assert!(seen.insert(site.name()));
+            assert_eq!(site.to_string(), site.name());
+        }
+        assert_eq!(seen.len(), 6);
+    }
+}

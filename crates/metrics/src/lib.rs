@@ -25,6 +25,7 @@
 
 pub mod cost;
 pub mod energy;
+pub mod faults;
 pub mod memory;
 pub mod migration;
 pub mod stats;
@@ -32,6 +33,7 @@ pub mod trace;
 
 pub use cost::{AppCostProfile, CostModel, CostParams};
 pub use energy::EnergyModel;
+pub use faults::FaultMetrics;
 pub use memory::{MemoryModel, MemorySnapshot};
 pub use migration::MigrationMetrics;
 pub use stats::{Histogram, Summary};
