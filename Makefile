@@ -3,9 +3,10 @@
 
 CARGO ?= cargo
 
-.PHONY: ci build test fmt fmt-fix clippy bench-smoke fault-matrix
+.PHONY: ci build test fmt fmt-fix clippy bench-smoke fault-matrix \
+	fleet-determinism bench-json
 
-ci: build test fmt clippy fault-matrix bench-smoke
+ci: build test fmt clippy fault-matrix fleet-determinism bench-smoke
 
 # Seeds for the fault-injection suite. Debug builds keep the
 # batched-vs-eager equivalence checker armed, so each seed also
@@ -37,3 +38,22 @@ bench-smoke:
 	$(CARGO) bench -p rch-bench --bench fig07_handling_time_27 -- --test
 	$(CARGO) bench -p rch-bench --bench migration_batching -- --test
 	$(CARGO) bench -p rch-bench --bench robustness_faults -- --test
+	$(CARGO) bench -p rch-bench --bench fleet_parallel -- --test
+
+# The fleet determinism gate: a parallel run's per-device digests must
+# be bit-identical to the DROIDSIM_JOBS=1 inline run (3 seeds, 5% fault
+# rate). Runs the suite twice so worker counts above and below the
+# machine's core count are both exercised.
+fleet-determinism:
+	$(CARGO) test -q --test fleet_determinism
+	DROIDSIM_JOBS=2 $(CARGO) test -q --test fleet_determinism
+
+# Real (non-smoke) runs of the fleet and migration benches, with the
+# vendored criterion harness writing its estimates as compact JSON
+# artifacts under results/.
+bench-json:
+	mkdir -p results
+	CRITERION_JSON=$(CURDIR)/results/BENCH_fleet.json \
+		$(CARGO) bench -p rch-bench --bench fleet_parallel
+	CRITERION_JSON=$(CURDIR)/results/BENCH_migration.json \
+		$(CARGO) bench -p rch-bench --bench migration_batching

@@ -180,7 +180,7 @@ fn graft_subtree(
     parent: ViewId,
 ) -> Result<ViewId, ViewError> {
     let src = source.view(node)?;
-    let new_id = dest.add_view(parent, src.kind.clone(), src.id_name.as_deref())?;
+    let new_id = dest.add_view(parent, src.kind.clone(), src.id_name_str())?;
     {
         let dst = dest.view_mut(new_id)?;
         dst.attrs = src.attrs.clone();

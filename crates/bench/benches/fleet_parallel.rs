@@ -1,0 +1,69 @@
+//! The fleet driver itself: one top-100 sample simulated serially and
+//! with 2/4/8 workers. Every worker count must reduce to the identical
+//! digest — the bench asserts that before timing anything — so the only
+//! difference between the arms is wall-clock, never results.
+//!
+//! On a single-core machine the parallel arms degenerate to roughly the
+//! serial cost plus scheduling overhead; on an N-core runner the 4-way
+//! arm is the headline number for the speedup criterion.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use droidsim_device::HandlingMode;
+use droidsim_fleet::{combine_ordered, run_fleet, Digest, FleetConfig};
+use rch_experiments::{run_app, RunConfig};
+use rch_workloads::top100_sample;
+use std::hint::black_box;
+
+/// Sample size: enough devices that partitioning matters, small enough
+/// that a bench iteration stays under a second.
+const APPS: usize = 12;
+
+/// Simulates the sample under both handling modes and reduces the
+/// per-app digests in item order.
+fn simulate(cfg: &FleetConfig) -> u64 {
+    let digests = run_fleet(cfg, top100_sample(APPS), |_ctx, spec| {
+        let stock = run_app(&spec, &RunConfig::new(HandlingMode::Android10));
+        let rch = run_app(&spec, &RunConfig::new(HandlingMode::rchdroid_default()));
+        let mut d = Digest::new();
+        d.write_str(&spec.name);
+        d.write_f64(stock.mean_latency_ms());
+        d.write_f64(rch.mean_latency_ms());
+        d.write_f64(stock.memory_mib);
+        d.write_f64(rch.memory_mib);
+        d.finish()
+    });
+    combine_ordered(digests)
+}
+
+fn bench(c: &mut Criterion) {
+    let serial = simulate(&FleetConfig::new(1, 0));
+    let mut group = c.benchmark_group("fleet_parallel");
+    for jobs in [1usize, 2, 4, 8] {
+        // Digest identity is the contract: any worker count must
+        // reproduce the serial reduction bit for bit.
+        assert_eq!(
+            simulate(&FleetConfig::new(jobs, 0)),
+            serial,
+            "jobs={jobs} diverged from the serial digest"
+        );
+        group.bench_with_input(BenchmarkId::new("jobs", jobs), &jobs, |b, &jobs| {
+            let cfg = FleetConfig::new(jobs, 0);
+            b.iter(|| black_box(simulate(&cfg)))
+        });
+    }
+    group.finish();
+}
+
+fn fast() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(200))
+        .measurement_time(std::time::Duration::from_millis(800))
+}
+
+criterion_group! {
+    name = benches;
+    config = fast();
+    targets = bench
+}
+criterion_main!(benches);

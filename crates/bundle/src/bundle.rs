@@ -3,6 +3,7 @@
 use crate::parcel::Parcel;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 /// A value stored in a [`Bundle`].
 ///
@@ -71,6 +72,12 @@ value_from!(Bundle => Nested);
 
 /// A typed key-value store with deterministic (sorted) iteration order.
 ///
+/// The entry map is behind an [`Arc`] with copy-on-write semantics:
+/// `Bundle::clone()` is O(1) regardless of payload size, and the storage
+/// is only copied when a *shared* bundle is mutated. Hierarchy-state
+/// save/restore clones nested per-view bundles on every configuration
+/// change, so unchanged subtrees ride along for the price of a refcount.
+///
 /// # Examples
 ///
 /// ```
@@ -80,10 +87,23 @@ value_from!(Bundle => Nested);
 /// b.put("progress", 42i32);
 /// assert_eq!(b.i32("progress"), Some(42));
 /// assert_eq!(b.get("missing"), None);
+///
+/// let snapshot = b.clone(); // O(1): shares storage
+/// assert!(snapshot.shares_storage_with(&b));
+/// b.put("progress", 43i32); // copy-on-write detaches `b`
+/// assert_eq!(snapshot.i32("progress"), Some(42));
 /// ```
-#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct Bundle {
-    entries: BTreeMap<String, Value>,
+    entries: Arc<BTreeMap<String, Value>>,
+}
+
+impl PartialEq for Bundle {
+    fn eq(&self, other: &Self) -> bool {
+        // Shared storage is equal by construction; only detached copies
+        // need the deep compare.
+        Arc::ptr_eq(&self.entries, &other.entries) || self.entries == other.entries
+    }
 }
 
 impl Bundle {
@@ -92,10 +112,17 @@ impl Bundle {
         Bundle::default()
     }
 
+    /// Whether `self` and `other` share the same (copy-on-write) storage.
+    /// Diagnostic for the O(1)-clone guarantee; equal bundles may or may
+    /// not share.
+    pub fn shares_storage_with(&self, other: &Bundle) -> bool {
+        Arc::ptr_eq(&self.entries, &other.entries)
+    }
+
     /// Inserts any [`Value`]-convertible item, returning the previous value
     /// stored under the key, if any.
     pub fn put(&mut self, key: &str, value: impl Into<Value>) -> Option<Value> {
-        self.entries.insert(key.to_owned(), value.into())
+        Arc::make_mut(&mut self.entries).insert(key.to_owned(), value.into())
     }
 
     /// Inserts a boolean.
@@ -183,7 +210,11 @@ impl Bundle {
 
     /// Removes and returns the value under `key`.
     pub fn remove(&mut self, key: &str) -> Option<Value> {
-        self.entries.remove(key)
+        if !self.entries.contains_key(key) {
+            // Don't detach shared storage for a no-op removal.
+            return None;
+        }
+        Arc::make_mut(&mut self.entries).remove(key)
     }
 
     /// Whether a key is present.
@@ -208,7 +239,19 @@ impl Bundle {
 
     /// Merges `other` into `self`; keys in `other` win.
     pub fn merge(&mut self, other: Bundle) {
-        self.entries.extend(other.entries);
+        if other.entries.is_empty() {
+            return;
+        }
+        if self.entries.is_empty() {
+            // Adopt the other storage wholesale: O(1).
+            self.entries = other.entries;
+            return;
+        }
+        let dst = Arc::make_mut(&mut self.entries);
+        match Arc::try_unwrap(other.entries) {
+            Ok(map) => dst.extend(map),
+            Err(shared) => dst.extend(shared.iter().map(|(k, v)| (k.clone(), v.clone()))),
+        }
     }
 
     /// The size in bytes of this bundle flattened into a [`Parcel`] — used
@@ -223,7 +266,7 @@ impl Bundle {
 impl FromIterator<(String, Value)> for Bundle {
     fn from_iter<T: IntoIterator<Item = (String, Value)>>(iter: T) -> Self {
         Bundle {
-            entries: iter.into_iter().collect(),
+            entries: Arc::new(iter.into_iter().collect()),
         }
     }
 }
@@ -308,6 +351,37 @@ mod tests {
         let mut big = small.clone();
         big.put_string("text", &"x".repeat(1000));
         assert!(big.parcel_size() > small.parcel_size() + 900);
+    }
+
+    #[test]
+    fn clone_is_copy_on_write() {
+        let mut original = Bundle::new();
+        original.put_string("text", &"y".repeat(4096));
+        let snapshot = original.clone();
+        assert!(snapshot.shares_storage_with(&original), "clone shares");
+
+        original.put_i32("scroll_y", 9);
+        assert!(!snapshot.shares_storage_with(&original), "write detaches");
+        assert_eq!(snapshot.len(), 1, "snapshot unaffected by later writes");
+        assert_eq!(original.len(), 2);
+
+        // Reads and no-op removals never detach shared storage.
+        let reader = original.clone();
+        assert_eq!(reader.i32("scroll_y"), Some(9));
+        let mut still_shared = original.clone();
+        assert_eq!(still_shared.remove("missing"), None);
+        assert!(still_shared.shares_storage_with(&original));
+    }
+
+    #[test]
+    fn merge_into_empty_adopts_storage() {
+        let mut src = Bundle::new();
+        src.put_i32("k", 7);
+        let snapshot = src.clone();
+        let mut dst = Bundle::new();
+        dst.merge(src);
+        assert!(dst.shares_storage_with(&snapshot));
+        assert_eq!(dst.i32("k"), Some(7));
     }
 
     #[test]

@@ -279,9 +279,11 @@ impl MigrationEngine {
     /// through — and any stale queue is dropped. Returns the number of
     /// shadow views mapped.
     pub fn build_mapping(&mut self, shadow: &mut ViewTree, sunny: &mut ViewTree) -> usize {
-        let sunny_index = sunny.id_name_index();
-        let shadow_index = shadow.id_name_index();
-        let mapped = shadow.set_sunny_peers(&sunny_index);
+        // The indexes are cached on the trees (maintained incrementally on
+        // structural ops), so this no longer re-traverses either hierarchy.
+        // One cheap Symbol→ViewId map clone decouples the borrows.
+        let shadow_index = shadow.id_name_index().clone();
+        let mapped = shadow.set_sunny_peers(sunny.id_name_index());
         sunny.set_sunny_peers(&shadow_index);
         shadow.set_coupling_side(Some(0));
         sunny.set_coupling_side(Some(1));

@@ -8,7 +8,7 @@ use droidsim_atms::{Atms, ConfigDecision, Intent, RecordState};
 use droidsim_config::Configuration;
 use droidsim_faults::FaultPlan;
 use droidsim_kernel::{SimDuration, SimTime, Xoshiro256};
-use droidsim_metrics::{CostModel, FaultMetrics, MemorySnapshot};
+use droidsim_metrics::{CostModel, DeviceMetrics, FaultMetrics, MemorySnapshot};
 use rchdroid::{AsyncDelivery, ChangeKind, GcPolicy, LadderRung, RchOptions};
 use std::collections::BTreeMap;
 
@@ -895,6 +895,22 @@ impl Device {
     /// [`DeviceError::UnknownApp`].
     pub fn fault_metrics(&self, component: &str) -> Result<FaultMetrics, DeviceError> {
         Ok(self.process(component)?.rch.fault_metrics())
+    }
+
+    /// The app's complete per-device metric sink — migration counters
+    /// plus the fault ledger — as one mergeable value. This is what a
+    /// fleet reducer collects per device and folds in index order, so
+    /// parallel runs never interleave histogram writes.
+    ///
+    /// # Errors
+    ///
+    /// [`DeviceError::UnknownApp`].
+    pub fn device_metrics(&self, component: &str) -> Result<DeviceMetrics, DeviceError> {
+        let p = self.process(component)?;
+        Ok(DeviceMetrics {
+            migration: p.rch.migration_metrics().clone(),
+            faults: p.rch.fault_metrics(),
+        })
     }
 
     fn mark_crashed(

@@ -19,6 +19,7 @@
 
 use droidsim_app::SimpleApp;
 use droidsim_device::{Device, DeviceEvent, HandlingMode, HandlingPath};
+use droidsim_fleet::{run_fleet, FleetConfig};
 use droidsim_kernel::SimDuration;
 use rch_workloads::BENCHMARK_BASE_MEMORY;
 use rchdroid::{GcPolicy, RchOptions};
@@ -140,32 +141,40 @@ pub fn gc_disabled() -> GcPolicy {
     GcPolicy::paper_default().with_thresh_t(SimDuration::from_secs(u64::MAX / 2_000_000))
 }
 
-/// Runs the full ablation.
-pub fn run() -> Ablation {
+/// Runs the full ablation, one fleet task per arm. Arm order in the
+/// result is fixed (full system first) regardless of worker count.
+pub fn run_with_config(cfg: &FleetConfig) -> Ablation {
+    let arms: Vec<(&'static str, HandlingMode)> = vec![
+        ("full RCHDroid", HandlingMode::rchdroid_default()),
+        (
+            "no coin-flipping",
+            HandlingMode::rchdroid_ablated(RchOptions {
+                coin_flip: false,
+                ..RchOptions::default()
+            }),
+        ),
+        (
+            "no lazy migration",
+            HandlingMode::rchdroid_ablated(RchOptions {
+                lazy_migration: false,
+                ..RchOptions::default()
+            }),
+        ),
+        (
+            "no shadow GC",
+            HandlingMode::RchDroid(gc_disabled(), RchOptions::default()),
+        ),
+        ("stock Android 10", HandlingMode::Android10),
+    ];
     Ablation {
-        arms: vec![
-            run_arm("full RCHDroid", HandlingMode::rchdroid_default()),
-            run_arm(
-                "no coin-flipping",
-                HandlingMode::rchdroid_ablated(RchOptions {
-                    coin_flip: false,
-                    ..RchOptions::default()
-                }),
-            ),
-            run_arm(
-                "no lazy migration",
-                HandlingMode::rchdroid_ablated(RchOptions {
-                    lazy_migration: false,
-                    ..RchOptions::default()
-                }),
-            ),
-            run_arm(
-                "no shadow GC",
-                HandlingMode::RchDroid(gc_disabled(), RchOptions::default()),
-            ),
-            run_arm("stock Android 10", HandlingMode::Android10),
-        ],
+        arms: run_fleet(cfg, arms, |_ctx, (label, mode)| run_arm(label, mode)),
     }
+}
+
+/// Runs the full ablation with the worker count taken from
+/// `DROIDSIM_JOBS` (default: available cores).
+pub fn run() -> Ablation {
+    run_with_config(&FleetConfig::from_env(None, 0))
 }
 
 /// The events of an arm's device, for white-box assertions in tests.

@@ -1,4 +1,11 @@
 //! Runs the design-choice ablation study; see `rch_experiments::ablation`.
+//!
+//! `--jobs N` (or `DROIDSIM_JOBS=N`) partitions the arms across N
+//! workers; the table is identical for any worker count.
 fn main() {
-    print!("{}", rch_experiments::ablation::run().render());
+    let cfg = rch_experiments::fleet_config_from_args();
+    print!(
+        "{}",
+        rch_experiments::ablation::run_with_config(&cfg).render()
+    );
 }

@@ -1,4 +1,8 @@
 //! Regenerates the paper's fig10 result; see `rch_experiments::fig10`.
+//!
+//! `--jobs N` (or `DROIDSIM_JOBS=N`) partitions the sweep points across
+//! N workers; the rows are identical for any worker count.
 fn main() {
-    print!("{}", rch_experiments::fig10::run().render());
+    let cfg = rch_experiments::fleet_config_from_args();
+    print!("{}", rch_experiments::fig10::run_with_config(&cfg).render());
 }

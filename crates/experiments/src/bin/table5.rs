@@ -1,4 +1,14 @@
 //! Regenerates the paper's table5 result; see `rch_experiments::table5`.
+//!
+//! `--jobs N` (or `DROIDSIM_JOBS=N`) partitions the 100 apps across N
+//! workers; the rows and digest are identical for any worker count.
 fn main() {
-    print!("{}", rch_experiments::table5::run().render());
+    let cfg = rch_experiments::fleet_config_from_args();
+    let study = rch_experiments::table5::run_with_config(&cfg);
+    print!("{}", study.render());
+    println!(
+        "=> fleet: jobs={} study digest {:016x}",
+        cfg.jobs,
+        study.digest()
+    );
 }

@@ -9,6 +9,7 @@
 //!     8.6 → 20.2 ms.
 
 use droidsim_device::{Device, DeviceEvent, HandlingMode, HandlingPath};
+use droidsim_fleet::{combine_ordered, run_fleet, Digest, FleetConfig};
 use droidsim_kernel::SimDuration;
 use rch_workloads::{benchmark_app, view_sweep, BENCHMARK_BASE_MEMORY};
 
@@ -46,6 +47,30 @@ pub struct Fig10 {
 }
 
 impl Fig10 {
+    /// Per-sweep-point digests (both panels' values, bit-exact), in
+    /// sweep order.
+    pub fn digests(&self) -> Vec<u64> {
+        self.a
+            .iter()
+            .zip(&self.b)
+            .map(|(a, b)| {
+                let mut d = Digest::new();
+                d.write_u64(a.views as u64);
+                d.write_f64(a.android10_ms);
+                d.write_f64(a.rchdroid_ms);
+                d.write_f64(a.rchdroid_init_ms);
+                d.write_f64(b.migration_ms);
+                d.write_f64(b.android10_ms);
+                d.finish()
+            })
+            .collect()
+    }
+
+    /// One digest over the whole sweep, folded in sweep order.
+    pub fn digest(&self) -> u64 {
+        combine_ordered(self.digests())
+    }
+
     /// Renders both panels.
     pub fn render(&self) -> String {
         let mut out = String::new();
@@ -128,10 +153,20 @@ fn measure(views: usize) -> (Fig10aRow, Fig10bRow) {
     )
 }
 
-/// Runs the full sweep.
-pub fn run() -> Fig10 {
-    let (a, b) = view_sweep().into_iter().map(measure).unzip();
+/// Runs the full sweep, one fleet task per view count. Each point runs
+/// two fresh devices of its own, so any worker count reproduces the
+/// serial rows exactly.
+pub fn run_with_config(cfg: &FleetConfig) -> Fig10 {
+    let (a, b) = run_fleet(cfg, view_sweep(), |_ctx, views| measure(views))
+        .into_iter()
+        .unzip();
     Fig10 { a, b }
+}
+
+/// Runs the full sweep with the worker count taken from `DROIDSIM_JOBS`
+/// (default: available cores).
+pub fn run() -> Fig10 {
+    run_with_config(&FleetConfig::from_env(None, 0))
 }
 
 #[cfg(test)]

@@ -39,3 +39,20 @@ pub mod table5;
 pub mod variance;
 
 pub use scenario::{run_app, RunConfig, RunOutcome};
+
+/// Builds a [`droidsim_fleet::FleetConfig`] for an experiment binary:
+/// `--jobs N` / `--jobs=N` on the command line wins, then the
+/// `DROIDSIM_JOBS` environment variable, then the machine's available
+/// parallelism. `--jobs 1` selects the legacy serial path.
+pub fn fleet_config_from_args() -> droidsim_fleet::FleetConfig {
+    let mut jobs = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == "--jobs" {
+            jobs = args.next().and_then(|v| v.parse().ok());
+        } else if let Some(v) = a.strip_prefix("--jobs=") {
+            jobs = v.parse().ok();
+        }
+    }
+    droidsim_fleet::FleetConfig::from_env(jobs, 0)
+}

@@ -7,6 +7,7 @@
 
 use crate::scenario::{run_app, RunConfig};
 use droidsim_device::HandlingMode;
+use droidsim_fleet::{combine_ordered, run_fleet, Digest, FleetConfig};
 use droidsim_metrics::Summary;
 use rch_workloads::top100_specs;
 
@@ -33,6 +34,25 @@ pub struct Top100Row {
     pub android10_mib: f64,
     /// PSS under RCHDroid (MiB).
     pub rchdroid_mib: f64,
+}
+
+impl Top100Row {
+    /// A digest of every field, bit-exact for the float columns — what
+    /// the fleet reduction compares between serial and parallel runs.
+    pub fn digest(&self) -> u64 {
+        let mut d = Digest::new();
+        d.write_u64(self.number as u64);
+        d.write_str(&self.name);
+        d.write_str(self.downloads);
+        d.write_str(self.problem.as_deref().unwrap_or(""));
+        d.write_u64(u64::from(self.issue_under_stock));
+        d.write_u64(u64::from(self.fixed_by_rchdroid));
+        d.write_f64(self.android10_ms);
+        d.write_f64(self.rchdroid_ms);
+        d.write_f64(self.android10_mib);
+        d.write_f64(self.rchdroid_mib);
+        d.finish()
+    }
 }
 
 /// The whole study.
@@ -79,6 +99,17 @@ impl Top100Study {
         let stock = Summary::of(&rows.iter().map(|r| r.android10_mib).collect::<Vec<_>>());
         let rch = Summary::of(&rows.iter().map(|r| r.rchdroid_mib).collect::<Vec<_>>());
         (stock.mean, rch.mean)
+    }
+
+    /// Per-app digests in row order (see [`Top100Row::digest`]).
+    pub fn digests(&self) -> Vec<u64> {
+        self.rows.iter().map(Top100Row::digest).collect()
+    }
+
+    /// One digest over the whole study, folding the per-app digests in
+    /// row order. A parallel run must produce the same value as serial.
+    pub fn digest(&self) -> u64 {
+        combine_ordered(self.digests())
     }
 
     /// Renders Table 5 plus the Fig. 14 summaries.
@@ -132,37 +163,42 @@ impl Top100Study {
     }
 }
 
-/// Runs the full study.
-pub fn run() -> Top100Study {
-    let rows = top100_specs()
-        .iter()
-        .enumerate()
-        .map(|(i, spec)| {
-            // Effectiveness is judged after a *single* change (the §6
-            // procedure: change once and observe the state); performance
-            // and memory use the steady-state 4-change workflow.
-            let stock_once = run_app(spec, &RunConfig::new(HandlingMode::Android10).changes(1));
-            let rch_once = run_app(
-                spec,
-                &RunConfig::new(HandlingMode::rchdroid_default()).changes(1),
-            );
-            let stock = run_app(spec, &RunConfig::new(HandlingMode::Android10));
-            let rch = run_app(spec, &RunConfig::new(HandlingMode::rchdroid_default()));
-            Top100Row {
-                number: i + 1,
-                name: spec.name.clone(),
-                downloads: spec.downloads,
-                problem: spec.issue.clone(),
-                issue_under_stock: stock_once.issue_observed(),
-                fixed_by_rchdroid: !rch_once.issue_observed(),
-                android10_ms: stock.mean_latency_ms(),
-                rchdroid_ms: rch.mean_latency_ms(),
-                android10_mib: stock.memory_mib,
-                rchdroid_mib: rch.memory_mib,
-            }
-        })
-        .collect();
+/// Runs the full study, partitioning the 100 apps across the fleet
+/// described by `cfg`. Every app simulates on its own `Device` with its
+/// own clocks and sinks, so the rows — and their digests — are identical
+/// for any worker count.
+pub fn run_with_config(cfg: &FleetConfig) -> Top100Study {
+    let rows = run_fleet(cfg, top100_specs(), |ctx, spec| {
+        // Effectiveness is judged after a *single* change (the §6
+        // procedure: change once and observe the state); performance
+        // and memory use the steady-state 4-change workflow.
+        let stock_once = run_app(&spec, &RunConfig::new(HandlingMode::Android10).changes(1));
+        let rch_once = run_app(
+            &spec,
+            &RunConfig::new(HandlingMode::rchdroid_default()).changes(1),
+        );
+        let stock = run_app(&spec, &RunConfig::new(HandlingMode::Android10));
+        let rch = run_app(&spec, &RunConfig::new(HandlingMode::rchdroid_default()));
+        Top100Row {
+            number: ctx.index + 1,
+            name: spec.name.clone(),
+            downloads: spec.downloads,
+            problem: spec.issue.clone(),
+            issue_under_stock: stock_once.issue_observed(),
+            fixed_by_rchdroid: !rch_once.issue_observed(),
+            android10_ms: stock.mean_latency_ms(),
+            rchdroid_ms: rch.mean_latency_ms(),
+            android10_mib: stock.memory_mib,
+            rchdroid_mib: rch.memory_mib,
+        }
+    });
     Top100Study { rows }
+}
+
+/// Runs the full study with the worker count taken from `DROIDSIM_JOBS`
+/// (default: available cores).
+pub fn run() -> Top100Study {
+    run_with_config(&FleetConfig::from_env(None, 0))
 }
 
 #[cfg(test)]

@@ -1,0 +1,232 @@
+//! Deterministic parallel fleet driver.
+//!
+//! Every experiment harness in this workspace — the top-100 study, the
+//! Fig. 10 sweeps, the fault matrix, the ablations — simulates *devices*:
+//! fully self-contained state machines with their own virtual clock,
+//! event queue, logcat buffer, and metrics sinks. Two devices never share
+//! state, so a study over N devices is embarrassingly parallel. This
+//! crate partitions that work across a [`std::thread::scope`]-based pool
+//! while keeping the result of a parallel run **bit-identical** to the
+//! serial one:
+//!
+//! * **Indexed work, indexed results.** Tasks are claimed from a shared
+//!   atomic counter, but every task knows its index and writes its result
+//!   into its own slot. Reduction folds the slots in index order, so the
+//!   outcome is independent of which worker ran what and when.
+//! * **Per-task RNG streams.** Each task derives its generator with
+//!   [`Xoshiro256::stream`]`(seed, index)` — no draw made by one device
+//!   can perturb another, regardless of scheduling.
+//! * **No cross-task sinks.** Logcat, metrics, and the virtual clock all
+//!   live inside the task's own `Device`; the reducer merges per-device
+//!   [digests](crate::digest) after the fact instead of interleaving
+//!   writes during the run.
+//!
+//! The worker count comes from `--jobs` / the `DROIDSIM_JOBS` environment
+//! variable, defaulting to the machine's available parallelism; `1`
+//! selects the legacy inline path (no threads are spawned at all).
+//!
+//! # Examples
+//!
+//! ```
+//! use droidsim_fleet::{run_fleet, FleetConfig};
+//!
+//! let cfg = FleetConfig::new(4, 42);
+//! let squares = run_fleet(&cfg, (0u64..8).collect(), |mut ctx, n| {
+//!     let _jitter = ctx.rng.next_f64(); // this task's private stream
+//!     n * n
+//! });
+//! assert_eq!(squares, vec![0, 1, 4, 9, 16, 25, 36, 49]);
+//!
+//! let serial = run_fleet(&FleetConfig::new(1, 42), (0u64..8).collect(), |mut ctx, n| {
+//!     let _jitter = ctx.rng.next_f64();
+//!     n * n
+//! });
+//! assert_eq!(squares, serial, "parallel ≡ serial");
+//! ```
+
+pub mod digest;
+
+pub use digest::{combine_ordered, Digest};
+
+use droidsim_kernel::Xoshiro256;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Environment variable overriding the default worker count.
+pub const JOBS_ENV: &str = "DROIDSIM_JOBS";
+
+/// How a fleet run is partitioned.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FleetConfig {
+    /// Worker threads; `1` runs inline on the caller thread.
+    pub jobs: usize,
+    /// Root seed; each task's RNG stream is split from it by index.
+    pub seed: u64,
+}
+
+impl FleetConfig {
+    /// A config with an explicit worker count (clamped to ≥ 1).
+    pub fn new(jobs: usize, seed: u64) -> FleetConfig {
+        FleetConfig {
+            jobs: jobs.max(1),
+            seed,
+        }
+    }
+
+    /// A config resolving the worker count from the environment: an
+    /// explicit `jobs` argument (e.g. from a `--jobs` flag) wins, then
+    /// `DROIDSIM_JOBS`, then the machine's available parallelism.
+    pub fn from_env(jobs: Option<usize>, seed: u64) -> FleetConfig {
+        FleetConfig::new(resolve_jobs(jobs), seed)
+    }
+}
+
+/// Resolves the worker count: explicit argument > `DROIDSIM_JOBS` >
+/// available cores. Invalid or zero values fall through to the next
+/// source; the result is always ≥ 1.
+pub fn resolve_jobs(explicit: Option<usize>) -> usize {
+    if let Some(n) = explicit.filter(|&n| n > 0) {
+        return n;
+    }
+    if let Some(n) = std::env::var(JOBS_ENV)
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&n| n > 0)
+    {
+        return n;
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Per-task context handed to the fleet closure.
+///
+/// The RNG is this task's private stream — identical whether the task
+/// runs on the caller thread or any worker.
+#[derive(Debug)]
+pub struct TaskCtx {
+    /// The task's index in the submitted item list (and in the result
+    /// vector).
+    pub index: usize,
+    /// The fleet's root seed.
+    pub seed: u64,
+    /// The task's own RNG stream (`Xoshiro256::stream(seed, index)`).
+    pub rng: Xoshiro256,
+}
+
+impl TaskCtx {
+    fn new(cfg: &FleetConfig, index: usize) -> TaskCtx {
+        TaskCtx {
+            index,
+            seed: cfg.seed,
+            rng: Xoshiro256::stream(cfg.seed, index as u64),
+        }
+    }
+}
+
+/// Runs `run` over every item, partitioned across `cfg.jobs` workers,
+/// and returns the results **in item order** — bit-identical to the
+/// `jobs = 1` inline run as long as `run` depends only on its arguments.
+///
+/// Work is claimed dynamically (an atomic cursor), so a slow simulation
+/// does not stall the tail of the list behind a static partition.
+pub fn run_fleet<T, R, F>(cfg: &FleetConfig, items: Vec<T>, run: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(TaskCtx, T) -> R + Sync,
+{
+    if cfg.jobs <= 1 || items.len() <= 1 {
+        // Legacy path: no threads, no locks — exactly the old serial loop.
+        return items
+            .into_iter()
+            .enumerate()
+            .map(|(i, item)| run(TaskCtx::new(cfg, i), item))
+            .collect();
+    }
+    let n = items.len();
+    let slots: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
+    let results: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let cursor = AtomicUsize::new(0);
+    let workers = cfg.jobs.min(n);
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let item = slots[i]
+                    .lock()
+                    .expect("fleet item slot poisoned")
+                    .take()
+                    .expect("fleet item claimed twice");
+                let out = run(TaskCtx::new(cfg, i), item);
+                *results[i].lock().expect("fleet result slot poisoned") = Some(out);
+            });
+        }
+    });
+    results
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("fleet result slot poisoned")
+                .expect("fleet task produced no result")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn draw_chain(cfg: &FleetConfig, len: usize) -> Vec<u64> {
+        run_fleet(cfg, (0..len).collect(), |mut ctx, _i| {
+            (0..8)
+                .map(|_| ctx.rng.next_u64())
+                .fold(0u64, u64::wrapping_add)
+        })
+    }
+
+    #[test]
+    fn parallel_results_match_serial_order() {
+        let serial = draw_chain(&FleetConfig::new(1, 7), 32);
+        for jobs in [2, 3, 4, 8] {
+            assert_eq!(
+                draw_chain(&FleetConfig::new(jobs, 7), 32),
+                serial,
+                "jobs={jobs}"
+            );
+        }
+    }
+
+    #[test]
+    fn tasks_see_their_own_stream() {
+        let cfg = FleetConfig::new(4, 9);
+        let firsts = run_fleet(&cfg, (0..16).collect::<Vec<usize>>(), |mut ctx, i| {
+            assert_eq!(ctx.index, i);
+            ctx.rng.next_u64()
+        });
+        let mut unique = firsts.clone();
+        unique.sort_unstable();
+        unique.dedup();
+        assert_eq!(unique.len(), firsts.len(), "streams must not collide");
+        assert_eq!(firsts[3], Xoshiro256::stream(9, 3).next_u64());
+    }
+
+    #[test]
+    fn explicit_jobs_beats_env_and_zero_is_ignored() {
+        assert_eq!(resolve_jobs(Some(3)), 3);
+        assert!(resolve_jobs(Some(0)) >= 1);
+        assert!(resolve_jobs(None) >= 1);
+    }
+
+    #[test]
+    fn empty_and_single_item_fleets_work() {
+        let cfg = FleetConfig::new(8, 1);
+        let none: Vec<u32> = run_fleet(&cfg, Vec::<u32>::new(), |_, x| x);
+        assert!(none.is_empty());
+        assert_eq!(run_fleet(&cfg, vec![5u32], |_, x| x * 2), vec![10]);
+    }
+}

@@ -1,0 +1,190 @@
+//! Global interning of `android:id` names.
+//!
+//! Essence mapping keys views by their `android:id` *name*. Carrying those
+//! names as owned `String`s means every coupling pass and every
+//! hierarchy-state save clones and hashes variable-length text on the hot
+//! path. This module interns each distinct name once, for the lifetime of
+//! the process, and hands out a [`Symbol`] — a `Copy` `u32` that compares
+//! and hashes in one instruction and resolves back to its text in O(1).
+//!
+//! Two properties matter for the simulator:
+//!
+//! * **Stability** — a symbol, once issued, resolves to the same string for
+//!   the rest of the process. Interned text is leaked (id names are a small
+//!   closed set per app; the table is bounded in practice).
+//! * **Determinism** — the *numeric value* of a symbol depends on interning
+//!   order, which may differ between serial and parallel fleet runs. No
+//!   observable output may therefore depend on symbol values; everything
+//!   user-visible goes through [`Symbol::as_str`]. The view-tree index and
+//!   peer maps only use symbols as opaque hash keys, which is safe.
+//!
+//! # Examples
+//!
+//! ```
+//! use droidsim_kernel::Symbol;
+//!
+//! let a = Symbol::intern("btnSend");
+//! let b = Symbol::intern("btnSend");
+//! assert_eq!(a, b);
+//! assert_eq!(a.as_str(), "btnSend");
+//! assert_eq!(a.hierarchy_key(), "view:btnSend");
+//! ```
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::{OnceLock, RwLock};
+
+/// An interned `android:id` name: a `Copy` handle into the process-wide
+/// symbol table.
+///
+/// Equality, ordering, and hashing all operate on the `u32` index, so a
+/// `Symbol` key is as cheap as an integer. Use [`Symbol::as_str`] to get
+/// the text back and [`Symbol::hierarchy_key`] for the precomputed
+/// `view:{name}` bundle key used by hierarchy-state save/restore.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Symbol(u32);
+
+/// The process-wide table. Names are leaked to `&'static str` so resolving
+/// a symbol never copies; the table itself only grows.
+struct Table {
+    by_name: HashMap<&'static str, u32>,
+    /// Indexed by symbol value.
+    names: Vec<&'static str>,
+    /// `view:{name}`, precomputed at interning time so hierarchy-state
+    /// save/restore never formats keys on the hot path.
+    hierarchy_keys: Vec<&'static str>,
+}
+
+fn table() -> &'static RwLock<Table> {
+    static TABLE: OnceLock<RwLock<Table>> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        RwLock::new(Table {
+            by_name: HashMap::new(),
+            names: Vec::new(),
+            hierarchy_keys: Vec::new(),
+        })
+    })
+}
+
+impl Symbol {
+    /// Interns `name`, returning the existing symbol if the name was seen
+    /// before.
+    pub fn intern(name: &str) -> Symbol {
+        if let Some(sym) = Symbol::lookup(name) {
+            return sym;
+        }
+        let mut t = table().write().unwrap();
+        // Double-checked: another thread may have interned between our
+        // read probe and taking the write lock.
+        if let Some(&idx) = t.by_name.get(name) {
+            return Symbol(idx);
+        }
+        let idx = u32::try_from(t.names.len()).expect("symbol table overflow");
+        let leaked: &'static str = Box::leak(name.to_owned().into_boxed_str());
+        let key: &'static str = Box::leak(format!("view:{name}").into_boxed_str());
+        t.by_name.insert(leaked, idx);
+        t.names.push(leaked);
+        t.hierarchy_keys.push(key);
+        Symbol(idx)
+    }
+
+    /// Returns the symbol for `name` if it has already been interned,
+    /// without growing the table. Useful for probe-style lookups
+    /// (`find_by_id_name`) where an unknown name simply means "no match".
+    pub fn lookup(name: &str) -> Option<Symbol> {
+        table()
+            .read()
+            .unwrap()
+            .by_name
+            .get(name)
+            .copied()
+            .map(Symbol)
+    }
+
+    /// The interned text.
+    pub fn as_str(self) -> &'static str {
+        table().read().unwrap().names[self.0 as usize]
+    }
+
+    /// The precomputed `view:{name}` key used for hierarchy-state bundles.
+    pub fn hierarchy_key(self) -> &'static str {
+        table().read().unwrap().hierarchy_keys[self.0 as usize]
+    }
+
+    /// The raw table index. Only for diagnostics — the value depends on
+    /// interning order and must never reach deterministic output.
+    pub fn index(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Debug for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Symbol({:?})", self.as_str())
+    }
+}
+
+impl fmt::Display for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl From<&str> for Symbol {
+    fn from(name: &str) -> Symbol {
+        Symbol::intern(name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_idempotent() {
+        let a = Symbol::intern("idempotent-check");
+        let b = Symbol::intern("idempotent-check");
+        assert_eq!(a, b);
+        assert_eq!(a.index(), b.index());
+    }
+
+    #[test]
+    fn round_trips_text() {
+        let s = Symbol::intern("btnConfirm");
+        assert_eq!(s.as_str(), "btnConfirm");
+        assert_eq!(s.to_string(), "btnConfirm");
+    }
+
+    #[test]
+    fn hierarchy_key_is_prefixed() {
+        let s = Symbol::intern("listMessages");
+        assert_eq!(s.hierarchy_key(), "view:listMessages");
+    }
+
+    #[test]
+    fn lookup_does_not_grow_the_table() {
+        assert_eq!(Symbol::lookup("never-interned-name-xyzzy"), None);
+        assert_eq!(Symbol::lookup("never-interned-name-xyzzy"), None);
+        let s = Symbol::intern("never-interned-name-xyzzy");
+        assert_eq!(Symbol::lookup("never-interned-name-xyzzy"), Some(s));
+    }
+
+    #[test]
+    fn distinct_names_distinct_symbols() {
+        assert_ne!(Symbol::intern("alpha"), Symbol::intern("beta"));
+    }
+
+    #[test]
+    fn concurrent_interning_agrees() {
+        let syms: Vec<Symbol> = std::thread::scope(|scope| {
+            (0..8)
+                .map(|_| scope.spawn(|| Symbol::intern("racy-name")))
+                .collect::<Vec<_>>()
+                .into_iter()
+                .map(|h| h.join().unwrap())
+                .collect()
+        });
+        assert!(syms.windows(2).all(|w| w[0] == w[1]));
+        assert_eq!(syms[0].as_str(), "racy-name");
+    }
+}

@@ -26,11 +26,13 @@
 //! ```
 
 pub mod id;
+pub mod intern;
 pub mod queue;
 pub mod rng;
 pub mod time;
 
 pub use id::IdGen;
+pub use intern::Symbol;
 pub use queue::{Event, EventQueue};
 pub use rng::{SplitMix64, Xoshiro256};
 pub use time::{SimDuration, SimTime};

@@ -1,0 +1,135 @@
+//! Per-device metric sinks for fleet reduction.
+//!
+//! The serial harnesses could get away with one global accumulator; a
+//! parallel fleet cannot — two workers folding histograms into a shared
+//! sink would interleave nondeterministically. [`DeviceMetrics`] is the
+//! per-device sink: each simulated device owns exactly one, filled only
+//! by that device's handler, and the reducer merges the sinks **in
+//! device-index order** after every worker has finished. Merging is
+//! associative over disjoint devices, so the merged aggregate of a
+//! parallel run equals the serial run's, histogram bins and all.
+
+use core::fmt;
+
+use crate::faults::FaultMetrics;
+use crate::migration::MigrationMetrics;
+
+/// Everything one device's handler measured: the batched-migration
+/// counters and the fault-ladder ledger.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct DeviceMetrics {
+    /// Lazy-migration flush counters and histograms.
+    pub migration: MigrationMetrics,
+    /// Degradation-ladder fault ledger.
+    pub faults: FaultMetrics,
+}
+
+impl DeviceMetrics {
+    /// Fresh, all-zero sink.
+    pub fn new() -> DeviceMetrics {
+        DeviceMetrics::default()
+    }
+
+    /// Folds another device's sink into this one. Call in device-index
+    /// order from the fleet reducer so aggregates are reproducible.
+    pub fn merge(&mut self, other: &DeviceMetrics) {
+        self.migration.merge(&other.migration);
+        self.faults.merge(&other.faults);
+    }
+
+    /// A stable one-line rendering covering every counter and histogram
+    /// summary, including the wall-clock latency histograms.
+    pub fn fingerprint(&self) -> String {
+        self.to_string()
+    }
+
+    /// Like [`DeviceMetrics::fingerprint`], restricted to fields that
+    /// depend only on the simulation — counters, batch sizes, fault
+    /// sites. The flush-latency and recovery-latency histograms measure
+    /// host wall-clock, so they contribute only their observation
+    /// counts. This is what fleet determinism digests hash: it must be
+    /// bit-identical between serial and parallel runs of the same seeds.
+    pub fn deterministic_fingerprint(&self) -> String {
+        let m = &self.migration;
+        let f = &self.faults;
+        format!(
+            "migration[flushes={} raw={} coalesced={} batch[{}] latencies={}] \
+             faults[contained={} fallbacks={} crashes={} recoveries={} sites={:?}]",
+            m.flushes,
+            m.raw_invalidations,
+            m.coalesced_entries,
+            m.batch_size,
+            m.flush_latency_ns.count(),
+            f.contained_per_view,
+            f.fallback_restarts,
+            f.crashes,
+            f.recovery_latency_ms.count(),
+            f.by_site(),
+        )
+    }
+}
+
+impl fmt::Display for DeviceMetrics {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "migration[{}] faults[{}]", self.migration, self.faults)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sink(flushes: u64, contained: u64) -> DeviceMetrics {
+        let mut m = DeviceMetrics::new();
+        for _ in 0..flushes {
+            m.migration.record_flush(2, 4, 1_000);
+        }
+        for _ in 0..contained {
+            m.faults.record_contained("attribute-copy");
+        }
+        m
+    }
+
+    #[test]
+    fn merge_is_order_stable_for_disjoint_devices() {
+        // Serial reduction: fold device sinks 0, 1, 2 in order.
+        let devices = [sink(1, 0), sink(2, 3), sink(0, 1)];
+        let mut serial = DeviceMetrics::new();
+        for d in &devices {
+            serial.merge(d);
+        }
+        // "Parallel" reduction: same sinks, same index order (the fleet
+        // reducer's contract), regardless of which worker filled them.
+        let mut parallel = DeviceMetrics::new();
+        for d in &devices {
+            parallel.merge(d);
+        }
+        assert_eq!(serial, parallel);
+        assert_eq!(serial.fingerprint(), parallel.fingerprint());
+        assert_eq!(serial.migration.flushes, 3);
+        assert_eq!(serial.faults.contained_per_view, 4);
+    }
+
+    #[test]
+    fn deterministic_fingerprint_ignores_wall_clock() {
+        let mut a = DeviceMetrics::new();
+        let mut b = DeviceMetrics::new();
+        a.migration.record_flush(2, 4, 1_000);
+        b.migration.record_flush(2, 4, 9_999_999); // same flush, slower host
+        a.faults.record_fallback("bundle-corruption", 0.5);
+        b.faults.record_fallback("bundle-corruption", 123.0);
+        assert_ne!(a.fingerprint(), b.fingerprint());
+        assert_eq!(a.deterministic_fingerprint(), b.deterministic_fingerprint());
+        // But it still sees every simulation-visible difference.
+        b.faults.record_contained("attribute-copy");
+        assert_ne!(a.deterministic_fingerprint(), b.deterministic_fingerprint());
+    }
+
+    #[test]
+    fn fingerprint_covers_both_sinks() {
+        let m = sink(1, 2);
+        let line = m.fingerprint();
+        assert!(line.contains("flushes=1"), "got {line}");
+        assert!(line.contains("contained=2"), "got {line}");
+    }
+}

@@ -26,6 +26,7 @@
 pub mod cost;
 pub mod energy;
 pub mod faults;
+pub mod fleet;
 pub mod memory;
 pub mod migration;
 pub mod stats;
@@ -34,6 +35,7 @@ pub mod trace;
 pub use cost::{AppCostProfile, CostModel, CostParams};
 pub use energy::EnergyModel;
 pub use faults::FaultMetrics;
+pub use fleet::DeviceMetrics;
 pub use memory::{MemoryModel, MemorySnapshot};
 pub use migration::MigrationMetrics;
 pub use stats::{Histogram, Summary};

@@ -137,10 +137,10 @@ impl RuntimeDroid {
         // implement onSaveInstanceState — as long as the view is declared
         // in the layout resource and can be matched by id.
         for id in tree.iter_ids() {
-            let Some(name) = tree.view(id).ok().and_then(|v| v.id_name.clone()) else {
+            let Some(name) = tree.view(id).ok().and_then(|v| v.id_name) else {
                 continue;
             };
-            if let Some(old_id) = activity.tree.find_by_id_name(&name) {
+            if let Some(old_id) = activity.tree.id_name_index().get(&name).copied() {
                 if let Ok(old) = activity.tree.view(old_id) {
                     // Direct object access: user values migrate even when
                     // the view skips the save/restore protocol, while the

@@ -14,6 +14,7 @@ use crate::error::ViewError;
 use crate::kind::{MigrationClass, ViewKind};
 use crate::ops::{DirtyMask, ViewOp};
 use droidsim_bundle::Bundle;
+use droidsim_kernel::Symbol;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
@@ -31,8 +32,11 @@ droidsim_kernel::define_id! {
 pub struct ViewNode {
     /// Instance id within the tree.
     pub id: ViewId,
-    /// The `android:id` name, if declared.
-    pub id_name: Option<String>,
+    /// The `android:id` name, if declared, interned as a [`Symbol`].
+    ///
+    /// Treat as immutable after [`ViewTree::add_view`]: the tree keeps a
+    /// cached name→view index that is maintained on structural ops only.
+    pub id_name: Option<Symbol>,
     /// Concrete class.
     pub kind: ViewKind,
     /// Attribute set.
@@ -61,6 +65,11 @@ impl ViewNode {
     pub fn heap_bytes(&self) -> u64 {
         // Rough per-View object cost on ART; dominated by attrs/drawables.
         512 + self.attrs.heap_bytes()
+    }
+
+    /// The `android:id` name as text, if declared.
+    pub fn id_name_str(&self) -> Option<&'static str> {
+        self.id_name.map(Symbol::as_str)
     }
 }
 
@@ -101,15 +110,23 @@ pub struct ViewTree {
     /// `None` for uncoupled trees. Survives coin flips — the *side* is a
     /// stable identity even though the shadow/sunny *roles* swap.
     coupling_side: Option<u8>,
+    /// Cached `android:id` name → view id index, maintained incrementally
+    /// on the structural ops ([`ViewTree::add_view`] /
+    /// [`ViewTree::remove_view`]) instead of being rebuilt on every
+    /// coupling build or flush. Invariant: always equal to
+    /// [`ViewTree::rebuild_id_name_index`] (lowest live view id wins for
+    /// duplicate names).
+    id_name_index: HashMap<Symbol, ViewId>,
 }
 
 impl ViewTree {
     /// Creates a tree containing only a decor view.
     pub fn new() -> Self {
         let root = ViewId::new(0);
+        let decor_name = Symbol::intern("decor");
         let decor = ViewNode {
             id: root,
-            id_name: Some("decor".to_owned()),
+            id_name: Some(decor_name),
             kind: ViewKind::DecorView,
             attrs: ViewAttrs::new(),
             parent: None,
@@ -127,6 +144,7 @@ impl ViewTree {
             shadow: false,
             sunny: false,
             coupling_side: None,
+            id_name_index: HashMap::from([(decor_name, root)]),
         }
     }
 
@@ -207,9 +225,10 @@ impl ViewTree {
         }
         let id = ViewId::new(self.nodes.len() as u64);
         let freezes_text = kind.is_editable();
+        let id_name = id_name.map(Symbol::intern);
         self.nodes.push(Some(ViewNode {
             id,
-            id_name: id_name.map(str::to_owned),
+            id_name,
             kind,
             attrs: ViewAttrs::new(),
             parent: Some(parent),
@@ -218,6 +237,11 @@ impl ViewTree {
             saves_state: true,
             freezes_text,
         }));
+        if let Some(name) = id_name {
+            // New ids are strictly increasing, so or_insert preserves the
+            // lowest-id-wins invariant without consulting the arena.
+            self.id_name_index.entry(name).or_insert(id);
+        }
         self.view_mut(parent)?.children.push(id);
         Ok(id)
     }
@@ -238,13 +262,31 @@ impl ViewTree {
         }
         let parent = self.view(id)?.parent;
         let mut stack = vec![id];
+        let mut removed_names: Vec<(Symbol, ViewId)> = Vec::new();
         while let Some(current) = stack.pop() {
             if let Some(node) = self
                 .nodes
                 .get_mut(current.raw() as usize)
                 .and_then(Option::take)
             {
+                if let Some(name) = node.id_name {
+                    removed_names.push((name, node.id));
+                }
                 stack.extend(node.children);
+            }
+        }
+        for (name, removed_id) in removed_names {
+            if self.id_name_index.get(&name) == Some(&removed_id) {
+                // The indexed occurrence left the tree; fall back to the
+                // next-lowest live view with the same name, if any.
+                match self.lowest_live_with_name(name) {
+                    Some(next) => {
+                        self.id_name_index.insert(name, next);
+                    }
+                    None => {
+                        self.id_name_index.remove(&name);
+                    }
+                }
             }
         }
         if let Some(parent) = parent {
@@ -253,6 +295,16 @@ impl ViewTree {
             }
         }
         Ok(())
+    }
+
+    /// The lowest live view id carrying `name` (arena scan; only used on
+    /// the rare remove-of-an-indexed-name path).
+    fn lowest_live_with_name(&self, name: Symbol) -> Option<ViewId> {
+        self.nodes
+            .iter()
+            .flatten()
+            .find(|n| n.id_name == Some(name))
+            .map(|n| n.id)
     }
 
     /// Applies a mutation and records an invalidation (the generic update
@@ -407,13 +459,13 @@ impl ViewTree {
         self.nodes.iter().flatten().count()
     }
 
-    /// Finds a view by its `android:id` name.
+    /// Finds a view by its `android:id` name — an O(1) lookup against the
+    /// cached index (lowest live view id wins for duplicate names).
     pub fn find_by_id_name(&self, id_name: &str) -> Option<ViewId> {
-        self.nodes
-            .iter()
-            .flatten()
-            .find(|n| n.id_name.as_deref() == Some(id_name))
-            .map(|n| n.id)
+        // `lookup` (not `intern`) so probing with arbitrary strings never
+        // grows the global symbol table.
+        let sym = Symbol::lookup(id_name)?;
+        self.id_name_index.get(&sym).copied()
     }
 
     /// Total heap footprint of the hierarchy in bytes.
@@ -431,13 +483,13 @@ impl ViewTree {
             if !node.saves_state {
                 continue; // custom view without onSaveInstanceState
             }
-            if let Some(name) = &node.id_name {
+            if let Some(name) = node.id_name {
                 let mut state = node.attrs.save_user_state();
                 if !node.freezes_text {
                     state.remove("text");
                 }
                 if !state.is_empty() {
-                    out.put_bundle(&format!("view:{name}"), state);
+                    out.put_bundle(name.hierarchy_key(), state);
                 }
             }
         }
@@ -450,10 +502,10 @@ impl ViewTree {
     pub fn restore_hierarchy_state(&mut self, state: &Bundle) {
         for id in self.iter_ids() {
             let Ok(node) = self.view(id) else { continue };
-            let Some(name) = node.id_name.clone() else {
+            let Some(name) = node.id_name else {
                 continue;
             };
-            if let Some(saved) = state.bundle(&format!("view:{name}")) {
+            if let Some(saved) = state.bundle(name.hierarchy_key()) {
                 let saved = saved.clone();
                 if let Ok(node) = self.view_mut(id) {
                     node.attrs.restore_user_state(&saved);
@@ -493,15 +545,24 @@ impl ViewTree {
     }
 
     /// `Activity.getAllSunnyViews`: the hash table of id name → view id
-    /// built by traversing a sunny tree (the first half of the
-    /// essence-based mapping).
-    pub fn id_name_index(&self) -> std::collections::HashMap<String, ViewId> {
-        let mut index = std::collections::HashMap::new();
-        for id in self.iter_ids() {
-            if let Ok(node) = self.view(id) {
-                if let Some(name) = &node.id_name {
-                    index.entry(name.clone()).or_insert(id);
-                }
+    /// for this tree (the first half of the essence-based mapping).
+    ///
+    /// The index is cached and maintained incrementally on structural ops,
+    /// so a coupling build or flush no longer re-traverses the tree or
+    /// clones any strings. For duplicate names the lowest live view id
+    /// wins, matching [`ViewTree::find_by_id_name`].
+    pub fn id_name_index(&self) -> &HashMap<Symbol, ViewId> {
+        &self.id_name_index
+    }
+
+    /// Rebuilds the id-name index from scratch by scanning the arena.
+    /// The cached [`ViewTree::id_name_index`] must always equal this;
+    /// exposed so tests can check the invariant.
+    pub fn rebuild_id_name_index(&self) -> HashMap<Symbol, ViewId> {
+        let mut index = HashMap::new();
+        for node in self.nodes.iter().flatten() {
+            if let Some(name) = node.id_name {
+                index.entry(name).or_insert(node.id);
             }
         }
         index
@@ -510,21 +571,14 @@ impl ViewTree {
     /// `Activity.setSunnyViews`: stores sunny-peer pointers on this
     /// (shadow) tree by looking up each view's id name in a sunny tree's
     /// index. Returns how many views were mapped.
-    pub fn set_sunny_peers(
-        &mut self,
-        sunny_index: &std::collections::HashMap<String, ViewId>,
-    ) -> usize {
+    pub fn set_sunny_peers(&mut self, sunny_index: &HashMap<Symbol, ViewId>) -> usize {
         let ids = self.iter_ids();
         let mut mapped = 0;
         for id in ids {
             let Ok(node) = self.view_mut(id) else {
                 continue;
             };
-            node.sunny_peer = node
-                .id_name
-                .as_ref()
-                .and_then(|n| sunny_index.get(n))
-                .copied();
+            node.sunny_peer = node.id_name.and_then(|n| sunny_index.get(&n)).copied();
             if node.sunny_peer.is_some() {
                 mapped += 1;
             }
@@ -723,7 +777,7 @@ mod tests {
         let (mut shadow, ..) = tree_with_views();
         let (sunny, ..) = tree_with_views();
         let index = sunny.id_name_index();
-        let mapped = shadow.set_sunny_peers(&index);
+        let mapped = shadow.set_sunny_peers(index);
         // decor + panel + name have ids → 3 mapped; anonymous image not.
         assert_eq!(mapped, 3);
         let name_view = shadow.find_by_id_name("name").unwrap();
@@ -749,6 +803,29 @@ mod tests {
         t.apply(image, ViewOp::SetDrawable("big.png".into(), 1 << 20))
             .unwrap();
         assert!(t.heap_bytes() > before + (1 << 20) - 1);
+    }
+
+    #[test]
+    fn cached_index_tracks_structural_ops() {
+        let (mut t, panel, text, _) = tree_with_views();
+        assert_eq!(*t.id_name_index(), t.rebuild_id_name_index());
+        assert_eq!(t.id_name_index().len(), 3); // decor, panel, name
+
+        // A duplicate name indexes the lowest id; removing it falls back
+        // to the survivor.
+        let dup = t.add_view(panel, ViewKind::TextView, Some("name")).unwrap();
+        assert_eq!(t.find_by_id_name("name"), Some(text));
+        assert_eq!(*t.id_name_index(), t.rebuild_id_name_index());
+        t.remove_view(text).unwrap();
+        assert_eq!(t.find_by_id_name("name"), Some(dup));
+        assert_eq!(*t.id_name_index(), t.rebuild_id_name_index());
+
+        // Subtree removal drops every indexed name underneath.
+        t.remove_view(panel).unwrap();
+        assert_eq!(t.find_by_id_name("name"), None);
+        assert_eq!(t.find_by_id_name("panel"), None);
+        assert_eq!(*t.id_name_index(), t.rebuild_id_name_index());
+        assert_eq!(t.id_name_index().len(), 1); // decor remains
     }
 
     #[test]

@@ -25,5 +25,5 @@ pub mod tp27;
 
 pub use benchmark::{benchmark_app, view_sweep, DeepApp, BENCHMARK_BASE_MEMORY};
 pub use generic::{GenericApp, GenericAppSpec, StateItem, StateMechanism};
-pub use top100::top100_specs;
+pub use top100::{top100_sample, top100_specs};
 pub use tp27::tp27_specs;

@@ -151,6 +151,15 @@ const DYNAMIC_VIEW_APPS: [&str; 5] = [
     "SmartBooster",
 ];
 
+/// The first `n` specs of Table 5, in the paper's order — a mini study
+/// for fleet benchmarks and determinism checks that need real top-100
+/// workloads without the full 100-app wall-clock cost.
+pub fn top100_sample(n: usize) -> Vec<GenericAppSpec> {
+    let mut specs = top100_specs();
+    specs.truncate(n);
+    specs
+}
+
 /// The 100 specs of Table 5, in the paper's order.
 pub fn top100_specs() -> Vec<GenericAppSpec> {
     let rows = table5_rows();

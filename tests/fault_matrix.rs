@@ -12,8 +12,16 @@
 use droidsim_app::SimpleApp;
 use droidsim_device::{Device, DeviceEvent, HandlingMode};
 use droidsim_faults::{FaultPlan, FaultSite};
+use droidsim_fleet::{run_fleet, FleetConfig};
 use droidsim_kernel::SimDuration;
 use rchdroid::{FlushPolicy, GcPolicy, RchOptions};
+
+/// The matrix loops fan out across the fleet (`DROIDSIM_JOBS`, default
+/// all cores); each cell simulates on its own `Device` and returns only
+/// plain data, so outcomes are identical for any worker count.
+fn fleet() -> FleetConfig {
+    FleetConfig::from_env(None, 0)
+}
 
 /// Seeds exercised when `FAULT_SEED` is unset.
 const DEFAULT_SEEDS: [u64; 6] = [1, 2, 3, 5, 8, 13];
@@ -62,34 +70,47 @@ fn run_scenario(mode: HandlingMode, plan: FaultPlan) -> (Device, String) {
     (d, c)
 }
 
+/// What one matrix cell observed; `Device` itself stays inside the
+/// fleet task (app models are not `Send`), only this crosses threads.
+struct CellOutcome {
+    label: String,
+    injected: u64,
+    at_site: u64,
+    crashed: bool,
+    rung3: u64,
+    has_foreground: bool,
+}
+
 #[test]
 fn every_forced_site_is_absorbed_by_the_ladder() {
+    let mut cells = Vec::new();
     for seed in seeds() {
         for mode in modes() {
             for site in FaultSite::ALL {
-                let plan = FaultPlan::seeded(seed).on_nth_probe(site, 1);
-                let (d, c) = run_scenario(mode, plan);
-                let m = d.fault_metrics(&c).unwrap();
-                assert!(
-                    m.total_faults() >= 1,
-                    "seed {seed} {mode:?}: {site} never injected"
-                );
-                assert!(
-                    m.site_count(site.name()) >= 1,
-                    "seed {seed} {mode:?}: {site} absorbed under the wrong site"
-                );
-                assert!(
-                    !d.is_crashed(&c),
-                    "seed {seed} {mode:?}: {site} escalated to a crash"
-                );
-                assert_eq!(
-                    m.crashes, 0,
-                    "seed {seed} {mode:?}: {site} recorded a rung-3 escalation"
-                );
-                // The device stays usable after absorption.
-                assert!(d.foreground_component().is_some());
+                cells.push((seed, mode, site));
             }
         }
+    }
+    let outcomes = run_fleet(&fleet(), cells, |_ctx, (seed, mode, site)| {
+        let plan = FaultPlan::seeded(seed).on_nth_probe(site, 1);
+        let (d, c) = run_scenario(mode, plan);
+        let m = d.fault_metrics(&c).unwrap();
+        CellOutcome {
+            label: format!("seed {seed} {mode:?}: {site}"),
+            injected: m.total_faults(),
+            at_site: m.site_count(site.name()),
+            crashed: d.is_crashed(&c),
+            rung3: m.crashes,
+            has_foreground: d.foreground_component().is_some(),
+        }
+    });
+    for o in outcomes {
+        assert!(o.injected >= 1, "{} never injected", o.label);
+        assert!(o.at_site >= 1, "{} absorbed under the wrong site", o.label);
+        assert!(!o.crashed, "{} escalated to a crash", o.label);
+        assert_eq!(o.rung3, 0, "{} recorded a rung-3 escalation", o.label);
+        // The device stays usable after absorption.
+        assert!(o.has_foreground, "{} lost its foreground", o.label);
     }
 }
 
@@ -97,34 +118,43 @@ fn every_forced_site_is_absorbed_by_the_ladder() {
 fn rate_injection_never_escapes_a_panic() {
     // 50 % at every site is far past any realistic fault load; the
     // guarantee is that the scripted run completes (any escaped panic
-    // fails this test by unwinding) and the books balance.
+    // fails the fleet task by unwinding) and the books balance. Event
+    // inspection happens inside the task — only violations cross back.
+    let mut cells = Vec::new();
     for seed in seeds() {
         for mode in modes() {
-            let plan = FaultPlan::seeded(seed).with_rate_everywhere(0.5);
-            let (d, c) = run_scenario(mode, plan);
-            let m = d.fault_metrics(&c).unwrap();
-            assert_eq!(
-                m.total_faults(),
-                m.contained_per_view + m.fallback_restarts + m.crashes,
-                "seed {seed} {mode:?}: fault ledger out of balance"
-            );
-            assert_eq!(
-                m.crashes, 0,
-                "seed {seed} {mode:?}: injected faults must not reach rung 3"
-            );
-            // Every absorbed fault names its site and rung in the log.
-            for e in d.events() {
-                if let DeviceEvent::Fault { site, rung, .. } = e {
-                    assert!(!site.is_empty());
-                    assert!(
-                        rung == "contained-per-view" || rung == "fallback-restart",
-                        "unexpected rung {rung} for {site}"
-                    );
-                }
-            }
-            let _ = c;
+            cells.push((seed, mode));
         }
     }
+    let violations: Vec<String> = run_fleet(&fleet(), cells, |_ctx, (seed, mode)| {
+        let plan = FaultPlan::seeded(seed).with_rate_everywhere(0.5);
+        let (d, c) = run_scenario(mode, plan);
+        let m = d.fault_metrics(&c).unwrap();
+        let mut bad = Vec::new();
+        if m.total_faults() != m.contained_per_view + m.fallback_restarts + m.crashes {
+            bad.push(format!("seed {seed} {mode:?}: fault ledger out of balance"));
+        }
+        if m.crashes != 0 {
+            bad.push(format!(
+                "seed {seed} {mode:?}: injected faults must not reach rung 3"
+            ));
+        }
+        // Every absorbed fault names its site and rung in the log.
+        for e in d.events() {
+            if let DeviceEvent::Fault { site, rung, .. } = e {
+                if site.is_empty() || (rung != "contained-per-view" && rung != "fallback-restart") {
+                    bad.push(format!(
+                        "seed {seed} {mode:?}: unexpected rung {rung} for {site}"
+                    ));
+                }
+            }
+        }
+        bad
+    })
+    .into_iter()
+    .flatten()
+    .collect();
+    assert!(violations.is_empty(), "{}", violations.join("\n"));
 }
 
 #[test]

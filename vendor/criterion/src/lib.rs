@@ -13,10 +13,82 @@
 //! switches every benchmark to a single untimed iteration, making the
 //! harness usable as a correctness gate.
 
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 /// Re-export mirroring `criterion::black_box`.
 pub use std::hint::black_box;
+
+/// One finished benchmark: id, mean wall-clock per iteration, iteration
+/// count. Collected by [`Bencher::report`] into a process-wide registry
+/// so `criterion_main!` can flush every estimate at exit.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Estimate {
+    /// Full benchmark id (`group/function/parameter`).
+    pub id: String,
+    /// Mean nanoseconds per iteration (0.0 in `--test` smoke mode).
+    pub mean_ns: f64,
+    /// Iterations measured.
+    pub iterations: u64,
+}
+
+static ESTIMATES: Mutex<Vec<Estimate>> = Mutex::new(Vec::new());
+
+fn record_estimate(id: &str, mean_ns: f64, iterations: u64) {
+    ESTIMATES.lock().unwrap().push(Estimate {
+        id: id.to_string(),
+        mean_ns,
+        iterations,
+    });
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders estimates as the compact JSON document `CRITERION_JSON`
+/// emits: `{"benchmarks": [{"id", "mean_ns", "iterations"}, ...]}`.
+pub fn render_estimates_json(estimates: &[Estimate]) -> String {
+    let mut out = String::from("{\n  \"benchmarks\": [\n");
+    for (i, e) in estimates.iter().enumerate() {
+        let sep = if i + 1 == estimates.len() { "" } else { "," };
+        out.push_str(&format!(
+            "    {{\"id\": \"{}\", \"mean_ns\": {:.1}, \"iterations\": {}}}{sep}\n",
+            json_escape(&e.id),
+            e.mean_ns,
+            e.iterations
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// If `CRITERION_JSON` names a path, writes every recorded estimate
+/// there as compact JSON. Called by `criterion_main!` after all groups
+/// have run; harmless no-op when the variable is unset.
+pub fn write_json_if_requested() {
+    let Ok(path) = std::env::var("CRITERION_JSON") else {
+        return;
+    };
+    if path.is_empty() {
+        return;
+    }
+    let estimates = ESTIMATES.lock().unwrap();
+    let doc = render_estimates_json(&estimates);
+    match std::fs::write(&path, doc) {
+        Ok(()) => eprintln!("criterion: wrote {} estimate(s) to {path}", estimates.len()),
+        Err(e) => eprintln!("criterion: failed to write {path}: {e}"),
+    }
+}
 
 /// Harness configuration and entry point handed to benchmark functions.
 #[derive(Debug, Clone)]
@@ -218,6 +290,7 @@ impl Bencher {
     fn report(&self, id: &str) {
         if self.config.test_mode {
             println!("test {id} ... ok (1 iteration, --test mode)");
+            record_estimate(id, 0.0, self.iters);
         } else if self.iters > 0 {
             let mean_ns = self.elapsed.as_nanos() as f64 / self.iters as f64;
             println!(
@@ -225,6 +298,7 @@ impl Bencher {
                 mean_ns.round(),
                 self.iters
             );
+            record_estimate(id, mean_ns, self.iters);
         } else {
             println!("{id}: no iterations recorded");
         }
@@ -252,12 +326,14 @@ macro_rules! criterion_group {
     };
 }
 
-/// Declares `main` running the given benchmark groups.
+/// Declares `main` running the given benchmark groups, then flushing
+/// the JSON estimates file when `CRITERION_JSON` is set.
 #[macro_export]
 macro_rules! criterion_main {
     ($($group:path),+ $(,)?) => {
         fn main() {
             $($group();)+
+            $crate::write_json_if_requested();
         }
     };
 }
@@ -320,5 +396,38 @@ mod tests {
     fn benchmark_id_formats() {
         assert_eq!(BenchmarkId::new("f", 3).id, "f/3");
         assert_eq!(BenchmarkId::from_parameter("p").id, "p");
+    }
+
+    #[test]
+    fn estimates_render_as_compact_json() {
+        let estimates = vec![
+            Estimate {
+                id: "grp/eager/27v".into(),
+                mean_ns: 1234.5,
+                iterations: 10,
+            },
+            Estimate {
+                id: "quote\"d".into(),
+                mean_ns: 0.0,
+                iterations: 1,
+            },
+        ];
+        let doc = render_estimates_json(&estimates);
+        assert!(doc.starts_with("{\n  \"benchmarks\": [\n"));
+        assert!(
+            doc.contains("{\"id\": \"grp/eager/27v\", \"mean_ns\": 1234.5, \"iterations\": 10},")
+        );
+        assert!(doc.contains("{\"id\": \"quote\\\"d\", \"mean_ns\": 0.0, \"iterations\": 1}\n"));
+        assert!(doc.ends_with("  ]\n}\n"));
+    }
+
+    #[test]
+    fn reports_land_in_the_registry() {
+        let before = ESTIMATES.lock().unwrap().len();
+        let mut c = test_mode();
+        c.bench_function("registry_smoke", |b| b.iter(|| 1 + 1));
+        let estimates = ESTIMATES.lock().unwrap();
+        assert!(estimates.len() > before);
+        assert!(estimates.iter().any(|e| e.id == "registry_smoke"));
     }
 }
