@@ -4,9 +4,9 @@
 CARGO ?= cargo
 
 .PHONY: ci build test fmt fmt-fix clippy bench-smoke fault-matrix \
-	fleet-determinism bench-json
+	fleet-determinism bench-json soak
 
-ci: build test fmt clippy fault-matrix fleet-determinism bench-smoke
+ci: build test fmt clippy fault-matrix fleet-determinism bench-smoke soak
 
 # Seeds for the fault-injection suite. Debug builds keep the
 # batched-vs-eager equivalence checker armed, so each seed also
@@ -47,6 +47,13 @@ bench-smoke:
 fleet-determinism:
 	$(CARGO) test -q --test fleet_determinism
 	DROIDSIM_JOBS=2 $(CARGO) test -q --test fleet_determinism
+
+# Crash-safety soak: a 40-task supervised fleet with a 5% injected
+# fleet-task fault rate (panics and a forced stall) plus two hard-broken
+# tasks. Must exit 0 with exactly those two tasks quarantined; the
+# journal and crash dumps land under target/soak/ for CI to archive.
+soak:
+	$(CARGO) run -q --release -p rch-experiments --bin soak
 
 # Real (non-smoke) runs of the fleet and migration benches, with the
 # vendored criterion harness writing its estimates as compact JSON

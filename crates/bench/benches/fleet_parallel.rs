@@ -9,34 +9,50 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use droidsim_device::HandlingMode;
-use droidsim_fleet::{combine_ordered, run_fleet, Digest, FleetConfig};
+use droidsim_fleet::{
+    combine_ordered, run_fleet, run_fleet_supervised, Digest, FleetConfig, FleetOptions, TaskCtx,
+};
 use rch_experiments::{run_app, RunConfig};
-use rch_workloads::top100_sample;
+use rch_workloads::{top100_sample, GenericAppSpec};
 use std::hint::black_box;
 
 /// Sample size: enough devices that partitioning matters, small enough
 /// that a bench iteration stays under a second.
 const APPS: usize = 12;
 
+/// One sample app under both handling modes, digested.
+fn app_digest(_ctx: TaskCtx, spec: GenericAppSpec) -> u64 {
+    let stock = run_app(&spec, &RunConfig::new(HandlingMode::Android10));
+    let rch = run_app(&spec, &RunConfig::new(HandlingMode::rchdroid_default()));
+    let mut d = Digest::new();
+    d.write_str(&spec.name);
+    d.write_f64(stock.mean_latency_ms());
+    d.write_f64(rch.mean_latency_ms());
+    d.write_f64(stock.memory_mib);
+    d.write_f64(rch.memory_mib);
+    d.finish()
+}
+
 /// Simulates the sample under both handling modes and reduces the
 /// per-app digests in item order.
 fn simulate(cfg: &FleetConfig) -> u64 {
-    let digests = run_fleet(cfg, top100_sample(APPS), |_ctx, spec| {
-        let stock = run_app(&spec, &RunConfig::new(HandlingMode::Android10));
-        let rch = run_app(&spec, &RunConfig::new(HandlingMode::rchdroid_default()));
-        let mut d = Digest::new();
-        d.write_str(&spec.name);
-        d.write_f64(stock.mean_latency_ms());
-        d.write_f64(rch.mean_latency_ms());
-        d.write_f64(stock.memory_mib);
-        d.write_f64(rch.memory_mib);
-        d.finish()
-    });
-    combine_ordered(digests)
+    combine_ordered(run_fleet(cfg, top100_sample(APPS), app_digest))
+}
+
+/// The same sample through the supervised runner at zero fault rate:
+/// what the crash-safety envelope (catch_unwind per attempt, outcome
+/// slots, ledger fold) costs when nothing goes wrong. No journal — disk
+/// fsync is a deliberate per-checkpoint cost, not runner overhead.
+fn simulate_supervised(cfg: &FleetConfig, opts: &FleetOptions) -> u64 {
+    run_fleet_supervised(cfg, opts, top100_sample(APPS), app_digest, |d| *d)
+        .unwrap()
+        .combined_digest()
+        .unwrap()
 }
 
 fn bench(c: &mut Criterion) {
     let serial = simulate(&FleetConfig::new(1, 0));
+    let opts = FleetOptions::new();
     let mut group = c.benchmark_group("fleet_parallel");
     for jobs in [1usize, 2, 4, 8] {
         // Digest identity is the contract: any worker count must
@@ -50,15 +66,41 @@ fn bench(c: &mut Criterion) {
             let cfg = FleetConfig::new(jobs, 0);
             b.iter(|| black_box(simulate(&cfg)))
         });
+
+        // Crash-recovery overhead: the supervised runner at 0 % faults
+        // must stay within a few percent of the plain driver (<5 %
+        // against the matching fleet_parallel/jobs arm). Each pair is
+        // measured back to back so host drift over the bench run cannot
+        // masquerade as runner overhead; the jobs=1 pair is the
+        // meaningful one on small runners, where the multi-worker arms
+        // are dominated by scheduler noise.
+        if jobs == 1 || jobs == 4 {
+            assert_eq!(
+                simulate_supervised(&FleetConfig::new(jobs, 0), &opts),
+                serial,
+                "the supervised runner diverged from the plain digest at jobs={jobs}"
+            );
+            group.bench_with_input(
+                BenchmarkId::new("fleet_crash_recovery/jobs", jobs),
+                &jobs,
+                |b, &jobs| {
+                    let cfg = FleetConfig::new(jobs, 0);
+                    b.iter(|| black_box(simulate_supervised(&cfg, &opts)))
+                },
+            );
+        }
     }
     group.finish();
 }
 
 fn fast() -> Criterion {
+    // Longer windows than the other benches: the plain-vs-supervised
+    // overhead comparison needs the per-arm means stable to a few
+    // percent, which 800 ms windows cannot deliver on a busy host.
     Criterion::default()
-        .sample_size(10)
-        .warm_up_time(std::time::Duration::from_millis(200))
-        .measurement_time(std::time::Duration::from_millis(800))
+        .sample_size(20)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(2_500))
 }
 
 criterion_group! {

@@ -19,7 +19,10 @@
 
 use droidsim_app::SimpleApp;
 use droidsim_device::{Device, DeviceEvent, HandlingMode, HandlingPath};
-use droidsim_fleet::{run_fleet, FleetConfig};
+use droidsim_fleet::{
+    run_fleet, run_fleet_supervised, Digest, FleetConfig, FleetError, FleetOptions, FleetRun,
+    TaskOutcome,
+};
 use droidsim_kernel::SimDuration;
 use rch_workloads::BENCHMARK_BASE_MEMORY;
 use rchdroid::{GcPolicy, RchOptions};
@@ -37,6 +40,20 @@ pub struct AblationArm {
     pub foreground_updated: bool,
     /// PSS (MiB) 90 s after the last change (GC had its chance).
     pub settled_memory_mib: f64,
+}
+
+impl AblationArm {
+    /// A digest of every field, bit-exact for the float columns — what
+    /// the supervised fleet journals per arm.
+    pub fn digest(&self) -> u64 {
+        let mut d = Digest::new();
+        d.write_str(self.label);
+        d.write_f64(self.steady_latency_ms);
+        d.write_u64(u64::from(self.survived));
+        d.write_u64(u64::from(self.foreground_updated));
+        d.write_f64(self.settled_memory_mib);
+        d.finish()
+    }
 }
 
 /// The full ablation table.
@@ -141,10 +158,9 @@ pub fn gc_disabled() -> GcPolicy {
     GcPolicy::paper_default().with_thresh_t(SimDuration::from_secs(u64::MAX / 2_000_000))
 }
 
-/// Runs the full ablation, one fleet task per arm. Arm order in the
-/// result is fixed (full system first) regardless of worker count.
-pub fn run_with_config(cfg: &FleetConfig) -> Ablation {
-    let arms: Vec<(&'static str, HandlingMode)> = vec![
+/// The fixed arm matrix, full system first.
+fn arm_matrix() -> Vec<(&'static str, HandlingMode)> {
+    vec![
         ("full RCHDroid", HandlingMode::rchdroid_default()),
         (
             "no coin-flipping",
@@ -165,10 +181,84 @@ pub fn run_with_config(cfg: &FleetConfig) -> Ablation {
             HandlingMode::RchDroid(gc_disabled(), RchOptions::default()),
         ),
         ("stock Android 10", HandlingMode::Android10),
-    ];
+    ]
+}
+
+/// Runs the full ablation, one fleet task per arm. Arm order in the
+/// result is fixed (full system first) regardless of worker count.
+pub fn run_with_config(cfg: &FleetConfig) -> Ablation {
     Ablation {
-        arms: run_fleet(cfg, arms, |_ctx, (label, mode)| run_arm(label, mode)),
+        arms: run_fleet(cfg, arm_matrix(), |_ctx, (label, mode)| {
+            run_arm(label, mode)
+        }),
     }
+}
+
+/// A crash-safe ablation run: per-arm outcomes plus the fleet report.
+#[derive(Debug)]
+pub struct AblationRun {
+    /// Per-arm outcomes in arm order, digests, and the report.
+    pub fleet: FleetRun<AblationArm>,
+}
+
+impl AblationRun {
+    /// The complete table, when every arm produced a fresh row this run.
+    pub fn ablation(&self) -> Option<Ablation> {
+        let arms: Option<Vec<AblationArm>> = self
+            .fleet
+            .outcomes
+            .iter()
+            .map(|o| o.ok().cloned())
+            .collect();
+        arms.map(|arms| Ablation { arms })
+    }
+
+    /// The study digest, combining fresh and journal-recorded arms in
+    /// arm order (`None` while any arm is quarantined).
+    pub fn digest(&self) -> Option<u64> {
+        self.fleet.combined_digest()
+    }
+
+    /// Renders the table (or the surviving arms) plus the fleet report,
+    /// with the QUARANTINED footer when arms were lost.
+    pub fn render(&self) -> String {
+        let mut out = match self.ablation() {
+            Some(study) => study.render(),
+            None => {
+                let mut out =
+                    String::from("Ablation (partial): per-arm outcomes, supervised run\n");
+                for (i, o) in self.fleet.outcomes.iter().enumerate() {
+                    match o {
+                        TaskOutcome::Ok(a) => out.push_str(&format!(
+                            "{:<26} steady={:.1}ms survives={} settled={:.2}MiB\n",
+                            a.label, a.steady_latency_ms, a.survived, a.settled_memory_mib
+                        )),
+                        TaskOutcome::Skipped { digest, .. } => out.push_str(&format!(
+                            "arm {i}: (resumed from journal, digest {digest:016x})\n"
+                        )),
+                        _ => out.push_str(&format!("arm {i}: (LOST: {})\n", o.tag())),
+                    }
+                }
+                out
+            }
+        };
+        out.push('\n');
+        out.push_str(&self.fleet.report.render());
+        out
+    }
+}
+
+/// Runs the ablation under fleet supervision (panic isolation, retries,
+/// watchdog, and journal checkpoint/resume — see `droidsim-fleet`).
+pub fn run_supervised(cfg: &FleetConfig, opts: &FleetOptions) -> Result<AblationRun, FleetError> {
+    let fleet = run_fleet_supervised(
+        cfg,
+        opts,
+        arm_matrix(),
+        |_ctx, (label, mode)| run_arm(label, mode),
+        AblationArm::digest,
+    )?;
+    Ok(AblationRun { fleet })
 }
 
 /// Runs the full ablation with the worker count taken from

@@ -2,10 +2,36 @@
 //!
 //! `--jobs N` (or `DROIDSIM_JOBS=N`) partitions the arms across N
 //! workers; the table is identical for any worker count.
+//!
+//! Crash safety: `--keep-going` / `--max-retries N` /
+//! `--task-budget-ms N` / `--journal PATH` / `--resume PATH` select the
+//! supervised fleet (see the `table5` binary for the flag contract).
+//! Exits nonzero if any arm stays quarantined after retries.
 fn main() {
-    let cfg = rch_experiments::fleet_config_from_args();
-    print!(
-        "{}",
-        rch_experiments::ablation::run_with_config(&cfg).render()
-    );
+    let cli = rch_experiments::FleetCli::from_args();
+    let cfg = cli.config(0);
+    if cli.supervised {
+        let run =
+            rch_experiments::ablation::run_supervised(&cfg, &cli.options).unwrap_or_else(|e| {
+                eprintln!("error: {e}");
+                std::process::exit(2);
+            });
+        print!("{}", run.render());
+        match run.digest() {
+            Some(d) => println!("=> fleet: jobs={} study digest {:016x}", cfg.jobs, d),
+            None => {
+                println!(
+                    "=> fleet: jobs={} study digest PARTIAL ({} arm(s) quarantined)",
+                    cfg.jobs,
+                    run.fleet.report.quarantined.len()
+                );
+                std::process::exit(1);
+            }
+        }
+    } else {
+        print!(
+            "{}",
+            rch_experiments::ablation::run_with_config(&cfg).render()
+        );
+    }
 }

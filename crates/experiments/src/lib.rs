@@ -40,19 +40,173 @@ pub mod variance;
 
 pub use scenario::{run_app, RunConfig, RunOutcome};
 
+use droidsim_fleet::{parse_jobs_value, FleetConfig, FleetOptions};
+use std::time::Duration;
+
+/// Everything an experiment binary accepts on the command line: the
+/// worker count plus the crash-safety knobs of the supervised fleet.
+///
+/// * `--jobs N` / `--jobs=N` — worker threads (strict: a zero or
+///   non-numeric value is an error, not a silent fallback);
+/// * `--keep-going` — supervise the run: isolate task panics, print the
+///   partial table plus a QUARANTINED footer instead of aborting;
+/// * `--max-retries N` — requeue a failed task up to N times (implies
+///   `--keep-going`);
+/// * `--task-budget-ms N` — wall-clock stall watchdog per task attempt
+///   (implies `--keep-going`);
+/// * `--journal PATH` — checkpoint each completed task to PATH (implies
+///   `--keep-going`);
+/// * `--resume PATH` — skip tasks PATH already records, appending new
+///   completions to it (implies `--keep-going`).
+#[derive(Debug, Clone, Default)]
+pub struct FleetCli {
+    /// Explicit worker count, when given.
+    pub jobs: Option<usize>,
+    /// Whether any supervision flag was present.
+    pub supervised: bool,
+    /// Supervision knobs assembled from the flags.
+    pub options: FleetOptions,
+}
+
+impl FleetCli {
+    /// Parses `std::env::args`, exiting with a usage error (status 2)
+    /// on an invalid value — the satellite contract: reject, never
+    /// silently fall back.
+    pub fn from_args() -> FleetCli {
+        FleetCli::parse(std::env::args().skip(1)).unwrap_or_else(|e| {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        })
+    }
+
+    /// Parses an argument list (testable form of [`FleetCli::from_args`]).
+    pub fn parse(args: impl IntoIterator<Item = String>) -> Result<FleetCli, String> {
+        let mut cli = FleetCli {
+            options: FleetOptions::new(),
+            ..FleetCli::default()
+        };
+        let mut args = args.into_iter();
+        let value = |flag: &str, inline: Option<String>, args: &mut dyn Iterator<Item = String>| {
+            inline
+                .or_else(|| args.next())
+                .ok_or_else(|| format!("{flag} needs a value"))
+        };
+        while let Some(a) = args.next() {
+            let (flag, inline) = match a.split_once('=') {
+                Some((f, v)) => (f.to_owned(), Some(v.to_owned())),
+                None => (a, None),
+            };
+            match flag.as_str() {
+                "--jobs" => {
+                    let v = value("--jobs", inline, &mut args)?;
+                    cli.jobs = Some(parse_jobs_value("--jobs", &v).map_err(|e| e.to_string())?);
+                }
+                "--keep-going" => cli.supervised = true,
+                "--max-retries" => {
+                    let v = value("--max-retries", inline, &mut args)?;
+                    cli.options.max_retries = v
+                        .parse()
+                        .map_err(|_| format!("--max-retries: not a number: {v:?}"))?;
+                    cli.supervised = true;
+                }
+                "--task-budget-ms" => {
+                    let v = value("--task-budget-ms", inline, &mut args)?;
+                    let ms: u64 = v
+                        .parse()
+                        .map_err(|_| format!("--task-budget-ms: not a number: {v:?}"))?;
+                    cli.options.task_budget = Some(Duration::from_millis(ms));
+                    cli.supervised = true;
+                }
+                "--journal" => {
+                    let v = value("--journal", inline, &mut args)?;
+                    cli.options.journal = Some(v.into());
+                    cli.supervised = true;
+                }
+                "--resume" => {
+                    let v = value("--resume", inline, &mut args)?;
+                    cli.options = cli.options.clone().resuming(v);
+                    cli.supervised = true;
+                }
+                _ => {} // binaries keep their own extra flags
+            }
+        }
+        Ok(cli)
+    }
+
+    /// Resolves the fleet config (explicit `--jobs` > `DROIDSIM_JOBS` >
+    /// cores), exiting with the resolution error when the environment
+    /// holds an invalid count.
+    pub fn config(&self, seed: u64) -> FleetConfig {
+        FleetConfig::try_from_env(self.jobs, seed).unwrap_or_else(|e| {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        })
+    }
+}
+
 /// Builds a [`droidsim_fleet::FleetConfig`] for an experiment binary:
 /// `--jobs N` / `--jobs=N` on the command line wins, then the
 /// `DROIDSIM_JOBS` environment variable, then the machine's available
-/// parallelism. `--jobs 1` selects the legacy serial path.
+/// parallelism. `--jobs 1` selects the legacy serial path. Invalid
+/// worker counts exit with a usage error.
 pub fn fleet_config_from_args() -> droidsim_fleet::FleetConfig {
-    let mut jobs = None;
-    let mut args = std::env::args().skip(1);
-    while let Some(a) = args.next() {
-        if a == "--jobs" {
-            jobs = args.next().and_then(|v| v.parse().ok());
-        } else if let Some(v) = a.strip_prefix("--jobs=") {
-            jobs = v.parse().ok();
-        }
+    FleetCli::from_args().config(0)
+}
+
+#[cfg(test)]
+mod cli_tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Result<FleetCli, String> {
+        FleetCli::parse(args.iter().map(|s| (*s).to_owned()))
     }
-    droidsim_fleet::FleetConfig::from_env(jobs, 0)
+
+    #[test]
+    fn plain_jobs_does_not_select_supervision() {
+        let cli = parse(&["--jobs", "4"]).unwrap();
+        assert_eq!(cli.jobs, Some(4));
+        assert!(!cli.supervised);
+        let cli = parse(&["--jobs=2"]).unwrap();
+        assert_eq!(cli.jobs, Some(2));
+    }
+
+    #[test]
+    fn invalid_jobs_is_an_error_not_a_fallback() {
+        for bad in ["0", "three", "-1", "4.5", ""] {
+            let err = parse(&["--jobs", bad]).unwrap_err();
+            assert!(err.contains("--jobs"), "{bad:?}: {err}");
+        }
+        assert!(parse(&["--jobs"]).unwrap_err().contains("needs a value"));
+    }
+
+    #[test]
+    fn every_supervision_flag_selects_the_supervised_fleet() {
+        assert!(parse(&["--keep-going"]).unwrap().supervised);
+        let cli = parse(&["--max-retries", "3"]).unwrap();
+        assert!(cli.supervised);
+        assert_eq!(cli.options.max_retries, 3);
+        let cli = parse(&["--task-budget-ms=250"]).unwrap();
+        assert!(cli.supervised);
+        assert_eq!(cli.options.task_budget, Some(Duration::from_millis(250)));
+        let cli = parse(&["--journal", "j.log"]).unwrap();
+        assert!(cli.supervised);
+        assert_eq!(cli.options.journal.as_deref(), Some("j.log".as_ref()));
+        assert!(cli.options.resume.is_none());
+    }
+
+    #[test]
+    fn resume_reads_and_extends_the_same_journal() {
+        let cli = parse(&["--resume", "j.log", "--jobs", "2"]).unwrap();
+        assert!(cli.supervised);
+        assert_eq!(cli.options.resume.as_deref(), Some("j.log".as_ref()));
+        assert_eq!(cli.options.journal.as_deref(), Some("j.log".as_ref()));
+        assert_eq!(cli.jobs, Some(2));
+    }
+
+    #[test]
+    fn unknown_flags_pass_through_for_the_binaries() {
+        let cli = parse(&["--views", "16", "--jobs", "3"]).unwrap();
+        assert_eq!(cli.jobs, Some(3));
+        assert!(!cli.supervised);
+    }
 }

@@ -7,9 +7,12 @@
 
 use crate::scenario::{run_app, RunConfig};
 use droidsim_device::HandlingMode;
-use droidsim_fleet::{combine_ordered, run_fleet, Digest, FleetConfig};
+use droidsim_fleet::{
+    combine_ordered, run_fleet, run_fleet_supervised, Digest, FleetConfig, FleetError,
+    FleetOptions, FleetRun, TaskCtx, TaskOutcome,
+};
 use droidsim_metrics::Summary;
-use rch_workloads::top100_specs;
+use rch_workloads::{top100_specs, GenericAppSpec};
 
 /// One app's study row.
 #[derive(Debug, Clone)]
@@ -163,36 +166,118 @@ impl Top100Study {
     }
 }
 
+/// Measures one app of the study (one fleet task).
+fn measure_row(ctx: TaskCtx, spec: GenericAppSpec) -> Top100Row {
+    // Effectiveness is judged after a *single* change (the §6
+    // procedure: change once and observe the state); performance
+    // and memory use the steady-state 4-change workflow.
+    let stock_once = run_app(&spec, &RunConfig::new(HandlingMode::Android10).changes(1));
+    let rch_once = run_app(
+        &spec,
+        &RunConfig::new(HandlingMode::rchdroid_default()).changes(1),
+    );
+    let stock = run_app(&spec, &RunConfig::new(HandlingMode::Android10));
+    let rch = run_app(&spec, &RunConfig::new(HandlingMode::rchdroid_default()));
+    Top100Row {
+        number: ctx.index + 1,
+        name: spec.name.clone(),
+        downloads: spec.downloads,
+        problem: spec.issue.clone(),
+        issue_under_stock: stock_once.issue_observed(),
+        fixed_by_rchdroid: !rch_once.issue_observed(),
+        android10_ms: stock.mean_latency_ms(),
+        rchdroid_ms: rch.mean_latency_ms(),
+        android10_mib: stock.memory_mib,
+        rchdroid_mib: rch.memory_mib,
+    }
+}
+
 /// Runs the full study, partitioning the 100 apps across the fleet
 /// described by `cfg`. Every app simulates on its own `Device` with its
 /// own clocks and sinks, so the rows — and their digests — are identical
 /// for any worker count.
 pub fn run_with_config(cfg: &FleetConfig) -> Top100Study {
-    let rows = run_fleet(cfg, top100_specs(), |ctx, spec| {
-        // Effectiveness is judged after a *single* change (the §6
-        // procedure: change once and observe the state); performance
-        // and memory use the steady-state 4-change workflow.
-        let stock_once = run_app(&spec, &RunConfig::new(HandlingMode::Android10).changes(1));
-        let rch_once = run_app(
-            &spec,
-            &RunConfig::new(HandlingMode::rchdroid_default()).changes(1),
-        );
-        let stock = run_app(&spec, &RunConfig::new(HandlingMode::Android10));
-        let rch = run_app(&spec, &RunConfig::new(HandlingMode::rchdroid_default()));
-        Top100Row {
-            number: ctx.index + 1,
-            name: spec.name.clone(),
-            downloads: spec.downloads,
-            problem: spec.issue.clone(),
-            issue_under_stock: stock_once.issue_observed(),
-            fixed_by_rchdroid: !rch_once.issue_observed(),
-            android10_ms: stock.mean_latency_ms(),
-            rchdroid_ms: rch.mean_latency_ms(),
-            android10_mib: stock.memory_mib,
-            rchdroid_mib: rch.memory_mib,
-        }
-    });
+    let rows = run_fleet(cfg, top100_specs(), measure_row);
     Top100Study { rows }
+}
+
+/// A crash-safe top-100 run: per-app outcomes plus the fleet report.
+/// Unlike [`run_with_config`], a panicking or stalling app costs only
+/// its own row.
+#[derive(Debug)]
+pub struct Top100Run {
+    /// Per-app outcomes in app order, per-app digests, and the report.
+    pub fleet: FleetRun<Top100Row>,
+}
+
+impl Top100Run {
+    /// The complete study, when every app produced a fresh row this run
+    /// (`None` after a resume or when any app is quarantined).
+    pub fn study(&self) -> Option<Top100Study> {
+        let rows: Option<Vec<Top100Row>> = self
+            .fleet
+            .outcomes
+            .iter()
+            .map(|o| o.ok().cloned())
+            .collect();
+        rows.map(|rows| Top100Study { rows })
+    }
+
+    /// The study digest: fresh-row digests and journal-recorded digests
+    /// of skipped rows, folded in app order. `None` while any app is
+    /// quarantined — a partial study has no comparable digest.
+    pub fn digest(&self) -> Option<u64> {
+        self.fleet.combined_digest()
+    }
+
+    /// Renders the study. A complete fresh run gets the full Table 5;
+    /// otherwise the fresh rows print with placeholders for skipped and
+    /// lost apps. Either way the fleet report (with the QUARANTINED
+    /// footer when tasks were lost) closes the output.
+    pub fn render(&self) -> String {
+        let mut out = match self.study() {
+            Some(study) => study.render(),
+            None => {
+                let mut out = String::new();
+                out.push_str("Table 5 (partial): runtime change issues, supervised run\n");
+                for (i, o) in self.fleet.outcomes.iter().enumerate() {
+                    match o {
+                        TaskOutcome::Ok(r) => out.push_str(&format!(
+                            "{:<4} {:<20} issue={:<5} rchdroid={}\n",
+                            r.number,
+                            r.name,
+                            r.issue_under_stock,
+                            if !r.issue_under_stock {
+                                "-"
+                            } else if r.fixed_by_rchdroid {
+                                "fixed"
+                            } else {
+                                "NOT fixed"
+                            }
+                        )),
+                        TaskOutcome::Skipped { digest, .. } => out.push_str(&format!(
+                            "{:<4} (resumed from journal, digest {digest:016x})\n",
+                            i + 1
+                        )),
+                        _ => out.push_str(&format!("{:<4} (LOST: {})\n", i + 1, o.tag())),
+                    }
+                }
+                out
+            }
+        };
+        out.push('\n');
+        out.push_str(&self.fleet.report.render());
+        out
+    }
+}
+
+/// Runs the study under fleet supervision: app panics are isolated,
+/// transient faults retried on the same per-app RNG stream, stalls
+/// timed out, and — when `opts` names a journal — every completed app
+/// checkpointed so an interrupted study can `--resume`.
+pub fn run_supervised(cfg: &FleetConfig, opts: &FleetOptions) -> Result<Top100Run, FleetError> {
+    let fleet = run_fleet_supervised(cfg, opts, top100_specs(), measure_row, Top100Row::digest)?;
+    Ok(Top100Run { fleet })
 }
 
 /// Runs the full study with the worker count taken from `DROIDSIM_JOBS`

@@ -35,10 +35,17 @@ pub enum FaultSite {
     FlushDeadlineOverrun,
     /// Allocating the sunny instance fails under GC pressure.
     AllocationFailure,
+    /// A whole fleet task (one device simulation) panics or stalls.
+    /// Probed by the fleet driver per task *attempt*, never on the
+    /// change-handling path — so it is not part of [`FaultSite::ALL`],
+    /// which the fault matrix drives through a single device.
+    FleetTask,
 }
 
 impl FaultSite {
-    /// Every site, in a fixed order (the fault matrix iterates this).
+    /// Every change-handling-path site, in a fixed order (the fault
+    /// matrix iterates this). [`FaultSite::FleetTask`] lives outside the
+    /// handling path and is probed by the fleet driver instead.
     pub const ALL: [FaultSite; 6] = [
         FaultSite::EssenceMappingMiss,
         FaultSite::AttributeCopy,
@@ -57,6 +64,7 @@ impl FaultSite {
             FaultSite::AsyncCallbackPanic => "async-callback-panic",
             FaultSite::FlushDeadlineOverrun => "flush-deadline-overrun",
             FaultSite::AllocationFailure => "allocation-failure",
+            FaultSite::FleetTask => "fleet-task",
         }
     }
 
@@ -68,6 +76,7 @@ impl FaultSite {
             FaultSite::AsyncCallbackPanic => 3,
             FaultSite::FlushDeadlineOverrun => 4,
             FaultSite::AllocationFailure => 5,
+            FaultSite::FleetTask => 6,
         }
     }
 }
@@ -78,7 +87,7 @@ impl fmt::Display for FaultSite {
     }
 }
 
-const SITES: usize = FaultSite::ALL.len();
+const SITES: usize = FaultSite::ALL.len() + 1; // + FleetTask, outside ALL
 
 /// A seeded, deterministic schedule of injected faults.
 ///
@@ -89,6 +98,7 @@ const SITES: usize = FaultSite::ALL.len();
 #[derive(Debug, Clone, PartialEq)]
 pub struct FaultPlan {
     seed: u64,
+    site_seeds: [u64; SITES],
     rngs: [Xoshiro256; SITES],
     rates: [f64; SITES],
     forced: [Vec<u64>; SITES],
@@ -113,9 +123,11 @@ impl FaultPlan {
     /// [`FaultPlan::on_nth_probe`].
     pub fn seeded(seed: u64) -> Self {
         let mut splitter = SplitMix64::new(seed);
+        let site_seeds: [u64; SITES] = core::array::from_fn(|_| splitter.next_u64());
         FaultPlan {
             seed,
-            rngs: core::array::from_fn(|_| Xoshiro256::seed_from(splitter.next_u64())),
+            site_seeds,
+            rngs: core::array::from_fn(|i| Xoshiro256::seed_from(site_seeds[i])),
             rates: [0.0; SITES],
             forced: core::array::from_fn(|_| Vec::new()),
             probes: [0; SITES],
@@ -176,6 +188,26 @@ impl FaultPlan {
             self.injected[i] += 1;
         }
         hit
+    }
+
+    /// The injection probability currently configured for `site`.
+    pub fn rate(&self, site: FaultSite) -> f64 {
+        self.rates[site.index()]
+    }
+
+    /// The forced probe indices (1-based) configured for `site`.
+    pub fn forced_probes(&self, site: FaultSite) -> &[u64] {
+        &self.forced[site.index()]
+    }
+
+    /// A *stateless* per-`(site, lane)` stream for probes whose verdicts
+    /// must not depend on probe order — e.g. the fleet driver probing
+    /// [`FaultSite::FleetTask`] from many worker threads at once. Two
+    /// calls with the same plan seed, site and lane return identical
+    /// streams no matter what else was probed in between; distinct lanes
+    /// (one per fleet task index) never share a stream.
+    pub fn site_stream(&self, site: FaultSite, lane: u64) -> Xoshiro256 {
+        Xoshiro256::stream(self.site_seeds[site.index()], lane)
     }
 
     /// Probes recorded at `site` so far.
@@ -276,10 +308,53 @@ mod tests {
     #[test]
     fn names_are_stable_and_distinct() {
         let mut seen = std::collections::BTreeSet::new();
-        for site in FaultSite::ALL {
+        for site in FaultSite::ALL.into_iter().chain([FaultSite::FleetTask]) {
             assert!(seen.insert(site.name()));
             assert_eq!(site.to_string(), site.name());
         }
-        assert_eq!(seen.len(), 6);
+        assert_eq!(seen.len(), 7);
+        assert!(!FaultSite::ALL.contains(&FaultSite::FleetTask));
+    }
+
+    #[test]
+    fn site_streams_are_order_independent_and_lane_disjoint() {
+        let plan = FaultPlan::seeded(11).with_rate(FaultSite::FleetTask, 0.5);
+        // Probing other sites (stateful API) must not perturb the
+        // stateless per-lane streams.
+        let mut noisy = plan.clone();
+        for _ in 0..50 {
+            noisy.should_inject(FaultSite::AttributeCopy);
+        }
+        for lane in 0..8 {
+            assert_eq!(
+                plan.site_stream(FaultSite::FleetTask, lane).next_u64(),
+                noisy.site_stream(FaultSite::FleetTask, lane).next_u64(),
+                "lane {lane}"
+            );
+        }
+        let firsts: std::collections::BTreeSet<u64> = (0..64)
+            .map(|lane| plan.site_stream(FaultSite::FleetTask, lane).next_u64())
+            .collect();
+        assert_eq!(firsts.len(), 64, "lanes must not collide");
+        assert_eq!(plan.rate(FaultSite::FleetTask), 0.5);
+        assert!(plan.forced_probes(FaultSite::FleetTask).is_empty());
+    }
+
+    #[test]
+    fn fleet_task_site_does_not_disturb_handling_site_schedules() {
+        // The 7th per-site seed is drawn after the six handling sites',
+        // so pre-existing fault schedules (seeded runs in CI) are
+        // unchanged by the FleetTask addition.
+        let schedule = |arm_fleet: bool| -> Vec<bool> {
+            let mut plan = FaultPlan::seeded(42).with_rate_everywhere(0.3);
+            assert_eq!(plan.rate(FaultSite::FleetTask), 0.0, "ALL excludes it");
+            if arm_fleet {
+                plan = plan.with_rate(FaultSite::FleetTask, 1.0);
+            }
+            (0..60)
+                .map(|i| plan.should_inject(FaultSite::ALL[i % FaultSite::ALL.len()]))
+                .collect()
+        };
+        assert_eq!(schedule(false), schedule(true));
     }
 }

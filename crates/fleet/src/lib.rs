@@ -23,7 +23,14 @@
 //!
 //! The worker count comes from `--jobs` / the `DROIDSIM_JOBS` environment
 //! variable, defaulting to the machine's available parallelism; `1`
-//! selects the legacy inline path (no threads are spawned at all).
+//! selects the legacy inline path (no threads are spawned at all). A
+//! zero or non-numeric worker count is rejected with an error naming
+//! the offending source — never silently replaced.
+//!
+//! For long campaigns, [`run_fleet_supervised`] layers crash safety on
+//! the same driver: per-task panic isolation, deterministic bounded
+//! retries, a wall-clock stall watchdog, and an append-only
+//! checkpoint journal with resume — see the [`supervise`] module.
 //!
 //! # Examples
 //!
@@ -45,10 +52,16 @@
 //! ```
 
 pub mod digest;
+pub mod supervise;
 
 pub use digest::{combine_ordered, Digest};
+pub use supervise::{
+    run_fleet_supervised, FleetError, FleetJournal, FleetOptions, FleetReport, FleetRun,
+    JournalState, QuarantinedTask, TaskOutcome,
+};
 
 use droidsim_kernel::Xoshiro256;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
@@ -76,28 +89,92 @@ impl FleetConfig {
     /// A config resolving the worker count from the environment: an
     /// explicit `jobs` argument (e.g. from a `--jobs` flag) wins, then
     /// `DROIDSIM_JOBS`, then the machine's available parallelism.
+    ///
+    /// # Panics
+    ///
+    /// Panics with the [`JobsError`] message when the explicit argument
+    /// is `0` or `DROIDSIM_JOBS` is set to something that is not a
+    /// positive integer. Binaries wanting a graceful exit use
+    /// [`FleetConfig::try_from_env`].
     pub fn from_env(jobs: Option<usize>, seed: u64) -> FleetConfig {
-        FleetConfig::new(resolve_jobs(jobs), seed)
+        match FleetConfig::try_from_env(jobs, seed) {
+            Ok(cfg) => cfg,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Like [`FleetConfig::from_env`], but invalid worker counts come
+    /// back as a typed error instead of a panic.
+    pub fn try_from_env(jobs: Option<usize>, seed: u64) -> Result<FleetConfig, JobsError> {
+        Ok(FleetConfig::new(try_resolve_jobs(jobs)?, seed))
     }
 }
 
+/// Why a worker count could not be resolved. The offending source
+/// (`--jobs` or `DROIDSIM_JOBS`) and value are named so the error is
+/// actionable, not a silent fallback to 1.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobsError {
+    /// Which knob held the bad value.
+    pub source: &'static str,
+    /// The rejected value, verbatim.
+    pub value: String,
+}
+
+impl core::fmt::Display for JobsError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "invalid worker count {:?} from {}: expected a positive integer \
+             (omit it to use all available cores)",
+            self.value, self.source
+        )
+    }
+}
+
+impl std::error::Error for JobsError {}
+
 /// Resolves the worker count: explicit argument > `DROIDSIM_JOBS` >
-/// available cores. Invalid or zero values fall through to the next
-/// source; the result is always ≥ 1.
-pub fn resolve_jobs(explicit: Option<usize>) -> usize {
-    if let Some(n) = explicit.filter(|&n| n > 0) {
-        return n;
+/// available cores. A zero or non-numeric value is an error naming the
+/// source — never a silent fallback; the Ok value is always ≥ 1.
+pub fn try_resolve_jobs(explicit: Option<usize>) -> Result<usize, JobsError> {
+    if let Some(n) = explicit {
+        return if n > 0 {
+            Ok(n)
+        } else {
+            Err(JobsError {
+                source: "--jobs",
+                value: "0".to_owned(),
+            })
+        };
     }
-    if let Some(n) = std::env::var(JOBS_ENV)
-        .ok()
-        .and_then(|v| v.trim().parse::<usize>().ok())
-        .filter(|&n| n > 0)
-    {
-        return n;
+    if let Ok(v) = std::env::var(JOBS_ENV) {
+        return parse_jobs_value(JOBS_ENV, &v);
     }
-    std::thread::available_parallelism()
+    Ok(std::thread::available_parallelism()
         .map(|n| n.get())
-        .unwrap_or(1)
+        .unwrap_or(1))
+}
+
+/// Parses one worker-count value from `source` (strict: positive
+/// integers only).
+pub fn parse_jobs_value(source: &'static str, value: &str) -> Result<usize, JobsError> {
+    match value.trim().parse::<usize>() {
+        Ok(n) if n > 0 => Ok(n),
+        _ => Err(JobsError {
+            source,
+            value: value.to_owned(),
+        }),
+    }
+}
+
+/// Panicking form of [`try_resolve_jobs`] for callers without an error
+/// path.
+pub fn resolve_jobs(explicit: Option<usize>) -> usize {
+    match try_resolve_jobs(explicit) {
+        Ok(n) => n,
+        Err(e) => panic!("{e}"),
+    }
 }
 
 /// Per-task context handed to the fleet closure.
@@ -117,12 +194,26 @@ pub struct TaskCtx {
 
 impl TaskCtx {
     fn new(cfg: &FleetConfig, index: usize) -> TaskCtx {
+        TaskCtx::stream(cfg.seed, index)
+    }
+
+    /// The context task `index` gets under root `seed` — identical on
+    /// every attempt, worker, and worker count. Retries re-derive it so
+    /// a retried task reproduces the exact digest of an undisturbed run.
+    pub(crate) fn stream(seed: u64, index: usize) -> TaskCtx {
         TaskCtx {
             index,
-            seed: cfg.seed,
-            rng: Xoshiro256::stream(cfg.seed, index as u64),
+            seed,
+            rng: Xoshiro256::stream(seed, index as u64),
         }
     }
+}
+
+/// Takes a lock without honouring poisoning: no fleet worker panics
+/// while holding one (task code runs behind `catch_unwind`), and even
+/// if the invariant broke, one slot's poison must not cost the run.
+fn lock_slot<X>(m: &Mutex<X>) -> std::sync::MutexGuard<'_, X> {
+    m.lock().unwrap_or_else(|p| p.into_inner())
 }
 
 /// Runs `run` over every item, partitioned across `cfg.jobs` workers,
@@ -131,50 +222,86 @@ impl TaskCtx {
 ///
 /// Work is claimed dynamically (an atomic cursor), so a slow simulation
 /// does not stall the tail of the list behind a static partition.
+///
+/// # Panics
+///
+/// A panicking task no longer poisons the pool: every task runs behind
+/// `catch_unwind`, all remaining tasks complete, and only then does
+/// this function re-raise the failure — with a crash dump naming every
+/// failed task's seed/index repro. Callers who want the partial results
+/// instead use [`run_fleet_supervised`].
 pub fn run_fleet<T, R, F>(cfg: &FleetConfig, items: Vec<T>, run: F) -> Vec<R>
 where
     T: Send,
     R: Send,
     F: Fn(TaskCtx, T) -> R + Sync,
 {
-    if cfg.jobs <= 1 || items.len() <= 1 {
-        // Legacy path: no threads, no locks — exactly the old serial loop.
-        return items
+    let n = items.len();
+    let outcomes: Vec<Result<R, String>> = if cfg.jobs <= 1 || n <= 1 {
+        // Legacy path: no threads, no locks — the old serial loop, with
+        // the same isolation boundary as the pool.
+        items
             .into_iter()
             .enumerate()
-            .map(|(i, item)| run(TaskCtx::new(cfg, i), item))
-            .collect();
-    }
-    let n = items.len();
-    let slots: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
-    let results: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
-    let cursor = AtomicUsize::new(0);
-    let workers = cfg.jobs.min(n);
-    std::thread::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|| loop {
-                let i = cursor.fetch_add(1, Ordering::Relaxed);
-                if i >= n {
-                    break;
-                }
-                let item = slots[i]
-                    .lock()
-                    .expect("fleet item slot poisoned")
+            .map(|(i, item)| {
+                catch_unwind(AssertUnwindSafe(|| run(TaskCtx::new(cfg, i), item)))
+                    .map_err(supervise::payload_text)
+            })
+            .collect()
+    } else {
+        let slots: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
+        let results: Vec<Mutex<Option<Result<R, String>>>> =
+            (0..n).map(|_| Mutex::new(None)).collect();
+        let cursor = AtomicUsize::new(0);
+        let workers = cfg.jobs.min(n);
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let Some(item) = lock_slot(&slots[i]).take() else {
+                        continue;
+                    };
+                    let out = catch_unwind(AssertUnwindSafe(|| run(TaskCtx::new(cfg, i), item)))
+                        .map_err(supervise::payload_text);
+                    *lock_slot(&results[i]) = Some(out);
+                });
+            }
+        });
+        results
+            .into_iter()
+            .map(|slot| {
+                lock_slot(&slot)
                     .take()
-                    .expect("fleet item claimed twice");
-                let out = run(TaskCtx::new(cfg, i), item);
-                *results[i].lock().expect("fleet result slot poisoned") = Some(out);
-            });
+                    .unwrap_or_else(|| Err("fleet task produced no result".to_owned()))
+            })
+            .collect()
+    };
+
+    let mut out = Vec::with_capacity(n);
+    let mut dumps = Vec::new();
+    for (i, o) in outcomes.into_iter().enumerate() {
+        match o {
+            Ok(r) => out.push(r),
+            Err(payload) => dumps.push(format!(
+                "  task {i}: panicked ({payload}); repro: DROIDSIM_JOBS=1 \
+                 seed={} index={i} rng=Xoshiro256::stream({}, {i})",
+                cfg.seed, cfg.seed
+            )),
         }
-    });
-    results
-        .into_iter()
-        .map(|slot| {
-            slot.into_inner()
-                .expect("fleet result slot poisoned")
-                .expect("fleet task produced no result")
-        })
-        .collect()
+    }
+    if !dumps.is_empty() {
+        panic!(
+            "{} of {n} fleet task(s) panicked ({} completed); \
+             use run_fleet_supervised for partial results\n{}",
+            dumps.len(),
+            out.len(),
+            dumps.join("\n")
+        );
+    }
+    out
 }
 
 #[cfg(test)]
@@ -216,10 +343,26 @@ mod tests {
     }
 
     #[test]
-    fn explicit_jobs_beats_env_and_zero_is_ignored() {
-        assert_eq!(resolve_jobs(Some(3)), 3);
-        assert!(resolve_jobs(Some(0)) >= 1);
+    fn explicit_jobs_beats_env_and_zero_is_rejected() {
+        assert_eq!(try_resolve_jobs(Some(3)), Ok(3));
+        let err = try_resolve_jobs(Some(0)).unwrap_err();
+        assert_eq!(err.source, "--jobs");
+        assert!(err.to_string().contains("positive integer"), "{err}");
         assert!(resolve_jobs(None) >= 1);
+    }
+
+    #[test]
+    fn jobs_values_parse_strictly() {
+        assert_eq!(parse_jobs_value(JOBS_ENV, " 4 "), Ok(4));
+        for bad in ["0", "", "three", "-2", "4.5", "0x4"] {
+            let err = parse_jobs_value(JOBS_ENV, bad).unwrap_err();
+            assert_eq!(err.source, JOBS_ENV);
+            assert_eq!(err.value, bad);
+            assert!(
+                err.to_string().contains(JOBS_ENV),
+                "error must name the source: {err}"
+            );
+        }
     }
 
     #[test]
@@ -228,5 +371,212 @@ mod tests {
         let none: Vec<u32> = run_fleet(&cfg, Vec::<u32>::new(), |_, x| x);
         assert!(none.is_empty());
         assert_eq!(run_fleet(&cfg, vec![5u32], |_, x| x * 2), vec![10]);
+    }
+
+    #[test]
+    fn a_panicking_task_reports_instead_of_poisoning() {
+        // The old driver died on a poisoned result slot; now every other
+        // task completes and the re-raised panic carries a repro line.
+        for jobs in [1usize, 4] {
+            let err = std::panic::catch_unwind(|| {
+                run_fleet(
+                    &FleetConfig::new(jobs, 3),
+                    (0..8u64).collect(),
+                    |_ctx, n| {
+                        if n == 3 {
+                            panic!("organic bug at n=3");
+                        }
+                        n * n
+                    },
+                )
+            })
+            .expect_err("the failure must still surface");
+            let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+            assert!(msg.contains("1 of 8 fleet task(s) panicked"), "{msg}");
+            assert!(msg.contains("7 completed"), "{msg}");
+            assert!(msg.contains("organic bug at n=3"), "{msg}");
+            assert!(msg.contains("index=3"), "{msg}");
+        }
+    }
+}
+
+#[cfg(test)]
+mod supervise_tests {
+    use super::*;
+    use droidsim_faults::{FaultPlan, FaultSite};
+    use std::time::Duration;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("droidsim-fleet-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!("{name}-{}.journal", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        path
+    }
+
+    /// The workload under supervision: a deterministic function of the
+    /// task's private RNG stream, so digests double as correctness
+    /// checks.
+    fn chain(ctx: TaskCtx, _n: usize) -> u64 {
+        let mut rng = ctx.rng;
+        (0..8).map(|_| rng.next_u64()).fold(0u64, u64::wrapping_add)
+    }
+
+    fn supervised(cfg: &FleetConfig, opts: &FleetOptions) -> FleetRun<u64> {
+        run_fleet_supervised(cfg, opts, (0..8).collect(), chain, |r| *r).unwrap()
+    }
+
+    #[test]
+    fn clean_supervised_run_equals_plain_run() {
+        let plain = run_fleet(&FleetConfig::new(1, 5), (0..8).collect(), chain);
+        for jobs in [1usize, 2, 8] {
+            let run = supervised(&FleetConfig::new(jobs, 5), &FleetOptions::new());
+            let got: Vec<u64> = run.outcomes.iter().map(|o| *o.ok().unwrap()).collect();
+            assert_eq!(got, plain, "jobs={jobs}");
+            assert_eq!(
+                run.combined_digest(),
+                Some(combine_ordered(plain.iter().copied()))
+            );
+            assert!(run.report.is_clean());
+            assert_eq!(run.report.ledger.ok, 8);
+            assert_eq!(run.report.ledger.retries, 0);
+        }
+    }
+
+    #[test]
+    fn hard_failures_quarantine_and_spare_the_rest() {
+        let opts = FleetOptions::new().with_retries(2).with_hard_fail(vec![3]);
+        let clean = supervised(&FleetConfig::new(4, 5), &FleetOptions::new());
+        let run = supervised(&FleetConfig::new(4, 5), &opts);
+        for (i, o) in run.outcomes.iter().enumerate() {
+            if i == 3 {
+                assert!(o.is_quarantined(), "index 3 must be quarantined");
+                assert_eq!(o.tag(), "panicked");
+            } else {
+                assert_eq!(o.ok(), clean.outcomes[i].ok(), "index {i}");
+            }
+        }
+        assert_eq!(run.combined_digest(), None, "partial runs have no digest");
+        assert_eq!(run.report.ledger.retries, 2);
+        assert_eq!(run.report.quarantined.len(), 1);
+        let q = &run.report.quarantined[0];
+        assert_eq!((q.index, q.attempts, q.kind), (3, 3, "panicked"));
+        assert!(q.repro_line().contains("index=3"), "{}", q.repro_line());
+        assert!(run.report.render().contains("QUARANTINED: 1 task(s)"));
+    }
+
+    #[test]
+    fn transient_forced_fault_retries_to_the_clean_digest() {
+        let clean = supervised(&FleetConfig::new(1, 9), &FleetOptions::new());
+        let faulted = FleetOptions::new()
+            .with_retries(1)
+            .with_faults(FaultPlan::seeded(77).on_nth_probe(FaultSite::FleetTask, 6));
+        for jobs in [1usize, 2, 4, 8] {
+            let run = supervised(&FleetConfig::new(jobs, 9), &faulted);
+            assert_eq!(
+                run.combined_digest(),
+                clean.combined_digest(),
+                "jobs={jobs}: retry must reproduce the clean digest"
+            );
+            assert_eq!(run.report.ledger.retries, 1, "jobs={jobs}");
+            assert_eq!(run.report.ledger.injected_faults, 1, "jobs={jobs}");
+            assert!(run.report.is_clean(), "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn watchdog_times_out_injected_stalls() {
+        // Rate 1.0 at FleetTask: every first attempt faults; with the
+        // watchdog armed roughly half inject stalls. No retries, so
+        // every task is quarantined either way — but the run returns.
+        let opts = FleetOptions {
+            task_budget: Some(Duration::from_millis(40)),
+            stall_for: Duration::from_millis(400),
+            faults: FaultPlan::seeded(5).with_rate(FaultSite::FleetTask, 1.0),
+            ..FleetOptions::new()
+        };
+        let run = supervised(&FleetConfig::new(4, 5), &opts);
+        assert_eq!(run.report.ledger.quarantined(), 8);
+        assert!(
+            run.report.ledger.timed_out >= 1,
+            "some stalls must time out: {}",
+            run.report.ledger.deterministic_fingerprint()
+        );
+        assert!(
+            run.report.ledger.panicked >= 1,
+            "some faults must panic: {}",
+            run.report.ledger.deterministic_fingerprint()
+        );
+        for o in &run.outcomes {
+            assert!(o.is_quarantined());
+        }
+        // With one retry, every task recovers: the injection draw at
+        // attempt 1 comes from the same per-index lane, past the
+        // attempt-0 draws, and the rate-1.0 verdict repeats... so use a
+        // transient plan instead to prove timeout recovery.
+        let transient = FleetOptions {
+            task_budget: Some(Duration::from_millis(40)),
+            stall_for: Duration::from_millis(400),
+            max_retries: 1,
+            faults: FaultPlan::seeded(5).on_nth_probe(FaultSite::FleetTask, 2),
+            ..FleetOptions::new()
+        };
+        let clean = supervised(&FleetConfig::new(1, 5), &FleetOptions::new());
+        let run = supervised(&FleetConfig::new(4, 5), &transient);
+        assert!(run.report.is_clean());
+        assert_eq!(run.combined_digest(), clean.combined_digest());
+    }
+
+    #[test]
+    fn journal_then_resume_reproduces_the_uninterrupted_digest() {
+        let cfg = FleetConfig::new(2, 13);
+        let clean = supervised(&cfg, &FleetOptions::new());
+
+        // First run journals everything…
+        let path = tmp("resume");
+        let run = supervised(&cfg, &FleetOptions::new().with_journal(&path));
+        assert_eq!(run.combined_digest(), clean.combined_digest());
+
+        // …then the file is truncated to the header + half the tasks,
+        // with a torn final line — exactly what a crash leaves behind.
+        let text = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 9, "header + 8 tasks");
+        let mut kept = lines[..5].join("\n");
+        kept.push('\n');
+        kept.push_str("kind=task index=6 outco"); // torn mid-write
+        std::fs::write(&path, kept).unwrap();
+
+        let state = FleetJournal::load(&path).unwrap();
+        assert_eq!(state.completed.len(), 4, "torn line discarded");
+
+        let resumed = supervised(&cfg, &FleetOptions::new().resuming(&path));
+        assert_eq!(resumed.report.ledger.skipped, 4);
+        assert_eq!(resumed.report.ledger.ok, 4);
+        assert_eq!(
+            resumed.combined_digest(),
+            clean.combined_digest(),
+            "a resumed run must digest identically to an uninterrupted one"
+        );
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn resume_rejects_a_foreign_journal() {
+        let path = tmp("foreign");
+        let _ = supervised(
+            &FleetConfig::new(1, 1),
+            &FleetOptions::new().with_journal(&path),
+        );
+        let err = run_fleet_supervised(
+            &FleetConfig::new(1, 2), // different seed
+            &FleetOptions::new().resuming(&path),
+            (0..8).collect(),
+            chain,
+            |r: &u64| *r,
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("different run"), "got: {err}");
+        let _ = std::fs::remove_file(&path);
     }
 }

@@ -1,0 +1,840 @@
+//! Crash-safe supervision for fleet runs: panic isolation, bounded
+//! deterministic retries, a per-task stall watchdog, and an append-only
+//! checkpoint journal for resume.
+//!
+//! The plain [`run_fleet`](crate::run_fleet) contract is all-or-nothing:
+//! every task must return. A night-long randomized campaign cannot
+//! afford that — one organic panic at seed 4711 of 10 000 must not cost
+//! the other 9 999 results. [`run_fleet_supervised`] therefore wraps
+//! every task attempt in `catch_unwind` (the same boundary the
+//! migration supervisor uses around app callbacks) and reports a typed
+//! [`TaskOutcome`] per slot instead of unwinding through the pool:
+//!
+//! * a panicked or timed-out attempt is **requeued** up to
+//!   [`FleetOptions::max_retries`] times, each retry re-deriving the
+//!   *identical* `Xoshiro256::stream(seed, index)` context — so a
+//!   transient fault's retry reproduces the same digest a fault-free
+//!   run would have produced;
+//! * a task that exhausts its retries is **quarantined**: its slot
+//!   reports the failure (with a seed/index repro line) and every other
+//!   slot still returns in item order;
+//! * with a wall-clock [`FleetOptions::task_budget`], attempts run on a
+//!   detached thread and a straggler is marked
+//!   [`TaskOutcome::TimedOut`] instead of hanging the scope (the
+//!   runaway thread is abandoned — it can no longer write into the
+//!   run's slots);
+//! * with a [`FleetOptions::journal`], every completed task appends one
+//!   fsync'd `index/outcome/digest` line; a later run passing the same
+//!   path as [`FleetOptions::resume`] skips the recorded indices and
+//!   reuses their digests, so an interrupted study resumes instead of
+//!   recomputing.
+//!
+//! Deterministic fault injection comes from
+//! [`FaultSite::FleetTask`]: the driver probes the plan once per task
+//! *attempt* through an order-independent per-index stream, so verdicts
+//! do not depend on which worker claims which task, and a forced probe
+//! (`on_nth_probe(FleetTask, index + 1)`) models a *transient* fault —
+//! it strikes the first attempt only, and the retry succeeds.
+
+use std::collections::BTreeMap;
+use std::fs::{File, OpenOptions};
+use std::io::{BufRead, BufReader, Write};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use droidsim_faults::{FaultPlan, FaultSite};
+use droidsim_kernel::journal;
+use droidsim_metrics::FleetLedger;
+
+use crate::{combine_ordered, FleetConfig, TaskCtx};
+
+/// How one fleet task ended.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TaskOutcome<R> {
+    /// The task produced its result (possibly after retries).
+    Ok(R),
+    /// Every attempt panicked; the task is quarantined.
+    Panicked {
+        /// The final attempt's panic payload, rendered to text.
+        payload: String,
+        /// The fleet's root seed (for the repro line).
+        seed: u64,
+        /// The task's index in the submitted item list.
+        index: usize,
+        /// Attempts made (1 + retries).
+        attempts: u32,
+    },
+    /// Every attempt overran the watchdog budget; the task is
+    /// quarantined.
+    TimedOut {
+        /// The per-task wall-clock budget in force.
+        budget: Duration,
+        /// The fleet's root seed (for the repro line).
+        seed: u64,
+        /// The task's index in the submitted item list.
+        index: usize,
+        /// Attempts made (1 + retries).
+        attempts: u32,
+    },
+    /// A resume journal already had this task's result; it was not
+    /// re-run. The recorded digest stands in for the value.
+    Skipped {
+        /// The task's index in the submitted item list.
+        index: usize,
+        /// The digest the interrupted run recorded for this task.
+        digest: u64,
+    },
+}
+
+impl<R> TaskOutcome<R> {
+    /// The result, when the task produced one this run.
+    pub fn ok(&self) -> Option<&R> {
+        match self {
+            TaskOutcome::Ok(r) => Some(r),
+            _ => None,
+        }
+    }
+
+    /// Whether the slot holds a fresh result.
+    pub fn is_ok(&self) -> bool {
+        matches!(self, TaskOutcome::Ok(_))
+    }
+
+    /// Whether the task was quarantined (panicked or timed out).
+    pub fn is_quarantined(&self) -> bool {
+        matches!(
+            self,
+            TaskOutcome::Panicked { .. } | TaskOutcome::TimedOut { .. }
+        )
+    }
+
+    /// A stable tag for journals and reports.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            TaskOutcome::Ok(_) => "ok",
+            TaskOutcome::Panicked { .. } => "panicked",
+            TaskOutcome::TimedOut { .. } => "timed-out",
+            TaskOutcome::Skipped { .. } => "skipped",
+        }
+    }
+}
+
+/// Supervision knobs for [`run_fleet_supervised`]. The default is the
+/// plain contract: no retries, no watchdog, no journal, no injection.
+#[derive(Debug, Clone, Default)]
+pub struct FleetOptions {
+    /// Requeues per task after a panicked or timed-out attempt.
+    pub max_retries: u32,
+    /// Wall-clock budget per task attempt; `None` disables the watchdog
+    /// (the default, and the only choice on the `--jobs 1` legacy
+    /// inline path of plain `run_fleet`). With a budget, each attempt
+    /// runs on a detached thread so a straggler cannot hang the pool.
+    pub task_budget: Option<Duration>,
+    /// How long an injected stall sleeps; make it comfortably larger
+    /// than `task_budget` so injected stalls time out deterministically.
+    pub stall_for: Duration,
+    /// Fault plan probed at [`FaultSite::FleetTask`] once per attempt.
+    /// Rate faults draw from an order-independent per-index stream;
+    /// forced probes (1-based task index) strike the first attempt only.
+    pub faults: FaultPlan,
+    /// Task indices that panic on *every* attempt — simulated
+    /// hard-broken seeds that must end up in quarantine.
+    pub hard_fail: Vec<usize>,
+    /// Append one fsync'd line per completed task to this journal.
+    pub journal: Option<PathBuf>,
+    /// Skip tasks recorded `ok` in this journal (typically the same
+    /// path as `journal`), reusing their recorded digests.
+    pub resume: Option<PathBuf>,
+}
+
+impl FleetOptions {
+    /// The default plain contract (see type-level docs).
+    pub fn new() -> FleetOptions {
+        FleetOptions {
+            stall_for: Duration::from_millis(400),
+            ..FleetOptions::default()
+        }
+    }
+
+    /// Sets the retry bound.
+    pub fn with_retries(mut self, max_retries: u32) -> Self {
+        self.max_retries = max_retries;
+        self
+    }
+
+    /// Arms the stall watchdog with a per-attempt wall-clock budget.
+    pub fn with_budget(mut self, budget: Duration) -> Self {
+        self.task_budget = Some(budget);
+        self
+    }
+
+    /// Installs a fault plan (probed at [`FaultSite::FleetTask`]).
+    pub fn with_faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = plan;
+        self
+    }
+
+    /// Marks task indices as hard-broken (panic on every attempt).
+    pub fn with_hard_fail(mut self, indices: Vec<usize>) -> Self {
+        self.hard_fail = indices;
+        self
+    }
+
+    /// Journals completed tasks to `path`.
+    pub fn with_journal(mut self, path: impl Into<PathBuf>) -> Self {
+        self.journal = Some(path.into());
+        self
+    }
+
+    /// Resumes from `path`, also appending new completions to it.
+    pub fn resuming(mut self, path: impl Into<PathBuf>) -> Self {
+        let path = path.into();
+        self.resume = Some(path.clone());
+        self.journal = Some(path);
+        self
+    }
+}
+
+/// A supervision failure that prevents the run from starting (the run
+/// itself never fails — tasks do, individually).
+#[derive(Debug)]
+pub enum FleetError {
+    /// Opening, reading or writing the journal failed.
+    Io(std::io::Error),
+    /// The resume journal does not match this run (wrong seed or item
+    /// count, or an unreadable header).
+    Journal(String),
+}
+
+impl std::fmt::Display for FleetError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FleetError::Io(e) => write!(f, "fleet journal I/O: {e}"),
+            FleetError::Journal(m) => write!(f, "fleet journal: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for FleetError {}
+
+impl From<std::io::Error> for FleetError {
+    fn from(e: std::io::Error) -> Self {
+        FleetError::Io(e)
+    }
+}
+
+/// The append-only checkpoint journal: a header line naming the run
+/// (seed + item count), then one line per completed task. Lines are
+/// written through [`droidsim_kernel::journal`] and fsync'd one by one,
+/// so a crash leaves at most one truncated line — which the loader
+/// discards along with everything after it.
+#[derive(Debug)]
+pub struct FleetJournal {
+    file: File,
+}
+
+/// What a journal recorded before the run was interrupted.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JournalState {
+    /// The interrupted run's root seed.
+    pub seed: u64,
+    /// The interrupted run's item count.
+    pub items: usize,
+    /// Digest per task index recorded `ok`.
+    pub completed: BTreeMap<usize, u64>,
+}
+
+impl FleetJournal {
+    /// Opens `path` for appending, writing the header when the file is
+    /// new or empty. An existing header must match `seed` and `items`.
+    pub fn create_or_append(
+        path: &Path,
+        seed: u64,
+        items: usize,
+    ) -> Result<FleetJournal, FleetError> {
+        let exists = path.exists() && std::fs::metadata(path)?.len() > 0;
+        if exists {
+            let state = FleetJournal::load(path)?;
+            if state.seed != seed || state.items != items {
+                return Err(FleetError::Journal(format!(
+                    "{} belongs to a different run (seed {} items {}, this run: seed {} items {})",
+                    path.display(),
+                    state.seed,
+                    state.items,
+                    seed,
+                    items
+                )));
+            }
+        }
+        let mut file = OpenOptions::new().create(true).append(true).open(path)?;
+        if !exists {
+            let header = journal::encode_line(&[
+                ("kind", "header"),
+                ("seed", &seed.to_string()),
+                ("items", &items.to_string()),
+            ]);
+            writeln!(file, "{header}")?;
+            file.sync_data()?;
+        }
+        Ok(FleetJournal { file })
+    }
+
+    /// Appends and fsyncs one completed-task line.
+    pub fn record(
+        &mut self,
+        index: usize,
+        tag: &str,
+        digest: Option<u64>,
+        attempts: u32,
+    ) -> Result<(), FleetError> {
+        let digest_hex = digest.map(|d| format!("{d:016x}")).unwrap_or_default();
+        let line = journal::encode_line(&[
+            ("kind", "task"),
+            ("index", &index.to_string()),
+            ("outcome", tag),
+            ("digest", &digest_hex),
+            ("attempts", &attempts.to_string()),
+        ]);
+        writeln!(self.file, "{line}")?;
+        self.file.flush()?;
+        self.file.sync_data()?;
+        Ok(())
+    }
+
+    /// Reads a journal back, stopping silently at the first malformed
+    /// (truncated) line. Quarantined entries are *not* treated as
+    /// completed — a resumed run retries them.
+    pub fn load(path: &Path) -> Result<JournalState, FleetError> {
+        let reader = BufReader::new(File::open(path)?);
+        let mut lines = reader.lines();
+        let header = lines
+            .next()
+            .transpose()?
+            .and_then(|l| journal::decode_line(&l))
+            .ok_or_else(|| {
+                FleetError::Journal(format!("{}: missing or unreadable header", path.display()))
+            })?;
+        if journal::field(&header, "kind") != Some("header") {
+            return Err(FleetError::Journal(format!(
+                "{}: first line is not a header",
+                path.display()
+            )));
+        }
+        let parse_u64 = |key: &str| -> Result<u64, FleetError> {
+            journal::field(&header, key)
+                .and_then(|v| v.parse().ok())
+                .ok_or_else(|| {
+                    FleetError::Journal(format!("{}: header lacks {key}", path.display()))
+                })
+        };
+        let seed = parse_u64("seed")?;
+        let items = parse_u64("items")? as usize;
+        let mut completed = BTreeMap::new();
+        for line in lines {
+            let Some(fields) = journal::decode_line(&line?) else {
+                break; // truncated tail — everything before it stands
+            };
+            if journal::field(&fields, "kind") != Some("task") {
+                break;
+            }
+            let entry = (|| {
+                let index: usize = journal::field(&fields, "index")?.parse().ok()?;
+                let outcome = journal::field(&fields, "outcome")?;
+                let digest = journal::field(&fields, "digest")?;
+                Some((index, outcome.to_owned(), digest.to_owned()))
+            })();
+            let Some((index, outcome, digest)) = entry else {
+                break;
+            };
+            if outcome == "ok" && index < items {
+                if let Ok(d) = u64::from_str_radix(&digest, 16) {
+                    completed.insert(index, d);
+                }
+            }
+        }
+        Ok(JournalState {
+            seed,
+            items,
+            completed,
+        })
+    }
+}
+
+/// One quarantined task: everything needed to reproduce it alone.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuarantinedTask {
+    /// The task's index in the submitted item list.
+    pub index: usize,
+    /// The fleet's root seed.
+    pub seed: u64,
+    /// Attempts made before giving up.
+    pub attempts: u32,
+    /// `"panicked"` or `"timed-out"`.
+    pub kind: &'static str,
+    /// The final panic payload (empty for timeouts).
+    pub payload: String,
+}
+
+impl QuarantinedTask {
+    /// A one-line repro recipe: rerun just this task, inline, with the
+    /// exact RNG stream it had in the fleet.
+    pub fn repro_line(&self) -> String {
+        format!(
+            "repro: DROIDSIM_JOBS=1 seed={} index={} rng=Xoshiro256::stream({}, {}) last-attempt={}{}",
+            self.seed,
+            self.index,
+            self.seed,
+            self.index,
+            self.kind,
+            if self.payload.is_empty() {
+                String::new()
+            } else {
+                format!(" payload={}", self.payload)
+            }
+        )
+    }
+}
+
+/// Everything a supervised run observed besides the results themselves.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetReport {
+    /// Outcome/retry/latency accounting, folded in task-index order.
+    pub ledger: FleetLedger,
+    /// Tasks that exhausted their retries, in index order.
+    pub quarantined: Vec<QuarantinedTask>,
+    /// The run's root seed.
+    pub seed: u64,
+    /// The run's worker count.
+    pub jobs: usize,
+}
+
+impl FleetReport {
+    /// Whether every task produced (or resumed) a result.
+    pub fn is_clean(&self) -> bool {
+        self.quarantined.is_empty()
+    }
+
+    /// A human-readable quarantine report with one repro line per
+    /// quarantined task (empty string when clean).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "fleet report: jobs={} seed={} {}\n",
+            self.jobs,
+            self.seed,
+            self.ledger.deterministic_fingerprint()
+        ));
+        if self.quarantined.is_empty() {
+            out.push_str("quarantine: empty\n");
+        } else {
+            out.push_str(&format!(
+                "QUARANTINED: {} task(s) lost after retries\n",
+                self.quarantined.len()
+            ));
+            for q in &self.quarantined {
+                out.push_str(&format!(
+                    "  index {:>4}: {} after {} attempt(s); {}\n",
+                    q.index,
+                    q.kind,
+                    q.attempts,
+                    q.repro_line()
+                ));
+            }
+        }
+        out
+    }
+}
+
+/// A supervised run: per-task outcomes in item order, per-task digests
+/// (fresh or resumed), and the report.
+#[derive(Debug)]
+pub struct FleetRun<R> {
+    /// One outcome per submitted item, in item order.
+    pub outcomes: Vec<TaskOutcome<R>>,
+    /// One digest per item — `Some` for `Ok` (computed by `digest_of`)
+    /// and `Skipped` (recorded by the interrupted run), `None` for
+    /// quarantined slots.
+    pub digests: Vec<Option<u64>>,
+    /// Outcome accounting and the quarantine list.
+    pub report: FleetReport,
+}
+
+impl<R> FleetRun<R> {
+    /// Results that materialised this run, with their indices.
+    pub fn ok_results(&self) -> impl Iterator<Item = (usize, &R)> {
+        self.outcomes
+            .iter()
+            .enumerate()
+            .filter_map(|(i, o)| o.ok().map(|r| (i, r)))
+    }
+
+    /// The study digest: the per-task digests folded in item order.
+    /// `None` when any task is quarantined — a partial run has no
+    /// comparable digest.
+    pub fn combined_digest(&self) -> Option<u64> {
+        self.digests
+            .iter()
+            .copied()
+            .collect::<Option<Vec<u64>>>()
+            .map(combine_ordered)
+    }
+}
+
+/// What one injected fleet-task fault does to the attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum InjectedKind {
+    Panic,
+    Stall,
+}
+
+/// The deterministic injection verdict for `(index, attempt)`.
+///
+/// Order-independent by construction: the draw comes from the plan's
+/// per-site stream at lane `index`, advanced two draws per attempt —
+/// no shared counter, so worker scheduling cannot perturb it. Forced
+/// probes model transient faults (first attempt only); `hard_fail`
+/// models hard-broken tasks (every attempt).
+fn injected_fault(opts: &FleetOptions, index: usize, attempt: u32) -> Option<InjectedKind> {
+    if opts.hard_fail.contains(&index) {
+        return Some(InjectedKind::Panic);
+    }
+    let site = FaultSite::FleetTask;
+    let forced = attempt == 0
+        && opts
+            .faults
+            .forced_probes(site)
+            .contains(&(index as u64 + 1));
+    let rate = opts.faults.rate(site);
+    if !forced && rate <= 0.0 {
+        return None;
+    }
+    let mut lane = opts.faults.site_stream(site, index as u64);
+    for _ in 0..attempt {
+        lane.next_f64();
+        lane.next_f64();
+    }
+    let strikes = lane.next_f64() < rate;
+    let wants_stall = lane.next_f64() < 0.5;
+    if !(forced || strikes) {
+        return None;
+    }
+    // Stalls need the watchdog to be observable; without a budget the
+    // injection degrades to a panic so it cannot hang the run.
+    Some(if wants_stall && opts.task_budget.is_some() {
+        InjectedKind::Stall
+    } else {
+        InjectedKind::Panic
+    })
+}
+
+pub(crate) fn payload_text(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_owned()
+    }
+}
+
+enum Attempt<R> {
+    Done(R),
+    Panicked(String),
+    TimedOut,
+}
+
+/// Runs one attempt, isolated. Without a budget the attempt runs inline
+/// behind `catch_unwind`; with one it runs on a detached thread and the
+/// caller waits at most `budget` — a straggler is abandoned, its result
+/// channel dropped.
+fn run_attempt<T, R, F>(
+    run: &Arc<F>,
+    seed: u64,
+    index: usize,
+    item: T,
+    fault: Option<InjectedKind>,
+    budget: Option<Duration>,
+    stall_for: Duration,
+) -> Attempt<R>
+where
+    T: Send + 'static,
+    R: Send + 'static,
+    F: Fn(TaskCtx, T) -> R + Send + Sync + 'static,
+{
+    let body = {
+        let run = Arc::clone(run);
+        move || {
+            if let Some(InjectedKind::Stall) = fault {
+                std::thread::sleep(stall_for);
+            }
+            if let Some(InjectedKind::Panic) = fault {
+                panic!("injected fleet-task fault");
+            }
+            run(TaskCtx::stream(seed, index), item)
+        }
+    };
+    match budget {
+        None => match catch_unwind(AssertUnwindSafe(body)) {
+            Ok(r) => Attempt::Done(r),
+            Err(p) => Attempt::Panicked(payload_text(p)),
+        },
+        Some(budget) => {
+            let (tx, rx) = mpsc::channel();
+            std::thread::spawn(move || {
+                let out = catch_unwind(AssertUnwindSafe(body)).map_err(payload_text);
+                let _ = tx.send(out);
+            });
+            match rx.recv_timeout(budget) {
+                Ok(Ok(r)) => Attempt::Done(r),
+                Ok(Err(p)) => Attempt::Panicked(p),
+                Err(_) => Attempt::TimedOut,
+            }
+        }
+    }
+}
+
+/// Per-slot bookkeeping a worker fills and the reducer folds.
+struct TaskRecord<R> {
+    outcome: TaskOutcome<R>,
+    digest: Option<u64>,
+    retries: u32,
+    injected: u32,
+    panicked_attempts: u32,
+    timed_out_attempts: u32,
+    latencies_ms: Vec<f64>,
+}
+
+fn lock<X>(m: &Mutex<X>) -> std::sync::MutexGuard<'_, X> {
+    // Workers never panic while holding a lock (every attempt is behind
+    // catch_unwind), but a poisoned mutex must still not poison the
+    // whole fleet: take the data regardless.
+    m.lock().unwrap_or_else(|p| p.into_inner())
+}
+
+/// Runs `run` over every item like [`run_fleet`](crate::run_fleet), but
+/// crash-safe: the returned [`FleetRun`] has one [`TaskOutcome`] per
+/// item in item order, and a failing task quarantines instead of
+/// aborting the pool. `digest_of` maps a result to the 64-bit digest
+/// recorded in journals and folded into [`FleetRun::combined_digest`].
+///
+/// Determinism: for a given `(cfg.seed, items, opts.faults)` the
+/// outcomes and digests are identical for any worker count, and a task
+/// whose transient fault was retried produces the same digest as in a
+/// fault-free run (the retry re-derives the identical RNG stream).
+pub fn run_fleet_supervised<T, R, F, D>(
+    cfg: &FleetConfig,
+    opts: &FleetOptions,
+    items: Vec<T>,
+    run: F,
+    digest_of: D,
+) -> Result<FleetRun<R>, FleetError>
+where
+    T: Clone + Send + Sync + 'static,
+    R: Send + 'static,
+    F: Fn(TaskCtx, T) -> R + Send + Sync + 'static,
+    D: Fn(&R) -> u64 + Sync,
+{
+    let n = items.len();
+    let resumed: BTreeMap<usize, u64> = match &opts.resume {
+        Some(path) if path.exists() => {
+            let state = FleetJournal::load(path)?;
+            if state.seed != cfg.seed || state.items != n {
+                return Err(FleetError::Journal(format!(
+                    "{} belongs to a different run (seed {} items {}, this run: seed {} items {})",
+                    path.display(),
+                    state.seed,
+                    state.items,
+                    cfg.seed,
+                    n
+                )));
+            }
+            state.completed
+        }
+        _ => BTreeMap::new(),
+    };
+    let journal = match &opts.journal {
+        Some(path) => Some(Mutex::new(FleetJournal::create_or_append(
+            path, cfg.seed, n,
+        )?)),
+        None => None,
+    };
+
+    let run = Arc::new(run);
+    let records: Vec<Mutex<Option<TaskRecord<R>>>> = (0..n).map(|_| Mutex::new(None)).collect();
+
+    let worker_body = |i: usize| {
+        if let Some(&digest) = resumed.get(&i) {
+            *lock(&records[i]) = Some(TaskRecord {
+                outcome: TaskOutcome::Skipped { index: i, digest },
+                digest: Some(digest),
+                retries: 0,
+                injected: 0,
+                panicked_attempts: 0,
+                timed_out_attempts: 0,
+                latencies_ms: Vec::new(),
+            });
+            return;
+        }
+        let mut rec = TaskRecord {
+            outcome: TaskOutcome::Skipped {
+                index: i,
+                digest: 0,
+            }, // placeholder
+            digest: None,
+            retries: 0,
+            injected: 0,
+            panicked_attempts: 0,
+            timed_out_attempts: 0,
+            latencies_ms: Vec::new(),
+        };
+        let mut attempt: u32 = 0;
+        let mut last_panic = String::new();
+        let mut last_was_timeout;
+        loop {
+            let fault = injected_fault(opts, i, attempt);
+            if fault.is_some() {
+                rec.injected += 1;
+            }
+            let started = Instant::now();
+            let result = run_attempt(
+                &run,
+                cfg.seed,
+                i,
+                items[i].clone(),
+                fault,
+                opts.task_budget,
+                opts.stall_for,
+            );
+            rec.latencies_ms.push(started.elapsed().as_secs_f64() * 1e3);
+            match result {
+                Attempt::Done(r) => {
+                    let digest = digest_of(&r);
+                    if let Some(j) = &journal {
+                        let _ = lock(j).record(i, "ok", Some(digest), attempt + 1);
+                    }
+                    rec.digest = Some(digest);
+                    rec.outcome = TaskOutcome::Ok(r);
+                    break;
+                }
+                Attempt::Panicked(payload) => {
+                    rec.panicked_attempts += 1;
+                    last_panic = payload;
+                    last_was_timeout = false;
+                }
+                Attempt::TimedOut => {
+                    rec.timed_out_attempts += 1;
+                    last_was_timeout = true;
+                }
+            }
+            if attempt < opts.max_retries {
+                attempt += 1;
+                rec.retries += 1;
+                continue;
+            }
+            if let Some(j) = &journal {
+                let _ = lock(j).record(i, "quarantined", None, attempt + 1);
+            }
+            rec.outcome = if last_was_timeout {
+                TaskOutcome::TimedOut {
+                    budget: opts.task_budget.unwrap_or_default(),
+                    seed: cfg.seed,
+                    index: i,
+                    attempts: attempt + 1,
+                }
+            } else {
+                TaskOutcome::Panicked {
+                    payload: last_panic.clone(),
+                    seed: cfg.seed,
+                    index: i,
+                    attempts: attempt + 1,
+                }
+            };
+            break;
+        }
+        *lock(&records[i]) = Some(rec);
+    };
+
+    if cfg.jobs <= 1 || n <= 1 {
+        for i in 0..n {
+            worker_body(i);
+        }
+    } else {
+        let cursor = AtomicUsize::new(0);
+        let workers = cfg.jobs.min(n);
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    worker_body(i);
+                });
+            }
+        });
+    }
+
+    // Fold the slots in task-index order — the same contract as plain
+    // run_fleet's reducer, so the report is reproducible for any worker
+    // count.
+    let mut ledger = FleetLedger::new();
+    let mut quarantined = Vec::new();
+    let mut outcomes = Vec::with_capacity(n);
+    let mut digests = Vec::with_capacity(n);
+    for (i, slot) in records.into_iter().enumerate() {
+        let rec = lock(&slot)
+            .take()
+            .unwrap_or_else(|| panic!("fleet slot {i} was never filled"));
+        match &rec.outcome {
+            TaskOutcome::Ok(_) => ledger.ok += 1,
+            TaskOutcome::Skipped { .. } => ledger.skipped += 1,
+            TaskOutcome::Panicked {
+                payload, attempts, ..
+            } => {
+                ledger.panicked += 1;
+                quarantined.push(QuarantinedTask {
+                    index: i,
+                    seed: cfg.seed,
+                    attempts: *attempts,
+                    kind: "panicked",
+                    payload: payload.clone(),
+                });
+            }
+            TaskOutcome::TimedOut { attempts, .. } => {
+                ledger.timed_out += 1;
+                quarantined.push(QuarantinedTask {
+                    index: i,
+                    seed: cfg.seed,
+                    attempts: *attempts,
+                    kind: "timed-out",
+                    payload: String::new(),
+                });
+            }
+        }
+        ledger.retries += u64::from(rec.retries);
+        ledger.panicked_attempts += u64::from(rec.panicked_attempts);
+        ledger.timed_out_attempts += u64::from(rec.timed_out_attempts);
+        ledger.injected_faults += u64::from(rec.injected);
+        for ms in &rec.latencies_ms {
+            ledger.attempt_latency_ms.record(*ms);
+        }
+        digests.push(rec.digest.or(match &rec.outcome {
+            TaskOutcome::Skipped { digest, .. } => Some(*digest),
+            _ => None,
+        }));
+        outcomes.push(rec.outcome);
+    }
+    Ok(FleetRun {
+        outcomes,
+        digests,
+        report: FleetReport {
+            ledger,
+            quarantined,
+            seed: cfg.seed,
+            jobs: cfg.jobs,
+        },
+    })
+}

@@ -1,0 +1,162 @@
+//! Line-oriented `key=value` serialization for append-only journals.
+//!
+//! The fleet driver checkpoints completed tasks as one journal line per
+//! task so an interrupted study can resume without recomputing finished
+//! work. The format has to survive exactly what a crash leaves behind —
+//! a possibly-truncated final line — so it is deliberately primitive:
+//! one record per line, space-separated `key=value` fields, values
+//! percent-escaped so keys, separators and newlines can never be forged
+//! by a value (a panic payload, an app name with spaces, …).
+//!
+//! # Examples
+//!
+//! ```
+//! use droidsim_kernel::journal;
+//!
+//! let line = journal::encode_line(&[("index", "3"), ("payload", "boom at x=1")]);
+//! let fields = journal::decode_line(&line).unwrap();
+//! assert_eq!(journal::field(&fields, "index"), Some("3"));
+//! assert_eq!(journal::field(&fields, "payload"), Some("boom at x=1"));
+//! ```
+
+/// Escapes a value so it contains no spaces, `=`, `%` or line breaks.
+pub fn escape(value: &str) -> String {
+    let mut out = String::with_capacity(value.len());
+    for c in value.chars() {
+        match c {
+            '%' => out.push_str("%25"),
+            ' ' => out.push_str("%20"),
+            '=' => out.push_str("%3d"),
+            '\n' => out.push_str("%0a"),
+            '\r' => out.push_str("%0d"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+/// Reverses [`escape`]. Unknown or truncated `%` sequences are kept
+/// verbatim rather than rejected — a journal line is either parseable
+/// or discarded wholesale, never a hard error.
+pub fn unescape(value: &str) -> String {
+    let mut out = String::with_capacity(value.len());
+    let bytes = value.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i] == b'%' && i + 3 <= bytes.len() && value.is_char_boundary(i + 3) {
+            match &value[i + 1..i + 3] {
+                "25" => out.push('%'),
+                "20" => out.push(' '),
+                "3d" => out.push('='),
+                "0a" => out.push('\n'),
+                "0d" => out.push('\r'),
+                _ => {
+                    out.push('%');
+                    i += 1;
+                    continue;
+                }
+            }
+            i += 3;
+        } else {
+            // Multi-byte UTF-8 sequences pass through untouched.
+            let c = value[i..].chars().next().unwrap();
+            out.push(c);
+            i += c.len_utf8();
+        }
+    }
+    out
+}
+
+/// Encodes one record as a `key=value key=value` line (no trailing
+/// newline). Keys must be plain identifiers; values are escaped.
+pub fn encode_line(fields: &[(&str, &str)]) -> String {
+    fields
+        .iter()
+        .map(|(k, v)| format!("{k}={}", escape(v)))
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+/// Decodes one line back into `(key, value)` pairs. Returns `None` for
+/// a malformed line (no fields, or a field without `=`) — the caller
+/// treats it as a truncated tail and stops reading.
+pub fn decode_line(line: &str) -> Option<Vec<(String, String)>> {
+    let line = line.trim_end_matches(['\n', '\r']);
+    if line.is_empty() {
+        return None;
+    }
+    let mut fields = Vec::new();
+    for part in line.split(' ') {
+        let (k, v) = part.split_once('=')?;
+        if k.is_empty() {
+            return None;
+        }
+        fields.push((k.to_owned(), unescape(v)));
+    }
+    Some(fields)
+}
+
+/// Looks up the first occurrence of `key` in decoded fields.
+pub fn field<'a>(fields: &'a [(String, String)], key: &str) -> Option<&'a str> {
+    fields
+        .iter()
+        .find(|(k, _)| k == key)
+        .map(|(_, v)| v.as_str())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_hostile_values() {
+        for v in [
+            "plain",
+            "two words",
+            "a=b=c",
+            "100%",
+            "line\nbreak",
+            "cr\rlf\n",
+            "%20 literal",
+            "",
+            "naïve 视图",
+        ] {
+            assert_eq!(unescape(&escape(v)), v, "value {v:?}");
+            let line = encode_line(&[("k", v)]);
+            assert!(!line.contains('\n'), "escaped line must be single-line");
+            let fields = decode_line(&line).unwrap();
+            assert_eq!(field(&fields, "k"), Some(v));
+        }
+    }
+
+    #[test]
+    fn multi_field_lines_keep_order_and_values() {
+        let line = encode_line(&[
+            ("kind", "task"),
+            ("index", "7"),
+            ("why", "it broke = badly"),
+        ]);
+        let fields = decode_line(&line).unwrap();
+        assert_eq!(fields.len(), 3);
+        assert_eq!(field(&fields, "kind"), Some("task"));
+        assert_eq!(field(&fields, "index"), Some("7"));
+        assert_eq!(field(&fields, "why"), Some("it broke = badly"));
+        assert_eq!(field(&fields, "missing"), None);
+    }
+
+    #[test]
+    fn malformed_lines_decode_to_none() {
+        assert_eq!(decode_line(""), None);
+        assert_eq!(decode_line("\n"), None);
+        assert_eq!(decode_line("no-equals-sign"), None);
+        assert_eq!(decode_line("ok=1 truncated"), None);
+        assert_eq!(decode_line("=value"), None);
+    }
+
+    #[test]
+    fn unknown_escapes_pass_through() {
+        assert_eq!(unescape("%zz"), "%zz");
+        assert_eq!(unescape("tail%"), "tail%");
+        assert_eq!(unescape("%2"), "%2");
+    }
+}

@@ -12,6 +12,8 @@
 //!   PRNGs used for workload generation and jitter injection,
 //! * [`IdGen`] — monotonically increasing id allocation for tokens, views,
 //!   records, …
+//! * [`journal`] — `key=value` line serialization for the fleet's
+//!   append-only checkpoint journals.
 //!
 //! # Examples
 //!
@@ -27,6 +29,7 @@
 
 pub mod id;
 pub mod intern;
+pub mod journal;
 pub mod queue;
 pub mod rng;
 pub mod time;

@@ -13,6 +13,7 @@ use core::fmt;
 
 use crate::faults::FaultMetrics;
 use crate::migration::MigrationMetrics;
+use crate::stats::Histogram;
 
 /// Everything one device's handler measured: the batched-migration
 /// counters and the fault-ladder ledger.
@@ -75,6 +76,101 @@ impl fmt::Display for DeviceMetrics {
     }
 }
 
+/// The fleet driver's outcome ledger: how every task of a run ended,
+/// how often tasks were retried, and how long attempts took.
+///
+/// One ledger describes one `run_fleet_supervised` invocation; the
+/// driver fills it from the per-slot outcomes **in task-index order**
+/// after every worker has finished, so the counters are reproducible
+/// for any worker count. The attempt-latency histogram measures host
+/// wall-clock and therefore follows the same fingerprint rule as the
+/// other latency histograms: it is excluded from
+/// [`FleetLedger::deterministic_fingerprint`] entirely (not even its
+/// count — a watchdog retry that a faster host avoids would change it).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FleetLedger {
+    /// Tasks that produced a result (possibly after retries).
+    pub ok: u64,
+    /// Tasks quarantined after their final attempt panicked.
+    pub panicked: u64,
+    /// Tasks quarantined after their final attempt overran the watchdog
+    /// budget.
+    pub timed_out: u64,
+    /// Tasks skipped because a resume journal already had their result.
+    pub skipped: u64,
+    /// Extra attempts beyond each task's first (retries actually run).
+    pub retries: u64,
+    /// Attempts that ended in an (injected or organic) panic.
+    pub panicked_attempts: u64,
+    /// Attempts the stall watchdog timed out.
+    pub timed_out_attempts: u64,
+    /// Injected `fleet-task` faults that actually struck.
+    pub injected_faults: u64,
+    /// Host wall-clock latency of every finished attempt (ms).
+    pub attempt_latency_ms: Histogram,
+}
+
+impl FleetLedger {
+    /// Fresh, all-zero ledger.
+    pub fn new() -> FleetLedger {
+        FleetLedger::default()
+    }
+
+    /// Total tasks the ledger accounts for.
+    pub fn tasks(&self) -> u64 {
+        self.ok + self.panicked + self.timed_out + self.skipped
+    }
+
+    /// Tasks that exhausted their retries (the quarantine list length).
+    pub fn quarantined(&self) -> u64 {
+        self.panicked + self.timed_out
+    }
+
+    /// Folds another run's ledger into this one (e.g. a resumed run's
+    /// ledger onto the interrupted run's).
+    pub fn merge(&mut self, other: &FleetLedger) {
+        self.ok += other.ok;
+        self.panicked += other.panicked;
+        self.timed_out += other.timed_out;
+        self.skipped += other.skipped;
+        self.retries += other.retries;
+        self.panicked_attempts += other.panicked_attempts;
+        self.timed_out_attempts += other.timed_out_attempts;
+        self.injected_faults += other.injected_faults;
+        self.attempt_latency_ms.merge(&other.attempt_latency_ms);
+    }
+
+    /// The simulation-determined part of the ledger — everything except
+    /// the wall-clock attempt-latency histogram. Identical between
+    /// serial and parallel runs of the same seeds as long as no
+    /// *organic* (host-speed-dependent) timeout fired.
+    pub fn deterministic_fingerprint(&self) -> String {
+        format!(
+            "fleet[ok={} panicked={} timed_out={} skipped={} retries={} \
+             panic_attempts={} timeout_attempts={} injected={}]",
+            self.ok,
+            self.panicked,
+            self.timed_out,
+            self.skipped,
+            self.retries,
+            self.panicked_attempts,
+            self.timed_out_attempts,
+            self.injected_faults,
+        )
+    }
+}
+
+impl fmt::Display for FleetLedger {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} latency[{}]",
+            self.deterministic_fingerprint(),
+            self.attempt_latency_ms
+        )
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -131,5 +227,48 @@ mod tests {
         let line = m.fingerprint();
         assert!(line.contains("flushes=1"), "got {line}");
         assert!(line.contains("contained=2"), "got {line}");
+    }
+
+    #[test]
+    fn ledger_fingerprint_ignores_attempt_latency() {
+        let mut a = FleetLedger::new();
+        let mut b = FleetLedger::new();
+        a.ok = 7;
+        a.retries = 2;
+        a.attempt_latency_ms.record(1.0);
+        b.ok = 7;
+        b.retries = 2;
+        b.attempt_latency_ms.record(900.0);
+        b.attempt_latency_ms.record(900.0); // even the count is excluded
+        assert_eq!(a.deterministic_fingerprint(), b.deterministic_fingerprint());
+        b.panicked += 1;
+        assert_ne!(a.deterministic_fingerprint(), b.deterministic_fingerprint());
+    }
+
+    #[test]
+    fn ledger_merge_adds_every_counter() {
+        let mut a = FleetLedger {
+            ok: 3,
+            skipped: 2,
+            retries: 1,
+            ..FleetLedger::new()
+        };
+        let b = FleetLedger {
+            ok: 4,
+            panicked: 1,
+            timed_out: 2,
+            panicked_attempts: 3,
+            timed_out_attempts: 2,
+            injected_faults: 5,
+            ..FleetLedger::new()
+        };
+        a.merge(&b);
+        assert_eq!(a.tasks(), 12);
+        assert_eq!(a.quarantined(), 3);
+        assert_eq!(a.retries, 1);
+        assert_eq!(a.injected_faults, 5);
+        let line = a.to_string();
+        assert!(line.contains("ok=7"), "got {line}");
+        assert!(line.contains("latency["), "got {line}");
     }
 }

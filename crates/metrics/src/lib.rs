@@ -35,7 +35,7 @@ pub mod trace;
 pub use cost::{AppCostProfile, CostModel, CostParams};
 pub use energy::EnergyModel;
 pub use faults::FaultMetrics;
-pub use fleet::DeviceMetrics;
+pub use fleet::{DeviceMetrics, FleetLedger};
 pub use memory::{MemoryModel, MemorySnapshot};
 pub use migration::MigrationMetrics;
 pub use stats::{Histogram, Summary};

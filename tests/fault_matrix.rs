@@ -12,7 +12,7 @@
 use droidsim_app::SimpleApp;
 use droidsim_device::{Device, DeviceEvent, HandlingMode};
 use droidsim_faults::{FaultPlan, FaultSite};
-use droidsim_fleet::{run_fleet, FleetConfig};
+use droidsim_fleet::{run_fleet_supervised, Digest, FleetConfig, FleetOptions};
 use droidsim_kernel::SimDuration;
 use rchdroid::{FlushPolicy, GcPolicy, RchOptions};
 
@@ -72,6 +72,7 @@ fn run_scenario(mode: HandlingMode, plan: FaultPlan) -> (Device, String) {
 
 /// What one matrix cell observed; `Device` itself stays inside the
 /// fleet task (app models are not `Send`), only this crosses threads.
+#[derive(Clone)]
 struct CellOutcome {
     label: String,
     injected: u64,
@@ -79,6 +80,20 @@ struct CellOutcome {
     crashed: bool,
     rung3: u64,
     has_foreground: bool,
+}
+
+impl CellOutcome {
+    /// What a journaled matrix run records per cell.
+    fn digest(&self) -> u64 {
+        let mut d = Digest::new();
+        d.write_str(&self.label);
+        d.write_u64(self.injected);
+        d.write_u64(self.at_site);
+        d.write_u64(u64::from(self.crashed));
+        d.write_u64(self.rung3);
+        d.write_u64(u64::from(self.has_foreground));
+        d.finish()
+    }
 }
 
 #[test]
@@ -91,19 +106,35 @@ fn every_forced_site_is_absorbed_by_the_ladder() {
             }
         }
     }
-    let outcomes = run_fleet(&fleet(), cells, |_ctx, (seed, mode, site)| {
-        let plan = FaultPlan::seeded(seed).on_nth_probe(site, 1);
-        let (d, c) = run_scenario(mode, plan);
-        let m = d.fault_metrics(&c).unwrap();
-        CellOutcome {
-            label: format!("seed {seed} {mode:?}: {site}"),
-            injected: m.total_faults(),
-            at_site: m.site_count(site.name()),
-            crashed: d.is_crashed(&c),
-            rung3: m.crashes,
-            has_foreground: d.foreground_component().is_some(),
-        }
-    });
+    // The matrix runs under the supervised fleet: a cell whose scenario
+    // panics is quarantined and reported with a repro line instead of
+    // tearing down every other cell of the matrix.
+    let run = run_fleet_supervised(
+        &fleet(),
+        &FleetOptions::new(),
+        cells,
+        |_ctx, (seed, mode, site)| {
+            let plan = FaultPlan::seeded(seed).on_nth_probe(site, 1);
+            let (d, c) = run_scenario(mode, plan);
+            let m = d.fault_metrics(&c).unwrap();
+            CellOutcome {
+                label: format!("seed {seed} {mode:?}: {site}"),
+                injected: m.total_faults(),
+                at_site: m.site_count(site.name()),
+                crashed: d.is_crashed(&c),
+                rung3: m.crashes,
+                has_foreground: d.foreground_component().is_some(),
+            }
+        },
+        CellOutcome::digest,
+    )
+    .unwrap();
+    assert!(run.report.is_clean(), "{}", run.report.render());
+    let outcomes: Vec<CellOutcome> = run
+        .outcomes
+        .iter()
+        .map(|o| o.ok().cloned().unwrap())
+        .collect();
     for o in outcomes {
         assert!(o.injected >= 1, "{} never injected", o.label);
         assert!(o.at_site >= 1, "{} absorbed under the wrong site", o.label);
@@ -117,43 +148,62 @@ fn every_forced_site_is_absorbed_by_the_ladder() {
 #[test]
 fn rate_injection_never_escapes_a_panic() {
     // 50 % at every site is far past any realistic fault load; the
-    // guarantee is that the scripted run completes (any escaped panic
-    // fails the fleet task by unwinding) and the books balance. Event
-    // inspection happens inside the task — only violations cross back.
+    // guarantee is that the scripted run completes (an escaped panic
+    // quarantines its cell, which `is_clean` rejects) and the books
+    // balance. Event inspection happens inside the task — only
+    // violations cross back.
     let mut cells = Vec::new();
     for seed in seeds() {
         for mode in modes() {
             cells.push((seed, mode));
         }
     }
-    let violations: Vec<String> = run_fleet(&fleet(), cells, |_ctx, (seed, mode)| {
-        let plan = FaultPlan::seeded(seed).with_rate_everywhere(0.5);
-        let (d, c) = run_scenario(mode, plan);
-        let m = d.fault_metrics(&c).unwrap();
-        let mut bad = Vec::new();
-        if m.total_faults() != m.contained_per_view + m.fallback_restarts + m.crashes {
-            bad.push(format!("seed {seed} {mode:?}: fault ledger out of balance"));
-        }
-        if m.crashes != 0 {
-            bad.push(format!(
-                "seed {seed} {mode:?}: injected faults must not reach rung 3"
-            ));
-        }
-        // Every absorbed fault names its site and rung in the log.
-        for e in d.events() {
-            if let DeviceEvent::Fault { site, rung, .. } = e {
-                if site.is_empty() || (rung != "contained-per-view" && rung != "fallback-restart") {
-                    bad.push(format!(
-                        "seed {seed} {mode:?}: unexpected rung {rung} for {site}"
-                    ));
+    let run = run_fleet_supervised(
+        &fleet(),
+        &FleetOptions::new(),
+        cells,
+        |_ctx, (seed, mode)| {
+            let plan = FaultPlan::seeded(seed).with_rate_everywhere(0.5);
+            let (d, c) = run_scenario(mode, plan);
+            let m = d.fault_metrics(&c).unwrap();
+            let mut bad = Vec::new();
+            if m.total_faults() != m.contained_per_view + m.fallback_restarts + m.crashes {
+                bad.push(format!("seed {seed} {mode:?}: fault ledger out of balance"));
+            }
+            if m.crashes != 0 {
+                bad.push(format!(
+                    "seed {seed} {mode:?}: injected faults must not reach rung 3"
+                ));
+            }
+            // Every absorbed fault names its site and rung in the log.
+            for e in d.events() {
+                if let DeviceEvent::Fault { site, rung, .. } = e {
+                    if site.is_empty()
+                        || (rung != "contained-per-view" && rung != "fallback-restart")
+                    {
+                        bad.push(format!(
+                            "seed {seed} {mode:?}: unexpected rung {rung} for {site}"
+                        ));
+                    }
                 }
             }
-        }
-        bad
-    })
-    .into_iter()
-    .flatten()
-    .collect();
+            bad
+        },
+        |bad| {
+            let mut d = Digest::new();
+            for line in bad {
+                d.write_str(line);
+            }
+            d.finish()
+        },
+    )
+    .unwrap();
+    assert!(run.report.is_clean(), "{}", run.report.render());
+    let violations: Vec<String> = run
+        .outcomes
+        .iter()
+        .flat_map(|o| o.ok().cloned().unwrap())
+        .collect();
     assert!(violations.is_empty(), "{}", violations.join("\n"));
 }
 

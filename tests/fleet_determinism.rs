@@ -8,8 +8,11 @@
 
 use droidsim_app::SimpleApp;
 use droidsim_device::{Device, HandlingMode};
-use droidsim_faults::FaultPlan;
-use droidsim_fleet::{combine_ordered, run_fleet, Digest, FleetConfig};
+use droidsim_faults::{FaultPlan, FaultSite};
+use droidsim_fleet::{
+    combine_ordered, run_fleet, run_fleet_supervised, Digest, FleetConfig, FleetOptions, TaskCtx,
+    TaskOutcome,
+};
 use droidsim_kernel::SimDuration;
 
 /// Devices per fleet; enough that every worker count partitions
@@ -55,11 +58,21 @@ fn device_digest(fault_seed: u64, jitter_seed: u64) -> u64 {
 /// from its private RNG stream, so the value depends only on the fleet
 /// seed and the task index — never on which worker ran it.
 fn fleet_digests(cfg: &FleetConfig) -> Vec<u64> {
-    run_fleet(cfg, (0..DEVICES).collect(), |mut ctx, _i| {
-        let fault_seed = ctx.rng.next_u64();
-        let jitter_seed = ctx.rng.next_u64();
-        device_digest(fault_seed, jitter_seed)
-    })
+    run_fleet(cfg, (0..DEVICES).collect(), device_task)
+}
+
+/// The per-task body shared by the plain and supervised runs: seeds come
+/// from the task's private stream, so the digest depends only on the
+/// fleet seed and the task index.
+fn device_task(mut ctx: TaskCtx, _i: usize) -> u64 {
+    let fault_seed = ctx.rng.next_u64();
+    let jitter_seed = ctx.rng.next_u64();
+    device_digest(fault_seed, jitter_seed)
+}
+
+/// Runs the same fleet under supervision.
+fn supervised(cfg: &FleetConfig, opts: &FleetOptions) -> droidsim_fleet::FleetRun<u64> {
+    run_fleet_supervised(cfg, opts, (0..DEVICES).collect(), device_task, |d| *d).unwrap()
 }
 
 #[test]
@@ -99,4 +112,92 @@ fn repeated_runs_are_stable() {
     // raw symbol values leaking into observable output.
     let cfg = FleetConfig::new(4, 7);
     assert_eq!(fleet_digests(&cfg), fleet_digests(&cfg));
+}
+
+#[test]
+fn a_panicking_device_costs_only_its_own_slot() {
+    // Crash isolation: device 3 of 8 panics on every attempt; the other
+    // seven results survive, in item order, bit-identical to the clean
+    // inline run.
+    let clean = fleet_digests(&FleetConfig::new(1, 1));
+    let run = supervised(
+        &FleetConfig::new(4, 1),
+        &FleetOptions::new().with_hard_fail(vec![3]),
+    );
+    assert_eq!(run.outcomes.len(), DEVICES);
+    assert!(matches!(
+        run.outcomes[3],
+        TaskOutcome::Panicked { index: 3, .. }
+    ));
+    for (i, o) in run.outcomes.iter().enumerate() {
+        if i == 3 {
+            continue;
+        }
+        assert_eq!(o.ok().copied(), Some(clean[i]), "slot {i} diverged");
+    }
+    assert_eq!(run.report.quarantined.len(), 1);
+    assert_eq!(run.report.quarantined[0].index, 3);
+    // A partial run has no comparable study digest.
+    assert!(run.combined_digest().is_none());
+}
+
+#[test]
+fn a_retried_transient_fault_reproduces_the_clean_digest() {
+    // Deterministic retries: a forced `fleet-task` fault panics device
+    // 3's first attempt. The retry reruns on the *same*
+    // `Xoshiro256::stream(seed, 3)`, so for every worker count the run
+    // converges to the clean run's digests, bit for bit.
+    let clean = fleet_digests(&FleetConfig::new(1, 5));
+    let plan = FaultPlan::seeded(5).on_nth_probe(FaultSite::FleetTask, 4);
+    let opts = FleetOptions::new().with_retries(2).with_faults(plan);
+    for jobs in [1usize, 2, 4, 8] {
+        let run = supervised(&FleetConfig::new(jobs, 5), &opts);
+        assert!(
+            run.report.is_clean(),
+            "jobs={jobs}: {}",
+            run.report.render()
+        );
+        assert_eq!(run.report.ledger.retries, 1, "jobs={jobs}");
+        assert_eq!(run.report.ledger.injected_faults, 1, "jobs={jobs}");
+        let digests: Vec<u64> = run.digests.iter().map(|d| d.unwrap()).collect();
+        assert_eq!(digests, clean, "jobs={jobs} diverged after the retry");
+        assert_eq!(
+            run.combined_digest().unwrap(),
+            combine_ordered(clean.iter().copied()),
+            "jobs={jobs}"
+        );
+    }
+}
+
+#[test]
+fn resuming_a_half_finished_journal_matches_the_uninterrupted_run() {
+    // Checkpoint/resume: journal a full run, cut the journal back to its
+    // header plus half the task lines (simulating a mid-run crash), then
+    // resume. The resumed run re-executes only the missing half and its
+    // combined digest equals the uninterrupted run's.
+    let dir = std::env::temp_dir().join(format!("droidsim-resume-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("fleet.journal");
+    let _ = std::fs::remove_file(&path);
+
+    let cfg = FleetConfig::new(2, 9);
+    let full = supervised(&cfg, &FleetOptions::new().with_journal(&path));
+    let uninterrupted = full.combined_digest().unwrap();
+
+    let text = std::fs::read_to_string(&path).unwrap();
+    let lines: Vec<&str> = text.lines().collect();
+    assert_eq!(lines.len(), 1 + DEVICES, "header + one line per device");
+    let keep = 1 + DEVICES / 2;
+    std::fs::write(&path, format!("{}\n", lines[..keep].join("\n"))).unwrap();
+
+    let resumed = supervised(&cfg, &FleetOptions::new().resuming(&path));
+    assert_eq!(resumed.report.ledger.skipped, (DEVICES / 2) as u64);
+    assert_eq!(resumed.report.ledger.ok, (DEVICES - DEVICES / 2) as u64);
+    assert_eq!(
+        resumed.combined_digest().unwrap(),
+        uninterrupted,
+        "resumed digest diverged from the uninterrupted run"
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
 }
