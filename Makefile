@@ -4,9 +4,10 @@
 CARGO ?= cargo
 
 .PHONY: ci build test fmt fmt-fix clippy bench-smoke fault-matrix \
-	fleet-determinism bench-json soak
+	fleet-determinism bench-json soak lint-study
 
-ci: build test fmt clippy fault-matrix fleet-determinism bench-smoke soak
+ci: build test fmt clippy fault-matrix fleet-determinism bench-smoke \
+	lint-study soak
 
 # Seeds for the fault-injection suite. Debug builds keep the
 # batched-vs-eager equivalence checker armed, so each seed also
@@ -54,6 +55,23 @@ fleet-determinism:
 # journal and crash dumps land under target/soak/ for CI to archive.
 soak:
 	$(CARGO) run -q --release -p rch-experiments --bin soak
+
+# The static-analysis study (DESIGN.md §10): every known-issue-free
+# corpus app must lint clean even under --deny-warnings, and the
+# static verdicts must agree with the dynamic detection oracle
+# field-by-field for all 127 apps, with the differential digest
+# identical at --jobs 1 and --jobs 4.
+lint-study:
+	$(CARGO) run -q --release -p rch-experiments --bin rchlint -- \
+		--corpus all --clean-only --deny-warnings
+	set -e; \
+	serial=$$($(CARGO) run -q --release -p rch-experiments --bin rchlint -- \
+		--differential --corpus all --jobs 1 | tail -1); \
+	parallel=$$($(CARGO) run -q --release -p rch-experiments --bin rchlint -- \
+		--differential --corpus all --jobs 4 | tail -1); \
+	echo "serial:   $$serial"; echo "parallel: $$parallel"; \
+	test "$$(echo "$$serial" | sed 's/jobs=[0-9]*//')" = \
+		"$$(echo "$$parallel" | sed 's/jobs=[0-9]*//')"
 
 # Real (non-smoke) runs of the fleet and migration benches, with the
 # vendored criterion harness writing its estimates as compact JSON

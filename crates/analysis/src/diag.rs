@@ -1,0 +1,348 @@
+//! The diagnostics vocabulary: typed lint codes, severities, stable
+//! source locations, suppression rules, and the human/JSON renderers.
+//!
+//! Rendering is deliberately hand-rolled and byte-stable: the CI gate
+//! diffs `rchlint --format json` output between `--jobs 1` and
+//! `--jobs 4` runs, so nothing here may depend on worker count, map
+//! iteration order, or host state.
+
+use droidsim_fleet::Digest;
+use std::fmt;
+
+/// Every lint the analyzer can raise, with a stable `RCH0xx` code.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum LintCode {
+    /// `RCH001` — duplicate `android:id` names in one layout: the
+    /// essence mapping and hierarchy restore silently pick the
+    /// lowest-id view.
+    EssenceKeyCollision,
+    /// `RCH002` — an editable view with no `android:id` (or an async
+    /// write whose target id resolves to no view): invisible to the
+    /// essence mapping, so lazy migration drops it.
+    UnmappedView,
+    /// `RCH003` — an async attribute write whose target view's
+    /// [`droidsim_view::MigrationClass`] does not carry that attribute
+    /// (paper Table 1), so even RCHDroid cannot migrate it.
+    UncoveredAttribute,
+    /// `RCH004` — an async deadline that outlives the stock restart:
+    /// the callback lands on a released tree (NullPointer/WindowLeaked).
+    StaleCallback,
+    /// `RCH005` — `android:configChanges` self-handling masking state
+    /// items that would not survive a restart: rotation works, but
+    /// process death still loses them.
+    SelfHandlingConflict,
+    /// `RCH006` — the verdict pass predicts a runtime-change issue for
+    /// this app (warning under stock; error if RCHDroid cannot fix it).
+    PredictedIssue,
+}
+
+impl LintCode {
+    /// Every code, in code order (the order passes run).
+    pub const ALL: [LintCode; 6] = [
+        LintCode::EssenceKeyCollision,
+        LintCode::UnmappedView,
+        LintCode::UncoveredAttribute,
+        LintCode::StaleCallback,
+        LintCode::SelfHandlingConflict,
+        LintCode::PredictedIssue,
+    ];
+
+    /// The stable `RCH0xx` code string.
+    pub fn code(self) -> &'static str {
+        match self {
+            LintCode::EssenceKeyCollision => "RCH001",
+            LintCode::UnmappedView => "RCH002",
+            LintCode::UncoveredAttribute => "RCH003",
+            LintCode::StaleCallback => "RCH004",
+            LintCode::SelfHandlingConflict => "RCH005",
+            LintCode::PredictedIssue => "RCH006",
+        }
+    }
+
+    /// Short kebab-case name used in docs and `--allow` help.
+    pub fn name(self) -> &'static str {
+        match self {
+            LintCode::EssenceKeyCollision => "essence-key-collision",
+            LintCode::UnmappedView => "unmapped-view",
+            LintCode::UncoveredAttribute => "uncovered-attribute",
+            LintCode::StaleCallback => "stale-callback",
+            LintCode::SelfHandlingConflict => "self-handling-conflict",
+            LintCode::PredictedIssue => "predicted-issue",
+        }
+    }
+
+    /// Parses `"RCH001"`-style code strings.
+    pub fn parse(s: &str) -> Option<LintCode> {
+        LintCode::ALL.iter().copied().find(|c| c.code() == s)
+    }
+}
+
+impl fmt::Display for LintCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.code())
+    }
+}
+
+/// How bad a diagnostic is. `--deny-warnings` promotes warnings to the
+/// failing exit code; errors always fail.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// Worth knowing; never fails a run.
+    Info,
+    /// A migration-safety hazard; fails under `--deny-warnings`.
+    Warning,
+    /// A defect the analyzer is certain about; always fails.
+    Error,
+}
+
+impl Severity {
+    /// Lowercase label used by both renderers.
+    pub fn label(self) -> &'static str {
+        match self {
+            Severity::Info => "info",
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        }
+    }
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// A stable source location: `app → activity → view path`.
+///
+/// The view path is the pre-order chain of `android:id` names (class
+/// names for anonymous views) from the decor view down, joined with
+/// `>`; app-level findings leave it empty.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Loc {
+    /// App name as the corpus lists it.
+    pub app: String,
+    /// The activity component (e.g. `com.example/.Main`).
+    pub activity: String,
+    /// Path from decor to the offending view, or `""` for app-level
+    /// findings. A configuration qualifier prefix (`portrait:`) pins
+    /// which layout the finding is in.
+    pub view_path: String,
+}
+
+impl Loc {
+    /// An app-level location (no specific view).
+    pub fn app_level(app: &str, activity: &str) -> Loc {
+        Loc {
+            app: app.to_owned(),
+            activity: activity.to_owned(),
+            view_path: String::new(),
+        }
+    }
+
+    /// A view-level location.
+    pub fn view(app: &str, activity: &str, view_path: String) -> Loc {
+        Loc {
+            app: app.to_owned(),
+            activity: activity.to_owned(),
+            view_path,
+        }
+    }
+}
+
+impl fmt::Display for Loc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} → {}", self.app, self.activity)?;
+        if !self.view_path.is_empty() {
+            write!(f, " → {}", self.view_path)?;
+        }
+        Ok(())
+    }
+}
+
+/// One finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// The lint that raised it.
+    pub code: LintCode,
+    /// Its severity.
+    pub severity: Severity,
+    /// Where it is.
+    pub loc: Loc,
+    /// What is wrong and why it matters.
+    pub message: String,
+}
+
+impl Diagnostic {
+    /// Creates a finding.
+    pub fn new(code: LintCode, severity: Severity, loc: Loc, message: impl Into<String>) -> Self {
+        Diagnostic {
+            code,
+            severity,
+            loc,
+            message: message.into(),
+        }
+    }
+
+    /// One human-readable line: `severity[CODE] loc: message`.
+    pub fn render_human(&self) -> String {
+        format!(
+            "{}[{}] {}: {}",
+            self.severity.label(),
+            self.code,
+            self.loc,
+            self.message
+        )
+    }
+
+    /// One stable JSON object (fixed key order, escaped strings).
+    pub fn render_json(&self) -> String {
+        format!(
+            "{{\"code\":{},\"severity\":{},\"app\":{},\"activity\":{},\"view_path\":{},\"message\":{}}}",
+            json_string(self.code.code()),
+            json_string(self.severity.label()),
+            json_string(&self.loc.app),
+            json_string(&self.loc.activity),
+            json_string(&self.loc.view_path),
+            json_string(&self.message),
+        )
+    }
+
+    /// Folds the finding into a digest.
+    pub fn digest_into(&self, d: &mut Digest) {
+        d.write_str(self.code.code());
+        d.write_str(self.severity.label());
+        d.write_str(&self.loc.app);
+        d.write_str(&self.loc.activity);
+        d.write_str(&self.loc.view_path);
+        d.write_str(&self.message);
+    }
+}
+
+/// Escapes a string as a JSON string literal (quotes included).
+pub fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Per-app (or global) lint suppression, from repeated `--allow` flags.
+///
+/// A rule is `CODE` (suppress everywhere) or `APP:CODE` (suppress for
+/// one app). Unknown codes are rejected at parse time.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Suppressions {
+    rules: Vec<(Option<String>, LintCode)>,
+}
+
+impl Suppressions {
+    /// No suppressions.
+    pub fn none() -> Suppressions {
+        Suppressions::default()
+    }
+
+    /// Adds one `[APP:]CODE` rule.
+    pub fn add_rule(&mut self, rule: &str) -> Result<(), String> {
+        let (app, code) = match rule.rsplit_once(':') {
+            Some((app, code)) => (Some(app.to_owned()), code),
+            None => (None, rule),
+        };
+        let code = LintCode::parse(code)
+            .ok_or_else(|| format!("--allow: unknown lint code {code:?} in rule {rule:?}"))?;
+        self.rules.push((app, code));
+        Ok(())
+    }
+
+    /// Parses a list of rules.
+    pub fn parse(rules: impl IntoIterator<Item = impl AsRef<str>>) -> Result<Suppressions, String> {
+        let mut s = Suppressions::none();
+        for r in rules {
+            s.add_rule(r.as_ref())?;
+        }
+        Ok(s)
+    }
+
+    /// Whether a finding for `app` with `code` is suppressed.
+    pub fn allows(&self, app: &str, code: LintCode) -> bool {
+        self.rules
+            .iter()
+            .any(|(a, c)| *c == code && a.as_deref().is_none_or(|a| a == app))
+    }
+
+    /// Number of rules.
+    pub fn len(&self) -> usize {
+        self.rules.len()
+    }
+
+    /// Whether there are no rules.
+    pub fn is_empty(&self) -> bool {
+        self.rules.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_round_trip_and_stay_in_order() {
+        for (i, c) in LintCode::ALL.iter().enumerate() {
+            assert_eq!(c.code(), format!("RCH{:03}", i + 1));
+            assert_eq!(LintCode::parse(c.code()), Some(*c));
+        }
+        assert_eq!(LintCode::parse("RCH099"), None);
+    }
+
+    #[test]
+    fn human_line_has_severity_code_loc_message() {
+        let d = Diagnostic::new(
+            LintCode::StaleCallback,
+            Severity::Warning,
+            Loc::app_level("DemoApp", "com.demo/.Main"),
+            "a 5s async callback outlives the restart",
+        );
+        assert_eq!(
+            d.render_human(),
+            "warning[RCH004] DemoApp → com.demo/.Main: a 5s async callback outlives the restart"
+        );
+    }
+
+    #[test]
+    fn json_escapes_and_fixes_key_order() {
+        let d = Diagnostic::new(
+            LintCode::EssenceKeyCollision,
+            Severity::Warning,
+            Loc::view("A\"B", "c/.M", "decor>root".into()),
+            "line1\nline2",
+        );
+        assert_eq!(
+            d.render_json(),
+            "{\"code\":\"RCH001\",\"severity\":\"warning\",\"app\":\"A\\\"B\",\
+             \"activity\":\"c/.M\",\"view_path\":\"decor>root\",\"message\":\"line1\\nline2\"}"
+        );
+    }
+
+    #[test]
+    fn suppressions_scope_to_app_or_everywhere() {
+        let s = Suppressions::parse(["RCH004", "OnlyHere:RCH001"]).unwrap();
+        assert!(s.allows("Any", LintCode::StaleCallback));
+        assert!(s.allows("OnlyHere", LintCode::EssenceKeyCollision));
+        assert!(!s.allows("Other", LintCode::EssenceKeyCollision));
+        assert!(!s.allows("Any", LintCode::PredictedIssue));
+        assert!(Suppressions::parse(["RCHX"]).is_err());
+        assert!(Suppressions::parse(["App:RCH999"]).is_err());
+    }
+}

@@ -1,0 +1,176 @@
+//! Extracting the analyzable *shape* of an app from its model.
+//!
+//! The analyzer never runs the simulator's change protocol; it only
+//! performs the same deterministic construction the framework would do
+//! on launch — strict layout inflation plus `onCreate` (which is where
+//! dynamically created views appear) — once per orientation. Everything
+//! the six passes need is captured here: the per-configuration view
+//! trees, the async specs, and the app's manifest-level flags.
+
+use droidsim_app::{Activity, ActivityInstanceId, AppModel, AsyncSpec};
+use droidsim_atms::ActivityRecordId;
+use droidsim_config::{ConfigChanges, Configuration};
+use droidsim_view::{try_inflate, ViewError, ViewId, ViewTree};
+use rch_workloads::GenericAppSpec;
+
+/// One inflated configuration of the app's main layout.
+#[derive(Debug, Clone)]
+pub struct ConfigTree {
+    /// Qualifier label (`"portrait"` / `"landscape"`).
+    pub label: &'static str,
+    /// The tree after inflation **and** `onCreate` (dynamic views
+    /// included), exactly what a fresh launch in this configuration
+    /// shows.
+    pub tree: ViewTree,
+}
+
+/// The statically visible shape of one app.
+#[derive(Debug, Clone)]
+pub struct AppShape {
+    /// App name as the corpus lists it.
+    pub app: String,
+    /// The activity component.
+    pub activity: String,
+    /// Whether the app declares `android:configChanges` for orientation
+    /// changes (self-handling).
+    pub handles_changes: bool,
+    /// Whether the app implements `onSaveInstanceState`.
+    pub saves_instance_state: bool,
+    /// Async work the test scenario has in flight across the change.
+    pub async_specs: Vec<AsyncSpec>,
+    /// The inflated tree per orientation.
+    pub trees: Vec<ConfigTree>,
+    /// Strict-inflation failures per orientation label: templates the
+    /// lenient runtime inflater would silently truncate.
+    pub inflate_errors: Vec<(&'static str, ViewError)>,
+}
+
+/// The two configurations the §6 oracle rotates between.
+fn analyzed_configs() -> [(&'static str, Configuration); 2] {
+    [
+        ("portrait", Configuration::phone_portrait()),
+        ("landscape", Configuration::phone_landscape()),
+    ]
+}
+
+impl AppShape {
+    /// Extracts the shape of a corpus descriptor.
+    pub fn from_spec(spec: &GenericAppSpec) -> AppShape {
+        let app = spec.build();
+        let async_specs = if spec.uses_async_task {
+            vec![spec.async_task()]
+        } else {
+            Vec::new()
+        };
+        AppShape::from_model(&spec.name, &app, async_specs)
+    }
+
+    /// Extracts the shape of any [`AppModel`] (e.g. `SimpleApp`).
+    ///
+    /// `async_specs` is passed in because the trait has no way to ask a
+    /// model what background work its scenario starts.
+    pub fn from_model(app: &str, model: &dyn AppModel, async_specs: Vec<AsyncSpec>) -> AppShape {
+        let mut trees = Vec::new();
+        let mut inflate_errors = Vec::new();
+        for (label, config) in analyzed_configs() {
+            // Strict pre-flight on the raw template: the runtime
+            // inflater is lenient and would hide a truncated subtree.
+            if let Ok(template) = model
+                .resources()
+                .resolve_layout(model.main_layout(), &config)
+            {
+                if let Err(e) = try_inflate(template, model.resources(), &config) {
+                    inflate_errors.push((label, e));
+                }
+            }
+            // A throwaway instance gives the post-`onCreate` tree —
+            // including dynamically added views — without any device.
+            let mut activity = Activity::new(
+                ActivityInstanceId::new(0),
+                ActivityRecordId::new(0),
+                model.component_name(),
+                config,
+            );
+            activity.perform_create(model, None);
+            trees.push(ConfigTree {
+                label,
+                tree: activity.tree.clone(),
+            });
+        }
+        AppShape {
+            app: app.to_owned(),
+            activity: model.component_name().to_owned(),
+            handles_changes: model.handled_changes().contains(ConfigChanges::ORIENTATION),
+            saves_instance_state: model.implements_save_instance_state(),
+            async_specs,
+            trees,
+            inflate_errors,
+        }
+    }
+}
+
+/// The `decor>root>…` id path of a view, for [`crate::diag::Loc`]
+/// locations. Anonymous views contribute their class name.
+pub fn view_path(tree: &ViewTree, id: ViewId) -> String {
+    let mut segments = Vec::new();
+    let mut cursor = Some(id);
+    while let Some(v) = cursor {
+        let Ok(node) = tree.view(v) else { break };
+        let segment = node
+            .id_name_str()
+            .map_or_else(|| node.kind.class_name().to_owned(), str::to_owned);
+        segments.push(segment);
+        cursor = node.parent;
+    }
+    segments.reverse();
+    segments.join(">")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rch_workloads::{StateItem, StateMechanism};
+
+    fn spec_with(item: StateItem) -> GenericAppSpec {
+        let mut s = GenericAppSpec::sized("ShapeProbe", "1K+", false);
+        s.state_items.push(item);
+        s
+    }
+
+    #[test]
+    fn shape_has_both_orientations_and_dynamic_views() {
+        let spec = spec_with(StateItem::new(
+            "dyn_state",
+            StateMechanism::DynamicViewNoSave,
+            "v",
+        ));
+        let shape = AppShape::from_spec(&spec);
+        assert_eq!(shape.trees.len(), 2);
+        for t in &shape.trees {
+            assert!(
+                t.tree.find_by_id_name("dyn_state").is_some(),
+                "{}: dynamic views are part of the analyzable shape",
+                t.label
+            );
+        }
+        assert!(shape.inflate_errors.is_empty());
+        assert!(!shape.handles_changes);
+    }
+
+    #[test]
+    fn view_paths_walk_from_decor_down() {
+        let spec = spec_with(StateItem::new(
+            "issue_state",
+            StateMechanism::CustomViewNoSave,
+            "v",
+        ));
+        let shape = AppShape::from_spec(&spec);
+        let tree = &shape.trees[0].tree;
+        let id = tree.find_by_id_name("issue_state").unwrap();
+        let path = view_path(tree, id);
+        assert!(
+            path.ends_with(">root>issue_state"),
+            "path walks decor→root→view: {path}"
+        );
+    }
+}

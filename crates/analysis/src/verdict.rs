@@ -1,0 +1,234 @@
+//! Static verdict prediction: what the §6 dynamic oracle will find,
+//! computed from the descriptor alone.
+//!
+//! The prediction mirrors the simulator's mechanics field by field, and
+//! the differential gate (`rchlint --differential`) holds the two to
+//! *exact* agreement — crash flag and every lost-item list — over both
+//! corpora. The reasoning per mode:
+//!
+//! **Self-handling** (`android:configChanges`): the framework only
+//! calls `onConfigurationChanged`; the instance, its views and its
+//! members all survive, and an async callback lands on a live tree.
+//! Clean under every scheme.
+//!
+//! **Stock (Android 10)**: a rotation destroys and recreates the
+//! activity. An in-flight async task then fires at its captured —
+//! now released — tree: NullPointer (or WindowLeaked), i.e. the app
+//! *crashes* and the oracle probes nothing further. Otherwise an item
+//! survives only if the save/restore pipeline carries it: framework
+//! views via the hierarchy bundle, member fields via
+//! `onSaveInstanceState` — which the app must actually implement.
+//! The loss is identical after one and two rotations.
+//!
+//! **RCHDroid**: the sunny instance is launched *from the shadow
+//! snapshot* (hierarchy bundle + app bundle), then essence migration
+//! seeds every live view attribute the bundle missed — so view-held
+//! state always survives and async results are re-routed, never
+//! crashing. What RCHDroid cannot conjure is a member field the app
+//! never saved: it is missing from the sunny instance (lost after one
+//! rotation), *reappears* when the double rotation flips the original
+//! instance back (`lost_after_two` is empty — the coin-flip mask), and
+//! stays missing on the now-shadow replacement instance
+//! (`latent_after_two`).
+
+use droidsim_fleet::Digest;
+use rch_workloads::{GenericAppSpec, StateItem, StateMechanism};
+
+/// Which handling scheme the verdict is for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AnalysisMode {
+    /// Stock Android 10 restart-based handling.
+    Stock,
+    /// RCHDroid shadow/sunny migration.
+    RchDroid,
+}
+
+impl AnalysisMode {
+    /// Stable label used in reports and digests.
+    pub fn label(self) -> &'static str {
+        match self {
+            AnalysisMode::Stock => "stock",
+            AnalysisMode::RchDroid => "rchdroid",
+        }
+    }
+}
+
+/// The statically predicted mirror of `experiments::detector`'s
+/// `DetectionReport`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StaticVerdict {
+    /// App name.
+    pub app: String,
+    /// Predicted: the app crashes during the double-rotation check.
+    pub crashed: bool,
+    /// Predicted state items lost after a single rotation.
+    pub lost_after_one: Vec<String>,
+    /// Predicted items lost (on the foreground instance) after the
+    /// double rotation.
+    pub lost_after_two: Vec<String>,
+    /// Predicted items missing from a live *non-foreground* (shadow)
+    /// instance after the double rotation — loss the coin flip masks.
+    pub latent_after_two: Vec<String>,
+}
+
+impl StaticVerdict {
+    /// The predicted oracle verdict.
+    pub fn has_issue(&self) -> bool {
+        self.crashed
+            || !self.lost_after_one.is_empty()
+            || !self.lost_after_two.is_empty()
+            || !self.latent_after_two.is_empty()
+    }
+
+    /// A clean verdict.
+    fn clean(app: &str) -> StaticVerdict {
+        StaticVerdict {
+            app: app.to_owned(),
+            crashed: false,
+            lost_after_one: Vec::new(),
+            lost_after_two: Vec::new(),
+            latent_after_two: Vec::new(),
+        }
+    }
+
+    /// Folds the verdict into a digest.
+    pub fn digest_into(&self, d: &mut Digest) {
+        d.write_str(&self.app);
+        d.write_u64(u64::from(self.crashed));
+        for list in [
+            &self.lost_after_one,
+            &self.lost_after_two,
+            &self.latent_after_two,
+        ] {
+            d.write_u64(list.len() as u64);
+            for k in list {
+                d.write_str(k);
+            }
+        }
+    }
+}
+
+/// Whether the save/restore pipeline carries this item across a
+/// restart: framework views ride the hierarchy bundle unconditionally;
+/// member fields ride `onSaveInstanceState` only if the app both *uses*
+/// that mechanism for the item and *implements* the callback.
+fn survives_restart(item: &StateItem, spec: &GenericAppSpec) -> bool {
+    match item.mechanism {
+        StateMechanism::FrameworkView => true,
+        StateMechanism::MemberSaved => spec.saves_instance_state,
+        StateMechanism::CustomViewNoSave
+        | StateMechanism::DynamicViewNoSave
+        | StateMechanism::MemberUnsaved => false,
+    }
+}
+
+/// Whether the item is a member field the shadow snapshot cannot carry
+/// to the sunny instance (RCHDroid's only residue).
+fn member_not_snapshotted(item: &StateItem, spec: &GenericAppSpec) -> bool {
+    match item.mechanism {
+        StateMechanism::MemberUnsaved => true,
+        StateMechanism::MemberSaved => !spec.saves_instance_state,
+        StateMechanism::FrameworkView
+        | StateMechanism::CustomViewNoSave
+        | StateMechanism::DynamicViewNoSave => false,
+    }
+}
+
+fn keys(spec: &GenericAppSpec, pred: impl Fn(&StateItem) -> bool) -> Vec<String> {
+    spec.state_items
+        .iter()
+        .filter(|i| pred(i))
+        .map(|i| i.key.clone())
+        .collect()
+}
+
+/// Predicts the dynamic oracle's report for `spec` under `mode`.
+pub fn predict(spec: &GenericAppSpec, mode: AnalysisMode) -> StaticVerdict {
+    if spec.handles_changes {
+        return StaticVerdict::clean(&spec.name);
+    }
+    match mode {
+        AnalysisMode::Stock => {
+            if spec.uses_async_task {
+                // The 5 s callback fires into the released tree during
+                // the oracle's 8 s settle; nothing is probed after a
+                // crash.
+                StaticVerdict {
+                    crashed: true,
+                    ..StaticVerdict::clean(&spec.name)
+                }
+            } else {
+                let lost = keys(spec, |i| !survives_restart(i, spec));
+                StaticVerdict {
+                    lost_after_one: lost.clone(),
+                    lost_after_two: lost,
+                    ..StaticVerdict::clean(&spec.name)
+                }
+            }
+        }
+        AnalysisMode::RchDroid => {
+            let member_lost = keys(spec, |i| member_not_snapshotted(i, spec));
+            StaticVerdict {
+                lost_after_one: member_lost.clone(),
+                // The double rotation flips the original instance back:
+                // its member fields reappear on the foreground…
+                lost_after_two: Vec::new(),
+                // …but stay missing on the shadow-state replacement.
+                latent_after_two: member_lost,
+                ..StaticVerdict::clean(&spec.name)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rch_workloads::{top100_specs, tp27_specs};
+
+    #[test]
+    fn tp27_predictions_match_the_tables() {
+        let specs = tp27_specs();
+        let stock_flagged: Vec<&str> = specs
+            .iter()
+            .filter(|s| predict(s, AnalysisMode::Stock).has_issue())
+            .map(|s| s.name.as_str())
+            .collect();
+        assert_eq!(stock_flagged.len(), 27, "Table 3: every TP-27 app");
+        let rch_flagged: Vec<&str> = specs
+            .iter()
+            .filter(|s| predict(s, AnalysisMode::RchDroid).has_issue())
+            .map(|s| s.name.as_str())
+            .collect();
+        assert_eq!(rch_flagged, ["DiskDiggerPro", "Dock4Droid"]);
+    }
+
+    #[test]
+    fn top100_predictions_match_table5() {
+        let specs = top100_specs();
+        let stock = specs
+            .iter()
+            .filter(|s| predict(s, AnalysisMode::Stock).has_issue())
+            .count();
+        assert_eq!(stock, 63);
+        let rch: Vec<&str> = specs
+            .iter()
+            .filter(|s| predict(s, AnalysisMode::RchDroid).has_issue())
+            .map(|s| s.name.as_str())
+            .collect();
+        assert_eq!(
+            rch,
+            ["Filto", "HaircutPrank", "CastForChrome", "KingJamesBible"]
+        );
+    }
+
+    #[test]
+    fn coin_flip_mask_shows_up_as_latent_loss() {
+        let spec = tp27_specs().swap_remove(8); // DiskDiggerPro (MemberUnsaved)
+        let v = predict(&spec, AnalysisMode::RchDroid);
+        assert!(!v.lost_after_one.is_empty());
+        assert!(v.lost_after_two.is_empty(), "masked by the flip");
+        assert_eq!(v.latent_after_two, v.lost_after_one);
+        assert!(v.has_issue());
+    }
+}

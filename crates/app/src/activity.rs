@@ -154,7 +154,7 @@ impl Activity {
     /// (pausing/stopping as needed) and releases the view tree. This is
     /// what a relaunch or `finish()` does.
     pub fn destroy(&mut self) {
-        use ActivityState::*;
+        use ActivityState::{Created, Destroyed, Paused, Resumed, Shadow, Started, Stopped, Sunny};
         loop {
             match self.state {
                 Destroyed => break,

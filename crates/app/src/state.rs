@@ -74,7 +74,7 @@ impl ActivityState {
 
     /// Whether the transition `self → to` is legal per Fig. 4.
     pub fn can_transition_to(self, to: ActivityState) -> bool {
-        use ActivityState::*;
+        use ActivityState::{Created, Destroyed, Paused, Resumed, Shadow, Started, Stopped, Sunny};
         matches!(
             (self, to),
             // Stock forward path.

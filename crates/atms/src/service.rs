@@ -2,7 +2,7 @@
 
 use crate::intent::{Intent, IntentFlags};
 use crate::record::{ActivityRecord, ActivityRecordId, RecordState};
-use crate::stack::{ActivityStack, TaskId};
+use crate::stack::{ActivityStack, TaskId, TaskRecord};
 use core::fmt;
 use droidsim_config::{ConfigChanges, Configuration};
 use droidsim_kernel::{IdGen, SimTime};
@@ -127,7 +127,7 @@ impl Atms {
 
     /// The foreground (top-of-top-task) record.
     pub fn foreground_record(&self) -> Option<ActivityRecordId> {
-        self.stack.top_task().and_then(|t| t.top())
+        self.stack.top_task().and_then(TaskRecord::top)
     }
 
     /// Brings an existing app's task to the front (the recents/app-switch
@@ -218,7 +218,7 @@ impl Atms {
 
         // Stock semantics: with default or SINGLE_TOP flags, starting the
         // activity already on top is a no-op.
-        let top = self.stack.task(task_id).and_then(|t| t.top());
+        let top = self.stack.task(task_id).and_then(TaskRecord::top);
         if let Some(top_id) = top {
             let matches_top = self
                 .records
@@ -263,7 +263,7 @@ impl Atms {
         now: SimTime,
         handled: ConfigChanges,
     ) -> StartResult {
-        let current_top = self.stack.task(task_id).and_then(|t| t.top());
+        let current_top = self.stack.task(task_id).and_then(TaskRecord::top);
 
         // Coin-flip: search the task for an alive shadow-state record.
         let shadow = self
@@ -389,7 +389,7 @@ impl Atms {
             .ok_or(AtmsError::UnknownRecord(record))?;
         r.state = RecordState::Destroyed;
         r.set_shadow(false, SimTime::ZERO);
-        let task_ids: Vec<TaskId> = self.stack.tasks().iter().map(|t| t.id()).collect();
+        let task_ids: Vec<TaskId> = self.stack.tasks().iter().map(TaskRecord::id).collect();
         let mut emptied = None;
         for tid in task_ids {
             if let Some(task) = self.stack.task_mut(tid) {
@@ -471,7 +471,7 @@ impl Atms {
         self.records
             .values()
             .filter(|r| r.is_shadow() && r.is_alive())
-            .map(|r| r.id())
+            .map(ActivityRecord::id)
             .collect()
     }
 

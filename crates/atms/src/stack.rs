@@ -90,7 +90,7 @@ impl TaskRecord {
             .rev()
             .filter_map(|&id| resolve(id))
             .find(|r| r.is_shadow() && r.is_alive())
-            .map(|r| r.id())
+            .map(ActivityRecord::id)
     }
 }
 

@@ -34,7 +34,7 @@ fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablation");
     for (label, mode) in arms {
         group.bench_with_input(BenchmarkId::from_parameter(label), &mode, |b, &m| {
-            b.iter(|| black_box(ablation::run_arm("bench", m)))
+            b.iter(|| black_box(ablation::run_arm("bench", m)));
         });
     }
     group.finish();

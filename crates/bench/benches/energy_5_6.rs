@@ -8,7 +8,7 @@ fn bench(c: &mut Criterion) {
     println!("{}", study.render());
 
     c.bench_function("energy_27_app_study", |b| {
-        b.iter(|| black_box(rch_experiments::energy::run().rows.len()))
+        b.iter(|| black_box(rch_experiments::energy::run().rows.len()));
     });
 }
 

@@ -19,7 +19,7 @@ fn bench(c: &mut Criterion) {
     };
     let mut group = c.benchmark_group("fig07_handling_time_27");
     group.bench_function("android10_4_changes", |b| {
-        b.iter(|| black_box(run_app(&spec, &RunConfig::new(HandlingMode::Android10))))
+        b.iter(|| black_box(run_app(&spec, &RunConfig::new(HandlingMode::Android10))));
     });
     group.bench_function("rchdroid_4_changes", |b| {
         b.iter(|| {
@@ -27,7 +27,7 @@ fn bench(c: &mut Criterion) {
                 &spec,
                 &RunConfig::new(HandlingMode::rchdroid_default()),
             ))
-        })
+        });
     });
     group.finish();
 }

@@ -16,7 +16,7 @@ fn bench(c: &mut Criterion) {
                     .unwrap()
                     .total_mib(),
             )
-        })
+        });
     });
 }
 

@@ -15,7 +15,7 @@ fn bench(c: &mut Criterion) {
                 HandlingMode::Android10,
                 "A10",
             ))
-        })
+        });
     });
     group.bench_function("rchdroid_scripted_timeline", |b| {
         b.iter(|| {
@@ -23,7 +23,7 @@ fn bench(c: &mut Criterion) {
                 HandlingMode::rchdroid_default(),
                 "RCH",
             ))
-        })
+        });
     });
     group.finish();
 }

@@ -10,13 +10,13 @@ fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig10_scalability");
     for views in rch_workloads::view_sweep() {
         group.bench_with_input(BenchmarkId::new("android10", views), &views, |b, &v| {
-            b.iter(|| black_box(rch_bench::one_stock_change(v)))
+            b.iter(|| black_box(rch_bench::one_stock_change(v)));
         });
         group.bench_with_input(BenchmarkId::new("rchdroid_init", views), &views, |b, &v| {
-            b.iter(|| black_box(rch_bench::one_rchdroid_init(v)))
+            b.iter(|| black_box(rch_bench::one_rchdroid_init(v)));
         });
         group.bench_with_input(BenchmarkId::new("rchdroid_flip", views), &views, |b, &v| {
-            b.iter(|| black_box(rch_bench::one_rchdroid_flip(v)))
+            b.iter(|| black_box(rch_bench::one_rchdroid_flip(v)));
         });
     }
     group.finish();

@@ -11,7 +11,7 @@ fn bench(c: &mut Criterion) {
 
     let spec = rch_workloads::GenericAppSpec::sized("AlarmKlock", "500K+", false);
     c.bench_function("fig12_runtimedroid_4_changes", |b| {
-        b.iter(|| black_box(run_app(&spec, &RunConfig::new(HandlingMode::RuntimeDroid))))
+        b.iter(|| black_box(run_app(&spec, &RunConfig::new(HandlingMode::RuntimeDroid))));
     });
 }
 

@@ -12,7 +12,7 @@ fn bench(c: &mut Criterion) {
     let spec = top100_specs().swap_remove(27); // Twitter
     let mut group = c.benchmark_group("fig14_top100");
     group.bench_function("android10_large_app", |b| {
-        b.iter(|| black_box(run_app(&spec, &RunConfig::new(HandlingMode::Android10))))
+        b.iter(|| black_box(run_app(&spec, &RunConfig::new(HandlingMode::Android10))));
     });
     group.bench_function("rchdroid_large_app", |b| {
         b.iter(|| {
@@ -20,7 +20,7 @@ fn bench(c: &mut Criterion) {
                 &spec,
                 &RunConfig::new(HandlingMode::rchdroid_default()),
             ))
-        })
+        });
     });
     group.finish();
 }

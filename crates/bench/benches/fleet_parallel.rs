@@ -64,7 +64,7 @@ fn bench(c: &mut Criterion) {
         );
         group.bench_with_input(BenchmarkId::new("jobs", jobs), &jobs, |b, &jobs| {
             let cfg = FleetConfig::new(jobs, 0);
-            b.iter(|| black_box(simulate(&cfg)))
+            b.iter(|| black_box(simulate(&cfg)));
         });
 
         // Crash-recovery overhead: the supervised runner at 0 % faults
@@ -85,7 +85,7 @@ fn bench(c: &mut Criterion) {
                 &jobs,
                 |b, &jobs| {
                     let cfg = FleetConfig::new(jobs, 0);
-                    b.iter(|| black_box(simulate_supervised(&cfg, &opts)))
+                    b.iter(|| black_box(simulate_supervised(&cfg, &opts)));
                 },
             );
         }

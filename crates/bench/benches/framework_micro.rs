@@ -30,7 +30,7 @@ fn bench(c: &mut Criterion) {
                 t.apply(*id, ViewOp::SetDrawable("x.png".into(), 64))
                     .unwrap();
             }
-            b.iter(|| black_box(t.save_hierarchy_state()))
+            b.iter(|| black_box(t.save_hierarchy_state()));
         });
         group.bench_with_input(BenchmarkId::new("mapping_build", n), &n, |b, &n| {
             b.iter_batched(
@@ -39,7 +39,7 @@ fn bench(c: &mut Criterion) {
                     black_box(engine.build_mapping(&mut shadow, &mut sunny))
                 },
                 criterion::BatchSize::SmallInput,
-            )
+            );
         });
         group.bench_with_input(BenchmarkId::new("lazy_migration", n), &n, |b, &n| {
             b.iter_batched(
@@ -64,7 +64,7 @@ fn bench(c: &mut Criterion) {
                     )
                 },
                 criterion::BatchSize::SmallInput,
-            )
+            );
         });
     }
     group.finish();

@@ -119,7 +119,7 @@ fn bench(c: &mut Criterion) {
                     || coupled(*policy),
                     |mut rig| black_box(chatty_task(&mut rig)),
                     criterion::BatchSize::SmallInput,
-                )
+                );
             },
         );
     }

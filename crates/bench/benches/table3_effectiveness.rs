@@ -9,7 +9,7 @@ fn bench(c: &mut Criterion) {
     assert_eq!(table.fixed_count(), 25, "the paper's 25/27");
 
     c.bench_function("table3_full_27_app_study", |b| {
-        b.iter(|| black_box(rch_experiments::table3::run().fixed_count()))
+        b.iter(|| black_box(rch_experiments::table3::run().fixed_count()));
     });
 }
 

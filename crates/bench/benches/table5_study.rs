@@ -11,7 +11,7 @@ fn bench(c: &mut Criterion) {
 
     let mut group = c.benchmark_group("table5_study");
     group.bench_function("full_100_app_study", |b| {
-        b.iter(|| black_box(rch_experiments::table5::run().fixed_count()))
+        b.iter(|| black_box(rch_experiments::table5::run().fixed_count()));
     });
     group.finish();
 }

@@ -662,7 +662,7 @@ impl RchDroid {
         thread.resume_sequence(new_instance, false)?;
         atms.set_record_state(token, RecordState::Resumed)?;
 
-        let site_name = site.map(FaultSite::name).unwrap_or("migration-error");
+        let site_name = site.map_or("migration-error", FaultSite::name);
         self.fault_log
             .fallback(site_name, recovery_started.elapsed().as_secs_f64() * 1e3);
 

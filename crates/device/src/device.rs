@@ -193,7 +193,11 @@ impl Device {
         if let Some(prev) = self.foreground_component() {
             if let Some(p) = self.apps.get_mut(&prev) {
                 if let Some(instance) = p.foreground_instance() {
-                    let token = p.thread.instance(instance).map(|a| a.token()).ok();
+                    let token = p
+                        .thread
+                        .instance(instance)
+                        .map(droidsim_app::Activity::token)
+                        .ok();
                     let _ = p.thread.pause_stop_sequence(instance);
                     if let Some(token) = token {
                         let _ = self.atms.set_record_state(token, RecordState::Stopped);
@@ -279,7 +283,11 @@ impl Device {
         if let Some(prev) = previous {
             let p = self.apps.get_mut(&prev).expect("installed");
             if let Some(instance) = p.foreground_instance() {
-                let token = p.thread.instance(instance).map(|a| a.token()).ok();
+                let token = p
+                    .thread
+                    .instance(instance)
+                    .map(droidsim_app::Activity::token)
+                    .ok();
                 let _ = p.thread.pause_stop_sequence(instance);
                 if let Some(token) = token {
                     let _ = self.atms.set_record_state(token, RecordState::Stopped);

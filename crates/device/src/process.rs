@@ -70,8 +70,7 @@ impl AppProcess {
     pub fn cost_profile(&self) -> AppCostProfile {
         let view_count = self
             .foreground_activity()
-            .map(|a| a.tree.view_count())
-            .unwrap_or(1);
+            .map_or(1, |a| a.tree.view_count());
         AppCostProfile {
             complexity: self.complexity,
             view_count,

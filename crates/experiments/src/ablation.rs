@@ -111,8 +111,7 @@ pub fn run_arm(label: &'static str, mode: HandlingMode) -> AblationArm {
     let survived = !device.is_crashed(&component);
     let settled_memory_mib = device
         .memory_snapshot(&component)
-        .map(|s| s.total_mib())
-        .unwrap_or(0.0);
+        .map_or(0.0, |s| s.total_mib());
 
     // The correctness probe runs on a fresh device with a SINGLE change:
     // with more changes a coin flip can bring the directly-updated

@@ -1,0 +1,209 @@
+//! `rchlint` — the static migration-safety analyzer.
+//!
+//! ```text
+//! rchlint [--corpus tp27|top100|all] [--format human|json] [--output PATH]
+//!         [--allow [APP:]CODE]... [--only APP] [--clean-only]
+//!         [--deny-warnings] [--differential] [--jobs N]
+//! ```
+//!
+//! Default mode lints every corpus app with the six `RCH0xx` passes and
+//! prints diagnostics plus the run ledger. `--differential` instead
+//! replays each app through the dynamic §6 oracle and fails on any
+//! field-level disagreement with the static verdict, printing a
+//! one-line repro recipe per disagreement.
+//!
+//! Determinism contract: the report digest — and, in `--format json`,
+//! every byte on stdout / in `--output` — is identical for any
+//! `--jobs` value. Jobs-dependent status lines therefore go to stderr
+//! in JSON mode.
+//!
+//! Exit codes: 0 clean; 1 findings of error severity (or warnings
+//! under `--deny-warnings`) or a differential disagreement; 2 usage
+//! error.
+
+use droidsim_analysis::{analyze_specs, Suppressions};
+use droidsim_fleet::combine_ordered;
+use rch_experiments::differential;
+use rch_workloads::{top100_specs, tp27_specs, GenericAppSpec};
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Format {
+    Human,
+    Json,
+}
+
+#[derive(Debug)]
+struct LintCli {
+    corpus: String,
+    format: Format,
+    output: Option<String>,
+    allow: Suppressions,
+    only: Option<String>,
+    clean_only: bool,
+    deny_warnings: bool,
+    differential: bool,
+}
+
+/// Fleet flags [`rch_experiments::FleetCli`] already consumed, so this
+/// parser must skip them (and their values) rather than reject them.
+const FLEET_VALUE_FLAGS: [&str; 5] = [
+    "--jobs",
+    "--max-retries",
+    "--task-budget-ms",
+    "--journal",
+    "--resume",
+];
+
+fn parse_cli(args: impl IntoIterator<Item = String>) -> Result<LintCli, String> {
+    let mut cli = LintCli {
+        corpus: "all".to_owned(),
+        format: Format::Human,
+        output: None,
+        allow: Suppressions::none(),
+        only: None,
+        clean_only: false,
+        deny_warnings: false,
+        differential: false,
+    };
+    let mut args = args.into_iter();
+    let value = |flag: &str, inline: Option<String>, args: &mut dyn Iterator<Item = String>| {
+        inline
+            .or_else(|| args.next())
+            .ok_or_else(|| format!("{flag} needs a value"))
+    };
+    while let Some(a) = args.next() {
+        let (flag, inline) = match a.split_once('=') {
+            Some((f, v)) => (f.to_owned(), Some(v.to_owned())),
+            None => (a, None),
+        };
+        match flag.as_str() {
+            "--corpus" => {
+                let v = value("--corpus", inline, &mut args)?;
+                if !["tp27", "top100", "all"].contains(&v.as_str()) {
+                    return Err(format!("--corpus: unknown corpus {v:?} (tp27|top100|all)"));
+                }
+                cli.corpus = v;
+            }
+            "--format" => {
+                cli.format = match value("--format", inline, &mut args)?.as_str() {
+                    "human" => Format::Human,
+                    "json" => Format::Json,
+                    v => return Err(format!("--format: unknown format {v:?} (human|json)")),
+                };
+            }
+            "--output" => cli.output = Some(value("--output", inline, &mut args)?),
+            "--allow" => cli.allow.add_rule(&value("--allow", inline, &mut args)?)?,
+            "--only" => cli.only = Some(value("--only", inline, &mut args)?),
+            "--clean-only" => cli.clean_only = true,
+            "--deny-warnings" => cli.deny_warnings = true,
+            "--differential" => cli.differential = true,
+            f if FLEET_VALUE_FLAGS.contains(&f) => {
+                value(f, inline, &mut args)?;
+            }
+            "--keep-going" => {}
+            other => return Err(format!("unknown flag {other:?}")),
+        }
+    }
+    Ok(cli)
+}
+
+fn corpora(corpus: &str) -> Vec<&'static str> {
+    match corpus {
+        "all" => vec!["tp27", "top100"],
+        "tp27" => vec!["tp27"],
+        "top100" => vec!["top100"],
+        _ => unreachable!("validated at parse time"),
+    }
+}
+
+fn lint_specs(cli: &LintCli) -> Result<Vec<GenericAppSpec>, String> {
+    let mut specs = Vec::new();
+    for c in corpora(&cli.corpus) {
+        specs.extend(match c {
+            "tp27" => tp27_specs(),
+            _ => top100_specs(),
+        });
+    }
+    if let Some(name) = &cli.only {
+        specs.retain(|s| &s.name == name);
+        if specs.is_empty() {
+            return Err(format!(
+                "--only: no app named {name:?} in corpus {}",
+                cli.corpus
+            ));
+        }
+    }
+    if cli.clean_only {
+        specs.retain(|s| !s.has_issue());
+    }
+    Ok(specs)
+}
+
+fn emit(cli: &LintCli, rendered: &str) -> Result<(), String> {
+    match &cli.output {
+        Some(path) => std::fs::write(path, rendered).map_err(|e| format!("--output {path}: {e}")),
+        None => {
+            print!("{rendered}");
+            Ok(())
+        }
+    }
+}
+
+fn main() {
+    let fleet = rch_experiments::FleetCli::from_args();
+    let cfg = fleet.config(0);
+    let cli = parse_cli(std::env::args().skip(1)).unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        std::process::exit(2);
+    });
+
+    let mut failed = false;
+    if cli.differential {
+        let mut digests = Vec::new();
+        for corpus in corpora(&cli.corpus) {
+            let report = differential::run_corpus(corpus, cli.only.as_deref(), &cfg)
+                .unwrap_or_else(|e| {
+                    eprintln!("error: {e}");
+                    std::process::exit(2);
+                });
+            print!("{}", report.render());
+            failed |= !report.disagreements().is_empty();
+            digests.push(report.digest());
+        }
+        println!(
+            "=> fleet: jobs={} differential digest {:016x}",
+            cfg.jobs,
+            combine_ordered(digests),
+        );
+    } else {
+        let specs = lint_specs(&cli).unwrap_or_else(|e| {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        });
+        let report = analyze_specs(&specs, &cfg, &cli.allow);
+        let rendered = match cli.format {
+            Format::Human => report.render_human(),
+            Format::Json => report.render_json(),
+        };
+        if let Err(e) = emit(&cli, &rendered) {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+        let digest_line = format!(
+            "=> fleet: jobs={} analysis digest {:016x}",
+            cfg.jobs,
+            report.digest()
+        );
+        // Jobs-dependent: must not contaminate the byte-stable JSON
+        // stream CI diffs across worker counts.
+        if cli.format == Format::Json || cli.output.is_some() {
+            eprintln!("{digest_line}");
+        } else {
+            println!("{digest_line}");
+        }
+        failed = report.errors() > 0 || (cli.deny_warnings && report.warnings() > 0);
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}

@@ -9,11 +9,16 @@
 //!
 //! Checking after **one** rotation matters: systems that preserve the
 //! original instance (RCHDroid's coin flip) would mask member-state loss
-//! on any even rotation count.
+//! on any even rotation count. The final probe additionally walks every
+//! *live non-foreground* instance (RCHDroid's shadow): state missing
+//! there is the same masked loss seen from the other side — the user
+//! meets it on the next odd rotation — and is reported as
+//! [`DetectionReport::latent_after_two`].
 
 use droidsim_device::{Device, HandlingMode};
 use droidsim_kernel::SimDuration;
 use rch_workloads::GenericAppSpec;
+use std::collections::BTreeSet;
 
 /// What the oracle found for one app under one system.
 #[derive(Debug, Clone)]
@@ -22,8 +27,12 @@ pub struct DetectionReport {
     pub app: String,
     /// State items lost after a single rotation.
     pub lost_after_one: Vec<String>,
-    /// State items lost after the double rotation.
+    /// State items lost after the double rotation (foreground instance).
     pub lost_after_two: Vec<String>,
+    /// State items missing from a live non-foreground (shadow-state)
+    /// instance after the double rotation — loss the coin flip masks
+    /// from the foreground check.
+    pub latent_after_two: Vec<String>,
     /// Whether the app crashed during the check.
     pub crashed: bool,
 }
@@ -32,37 +41,80 @@ impl DetectionReport {
     /// The oracle's verdict: does this app have a runtime-change issue
     /// under the checked system?
     pub fn has_issue(&self) -> bool {
-        self.crashed || !self.lost_after_one.is_empty() || !self.lost_after_two.is_empty()
+        self.crashed
+            || !self.lost_after_one.is_empty()
+            || !self.lost_after_two.is_empty()
+            || !self.latent_after_two.is_empty()
+    }
+
+    fn crashed_report(app: &str) -> DetectionReport {
+        DetectionReport {
+            app: app.to_owned(),
+            lost_after_one: Vec::new(),
+            lost_after_two: Vec::new(),
+            latent_after_two: Vec::new(),
+            crashed: true,
+        }
     }
 }
 
-fn lost_items(device: &mut Device, probe: &rch_workloads::GenericApp) -> Vec<String> {
-    device
-        .with_foreground_activity_mut(|a| {
-            probe
-                .surviving_state(a)
-                .into_iter()
-                .filter(|(_, survived)| !survived)
-                .map(|(item, _)| item.key.clone())
-                .collect()
-        })
-        .unwrap_or_default()
+/// One probe of the app's live instances: items the *foreground*
+/// instance lost, and items missing from any other live, un-released
+/// instance (deduplicated — several shadows missing the same key is one
+/// loss).
+fn lost_items(device: &Device, component: &str, probe: &rch_workloads::GenericApp) -> Probe {
+    let Ok(process) = device.process(component) else {
+        return Probe::default();
+    };
+    let foreground = process.foreground_instance();
+    let mut result = Probe::default();
+    let mut latent = BTreeSet::new();
+    for id in process.thread().alive_instances() {
+        let Ok(activity) = process.thread().instance(id) else {
+            continue;
+        };
+        if activity.tree.is_released() {
+            continue; // a released tree holds no probe-able state
+        }
+        let lost = probe
+            .surviving_state(activity)
+            .into_iter()
+            .filter(|(_, survived)| !survived)
+            .map(|(item, _)| &item.key);
+        if Some(id) == foreground {
+            result.foreground = lost.cloned().collect();
+        } else {
+            latent.extend(lost.cloned());
+        }
+    }
+    result.latent = latent.into_iter().collect();
+    result
+}
+
+#[derive(Debug, Default)]
+struct Probe {
+    foreground: Vec<String>,
+    latent: Vec<String>,
 }
 
 /// Runs the oracle for one app under one system.
 pub fn check(spec: &GenericAppSpec, mode: HandlingMode) -> DetectionReport {
     let mut device = Device::new(mode);
     let probe = spec.build();
-    let component = device
-        .install_and_launch(
-            Box::new(spec.build()),
-            spec.base_memory_bytes,
-            spec.complexity,
-        )
-        .expect("launch");
-    device
+    let Ok(component) = device.install_and_launch(
+        Box::new(spec.build()),
+        spec.base_memory_bytes,
+        spec.complexity,
+    ) else {
+        // Failing to even launch is an issue; there is nothing to probe.
+        return DetectionReport::crashed_report(&spec.name);
+    };
+    if device
         .with_foreground_activity_mut(|a| probe.apply_user_state(a))
-        .expect("foreground");
+        .is_err()
+    {
+        return DetectionReport::crashed_report(&spec.name);
+    }
     if spec.uses_async_task {
         let _ = device.start_async_on_foreground(spec.async_task());
     }
@@ -72,21 +124,23 @@ pub fn check(spec: &GenericAppSpec, mode: HandlingMode) -> DetectionReport {
     let lost_after_one = if device.is_crashed(&component) {
         Vec::new()
     } else {
-        lost_items(&mut device, &probe)
+        lost_items(&device, &component, &probe).foreground
     };
 
     let _ = device.rotate();
     let crashed = device.is_crashed(&component);
-    let lost_after_two = if crashed {
-        Vec::new()
+    let (lost_after_two, latent_after_two) = if crashed {
+        (Vec::new(), Vec::new())
     } else {
-        lost_items(&mut device, &probe)
+        let p = lost_items(&device, &component, &probe);
+        (p.foreground, p.latent)
     };
 
     DetectionReport {
         app: spec.name.clone(),
         lost_after_one,
         lost_after_two,
+        latent_after_two,
         crashed,
     }
 }
@@ -146,6 +200,26 @@ mod tests {
         assert!(!report.lost_after_one.is_empty());
         assert!(report.lost_after_two.is_empty(), "masked by the flip");
         assert!(report.has_issue());
+    }
+
+    #[test]
+    fn shadow_probe_sees_the_masked_loss_from_the_other_side() {
+        // After the flip the foreground is whole again, but the shadow —
+        // the replacement instance that never received the unsaved member
+        // field — is not. The latent probe catches exactly that.
+        let spec = tp27_specs().swap_remove(8); // DiskDiggerPro (MemberUnsaved)
+        let report = check(&spec, HandlingMode::rchdroid_default());
+        assert_eq!(
+            report.latent_after_two, report.lost_after_one,
+            "the shadow instance is missing what the sunny one lost before the flip"
+        );
+
+        // A view-held issue RCHDroid fixes leaves no latent residue: the
+        // shadow was seeded by the essence migration.
+        let fixed = tp27_specs().swap_remove(0);
+        let report = check(&fixed, HandlingMode::rchdroid_default());
+        assert!(report.latent_after_two.is_empty(), "{report:?}");
+        assert!(!report.has_issue());
     }
 
     #[test]

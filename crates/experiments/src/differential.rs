@@ -1,0 +1,215 @@
+//! The static-vs-dynamic differential gate.
+//!
+//! For every corpus app under both handling schemes, the static
+//! analyzer's [`droidsim_analysis::StaticVerdict`] must equal the
+//! dynamic oracle's [`crate::detector::DetectionReport`] *field by
+//! field* — crash flag, `lost_after_one`, `lost_after_two` and
+//! `latent_after_two`, not just the boolean verdict. The analyzer
+//! checks the simulator and the simulator checks the analyzer: a
+//! disagreement means one of them mis-models the change protocol, and
+//! the gate fails with a one-line repro recipe for exactly that app.
+//!
+//! The comparison fleet is digest-stable: rows come back in corpus
+//! order regardless of `--jobs`, so CI diffs the `--jobs 1` and
+//! `--jobs 4` digests for equality.
+
+use crate::detector;
+use droidsim_analysis::{predict, AnalysisMode};
+use droidsim_device::HandlingMode;
+use droidsim_fleet::{combine_ordered, run_fleet, Digest, FleetConfig};
+use rch_workloads::{top100_specs, tp27_specs, GenericAppSpec};
+
+/// The two (corpus, mode) axes, compared for one app.
+#[derive(Debug, Clone)]
+pub struct DifferentialRow {
+    /// App name.
+    pub app: String,
+    /// Handling-scheme label (`"stock"` / `"rchdroid"`).
+    pub mode: &'static str,
+    /// Whether analyzer and oracle agree on every field.
+    pub agreed: bool,
+    /// Human-readable field diff when they do not.
+    pub detail: String,
+}
+
+impl DifferentialRow {
+    fn digest(&self) -> u64 {
+        let mut d = Digest::new();
+        d.write_str(&self.app);
+        d.write_str(self.mode);
+        d.write_u64(u64::from(self.agreed));
+        d.write_str(&self.detail);
+        d.finish()
+    }
+}
+
+/// A whole differential run over one corpus.
+#[derive(Debug, Clone)]
+pub struct DifferentialReport {
+    /// Corpus label (`"tp27"` / `"top100"`).
+    pub corpus: &'static str,
+    /// One row per (app, mode), corpus order, stock before rchdroid.
+    pub rows: Vec<DifferentialRow>,
+}
+
+impl DifferentialReport {
+    /// Rows where analyzer and oracle disagree.
+    pub fn disagreements(&self) -> Vec<&DifferentialRow> {
+        self.rows.iter().filter(|r| !r.agreed).collect()
+    }
+
+    /// Order-sensitive digest, identical for any worker count.
+    pub fn digest(&self) -> u64 {
+        combine_ordered(self.rows.iter().map(DifferentialRow::digest))
+    }
+
+    /// Renders the outcome; disagreeing rows carry a one-line repro.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for r in self.disagreements() {
+            out.push_str(&format!(
+                "DISAGREE [{}/{}] {}: {}\n  repro: cargo run -q --release -p rch-experiments \
+                 --bin rchlint -- --differential --corpus {} --only '{}' --jobs 1\n",
+                self.corpus, r.mode, r.app, r.detail, self.corpus, r.app,
+            ));
+        }
+        out.push_str(&format!(
+            "differential[{}]: {} checks, {} disagreement(s)\n",
+            self.corpus,
+            self.rows.len(),
+            self.disagreements().len(),
+        ));
+        out
+    }
+}
+
+fn diff_lists(field: &str, predicted: &[String], observed: &[String]) -> Option<String> {
+    (predicted != observed).then(|| {
+        format!("{field}: static predicts {predicted:?}, dynamic oracle observed {observed:?}")
+    })
+}
+
+/// Compares one app under one mode.
+fn compare(spec: &GenericAppSpec, mode: AnalysisMode) -> DifferentialRow {
+    let predicted = predict(spec, mode);
+    let handling = match mode {
+        AnalysisMode::Stock => HandlingMode::Android10,
+        AnalysisMode::RchDroid => HandlingMode::rchdroid_default(),
+    };
+    let observed = detector::check(spec, handling);
+    let mut diffs = Vec::new();
+    if predicted.crashed != observed.crashed {
+        diffs.push(format!(
+            "crashed: static predicts {}, dynamic oracle observed {}",
+            predicted.crashed, observed.crashed
+        ));
+    }
+    diffs.extend(diff_lists(
+        "lost_after_one",
+        &predicted.lost_after_one,
+        &observed.lost_after_one,
+    ));
+    diffs.extend(diff_lists(
+        "lost_after_two",
+        &predicted.lost_after_two,
+        &observed.lost_after_two,
+    ));
+    diffs.extend(diff_lists(
+        "latent_after_two",
+        &predicted.latent_after_two,
+        &observed.latent_after_two,
+    ));
+    DifferentialRow {
+        app: spec.name.clone(),
+        mode: mode.label(),
+        agreed: diffs.is_empty(),
+        detail: diffs.join("; "),
+    }
+}
+
+/// Resolves a corpus by name. `--only` filters to one app.
+pub fn corpus_specs(corpus: &str, only: Option<&str>) -> Result<Vec<GenericAppSpec>, String> {
+    let specs = match corpus {
+        "tp27" => tp27_specs(),
+        "top100" => top100_specs(),
+        _ => return Err(format!("unknown corpus {corpus:?} (tp27|top100)")),
+    };
+    match only {
+        None => Ok(specs),
+        Some(name) => {
+            let filtered: Vec<_> = specs.into_iter().filter(|s| s.name == name).collect();
+            if filtered.is_empty() {
+                return Err(format!("--only: no app named {name:?} in corpus {corpus}"));
+            }
+            Ok(filtered)
+        }
+    }
+}
+
+/// Runs the gate over one corpus, fleet-parallel: each app is one task
+/// producing its (stock, rchdroid) row pair, so rows stay in corpus
+/// order for any worker count.
+pub fn run_corpus(
+    corpus: &'static str,
+    only: Option<&str>,
+    cfg: &FleetConfig,
+) -> Result<DifferentialReport, String> {
+    let specs = corpus_specs(corpus, only)?;
+    let pairs = run_fleet(cfg, specs, |_ctx, spec| {
+        [
+            compare(&spec, AnalysisMode::Stock),
+            compare(&spec, AnalysisMode::RchDroid),
+        ]
+    });
+    Ok(DifferentialReport {
+        corpus,
+        rows: pairs.into_iter().flatten().collect(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tp27_gate_is_clean_and_jobs_invariant() {
+        let serial = run_corpus("tp27", None, &FleetConfig::new(1, 0)).unwrap();
+        assert_eq!(serial.rows.len(), 54);
+        assert!(serial.disagreements().is_empty(), "{}", serial.render());
+        let parallel = run_corpus("tp27", None, &FleetConfig::new(4, 0)).unwrap();
+        assert_eq!(serial.digest(), parallel.digest());
+    }
+
+    #[test]
+    fn top100_gate_is_clean() {
+        let report = run_corpus("top100", None, &FleetConfig::new(2, 0)).unwrap();
+        assert_eq!(report.rows.len(), 200);
+        assert!(report.disagreements().is_empty(), "{}", report.render());
+    }
+
+    #[test]
+    fn only_filter_and_unknown_corpus_are_validated() {
+        let one = run_corpus("tp27", Some("DiskDiggerPro"), &FleetConfig::new(1, 0)).unwrap();
+        assert_eq!(one.rows.len(), 2);
+        assert!(one.disagreements().is_empty());
+        assert!(run_corpus("tp27", Some("NoSuchApp"), &FleetConfig::new(1, 0)).is_err());
+        assert!(corpus_specs("bogus", None).is_err());
+    }
+
+    #[test]
+    fn a_disagreement_renders_a_repro_recipe() {
+        let report = DifferentialReport {
+            corpus: "tp27",
+            rows: vec![DifferentialRow {
+                app: "DemoApp".into(),
+                mode: "stock",
+                agreed: false,
+                detail: "crashed: static predicts true, dynamic oracle observed false".into(),
+            }],
+        };
+        let rendered = report.render();
+        assert!(rendered.contains("DISAGREE [tp27/stock] DemoApp"));
+        assert!(rendered.contains("--differential --corpus tp27 --only 'DemoApp' --jobs 1"));
+        assert!(rendered.contains("1 disagreement(s)"));
+    }
+}

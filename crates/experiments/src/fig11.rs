@@ -135,8 +135,7 @@ pub fn run_one_seeded(thresh_t_secs: u64, seed: u64) -> Fig11Row {
         memory_samples.push(
             device
                 .memory_snapshot(&component)
-                .map(|s| s.total_mib())
-                .unwrap_or(0.0),
+                .map_or(0.0, |s| s.total_mib()),
         );
         t = next_tick;
     }

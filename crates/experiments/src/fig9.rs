@@ -97,8 +97,7 @@ pub fn run_mode(mode: HandlingMode, label: &'static str) -> SystemTrace {
     let note_memory = |device: &Device, tracer: &mut Tracer| {
         let mib = device
             .memory_snapshot(&component)
-            .map(|s| s.total_mib())
-            .unwrap_or(0.0);
+            .map_or(0.0, |s| s.total_mib());
         tracer.record_memory(device.now(), mib);
     };
     note_memory(&device, &mut tracer);

@@ -24,6 +24,7 @@
 pub mod ablation;
 pub mod breakdown;
 pub mod detector;
+pub mod differential;
 pub mod energy;
 pub mod fig10;
 pub mod fig11;

@@ -150,19 +150,34 @@ pub fn export_all(dir: &Path) -> std::io::Result<Vec<PathBuf>> {
     )?);
 
     let study = crate::table5::run();
+    // Cross-reference: the static analyzer's predicted verdicts ride
+    // along so the CSV exposes the lint-vs-dynamic agreement the
+    // differential gate enforces (`rchlint --differential`).
+    let predicted: std::collections::BTreeMap<String, (bool, bool)> = rch_workloads::top100_specs()
+        .iter()
+        .map(|spec| {
+            let stock = droidsim_analysis::predict(spec, droidsim_analysis::AnalysisMode::Stock);
+            let rch = droidsim_analysis::predict(spec, droidsim_analysis::AnalysisMode::RchDroid);
+            (spec.name.clone(), (stock.has_issue(), rch.has_issue()))
+        })
+        .collect();
     written.push(write_csv(
         dir,
         "table5_top100.csv",
-        "app,issue,fixed,android10_ms,rchdroid_ms,android10_mib,rchdroid_mib",
+        "app,issue,fixed,predicted_stock_issue,predicted_rchdroid_issue,android10_ms,rchdroid_ms,android10_mib,rchdroid_mib",
         &study
             .rows
             .iter()
             .map(|r| {
+                let (pred_stock, pred_rch) =
+                    predicted.get(&r.name).copied().unwrap_or((false, false));
                 format!(
-                    "{},{},{},{:.3},{:.3},{:.3},{:.3}",
+                    "{},{},{},{},{},{:.3},{:.3},{:.3},{:.3}",
                     r.name,
                     r.issue_under_stock,
                     r.fixed_by_rchdroid,
+                    pred_stock,
+                    pred_rch,
                     r.android10_ms,
                     r.rchdroid_ms,
                     r.android10_mib,

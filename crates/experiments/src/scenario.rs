@@ -114,8 +114,7 @@ pub fn run_app(spec: &GenericAppSpec, cfg: &RunConfig) -> RunOutcome {
     }
     let memory_mib = device
         .memory_snapshot(&component)
-        .map(|s| s.total_mib())
-        .unwrap_or(0.0);
+        .map_or(0.0, |s| s.total_mib());
 
     // Let the async task land (5 s task; make sure it returned).
     device.advance(SimDuration::from_secs(8));
@@ -131,7 +130,7 @@ pub fn run_app(spec: &GenericAppSpec, cfg: &RunConfig) -> RunOutcome {
 
     let latencies_ms = device
         .process(&component)
-        .map(|p| p.latencies_ms())
+        .map(droidsim_device::AppProcess::latencies_ms)
         .unwrap_or_default();
     let busy_ms: f64 = latencies_ms.iter().sum::<f64>()
         + device

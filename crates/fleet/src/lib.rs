@@ -151,9 +151,7 @@ pub fn try_resolve_jobs(explicit: Option<usize>) -> Result<usize, JobsError> {
     if let Ok(v) = std::env::var(JOBS_ENV) {
         return parse_jobs_value(JOBS_ENV, &v);
     }
-    Ok(std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1))
+    Ok(std::thread::available_parallelism().map_or(1, std::num::NonZero::get))
 }
 
 /// Parses one worker-count value from `source` (strict: positive
@@ -213,7 +211,7 @@ impl TaskCtx {
 /// while holding one (task code runs behind `catch_unwind`), and even
 /// if the invariant broke, one slot's poison must not cost the run.
 fn lock_slot<X>(m: &Mutex<X>) -> std::sync::MutexGuard<'_, X> {
-    m.lock().unwrap_or_else(|p| p.into_inner())
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
 }
 
 /// Runs `run` over every item, partitioned across `cfg.jobs` workers,

@@ -611,7 +611,7 @@ fn lock<X>(m: &Mutex<X>) -> std::sync::MutexGuard<'_, X> {
     // Workers never panic while holding a lock (every attempt is behind
     // catch_unwind), but a poisoned mutex must still not poison the
     // whole fleet: take the data regardless.
-    m.lock().unwrap_or_else(|p| p.into_inner())
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
 }
 
 /// Runs `run` over every item like [`run_fleet`](crate::run_fleet), but

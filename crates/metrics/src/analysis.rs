@@ -1,0 +1,130 @@
+//! Aggregate ledger for one static-analysis (rchlint) run.
+//!
+//! The analysis fleet partitions the corpus across workers; each worker
+//! produces per-app diagnostics and verdicts, and the driver folds them
+//! into one [`AnalysisLedger`] **in task-index order**, so the ledger —
+//! like [`crate::FleetLedger`] — is reproducible for any worker count.
+//! The ledger deliberately keys lint codes as plain strings: metrics
+//! stays a leaf crate and must not depend on the analyzer's typed
+//! `LintCode` enum.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Totals for one analyzer run over one corpus.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct AnalysisLedger {
+    /// Apps analyzed.
+    pub apps: u64,
+    /// Apps with no diagnostics at all (after suppression).
+    pub clean_apps: u64,
+    /// Diagnostics with error severity.
+    pub errors: u64,
+    /// Diagnostics with warning severity.
+    pub warnings: u64,
+    /// Diagnostics dropped by `--allow` suppression rules.
+    pub suppressed: u64,
+    /// Diagnostic count per lint code (e.g. `"RCH004"`), sorted by code.
+    pub by_code: BTreeMap<String, u64>,
+    /// Apps the verdict pass predicts to have an issue under stock
+    /// (Android 10) handling.
+    pub predicted_stock_issues: u64,
+    /// Apps the verdict pass predicts to still have an issue under
+    /// RCHDroid.
+    pub predicted_rchdroid_issues: u64,
+}
+
+impl AnalysisLedger {
+    /// An empty ledger.
+    pub fn new() -> Self {
+        AnalysisLedger::default()
+    }
+
+    /// Folds another ledger (e.g. one app's contribution) into this one.
+    pub fn merge(&mut self, other: &AnalysisLedger) {
+        self.apps += other.apps;
+        self.clean_apps += other.clean_apps;
+        self.errors += other.errors;
+        self.warnings += other.warnings;
+        self.suppressed += other.suppressed;
+        for (code, n) in &other.by_code {
+            *self.by_code.entry(code.clone()).or_insert(0) += n;
+        }
+        self.predicted_stock_issues += other.predicted_stock_issues;
+        self.predicted_rchdroid_issues += other.predicted_rchdroid_issues;
+    }
+
+    /// A single stable line summarising the run. Every field is derived
+    /// from the corpus descriptors alone (no wall-clock, no worker
+    /// count), so the fingerprint must be bit-identical between serial
+    /// and parallel runs — the analysis analogue of
+    /// [`crate::DeviceMetrics::deterministic_fingerprint`].
+    pub fn deterministic_fingerprint(&self) -> String {
+        format!(
+            "analysis[apps={} clean={} errors={} warnings={} suppressed={} \
+             by_code={:?} predicted[stock={} rchdroid={}]]",
+            self.apps,
+            self.clean_apps,
+            self.errors,
+            self.warnings,
+            self.suppressed,
+            self.by_code,
+            self.predicted_stock_issues,
+            self.predicted_rchdroid_issues,
+        )
+    }
+}
+
+impl fmt::Display for AnalysisLedger {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} app(s): {} clean, {} error(s), {} warning(s), {} suppressed",
+            self.apps, self.clean_apps, self.errors, self.warnings, self.suppressed
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn one_app(code: &str, warnings: u64) -> AnalysisLedger {
+        let mut l = AnalysisLedger::new();
+        l.apps = 1;
+        l.warnings = warnings;
+        l.clean_apps = u64::from(warnings == 0);
+        if warnings > 0 {
+            l.by_code.insert(code.to_owned(), warnings);
+        }
+        l
+    }
+
+    #[test]
+    fn merge_is_order_insensitive_over_commutative_fields() {
+        let parts = [one_app("RCH004", 2), one_app("RCH001", 1), one_app("x", 0)];
+        let mut fwd = AnalysisLedger::new();
+        let mut rev = AnalysisLedger::new();
+        for p in &parts {
+            fwd.merge(p);
+        }
+        for p in parts.iter().rev() {
+            rev.merge(p);
+        }
+        assert_eq!(fwd, rev);
+        assert_eq!(fwd.apps, 3);
+        assert_eq!(fwd.clean_apps, 1);
+        assert_eq!(fwd.warnings, 3);
+        assert_eq!(fwd.by_code["RCH004"], 2);
+    }
+
+    #[test]
+    fn fingerprint_is_stable_and_counts_everything() {
+        let mut l = one_app("RCH006", 1);
+        l.predicted_stock_issues = 1;
+        let fp = l.deterministic_fingerprint();
+        assert_eq!(fp, l.clone().deterministic_fingerprint());
+        assert!(fp.contains("RCH006"));
+        assert!(fp.contains("predicted[stock=1 rchdroid=0]"));
+    }
+}

@@ -23,6 +23,7 @@
 //! flip ≈ 89.2 ms flat, RCHDroid-init 154.6 → 180.2 ms over 1 → 16 views,
 //! async migration 8.6 → 20.2 ms.
 
+pub mod analysis;
 pub mod cost;
 pub mod energy;
 pub mod faults;
@@ -32,6 +33,7 @@ pub mod migration;
 pub mod stats;
 pub mod trace;
 
+pub use analysis::AnalysisLedger;
 pub use cost::{AppCostProfile, CostModel, CostParams};
 pub use energy::EnergyModel;
 pub use faults::FaultMetrics;

@@ -1,5 +1,13 @@
 //! Layout inflation: template + resources + configuration → view tree.
+//!
+//! Two entry points share one walker: [`inflate`] is lenient (a child
+//! declared under a non-container view is skipped, mirroring the
+//! fallback-layout leniency elsewhere in the simulator), while
+//! [`try_inflate`] is strict and surfaces the malformed template as
+//! [`ViewError::NotAContainer`] — which is what the static analyzer
+//! reports instead of silently analysing a truncated tree.
 
+use crate::error::ViewError;
 use crate::kind::ViewKind;
 use crate::tree::{ViewId, ViewTree};
 use droidsim_config::Configuration;
@@ -22,7 +30,10 @@ pub struct InflateStats {
 /// given `config`.
 ///
 /// Unresolvable references fall back to the literal (Android raises at
-/// build time; the simulator is lenient so workloads can be terse).
+/// build time; the simulator is lenient so workloads can be terse), and
+/// a child declared under a non-container view is skipped along with its
+/// subtree. Use [`try_inflate`] when a malformed template should be an
+/// error instead.
 ///
 /// # Examples
 ///
@@ -48,6 +59,44 @@ pub fn inflate(
 ) -> (ViewTree, InflateStats) {
     let mut tree = ViewTree::new();
     let mut stats = InflateStats::default();
+    let lenient = inflate_node(
+        &template.root,
+        tree.root(),
+        &mut tree,
+        resources,
+        config,
+        &mut stats,
+        false,
+    );
+    debug_assert!(lenient.is_ok(), "lenient inflation cannot fail");
+    (tree, stats)
+}
+
+/// Strict form of [`inflate`]: a template that places children under a
+/// non-container view is rejected as [`ViewError::NotAContainer`] rather
+/// than silently truncated.
+///
+/// # Examples
+///
+/// ```
+/// use droidsim_config::Configuration;
+/// use droidsim_resources::{LayoutNode, LayoutTemplate, ResourceTable};
+/// use droidsim_view::{try_inflate, ViewError};
+///
+/// let bad = LayoutTemplate::new(
+///     "bad",
+///     LayoutNode::new("TextView").with_child(LayoutNode::new("Button")),
+/// );
+/// let err = try_inflate(&bad, &ResourceTable::new(), &Configuration::phone_portrait());
+/// assert!(matches!(err, Err(ViewError::NotAContainer { .. })));
+/// ```
+pub fn try_inflate(
+    template: &LayoutTemplate,
+    resources: &ResourceTable,
+    config: &Configuration,
+) -> Result<(ViewTree, InflateStats), ViewError> {
+    let mut tree = ViewTree::new();
+    let mut stats = InflateStats::default();
     inflate_node(
         &template.root,
         tree.root(),
@@ -55,10 +104,12 @@ pub fn inflate(
         resources,
         config,
         &mut stats,
-    );
-    (tree, stats)
+        true,
+    )?;
+    Ok((tree, stats))
 }
 
+#[allow(clippy::too_many_arguments)]
 fn inflate_node(
     node: &LayoutNode,
     parent: ViewId,
@@ -66,11 +117,15 @@ fn inflate_node(
     resources: &ResourceTable,
     config: &Configuration,
     stats: &mut InflateStats,
-) {
+    strict: bool,
+) -> Result<(), ViewError> {
     let kind = ViewKind::from_class_name(&node.class);
-    let id = tree
-        .add_view(parent, kind, node.id_name.as_deref())
-        .expect("inflater only adds children under containers");
+    let id = match tree.add_view(parent, kind, node.id_name.as_deref()) {
+        Ok(id) => id,
+        // The only failure `add_view` has: `parent` is not a container.
+        Err(e) if strict => return Err(e),
+        Err(_) => return Ok(()), // lenient: drop the subtree
+    };
     stats.views_created += 1;
 
     for (key, value) in &node.attrs {
@@ -103,8 +158,9 @@ fn inflate_node(
     }
 
     for child in &node.children {
-        inflate_node(child, id, tree, resources, config, stats);
+        inflate_node(child, id, tree, resources, config, stats, strict)?;
     }
+    Ok(())
 }
 
 fn resolve_string(
@@ -264,6 +320,43 @@ mod tests {
             tree.view(leaf).unwrap().attrs.text.as_deref(),
             Some("@string/nope")
         );
+    }
+
+    #[test]
+    fn lenient_inflation_skips_children_of_leaf_views() {
+        let t = LayoutTemplate::new(
+            "bad",
+            LayoutNode::new("LinearLayout").with_children([
+                LayoutNode::new("TextView")
+                    .with_id("leaf")
+                    .with_child(LayoutNode::new("Button").with_id("orphan")),
+                LayoutNode::new("TextView").with_id("after"),
+            ]),
+        );
+        let (tree, stats) = inflate(&t, &ResourceTable::new(), &Configuration::phone_portrait());
+        assert!(tree.find_by_id_name("leaf").is_some());
+        assert!(tree.find_by_id_name("after").is_some(), "siblings survive");
+        assert!(tree.find_by_id_name("orphan").is_none(), "subtree dropped");
+        assert_eq!(stats.views_created, 3);
+    }
+
+    #[test]
+    fn strict_inflation_rejects_children_of_leaf_views() {
+        let t = LayoutTemplate::new(
+            "bad",
+            LayoutNode::new("TextView").with_child(LayoutNode::new("Button")),
+        );
+        let err = try_inflate(&t, &ResourceTable::new(), &Configuration::phone_portrait());
+        assert!(matches!(err, Err(ViewError::NotAContainer { .. })));
+    }
+
+    #[test]
+    fn strict_inflation_matches_lenient_on_well_formed_templates() {
+        let (lenient, ls) = inflate(&template(), &resources(), &Configuration::phone_portrait());
+        let (strict, ss) = try_inflate(&template(), &resources(), &Configuration::phone_portrait())
+            .expect("well-formed");
+        assert_eq!(ls, ss);
+        assert_eq!(lenient.view_count(), strict.view_count());
     }
 
     #[test]

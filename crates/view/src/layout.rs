@@ -128,7 +128,7 @@ fn place(tree: &ViewTree, id: ViewId, rect: Rect, result: &mut LayoutResult) {
         .children
         .iter()
         .copied()
-        .filter(|&c| tree.view(c).map(|n| n.attrs.visible).unwrap_or(false))
+        .filter(|&c| tree.view(c).is_ok_and(|n| n.attrs.visible))
         .collect();
     if children.is_empty() {
         return;

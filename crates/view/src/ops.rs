@@ -6,6 +6,7 @@
 //! triggers `invalidate` — the generic update step RCHDroid's lazy
 //! migration intercepts.
 
+use crate::kind::MigrationClass;
 use serde::{Deserialize, Serialize};
 
 /// A single mutation of one view.
@@ -47,6 +48,29 @@ impl ViewOp {
             ViewOp::SetChecked(_) => "setChecked",
             ViewOp::SetEnabled(_) => "setEnabled",
             ViewOp::SetVisible(_) => "setVisibility",
+        }
+    }
+
+    /// Whether this mutation applies to a view of the given migration
+    /// class — the paper's Table 1, as one predicate.
+    ///
+    /// [`crate::ViewTree::apply`] rejects an inapplicable op at runtime;
+    /// the static analyzer uses the same predicate to flag async writes
+    /// that lazy migration could never carry (its "Table-1 coverage"
+    /// pass), so the two can never disagree.
+    pub fn applies_to(&self, class: MigrationClass) -> bool {
+        match (self, class) {
+            (ViewOp::SetText(_), MigrationClass::TextView) => true,
+            (ViewOp::SetChecked(_), MigrationClass::TextView) => true, // CheckBox
+            (ViewOp::SetDrawable(..), MigrationClass::ImageView) => true,
+            (ViewOp::SetSelection(_) | ViewOp::SetItemChecked(..), MigrationClass::AbsListView) => {
+                true
+            }
+            (ViewOp::ScrollTo(_), MigrationClass::AbsListView | MigrationClass::Container) => true,
+            (ViewOp::SetVideoUri(_), MigrationClass::VideoView) => true,
+            (ViewOp::SetProgress(_), MigrationClass::ProgressBar) => true,
+            (ViewOp::SetEnabled(_) | ViewOp::SetVisible(_), _) => true,
+            _ => false,
         }
     }
 

@@ -8,10 +8,19 @@
 //! and shadow/sunny dispatch along the tree (12 LoC in `ViewGroup`).
 //! The hooks are inert unless a change handler uses them, so with no
 //! handler installed the tree behaves exactly like stock Android 10.
+//!
+//! # Panic policy
+//!
+//! Production code in this module is panic-free: every fallible lookup
+//! returns [`ViewError`] (or `Option`), and the arena is append-only with
+//! ids handed out by [`ViewTree::add_view`], so an id obtained from this
+//! tree cannot dangle. The `unwrap`/`expect` calls below all live in
+//! `#[cfg(test)]` code or doc examples, where a panic *is* the failure
+//! report; keep it that way when adding code here.
 
 use crate::attrs::ViewAttrs;
 use crate::error::ViewError;
-use crate::kind::{MigrationClass, ViewKind};
+use crate::kind::ViewKind;
 use crate::ops::{DirtyMask, ViewOp};
 use droidsim_bundle::Bundle;
 use droidsim_kernel::Symbol;
@@ -318,20 +327,7 @@ impl ViewTree {
         let dirty = op.dirty_bit();
         let node = self.view_mut(id)?;
         let class = node.kind.migration_class();
-        let applicable = match (&op, class) {
-            (ViewOp::SetText(_), MigrationClass::TextView) => true,
-            (ViewOp::SetChecked(_), MigrationClass::TextView) => true, // CheckBox
-            (ViewOp::SetDrawable(..), MigrationClass::ImageView) => true,
-            (ViewOp::SetSelection(_) | ViewOp::SetItemChecked(..), MigrationClass::AbsListView) => {
-                true
-            }
-            (ViewOp::ScrollTo(_), MigrationClass::AbsListView | MigrationClass::Container) => true,
-            (ViewOp::SetVideoUri(_), MigrationClass::VideoView) => true,
-            (ViewOp::SetProgress(_), MigrationClass::ProgressBar) => true,
-            (ViewOp::SetEnabled(_) | ViewOp::SetVisible(_), _) => true,
-            _ => false,
-        };
-        if !applicable {
+        if !op.applies_to(class) {
             return Err(ViewError::InapplicableOp {
                 view: id,
                 op: op.name(),

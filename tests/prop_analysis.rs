@@ -1,0 +1,115 @@
+//! Property test for the static analysis layer: over randomly
+//! generated app specs, `droidsim_analysis::predict` must agree with
+//! the dynamic §6 detection oracle **field by field** — crash verdict
+//! and all three lost/latent key lists — under both stock Android and
+//! RCHDroid handling. This is the same contract the differential gate
+//! enforces for the fixed corpora, extended to the whole spec space
+//! the generators can reach (every state mechanism × self-handling ×
+//! state-saving × async-task combination).
+
+use droidsim_analysis::{analyze_app, predict, AnalysisMode, AppShape};
+use droidsim_device::HandlingMode;
+use proptest::prelude::*;
+use rch_experiments::detector;
+use rch_workloads::{GenericAppSpec, StateItem, StateMechanism};
+
+/// Key pool, disjoint from the generic layout's fixed id names
+/// (`root`, `content_*`, `async_target`, `decor`) and unique per item.
+const KEYS: [&str; 3] = ["alpha_state", "beta_state", "gamma_state"];
+
+fn arb_mechanism() -> impl Strategy<Value = StateMechanism> {
+    prop_oneof![
+        Just(StateMechanism::FrameworkView),
+        Just(StateMechanism::CustomViewNoSave),
+        Just(StateMechanism::DynamicViewNoSave),
+        Just(StateMechanism::MemberSaved),
+        Just(StateMechanism::MemberUnsaved),
+    ]
+}
+
+/// A spec with 0–3 uniquely keyed state items and arbitrary
+/// handling/saving/async flags. The `issue` field is irrelevant here:
+/// both the static verdict and the dynamic oracle derive everything
+/// from the mechanics, never from the paper's label.
+fn arb_spec() -> impl Strategy<Value = GenericAppSpec> {
+    (
+        proptest::collection::vec(arb_mechanism(), 0..4),
+        any::<bool>(),
+        any::<bool>(),
+        any::<bool>(),
+    )
+        .prop_map(|(mechanisms, handles, saves, uses_async)| {
+            let mut spec = GenericAppSpec::sized("PropVerdictApp", "1K+", false);
+            spec.handles_changes = handles;
+            spec.saves_instance_state = saves;
+            spec.uses_async_task = uses_async;
+            for (i, mechanism) in mechanisms.into_iter().enumerate() {
+                spec.state_items
+                    .push(StateItem::new(KEYS[i], mechanism, "typed-by-user"));
+            }
+            spec
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn static_verdict_equals_dynamic_oracle(spec in arb_spec()) {
+        for (mode, dynamic) in [
+            (AnalysisMode::Stock, HandlingMode::Android10),
+            (AnalysisMode::RchDroid, HandlingMode::rchdroid_default()),
+        ] {
+            let verdict = predict(&spec, mode);
+            let observed = detector::check(&spec, dynamic);
+            prop_assert_eq!(
+                verdict.crashed, observed.crashed,
+                "crash verdict diverged under {} for {:?}", mode.label(), spec
+            );
+            prop_assert_eq!(
+                &verdict.lost_after_one, &observed.lost_after_one,
+                "lost-after-one diverged under {} for {:?}", mode.label(), spec
+            );
+            prop_assert_eq!(
+                &verdict.lost_after_two, &observed.lost_after_two,
+                "lost-after-two diverged under {} for {:?}", mode.label(), spec
+            );
+            prop_assert_eq!(
+                &verdict.latent_after_two, &observed.latent_after_two,
+                "latent-after-two diverged under {} for {:?}", mode.label(), spec
+            );
+            prop_assert_eq!(
+                verdict.has_issue(), observed.has_issue(),
+                "issue verdict diverged under {} for {:?}", mode.label(), spec
+            );
+        }
+    }
+
+    #[test]
+    fn diagnostics_fire_iff_some_mode_has_an_issue(spec in arb_spec()) {
+        // The lint passes must flag exactly the apps whose mechanics can
+        // lose state (or that carry a latent hazard the passes warn on):
+        // an app that is verdict-clean in both modes, has no async task,
+        // and no self-handling conflict must produce zero diagnostics.
+        let shape = AppShape::from_spec(&spec);
+        let diagnostics = analyze_app(&shape, Some(&spec));
+        let stock = predict(&spec, AnalysisMode::Stock);
+        let rch = predict(&spec, AnalysisMode::RchDroid);
+        let self_handling_conflict = spec.handles_changes
+            && spec.state_items.iter().any(|i| {
+                !(i.mechanism.survives_stock_restart()
+                    && (i.mechanism.is_view_held() || spec.saves_instance_state))
+            });
+        let hazardous = stock.has_issue()
+            || rch.has_issue()
+            || (spec.uses_async_task && !spec.handles_changes)
+            || self_handling_conflict;
+        prop_assert_eq!(
+            !diagnostics.is_empty(),
+            hazardous,
+            "diagnostics {:?} vs hazard analysis for {:?}",
+            diagnostics,
+            spec
+        );
+    }
+}

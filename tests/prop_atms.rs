@@ -115,7 +115,7 @@ proptest! {
                 false,
                 "foreground {:?} inconsistent with top task {:?}",
                 fore,
-                task.map(|t| t.id())
+                task.map(droidsim_atms::TaskRecord::id)
             ),
         }
     }
@@ -152,7 +152,7 @@ proptest! {
             let shadows = task
                 .records()
                 .iter()
-                .filter(|&&r| atms.record(r).is_some_and(|x| x.is_shadow()))
+                .filter(|&&r| atms.record(r).is_some_and(droidsim_atms::ActivityRecord::is_shadow))
                 .count();
             prop_assert!(shadows <= 1, "task {} has {shadows} shadows", task.id());
         }
