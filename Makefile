@@ -4,7 +4,7 @@
 CARGO ?= cargo
 
 .PHONY: ci build test fmt fmt-fix clippy bench-smoke fault-matrix \
-	fleet-determinism bench-json soak lint-study
+	fleet-determinism bench-json bench-gate soak lint-study
 
 ci: build test fmt clippy fault-matrix fleet-determinism bench-smoke \
 	lint-study soak
@@ -82,3 +82,18 @@ bench-json:
 		$(CARGO) bench -p rch-bench --bench fleet_parallel
 	CRITERION_JSON=$(CURDIR)/results/BENCH_migration.json \
 		$(CARGO) bench -p rch-bench --bench migration_batching
+
+# The bench-regression gate: re-measures both benches into
+# target/bench-gate/ and compares the fresh means against the committed
+# reference under results/ (±15% band, plus the hard jobs=8 ≤ 0.5×
+# jobs=1 scaling assertion). On hardware whose core count differs from
+# the reference runner's, violations downgrade to warnings.
+bench-gate:
+	mkdir -p target/bench-gate
+	CRITERION_JSON=$(CURDIR)/target/bench-gate/BENCH_fleet.json \
+		$(CARGO) bench -p rch-bench --bench fleet_parallel
+	CRITERION_JSON=$(CURDIR)/target/bench-gate/BENCH_migration.json \
+		$(CARGO) bench -p rch-bench --bench migration_batching
+	$(CARGO) run -q --release -p rch-experiments --bin bench_gate -- \
+		target/bench-gate/BENCH_fleet.json results/BENCH_fleet.json \
+		target/bench-gate/BENCH_migration.json results/BENCH_migration.json

@@ -102,17 +102,22 @@ impl Activity {
     /// if a saved-state bundle is supplied — restores the view hierarchy
     /// and hands the app bundle to the model.
     pub fn perform_create(&mut self, model: &dyn AppModel, saved: Option<&Bundle>) {
-        let template = model
+        // Inflate straight from the resolved template reference — the
+        // old deep clone of the whole template per create was the single
+        // largest allocation on the relaunch path.
+        let (tree, stats) = match model
             .resources()
             .resolve_layout(model.main_layout(), &self.config)
-            .cloned()
-            .unwrap_or_else(|_| {
-                droidsim_resources::LayoutTemplate::new(
+        {
+            Ok(template) => inflate(template, model.resources(), &self.config),
+            Err(_) => {
+                let fallback = droidsim_resources::LayoutTemplate::new(
                     "empty",
                     droidsim_resources::LayoutNode::new("FrameLayout").with_id("content"),
-                )
-            });
-        let (tree, stats) = inflate(&template, model.resources(), &self.config);
+                );
+                inflate(&fallback, model.resources(), &self.config)
+            }
+        };
         self.tree = tree;
         self.inflate_stats = stats;
         self.fragments.clear();

@@ -145,15 +145,24 @@ impl DirtyQueue {
 
     /// Drains every pending entry in first-invalidation order.
     pub fn drain(&mut self) -> Vec<DirtyEntry> {
+        droidsim_kernel::alloc_track::note(1);
+        let mut drained = Vec::with_capacity(self.order.len());
+        self.drain_into(&mut drained);
+        drained
+    }
+
+    /// Drains every pending entry in first-invalidation order into `out`,
+    /// reusing its capacity. The engine's flush path threads one scratch
+    /// buffer through every flush instead of allocating a fresh `Vec`.
+    pub fn drain_into(&mut self, out: &mut Vec<DirtyEntry>) {
         // Order and entries stay in sync by construction; a desynced view
         // is silently skipped rather than panicking the handling path.
-        let drained = self
-            .order
-            .drain(..)
-            .filter_map(|view| self.entries.remove(&view))
-            .collect();
+        out.extend(
+            self.order
+                .drain(..)
+                .filter_map(|view| self.entries.remove(&view)),
+        );
         self.deadlines.clear();
-        drained
     }
 
     /// Drops all pending entries (used when a coupling is torn down).

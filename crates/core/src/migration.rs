@@ -21,9 +21,7 @@
 //!   eagerly — a debug-mode checker replays the eager path on a clone and
 //!   asserts exactly that after every flush.
 
-#[cfg(debug_assertions)]
-use crate::batch::DirtyEntry;
-use crate::batch::{DirtyQueue, FlushPolicy, ShardedEssenceMap};
+use crate::batch::{DirtyEntry, DirtyQueue, FlushPolicy, ShardedEssenceMap};
 use crate::supervise::{FaultLog, FaultRecord, MigrationError, MigrationWatchdog};
 use droidsim_faults::{FaultPlan, FaultSite};
 use droidsim_kernel::SimTime;
@@ -174,6 +172,10 @@ pub struct MigrationEngine {
     fault_log: FaultLog,
     /// Views skipped by rung-1 containment since the last mapping build.
     stale_views: Vec<ViewId>,
+    /// Reusable flush-batch buffer: the queue drains into it and the
+    /// emptied vector returns after the flush, so steady-state flushing
+    /// allocates nothing per call.
+    flush_scratch: Vec<DirtyEntry>,
 }
 
 impl Default for MigrationEngine {
@@ -203,6 +205,7 @@ impl MigrationEngine {
             watchdog: MigrationWatchdog::default(),
             fault_log: FaultLog::default(),
             stale_views: Vec::new(),
+            flush_scratch: Vec::new(),
         }
     }
 
@@ -289,12 +292,13 @@ impl MigrationEngine {
         sunny.set_coupling_side(Some(1));
         self.peers[0].clear();
         self.peers[1].clear();
-        for id in shadow.iter_ids() {
+        let peers = &mut self.peers;
+        shadow.for_each_id(|id| {
             if let Some(peer) = shadow.view(id).ok().and_then(|n| n.sunny_peer) {
-                self.peers[0].insert(id, peer);
-                self.peers[1].insert(peer, id);
+                peers[0].insert(id, peer);
+                peers[1].insert(peer, id);
             }
-        }
+        });
         self.queue.clear();
         self.stale_views.clear();
         self.mapped_views = mapped;
@@ -364,9 +368,10 @@ impl MigrationEngine {
         sunny: &mut ViewTree,
         now: SimTime,
     ) -> Result<MigrationReport, MigrationError> {
-        for (view, mask, raw) in shadow.drain_dirty_counted() {
-            self.queue.enqueue(view, mask, raw, now);
-        }
+        let queue = &mut self.queue;
+        shadow.drain_dirty_with(|view, mask, raw| {
+            queue.enqueue(view, mask, raw, now);
+        });
         if self.flush_due(now) {
             self.flush(shadow, sunny)
         } else {
@@ -410,19 +415,36 @@ impl MigrationEngine {
                 needed,
             });
         }
-        let batch = self.queue.drain();
+        // Drain into the engine's reusable batch buffer; it is handed
+        // back (emptied, capacity kept) whichever way the flush ends.
+        let mut batch = std::mem::take(&mut self.flush_scratch);
+        self.queue.drain_into(&mut batch);
+        let result = self.flush_batch(shadow, sunny, &batch);
+        batch.clear();
+        self.flush_scratch = batch;
+        result
+    }
+
+    /// The body of [`MigrationEngine::flush`] over an already-drained
+    /// batch.
+    fn flush_batch(
+        &mut self,
+        shadow: &mut ViewTree,
+        sunny: &mut ViewTree,
+        batch: &[DirtyEntry],
+    ) -> Result<MigrationReport, MigrationError> {
         let raw: usize = batch.iter().map(|e| e.raw).sum();
 
         #[cfg(debug_assertions)]
         let reference = if self.check_equivalence {
-            Some(eager_reference(shadow, sunny, &batch))
+            Some(eager_reference(shadow, sunny, batch))
         } else {
             None
         };
 
         let started = std::time::Instant::now();
         let mut report = MigrationReport::default();
-        for entry in &batch {
+        for entry in batch {
             report.examined += 1;
             let peer = if self.faults.should_inject(FaultSite::EssenceMappingMiss) {
                 None
@@ -502,21 +524,39 @@ impl MigrationEngine {
         sunny: &mut ViewTree,
     ) -> Result<MigrationReport, ViewError> {
         let mut report = MigrationReport::default();
-        for view in shadow.iter_ids() {
-            let node = shadow.view(view)?;
+        let mut failure: Option<ViewError> = None;
+        shadow.for_each_id(|view| {
+            if failure.is_some() {
+                return;
+            }
+            let node = match shadow.view(view) {
+                Ok(n) => n,
+                Err(e) => {
+                    failure = Some(e);
+                    return;
+                }
+            };
             report.examined += 1;
             let Some(peer) = node.sunny_peer else {
                 report.unmapped += 1;
-                continue;
+                return;
             };
             let mut state = node.attrs.save_user_state();
             if !node.freezes_text {
                 state.remove("text");
             }
-            sunny.view_mut(peer)?.attrs.restore_user_state(&state);
-            report.migrated += 1;
+            match sunny.view_mut(peer) {
+                Ok(target) => {
+                    target.attrs.restore_user_state(&state);
+                    report.migrated += 1;
+                }
+                Err(e) => failure = Some(e),
+            }
+        });
+        match failure {
+            Some(e) => Err(e),
+            None => Ok(report),
         }
-        Ok(report)
     }
 
     /// Full-tree migration (used right after coupling to seed the sunny
@@ -532,15 +572,22 @@ impl MigrationEngine {
         sunny: &mut ViewTree,
     ) -> Result<MigrationReport, ViewError> {
         let mut report = MigrationReport::default();
-        for view in shadow.iter_ids() {
-            report.examined += 1;
-            if migrate_view(shadow, sunny, view)? {
-                report.migrated += 1;
-            } else {
-                report.unmapped += 1;
+        let mut failure: Option<ViewError> = None;
+        shadow.for_each_id(|view| {
+            if failure.is_some() {
+                return;
             }
+            report.examined += 1;
+            match migrate_view(shadow, sunny, view) {
+                Ok(true) => report.migrated += 1,
+                Ok(false) => report.unmapped += 1,
+                Err(e) => failure = Some(e),
+            }
+        });
+        match failure {
+            Some(e) => Err(e),
+            None => Ok(report),
         }
-        Ok(report)
     }
 }
 
@@ -563,15 +610,15 @@ fn eager_reference(shadow: &ViewTree, sunny: &ViewTree, batch: &[DirtyEntry]) ->
 /// migration would have: same attributes on every live view.
 #[cfg(debug_assertions)]
 fn assert_equivalent_to_eager(sunny: &ViewTree, reference: &ViewTree) {
-    for id in sunny.iter_ids() {
+    sunny.for_each_id(|id| {
         let (Ok(got), Ok(want)) = (sunny.view(id), reference.view(id)) else {
-            continue;
+            return;
         };
         assert_eq!(
             got.attrs, want.attrs,
             "batched flush diverged from eager migration on {id}"
         );
-    }
+    });
 }
 
 #[cfg(test)]

@@ -24,51 +24,78 @@ fn path_name(path: HandlingPath) -> &'static str {
     }
 }
 
+fn render_line(line: &mut String, event: &DeviceEvent) {
+    use std::fmt::Write;
+    line.clear();
+    // Writing into a reused buffer never fails; the results are discarded
+    // rather than unwrapped to keep the arms readable.
+    let _ = match event {
+        DeviceEvent::AppLaunched { at, component } => {
+            write!(line, "{:>10.3} I ActivityTaskManager: Displayed {component} (+launch)", at.as_secs_f64())
+        }
+        DeviceEvent::ConfigChange { at, latency, path, component } => write!(
+            line,
+            "{:>10.3} I {TAG}: runtime change handled for {component} via {} in {:.3} ms",
+            at.as_secs_f64(),
+            path_name(*path),
+            latency.as_millis_f64()
+        ),
+        DeviceEvent::AsyncDelivered { at, component, migration_latency, migrated_views } => {
+            match migration_latency {
+                Some(d) => write!(
+                    line,
+                    "{:>10.3} I {TAG}: lazy-migrated {migrated_views} views for {component} in {:.3} ms",
+                    at.as_secs_f64(),
+                    d.as_millis_f64()
+                ),
+                None => write!(
+                    line,
+                    "{:>10.3} D AsyncTask: result delivered to {component}",
+                    at.as_secs_f64()
+                ),
+            }
+        }
+        DeviceEvent::Crash { at, component, exception } => write!(
+            line,
+            "{:>10.3} E AndroidRuntime: FATAL EXCEPTION in {component}: {exception}",
+            at.as_secs_f64()
+        ),
+        DeviceEvent::GcPass { at, collected } => write!(
+            line,
+            "{:>10.3} D {TAG}: shadow GC pass ({})",
+            at.as_secs_f64(),
+            if *collected { "collected" } else { "kept" }
+        ),
+        DeviceEvent::Fault { at, component, site, rung } => write!(
+            line,
+            "{:>10.3} W {TAG}: fault at {site} in {component} absorbed by {rung}",
+            at.as_secs_f64()
+        ),
+    };
+}
+
 impl Device {
     /// Renders the event log as logcat lines. Handling-time lines carry
     /// the paper's `zizhan` tag; pass a filter (like `grep`) to select.
     pub fn logcat(&self, filter: Option<&str>) -> Vec<String> {
-        self.events()
-            .iter()
-            .map(|event| match event {
-                DeviceEvent::AppLaunched { at, component } => {
-                    format!("{:>10.3} I ActivityTaskManager: Displayed {component} (+launch)", at.as_secs_f64())
-                }
-                DeviceEvent::ConfigChange { at, latency, path, component } => format!(
-                    "{:>10.3} I {TAG}: runtime change handled for {component} via {} in {:.3} ms",
-                    at.as_secs_f64(),
-                    path_name(*path),
-                    latency.as_millis_f64()
-                ),
-                DeviceEvent::AsyncDelivered { at, component, migration_latency, migrated_views } => {
-                    match migration_latency {
-                        Some(d) => format!(
-                            "{:>10.3} I {TAG}: lazy-migrated {migrated_views} views for {component} in {:.3} ms",
-                            at.as_secs_f64(),
-                            d.as_millis_f64()
-                        ),
-                        None => format!(
-                            "{:>10.3} D AsyncTask: result delivered to {component}",
-                            at.as_secs_f64()
-                        ),
-                    }
-                }
-                DeviceEvent::Crash { at, component, exception } => format!(
-                    "{:>10.3} E AndroidRuntime: FATAL EXCEPTION in {component}: {exception}",
-                    at.as_secs_f64()
-                ),
-                DeviceEvent::GcPass { at, collected } => format!(
-                    "{:>10.3} D {TAG}: shadow GC pass ({})",
-                    at.as_secs_f64(),
-                    if *collected { "collected" } else { "kept" }
-                ),
-                DeviceEvent::Fault { at, component, site, rung } => format!(
-                    "{:>10.3} W {TAG}: fault at {site} in {component} absorbed by {rung}",
-                    at.as_secs_f64()
-                ),
-            })
-            .filter(|line| filter.is_none_or(|f| line.contains(f)))
-            .collect()
+        droidsim_kernel::alloc_track::note(1);
+        let mut out = Vec::new();
+        self.for_each_logcat_line(filter, |line| out.push(line.to_owned()));
+        out
+    }
+
+    /// Streams logcat lines through one reused line buffer. This is the
+    /// allocation-free path the soak and fleet measurement loops use:
+    /// `logcat()` materialises a `Vec<String>` (one allocation per event),
+    /// whereas this renders every event into the same buffer.
+    pub fn for_each_logcat_line(&self, filter: Option<&str>, mut f: impl FnMut(&str)) {
+        let mut line = String::new();
+        for event in self.events() {
+            render_line(&mut line, event);
+            if filter.is_none_or(|pat| line.contains(pat)) {
+                f(&line);
+            }
+        }
     }
 }
 
@@ -107,6 +134,16 @@ mod tests {
             if line.contains("handled") || line.contains("lazy-migrated") {
                 assert!(line.contains(" ms"), "{line}");
             }
+        }
+    }
+
+    #[test]
+    fn streaming_path_matches_materialised_log() {
+        let d = device_with_history();
+        for filter in [None, Some(super::TAG), Some("FATAL")] {
+            let mut streamed = Vec::new();
+            d.for_each_logcat_line(filter, |line| streamed.push(line.to_owned()));
+            assert_eq!(streamed, d.logcat(filter));
         }
     }
 

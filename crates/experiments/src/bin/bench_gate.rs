@@ -1,0 +1,341 @@
+//! Bench-regression gate: compares a fresh `CRITERION_JSON` run against
+//! the committed reference under `results/` and fails CI when the hot
+//! paths drift.
+//!
+//! ```text
+//! bench_gate <fresh.json> <baseline.json> [<fresh2.json> <baseline2.json> ...]
+//! ```
+//!
+//! For every benchmark id present in a baseline file the gate looks up
+//! the fresh mean and prints one delta-table row. A benchmark is out of
+//! band when the fresh mean differs from the baseline by more than
+//! ±15 %: slower is a regression, faster means the committed reference
+//! is stale — both exit non-zero so the reference stays honest. On top
+//! of the per-benchmark band, the fleet file carries a hard scaling
+//! assertion: `fleet_parallel/jobs/8` must run in at most half the
+//! `fleet_parallel/jobs/1` mean.
+//!
+//! Both checks are only meaningful on hardware comparable to the
+//! reference runner. Each JSON document carries the machine block the
+//! vendored criterion harness emits (`logical_cores`, the
+//! `DROIDSIM_JOBS` resolution); when the fresh machine's core count
+//! differs from the baseline's — a laptop checking against the 8-core
+//! CI reference — every violation is downgraded to a warning and the
+//! gate exits 0.
+//!
+//! The parser is deliberately small and hand-rolled (the workspace has
+//! no JSON dependency): it reads the exact one-benchmark-per-line
+//! layout the vendored harness writes, which is the only producer of
+//! these files.
+
+use std::process::ExitCode;
+
+/// Relative tolerance band around every baseline mean.
+const TOLERANCE: f64 = 0.15;
+/// `jobs/8` must be at least this factor faster than `jobs/1`.
+const SCALING_FACTOR: f64 = 0.5;
+const FLEET_WIDE: &str = "fleet_parallel/jobs/1";
+const FLEET_NARROW: &str = "fleet_parallel/jobs/8";
+
+#[derive(Debug, Clone, PartialEq)]
+struct Benchmark {
+    id: String,
+    mean_ns: f64,
+    iterations: u64,
+}
+
+#[derive(Debug, Clone, Default, PartialEq)]
+struct BenchDoc {
+    logical_cores: Option<u64>,
+    droidsim_jobs: Option<String>,
+    benchmarks: Vec<Benchmark>,
+}
+
+/// Extracts the JSON string value following `"key": "` on `line`.
+/// Escapes are left verbatim — ids and jobs strings never contain any.
+fn string_field(line: &str, key: &str) -> Option<String> {
+    let pat = format!("\"{key}\": \"");
+    let start = line.find(&pat)? + pat.len();
+    let rest = &line[start..];
+    Some(rest[..rest.find('"')?].to_string())
+}
+
+/// Extracts the JSON number following `"key": ` on `line`.
+fn number_field(line: &str, key: &str) -> Option<f64> {
+    let pat = format!("\"{key}\": ");
+    let start = line.find(&pat)? + pat.len();
+    let tail: String = line[start..]
+        .chars()
+        .take_while(|c| c.is_ascii_digit() || *c == '.' || *c == '-')
+        .collect();
+    tail.parse().ok()
+}
+
+/// Parses the vendored harness's `CRITERION_JSON` layout: one machine
+/// line, then one line per benchmark.
+fn parse_doc(text: &str) -> BenchDoc {
+    let mut doc = BenchDoc::default();
+    for line in text.lines() {
+        if line.contains("\"machine\":") {
+            doc.logical_cores = number_field(line, "logical_cores").map(|n| n as u64);
+            doc.droidsim_jobs = string_field(line, "droidsim_jobs");
+        } else if let Some(id) = string_field(line, "id") {
+            let Some(mean_ns) = number_field(line, "mean_ns") else {
+                continue;
+            };
+            let iterations = number_field(line, "iterations").map_or(0, |n| n as u64);
+            doc.benchmarks.push(Benchmark {
+                id,
+                mean_ns,
+                iterations,
+            });
+        }
+    }
+    doc
+}
+
+fn mean_of<'d>(doc: &'d BenchDoc, id: &str) -> Option<&'d Benchmark> {
+    doc.benchmarks.iter().find(|b| b.id == id)
+}
+
+/// One violation, already rendered.
+struct Violation {
+    message: String,
+}
+
+/// Compares `fresh` to `baseline`, printing the delta table and
+/// collecting violations.
+fn compare_pair(label: &str, fresh: &BenchDoc, baseline: &BenchDoc) -> Vec<Violation> {
+    let mut violations = Vec::new();
+    println!("== {label}");
+    println!(
+        "   {:<44} {:>14} {:>14} {:>8}  verdict",
+        "benchmark", "baseline ns", "fresh ns", "delta"
+    );
+    for base in &baseline.benchmarks {
+        let Some(fresh_b) = mean_of(fresh, &base.id) else {
+            violations.push(Violation {
+                message: format!("{label}: `{}` missing from the fresh run", base.id),
+            });
+            println!(
+                "   {:<44} {:>14.1} {:>14} {:>8}  MISSING",
+                base.id, base.mean_ns, "-", "-"
+            );
+            continue;
+        };
+        if base.mean_ns == 0.0 || fresh_b.mean_ns == 0.0 {
+            // --test smoke mode writes 0.0 means; nothing to compare.
+            println!(
+                "   {:<44} {:>14.1} {:>14.1} {:>8}  skipped (smoke)",
+                base.id, base.mean_ns, fresh_b.mean_ns, "-"
+            );
+            continue;
+        }
+        let delta = (fresh_b.mean_ns - base.mean_ns) / base.mean_ns;
+        let verdict = if delta > TOLERANCE {
+            violations.push(Violation {
+                message: format!(
+                    "{label}: `{}` regressed {:+.1}% (baseline {:.1} ns, fresh {:.1} ns, band ±{:.0}%)",
+                    base.id,
+                    delta * 100.0,
+                    base.mean_ns,
+                    fresh_b.mean_ns,
+                    TOLERANCE * 100.0
+                ),
+            });
+            "REGRESSED"
+        } else if delta < -TOLERANCE {
+            violations.push(Violation {
+                message: format!(
+                    "{label}: `{}` improved {:+.1}% past the ±{:.0}% band — refresh the committed reference (make bench-json)",
+                    base.id,
+                    delta * 100.0,
+                    TOLERANCE * 100.0
+                ),
+            });
+            "STALE BASELINE"
+        } else {
+            "ok"
+        };
+        println!(
+            "   {:<44} {:>14.1} {:>14.1} {:>+7.1}%  {verdict}",
+            base.id,
+            base.mean_ns,
+            fresh_b.mean_ns,
+            delta * 100.0
+        );
+    }
+    violations
+}
+
+/// The hard scaling assertion over one document's fleet arms.
+fn check_scaling(label: &str, doc: &BenchDoc) -> Vec<Violation> {
+    let (Some(wide), Some(narrow)) = (mean_of(doc, FLEET_WIDE), mean_of(doc, FLEET_NARROW)) else {
+        return Vec::new();
+    };
+    if wide.mean_ns == 0.0 || narrow.mean_ns == 0.0 {
+        return Vec::new();
+    }
+    let ratio = narrow.mean_ns / wide.mean_ns;
+    println!(
+        "   scaling: {FLEET_NARROW} / {FLEET_WIDE} = {ratio:.3} (required ≤ {SCALING_FACTOR})"
+    );
+    if ratio <= SCALING_FACTOR {
+        Vec::new()
+    } else {
+        vec![Violation {
+            message: format!(
+                "{label}: jobs=8 ran at {ratio:.2}× the jobs=1 mean; the scaling gate requires ≤ {SCALING_FACTOR}×"
+            ),
+        }]
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() || !args.len().is_multiple_of(2) {
+        eprintln!("usage: bench_gate <fresh.json> <baseline.json> [...more pairs]");
+        return ExitCode::from(2);
+    }
+
+    let mut violations: Vec<Violation> = Vec::new();
+    let mut core_mismatch = false;
+    for pair in args.chunks(2) {
+        let (fresh_path, base_path) = (&pair[0], &pair[1]);
+        let read = |path: &str| match std::fs::read_to_string(path) {
+            Ok(text) => Some(parse_doc(&text)),
+            Err(e) => {
+                eprintln!("bench_gate: cannot read {path}: {e}");
+                None
+            }
+        };
+        let (Some(fresh), Some(baseline)) = (read(fresh_path), read(base_path)) else {
+            return ExitCode::from(2);
+        };
+        if let (Some(f), Some(b)) = (fresh.logical_cores, baseline.logical_cores) {
+            if f != b {
+                core_mismatch = true;
+                println!(
+                    "== {base_path}: machine mismatch — baseline has {b} logical core(s) \
+                     (jobs={}), this machine has {f} (jobs={})",
+                    baseline.droidsim_jobs.as_deref().unwrap_or("unset"),
+                    fresh.droidsim_jobs.as_deref().unwrap_or("unset"),
+                );
+            }
+        }
+        violations.extend(compare_pair(base_path, &fresh, &baseline));
+        violations.extend(check_scaling("fresh run", &fresh));
+        violations.extend(check_scaling(base_path, &baseline));
+    }
+
+    if violations.is_empty() {
+        println!(
+            "bench gate: all benchmarks within ±{:.0}%",
+            TOLERANCE * 100.0
+        );
+        return ExitCode::SUCCESS;
+    }
+    if core_mismatch {
+        println!(
+            "bench gate: {} violation(s) on mismatched hardware — reported as warnings only:",
+            violations.len()
+        );
+        for v in &violations {
+            println!("  warning: {}", v.message);
+        }
+        return ExitCode::SUCCESS;
+    }
+    eprintln!("bench gate: {} violation(s):", violations.len());
+    for v in &violations {
+        eprintln!("  {}", v.message);
+    }
+    ExitCode::FAILURE
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const DOC: &str = r#"{
+  "machine": {"logical_cores": 8, "droidsim_jobs": "unset"},
+  "benchmarks": [
+    {"id": "fleet_parallel/jobs/1", "mean_ns": 16000000.0, "iterations": 155},
+    {"id": "fleet_parallel/jobs/8", "mean_ns": 6400000.0, "iterations": 300}
+  ]
+}
+"#;
+
+    #[test]
+    fn parses_machine_and_benchmarks() {
+        let doc = parse_doc(DOC);
+        assert_eq!(doc.logical_cores, Some(8));
+        assert_eq!(doc.droidsim_jobs.as_deref(), Some("unset"));
+        assert_eq!(doc.benchmarks.len(), 2);
+        assert_eq!(doc.benchmarks[0].id, "fleet_parallel/jobs/1");
+        assert_eq!(doc.benchmarks[0].mean_ns, 16_000_000.0);
+        assert_eq!(doc.benchmarks[1].iterations, 300);
+    }
+
+    #[test]
+    fn tolerates_missing_machine_block() {
+        let doc = parse_doc("{\n  \"benchmarks\": [\n    {\"id\": \"x\", \"mean_ns\": 5.0, \"iterations\": 1}\n  ]\n}\n");
+        assert_eq!(doc.logical_cores, None);
+        assert_eq!(doc.benchmarks.len(), 1);
+    }
+
+    #[test]
+    fn in_band_run_passes() {
+        let baseline = parse_doc(DOC);
+        let mut fresh = baseline.clone();
+        for b in &mut fresh.benchmarks {
+            b.mean_ns *= 1.10; // +10 % is inside the ±15 % band
+        }
+        assert!(compare_pair("t", &fresh, &baseline).is_empty());
+    }
+
+    #[test]
+    fn regression_and_stale_baseline_both_violate() {
+        let baseline = parse_doc(DOC);
+        let mut fresh = baseline.clone();
+        fresh.benchmarks[0].mean_ns *= 1.30;
+        fresh.benchmarks[1].mean_ns *= 0.50;
+        let violations = compare_pair("t", &fresh, &baseline);
+        assert_eq!(violations.len(), 2);
+        assert!(violations[0].message.contains("regressed"));
+        assert!(violations[1]
+            .message
+            .contains("refresh the committed reference"));
+    }
+
+    #[test]
+    fn missing_fresh_benchmark_violates() {
+        let baseline = parse_doc(DOC);
+        let mut fresh = baseline.clone();
+        fresh.benchmarks.pop();
+        let violations = compare_pair("t", &fresh, &baseline);
+        assert_eq!(violations.len(), 1);
+        assert!(violations[0].message.contains("missing"));
+    }
+
+    #[test]
+    fn scaling_gate_enforces_half() {
+        let good = parse_doc(DOC); // 6.4 ms vs 16 ms = 0.4×
+        assert!(check_scaling("t", &good).is_empty());
+        let mut bad = good.clone();
+        bad.benchmarks[1].mean_ns = 9_000_000.0; // 0.5625×
+        let violations = check_scaling("t", &bad);
+        assert_eq!(violations.len(), 1);
+        assert!(violations[0].message.contains("scaling gate"));
+    }
+
+    #[test]
+    fn smoke_mode_zero_means_are_skipped() {
+        let baseline = parse_doc(DOC);
+        let mut fresh = baseline.clone();
+        for b in &mut fresh.benchmarks {
+            b.mean_ns = 0.0;
+        }
+        assert!(compare_pair("t", &fresh, &baseline).is_empty());
+        assert!(check_scaling("t", &fresh).is_empty());
+    }
+}

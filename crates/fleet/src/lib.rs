@@ -54,7 +54,7 @@
 pub mod digest;
 pub mod supervise;
 
-pub use digest::{combine_ordered, Digest};
+pub use digest::{combine_indexed, combine_ordered, mix_indexed, Digest};
 pub use supervise::{
     run_fleet_supervised, FleetError, FleetJournal, FleetOptions, FleetReport, FleetRun,
     JournalState, QuarantinedTask, TaskOutcome,
@@ -214,6 +214,27 @@ fn lock_slot<X>(m: &Mutex<X>) -> std::sync::MutexGuard<'_, X> {
     m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
 }
 
+/// Claims the next batch of task indices from the shared cursor.
+///
+/// Claiming one index per round-trip puts the cursor's cache line on the
+/// critical path of every task; claiming a fixed large batch starves the
+/// tail. This takes the middle road: batch size adapts as
+/// `max(1, remaining / (4·jobs))`, so early claims are coarse (few
+/// contended RMWs) and the final claims degrade to single tasks (no
+/// worker sits on a hoard while others idle). The `remaining` estimate
+/// reads a possibly stale cursor; the claimed range is clamped to `n`,
+/// so over-claiming past the end is harmless.
+pub(crate) fn claim_chunk(
+    cursor: &AtomicUsize,
+    n: usize,
+    jobs: usize,
+) -> Option<std::ops::Range<usize>> {
+    let seen = cursor.load(Ordering::Relaxed).min(n);
+    let k = ((n - seen) / (4 * jobs.max(1))).max(1);
+    let start = cursor.fetch_add(k, Ordering::Relaxed);
+    (start < n).then(|| start..(start + k).min(n))
+}
+
 /// Runs `run` over every item, partitioned across `cfg.jobs` workers,
 /// and returns the results **in item order** — bit-identical to the
 /// `jobs = 1` inline run as long as `run` depends only on its arguments.
@@ -254,17 +275,18 @@ where
         let workers = cfg.jobs.min(n);
         std::thread::scope(|scope| {
             for _ in 0..workers {
-                scope.spawn(|| loop {
-                    let i = cursor.fetch_add(1, Ordering::Relaxed);
-                    if i >= n {
-                        break;
+                scope.spawn(|| {
+                    while let Some(range) = claim_chunk(&cursor, n, workers) {
+                        for i in range {
+                            let Some(item) = lock_slot(&slots[i]).take() else {
+                                continue;
+                            };
+                            let out =
+                                catch_unwind(AssertUnwindSafe(|| run(TaskCtx::new(cfg, i), item)))
+                                    .map_err(supervise::payload_text);
+                            *lock_slot(&results[i]) = Some(out);
+                        }
                     }
-                    let Some(item) = lock_slot(&slots[i]).take() else {
-                        continue;
-                    };
-                    let out = catch_unwind(AssertUnwindSafe(|| run(TaskCtx::new(cfg, i), item)))
-                        .map_err(supervise::payload_text);
-                    *lock_slot(&results[i]) = Some(out);
                 });
             }
         });
@@ -300,6 +322,77 @@ where
         );
     }
     out
+}
+
+/// Digest-only fleet run: maps every item to a 64-bit digest and merges
+/// them **unordered** with [`combine_indexed`] as workers finish.
+///
+/// This is the fast path for study harnesses that only need the reduced
+/// fleet digest: there are no per-item `Mutex` slots and no ordered
+/// result draining — each worker folds its chunk's index-tagged digests
+/// locally and publishes one wrapping-add per chunk into a shared
+/// accumulator. Because the tagged fold is commutative, the value is
+/// identical for any worker count and any completion order, including
+/// the `jobs = 1` inline run.
+///
+/// # Panics
+///
+/// Like [`run_fleet`], a panicking task does not poison the pool: all
+/// remaining tasks complete, then the failure is re-raised with a
+/// per-task repro line.
+pub fn run_fleet_reduce<T, F>(cfg: &FleetConfig, items: &[T], run: F) -> u64
+where
+    T: Sync,
+    F: Fn(TaskCtx, &T) -> u64 + Sync,
+{
+    use std::sync::atomic::AtomicU64;
+
+    let n = items.len();
+    let acc = AtomicU64::new(0);
+    let failures: Mutex<Vec<String>> = Mutex::new(Vec::new());
+    let attempt = |i: usize| -> u64 {
+        match catch_unwind(AssertUnwindSafe(|| run(TaskCtx::new(cfg, i), &items[i]))) {
+            Ok(d) => digest::mix_indexed(i as u64, d),
+            Err(payload) => {
+                lock_slot(&failures).push(format!(
+                    "  task {i}: panicked ({}); repro: DROIDSIM_JOBS=1 \
+                     seed={} index={i} rng=Xoshiro256::stream({}, {i})",
+                    supervise::payload_text(payload),
+                    cfg.seed,
+                    cfg.seed
+                ));
+                0
+            }
+        }
+    };
+    if cfg.jobs <= 1 || n <= 1 {
+        let total = (0..n).map(&attempt).fold(0u64, u64::wrapping_add);
+        acc.store(total, Ordering::Relaxed);
+    } else {
+        let cursor = AtomicUsize::new(0);
+        let workers = cfg.jobs.min(n);
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| {
+                    while let Some(range) = claim_chunk(&cursor, n, workers) {
+                        let chunk = range.map(&attempt).fold(0u64, u64::wrapping_add);
+                        // fetch_add on u64 wraps, matching the inline fold.
+                        acc.fetch_add(chunk, Ordering::Relaxed);
+                    }
+                });
+            }
+        });
+    }
+    let dumps = lock_slot(&failures);
+    if !dumps.is_empty() {
+        panic!(
+            "{} of {n} fleet task(s) panicked; \
+             use run_fleet_supervised for partial results\n{}",
+            dumps.len(),
+            dumps.join("\n")
+        );
+    }
+    acc.load(Ordering::Relaxed)
 }
 
 #[cfg(test)]

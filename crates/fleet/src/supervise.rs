@@ -41,7 +41,7 @@ use std::fs::{File, OpenOptions};
 use std::io::{BufRead, BufReader, Write};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::AtomicUsize;
 use std::sync::{mpsc, Arc, Mutex};
 use std::time::{Duration, Instant};
 
@@ -481,6 +481,21 @@ impl<R> FleetRun<R> {
             .collect::<Option<Vec<u64>>>()
             .map(combine_ordered)
     }
+
+    /// The study digest under the **unordered** index-tagged merge
+    /// ([`combine_indexed`](crate::combine_indexed)): the value a
+    /// streaming reducer that merges digests as tasks complete would
+    /// produce. Deterministic for any worker count; `None` when any
+    /// task is quarantined.
+    pub fn combined_digest_unordered(&self) -> Option<u64> {
+        let tagged: Option<Vec<(u64, u64)>> = self
+            .digests
+            .iter()
+            .enumerate()
+            .map(|(i, d)| d.map(|d| (i as u64, d)))
+            .collect();
+        tagged.map(crate::combine_indexed)
+    }
 }
 
 /// What one injected fleet-task fault does to the attempt.
@@ -664,6 +679,7 @@ where
 
     let run = Arc::new(run);
     let records: Vec<Mutex<Option<TaskRecord<R>>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let allocs_before = droidsim_kernel::alloc_track::current();
 
     let worker_body = |i: usize| {
         if let Some(&digest) = resumed.get(&i) {
@@ -766,12 +782,15 @@ where
         let workers = cfg.jobs.min(n);
         std::thread::scope(|scope| {
             for _ in 0..workers {
-                scope.spawn(|| loop {
-                    let i = cursor.fetch_add(1, Ordering::Relaxed);
-                    if i >= n {
-                        break;
+                scope.spawn(|| {
+                    // Chunked claiming: early claims take a batch of
+                    // indices per cursor RMW, shrinking to single tasks
+                    // near the tail — see `claim_chunk`.
+                    while let Some(range) = crate::claim_chunk(&cursor, n, workers) {
+                        for i in range {
+                            worker_body(i);
+                        }
                     }
-                    worker_body(i);
                 });
             }
         });
@@ -781,6 +800,9 @@ where
     // run_fleet's reducer, so the report is reproducible for any worker
     // count.
     let mut ledger = FleetLedger::new();
+    // Process-wide delta, not per-task: concurrent runs overlap, so the
+    // value is diagnostic only (and excluded from fingerprints).
+    ledger.alloc_events = droidsim_kernel::alloc_track::current().saturating_sub(allocs_before);
     let mut quarantined = Vec::new();
     let mut outcomes = Vec::with_capacity(n);
     let mut digests = Vec::with_capacity(n);

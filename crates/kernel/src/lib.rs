@@ -14,6 +14,8 @@
 //!   records, …
 //! * [`journal`] — `key=value` line serialization for the fleet's
 //!   append-only checkpoint journals.
+//! * [`alloc_track`] — coarse allocation-event accounting so the fleet
+//!   ledger can report allocations-per-sim.
 //!
 //! # Examples
 //!
@@ -27,6 +29,7 @@
 //! assert_eq!(q.pop().map(|e| e.payload), Some("second"));
 //! ```
 
+pub mod alloc_track;
 pub mod id;
 pub mod intern;
 pub mod journal;

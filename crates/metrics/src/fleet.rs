@@ -106,6 +106,11 @@ pub struct FleetLedger {
     pub timed_out_attempts: u64,
     /// Injected `fleet-task` faults that actually struck.
     pub injected_faults: u64,
+    /// Allocation events (see `droidsim_kernel::alloc_track`) observed
+    /// across the whole run — the allocations-per-sim diet metric.
+    /// Scratch-buffer reuse depends on scheduling, so this follows the
+    /// wall-clock rule: excluded from the deterministic fingerprint.
+    pub alloc_events: u64,
     /// Host wall-clock latency of every finished attempt (ms).
     pub attempt_latency_ms: Histogram,
 }
@@ -137,7 +142,14 @@ impl FleetLedger {
         self.panicked_attempts += other.panicked_attempts;
         self.timed_out_attempts += other.timed_out_attempts;
         self.injected_faults += other.injected_faults;
+        self.alloc_events += other.alloc_events;
         self.attempt_latency_ms.merge(&other.attempt_latency_ms);
+    }
+
+    /// Allocation events per accounted task, rounded down. Zero when the
+    /// ledger has no tasks.
+    pub fn allocs_per_task(&self) -> u64 {
+        self.alloc_events.checked_div(self.tasks()).unwrap_or(0)
     }
 
     /// The simulation-determined part of the ledger — everything except
@@ -164,8 +176,9 @@ impl fmt::Display for FleetLedger {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "{} latency[{}]",
+            "{} allocs={} latency[{}]",
             self.deterministic_fingerprint(),
+            self.alloc_events,
             self.attempt_latency_ms
         )
     }
@@ -240,6 +253,7 @@ mod tests {
         b.retries = 2;
         b.attempt_latency_ms.record(900.0);
         b.attempt_latency_ms.record(900.0); // even the count is excluded
+        b.alloc_events = 42; // scheduling-dependent, also excluded
         assert_eq!(a.deterministic_fingerprint(), b.deterministic_fingerprint());
         b.panicked += 1;
         assert_ne!(a.deterministic_fingerprint(), b.deterministic_fingerprint());
@@ -260,6 +274,7 @@ mod tests {
             panicked_attempts: 3,
             timed_out_attempts: 2,
             injected_faults: 5,
+            alloc_events: 24,
             ..FleetLedger::new()
         };
         a.merge(&b);
@@ -267,8 +282,11 @@ mod tests {
         assert_eq!(a.quarantined(), 3);
         assert_eq!(a.retries, 1);
         assert_eq!(a.injected_faults, 5);
+        assert_eq!(a.alloc_events, 24);
+        assert_eq!(a.allocs_per_task(), 2);
         let line = a.to_string();
         assert!(line.contains("ok=7"), "got {line}");
+        assert!(line.contains("allocs=24"), "got {line}");
         assert!(line.contains("latency["), "got {line}");
     }
 }

@@ -23,9 +23,35 @@ use crate::error::ViewError;
 use crate::kind::ViewKind;
 use crate::ops::{DirtyMask, ViewOp};
 use droidsim_bundle::Bundle;
-use droidsim_kernel::Symbol;
+use droidsim_kernel::{alloc_track, Symbol};
 use serde::{Deserialize, Serialize};
+use std::cell::RefCell;
+use std::collections::hash_map::Entry;
 use std::collections::HashMap;
+
+thread_local! {
+    /// Reusable DFS stack for [`ViewTree::for_each_id`]-style traversals:
+    /// the save/restore, coupling, and migration paths walk the tree many
+    /// times per configuration change, and each walk used to allocate a
+    /// fresh id vector.
+    static SCRATCH_STACK: RefCell<Vec<ViewId>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Runs `f` with this thread's reusable traversal stack (cleared first).
+/// Falls back to a fresh stack — counted as an allocation event — when
+/// the scratch is already held by an outer traversal on this thread.
+fn with_scratch_stack<R>(f: impl FnOnce(&mut Vec<ViewId>) -> R) -> R {
+    SCRATCH_STACK.with(|cell| match cell.try_borrow_mut() {
+        Ok(mut stack) => {
+            stack.clear();
+            f(&mut stack)
+        }
+        Err(_) => {
+            alloc_track::note(1);
+            f(&mut Vec::new())
+        }
+    })
+}
 
 droidsim_kernel::define_id! {
     /// Identifies one view *instance* within a tree.
@@ -100,12 +126,16 @@ pub struct ViewTree {
     nodes: Vec<Option<ViewNode>>,
     root: ViewId,
     released: bool,
-    pending_invalidations: Vec<ViewId>,
-    /// Which attributes each pending view dirtied since the last drain.
-    /// Repeat invalidations of the same view OR into the same entry, so
-    /// the map size is the *coalesced* count while
-    /// `pending_invalidations.len()` is the raw count.
-    pending_dirty: HashMap<ViewId, DirtyMask>,
+    /// Pending invalidations, coalesced *at insert time*: one entry per
+    /// dirty view in first-invalidation order, carrying the OR-ed dirty
+    /// mask and the raw invalidation count that folded into it. Draining
+    /// is a linear sweep over this vector — no per-drain hash map.
+    pending: Vec<(ViewId, DirtyMask, usize)>,
+    /// View → position in `pending`, so a repeat invalidation is an O(1)
+    /// in-place OR instead of a new entry.
+    pending_pos: HashMap<ViewId, usize>,
+    /// Raw (uncoalesced) invalidations since the last drain.
+    raw_pending: usize,
     /// RCHDroid hook: when true the tree is in the Shadow state — it is
     /// invisible but alive, and its invalidations are what lazy migration
     /// consumes.
@@ -126,6 +156,11 @@ pub struct ViewTree {
     /// [`ViewTree::rebuild_id_name_index`] (lowest live view id wins for
     /// duplicate names).
     id_name_index: HashMap<Symbol, ViewId>,
+    /// Live duplicate-name bearers *not* currently in the index, per
+    /// name, in ascending id order (appends stay sorted because view ids
+    /// only grow). Removal promotes the front entry instead of rescanning
+    /// the arena, making index maintenance O(shadowed) per removed name.
+    shadowed_ids: HashMap<Symbol, Vec<ViewId>>,
 }
 
 impl ViewTree {
@@ -144,16 +179,19 @@ impl ViewTree {
             saves_state: true,
             freezes_text: false,
         };
+        alloc_track::note(1);
         ViewTree {
             nodes: vec![Some(decor)],
             root,
             released: false,
-            pending_invalidations: Vec::new(),
-            pending_dirty: HashMap::new(),
+            pending: Vec::new(),
+            pending_pos: HashMap::new(),
+            raw_pending: 0,
             shadow: false,
             sunny: false,
             coupling_side: None,
             id_name_index: HashMap::from([(decor_name, root)]),
+            shadowed_ids: HashMap::new(),
         }
     }
 
@@ -182,8 +220,9 @@ impl ViewTree {
     /// [`ViewError::NullPointer`] — the stock-Android crash scenario.
     pub fn release(&mut self) {
         self.released = true;
-        self.pending_invalidations.clear();
-        self.pending_dirty.clear();
+        self.pending.clear();
+        self.pending_pos.clear();
+        self.raw_pending = 0;
     }
 
     fn check_alive(&self, view: ViewId) -> Result<(), ViewError> {
@@ -247,9 +286,15 @@ impl ViewTree {
             freezes_text,
         }));
         if let Some(name) = id_name {
-            // New ids are strictly increasing, so or_insert preserves the
-            // lowest-id-wins invariant without consulting the arena.
-            self.id_name_index.entry(name).or_insert(id);
+            // New ids are strictly increasing, so the first bearer stays
+            // the lowest; later bearers queue in the shadowed list, which
+            // stays sorted because appends only ever add larger ids.
+            match self.id_name_index.entry(name) {
+                Entry::Vacant(e) => {
+                    e.insert(id);
+                }
+                Entry::Occupied(_) => self.shadowed_ids.entry(name).or_default().push(id),
+            }
         }
         self.view_mut(parent)?.children.push(id);
         Ok(id)
@@ -286,15 +331,28 @@ impl ViewTree {
         }
         for (name, removed_id) in removed_names {
             if self.id_name_index.get(&name) == Some(&removed_id) {
-                // The indexed occurrence left the tree; fall back to the
-                // next-lowest live view with the same name, if any.
-                match self.lowest_live_with_name(name) {
-                    Some(next) => {
+                // The indexed occurrence left the tree; promote the
+                // lowest shadowed bearer — O(shadowed) bookkeeping
+                // instead of the old full arena rescan.
+                match self.shadowed_ids.get_mut(&name) {
+                    Some(shadowed) if !shadowed.is_empty() => {
+                        let next = shadowed.remove(0);
+                        if shadowed.is_empty() {
+                            self.shadowed_ids.remove(&name);
+                        }
                         self.id_name_index.insert(name, next);
                     }
-                    None => {
+                    _ => {
+                        self.shadowed_ids.remove(&name);
                         self.id_name_index.remove(&name);
                     }
+                }
+            } else if let Some(shadowed) = self.shadowed_ids.get_mut(&name) {
+                if let Some(pos) = shadowed.iter().position(|&v| v == removed_id) {
+                    shadowed.remove(pos);
+                }
+                if shadowed.is_empty() {
+                    self.shadowed_ids.remove(&name);
                 }
             }
         }
@@ -306,14 +364,11 @@ impl ViewTree {
         Ok(())
     }
 
-    /// The lowest live view id carrying `name` (arena scan; only used on
-    /// the rare remove-of-an-indexed-name path).
-    fn lowest_live_with_name(&self, name: Symbol) -> Option<ViewId> {
-        self.nodes
-            .iter()
-            .flatten()
-            .find(|n| n.id_name == Some(name))
-            .map(|n| n.id)
+    /// Number of live duplicate-name bearers currently shadowed by a
+    /// lower-id view. Exposed so the property tests can check the
+    /// removal bookkeeping against the arena.
+    pub fn shadowed_duplicate_count(&self) -> usize {
+        self.shadowed_ids.values().map(Vec::len).sum()
     }
 
     /// Applies a mutation and records an invalidation (the generic update
@@ -370,11 +425,23 @@ impl ViewTree {
         self.invalidate_attrs(id, DirtyMask::all())
     }
 
-    /// Marks a view dirty for a known set of attributes.
+    /// Marks a view dirty for a known set of attributes. Coalescing
+    /// happens here, at insert time: a repeat invalidation ORs into the
+    /// view's existing entry, so draining is a plain sweep.
     pub fn invalidate_attrs(&mut self, id: ViewId, dirty: DirtyMask) -> Result<(), ViewError> {
         self.view(id)?;
-        self.pending_invalidations.push(id);
-        *self.pending_dirty.entry(id).or_default() |= dirty;
+        self.raw_pending += 1;
+        match self.pending_pos.entry(id) {
+            Entry::Occupied(e) => {
+                let entry = &mut self.pending[*e.get()];
+                entry.1 |= dirty;
+                entry.2 += 1;
+            }
+            Entry::Vacant(e) => {
+                e.insert(self.pending.len());
+                self.pending.push((id, dirty, 1));
+            }
+        }
         Ok(())
     }
 
@@ -398,56 +465,62 @@ impl ViewTree {
     /// number of raw invalidations that coalesced into it — what the
     /// batched migration queue needs for its coalesce-ratio accounting.
     pub fn drain_dirty_counted(&mut self) -> Vec<(ViewId, DirtyMask, usize)> {
-        let mut counts: HashMap<ViewId, usize> = HashMap::new();
-        let mut order = Vec::new();
-        for id in self.pending_invalidations.drain(..) {
-            match counts.entry(id) {
-                std::collections::hash_map::Entry::Vacant(e) => {
-                    e.insert(1);
-                    order.push(id);
-                }
-                std::collections::hash_map::Entry::Occupied(mut e) => *e.get_mut() += 1,
-            }
+        alloc_track::note(1);
+        self.pending_pos.clear();
+        self.raw_pending = 0;
+        self.pending.drain(..).collect()
+    }
+
+    /// Zero-allocation drain: streams each coalesced `(view, mask, raw
+    /// count)` entry into `f` in first-invalidation order and resets the
+    /// pending state, keeping buffer capacity for the next frame. This
+    /// is the migration engine's hot path;
+    /// [`ViewTree::drain_dirty_counted`] is the allocating convenience
+    /// wrapper.
+    pub fn drain_dirty_with(&mut self, mut f: impl FnMut(ViewId, DirtyMask, usize)) {
+        self.pending_pos.clear();
+        self.raw_pending = 0;
+        for (id, mask, count) in self.pending.drain(..) {
+            f(id, mask, count);
         }
-        let drained = order
-            .into_iter()
-            .map(|id| {
-                (
-                    id,
-                    self.pending_dirty.get(&id).copied().unwrap_or_default(),
-                    counts[&id],
-                )
-            })
-            .collect();
-        self.pending_dirty.clear();
-        drained
     }
 
     /// Raw (uncoalesced) number of invalidations recorded since the last
     /// drain.
     pub fn pending_invalidation_count(&self) -> usize {
-        self.pending_invalidations.len()
+        self.raw_pending
     }
 
     /// Number of distinct views with pending invalidations — the size a
     /// drained batch would have.
     pub fn pending_dirty_views(&self) -> usize {
-        self.pending_dirty.len()
+        self.pending.len()
     }
 
-    /// Pre-order traversal of live view ids.
+    /// Pre-order traversal of live view ids, materialised as a vector.
+    /// Allocates; hot paths use [`ViewTree::for_each_id`] instead.
     pub fn iter_ids(&self) -> Vec<ViewId> {
-        let mut out = Vec::new();
-        let mut stack = vec![self.root];
-        while let Some(id) = stack.pop() {
-            if let Some(node) = self.nodes.get(id.raw() as usize).and_then(Option::as_ref) {
-                out.push(id);
-                for &child in node.children.iter().rev() {
-                    stack.push(child);
+        alloc_track::note(1);
+        let mut out = Vec::with_capacity(self.nodes.len());
+        self.for_each_id(|id| out.push(id));
+        out
+    }
+
+    /// Pre-order traversal of live view ids without materialising an id
+    /// list: the ids stream through `f` while the DFS runs on this
+    /// thread's reusable scratch stack.
+    pub fn for_each_id(&self, mut f: impl FnMut(ViewId)) {
+        with_scratch_stack(|stack| {
+            stack.push(self.root);
+            while let Some(id) = stack.pop() {
+                if let Some(node) = self.nodes.get(id.raw() as usize).and_then(Option::as_ref) {
+                    f(id);
+                    for &child in node.children.iter().rev() {
+                        stack.push(child);
+                    }
                 }
             }
-        }
-        out
+        });
     }
 
     /// Number of live views.
@@ -474,10 +547,10 @@ impl ViewTree {
     /// without ids are skipped — exactly Android's (lossy) contract.
     pub fn save_hierarchy_state(&self) -> Bundle {
         let mut out = Bundle::new();
-        for id in self.iter_ids() {
-            let Ok(node) = self.view(id) else { continue };
+        self.for_each_id(|id| {
+            let Ok(node) = self.view(id) else { return };
             if !node.saves_state {
-                continue; // custom view without onSaveInstanceState
+                return; // custom view without onSaveInstanceState
             }
             if let Some(name) = node.id_name {
                 let mut state = node.attrs.save_user_state();
@@ -488,7 +561,7 @@ impl ViewTree {
                     out.put_bundle(name.hierarchy_key(), state);
                 }
             }
-        }
+        });
         out
     }
 
@@ -496,18 +569,30 @@ impl ViewTree {
     /// [`ViewTree::save_hierarchy_state`], matching views by id name.
     /// Unknown names are ignored (the new layout may not contain them).
     pub fn restore_hierarchy_state(&mut self, state: &Bundle) {
-        for id in self.iter_ids() {
-            let Ok(node) = self.view(id) else { continue };
-            let Some(name) = node.id_name else {
-                continue;
-            };
-            if let Some(saved) = state.bundle(name.hierarchy_key()) {
-                let saved = saved.clone();
-                if let Ok(node) = self.view_mut(id) {
-                    node.attrs.restore_user_state(&saved);
+        if self.released {
+            return;
+        }
+        with_scratch_stack(|stack| {
+            stack.push(self.root);
+            while let Some(id) = stack.pop() {
+                let Some(node) = self
+                    .nodes
+                    .get_mut(id.raw() as usize)
+                    .and_then(Option::as_mut)
+                else {
+                    continue;
+                };
+                for &child in node.children.iter().rev() {
+                    stack.push(child);
+                }
+                let Some(name) = node.id_name else {
+                    continue;
+                };
+                if let Some(saved) = state.bundle(name.hierarchy_key()) {
+                    node.attrs.restore_user_state(saved);
                 }
             }
-        }
+        });
     }
 
     // ---- RCHDroid hook points (Table 2 patch surface) ----
@@ -568,18 +653,30 @@ impl ViewTree {
     /// (shadow) tree by looking up each view's id name in a sunny tree's
     /// index. Returns how many views were mapped.
     pub fn set_sunny_peers(&mut self, sunny_index: &HashMap<Symbol, ViewId>) -> usize {
-        let ids = self.iter_ids();
-        let mut mapped = 0;
-        for id in ids {
-            let Ok(node) = self.view_mut(id) else {
-                continue;
-            };
-            node.sunny_peer = node.id_name.and_then(|n| sunny_index.get(&n)).copied();
-            if node.sunny_peer.is_some() {
-                mapped += 1;
-            }
+        if self.released {
+            return 0;
         }
-        mapped
+        with_scratch_stack(|stack| {
+            stack.push(self.root);
+            let mut mapped = 0;
+            while let Some(id) = stack.pop() {
+                let Some(node) = self
+                    .nodes
+                    .get_mut(id.raw() as usize)
+                    .and_then(Option::as_mut)
+                else {
+                    continue;
+                };
+                for &child in node.children.iter().rev() {
+                    stack.push(child);
+                }
+                node.sunny_peer = node.id_name.and_then(|n| sunny_index.get(&n)).copied();
+                if node.sunny_peer.is_some() {
+                    mapped += 1;
+                }
+            }
+            mapped
+        })
     }
 
     /// Clears every sunny-peer pointer (used when the coupling is broken,

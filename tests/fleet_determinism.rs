@@ -10,8 +10,8 @@ use droidsim_app::SimpleApp;
 use droidsim_device::{Device, HandlingMode};
 use droidsim_faults::{FaultPlan, FaultSite};
 use droidsim_fleet::{
-    combine_ordered, run_fleet, run_fleet_supervised, Digest, FleetConfig, FleetOptions, TaskCtx,
-    TaskOutcome,
+    combine_indexed, combine_ordered, run_fleet, run_fleet_reduce, run_fleet_supervised, Digest,
+    FleetConfig, FleetOptions, TaskCtx, TaskOutcome,
 };
 use droidsim_kernel::SimDuration;
 
@@ -44,9 +44,7 @@ fn device_digest(fault_seed: u64, jitter_seed: u64) -> u64 {
     }
 
     let mut digest = Digest::new();
-    for line in d.logcat(None) {
-        digest.write_str(&line);
-    }
+    d.for_each_logcat_line(None, |line| digest.write_str(line));
     digest.write_str(&d.device_metrics(&c).unwrap().deterministic_fingerprint());
     digest.write_u64(u64::from(d.is_crashed(&c)));
     digest.write_str(d.foreground_component().as_deref().unwrap_or("<none>"));
@@ -92,6 +90,93 @@ fn parallel_fleet_is_bit_identical_to_serial() {
                 "seed {seed}: reduced digest diverged at jobs={jobs}"
             );
         }
+    }
+}
+
+/// Wide enough that `claim_chunk` actually batches: at `jobs=2` the
+/// first claim takes `24 / (4*2) = 3` tasks per cursor bump, so this
+/// fleet exercises the K>1 chunked-claiming path the 8-device fleets
+/// never reach.
+const WIDE: usize = 24;
+
+#[test]
+fn chunked_claiming_and_streaming_reduce_match_inline() {
+    for seed in [1u64, 2, 3] {
+        let items: Vec<usize> = (0..WIDE).collect();
+        let serial = run_fleet(&FleetConfig::new(1, seed), items.clone(), device_task);
+        let reduce_serial = run_fleet_reduce(&FleetConfig::new(1, seed), &items, |ctx, &i| {
+            device_task(ctx, i)
+        });
+        // The streaming reduction is by definition the indexed fold of
+        // the per-task digests.
+        let tagged: Vec<(u64, u64)> = serial
+            .iter()
+            .enumerate()
+            .map(|(i, &d)| (i as u64, d))
+            .collect();
+        assert_eq!(reduce_serial, combine_indexed(tagged), "seed {seed}");
+        for jobs in [2usize, 4] {
+            assert_eq!(
+                run_fleet(&FleetConfig::new(jobs, seed), items.clone(), device_task),
+                serial,
+                "seed {seed}: chunked claiming at jobs={jobs} diverged"
+            );
+            assert_eq!(
+                run_fleet_reduce(
+                    &FleetConfig::new(jobs, seed),
+                    &items,
+                    |ctx, &i| device_task(ctx, i)
+                ),
+                reduce_serial,
+                "seed {seed}: streaming reduce at jobs={jobs} diverged"
+            );
+        }
+    }
+}
+
+#[test]
+fn chunked_supervised_run_with_retries_matches_inline_unordered() {
+    // The supervised driver claims the same K>1 chunks; a forced
+    // transient fault (first attempt of task 3 panics, the retry
+    // re-derives the identical stream) must leave both the ordered and
+    // the unordered study digests bit-identical to the inline run.
+    let items: Vec<usize> = (0..WIDE).collect();
+    let plan = FaultPlan::seeded(5).on_nth_probe(FaultSite::FleetTask, 4);
+    let opts = FleetOptions::new().with_retries(2).with_faults(plan);
+    let inline = run_fleet_supervised(
+        &FleetConfig::new(1, 5),
+        &opts,
+        items.clone(),
+        device_task,
+        |d| *d,
+    )
+    .unwrap();
+    assert!(inline.report.is_clean(), "{}", inline.report.render());
+    for jobs in [2usize, 4] {
+        let run = run_fleet_supervised(
+            &FleetConfig::new(jobs, 5),
+            &opts,
+            items.clone(),
+            device_task,
+            |d| *d,
+        )
+        .unwrap();
+        assert!(
+            run.report.is_clean(),
+            "jobs={jobs}: {}",
+            run.report.render()
+        );
+        assert_eq!(run.report.ledger.retries, 1, "jobs={jobs}");
+        assert_eq!(
+            run.combined_digest(),
+            inline.combined_digest(),
+            "jobs={jobs}: ordered study digest diverged"
+        );
+        assert_eq!(
+            run.combined_digest_unordered(),
+            inline.combined_digest_unordered(),
+            "jobs={jobs}: unordered study digest diverged"
+        );
     }
 }
 

@@ -104,6 +104,18 @@ proptest! {
                 .unwrap();
             prop_assert_eq!(id, lowest);
         }
+        // The shadowed-duplicate side index (which makes removal
+        // O(depth) instead of a full arena rescan) accounts for exactly
+        // the live named bearers that lost the lowest-id race.
+        let named_bearers = tree
+            .iter_ids()
+            .into_iter()
+            .filter(|&v| tree.view(v).unwrap().id_name.is_some())
+            .count();
+        prop_assert_eq!(
+            tree.shadowed_duplicate_count(),
+            named_bearers - tree.id_name_index().len()
+        );
         // And the public lookup agrees with the index for every pool
         // name, present or not.
         for name in NAME_POOL {

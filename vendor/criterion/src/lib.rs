@@ -55,10 +55,26 @@ fn json_escape(s: &str) -> String {
     out
 }
 
+/// The machine block embedded in every `CRITERION_JSON` document: the
+/// logical-core count and how `DROIDSIM_JOBS` resolved when the
+/// estimates were taken. A committed reference file carries this so a
+/// regression gate can tell "slower code" apart from "smaller machine".
+pub fn machine_metadata_json() -> String {
+    let cores = std::thread::available_parallelism().map_or(0, |n| n.get());
+    let jobs = std::env::var("DROIDSIM_JOBS").unwrap_or_else(|_| "unset".to_string());
+    format!(
+        "  \"machine\": {{\"logical_cores\": {cores}, \"droidsim_jobs\": \"{}\"}},\n",
+        json_escape(&jobs)
+    )
+}
+
 /// Renders estimates as the compact JSON document `CRITERION_JSON`
-/// emits: `{"benchmarks": [{"id", "mean_ns", "iterations"}, ...]}`.
+/// emits: `{"machine": {...}, "benchmarks": [{"id", "mean_ns",
+/// "iterations"}, ...]}`.
 pub fn render_estimates_json(estimates: &[Estimate]) -> String {
-    let mut out = String::from("{\n  \"benchmarks\": [\n");
+    let mut out = String::from("{\n");
+    out.push_str(&machine_metadata_json());
+    out.push_str("  \"benchmarks\": [\n");
     for (i, e) in estimates.iter().enumerate() {
         let sep = if i + 1 == estimates.len() { "" } else { "," };
         out.push_str(&format!(
@@ -413,7 +429,9 @@ mod tests {
             },
         ];
         let doc = render_estimates_json(&estimates);
-        assert!(doc.starts_with("{\n  \"benchmarks\": [\n"));
+        assert!(doc.starts_with("{\n  \"machine\": {\"logical_cores\": "));
+        assert!(doc.contains("\"droidsim_jobs\": "));
+        assert!(doc.contains("  \"benchmarks\": [\n"));
         assert!(
             doc.contains("{\"id\": \"grp/eager/27v\", \"mean_ns\": 1234.5, \"iterations\": 10},")
         );
