@@ -4,10 +4,10 @@
 CARGO ?= cargo
 
 .PHONY: ci build test fmt fmt-fix clippy bench-smoke fault-matrix \
-	fleet-determinism bench-json bench-gate soak lint-study
+	fleet-determinism bench-json bench-gate soak lint-study daemon-soak
 
 ci: build test fmt clippy fault-matrix fleet-determinism bench-smoke \
-	lint-study soak
+	lint-study soak daemon-soak
 
 # Seeds for the fault-injection suite. Debug builds keep the
 # batched-vs-eager equivalence checker armed, so each seed also
@@ -55,6 +55,16 @@ fleet-determinism:
 # journal and crash dumps land under target/soak/ for CI to archive.
 soak:
 	$(CARGO) run -q --release -p rch-experiments --bin soak
+
+# Daemon soak (DESIGN.md §12): droidsim-load drives droidsimd at 2x its
+# queue capacity with 5% injected worker panics; the script SIGKILLs
+# the daemon mid-backlog and restarts it on the same journal. Gate:
+# zero lost acknowledged jobs, every digest equal to the jobs=1
+# reference, explicit rejections only. Journal lands in
+# target/daemon-soak/ for CI to archive.
+daemon-soak:
+	$(CARGO) build --release -q -p rch-experiments --bins
+	bash scripts/daemon_soak.sh
 
 # The static-analysis study (DESIGN.md §10): every known-issue-free
 # corpus app must lint clean even under --deny-warnings, and the

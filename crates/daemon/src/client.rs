@@ -1,0 +1,179 @@
+//! A blocking client for the daemon's line protocol.
+//!
+//! One [`Client`] owns one connection and issues one request line at a
+//! time, reading exactly one response line per request (the protocol
+//! has no server pushes, so this lock-step discipline is complete).
+//! The typed helpers ([`Client::submit`], [`Client::wait`], …) wrap
+//! [`Client::request`], which is public so tools can speak extensions
+//! the helpers do not know.
+
+use std::io::{self, BufRead, BufReader, Write};
+use std::os::unix::net::UnixStream;
+use std::path::Path;
+use std::time::{Duration, Instant};
+
+use droidsim_kernel::journal;
+
+use crate::daemon::{Admission, JobStatus, ShutdownMode};
+use crate::spec::JobSpec;
+
+/// A connected protocol client (see module docs).
+#[derive(Debug)]
+pub struct Client {
+    reader: BufReader<UnixStream>,
+}
+
+impl Client {
+    /// Connects to a listening daemon socket.
+    pub fn connect(socket_path: &Path) -> io::Result<Client> {
+        let stream = UnixStream::connect(socket_path)?;
+        Ok(Client {
+            reader: BufReader::new(stream),
+        })
+    }
+
+    /// Connects, retrying until `timeout` — for racing a daemon that is
+    /// still starting up (or restarting).
+    pub fn connect_retry(socket_path: &Path, timeout: Duration) -> io::Result<Client> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            match Client::connect(socket_path) {
+                Ok(client) => return Ok(client),
+                Err(e) if Instant::now() >= deadline => return Err(e),
+                Err(_) => std::thread::sleep(Duration::from_millis(10)),
+            }
+        }
+    }
+
+    /// Sends one request line and reads one response line, decoded.
+    pub fn request(&mut self, fields: &[(&str, &str)]) -> io::Result<Vec<(String, String)>> {
+        let line = journal::encode_line(fields);
+        let stream = self.reader.get_mut();
+        writeln!(stream, "{line}")?;
+        stream.flush()?;
+        let mut response = String::new();
+        if self.reader.read_line(&mut response)? == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "daemon closed the connection",
+            ));
+        }
+        journal::decode_line(&response).ok_or_else(|| {
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("unparseable response: {response:?}"),
+            )
+        })
+    }
+
+    /// `cmd=ping` — true when the daemon answers.
+    pub fn ping(&mut self) -> io::Result<bool> {
+        let resp = self.request(&[("cmd", "ping")])?;
+        Ok(journal::field(&resp, "pong") == Some("1"))
+    }
+
+    /// Submits a job, returning the daemon's explicit verdict.
+    pub fn submit(&mut self, spec: &JobSpec) -> io::Result<Admission> {
+        let owned = spec.kv_fields();
+        let mut fields: Vec<(&str, &str)> = vec![("cmd", "submit")];
+        fields.extend(owned.iter().map(|(k, v)| (*k, v.as_str())));
+        let resp = self.request(&fields)?;
+        match journal::field(&resp, "result") {
+            Some("accepted") => {
+                let id = journal::field(&resp, "job_id")
+                    .and_then(|v| v.parse().ok())
+                    .ok_or_else(|| bad_response("accepted without job_id"))?;
+                let queue_depth = journal::field(&resp, "queue_depth")
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or(0);
+                Ok(Admission::Accepted { id, queue_depth })
+            }
+            Some("rejected") => Ok(Admission::Rejected {
+                reason: journal::field(&resp, "reason")
+                    .unwrap_or("unspecified")
+                    .to_owned(),
+            }),
+            _ => Err(bad_response(&render(&resp))),
+        }
+    }
+
+    /// `cmd=status` for one job.
+    pub fn status(&mut self, id: u64) -> io::Result<JobStatus> {
+        let resp = self.request(&[("cmd", "status"), ("job_id", &id.to_string())])?;
+        parse_status(&resp)
+    }
+
+    /// `cmd=wait` — blocks (server-side) until the job settles or the
+    /// timeout elapses, returning the status either way.
+    pub fn wait(&mut self, id: u64, timeout: Duration) -> io::Result<JobStatus> {
+        let timeout_ms = timeout.as_millis().to_string();
+        let resp = self.request(&[
+            ("cmd", "wait"),
+            ("job_id", &id.to_string()),
+            ("timeout_ms", &timeout_ms),
+        ])?;
+        parse_status(&resp)
+    }
+
+    /// `cmd=cancel` — requests cooperative cancellation.
+    pub fn cancel(&mut self, id: u64) -> io::Result<JobStatus> {
+        let resp = self.request(&[("cmd", "cancel"), ("job_id", &id.to_string())])?;
+        parse_status(&resp)
+    }
+
+    /// `cmd=health` — the coarse liveness fields.
+    pub fn health(&mut self) -> io::Result<Vec<(String, String)>> {
+        self.request(&[("cmd", "health")])
+    }
+
+    /// `cmd=stats` — the full ledger snapshot as decoded fields.
+    pub fn stats(&mut self) -> io::Result<Vec<(String, String)>> {
+        self.request(&[("cmd", "stats")])
+    }
+
+    /// `cmd=shutdown` — stops the daemon; the response arrives after
+    /// the stop completes. A connection that dies after the request is
+    /// sent also counts as success: a stopping `droidsimd` process may
+    /// exit before its handler thread flushes the response line, and
+    /// the daemon going away is exactly what was asked for.
+    pub fn shutdown(&mut self, mode: ShutdownMode) -> io::Result<()> {
+        let resp = match self.request(&[("cmd", "shutdown"), ("mode", mode.name())]) {
+            Ok(resp) => resp,
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::UnexpectedEof
+                        | io::ErrorKind::ConnectionReset
+                        | io::ErrorKind::BrokenPipe
+                ) =>
+            {
+                return Ok(())
+            }
+            Err(e) => return Err(e),
+        };
+        if journal::field(&resp, "result") == Some("stopped") {
+            Ok(())
+        } else {
+            Err(bad_response(&render(&resp)))
+        }
+    }
+}
+
+fn parse_status(resp: &[(String, String)]) -> io::Result<JobStatus> {
+    if journal::field(resp, "ok") != Some("true") {
+        return Err(bad_response(&render(resp)));
+    }
+    JobStatus::from_fields(resp).map_err(|e| bad_response(&e))
+}
+
+fn bad_response(detail: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, format!("daemon: {detail}"))
+}
+
+fn render(fields: &[(String, String)]) -> String {
+    fields
+        .iter()
+        .map(|(k, v)| format!("{k}={v}"))
+        .collect::<Vec<_>>()
+        .join(" ")
+}

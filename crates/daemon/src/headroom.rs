@@ -1,0 +1,121 @@
+//! Memory-headroom probing for the load-shedding watchdog.
+//!
+//! The daemon's reclaim policy needs one bit — "is the host short on
+//! memory right now?" — plus a way for tests to flip that bit
+//! deterministically. [`HeadroomProbe`] provides both: the production
+//! variant reads `MemAvailable` from `/proc/meminfo` each watchdog
+//! tick, and the [`HeadroomProbe::Fixed`] variant reads a shared
+//! atomic a test (or an operator's load generator) can set at will.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// How the daemon decides whether the host is under memory pressure.
+#[derive(Debug, Clone, Default)]
+pub enum HeadroomProbe {
+    /// Never under pressure; the reclaim pass never fires.
+    #[default]
+    Disabled,
+    /// Test/operator-controlled: pressure iff the shared atomic (KiB
+    /// of available memory) is below the floor.
+    Fixed {
+        /// Shared "available memory" gauge, in KiB.
+        available_kib: Arc<AtomicU64>,
+        /// Pressure threshold, in KiB.
+        floor_kib: u64,
+    },
+    /// Production: pressure iff `/proc/meminfo` `MemAvailable` is
+    /// below the floor. An unreadable or absent `/proc/meminfo`
+    /// (non-Linux hosts) reads as *no* pressure — shedding must never
+    /// be triggered by a probe failure.
+    Proc {
+        /// Pressure threshold, in KiB.
+        floor_kib: u64,
+    },
+}
+
+impl HeadroomProbe {
+    /// A probe that never reports pressure.
+    pub fn disabled() -> HeadroomProbe {
+        HeadroomProbe::Disabled
+    }
+
+    /// A deterministic probe backed by a shared gauge (see
+    /// [`HeadroomProbe::Fixed`]).
+    pub fn fixed(available_kib: Arc<AtomicU64>, floor_kib: u64) -> HeadroomProbe {
+        HeadroomProbe::Fixed {
+            available_kib,
+            floor_kib,
+        }
+    }
+
+    /// The production `/proc/meminfo` probe.
+    pub fn proc_meminfo(floor_kib: u64) -> HeadroomProbe {
+        HeadroomProbe::Proc { floor_kib }
+    }
+
+    /// Available memory in KiB, when the probe can tell.
+    pub fn available_kib(&self) -> Option<u64> {
+        match self {
+            HeadroomProbe::Disabled => None,
+            HeadroomProbe::Fixed { available_kib, .. } => {
+                Some(available_kib.load(Ordering::Acquire))
+            }
+            HeadroomProbe::Proc { .. } => meminfo_available_kib(),
+        }
+    }
+
+    /// Whether the reclaim pass should fire this tick.
+    pub fn under_pressure(&self) -> bool {
+        let floor = match self {
+            HeadroomProbe::Disabled => return false,
+            HeadroomProbe::Fixed { floor_kib, .. } | HeadroomProbe::Proc { floor_kib } => {
+                *floor_kib
+            }
+        };
+        self.available_kib().is_some_and(|kib| kib < floor)
+    }
+}
+
+/// Parses `MemAvailable:` out of `/proc/meminfo`. `None` when the file
+/// or the line is missing (non-Linux, exotic kernels).
+fn meminfo_available_kib() -> Option<u64> {
+    let text = std::fs::read_to_string("/proc/meminfo").ok()?;
+    for line in text.lines() {
+        if let Some(rest) = line.strip_prefix("MemAvailable:") {
+            return rest.split_whitespace().next().and_then(|v| v.parse().ok());
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixed_probe_tracks_the_shared_gauge() {
+        let gauge = Arc::new(AtomicU64::new(1_000_000));
+        let probe = HeadroomProbe::fixed(gauge.clone(), 500_000);
+        assert!(!probe.under_pressure());
+        gauge.store(499_999, Ordering::Release);
+        assert!(probe.under_pressure());
+        assert_eq!(probe.available_kib(), Some(499_999));
+        gauge.store(500_000, Ordering::Release);
+        assert!(!probe.under_pressure(), "floor itself is not pressure");
+    }
+
+    #[test]
+    fn disabled_probe_never_pressures() {
+        let probe = HeadroomProbe::disabled();
+        assert!(!probe.under_pressure());
+        assert_eq!(probe.available_kib(), None);
+    }
+
+    #[test]
+    fn proc_probe_is_fail_safe() {
+        // Whatever the host: a floor of 0 KiB can never be undercut,
+        // and a probe failure must read as "no pressure".
+        assert!(!HeadroomProbe::proc_meminfo(0).under_pressure());
+    }
+}

@@ -1,0 +1,368 @@
+//! The daemon's crash-safe acceptance journal.
+//!
+//! The durability contract of the daemon is **accept-before-ack**: a
+//! submission is journaled (and fsync'd) *before* the client receives
+//! its `accepted` response, and every terminal state transition is
+//! journaled when it happens. A daemon that crashes and restarts can
+//! therefore replay the journal and know exactly which acknowledged
+//! jobs have no terminal state yet — those are re-queued, and their
+//! per-job fleet journals (written by the supervised runner) let a
+//! half-finished study resume task-by-task to the same digest.
+//!
+//! The format is the same kernel `key=value` line codec as the fleet
+//! journal, with the same torn-tail rule: reading stops at the first
+//! malformed line, so a crash mid-append costs at most the record
+//! being written — never the records before it. A file whose header is
+//! not `kind=daemon-journal` is rejected outright (foreign journal),
+//! never silently reinterpreted.
+
+use std::collections::BTreeMap;
+use std::fs::{File, OpenOptions};
+use std::io::{BufRead, BufReader, Write};
+use std::path::Path;
+
+use droidsim_kernel::journal;
+
+use crate::spec::{JobSpec, JobState};
+use crate::{encode_fields, DaemonError};
+
+/// Journal format version written into (and required of) the header.
+pub const JOURNAL_VERSION: u32 = 1;
+
+/// One job as the journal remembers it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JournaledJob {
+    /// The daemon-assigned id.
+    pub id: u64,
+    /// The accepted spec.
+    pub spec: JobSpec,
+    /// The last journaled *terminal* state, `None` while incomplete —
+    /// an incomplete entry is an acknowledged promise a restarted
+    /// daemon must resume.
+    pub terminal: Option<JobState>,
+}
+
+/// Everything a journal replay reconstructs.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct JournalView {
+    /// Every accepted job in id order.
+    pub jobs: BTreeMap<u64, JournaledJob>,
+    /// The next id a restarted daemon may assign (max seen + 1).
+    pub next_id: u64,
+}
+
+impl JournalView {
+    /// Jobs acknowledged but not yet terminal — the resume set.
+    pub fn incomplete(&self) -> impl Iterator<Item = &JournaledJob> {
+        self.jobs.values().filter(|j| j.terminal.is_none())
+    }
+}
+
+/// Append handle to a daemon journal (see module docs).
+#[derive(Debug)]
+pub struct DaemonJournal {
+    file: File,
+}
+
+impl DaemonJournal {
+    /// Opens `path` for appending, writing the header if the file is
+    /// new or empty. An existing file must be a daemon journal of the
+    /// supported version — anything else is a [`DaemonError::Journal`]
+    /// — and a torn tail (the half-line a crash mid-append leaves) is
+    /// truncated away first, so new records land after the last valid
+    /// one instead of merging into the tear.
+    pub fn open_append(path: &Path) -> Result<DaemonJournal, DaemonError> {
+        let mut exists = path.exists() && std::fs::metadata(path)?.len() > 0;
+        if exists {
+            // Full validation: a foreign or corrupt header must fail
+            // *here*, before anything is appended after it. One
+            // exception: a header line torn mid-write (a crash during
+            // the very first append — no newline anywhere) proves no
+            // record was ever accepted, so the file restarts empty.
+            match DaemonJournal::replay(path) {
+                Ok((_, clean_len)) => {
+                    if clean_len < std::fs::metadata(path)?.len() {
+                        OpenOptions::new()
+                            .write(true)
+                            .open(path)?
+                            .set_len(clean_len)?;
+                    }
+                }
+                Err(e) => {
+                    if !DaemonJournal::is_torn_header(path)? {
+                        return Err(e);
+                    }
+                    OpenOptions::new().write(true).open(path)?.set_len(0)?;
+                    exists = false;
+                }
+            }
+        }
+        let mut file = OpenOptions::new().create(true).append(true).open(path)?;
+        if !exists {
+            let header = journal::encode_line(&[
+                ("kind", "daemon-journal"),
+                ("version", &JOURNAL_VERSION.to_string()),
+            ]);
+            writeln!(file, "{header}")?;
+            file.sync_data()?;
+        }
+        Ok(DaemonJournal { file })
+    }
+
+    /// Journals an acceptance. Must complete (including fsync) before
+    /// the client is told `accepted` — that ordering *is* the
+    /// durability contract.
+    pub fn record_accepted(&mut self, id: u64, spec: &JobSpec) -> Result<(), DaemonError> {
+        let mut fields = vec![("kind", "accepted".to_owned()), ("id", id.to_string())];
+        fields.extend(spec.kv_fields());
+        self.append(&fields)
+    }
+
+    /// Journals a terminal state transition. Non-terminal states are
+    /// never journaled (a restart infers `queued` from absence).
+    pub fn record_state(&mut self, id: u64, state: &JobState) -> Result<(), DaemonError> {
+        debug_assert!(state.is_terminal(), "only terminal states are journaled");
+        let mut fields = vec![("kind", "state".to_owned()), ("id", id.to_string())];
+        fields.extend(state.kv_fields());
+        self.append(&fields)
+    }
+
+    fn append(&mut self, fields: &[(&'static str, String)]) -> Result<(), DaemonError> {
+        writeln!(self.file, "{}", encode_fields(fields))?;
+        self.file.flush()?;
+        self.file.sync_data()?;
+        Ok(())
+    }
+
+    /// Whether the file's first line is torn mid-write: non-empty but
+    /// with no newline anywhere. Such a file never completed its
+    /// header, so it cannot contain an accepted record.
+    fn is_torn_header(path: &Path) -> Result<bool, DaemonError> {
+        use std::io::Read;
+        let mut first = Vec::new();
+        let mut reader = BufReader::new(File::open(path)?);
+        reader.read_to_end(&mut first)?;
+        Ok(!first.is_empty() && !first.contains(&b'\n'))
+    }
+
+    /// Replays a journal. Malformed tails (a torn final line, a record
+    /// referencing an id no `accepted` line introduced, an unknown
+    /// record kind) end the replay at that point — everything decoded
+    /// before the tear stands. A missing/foreign header is an error.
+    pub fn load(path: &Path) -> Result<JournalView, DaemonError> {
+        DaemonJournal::replay(path).map(|(view, _)| view)
+    }
+
+    /// [`DaemonJournal::load`] plus the byte length of the valid prefix
+    /// (everything up to and including the last decodable record) —
+    /// what [`DaemonJournal::open_append`] truncates a torn file to.
+    fn replay(path: &Path) -> Result<(JournalView, u64), DaemonError> {
+        let mut reader = BufReader::new(File::open(path)?);
+        let mut line = String::new();
+        let mut clean_len: u64 = 0;
+        let header_len = reader.read_line(&mut line)?;
+        let header = if line.ends_with('\n') {
+            journal::decode_line(&line)
+        } else {
+            None // empty, or a header torn mid-write: unreadable
+        }
+        .ok_or_else(|| {
+            DaemonError::Journal(format!("{}: missing or unreadable header", path.display()))
+        })?;
+        if journal::field(&header, "kind") != Some("daemon-journal") {
+            return Err(DaemonError::Journal(format!(
+                "{}: not a daemon journal",
+                path.display()
+            )));
+        }
+        let version: u32 = journal::field(&header, "version")
+            .and_then(|v| v.parse().ok())
+            .ok_or_else(|| {
+                DaemonError::Journal(format!("{}: header lacks a version", path.display()))
+            })?;
+        if version != JOURNAL_VERSION {
+            return Err(DaemonError::Journal(format!(
+                "{}: journal version {version} (this daemon speaks {JOURNAL_VERSION})",
+                path.display()
+            )));
+        }
+        clean_len += header_len as u64;
+        let mut view = JournalView {
+            next_id: 1,
+            ..JournalView::default()
+        };
+        loop {
+            line.clear();
+            let read = reader.read_line(&mut line)?;
+            if read == 0 || !line.ends_with('\n') {
+                break; // EOF, or a record torn mid-write
+            }
+            // `clean_len` only advances once the record is *accepted* —
+            // a complete-but-invalid line is part of the corrupt tail.
+            let Some(fields) = journal::decode_line(&line) else {
+                break;
+            };
+            let id: Option<u64> = journal::field(&fields, "id").and_then(|v| v.parse().ok());
+            let record = (journal::field(&fields, "kind"), id);
+            match record {
+                (Some("accepted"), Some(id)) => {
+                    let Ok(spec) = JobSpec::from_fields(&fields) else {
+                        break;
+                    };
+                    view.jobs.insert(
+                        id,
+                        JournaledJob {
+                            id,
+                            spec,
+                            terminal: None,
+                        },
+                    );
+                    view.next_id = view.next_id.max(id + 1);
+                }
+                (Some("state"), Some(id)) => {
+                    let Ok(state) = JobState::from_fields(&fields) else {
+                        break;
+                    };
+                    let Some(entry) = view.jobs.get_mut(&id) else {
+                        break; // state for an id never accepted: corrupt tail
+                    };
+                    if state.is_terminal() {
+                        entry.terminal = Some(state);
+                    }
+                }
+                _ => break, // unknown record kind or unparseable id
+            }
+            clean_len += read as u64;
+        }
+        Ok((view, clean_len))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::JobKind;
+    use std::fs;
+    use std::path::PathBuf;
+
+    fn scratch(name: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("droidsimd-journal-{name}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        dir.join("daemon.journal")
+    }
+
+    fn spec(seed: u64) -> JobSpec {
+        JobSpec::new(JobKind::Table5 { apps: 3 }).with_seed(seed)
+    }
+
+    #[test]
+    fn replay_reconstructs_accepted_and_terminal_jobs() {
+        let path = scratch("replay");
+        {
+            let mut j = DaemonJournal::open_append(&path).unwrap();
+            j.record_accepted(1, &spec(11)).unwrap();
+            j.record_accepted(2, &spec(22)).unwrap();
+            j.record_state(1, &JobState::Done { digest: 0xABCD })
+                .unwrap();
+            j.record_accepted(3, &spec(33)).unwrap();
+            j.record_state(
+                3,
+                &JobState::Shed {
+                    reason: "memory-pressure".to_owned(),
+                },
+            )
+            .unwrap();
+        }
+        let view = DaemonJournal::load(&path).unwrap();
+        assert_eq!(view.jobs.len(), 3);
+        assert_eq!(view.next_id, 4);
+        assert_eq!(
+            view.jobs[&1].terminal,
+            Some(JobState::Done { digest: 0xABCD })
+        );
+        assert_eq!(view.jobs[&2].terminal, None, "job 2 is the resume set");
+        let incomplete: Vec<u64> = view.incomplete().map(|j| j.id).collect();
+        assert_eq!(incomplete, vec![2]);
+        assert_eq!(view.jobs[&2].spec.seed, 22, "spec survives the round trip");
+    }
+
+    #[test]
+    fn torn_tail_keeps_the_prefix() {
+        let path = scratch("torn");
+        {
+            let mut j = DaemonJournal::open_append(&path).unwrap();
+            j.record_accepted(1, &spec(1)).unwrap();
+            j.record_state(1, &JobState::Done { digest: 7 }).unwrap();
+            j.record_accepted(2, &spec(2)).unwrap();
+        }
+        // Simulate a crash mid-append: chop the file mid-record.
+        let text = fs::read_to_string(&path).unwrap();
+        fs::write(&path, &text[..text.len() - 9]).unwrap();
+        let view = DaemonJournal::load(&path).unwrap();
+        assert_eq!(view.jobs[&1].terminal, Some(JobState::Done { digest: 7 }));
+        assert!(!view.jobs.contains_key(&2), "torn acceptance is dropped");
+        // And the journal reopens for appending after the tear.
+        let mut j = DaemonJournal::open_append(&path).unwrap();
+        j.record_accepted(9, &spec(9)).unwrap();
+        assert!(DaemonJournal::load(&path).unwrap().jobs.contains_key(&9));
+    }
+
+    #[test]
+    fn foreign_files_are_rejected_not_reinterpreted() {
+        let path = scratch("foreign");
+        fs::write(&path, "kind=header seed=1 items=4\n").unwrap(); // a *fleet* journal
+        assert!(matches!(
+            DaemonJournal::load(&path),
+            Err(DaemonError::Journal(_))
+        ));
+        assert!(
+            matches!(
+                DaemonJournal::open_append(&path),
+                Err(DaemonError::Journal(_))
+            ),
+            "appending to a foreign file must fail before writing"
+        );
+        fs::write(&path, "kind=daemon-journal version=99\n").unwrap();
+        assert!(matches!(
+            DaemonJournal::load(&path),
+            Err(DaemonError::Journal(_))
+        ));
+    }
+
+    #[test]
+    fn torn_header_restarts_the_journal_empty() {
+        let path = scratch("torn-header");
+        fs::write(&path, "kind=daemon-jour").unwrap(); // crash mid-header
+        assert!(
+            DaemonJournal::load(&path).is_err(),
+            "a torn header is unreadable"
+        );
+        // …but append recovery is safe: no record can exist before the
+        // header, so the file restarts empty instead of bricking.
+        let mut j = DaemonJournal::open_append(&path).unwrap();
+        j.record_accepted(1, &spec(1)).unwrap();
+        let view = DaemonJournal::load(&path).unwrap();
+        assert_eq!(view.jobs.len(), 1);
+        // A *complete* foreign header still refuses recovery.
+        fs::write(&path, "kind=fleet-journal version=1\n").unwrap();
+        assert!(DaemonJournal::open_append(&path).is_err());
+    }
+
+    #[test]
+    fn state_for_unknown_id_ends_the_replay() {
+        let path = scratch("unknown-id");
+        {
+            let mut j = DaemonJournal::open_append(&path).unwrap();
+            j.record_accepted(1, &spec(1)).unwrap();
+        }
+        let mut text = fs::read_to_string(&path).unwrap();
+        text.push_str("kind=state id=42 state=done digest=00000000000000ff\n");
+        text.push_str("kind=accepted id=5 job=fig10\n"); // after the tear: ignored
+        fs::write(&path, text).unwrap();
+        let view = DaemonJournal::load(&path).unwrap();
+        assert_eq!(view.jobs.len(), 1);
+        assert!(view.jobs.contains_key(&1));
+    }
+}

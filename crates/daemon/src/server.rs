@@ -1,0 +1,304 @@
+//! The Unix-socket front of the daemon: one `key=value` request line
+//! in, one response line out.
+//!
+//! The transport is deliberately as primitive as the journals: a local
+//! `SOCK_STREAM` Unix socket carrying newline-delimited records in the
+//! kernel's `key=value` codec. Any shell can drive it (`nc -U`), the
+//! [`Client`](crate::client::Client) wraps it, and every request is
+//! answered — malformed lines get `ok=false error=…` responses, never
+//! a dropped connection.
+//!
+//! | request                              | response                                      |
+//! |--------------------------------------|-----------------------------------------------|
+//! | `cmd=ping`                           | `ok=true pong=1`                              |
+//! | `cmd=submit job=… seed=… priority=…` | `ok=true result=accepted job_id=… queue_depth=…` or `ok=true result=rejected reason=…` |
+//! | `cmd=status job_id=…`                | `ok=true job_id=… state=… [digest=…] [reason=…]` |
+//! | `cmd=wait job_id=… [timeout_ms=…]`   | like `status`, plus `result=settled`/`timeout` |
+//! | `cmd=cancel job_id=…`                | like `status`                                 |
+//! | `cmd=health`                         | `ok=true state=… queue_depth=… in_flight=…`   |
+//! | `cmd=stats`                          | `ok=true` + the full daemon ledger + fleet fingerprint |
+//! | `cmd=shutdown [mode=drain\|now]`     | `ok=true result=stopped` (after stopping)     |
+
+use std::io::{BufRead, BufReader, Write};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::Path;
+use std::sync::Arc;
+use std::time::Duration;
+
+use droidsim_kernel::journal;
+
+use crate::daemon::{Admission, Daemon, ShutdownMode};
+use crate::spec::JobSpec;
+use crate::{encode_fields, DaemonError};
+
+/// Default `cmd=wait` timeout when the request names none.
+pub const DEFAULT_WAIT_MS: u64 = 60_000;
+
+/// Serves `daemon` on `socket_path` until the daemon stops. A stale
+/// socket file (a previous life that died hard) is replaced. Each
+/// connection gets its own thread; a connection may issue any number
+/// of requests.
+pub fn serve(daemon: &Arc<Daemon>, socket_path: &Path) -> Result<(), DaemonError> {
+    if socket_path.exists() {
+        std::fs::remove_file(socket_path)?;
+    }
+    let listener = UnixListener::bind(socket_path)?;
+    listener.set_nonblocking(true)?;
+    loop {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let daemon = Arc::clone(daemon);
+                std::thread::spawn(move || handle_connection(&daemon, stream));
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                if daemon.is_stopped() {
+                    break;
+                }
+                std::thread::sleep(Duration::from_millis(10));
+            }
+            Err(e) => {
+                let _ = std::fs::remove_file(socket_path);
+                return Err(DaemonError::Io(e));
+            }
+        }
+    }
+    let _ = std::fs::remove_file(socket_path);
+    Ok(())
+}
+
+fn handle_connection(daemon: &Arc<Daemon>, stream: UnixStream) {
+    let Ok(write_half) = stream.try_clone() else {
+        return;
+    };
+    let mut write_half = write_half;
+    let reader = BufReader::new(stream);
+    for line in reader.lines() {
+        let Ok(line) = line else {
+            return; // client went away
+        };
+        if line.trim().is_empty() {
+            continue;
+        }
+        let response = match journal::decode_line(&line) {
+            Some(fields) => dispatch(daemon, &fields),
+            None => error_response("malformed-request"),
+        };
+        if writeln!(write_half, "{}", encode_fields(&response)).is_err() {
+            return;
+        }
+        let _ = write_half.flush();
+    }
+}
+
+fn error_response(error: &str) -> Vec<(&'static str, String)> {
+    vec![("ok", "false".to_owned()), ("error", error.to_owned())]
+}
+
+fn status_response(daemon: &Daemon, id: Option<u64>) -> Vec<(&'static str, String)> {
+    let Some(id) = id else {
+        return error_response("missing-job-id");
+    };
+    match daemon.status(id) {
+        Some(status) => {
+            let mut out = vec![("ok", "true".to_owned())];
+            out.extend(status.kv_fields());
+            out
+        }
+        None => error_response("unknown-job"),
+    }
+}
+
+/// Routes one decoded request to the daemon and renders the response
+/// fields. Public within the crate so in-process tests can drive the
+/// protocol without a socket.
+pub(crate) fn dispatch(
+    daemon: &Daemon,
+    fields: &[(String, String)],
+) -> Vec<(&'static str, String)> {
+    let id = journal::field(fields, "job_id").and_then(|v| v.parse::<u64>().ok());
+    match journal::field(fields, "cmd") {
+        Some("ping") => vec![("ok", "true".to_owned()), ("pong", "1".to_owned())],
+        Some("submit") => match JobSpec::from_fields(fields) {
+            Ok(spec) => match daemon.submit(spec) {
+                Admission::Accepted { id, queue_depth } => vec![
+                    ("ok", "true".to_owned()),
+                    ("result", "accepted".to_owned()),
+                    ("job_id", id.to_string()),
+                    ("queue_depth", queue_depth.to_string()),
+                ],
+                Admission::Rejected { reason } => vec![
+                    ("ok", "true".to_owned()),
+                    ("result", "rejected".to_owned()),
+                    ("reason", reason),
+                ],
+            },
+            Err(e) => {
+                let mut out = error_response("bad-spec");
+                out.push(("detail", e));
+                out
+            }
+        },
+        Some("status") => status_response(daemon, id),
+        Some("wait") => {
+            let Some(id) = id else {
+                return error_response("missing-job-id");
+            };
+            let timeout_ms = journal::field(fields, "timeout_ms")
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(DEFAULT_WAIT_MS);
+            match daemon.wait(id, Duration::from_millis(timeout_ms)) {
+                Some(status) => {
+                    let mut out = vec![
+                        ("ok", "true".to_owned()),
+                        (
+                            "result",
+                            if status.state.is_terminal() {
+                                "settled".to_owned()
+                            } else {
+                                "timeout".to_owned()
+                            },
+                        ),
+                    ];
+                    out.extend(status.kv_fields());
+                    out
+                }
+                None => error_response("unknown-job"),
+            }
+        }
+        Some("cancel") => {
+            let Some(id) = id else {
+                return error_response("missing-job-id");
+            };
+            match daemon.cancel(id) {
+                Some(status) => {
+                    let mut out = vec![("ok", "true".to_owned())];
+                    out.extend(status.kv_fields());
+                    out
+                }
+                None => error_response("unknown-job"),
+            }
+        }
+        Some("health") => {
+            let stats = daemon.stats();
+            let state = if daemon.is_stopped() {
+                "stopped"
+            } else if daemon.is_draining() {
+                "draining"
+            } else {
+                "running"
+            };
+            vec![
+                ("ok", "true".to_owned()),
+                ("state", state.to_owned()),
+                ("workers", stats.workers.to_string()),
+                ("queue_capacity", stats.queue_capacity.to_string()),
+                ("queue_depth", stats.ledger.queue_depth.to_string()),
+                ("in_flight", stats.ledger.in_flight().to_string()),
+            ]
+        }
+        Some("stats") => {
+            let stats = daemon.stats();
+            let mut out = vec![("ok", "true".to_owned())];
+            out.extend(stats.ledger.kv_fields());
+            out.push(("workers", stats.workers.to_string()));
+            out.push(("queue_capacity", stats.queue_capacity.to_string()));
+            out.push(("fleet", stats.fleet.deterministic_fingerprint()));
+            out
+        }
+        Some("shutdown") => {
+            let mode = journal::field(fields, "mode")
+                .and_then(ShutdownMode::parse)
+                .unwrap_or(ShutdownMode::Drain);
+            daemon.shutdown(mode);
+            vec![
+                ("ok", "true".to_owned()),
+                ("result", "stopped".to_owned()),
+                ("mode", mode.name().to_owned()),
+            ]
+        }
+        _ => error_response("unknown-cmd"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::daemon::{DaemonConfig, JobControl, JobExecutor, JobVerdict};
+    use crate::spec::{JobKind, JobSpec};
+    use crate::Client;
+    use droidsim_metrics::FleetLedger;
+    use std::path::PathBuf;
+
+    struct EchoExecutor;
+
+    impl JobExecutor for EchoExecutor {
+        fn execute(&self, spec: &JobSpec, _ctl: &JobControl) -> JobVerdict {
+            JobVerdict::Done {
+                digest: spec.seed ^ 0xABCD,
+                fleet: FleetLedger::new(),
+            }
+        }
+    }
+
+    fn scratch_socket(name: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("droidsimd-server-{name}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join("droidsimd.sock")
+    }
+
+    #[test]
+    fn socket_round_trip_submit_wait_stats_shutdown() {
+        let socket = scratch_socket("round-trip");
+        let daemon = Arc::new(Daemon::start(DaemonConfig::new(), EchoExecutor).unwrap());
+        let server = {
+            let daemon = Arc::clone(&daemon);
+            let socket = socket.clone();
+            std::thread::spawn(move || serve(&daemon, &socket))
+        };
+        let mut client = Client::connect_retry(&socket, Duration::from_secs(5)).unwrap();
+        assert!(client.ping().unwrap());
+
+        let spec = JobSpec::new(JobKind::Fig10)
+            .with_seed(7)
+            .with_tag("via socket");
+        let id = match client.submit(&spec).unwrap() {
+            Admission::Accepted { id, .. } => id,
+            Admission::Rejected { reason } => panic!("rejected: {reason}"),
+        };
+        let status = client.wait(id, Duration::from_secs(5)).unwrap();
+        assert_eq!(status.state.digest(), Some(7 ^ 0xABCD));
+        assert_eq!(status.tag, "via socket");
+
+        let stats = client.stats().unwrap();
+        assert_eq!(journal::field(&stats, "accepted"), Some("1"));
+        assert_eq!(journal::field(&stats, "completed"), Some("1"));
+        assert!(journal::field(&stats, "queue_high_water").is_some());
+        assert!(journal::field(&stats, "alloc_events").is_some());
+        assert!(journal::field(&stats, "fleet").is_some());
+
+        client.shutdown(ShutdownMode::Drain).unwrap();
+        server.join().unwrap().unwrap();
+        assert!(!socket.exists(), "socket file is cleaned up");
+    }
+
+    #[test]
+    fn malformed_and_unknown_requests_get_explicit_errors() {
+        let daemon = Daemon::start(DaemonConfig::new(), EchoExecutor).unwrap();
+        let bad = journal::decode_line("cmd=warp job_id=1").unwrap();
+        let resp = dispatch(&daemon, &bad);
+        assert_eq!(resp[0].1, "false");
+        let unknown = journal::decode_line("cmd=status job_id=999").unwrap();
+        let resp = dispatch(&daemon, &unknown);
+        assert!(resp
+            .iter()
+            .any(|(k, v)| *k == "error" && v == "unknown-job"));
+        let no_id = journal::decode_line("cmd=wait").unwrap();
+        let resp = dispatch(&daemon, &no_id);
+        assert!(resp
+            .iter()
+            .any(|(k, v)| *k == "error" && v == "missing-job-id"));
+        daemon.shutdown(ShutdownMode::Drain);
+    }
+}

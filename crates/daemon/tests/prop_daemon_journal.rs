@@ -1,0 +1,151 @@
+//! Property: **any** byte-prefix truncation of a daemon journal — the
+//! on-disk state a crash at an arbitrary instant leaves behind — still
+//! restarts, and the restarted daemon settles every job the truncated
+//! journal acknowledges to the digest the uninterrupted executor
+//! produces.
+//!
+//! The base journal is built once by a real daemon life that is
+//! fast-stopped mid-backlog (so it holds a mix of terminal and
+//! acknowledged-but-incomplete records); each proptest case chops its
+//! bytes at a drawn offset and drives a fresh daemon over the remains.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
+use std::time::Duration;
+
+use droidsim_daemon::{
+    Admission, Daemon, DaemonConfig, DaemonJournal, JobControl, JobExecutor, JobKind, JobSpec,
+    JobVerdict, ShutdownMode,
+};
+use droidsim_metrics::FleetLedger;
+use proptest::prelude::*;
+
+/// The executor both lives use: digest is a pure function of the seed,
+/// so "the clean digest" is computable without running anything.
+struct EchoExecutor {
+    work: Duration,
+}
+
+const DIGEST_MASK: u64 = 0xEC40_0000_0000_0000;
+
+fn expected_digest(seed: u64) -> u64 {
+    seed ^ DIGEST_MASK
+}
+
+impl JobExecutor for EchoExecutor {
+    fn execute(&self, spec: &JobSpec, ctl: &JobControl) -> JobVerdict {
+        let deadline = std::time::Instant::now() + self.work;
+        while std::time::Instant::now() < deadline {
+            if ctl.cancel.is_cancelled() {
+                return JobVerdict::Cancelled {
+                    reason: "token observed".to_owned(),
+                };
+            }
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        JobVerdict::Done {
+            digest: expected_digest(spec.seed),
+            fleet: FleetLedger::new(),
+        }
+    }
+}
+
+fn scratch(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "droidsimd-prop-journal-{}-{name}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// One real daemon life, fast-stopped with work still in flight: the
+/// journal it leaves holds accepted records with and without terminal
+/// states. Built once; every case truncates a copy of these bytes.
+fn base_journal() -> &'static [u8] {
+    static BYTES: OnceLock<Vec<u8>> = OnceLock::new();
+    BYTES.get_or_init(|| {
+        let dir = scratch("base");
+        let daemon = Daemon::start(
+            DaemonConfig::new()
+                .with_workers(1)
+                .with_journal_dir(&dir)
+                .with_tick(Duration::from_millis(5)),
+            EchoExecutor {
+                work: Duration::from_millis(15),
+            },
+        )
+        .unwrap();
+        for i in 0..6u64 {
+            let spec = JobSpec::new(JobKind::Fig10).with_seed(100 + i);
+            assert!(matches!(daemon.submit(spec), Admission::Accepted { .. }));
+        }
+        // Let a couple of jobs finish, then stop fast: the rest stay
+        // acknowledged-but-incomplete (parked) in the journal.
+        std::thread::sleep(Duration::from_millis(40));
+        daemon.shutdown(ShutdownMode::Now);
+        std::fs::read(dir.join("daemon.journal")).unwrap()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn any_prefix_truncation_resumes_to_the_clean_digest(frac in 0u64..10_001) {
+        static CASE: AtomicUsize = AtomicUsize::new(0);
+        let bytes = base_journal();
+        let len = (bytes.len() as u64 * frac / 10_000) as usize;
+        let dir = scratch(&format!("case-{}", CASE.fetch_add(1, Ordering::Relaxed)));
+        let path = dir.join("daemon.journal");
+        std::fs::write(&path, &bytes[..len]).unwrap();
+
+        // What the truncated journal acknowledges, read *before* any
+        // repair or restart touches the file. A torn header is the one
+        // unreadable case — and it proves nothing was ever accepted.
+        let (jobs, incomplete) = match DaemonJournal::load(&path) {
+            Ok(view) => (
+                view.jobs
+                    .values()
+                    .map(|j| (j.id, j.spec.seed))
+                    .collect::<Vec<_>>(),
+                view.incomplete().count() as u64,
+            ),
+            Err(_) => (Vec::new(), 0),
+        };
+
+        // Whatever the truncation did, the daemon must start: torn
+        // tails (and even a torn header) are repaired, never fatal.
+        let daemon = Daemon::start(
+            DaemonConfig::new()
+                .with_workers(2)
+                .with_journal_dir(&dir)
+                .with_tick(Duration::from_millis(5)),
+            EchoExecutor { work: Duration::ZERO },
+        )
+        .unwrap();
+        prop_assert_eq!(daemon.stats().ledger.resumed, incomplete);
+        daemon.shutdown(ShutdownMode::Drain);
+        // Every acknowledged job — terminal in the journal or resumed
+        // this life — settles to the seed's clean digest.
+        for (id, seed) in jobs {
+            let status = daemon.status(id).expect("acknowledged job is queryable");
+            prop_assert_eq!(
+                status.state.digest(),
+                Some(expected_digest(seed)),
+                "job {} (seed {})", id, seed
+            );
+        }
+        // And a third life resumes nothing: the drain settled it all.
+        drop(daemon);
+        let again = Daemon::start(
+            DaemonConfig::new().with_journal_dir(&dir),
+            EchoExecutor { work: Duration::ZERO },
+        )
+        .unwrap();
+        prop_assert_eq!(again.stats().ledger.resumed, 0);
+        again.shutdown(ShutdownMode::Drain);
+    }
+}

@@ -192,6 +192,7 @@ fn check_scaling(label: &str, doc: &BenchDoc) -> Vec<Violation> {
 }
 
 fn main() -> ExitCode {
+    rch_experiments::version_flag();
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() || !args.len().is_multiple_of(2) {
         eprintln!("usage: bench_gate <fresh.json> <baseline.json> [...more pairs]");

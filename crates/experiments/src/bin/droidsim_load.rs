@@ -1,0 +1,400 @@
+//! `droidsim-load` — the daemon's load generator and verification
+//! client.
+//!
+//! ```text
+//! droidsim-load [--socket PATH] [--total N] [--clients N]
+//!               [--job table5|fault-matrix] [--size N] [--rate-pct N]
+//!               [--seed N] [--distinct N] [--inner-jobs N]
+//!               [--mixed-priorities] [--wait-ms N] [--reconnect-ms N]
+//!               [--no-verify] [--shutdown drain|now] [--version]
+//! ```
+//!
+//! Submits `--total` jobs (default: **2× the daemon's queue capacity**,
+//! queried over `cmd=health`) from `--clients` concurrent connections,
+//! then waits for every acknowledged job to settle and audits the
+//! daemon's zero-silent-drop contract:
+//!
+//! * every submission got an explicit answer — `accepted` or
+//!   `rejected reason=…`;
+//! * every acknowledged job reached a terminal state (a daemon kill and
+//!   restart in the middle is fine: the client reconnects and the
+//!   restarted daemon must resume the acknowledged backlog);
+//! * unless `--no-verify`, every `done` digest equals the jobs=1
+//!   reference run of the same spec, computed in-process.
+//!
+//! The client fan-out claims job indices through the same
+//! `run_claiming_pool` skeleton the fleet drivers use. With
+//! `--mixed-priorities` submissions cycle low/normal/high, which under
+//! a full queue exercises displacement (`shed` is then an accepted
+//! outcome); the default uniform-normal load tolerates no shedding.
+//!
+//! Exit codes: 0 — contract held; 1 — a violation (silent drop, lost
+//! acknowledgement, digest mismatch); 2 — usage error.
+
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use droidsim_daemon::{Admission, Client, JobKind, JobSpec, JobState, Priority, ShutdownMode};
+use droidsim_fleet::run_claiming_pool;
+use rch_experiments::daemon_exec::reference_digest;
+
+struct LoadCli {
+    socket: PathBuf,
+    total: Option<usize>,
+    clients: usize,
+    job: String,
+    size: usize,
+    rate_pct: u8,
+    seed: u64,
+    distinct: usize,
+    inner_jobs: usize,
+    mixed_priorities: bool,
+    wait_ms: u64,
+    reconnect_ms: u64,
+    verify: bool,
+    shutdown: Option<ShutdownMode>,
+}
+
+fn parse_cli(args: impl IntoIterator<Item = String>) -> Result<LoadCli, String> {
+    let mut cli = LoadCli {
+        socket: PathBuf::from("droidsimd.sock"),
+        total: None,
+        clients: 4,
+        job: "table5".to_owned(),
+        size: 4,
+        rate_pct: 5,
+        seed: 0x10AD,
+        distinct: 4,
+        inner_jobs: 1,
+        mixed_priorities: false,
+        wait_ms: 120_000,
+        reconnect_ms: 30_000,
+        verify: true,
+        shutdown: None,
+    };
+    let mut args = args.into_iter();
+    let value = |flag: &str, inline: Option<String>, args: &mut dyn Iterator<Item = String>| {
+        inline
+            .or_else(|| args.next())
+            .ok_or_else(|| format!("{flag} needs a value"))
+    };
+    let number = |flag: &str, v: &str| -> Result<u64, String> {
+        v.parse()
+            .map_err(|_| format!("{flag}: not a number: {v:?}"))
+    };
+    while let Some(a) = args.next() {
+        let (flag, inline) = match a.split_once('=') {
+            Some((f, v)) => (f.to_owned(), Some(v.to_owned())),
+            None => (a, None),
+        };
+        let flag = flag.as_str();
+        match flag {
+            "--socket" => cli.socket = PathBuf::from(value(flag, inline, &mut args)?),
+            "--total" => cli.total = Some(number(flag, &value(flag, inline, &mut args)?)? as usize),
+            "--clients" => {
+                cli.clients = (number(flag, &value(flag, inline, &mut args)?)? as usize).max(1);
+            }
+            "--job" => {
+                let v = value(flag, inline, &mut args)?;
+                if !["table5", "fault-matrix"].contains(&v.as_str()) {
+                    return Err(format!("--job: unknown kind {v:?} (table5|fault-matrix)"));
+                }
+                cli.job = v;
+            }
+            "--size" => {
+                cli.size = (number(flag, &value(flag, inline, &mut args)?)? as usize).max(1);
+            }
+            "--rate-pct" => {
+                let pct = number(flag, &value(flag, inline, &mut args)?)?;
+                if pct > 100 {
+                    return Err(format!("--rate-pct: {pct} is not a percentage"));
+                }
+                cli.rate_pct = pct as u8;
+            }
+            "--seed" => cli.seed = number(flag, &value(flag, inline, &mut args)?)?,
+            "--distinct" => {
+                cli.distinct = (number(flag, &value(flag, inline, &mut args)?)? as usize).max(1);
+            }
+            "--inner-jobs" => {
+                cli.inner_jobs = (number(flag, &value(flag, inline, &mut args)?)? as usize).max(1);
+            }
+            "--mixed-priorities" => cli.mixed_priorities = true,
+            "--wait-ms" => cli.wait_ms = number(flag, &value(flag, inline, &mut args)?)?,
+            "--reconnect-ms" => cli.reconnect_ms = number(flag, &value(flag, inline, &mut args)?)?,
+            "--no-verify" => cli.verify = false,
+            "--shutdown" => {
+                let v = value(flag, inline, &mut args)?;
+                cli.shutdown = Some(
+                    ShutdownMode::parse(&v)
+                        .ok_or_else(|| format!("--shutdown: unknown mode {v:?} (drain|now)"))?,
+                );
+            }
+            other => return Err(format!("unknown flag {other:?}")),
+        }
+    }
+    Ok(cli)
+}
+
+/// What one submission ended as, from the client's ledger.
+enum Slot {
+    /// Explicitly rejected with the daemon's reason.
+    Rejected(String),
+    /// Acknowledged; terminal state not yet observed.
+    Accepted(u64),
+    /// Acknowledged and settled.
+    Settled(u64, JobState),
+    /// The contract was violated for this index.
+    Violation(String),
+}
+
+fn spec_for(cli: &LoadCli, index: usize) -> JobSpec {
+    let kind = if cli.job == "fault-matrix" {
+        JobKind::FaultMatrix {
+            tasks: cli.size,
+            rate_pct: cli.rate_pct,
+        }
+    } else {
+        JobKind::Table5 { apps: cli.size }
+    };
+    let mut spec = JobSpec::new(kind)
+        .with_seed(cli.seed + (index % cli.distinct) as u64)
+        .with_tag(format!("load-{index}"));
+    spec.inner_jobs = cli.inner_jobs;
+    if cli.mixed_priorities {
+        spec = spec.with_priority(Priority::ALL[index % Priority::ALL.len()]);
+    }
+    spec
+}
+
+/// Runs `op` against a live connection, transparently reconnecting
+/// (for up to `reconnect_ms`) when the daemon restarts underneath us.
+fn with_reconnect<T>(
+    conn: &mut Option<Client>,
+    socket: &Path,
+    reconnect_ms: u64,
+    mut op: impl FnMut(&mut Client) -> std::io::Result<T>,
+) -> Result<T, String> {
+    let deadline = Instant::now() + Duration::from_millis(reconnect_ms);
+    loop {
+        if conn.is_none() {
+            let left = deadline.saturating_duration_since(Instant::now());
+            match Client::connect_retry(socket, left) {
+                Ok(c) => *conn = Some(c),
+                Err(e) => return Err(format!("connect {}: {e}", socket.display())),
+            }
+        }
+        let client = conn.as_mut().expect("connection was just established");
+        match op(client) {
+            Ok(v) => return Ok(v),
+            Err(e) => {
+                *conn = None; // stale connection: the daemon went away
+                if Instant::now() >= deadline {
+                    return Err(format!("daemon unreachable: {e}"));
+                }
+                std::thread::sleep(Duration::from_millis(100));
+            }
+        }
+    }
+}
+
+fn main() {
+    rch_experiments::version_flag();
+    let cli = parse_cli(std::env::args().skip(1)).unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        std::process::exit(2);
+    });
+
+    // Size the burst off the daemon's own capacity: 2x forces the
+    // admission path to answer under overload.
+    let mut probe = Client::connect_retry(&cli.socket, Duration::from_millis(cli.reconnect_ms))
+        .unwrap_or_else(|e| {
+            eprintln!("error: connect {}: {e}", cli.socket.display());
+            std::process::exit(2);
+        });
+    let capacity: usize = probe
+        .health()
+        .ok()
+        .and_then(|h| num_field(&h, "queue_capacity"))
+        .unwrap_or(16);
+    drop(probe);
+    let total = cli.total.unwrap_or(capacity * 2);
+
+    // The jobs=1 references, one per distinct seed, computed before the
+    // burst so the comparison window contains only daemon work.
+    let references: Vec<Option<u64>> = (0..cli.distinct)
+        .map(|d| {
+            if !cli.verify {
+                return None;
+            }
+            match reference_digest(&spec_for(&cli, d)) {
+                Ok(digest) => Some(digest),
+                Err(e) => {
+                    eprintln!("error: reference digest (seed offset {d}): {e}");
+                    std::process::exit(2);
+                }
+            }
+        })
+        .collect();
+
+    println!(
+        "droidsim-load: {total} x {} (size {}, {} distinct seed(s)) via {} client(s) -> {}",
+        cli.job,
+        cli.size,
+        cli.distinct,
+        cli.clients,
+        cli.socket.display()
+    );
+
+    // Submit burst: client threads claim index chunks through the same
+    // pool skeleton the fleet drivers use.
+    let slots: Vec<Mutex<Option<Slot>>> = (0..total).map(|_| Mutex::new(None)).collect();
+    run_claiming_pool(cli.clients, total, |range| {
+        let mut conn: Option<Client> = None;
+        for i in range {
+            let spec = spec_for(&cli, i);
+            let outcome = with_reconnect(&mut conn, &cli.socket, cli.reconnect_ms, |c| {
+                c.submit(&spec)
+            });
+            let slot = match outcome {
+                Ok(Admission::Accepted { id, .. }) => Slot::Accepted(id),
+                Ok(Admission::Rejected { reason }) => Slot::Rejected(reason),
+                Err(e) => Slot::Violation(format!("no answer to submit: {e}")),
+            };
+            *slots[i].lock().unwrap() = Some(slot);
+        }
+    });
+
+    // Settle phase: poll every acknowledged job to a terminal state,
+    // riding out a daemon kill/restart via reconnection.
+    run_claiming_pool(cli.clients, total, |range| {
+        let mut conn: Option<Client> = None;
+        for i in range {
+            let id = match slots[i].lock().unwrap().as_ref() {
+                Some(Slot::Accepted(id)) => *id,
+                _ => continue,
+            };
+            let deadline = Instant::now() + Duration::from_millis(cli.wait_ms);
+            let settled = loop {
+                let status = with_reconnect(&mut conn, &cli.socket, cli.reconnect_ms, |c| {
+                    c.wait(id, Duration::from_millis(2_000))
+                });
+                match status {
+                    Ok(s) if s.state.is_terminal() => break Slot::Settled(id, s.state),
+                    Ok(_) if Instant::now() >= deadline => {
+                        break Slot::Violation(format!(
+                            "job {id}: acknowledged but unsettled after {} ms",
+                            cli.wait_ms
+                        ));
+                    }
+                    Ok(_) => {}
+                    Err(e) => break Slot::Violation(format!("job {id}: {e}")),
+                }
+            };
+            *slots[i].lock().unwrap() = Some(settled);
+        }
+    });
+
+    // Audit.
+    let mut accepted = 0usize;
+    let mut rejected = 0usize;
+    let mut done = 0usize;
+    let mut shed = 0usize;
+    let mut cancelled = 0usize;
+    let mut failed = 0usize;
+    let mut verified = 0usize;
+    let mut reject_reasons: std::collections::BTreeMap<String, usize> =
+        std::collections::BTreeMap::new();
+    let mut violations: Vec<String> = Vec::new();
+    for (i, slot) in slots.iter().enumerate() {
+        match slot.lock().unwrap().take() {
+            Some(Slot::Rejected(reason)) => {
+                rejected += 1;
+                *reject_reasons.entry(reason).or_insert(0) += 1;
+            }
+            Some(Slot::Settled(id, state)) => {
+                accepted += 1;
+                match &state {
+                    JobState::Done { digest } => {
+                        done += 1;
+                        if let Some(expect) = references[i % cli.distinct] {
+                            if *digest == expect {
+                                verified += 1;
+                            } else {
+                                violations.push(format!(
+                                    "job {id}: digest {digest:016x} != jobs=1 reference {expect:016x}"
+                                ));
+                            }
+                        }
+                    }
+                    JobState::Shed { reason } => {
+                        shed += 1;
+                        if !cli.mixed_priorities {
+                            violations
+                                .push(format!("job {id}: shed ({reason}) under uniform priority"));
+                        }
+                    }
+                    JobState::Cancelled { reason } => {
+                        cancelled += 1;
+                        violations.push(format!("job {id}: cancelled ({reason}) by nobody"));
+                    }
+                    JobState::Failed { reason } => {
+                        failed += 1;
+                        violations.push(format!("job {id}: failed ({reason})"));
+                    }
+                    _ => violations.push(format!("job {id}: non-terminal state recorded")),
+                }
+            }
+            Some(Slot::Accepted(id)) => {
+                accepted += 1;
+                violations.push(format!("job {id}: acknowledgement never audited"));
+            }
+            Some(Slot::Violation(v)) => violations.push(format!("index {i}: {v}")),
+            None => violations.push(format!("index {i}: never submitted")),
+        }
+    }
+
+    println!(
+        "droidsim-load: accepted={accepted} rejected={rejected} | done={done} shed={shed} \
+         cancelled={cancelled} failed={failed}"
+    );
+    if !reject_reasons.is_empty() {
+        let reasons: Vec<String> = reject_reasons
+            .iter()
+            .map(|(r, n)| format!("{r}={n}"))
+            .collect();
+        println!("droidsim-load: rejection reasons: {}", reasons.join(" "));
+    }
+    if cli.verify {
+        println!("droidsim-load: {verified}/{done} digest(s) match the jobs=1 reference");
+    }
+    if accepted + rejected + violations.len() < total {
+        violations.push(format!(
+            "{} submission(s) unaccounted for",
+            total - accepted - rejected
+        ));
+    }
+    if let Some(mode) = cli.shutdown {
+        let mut conn: Option<Client> = None;
+        match with_reconnect(&mut conn, &cli.socket, cli.reconnect_ms, |c| {
+            c.shutdown(mode)
+        }) {
+            Ok(()) => println!("droidsim-load: daemon shut down ({})", mode.name()),
+            Err(e) => violations.push(format!("shutdown: {e}")),
+        }
+    }
+    if violations.is_empty() {
+        println!("droidsim-load OK: zero silent drops, zero lost acknowledgements");
+    } else {
+        for v in &violations {
+            eprintln!("droidsim-load VIOLATION: {v}");
+        }
+        eprintln!("droidsim-load FAILED: {} violation(s)", violations.len());
+        std::process::exit(1);
+    }
+}
+
+/// Looks up a numeric field in decoded response pairs.
+fn num_field(fields: &[(String, String)], key: &str) -> Option<usize> {
+    droidsim_kernel::journal::field(fields, key).and_then(|v| v.parse().ok())
+}

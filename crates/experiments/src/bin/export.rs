@@ -1,5 +1,6 @@
 //! Exports every figure's data as CSV: `export [dir]` (default ./results).
 fn main() {
+    rch_experiments::version_flag();
     let dir = std::env::args()
         .nth(1)
         .unwrap_or_else(|| "results".to_owned());

@@ -1,4 +1,5 @@
 //! Regenerates the paper's fig11 result; see `rch_experiments::fig11`.
 fn main() {
+    rch_experiments::version_flag();
     print!("{}", rch_experiments::fig11::run().render());
 }

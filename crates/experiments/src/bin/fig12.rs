@@ -1,4 +1,5 @@
 //! Regenerates the paper's fig12 result; see `rch_experiments::fig12`.
 fn main() {
+    rch_experiments::version_flag();
     print!("{}", rch_experiments::fig12::run().render());
 }

@@ -1,4 +1,5 @@
 //! Regenerates the paper's fig8 result; see `rch_experiments::fig8`.
 fn main() {
+    rch_experiments::version_flag();
     print!("{}", rch_experiments::fig8::run().render());
 }

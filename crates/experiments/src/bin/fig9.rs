@@ -1,4 +1,5 @@
 //! Regenerates the paper's fig9 result; see `rch_experiments::fig9`.
 fn main() {
+    rch_experiments::version_flag();
     print!("{}", rch_experiments::fig9::run().render());
 }

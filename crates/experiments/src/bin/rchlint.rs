@@ -44,16 +44,9 @@ struct LintCli {
     differential: bool,
 }
 
-/// Fleet flags [`rch_experiments::FleetCli`] already consumed, so this
-/// parser must skip them (and their values) rather than reject them.
-const FLEET_VALUE_FLAGS: [&str; 5] = [
-    "--jobs",
-    "--max-retries",
-    "--task-budget-ms",
-    "--journal",
-    "--resume",
-];
-
+/// Parses the tokens [`rch_experiments::FleetCli`] did not consume
+/// (its passthrough remainder) — so this parser never sees a fleet
+/// flag and owns the unknown-flag rejection for everything else.
 fn parse_cli(args: impl IntoIterator<Item = String>) -> Result<LintCli, String> {
     let mut cli = LintCli {
         corpus: "all".to_owned(),
@@ -97,10 +90,6 @@ fn parse_cli(args: impl IntoIterator<Item = String>) -> Result<LintCli, String> 
             "--clean-only" => cli.clean_only = true,
             "--deny-warnings" => cli.deny_warnings = true,
             "--differential" => cli.differential = true,
-            f if FLEET_VALUE_FLAGS.contains(&f) => {
-                value(f, inline, &mut args)?;
-            }
-            "--keep-going" => {}
             other => return Err(format!("unknown flag {other:?}")),
         }
     }
@@ -150,9 +139,9 @@ fn emit(cli: &LintCli, rendered: &str) -> Result<(), String> {
 }
 
 fn main() {
-    let fleet = rch_experiments::FleetCli::from_args();
+    let fleet = rch_experiments::FleetCli::from_args_passthrough();
     let cfg = fleet.config(0);
-    let cli = parse_cli(std::env::args().skip(1)).unwrap_or_else(|e| {
+    let cli = parse_cli(fleet.extra.clone()).unwrap_or_else(|e| {
         eprintln!("error: {e}");
         std::process::exit(2);
     });

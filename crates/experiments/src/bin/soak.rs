@@ -29,6 +29,7 @@ const SOAK_SEED: u64 = 0x50AC;
 const HARD_FAIL: [usize; 2] = [7, 23];
 
 fn main() {
+    rch_experiments::version_flag();
     let dir = PathBuf::from("target/soak");
     fs::create_dir_all(&dir).expect("create target/soak");
     let journal = dir.join("soak.journal");

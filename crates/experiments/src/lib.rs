@@ -23,6 +23,7 @@
 
 pub mod ablation;
 pub mod breakdown;
+pub mod daemon_exec;
 pub mod detector;
 pub mod differential;
 pub mod energy;
@@ -39,6 +40,7 @@ pub mod table3;
 pub mod table5;
 pub mod variance;
 
+pub use daemon_exec::StudyExecutor;
 pub use scenario::{run_app, RunConfig, RunOutcome};
 
 use droidsim_fleet::{parse_jobs_value, FleetConfig, FleetOptions};
@@ -58,7 +60,13 @@ use std::time::Duration;
 /// * `--journal PATH` — checkpoint each completed task to PATH (implies
 ///   `--keep-going`);
 /// * `--resume PATH` — skip tasks PATH already records, appending new
-///   completions to it (implies `--keep-going`).
+///   completions to it (implies `--keep-going`);
+/// * `--version` — print the binary's name and version, then exit.
+///
+/// Tokens the fleet layer does not recognize land in [`FleetCli::extra`]
+/// in order. Binaries with flags of their own ([`FleetCli::from_args_passthrough`])
+/// parse that remainder; everyone else ([`FleetCli::from_args`]) gets a
+/// usage error naming the first unknown flag — never a silent ignore.
 #[derive(Debug, Clone, Default)]
 pub struct FleetCli {
     /// Explicit worker count, when given.
@@ -67,17 +75,52 @@ pub struct FleetCli {
     pub supervised: bool,
     /// Supervision knobs assembled from the flags.
     pub options: FleetOptions,
+    /// Whether `--version` was present.
+    pub version: bool,
+    /// Tokens the fleet layer did not consume, in command-line order —
+    /// the passthrough remainder a binary's own parser receives.
+    pub extra: Vec<String>,
 }
 
 impl FleetCli {
-    /// Parses `std::env::args`, exiting with a usage error (status 2)
-    /// on an invalid value — the satellite contract: reject, never
-    /// silently fall back.
+    /// Parses `std::env::args` for a binary with no flags of its own:
+    /// invalid values *and unknown flags* exit with a usage error
+    /// (status 2) naming the offender — the satellite contract: reject,
+    /// never silently fall back. `--version` prints and exits 0.
     pub fn from_args() -> FleetCli {
+        let cli = FleetCli::from_args_passthrough();
+        if let Err(e) = cli.deny_unknown() {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+        cli
+    }
+
+    /// Parses `std::env::args` for a binary with flags of its own:
+    /// fleet flags are consumed (invalid values still exit 2),
+    /// `--version` prints and exits 0, and everything else is kept in
+    /// [`FleetCli::extra`] for the binary's parser — which owns the
+    /// unknown-flag rejection for its remainder.
+    pub fn from_args_passthrough() -> FleetCli {
+        version_flag();
         FleetCli::parse(std::env::args().skip(1)).unwrap_or_else(|e| {
             eprintln!("error: {e}");
             std::process::exit(2);
         })
+    }
+
+    /// The strict contract for binaries with no flags of their own:
+    /// errors on the first token the fleet layer did not consume,
+    /// naming it.
+    pub fn deny_unknown(&self) -> Result<(), String> {
+        match self.extra.first() {
+            None => Ok(()),
+            Some(tok) if tok.starts_with("--") => {
+                let flag = tok.split('=').next().unwrap_or(tok);
+                Err(format!("unknown flag {flag:?}"))
+            }
+            Some(tok) => Err(format!("unexpected argument {tok:?}")),
+        }
     }
 
     /// Parses an argument list (testable form of [`FleetCli::from_args`]).
@@ -128,7 +171,14 @@ impl FleetCli {
                     cli.options = cli.options.clone().resuming(v);
                     cli.supervised = true;
                 }
-                _ => {} // binaries keep their own extra flags
+                "--version" => cli.version = true,
+                // Binaries keep their own extra flags: preserve the
+                // raw token (value-bearing forms like `--views=16` or
+                // `--views` + `16` arrive as the original tokens).
+                _ => cli.extra.push(match &inline {
+                    Some(v) => format!("{flag}={v}"),
+                    None => flag,
+                }),
             }
         }
         Ok(cli)
@@ -142,6 +192,25 @@ impl FleetCli {
             eprintln!("error: {e}");
             std::process::exit(2);
         })
+    }
+}
+
+/// Implements the universal `--version` flag: when present anywhere on
+/// the command line, prints `<binary> <version>` and exits 0. Every
+/// study binary (and the daemon pair) calls this first; the
+/// [`FleetCli`] entry points do it on the caller's behalf.
+pub fn version_flag() {
+    if std::env::args().skip(1).any(|a| a == "--version") {
+        let bin = std::env::args().next().as_deref().map_or_else(
+            || "droidsim".to_owned(),
+            |p| {
+                std::path::Path::new(p)
+                    .file_name()
+                    .map_or_else(|| p.to_owned(), |n| n.to_string_lossy().into_owned())
+            },
+        );
+        println!("{bin} {}", env!("CARGO_PKG_VERSION"));
+        std::process::exit(0);
     }
 }
 
@@ -206,8 +275,34 @@ mod cli_tests {
 
     #[test]
     fn unknown_flags_pass_through_for_the_binaries() {
-        let cli = parse(&["--views", "16", "--jobs", "3"]).unwrap();
+        let cli = parse(&["--views", "16", "--jobs", "3", "--corpus=tp27"]).unwrap();
         assert_eq!(cli.jobs, Some(3));
         assert!(!cli.supervised);
+        assert_eq!(cli.extra, vec!["--views", "16", "--corpus=tp27"]);
+    }
+
+    #[test]
+    fn strict_binaries_reject_unknown_flags_by_name() {
+        let cli = parse(&["--jobs", "2", "--view", "16"]).unwrap();
+        let err = cli.deny_unknown().unwrap_err();
+        assert!(err.contains("--view"), "{err}");
+        let cli = parse(&["--jobs=2", "--journal=j.log"]).unwrap();
+        assert!(cli.deny_unknown().is_ok());
+        let err = parse(&["tp27"]).unwrap().deny_unknown().unwrap_err();
+        assert!(err.contains("unexpected argument"), "{err}");
+        // The flag name alone is reported, not its inline value.
+        let err = parse(&["--corpus=tp27"])
+            .unwrap()
+            .deny_unknown()
+            .unwrap_err();
+        assert!(err.contains("\"--corpus\""), "{err}");
+    }
+
+    #[test]
+    fn version_flag_is_recognized_everywhere() {
+        let cli = parse(&["--version"]).unwrap();
+        assert!(cli.version);
+        assert!(cli.extra.is_empty());
+        assert!(cli.deny_unknown().is_ok());
     }
 }

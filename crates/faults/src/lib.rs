@@ -40,6 +40,13 @@ pub enum FaultSite {
     /// change-handling path — so it is not part of [`FaultSite::ALL`],
     /// which the fault matrix drives through a single device.
     FleetTask,
+    /// The daemon's admission path drops a submission: the accept
+    /// bookkeeping fails transiently before the job can be queued, so
+    /// the client receives an explicit `Rejected` instead of an ack.
+    /// Probed by `droidsimd` once per submission; like
+    /// [`FaultSite::FleetTask`] it lives outside the change-handling
+    /// path and is therefore not part of [`FaultSite::ALL`].
+    Admission,
 }
 
 impl FaultSite {
@@ -65,6 +72,7 @@ impl FaultSite {
             FaultSite::FlushDeadlineOverrun => "flush-deadline-overrun",
             FaultSite::AllocationFailure => "allocation-failure",
             FaultSite::FleetTask => "fleet-task",
+            FaultSite::Admission => "admission",
         }
     }
 
@@ -77,6 +85,7 @@ impl FaultSite {
             FaultSite::FlushDeadlineOverrun => 4,
             FaultSite::AllocationFailure => 5,
             FaultSite::FleetTask => 6,
+            FaultSite::Admission => 7,
         }
     }
 }
@@ -87,7 +96,7 @@ impl fmt::Display for FaultSite {
     }
 }
 
-const SITES: usize = FaultSite::ALL.len() + 1; // + FleetTask, outside ALL
+const SITES: usize = FaultSite::ALL.len() + 2; // + FleetTask and Admission, outside ALL
 
 /// A seeded, deterministic schedule of injected faults.
 ///
@@ -308,12 +317,39 @@ mod tests {
     #[test]
     fn names_are_stable_and_distinct() {
         let mut seen = std::collections::BTreeSet::new();
-        for site in FaultSite::ALL.into_iter().chain([FaultSite::FleetTask]) {
+        for site in FaultSite::ALL
+            .into_iter()
+            .chain([FaultSite::FleetTask, FaultSite::Admission])
+        {
             assert!(seen.insert(site.name()));
             assert_eq!(site.to_string(), site.name());
         }
-        assert_eq!(seen.len(), 7);
+        assert_eq!(seen.len(), 8);
         assert!(!FaultSite::ALL.contains(&FaultSite::FleetTask));
+        assert!(!FaultSite::ALL.contains(&FaultSite::Admission));
+    }
+
+    #[test]
+    fn admission_site_draws_its_own_stream() {
+        // The admission site must be probeable at a rate without
+        // perturbing the handling-path sites (same seed, noise on and
+        // off), and with_rate_everywhere must leave it disarmed — the
+        // daemon arms it explicitly.
+        let schedule = |noise: bool| -> Vec<bool> {
+            let mut plan = FaultPlan::seeded(3).with_rate(FaultSite::Admission, 0.4);
+            (0..100)
+                .map(|_| {
+                    if noise {
+                        plan.should_inject(FaultSite::AttributeCopy);
+                    }
+                    plan.should_inject(FaultSite::Admission)
+                })
+                .collect()
+        };
+        assert_eq!(schedule(false), schedule(true));
+        assert!(schedule(false).iter().any(|&v| v));
+        let mut blanket = FaultPlan::seeded(3).with_rate_everywhere(1.0);
+        assert!(!blanket.should_inject(FaultSite::Admission));
     }
 
     #[test]

@@ -62,8 +62,8 @@ pub use supervise::{
 
 use droidsim_kernel::Xoshiro256;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
 
 /// Environment variable overriding the default worker count.
 pub const JOBS_ENV: &str = "DROIDSIM_JOBS";
@@ -235,6 +235,69 @@ pub(crate) fn claim_chunk(
     (start < n).then(|| start..(start + k).min(n))
 }
 
+/// A cooperative cancellation flag shared between a fleet run and its
+/// supervisor (e.g. the `droidsimd` deadline watchdog).
+///
+/// Cancellation is *cooperative*: the supervised driver checks the
+/// token between task attempts, never mid-attempt — an in-flight
+/// simulation always runs to its own completion (or its watchdog
+/// budget), so a cancelled run still journals every task it finished.
+/// Cloning shares the flag; the default token is never cancelled.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken(Arc<AtomicBool>);
+
+impl CancelToken {
+    /// A fresh, uncancelled token.
+    pub fn new() -> CancelToken {
+        CancelToken::default()
+    }
+
+    /// Requests cancellation. Idempotent; never blocks.
+    pub fn cancel(&self) {
+        self.0.store(true, Ordering::Release);
+    }
+
+    /// Whether cancellation has been requested.
+    pub fn is_cancelled(&self) -> bool {
+        self.0.load(Ordering::Acquire)
+    }
+}
+
+/// The shared worker-pool skeleton: spawns `min(workers, n)` scoped
+/// threads that claim adaptive index chunks (see [`claim_chunk`]'s
+/// batching policy) from one shared cursor until all `n` indices are
+/// claimed, invoking `chunk` once per claimed range.
+///
+/// This is the single claiming loop behind [`run_fleet`],
+/// [`run_fleet_reduce`] and the supervised driver — and the primitive
+/// external pools (the `droidsimd` resume pass, the `droidsim-load`
+/// client fan-out) build on instead of re-implementing. With
+/// `workers <= 1` or `n <= 1` the chunks run inline on the caller
+/// thread, preserving the legacy no-thread path.
+pub fn run_claiming_pool<C>(workers: usize, n: usize, chunk: C)
+where
+    C: Fn(std::ops::Range<usize>) + Sync,
+{
+    if n == 0 {
+        return;
+    }
+    let workers = workers.max(1).min(n);
+    if workers <= 1 {
+        chunk(0..n);
+        return;
+    }
+    let cursor = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| {
+                while let Some(range) = claim_chunk(&cursor, n, workers) {
+                    chunk(range);
+                }
+            });
+        }
+    });
+}
+
 /// Runs `run` over every item, partitioned across `cfg.jobs` workers,
 /// and returns the results **in item order** — bit-identical to the
 /// `jobs = 1` inline run as long as `run` depends only on its arguments.
@@ -271,23 +334,14 @@ where
         let slots: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
         let results: Vec<Mutex<Option<Result<R, String>>>> =
             (0..n).map(|_| Mutex::new(None)).collect();
-        let cursor = AtomicUsize::new(0);
-        let workers = cfg.jobs.min(n);
-        std::thread::scope(|scope| {
-            for _ in 0..workers {
-                scope.spawn(|| {
-                    while let Some(range) = claim_chunk(&cursor, n, workers) {
-                        for i in range {
-                            let Some(item) = lock_slot(&slots[i]).take() else {
-                                continue;
-                            };
-                            let out =
-                                catch_unwind(AssertUnwindSafe(|| run(TaskCtx::new(cfg, i), item)))
-                                    .map_err(supervise::payload_text);
-                            *lock_slot(&results[i]) = Some(out);
-                        }
-                    }
-                });
+        run_claiming_pool(cfg.jobs, n, |range| {
+            for i in range {
+                let Some(item) = lock_slot(&slots[i]).take() else {
+                    continue;
+                };
+                let out = catch_unwind(AssertUnwindSafe(|| run(TaskCtx::new(cfg, i), item)))
+                    .map_err(supervise::payload_text);
+                *lock_slot(&results[i]) = Some(out);
             }
         });
         results
@@ -369,18 +423,10 @@ where
         let total = (0..n).map(&attempt).fold(0u64, u64::wrapping_add);
         acc.store(total, Ordering::Relaxed);
     } else {
-        let cursor = AtomicUsize::new(0);
-        let workers = cfg.jobs.min(n);
-        std::thread::scope(|scope| {
-            for _ in 0..workers {
-                scope.spawn(|| {
-                    while let Some(range) = claim_chunk(&cursor, n, workers) {
-                        let chunk = range.map(&attempt).fold(0u64, u64::wrapping_add);
-                        // fetch_add on u64 wraps, matching the inline fold.
-                        acc.fetch_add(chunk, Ordering::Relaxed);
-                    }
-                });
-            }
+        run_claiming_pool(cfg.jobs, n, |range| {
+            let chunk = range.map(&attempt).fold(0u64, u64::wrapping_add);
+            // fetch_add on u64 wraps, matching the inline fold.
+            acc.fetch_add(chunk, Ordering::Relaxed);
         });
     }
     let dumps = lock_slot(&failures);
@@ -454,6 +500,33 @@ mod tests {
                 "error must name the source: {err}"
             );
         }
+    }
+
+    #[test]
+    fn claiming_pool_visits_every_index_exactly_once() {
+        for workers in [1usize, 2, 4, 8, 64] {
+            let hits: Vec<AtomicUsize> = (0..37).map(|_| AtomicUsize::new(0)).collect();
+            run_claiming_pool(workers, hits.len(), |range| {
+                for i in range {
+                    hits[i].fetch_add(1, Ordering::Relaxed);
+                }
+            });
+            assert!(
+                hits.iter().all(|h| h.load(Ordering::Relaxed) == 1),
+                "workers={workers}"
+            );
+        }
+        run_claiming_pool(4, 0, |_| panic!("no chunks for an empty pool"));
+    }
+
+    #[test]
+    fn cancel_token_is_shared_and_idempotent() {
+        let token = CancelToken::new();
+        let peer = token.clone();
+        assert!(!token.is_cancelled());
+        peer.cancel();
+        peer.cancel();
+        assert!(token.is_cancelled(), "clones share the flag");
     }
 
     #[test]
@@ -616,6 +689,66 @@ mod supervise_tests {
         let run = supervised(&FleetConfig::new(4, 5), &transient);
         assert!(run.report.is_clean());
         assert_eq!(run.combined_digest(), clean.combined_digest());
+    }
+
+    #[test]
+    fn pre_cancelled_run_marks_every_task_cancelled() {
+        let token = CancelToken::new();
+        token.cancel();
+        for jobs in [1usize, 4] {
+            let run = supervised(
+                &FleetConfig::new(jobs, 5),
+                &FleetOptions::new().with_cancel(token.clone()),
+            );
+            assert_eq!(run.report.ledger.cancelled, 8, "jobs={jobs}");
+            assert_eq!(run.report.ledger.ok, 0, "jobs={jobs}");
+            assert_eq!(run.combined_digest(), None, "no digest for a cancelled run");
+            for o in &run.outcomes {
+                assert_eq!(o.tag(), "cancelled");
+                assert!(!o.is_quarantined(), "cancelled is not a failure");
+            }
+        }
+    }
+
+    #[test]
+    fn mid_run_cancellation_journals_finished_tasks_for_resume() {
+        let token = CancelToken::new();
+        let path = tmp("cancel");
+        let opts = FleetOptions::new()
+            .with_journal(&path)
+            .with_cancel(token.clone());
+        let run = run_fleet_supervised(
+            &FleetConfig::new(1, 13),
+            &opts,
+            (0..8).collect(),
+            {
+                let token = token.clone();
+                move |ctx, n: usize| {
+                    let r = chain(ctx, n);
+                    if n == 3 {
+                        token.cancel(); // a deadline firing mid-study
+                    }
+                    r
+                }
+            },
+            |r: &u64| *r,
+        )
+        .unwrap();
+        assert_eq!(run.report.ledger.ok, 4);
+        assert_eq!(run.report.ledger.cancelled, 4);
+        assert_eq!(run.combined_digest(), None);
+
+        // The four finished tasks were journaled; a resume runs only the
+        // cancelled tail and lands on the uninterrupted digest.
+        let clean = supervised(&FleetConfig::new(1, 13), &FleetOptions::new());
+        let resumed = supervised(
+            &FleetConfig::new(1, 13),
+            &FleetOptions::new().resuming(&path),
+        );
+        assert_eq!(resumed.report.ledger.skipped, 4);
+        assert_eq!(resumed.report.ledger.ok, 4);
+        assert_eq!(resumed.combined_digest(), clean.combined_digest());
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

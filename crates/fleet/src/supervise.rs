@@ -41,7 +41,6 @@ use std::fs::{File, OpenOptions};
 use std::io::{BufRead, BufReader, Write};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::{Path, PathBuf};
-use std::sync::atomic::AtomicUsize;
 use std::sync::{mpsc, Arc, Mutex};
 use std::time::{Duration, Instant};
 
@@ -49,7 +48,7 @@ use droidsim_faults::{FaultPlan, FaultSite};
 use droidsim_kernel::journal;
 use droidsim_metrics::FleetLedger;
 
-use crate::{combine_ordered, FleetConfig, TaskCtx};
+use crate::{combine_ordered, CancelToken, FleetConfig, TaskCtx};
 
 /// How one fleet task ended.
 #[derive(Debug, Clone, PartialEq)]
@@ -87,6 +86,13 @@ pub enum TaskOutcome<R> {
         /// The digest the interrupted run recorded for this task.
         digest: u64,
     },
+    /// The run's [`CancelToken`] was set before this task could start
+    /// (or between its attempts); the task was never completed and is
+    /// *not* journaled — a later resume re-runs it.
+    Cancelled {
+        /// The task's index in the submitted item list.
+        index: usize,
+    },
 }
 
 impl<R> TaskOutcome<R> {
@@ -118,6 +124,7 @@ impl<R> TaskOutcome<R> {
             TaskOutcome::Panicked { .. } => "panicked",
             TaskOutcome::TimedOut { .. } => "timed-out",
             TaskOutcome::Skipped { .. } => "skipped",
+            TaskOutcome::Cancelled { .. } => "cancelled",
         }
     }
 }
@@ -148,6 +155,11 @@ pub struct FleetOptions {
     /// Skip tasks recorded `ok` in this journal (typically the same
     /// path as `journal`), reusing their recorded digests.
     pub resume: Option<PathBuf>,
+    /// Cooperative cancellation: when the token fires, tasks not yet
+    /// started (and failed tasks between retries) finish as
+    /// [`TaskOutcome::Cancelled`] instead of running. `None` (the
+    /// default) never cancels.
+    pub cancel: Option<CancelToken>,
 }
 
 impl FleetOptions {
@@ -194,6 +206,13 @@ impl FleetOptions {
         let path = path.into();
         self.resume = Some(path.clone());
         self.journal = Some(path);
+        self
+    }
+
+    /// Installs a cooperative cancellation token (see
+    /// [`FleetOptions::cancel`]).
+    pub fn with_cancel(mut self, token: CancelToken) -> Self {
+        self.cancel = Some(token);
         self
     }
 }
@@ -681,6 +700,7 @@ where
     let records: Vec<Mutex<Option<TaskRecord<R>>>> = (0..n).map(|_| Mutex::new(None)).collect();
     let allocs_before = droidsim_kernel::alloc_track::current();
 
+    let cancelled = || opts.cancel.as_ref().is_some_and(CancelToken::is_cancelled);
     let worker_body = |i: usize| {
         if let Some(&digest) = resumed.get(&i) {
             *lock(&records[i]) = Some(TaskRecord {
@@ -710,6 +730,11 @@ where
         let mut last_panic = String::new();
         let mut last_was_timeout;
         loop {
+            if cancelled() {
+                // Not journaled: a resumed run must re-run this task.
+                rec.outcome = TaskOutcome::Cancelled { index: i };
+                break;
+            }
             let fault = injected_fault(opts, i, attempt);
             if fault.is_some() {
                 rec.injected += 1;
@@ -778,20 +803,12 @@ where
             worker_body(i);
         }
     } else {
-        let cursor = AtomicUsize::new(0);
-        let workers = cfg.jobs.min(n);
-        std::thread::scope(|scope| {
-            for _ in 0..workers {
-                scope.spawn(|| {
-                    // Chunked claiming: early claims take a batch of
-                    // indices per cursor RMW, shrinking to single tasks
-                    // near the tail — see `claim_chunk`.
-                    while let Some(range) = crate::claim_chunk(&cursor, n, workers) {
-                        for i in range {
-                            worker_body(i);
-                        }
-                    }
-                });
+        // Chunked claiming: early claims take a batch of indices per
+        // cursor RMW, shrinking to single tasks near the tail — the
+        // shared `run_claiming_pool` skeleton (see `claim_chunk`).
+        crate::run_claiming_pool(cfg.jobs, n, |range| {
+            for i in range {
+                worker_body(i);
             }
         });
     }
@@ -813,6 +830,7 @@ where
         match &rec.outcome {
             TaskOutcome::Ok(_) => ledger.ok += 1,
             TaskOutcome::Skipped { .. } => ledger.skipped += 1,
+            TaskOutcome::Cancelled { .. } => ledger.cancelled += 1,
             TaskOutcome::Panicked {
                 payload, attempts, ..
             } => {

@@ -1,0 +1,235 @@
+//! The resident daemon's admission/queue/outcome ledger.
+//!
+//! `droidsimd` is a long-running service: unlike one fleet run's
+//! [`FleetLedger`](crate::FleetLedger), its ledger accumulates over the
+//! daemon's whole lifetime (and, via [`DaemonLedger::merge`], across a
+//! restart). The counters answer the questions an operator asks an
+//! overloaded service: how many jobs were accepted vs explicitly
+//! rejected, how many the shedder dropped with an explicit verdict, how
+//! deep the admission queue got, and how much the resume pass recovered
+//! after a crash.
+//!
+//! Every rejected or shed job shows up here — the daemon's contract is
+//! *zero silent drops*, so `accepted == completed + failed + cancelled +
+//! shed + still-pending` must always reconcile, and the `stats` endpoint
+//! renders this ledger so external tooling (the `bench_gate` family) can
+//! assert exactly that.
+
+use core::fmt;
+
+/// Lifetime counters and gauges for one `droidsimd` process.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DaemonLedger {
+    /// Jobs acknowledged: journaled, then answered `accepted`.
+    pub accepted: u64,
+    /// Submissions answered `rejected` (queue full, shutdown, bad spec,
+    /// or an injected admission fault) — never silently dropped.
+    pub rejected: u64,
+    /// Of the rejected, how many were injected admission faults.
+    pub rejected_injected: u64,
+    /// Accepted jobs the shedder dropped under queue/memory pressure,
+    /// each with an explicit terminal `shed` state a waiter observes.
+    pub shed: u64,
+    /// Accepted jobs re-enqueued by a restart's journal resume pass.
+    pub resumed: u64,
+    /// Jobs that ran to completion with a digest.
+    pub completed: u64,
+    /// Jobs whose execution failed (quarantined tasks, executor panic).
+    pub failed: u64,
+    /// Jobs cancelled by a client or a blown deadline.
+    pub cancelled: u64,
+    /// Deadline expiries the watchdog turned into cancellations.
+    pub deadline_expired: u64,
+    /// Reclaim passes the headroom probe triggered.
+    pub reclaim_passes: u64,
+    /// Current admission-queue depth (gauge, not a counter).
+    pub queue_depth: u64,
+    /// Deepest the admission queue ever got.
+    pub queue_high_water: u64,
+    /// Allocation events (`droidsim_kernel::alloc_track`) observed since
+    /// daemon start. Wall-clock-class telemetry: excluded from the
+    /// deterministic fingerprint, surfaced for `bench_gate`-style tools.
+    pub alloc_events: u64,
+}
+
+impl DaemonLedger {
+    /// Fresh, all-zero ledger.
+    pub fn new() -> DaemonLedger {
+        DaemonLedger::default()
+    }
+
+    /// Jobs that reached a terminal state.
+    pub fn settled(&self) -> u64 {
+        self.completed + self.failed + self.cancelled + self.shed
+    }
+
+    /// Accepted jobs not yet settled (queued or running).
+    pub fn in_flight(&self) -> u64 {
+        (self.accepted + self.resumed).saturating_sub(self.settled())
+    }
+
+    /// Records a queue-depth observation, maintaining the high-water
+    /// mark.
+    pub fn observe_queue_depth(&mut self, depth: u64) {
+        self.queue_depth = depth;
+        self.queue_high_water = self.queue_high_water.max(depth);
+    }
+
+    /// Folds another ledger into this one (e.g. a restarted daemon
+    /// folding the pre-crash ledger recovered from its journal). Gauges
+    /// keep `other`'s value only for the high-water mark.
+    pub fn merge(&mut self, other: &DaemonLedger) {
+        self.accepted += other.accepted;
+        self.rejected += other.rejected;
+        self.rejected_injected += other.rejected_injected;
+        self.shed += other.shed;
+        self.resumed += other.resumed;
+        self.completed += other.completed;
+        self.failed += other.failed;
+        self.cancelled += other.cancelled;
+        self.deadline_expired += other.deadline_expired;
+        self.reclaim_passes += other.reclaim_passes;
+        self.queue_high_water = self.queue_high_water.max(other.queue_high_water);
+        self.alloc_events += other.alloc_events;
+    }
+
+    /// The admission-sequence-determined part of the ledger: everything
+    /// except the live queue-depth gauge and the allocation counter
+    /// (scheduling-dependent, like the fleet ledger's wall-clock
+    /// fields). Identical across runs replaying the same admission
+    /// sequence.
+    pub fn deterministic_fingerprint(&self) -> String {
+        format!(
+            "daemon[accepted={} rejected={} rejected_injected={} shed={} resumed={} \
+             completed={} failed={} cancelled={} deadline_expired={} reclaim_passes={}]",
+            self.accepted,
+            self.rejected,
+            self.rejected_injected,
+            self.shed,
+            self.resumed,
+            self.completed,
+            self.failed,
+            self.cancelled,
+            self.deadline_expired,
+            self.reclaim_passes,
+        )
+    }
+
+    /// The `stats`-endpoint fields as `(key, value)` pairs, in a fixed
+    /// order, ready for one kv journal line. Includes the telemetry the
+    /// fingerprint excludes (queue gauges, allocation events).
+    pub fn kv_fields(&self) -> Vec<(&'static str, String)> {
+        vec![
+            ("accepted", self.accepted.to_string()),
+            ("rejected", self.rejected.to_string()),
+            ("rejected_injected", self.rejected_injected.to_string()),
+            ("shed", self.shed.to_string()),
+            ("resumed", self.resumed.to_string()),
+            ("completed", self.completed.to_string()),
+            ("failed", self.failed.to_string()),
+            ("cancelled", self.cancelled.to_string()),
+            ("deadline_expired", self.deadline_expired.to_string()),
+            ("reclaim_passes", self.reclaim_passes.to_string()),
+            ("in_flight", self.in_flight().to_string()),
+            ("queue_depth", self.queue_depth.to_string()),
+            ("queue_high_water", self.queue_high_water.to_string()),
+            ("alloc_events", self.alloc_events.to_string()),
+        ]
+    }
+}
+
+impl fmt::Display for DaemonLedger {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} queue[depth={} high_water={}] allocs={}",
+            self.deterministic_fingerprint(),
+            self.queue_depth,
+            self.queue_high_water,
+            self.alloc_events
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn settled_and_in_flight_reconcile() {
+        let mut l = DaemonLedger::new();
+        l.accepted = 10;
+        l.resumed = 2;
+        l.completed = 6;
+        l.failed = 1;
+        l.cancelled = 1;
+        l.shed = 2;
+        assert_eq!(l.settled(), 10);
+        assert_eq!(l.in_flight(), 2);
+    }
+
+    #[test]
+    fn queue_depth_tracks_high_water() {
+        let mut l = DaemonLedger::new();
+        l.observe_queue_depth(3);
+        l.observe_queue_depth(7);
+        l.observe_queue_depth(2);
+        assert_eq!(l.queue_depth, 2);
+        assert_eq!(l.queue_high_water, 7);
+        let line = l.to_string();
+        assert!(line.contains("high_water=7"), "got {line}");
+    }
+
+    #[test]
+    fn fingerprint_excludes_gauges_and_allocs() {
+        let mut a = DaemonLedger::new();
+        let mut b = DaemonLedger::new();
+        a.accepted = 4;
+        b.accepted = 4;
+        b.observe_queue_depth(9);
+        b.alloc_events = 1234;
+        assert_eq!(a.deterministic_fingerprint(), b.deterministic_fingerprint());
+        b.shed += 1;
+        assert_ne!(a.deterministic_fingerprint(), b.deterministic_fingerprint());
+    }
+
+    #[test]
+    fn merge_adds_counters_and_maxes_high_water() {
+        let mut a = DaemonLedger {
+            accepted: 3,
+            completed: 2,
+            queue_high_water: 5,
+            alloc_events: 10,
+            ..DaemonLedger::new()
+        };
+        let b = DaemonLedger {
+            accepted: 4,
+            rejected: 2,
+            shed: 1,
+            resumed: 3,
+            queue_high_water: 2,
+            alloc_events: 5,
+            ..DaemonLedger::new()
+        };
+        a.merge(&b);
+        assert_eq!(a.accepted, 7);
+        assert_eq!(a.rejected, 2);
+        assert_eq!(a.resumed, 3);
+        assert_eq!(a.queue_high_water, 5);
+        assert_eq!(a.alloc_events, 15);
+    }
+
+    #[test]
+    fn kv_fields_cover_the_stats_contract() {
+        let mut l = DaemonLedger::new();
+        l.observe_queue_depth(4);
+        l.alloc_events = 99;
+        let kv = l.kv_fields();
+        for key in ["accepted", "queue_high_water", "alloc_events", "shed"] {
+            assert!(kv.iter().any(|(k, _)| *k == key), "missing {key}");
+        }
+        let find = |key: &str| kv.iter().find(|(k, _)| *k == key).unwrap().1.clone();
+        assert_eq!(find("queue_high_water"), "4");
+        assert_eq!(find("alloc_events"), "99");
+    }
+}

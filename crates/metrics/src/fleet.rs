@@ -98,6 +98,9 @@ pub struct FleetLedger {
     pub timed_out: u64,
     /// Tasks skipped because a resume journal already had their result.
     pub skipped: u64,
+    /// Tasks never attempted (or abandoned between attempts) because
+    /// the run's cooperative cancel token was set.
+    pub cancelled: u64,
     /// Extra attempts beyond each task's first (retries actually run).
     pub retries: u64,
     /// Attempts that ended in an (injected or organic) panic.
@@ -123,7 +126,7 @@ impl FleetLedger {
 
     /// Total tasks the ledger accounts for.
     pub fn tasks(&self) -> u64 {
-        self.ok + self.panicked + self.timed_out + self.skipped
+        self.ok + self.panicked + self.timed_out + self.skipped + self.cancelled
     }
 
     /// Tasks that exhausted their retries (the quarantine list length).
@@ -138,6 +141,7 @@ impl FleetLedger {
         self.panicked += other.panicked;
         self.timed_out += other.timed_out;
         self.skipped += other.skipped;
+        self.cancelled += other.cancelled;
         self.retries += other.retries;
         self.panicked_attempts += other.panicked_attempts;
         self.timed_out_attempts += other.timed_out_attempts;
@@ -158,12 +162,13 @@ impl FleetLedger {
     /// *organic* (host-speed-dependent) timeout fired.
     pub fn deterministic_fingerprint(&self) -> String {
         format!(
-            "fleet[ok={} panicked={} timed_out={} skipped={} retries={} \
+            "fleet[ok={} panicked={} timed_out={} skipped={} cancelled={} retries={} \
              panic_attempts={} timeout_attempts={} injected={}]",
             self.ok,
             self.panicked,
             self.timed_out,
             self.skipped,
+            self.cancelled,
             self.retries,
             self.panicked_attempts,
             self.timed_out_attempts,
@@ -271,6 +276,7 @@ mod tests {
             ok: 4,
             panicked: 1,
             timed_out: 2,
+            cancelled: 1,
             panicked_attempts: 3,
             timed_out_attempts: 2,
             injected_faults: 5,
@@ -278,12 +284,13 @@ mod tests {
             ..FleetLedger::new()
         };
         a.merge(&b);
-        assert_eq!(a.tasks(), 12);
+        assert_eq!(a.cancelled, 1);
+        assert_eq!(a.tasks(), 13);
         assert_eq!(a.quarantined(), 3);
         assert_eq!(a.retries, 1);
         assert_eq!(a.injected_faults, 5);
         assert_eq!(a.alloc_events, 24);
-        assert_eq!(a.allocs_per_task(), 2);
+        assert_eq!(a.allocs_per_task(), 1, "24 allocs over 13 tasks");
         let line = a.to_string();
         assert!(line.contains("ok=7"), "got {line}");
         assert!(line.contains("allocs=24"), "got {line}");

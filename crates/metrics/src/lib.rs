@@ -25,6 +25,7 @@
 
 pub mod analysis;
 pub mod cost;
+pub mod daemon;
 pub mod energy;
 pub mod faults;
 pub mod fleet;
@@ -35,6 +36,7 @@ pub mod trace;
 
 pub use analysis::AnalysisLedger;
 pub use cost::{AppCostProfile, CostModel, CostParams};
+pub use daemon::DaemonLedger;
 pub use energy::EnergyModel;
 pub use faults::FaultMetrics;
 pub use fleet::{DeviceMetrics, FleetLedger};
