@@ -4,10 +4,11 @@
 CARGO ?= cargo
 
 .PHONY: ci build test fmt fmt-fix clippy bench-smoke fault-matrix \
-	fleet-determinism bench-json bench-gate soak lint-study daemon-soak
+	fleet-determinism memo-parity bench-json bench-gate soak lint-study \
+	daemon-soak
 
-ci: build test fmt clippy fault-matrix fleet-determinism bench-smoke \
-	lint-study soak daemon-soak
+ci: build test fmt clippy fault-matrix fleet-determinism memo-parity \
+	bench-smoke lint-study soak daemon-soak
 
 # Seeds for the fault-injection suite. Debug builds keep the
 # batched-vs-eager equivalence checker armed, so each seed also
@@ -48,6 +49,17 @@ bench-smoke:
 fleet-determinism:
 	$(CARGO) test -q --test fleet_determinism
 	DROIDSIM_JOBS=2 $(CARGO) test -q --test fleet_determinism
+
+# The warm-path cache parity gate (DESIGN.md §13): fleet digests with
+# the memo caches on must be bit-identical to a cold run at every
+# worker count under a 5% fault rate, random app specs must digest
+# identically cache-on and cache-off, and eviction under memory
+# pressure mid-fleet must never change a result. The second line
+# re-runs the fleet determinism suite with the caches disabled so the
+# kill switch itself stays a first-class, tested configuration.
+memo-parity:
+	$(CARGO) test -q --release --test memo_parity
+	DROIDSIM_NO_MEMO=1 $(CARGO) test -q --test fleet_determinism
 
 # Crash-safety soak: a 40-task supervised fleet with a 5% injected
 # fleet-task fault rate (panics and a forced stall) plus two hard-broken

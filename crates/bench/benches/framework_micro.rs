@@ -3,7 +3,9 @@
 //! mapping build, lazy migration, coin-flip search).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use droidsim_kernel::SimTime;
+use droidsim_config::{Configuration, Orientation, UiMode};
+use droidsim_kernel::{memo, SimTime};
+use droidsim_resources::{Qualifiers, ResourceTable, ResourceValue};
 use droidsim_view::{ViewKind, ViewOp, ViewTree};
 use rchdroid::MigrationEngine;
 use std::hint::black_box;
@@ -66,6 +68,56 @@ fn bench(c: &mut Criterion) {
                 criterion::BatchSize::SmallInput,
             );
         });
+    }
+
+    // The resolution cold path: `put` keeps each name's variants in
+    // descending-specificity order, so a cold resolve is a first-match
+    // scan instead of a full max-by-specificity pass. Measured with the
+    // memo cache off so the arm times the scan itself, not a cache hit.
+    for names in [8usize, 64] {
+        group.bench_with_input(
+            BenchmarkId::new("resource_resolve_cold", names),
+            &names,
+            |b, &names| {
+                let mut table = ResourceTable::new();
+                for i in 0..names {
+                    let name = format!("s{i}");
+                    table.put(
+                        &name,
+                        Qualifiers::any(),
+                        ResourceValue::String(format!("v{i}")),
+                    );
+                    table.put(
+                        &name,
+                        Qualifiers::any().with_orientation(Orientation::Landscape),
+                        ResourceValue::String(format!("v{i}-land")),
+                    );
+                    table.put(
+                        &name,
+                        Qualifiers::any().with_ui_mode(UiMode::Night),
+                        ResourceValue::String(format!("v{i}-night")),
+                    );
+                    table.put(
+                        &name,
+                        Qualifiers::any().with_min_smallest_width(600),
+                        ResourceValue::String(format!("v{i}-sw600")),
+                    );
+                }
+                let portrait = Configuration::phone_portrait();
+                let landscape = Configuration::phone_landscape();
+                memo::set_enabled(false);
+                b.iter(|| {
+                    let mut hits = 0usize;
+                    for i in 0..names {
+                        let name = format!("s{i}");
+                        hits += usize::from(table.resolve_string(&name, &portrait).is_some());
+                        hits += usize::from(table.resolve_string(&name, &landscape).is_some());
+                    }
+                    black_box(hits)
+                });
+                memo::set_enabled(true);
+            },
+        );
     }
     group.finish();
 }

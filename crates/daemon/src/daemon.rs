@@ -879,11 +879,12 @@ fn reclaim_under_pressure(shared: &Shared) {
     if !shared.headroom.under_pressure() {
         return;
     }
-    let victims = shared.queue.shed_lowest_class(Priority::High);
-    if victims.is_empty() {
-        return;
-    }
+    // Warm-path memo caches are the cheapest memory to give back: drop
+    // their cold half before shedding any queued work. Reclaim never
+    // changes results — evicted entries are re-derived on the cold path.
+    droidsim_kernel::memo::reclaim_all();
     lock(&shared.ledger).reclaim_passes += 1;
+    let victims = shared.queue.shed_lowest_class(Priority::High);
     for victim in victims {
         settle(
             shared,

@@ -200,6 +200,10 @@ pub(crate) fn dispatch(
             let stats = daemon.stats();
             let mut out = vec![("ok", "true".to_owned())];
             out.extend(stats.ledger.kv_fields());
+            // Warm-path cache telemetry (fingerprint-excluded): the memo
+            // caches live as process statics, so a live capture here is
+            // exactly the worker pool's accumulated hit/miss picture.
+            out.extend(droidsim_metrics::MemoLedger::capture().kv_fields());
             out.push(("workers", stats.workers.to_string()));
             out.push(("queue_capacity", stats.queue_capacity.to_string()));
             out.push(("fleet", stats.fleet.deterministic_fingerprint()));

@@ -6,7 +6,8 @@
 //!               [--job table5|fault-matrix] [--size N] [--rate-pct N]
 //!               [--seed N] [--distinct N] [--inner-jobs N]
 //!               [--mixed-priorities] [--wait-ms N] [--reconnect-ms N]
-//!               [--no-verify] [--shutdown drain|now] [--version]
+//!               [--no-verify] [--no-memo] [--shutdown drain|now]
+//!               [--version]
 //! ```
 //!
 //! Submits `--total` jobs (default: **2× the daemon's queue capacity**,
@@ -21,6 +22,13 @@
 //!   restarted daemon must resume the acknowledged backlog);
 //! * unless `--no-verify`, every `done` digest equals the jobs=1
 //!   reference run of the same spec, computed in-process.
+//!
+//! The summary reports p50/p95/p99 submit-to-done latency over the
+//! jobs that completed — the operator-facing number a warm daemon is
+//! supposed to improve. `--no-memo` disables the warm-path memo caches
+//! for the *in-process* reference-digest computation (the daemon's own
+//! `--no-memo` flag governs the daemon side); digests must match either
+//! way.
 //!
 //! The client fan-out claims job indices through the same
 //! `run_claiming_pool` skeleton the fleet drivers use. With
@@ -53,6 +61,7 @@ struct LoadCli {
     wait_ms: u64,
     reconnect_ms: u64,
     verify: bool,
+    no_memo: bool,
     shutdown: Option<ShutdownMode>,
 }
 
@@ -71,6 +80,7 @@ fn parse_cli(args: impl IntoIterator<Item = String>) -> Result<LoadCli, String> 
         wait_ms: 120_000,
         reconnect_ms: 30_000,
         verify: true,
+        no_memo: false,
         shutdown: None,
     };
     let mut args = args.into_iter();
@@ -123,6 +133,7 @@ fn parse_cli(args: impl IntoIterator<Item = String>) -> Result<LoadCli, String> 
             "--wait-ms" => cli.wait_ms = number(flag, &value(flag, inline, &mut args)?)?,
             "--reconnect-ms" => cli.reconnect_ms = number(flag, &value(flag, inline, &mut args)?)?,
             "--no-verify" => cli.verify = false,
+            "--no-memo" => cli.no_memo = true,
             "--shutdown" => {
                 let v = value(flag, inline, &mut args)?;
                 cli.shutdown = Some(
@@ -204,6 +215,9 @@ fn main() {
         eprintln!("error: {e}");
         std::process::exit(2);
     });
+    if cli.no_memo {
+        droidsim_kernel::memo::set_enabled(false);
+    }
 
     // Size the burst off the daemon's own capacity: 2x forces the
     // admission path to answer under overload.
@@ -247,17 +261,23 @@ fn main() {
     );
 
     // Submit burst: client threads claim index chunks through the same
-    // pool skeleton the fleet drivers use.
+    // pool skeleton the fleet drivers use. The submit instant per index
+    // anchors the submit-to-done latency the summary reports.
     let slots: Vec<Mutex<Option<Slot>>> = (0..total).map(|_| Mutex::new(None)).collect();
+    let submitted_at: Vec<Mutex<Option<Instant>>> = (0..total).map(|_| Mutex::new(None)).collect();
     run_claiming_pool(cli.clients, total, |range| {
         let mut conn: Option<Client> = None;
         for i in range {
             let spec = spec_for(&cli, i);
+            let sent = Instant::now();
             let outcome = with_reconnect(&mut conn, &cli.socket, cli.reconnect_ms, |c| {
                 c.submit(&spec)
             });
             let slot = match outcome {
-                Ok(Admission::Accepted { id, .. }) => Slot::Accepted(id),
+                Ok(Admission::Accepted { id, .. }) => {
+                    *submitted_at[i].lock().unwrap() = Some(sent);
+                    Slot::Accepted(id)
+                }
                 Ok(Admission::Rejected { reason }) => Slot::Rejected(reason),
                 Err(e) => Slot::Violation(format!("no answer to submit: {e}")),
             };
@@ -266,7 +286,11 @@ fn main() {
     });
 
     // Settle phase: poll every acknowledged job to a terminal state,
-    // riding out a daemon kill/restart via reconnection.
+    // riding out a daemon kill/restart via reconnection. The elapsed
+    // time from the submit instant to the terminal observation is the
+    // per-job submit-to-done latency.
+    let settled_after: Vec<Mutex<Option<Duration>>> =
+        (0..total).map(|_| Mutex::new(None)).collect();
     run_claiming_pool(cli.clients, total, |range| {
         let mut conn: Option<Client> = None;
         for i in range {
@@ -280,7 +304,12 @@ fn main() {
                     c.wait(id, Duration::from_millis(2_000))
                 });
                 match status {
-                    Ok(s) if s.state.is_terminal() => break Slot::Settled(id, s.state),
+                    Ok(s) if s.state.is_terminal() => {
+                        if let Some(sent) = *submitted_at[i].lock().unwrap() {
+                            *settled_after[i].lock().unwrap() = Some(sent.elapsed());
+                        }
+                        break Slot::Settled(id, s.state);
+                    }
                     Ok(_) if Instant::now() >= deadline => {
                         break Slot::Violation(format!(
                             "job {id}: acknowledged but unsettled after {} ms",
@@ -306,6 +335,7 @@ fn main() {
     let mut reject_reasons: std::collections::BTreeMap<String, usize> =
         std::collections::BTreeMap::new();
     let mut violations: Vec<String> = Vec::new();
+    let mut done_latencies_ms: Vec<f64> = Vec::new();
     for (i, slot) in slots.iter().enumerate() {
         match slot.lock().unwrap().take() {
             Some(Slot::Rejected(reason)) => {
@@ -317,6 +347,9 @@ fn main() {
                 match &state {
                     JobState::Done { digest } => {
                         done += 1;
+                        if let Some(latency) = *settled_after[i].lock().unwrap() {
+                            done_latencies_ms.push(latency.as_secs_f64() * 1_000.0);
+                        }
                         if let Some(expect) = references[i % cli.distinct] {
                             if *digest == expect {
                                 verified += 1;
@@ -358,6 +391,17 @@ fn main() {
         "droidsim-load: accepted={accepted} rejected={rejected} | done={done} shed={shed} \
          cancelled={cancelled} failed={failed}"
     );
+    if !done_latencies_ms.is_empty() {
+        let p = |q: f64| droidsim_metrics::stats::percentile(&done_latencies_ms, q);
+        println!(
+            "droidsim-load: submit-to-done latency p50={:.1}ms p95={:.1}ms p99={:.1}ms \
+             ({} sample(s))",
+            p(0.50),
+            p(0.95),
+            p(0.99),
+            done_latencies_ms.len()
+        );
+    }
     if !reject_reasons.is_empty() {
         let reasons: Vec<String> = reject_reasons
             .iter()

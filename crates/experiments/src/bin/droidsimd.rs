@@ -4,7 +4,7 @@
 //! droidsimd [--socket PATH] [--capacity N] [--workers N]
 //!           [--journal-dir DIR] [--headroom-floor-kib N]
 //!           [--admission-fault-pct N] [--seed N] [--tick-ms N]
-//!           [--version]
+//!           [--no-memo] [--version]
 //! ```
 //!
 //! Serves simulation jobs (`table5`, `fig10`, `ablation`,
@@ -24,6 +24,11 @@
 //! rejections (deterministic under `--seed`) — a testing aid proving
 //! clients see explicit `rejected` responses, never silence.
 //!
+//! `--no-memo` disables the warm-path memo caches (resolution,
+//! inflation, mapping plans) for the whole process — every job takes
+//! the cold path. The `stats` endpoint's `memo_*` fields then stay at
+//! zero; digests are identical either way (the memo ≡ cold contract).
+//!
 //! Exit codes: 0 after a clean `cmd=shutdown`; 2 on a usage error.
 
 use std::path::PathBuf;
@@ -37,6 +42,7 @@ use rch_experiments::StudyExecutor;
 struct DaemonCli {
     socket: PathBuf,
     config: DaemonConfig,
+    no_memo: bool,
 }
 
 fn parse_cli(args: impl IntoIterator<Item = String>) -> Result<DaemonCli, String> {
@@ -44,6 +50,7 @@ fn parse_cli(args: impl IntoIterator<Item = String>) -> Result<DaemonCli, String
     let mut config = DaemonConfig::new();
     let mut fault_pct: u8 = 0;
     let mut seed: u64 = 0x5EED;
+    let mut no_memo = false;
     let mut args = args.into_iter();
     let value = |flag: &str, inline: Option<String>, args: &mut dyn Iterator<Item = String>| {
         inline
@@ -100,6 +107,7 @@ fn parse_cli(args: impl IntoIterator<Item = String>) -> Result<DaemonCli, String
                 let v = value("--tick-ms", inline, &mut args)?;
                 config = config.with_tick(Duration::from_millis(number("--tick-ms", &v)?));
             }
+            "--no-memo" => no_memo = true,
             other => return Err(format!("unknown flag {other:?}")),
         }
     }
@@ -108,7 +116,11 @@ fn parse_cli(args: impl IntoIterator<Item = String>) -> Result<DaemonCli, String
             FaultPlan::seeded(seed).with_rate(FaultSite::Admission, f64::from(fault_pct) / 100.0),
         );
     }
-    Ok(DaemonCli { socket, config })
+    Ok(DaemonCli {
+        socket,
+        config,
+        no_memo,
+    })
 }
 
 fn main() {
@@ -117,6 +129,9 @@ fn main() {
         eprintln!("error: {e}");
         std::process::exit(2);
     });
+    if cli.no_memo {
+        droidsim_kernel::memo::set_enabled(false);
+    }
     if let Some(dir) = &cli.config.journal_dir {
         if let Err(e) = std::fs::create_dir_all(dir) {
             eprintln!("error: --journal-dir {}: {e}", dir.display());

@@ -61,6 +61,10 @@ use std::time::Duration;
 ///   `--keep-going`);
 /// * `--resume PATH` — skip tasks PATH already records, appending new
 ///   completions to it (implies `--keep-going`);
+/// * `--no-memo` — disable the warm-path memo caches (`kernel::memo`)
+///   for this process: every resolution, inflation, and mapping build
+///   takes the cold path. The correctness kill switch behind the
+///   memo ≡ cold parity gates; `DROIDSIM_NO_MEMO=1` is the env form.
 /// * `--version` — print the binary's name and version, then exit.
 ///
 /// Tokens the fleet layer does not recognize land in [`FleetCli::extra`]
@@ -75,6 +79,8 @@ pub struct FleetCli {
     pub supervised: bool,
     /// Supervision knobs assembled from the flags.
     pub options: FleetOptions,
+    /// Whether `--no-memo` was present (warm-path caches disabled).
+    pub no_memo: bool,
     /// Whether `--version` was present.
     pub version: bool,
     /// Tokens the fleet layer did not consume, in command-line order —
@@ -103,10 +109,17 @@ impl FleetCli {
     /// unknown-flag rejection for its remainder.
     pub fn from_args_passthrough() -> FleetCli {
         version_flag();
-        FleetCli::parse(std::env::args().skip(1)).unwrap_or_else(|e| {
+        let cli = FleetCli::parse(std::env::args().skip(1)).unwrap_or_else(|e| {
             eprintln!("error: {e}");
             std::process::exit(2);
-        })
+        });
+        // Apply the kill switch before any workload code runs so the
+        // caches never see a probe in a `--no-memo` process. Leaving the
+        // flag off does not force-enable: `DROIDSIM_NO_MEMO` still wins.
+        if cli.no_memo {
+            droidsim_kernel::memo::set_enabled(false);
+        }
+        cli
     }
 
     /// The strict contract for binaries with no flags of their own:
@@ -171,6 +184,7 @@ impl FleetCli {
                     cli.options = cli.options.clone().resuming(v);
                     cli.supervised = true;
                 }
+                "--no-memo" => cli.no_memo = true,
                 "--version" => cli.version = true,
                 // Binaries keep their own extra flags: preserve the
                 // raw token (value-bearing forms like `--views=16` or
@@ -296,6 +310,15 @@ mod cli_tests {
             .deny_unknown()
             .unwrap_err();
         assert!(err.contains("\"--corpus\""), "{err}");
+    }
+
+    #[test]
+    fn no_memo_parses_without_selecting_supervision() {
+        let cli = parse(&["--no-memo", "--jobs", "2"]).unwrap();
+        assert!(cli.no_memo);
+        assert!(!cli.supervised);
+        assert!(cli.deny_unknown().is_ok());
+        assert!(!parse(&["--jobs", "2"]).unwrap().no_memo);
     }
 
     #[test]

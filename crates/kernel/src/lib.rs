@@ -16,6 +16,8 @@
 //!   append-only checkpoint journals.
 //! * [`alloc_track`] — coarse allocation-event accounting so the fleet
 //!   ledger can report allocations-per-sim.
+//! * [`memo`] — shard-per-key, content-addressed memoization for the
+//!   warm-path caches (resolution, inflation, mapping plans).
 //!
 //! # Examples
 //!
@@ -33,6 +35,7 @@ pub mod alloc_track;
 pub mod id;
 pub mod intern;
 pub mod journal;
+pub mod memo;
 pub mod queue;
 pub mod rng;
 pub mod time;
