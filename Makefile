@@ -5,10 +5,10 @@ CARGO ?= cargo
 
 .PHONY: ci build test fmt fmt-fix clippy bench-smoke fault-matrix \
 	fleet-determinism memo-parity bench-json bench-gate soak lint-study \
-	daemon-soak
+	daemon-soak chaos-soak
 
 ci: build test fmt clippy fault-matrix fleet-determinism memo-parity \
-	bench-smoke lint-study soak daemon-soak
+	bench-smoke lint-study soak daemon-soak chaos-soak
 
 # Seeds for the fault-injection suite. Debug builds keep the
 # batched-vs-eager equivalence checker armed, so each seed also
@@ -77,6 +77,17 @@ soak:
 daemon-soak:
 	$(CARGO) build --release -q -p rch-experiments --bins
 	bash scripts/daemon_soak.sh
+
+# Chaos soak (DESIGN.md §14): the daemon edge under injected I/O
+# faults. Phase 1 forces an ENOSPC window (--enospc-window) and
+# requires the full degraded -> recovered round trip on disk; phase 2
+# floods a daemon running 5% journal/socket faults at 2x capacity with
+# 20% deliberately lost acks and a SIGKILL/restart mid-backlog. Gate:
+# zero lost acknowledged jobs, zero duplicated executions, explicit
+# rejections only. Journals land in target/chaos-soak/ for CI.
+chaos-soak:
+	$(CARGO) build --release -q -p rch-experiments --bins
+	bash scripts/chaos_soak.sh
 
 # The static-analysis study (DESIGN.md §10): every known-issue-free
 # corpus app must lint clean even under --deny-warnings, and the

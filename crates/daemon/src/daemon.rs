@@ -40,6 +40,7 @@ use droidsim_fleet::CancelToken;
 use droidsim_kernel::journal;
 use droidsim_metrics::{DaemonLedger, FleetLedger};
 
+use crate::faultio::IoFaults;
 use crate::headroom::HeadroomProbe;
 use crate::journal::{DaemonJournal, JournalView};
 use crate::queue::{AdmissionQueue, Admit, QueuedJob};
@@ -109,6 +110,9 @@ pub struct DaemonConfig {
     /// Fault plan probed once per submission at
     /// [`FaultSite::Admission`].
     pub admission_faults: FaultPlan,
+    /// I/O fault shim threaded into the journal (and shareable with
+    /// the socket server). Disarmed by default.
+    pub io_faults: IoFaults,
     /// Watchdog cadence for deadline checks and reclaim passes.
     pub tick: Duration,
 }
@@ -121,6 +125,7 @@ impl Default for DaemonConfig {
             journal_dir: None,
             headroom: HeadroomProbe::disabled(),
             admission_faults: FaultPlan::disarmed(),
+            io_faults: IoFaults::disarmed(),
             tick: Duration::from_millis(25),
         }
     }
@@ -162,6 +167,13 @@ impl DaemonConfig {
         self
     }
 
+    /// Installs an I/O fault shim (shared with the server for socket
+    /// faults when both get the same handle).
+    pub fn with_io_faults(mut self, io: IoFaults) -> Self {
+        self.io_faults = io;
+        self
+    }
+
     /// Sets the watchdog cadence.
     pub fn with_tick(mut self, tick: Duration) -> Self {
         self.tick = tick;
@@ -183,8 +195,17 @@ pub enum Admission {
     /// journaled; the submission left no trace but this response.
     Rejected {
         /// Why (`queue-full`, `memory-pressure`, `shutting-down`,
-        /// `bad-spec: …`, `injected-admission-fault`, …).
+        /// `bad-spec: …`, `injected-admission-fault`,
+        /// `journal-degraded`, …).
         reason: String,
+    },
+    /// The spec's `dedupe_key` matched an already-accepted job: nothing
+    /// new was scheduled, nothing was journaled. The original job's id
+    /// is returned so a client retrying after a lost ack converges on
+    /// the one real execution.
+    Duplicate {
+        /// The originally assigned job id.
+        id: u64,
     },
 }
 
@@ -292,6 +313,10 @@ struct JobEntry {
 struct AdmissionGate {
     faults: FaultPlan,
     next_id: u64,
+    /// `dedupe_key` → original job id, for every accepted job that
+    /// supplied a key. Rebuilt from the journal on start, so
+    /// idempotency holds across restarts.
+    dedupe: BTreeMap<String, u64>,
 }
 
 struct Shared {
@@ -302,8 +327,16 @@ struct Shared {
     ledger: Mutex<DaemonLedger>,
     fleet_totals: Mutex<FleetLedger>,
     journal: Mutex<Option<DaemonJournal>>,
+    /// Terminal states owed to the journal: settles whose
+    /// `record_state` failed while the journal was refusing writes.
+    /// The watchdog's recovery probe drains this before re-arming.
+    journal_backlog: Mutex<Vec<(u64, JobState)>>,
     gate: Mutex<AdmissionGate>,
     draining: AtomicBool,
+    /// Journal writes are failing: reject new submissions
+    /// (`journal-degraded`), finish in-flight work, probe for
+    /// recovery. Cleared by the watchdog once writes succeed again.
+    degraded: AtomicBool,
     stop_now: AtomicBool,
     stopped: AtomicBool,
     allocs_at_start: u64,
@@ -347,7 +380,7 @@ impl Daemon {
                 // tore (a half-written record, even a half-written
                 // header) by truncating to the valid prefix, so the
                 // load that follows always sees a clean file.
-                let journal = DaemonJournal::open_append(&path)?;
+                let journal = DaemonJournal::open_append_with(&path, cfg.io_faults.clone())?;
                 let view = DaemonJournal::load(&path)?;
                 (Some(journal), view)
             }
@@ -367,6 +400,14 @@ impl Daemon {
         let mut ledger = DaemonLedger::new();
         let mut jobs = BTreeMap::new();
         let mut resume = Vec::new();
+        // Rebuild the idempotency map (view iterates in id order, so
+        // the *first* acceptance of a key wins, matching live order).
+        let mut dedupe = BTreeMap::new();
+        for j in view.jobs.values() {
+            if !j.spec.dedupe_key.is_empty() {
+                dedupe.entry(j.spec.dedupe_key.clone()).or_insert(j.id);
+            }
+        }
         for j in view.jobs.values() {
             let state = match &j.terminal {
                 Some(state) => {
@@ -417,11 +458,14 @@ impl Daemon {
             ledger: Mutex::new(ledger),
             fleet_totals: Mutex::new(FleetLedger::new()),
             journal: Mutex::new(journal),
+            journal_backlog: Mutex::new(Vec::new()),
             gate: Mutex::new(AdmissionGate {
                 faults: cfg.admission_faults.clone(),
                 next_id: view.next_id,
+                dedupe,
             }),
             draining: AtomicBool::new(false),
+            degraded: AtomicBool::new(false),
             stop_now: AtomicBool::new(false),
             stopped: AtomicBool::new(false),
             allocs_at_start: droidsim_kernel::alloc_track::current(),
@@ -454,11 +498,11 @@ impl Daemon {
         })
     }
 
-    /// Submits one job: validate → admission-fault probe → pressure
-    /// check → queue decision → **journal (fsync)** → enqueue → ack.
-    /// The whole sequence is serialized on the admission gate so the
-    /// queue decision cannot be invalidated before the enqueue (pops
-    /// only shrink the queue).
+    /// Submits one job: validate → admission-fault probe → dedupe
+    /// lookup → degraded check → pressure check → queue decision →
+    /// **journal (fsync)** → enqueue → ack. The whole sequence is
+    /// serialized on the admission gate so the queue decision cannot be
+    /// invalidated before the enqueue (pops only shrink the queue).
     pub fn submit(&self, spec: JobSpec) -> Admission {
         let shared = &self.shared;
         if shared.draining.load(Ordering::Acquire) || shared.stop_now.load(Ordering::Acquire) {
@@ -470,6 +514,22 @@ impl Daemon {
         let mut gate = lock(&shared.gate);
         if gate.faults.should_inject(FaultSite::Admission) {
             return self.reject("injected-admission-fault", true);
+        }
+        // Idempotency first: a retry of an already-accepted submission
+        // converges on the original id even while degraded or under
+        // pressure — the original's journal record is the promise.
+        if !spec.dedupe_key.is_empty() {
+            if let Some(&original) = gate.dedupe.get(&spec.dedupe_key) {
+                lock(&shared.ledger).dedupe_hits += 1;
+                return Admission::Duplicate { id: original };
+            }
+        }
+        if shared.degraded.load(Ordering::Acquire) {
+            // The journal is refusing writes: accepting would mean
+            // acking unjournaled work. Reject explicitly; the watchdog
+            // probes for recovery. (Not touching the journal here keeps
+            // the probe sequence deterministic for seeded fault plans.)
+            return self.reject("journal-degraded", false);
         }
         if shared.headroom.under_pressure() && spec.priority < Priority::High {
             // Load shedding at the door: cheaper than queuing work the
@@ -495,11 +555,23 @@ impl Daemon {
             },
         );
         // Accept-before-ack: the fsync'd journal record is the promise.
-        if let Some(j) = lock(&shared.journal).as_mut() {
-            if let Err(e) = j.record_accepted(id, &spec) {
-                lock(&shared.jobs).remove(&id);
-                return self.reject(&format!("journal-error: {e}"), false);
+        let journal_failed = {
+            let mut journal = lock(&shared.journal);
+            match journal.as_mut() {
+                Some(j) => j.record_accepted(id, &spec).is_err(),
+                None => false,
             }
+        };
+        if journal_failed {
+            // Never ack unjournaled work: withdraw the entry, enter
+            // degraded, and tell the client exactly why. The id is
+            // burned, not reused — ids only ever move forward.
+            lock(&shared.jobs).remove(&id);
+            note_journal_fault(shared);
+            return self.reject("journal-degraded", false);
+        }
+        if !spec.dedupe_key.is_empty() {
+            gate.dedupe.insert(spec.dedupe_key.clone(), id);
         }
         let depth = match shared.queue.try_admit(QueuedJob { id, spec }) {
             Admit::Queued { depth } => depth,
@@ -677,6 +749,59 @@ impl Daemon {
     pub fn is_draining(&self) -> bool {
         self.shared.draining.load(Ordering::Acquire)
     }
+
+    /// Whether the journal is refusing writes and new submissions are
+    /// being rejected with `journal-degraded`.
+    pub fn is_degraded(&self) -> bool {
+        self.shared.degraded.load(Ordering::Acquire)
+    }
+
+    /// Terminal states still owed to the journal (settles that could
+    /// not be recorded while degraded).
+    pub fn journal_backlog_len(&self) -> usize {
+        lock(&self.shared.journal_backlog).len()
+    }
+
+    /// Counts a connection refused by the server's concurrency cap.
+    pub fn note_conn_rejected(&self) {
+        lock(&self.shared.ledger).conns_rejected += 1;
+    }
+
+    /// Counts a connection closed by the server's read timeout.
+    pub fn note_slowloris(&self) {
+        lock(&self.shared.ledger).slowloris_closed += 1;
+    }
+
+    /// The `health` endpoint's fields: the lifecycle state machine
+    /// (`running|draining|degraded|stopped`) plus journal status.
+    pub fn health_fields(&self) -> Vec<(&'static str, String)> {
+        let state = if self.is_stopped() {
+            "stopped"
+        } else if self.is_draining() {
+            "draining"
+        } else if self.is_degraded() {
+            "degraded"
+        } else {
+            "running"
+        };
+        vec![
+            ("state", state.to_owned()),
+            (
+                "journal",
+                if self.shared.journal_dir.is_some() {
+                    "enabled".to_owned()
+                } else {
+                    "disabled".to_owned()
+                },
+            ),
+            ("journal_degraded", self.is_degraded().to_string()),
+            ("journal_backlog", self.journal_backlog_len().to_string()),
+            (
+                "in_flight",
+                lock(&self.shared.ledger).in_flight().to_string(),
+            ),
+        ]
+    }
 }
 
 impl Drop for Daemon {
@@ -714,8 +839,20 @@ fn settle(shared: &Shared, id: u64, state: JobState) {
         }
         entry.state = state.clone();
     }
-    if let Some(j) = lock(&shared.journal).as_mut() {
-        let _ = j.record_state(id, &state);
+    let journal_failed = {
+        let mut journal = lock(&shared.journal);
+        match journal.as_mut() {
+            Some(j) => j.record_state(id, &state).is_err(),
+            None => false,
+        }
+    };
+    if journal_failed {
+        // The settle stands in memory (waiters see it, the executor's
+        // work is not redone) but the journal is owed the record: queue
+        // it on the backlog the recovery probe drains, and degrade so
+        // no *new* work is acked on a journal that can't keep promises.
+        lock(&shared.journal_backlog).push((id, state.clone()));
+        note_journal_fault(shared);
     }
     {
         let mut ledger = lock(&shared.ledger);
@@ -830,8 +967,48 @@ fn watchdog_loop(shared: &Arc<Shared>) {
         }
         enforce_deadlines(shared);
         reclaim_under_pressure(shared);
+        probe_journal(shared);
         let depth = shared.queue.depth() as u64;
         lock(&shared.ledger).observe_queue_depth(depth);
+    }
+}
+
+/// Counts a journal write/fsync failure and enters the degraded state
+/// (the entry is counted once per running-to-degraded transition).
+fn note_journal_fault(shared: &Shared) {
+    let mut ledger = lock(&shared.ledger);
+    ledger.journal_faults += 1;
+    if !shared.degraded.swap(true, Ordering::AcqRel) {
+        ledger.degraded_entries += 1;
+    }
+}
+
+/// The degraded daemon's path back: each watchdog tick, first pay the
+/// journal what it is owed (the settle backlog), then prove the write
+/// path with a no-op probe record. Only when both succeed does the
+/// daemon re-arm and accept submissions again.
+fn probe_journal(shared: &Shared) {
+    if !shared.degraded.load(Ordering::Acquire) {
+        return;
+    }
+    let mut journal = lock(&shared.journal);
+    let Some(j) = journal.as_mut() else {
+        // No journal configured: nothing to be degraded about.
+        shared.degraded.store(false, Ordering::Release);
+        return;
+    };
+    loop {
+        let owed = lock(&shared.journal_backlog).first().cloned();
+        let Some((id, state)) = owed else { break };
+        if j.record_state(id, &state).is_err() {
+            lock(&shared.ledger).journal_faults += 1;
+            return; // still failing; try again next tick
+        }
+        lock(&shared.journal_backlog).remove(0);
+    }
+    match j.probe() {
+        Ok(()) => shared.degraded.store(false, Ordering::Release),
+        Err(_) => lock(&shared.ledger).journal_faults += 1,
     }
 }
 
@@ -965,6 +1142,7 @@ mod tests {
         match adm {
             Admission::Accepted { id, .. } => *id,
             Admission::Rejected { reason } => panic!("expected acceptance, got {reason}"),
+            Admission::Duplicate { id } => panic!("expected acceptance, got duplicate of {id}"),
         }
     }
 
@@ -1028,6 +1206,7 @@ mod tests {
                     assert_eq!(reason, "queue-full");
                     rejected += 1;
                 }
+                Admission::Duplicate { id } => panic!("no dedupe keys, got duplicate of {id}"),
             }
         }
         assert!(rejected > 0, "8 submits into capacity 2 must overflow");
@@ -1265,6 +1444,156 @@ mod tests {
             }
         );
         d3.shutdown(ShutdownMode::Drain);
+    }
+
+    #[test]
+    fn duplicate_dedupe_keys_converge_on_one_execution_across_restart() {
+        let dir = scratch("dedupe");
+        let first;
+        {
+            let d = Daemon::start(
+                DaemonConfig::new().with_journal_dir(&dir),
+                TestExecutor::instant(),
+            )
+            .unwrap();
+            first = accepted_id(&d.submit(spec(1).with_dedupe_key("k-1")));
+            // A blind retry (lost ack) returns the original id…
+            assert_eq!(
+                d.submit(spec(1).with_dedupe_key("k-1")),
+                Admission::Duplicate { id: first }
+            );
+            // …while a different key is new work.
+            let other = accepted_id(&d.submit(spec(2).with_dedupe_key("k-2")));
+            assert_ne!(first, other);
+            d.shutdown(ShutdownMode::Drain);
+            let stats = d.stats();
+            assert_eq!(stats.ledger.accepted, 2);
+            assert_eq!(stats.ledger.dedupe_hits, 1);
+        }
+        // The map survives the restart via the journal: the same key
+        // still answers with the original id, even though that job has
+        // long settled.
+        let d = Daemon::start(
+            DaemonConfig::new().with_journal_dir(&dir),
+            TestExecutor::instant(),
+        )
+        .unwrap();
+        assert_eq!(
+            d.submit(spec(1).with_dedupe_key("k-1")),
+            Admission::Duplicate { id: first }
+        );
+        assert_eq!(
+            d.status(first).unwrap().state,
+            JobState::Done {
+                digest: digest_of_seed(1)
+            }
+        );
+        d.shutdown(ShutdownMode::Drain);
+    }
+
+    #[test]
+    fn journal_faults_degrade_then_recover_without_losing_acks() {
+        use crate::faultio::IoFaults;
+
+        let dir = scratch("degraded");
+        let io = IoFaults::disarmed();
+        let d = Daemon::start(
+            DaemonConfig::new()
+                .with_workers(1)
+                .with_tick(Duration::from_millis(5))
+                .with_journal_dir(&dir)
+                .with_io_faults(io.clone()),
+            TestExecutor::slow(40),
+        )
+        .unwrap();
+        // A healthy accept, still running when the fault window opens.
+        let running = accepted_id(&d.submit(spec(1).with_dedupe_key("k-run")));
+        wait_until_running(&d, running);
+
+        // ENOSPC window: every journal write fails from here on.
+        io.set_plan(FaultPlan::seeded(7).with_rate(FaultSite::JournalWrite, 1.0));
+        // The next submit hits the failing journal: rejected, never
+        // acked, and the daemon is now degraded.
+        assert!(matches!(
+            d.submit(spec(2)),
+            Admission::Rejected { reason } if reason == "journal-degraded"
+        ));
+        assert!(d.is_degraded());
+        // While degraded, submissions are refused *without* touching
+        // the journal…
+        assert!(matches!(
+            d.submit(spec(3)),
+            Admission::Rejected { reason } if reason == "journal-degraded"
+        ));
+        // …but a duplicate of acknowledged work still converges.
+        assert_eq!(
+            d.submit(spec(1).with_dedupe_key("k-run")),
+            Admission::Duplicate { id: running }
+        );
+        // In-flight work finishes during the window; its terminal
+        // record lands on the backlog, owed to the journal.
+        let status = d.wait(running, Duration::from_secs(5)).unwrap();
+        assert_eq!(
+            status.state,
+            JobState::Done {
+                digest: digest_of_seed(1)
+            },
+            "degraded mode finishes in-flight work"
+        );
+
+        // The window closes; the watchdog's probe drains the backlog
+        // and re-arms on its own.
+        io.set_plan(FaultPlan::disarmed());
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while d.is_degraded() {
+            assert!(Instant::now() < deadline, "daemon never recovered");
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert_eq!(d.journal_backlog_len(), 0, "owed records were paid");
+        let id2 = accepted_id(&d.submit(spec(4)));
+        assert!(d
+            .wait(id2, Duration::from_secs(5))
+            .unwrap()
+            .state
+            .is_terminal());
+        d.shutdown(ShutdownMode::Drain);
+        let stats = d.stats();
+        assert_eq!(stats.ledger.degraded_entries, 1);
+        assert!(stats.ledger.journal_faults >= 1);
+
+        // The journal survived the chaos: a restart sees the settled
+        // digest (flushed from the backlog), resumes nothing, and never
+        // heard of the rejected submissions.
+        let d2 = Daemon::start(
+            DaemonConfig::new().with_journal_dir(&dir),
+            TestExecutor::instant(),
+        )
+        .unwrap();
+        assert_eq!(d2.stats().ledger.resumed, 0);
+        assert_eq!(
+            d2.status(running).unwrap().state,
+            JobState::Done {
+                digest: digest_of_seed(1)
+            }
+        );
+        d2.shutdown(ShutdownMode::Drain);
+    }
+
+    #[test]
+    fn health_fields_walk_the_state_machine() {
+        let d = Daemon::start(DaemonConfig::new(), TestExecutor::instant()).unwrap();
+        let field = |fields: &Vec<(&'static str, String)>, key: &str| {
+            fields
+                .iter()
+                .find(|(k, _)| *k == key)
+                .map(|(_, v)| v.clone())
+                .unwrap()
+        };
+        let h = d.health_fields();
+        assert_eq!(field(&h, "state"), "running");
+        assert_eq!(field(&h, "journal"), "disabled");
+        d.shutdown(ShutdownMode::Drain);
+        assert_eq!(field(&d.health_fields(), "state"), "stopped");
     }
 
     #[test]

@@ -19,10 +19,11 @@
 use std::collections::BTreeMap;
 use std::fs::{File, OpenOptions};
 use std::io::{BufRead, BufReader, Write};
-use std::path::Path;
+use std::path::{Path, PathBuf};
 
 use droidsim_kernel::journal;
 
+use crate::faultio::{enospc_error, IoFaults, WriteFault};
 use crate::spec::{JobSpec, JobState};
 use crate::{encode_fields, DaemonError};
 
@@ -59,19 +60,43 @@ impl JournalView {
 }
 
 /// Append handle to a daemon journal (see module docs).
+///
+/// Every append goes through the [`IoFaults`] shim, and the handle
+/// tracks the byte length of the last *known-durable* prefix: when a
+/// write or fsync fails — injected or real — the bytes past that
+/// prefix are untrustworthy, so the next append (or an explicit
+/// [`DaemonJournal::probe`]) first rolls the file back to the clean
+/// length. A failed append therefore never corrupts the records before
+/// it, and a later successful append never lands after a tear.
 #[derive(Debug)]
 pub struct DaemonJournal {
     file: File,
+    path: PathBuf,
+    /// Bytes known fully written *and* fsync'd.
+    clean_len: u64,
+    /// A write or sync failed after `clean_len`: roll back before the
+    /// next append.
+    dirty: bool,
+    faults: IoFaults,
 }
 
 impl DaemonJournal {
+    /// Opens `path` for appending with a disarmed fault shim (see
+    /// [`DaemonJournal::open_append_with`]).
+    pub fn open_append(path: &Path) -> Result<DaemonJournal, DaemonError> {
+        DaemonJournal::open_append_with(path, IoFaults::disarmed())
+    }
+
     /// Opens `path` for appending, writing the header if the file is
     /// new or empty. An existing file must be a daemon journal of the
     /// supported version — anything else is a [`DaemonError::Journal`]
     /// — and a torn tail (the half-line a crash mid-append leaves) is
     /// truncated away first, so new records land after the last valid
-    /// one instead of merging into the tear.
-    pub fn open_append(path: &Path) -> Result<DaemonJournal, DaemonError> {
+    /// one instead of merging into the tear. `faults` shims every
+    /// subsequent append (the open itself is never fault-injected: a
+    /// daemon that cannot even open its journal should fail loudly at
+    /// startup, not degrade).
+    pub fn open_append_with(path: &Path, faults: IoFaults) -> Result<DaemonJournal, DaemonError> {
         let mut exists = path.exists() && std::fs::metadata(path)?.len() > 0;
         if exists {
             // Full validation: a foreign or corrupt header must fail
@@ -106,7 +131,14 @@ impl DaemonJournal {
             writeln!(file, "{header}")?;
             file.sync_data()?;
         }
-        Ok(DaemonJournal { file })
+        let clean_len = std::fs::metadata(path)?.len();
+        Ok(DaemonJournal {
+            file,
+            path: path.to_path_buf(),
+            clean_len,
+            dirty: false,
+            faults,
+        })
     }
 
     /// Journals an acceptance. Must complete (including fsync) before
@@ -127,10 +159,75 @@ impl DaemonJournal {
         self.append(&fields)
     }
 
+    /// Appends one fsync'd probe record. The replay skips probe
+    /// records, so they carry no state — their only job is to prove,
+    /// end to end through the same write+sync path every real record
+    /// takes, that the journal accepts bytes again. The degraded
+    /// daemon's watchdog calls this each tick until it succeeds.
+    pub fn probe(&mut self) -> Result<(), DaemonError> {
+        self.append(&[("kind", "probe".to_owned())])
+    }
+
+    /// Whether the last append left untrusted bytes past the clean
+    /// prefix (rolled back automatically before the next append).
+    pub fn is_dirty(&self) -> bool {
+        self.dirty
+    }
+
     fn append(&mut self, fields: &[(&'static str, String)]) -> Result<(), DaemonError> {
-        writeln!(self.file, "{}", encode_fields(fields))?;
-        self.file.flush()?;
-        self.file.sync_data()?;
+        if self.dirty {
+            self.rollback()?;
+        }
+        let mut line = encode_fields(fields);
+        line.push('\n');
+        match self.faults.journal_write_fault() {
+            Some(WriteFault::Enospc) => {
+                // Refused before any byte lands: the file is still
+                // clean, only the record is lost.
+                return Err(DaemonError::Io(enospc_error()));
+            }
+            Some(WriteFault::Short) => {
+                // Half the record lands, then the device gives up: the
+                // torn line a crash leaves, forced on demand. The next
+                // append rolls it back.
+                let half = &line.as_bytes()[..line.len() / 2];
+                let wrote = self.file.write_all(half);
+                self.dirty = true;
+                wrote?;
+                return Err(DaemonError::Io(enospc_error()));
+            }
+            None => {}
+        }
+        if let Err(e) = self.file.write_all(line.as_bytes()) {
+            // A real write failure of unknown extent: distrust the tail.
+            self.dirty = true;
+            return Err(DaemonError::Io(e));
+        }
+        let synced = match self.faults.journal_sync_fault() {
+            Some(injected) => Err(injected),
+            None => self.file.sync_data(),
+        };
+        if let Err(e) = synced {
+            // After a failed fsync the bytes may or may not be on disk;
+            // the only safe stance is "not journaled": roll back and
+            // rewrite later.
+            self.dirty = true;
+            return Err(DaemonError::Io(e));
+        }
+        self.clean_len += line.len() as u64;
+        Ok(())
+    }
+
+    /// Discards whatever a failed append left past the clean prefix.
+    fn rollback(&mut self) -> Result<(), DaemonError> {
+        OpenOptions::new()
+            .write(true)
+            .open(&self.path)?
+            .set_len(self.clean_len)?;
+        // Reopen the append handle: its internal cursor may sit past
+        // the truncation point.
+        self.file = OpenOptions::new().append(true).open(&self.path)?;
+        self.dirty = false;
         Ok(())
     }
 
@@ -205,6 +302,9 @@ impl DaemonJournal {
             let id: Option<u64> = journal::field(&fields, "id").and_then(|v| v.parse().ok());
             let record = (journal::field(&fields, "kind"), id);
             match record {
+                // A degraded-mode health probe: proves the journal
+                // accepts writes again, carries no job state.
+                (Some("probe"), _) => {}
                 (Some("accepted"), Some(id)) => {
                     let Ok(spec) = JobSpec::from_fields(&fields) else {
                         break;
@@ -348,6 +448,63 @@ mod tests {
         // A *complete* foreign header still refuses recovery.
         fs::write(&path, "kind=fleet-journal version=1\n").unwrap();
         assert!(DaemonJournal::open_append(&path).is_err());
+    }
+
+    #[test]
+    fn injected_write_faults_never_corrupt_the_accepted_prefix() {
+        use droidsim_faults::{FaultPlan, FaultSite};
+        let path = scratch("io-faults");
+        // Every odd append fails (alternating ENOSPC and short write);
+        // the journal must repair itself so every *successful* append
+        // replays, and nothing before a failure is ever lost.
+        let io = crate::faultio::IoFaults::new(
+            FaultPlan::seeded(3)
+                .on_nth_probe(FaultSite::JournalWrite, 1)
+                .on_nth_probe(FaultSite::JournalWrite, 3)
+                .on_nth_probe(FaultSite::JournalWrite, 5),
+        );
+        let mut j = DaemonJournal::open_append_with(&path, io).unwrap();
+        let mut accepted = Vec::new();
+        for id in 1..=6u64 {
+            if j.record_accepted(id, &spec(id)).is_ok() {
+                accepted.push(id);
+            }
+        }
+        assert_eq!(accepted, vec![2, 4, 6], "odd appends were refused");
+        let view = DaemonJournal::load(&path).unwrap();
+        let replayed: Vec<u64> = view.jobs.keys().copied().collect();
+        assert_eq!(replayed, accepted, "exactly the successes replay");
+        // A short write left torn bytes mid-file at some point; the
+        // repair must have rolled them back, so the file is pure valid
+        // lines.
+        let text = fs::read_to_string(&path).unwrap();
+        assert!(text.ends_with('\n'), "no torn tail survives");
+        assert_eq!(text.lines().count(), 1 + accepted.len());
+    }
+
+    #[test]
+    fn sync_faults_roll_back_and_probe_records_replay_clean() {
+        use droidsim_faults::{FaultPlan, FaultSite};
+        let path = scratch("sync-fault");
+        let io = crate::faultio::IoFaults::new(
+            FaultPlan::seeded(4).on_nth_probe(FaultSite::JournalSync, 1),
+        );
+        let mut j = DaemonJournal::open_append_with(&path, io).unwrap();
+        assert!(
+            j.record_accepted(1, &spec(1)).is_err(),
+            "a failed fsync means not journaled"
+        );
+        assert!(j.is_dirty(), "post-fsync-failure bytes are untrusted");
+        // The probe rolls back the untrusted tail and proves the path.
+        j.probe().unwrap();
+        assert!(!j.is_dirty());
+        j.record_accepted(2, &spec(2)).unwrap();
+        let view = DaemonJournal::load(&path).unwrap();
+        assert!(!view.jobs.contains_key(&1), "unsynced record is gone");
+        assert!(view.jobs.contains_key(&2));
+        // Probe records are invisible to the view but keep the replay
+        // walking (they are *not* a torn tail).
+        assert_eq!(view.next_id, 3);
     }
 
     #[test]

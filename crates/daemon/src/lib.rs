@@ -30,17 +30,19 @@
 
 pub mod client;
 pub mod daemon;
+pub mod faultio;
 pub mod headroom;
 pub mod journal;
 pub mod queue;
 pub mod server;
 pub mod spec;
 
-pub use client::Client;
+pub use client::{Backoff, Client, RetryingClient};
 pub use daemon::{
     Admission, Daemon, DaemonConfig, DaemonStats, JobControl, JobExecutor, JobStatus, JobVerdict,
     ShutdownMode,
 };
+pub use faultio::{IoFaults, WriteFault};
 pub use headroom::HeadroomProbe;
 pub use journal::{DaemonJournal, JournalView, JournaledJob};
 pub use queue::{AdmissionQueue, Admit, QueuedJob};

@@ -112,6 +112,12 @@ pub struct JobSpec {
     pub max_retries: u32,
     /// Free-form client label, echoed in status lines. May be empty.
     pub tag: String,
+    /// Client-supplied idempotency key. When non-empty, a resubmission
+    /// with the same key returns the *original* job's id and state
+    /// (`result=duplicate`) instead of scheduling a second execution —
+    /// the contract that makes blind retry after a lost ack safe.
+    /// Empty means no deduplication.
+    pub dedupe_key: String,
 }
 
 impl JobSpec {
@@ -128,6 +134,7 @@ impl JobSpec {
             deadline_ms: None,
             max_retries: 3,
             tag: String::new(),
+            dedupe_key: String::new(),
         }
     }
 
@@ -152,6 +159,12 @@ impl JobSpec {
     /// Sets the client label.
     pub fn with_tag(mut self, tag: impl Into<String>) -> Self {
         self.tag = tag.into();
+        self
+    }
+
+    /// Sets the idempotency key (see the `dedupe_key` field docs).
+    pub fn with_dedupe_key(mut self, key: impl Into<String>) -> Self {
+        self.dedupe_key = key.into();
         self
     }
 
@@ -180,6 +193,9 @@ impl JobSpec {
         out.push(("retries", self.max_retries.to_string()));
         if !self.tag.is_empty() {
             out.push(("tag", self.tag.clone()));
+        }
+        if !self.dedupe_key.is_empty() {
+            out.push(("dedupe", self.dedupe_key.clone()));
         }
         out
     }
@@ -223,6 +239,9 @@ impl JobSpec {
         }
         if let Some(v) = journal::field(fields, "tag") {
             spec.tag = v.to_owned();
+        }
+        if let Some(v) = journal::field(fields, "dedupe") {
+            spec.dedupe_key = v.to_owned();
         }
         spec.validate()?;
         Ok(spec)
@@ -381,6 +400,7 @@ mod tests {
                 .with_seed(99)
                 .with_priority(Priority::High),
             JobSpec::new(JobKind::Ablation).with_tag("night run = batch 7"),
+            JobSpec::new(JobKind::Fig10).with_dedupe_key("load-7-42"),
             JobSpec {
                 kind: JobKind::FaultMatrix {
                     tasks: 64,
@@ -393,6 +413,7 @@ mod tests {
                 deadline_ms: Some(60_000),
                 max_retries: 2,
                 tag: "matrix".to_owned(),
+                dedupe_key: "matrix-key".to_owned(),
             },
         ];
         for spec in &specs {

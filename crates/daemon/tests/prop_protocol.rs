@@ -1,0 +1,229 @@
+//! Protocol-edge properties: the daemon's socket endpoint survives
+//! arbitrary bytes, and the dedupe key keeps any resubmission schedule
+//! down to exactly one execution.
+//!
+//! * **Fuzz**: feed arbitrary byte lines (including invalid UTF-8,
+//!   empty lines, and lines past the length bound) to a live server.
+//!   Every answered line carries an explicit `ok=` verdict — garbage
+//!   gets exactly one `ok=false`, never silence — or the connection
+//!   closes cleanly; the server never panics and keeps serving fresh
+//!   connections afterwards.
+//! * **Idempotency**: any schedule of keyed resubmits executes each
+//!   key exactly once, and every duplicate converges on the id the
+//!   first acceptance was given.
+
+use std::collections::BTreeMap;
+use std::io::{BufRead, BufReader, Write};
+use std::os::unix::net::UnixStream;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::{Duration, Instant};
+
+use droidsim_daemon::server::{self, ServerConfig};
+use droidsim_daemon::{
+    Admission, Daemon, DaemonConfig, JobControl, JobExecutor, JobKind, JobSpec, JobVerdict,
+    ShutdownMode,
+};
+use droidsim_metrics::FleetLedger;
+use proptest::collection;
+use proptest::prelude::*;
+use proptest::test_runner::TestCaseError;
+
+fn scratch(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "droidsimd-prop-proto-{}-{name}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+struct EchoExecutor;
+
+impl JobExecutor for EchoExecutor {
+    fn execute(&self, spec: &JobSpec, _ctl: &JobControl) -> JobVerdict {
+        JobVerdict::Done {
+            digest: spec.seed ^ 0xF022,
+            fleet: FleetLedger::new(),
+        }
+    }
+}
+
+/// One server shared by every fuzz case (started lazily, never shut
+/// down — the property is precisely that no input kills it). A tight
+/// line bound and read timeout keep the hostile paths cheap to reach.
+const FUZZ_LINE_BOUND: usize = 256;
+
+fn fuzz_socket() -> &'static PathBuf {
+    static SOCKET: OnceLock<PathBuf> = OnceLock::new();
+    SOCKET.get_or_init(|| {
+        let socket = scratch("fuzz").join("droidsimd.sock");
+        let daemon =
+            Arc::new(Daemon::start(DaemonConfig::new().with_workers(1), EchoExecutor).unwrap());
+        let cfg = ServerConfig::new()
+            .with_max_line_bytes(FUZZ_LINE_BOUND)
+            .with_read_timeout(Duration::from_millis(400));
+        {
+            let socket = socket.clone();
+            std::thread::spawn(move || server::serve_with(&daemon, &socket, cfg));
+        }
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while !socket.exists() {
+            assert!(Instant::now() < deadline, "fuzz server never bound");
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        socket
+    })
+}
+
+fn connect(socket: &PathBuf) -> UnixStream {
+    let deadline = Instant::now() + Duration::from_secs(5);
+    loop {
+        if let Ok(s) = UnixStream::connect(socket) {
+            s.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+            return s;
+        }
+        assert!(Instant::now() < deadline, "server socket never appeared");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+}
+
+/// A line of bytes to throw at the server. Newlines are stripped so
+/// each case controls exactly how many request lines it sends;
+/// `shutdown` is scrubbed so a miracle of randomness cannot stop the
+/// shared server.
+fn hostile_line() -> impl Strategy<Value = Vec<u8>> {
+    collection::vec(any::<u8>(), 0..(FUZZ_LINE_BOUND * 2)).prop_map(|mut bytes| {
+        bytes.retain(|&b| b != b'\n' && b != b'\r');
+        if bytes
+            .windows(b"shutdown".len())
+            .any(|w| w.eq_ignore_ascii_case(b"shutdown"))
+        {
+            bytes.clear();
+        }
+        bytes
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn arbitrary_byte_lines_never_kill_the_server(
+        lines in collection::vec(hostile_line(), 1..8)
+    ) {
+        let socket = fuzz_socket();
+        let mut stream = connect(socket);
+        for line in &lines {
+            stream.write_all(line).unwrap();
+            stream.write_all(b"\n").unwrap();
+        }
+        stream.shutdown(std::net::Shutdown::Write).unwrap();
+
+        // Drain the responses: at most one per line sent (a line past
+        // the bound ends the connection early), each a complete line
+        // with an explicit ok= verdict. Never a panic, never silence
+        // followed by more answers.
+        let mut reader = BufReader::new(stream);
+        let mut responses = 0usize;
+        loop {
+            let mut line = String::new();
+            match reader.read_line(&mut line) {
+                Ok(0) => break,
+                Ok(_) => {
+                    prop_assert!(line.ends_with('\n'), "torn response {line:?}");
+                    prop_assert!(
+                        line.contains("ok=true") || line.contains("ok=false"),
+                        "response without a verdict: {line:?}"
+                    );
+                    responses += 1;
+                }
+                Err(e) => return Err(TestCaseError::fail(format!("read failed: {e}"))),
+            }
+        }
+        prop_assert!(
+            responses <= lines.len(),
+            "{responses} responses to {} lines",
+            lines.len()
+        );
+
+        // The server is still alive: a fresh, well-formed request round
+        // trips.
+        let mut probe = connect(socket);
+        probe.write_all(b"cmd=ping\n").unwrap();
+        let mut reader = BufReader::new(probe);
+        let mut pong = String::new();
+        reader.read_line(&mut pong).unwrap();
+        prop_assert!(pong.contains("pong=1"), "server unresponsive: {pong:?}");
+    }
+}
+
+/// Counts executions per seed — the oracle for exactly-once.
+struct CountingExecutor {
+    runs: Arc<Mutex<BTreeMap<u64, u64>>>,
+}
+
+impl JobExecutor for CountingExecutor {
+    fn execute(&self, spec: &JobSpec, _ctl: &JobControl) -> JobVerdict {
+        *self.runs.lock().unwrap().entry(spec.seed).or_insert(0) += 1;
+        JobVerdict::Done {
+            digest: spec.seed,
+            fleet: FleetLedger::new(),
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn any_resubmission_schedule_executes_each_key_once(
+        schedule in collection::vec(0u64..5, 1..24)
+    ) {
+        static CASE: AtomicUsize = AtomicUsize::new(0);
+        let _ = CASE.fetch_add(1, Ordering::Relaxed);
+        let runs = Arc::new(Mutex::new(BTreeMap::new()));
+        let daemon = Daemon::start(
+            DaemonConfig::new().with_workers(2),
+            CountingExecutor { runs: Arc::clone(&runs) },
+        )
+        .unwrap();
+
+        let mut first_id: BTreeMap<u64, u64> = BTreeMap::new();
+        for &key in &schedule {
+            let spec = JobSpec::new(JobKind::Fig10)
+                .with_seed(key)
+                .with_dedupe_key(format!("prop-key-{key}"));
+            match daemon.submit(spec) {
+                Admission::Accepted { id, .. } => {
+                    prop_assert!(
+                        first_id.insert(key, id).is_none(),
+                        "key {} accepted twice", key
+                    );
+                }
+                Admission::Duplicate { id } => {
+                    prop_assert_eq!(
+                        first_id.get(&key).copied(),
+                        Some(id),
+                        "duplicate of key {} diverged", key
+                    );
+                }
+                Admission::Rejected { reason } => {
+                    return Err(TestCaseError::fail(format!("rejected: {reason}")));
+                }
+            }
+        }
+        daemon.shutdown(ShutdownMode::Drain);
+
+        let runs = runs.lock().unwrap();
+        for &key in &schedule {
+            prop_assert_eq!(
+                runs.get(&key).copied(),
+                Some(1),
+                "key {} did not execute exactly once", key
+            );
+        }
+    }
+}

@@ -6,8 +6,8 @@
 //!               [--job table5|fault-matrix] [--size N] [--rate-pct N]
 //!               [--seed N] [--distinct N] [--inner-jobs N]
 //!               [--mixed-priorities] [--wait-ms N] [--reconnect-ms N]
-//!               [--no-verify] [--no-memo] [--shutdown drain|now]
-//!               [--version]
+//!               [--chaos-drop-pct N] [--no-verify] [--no-memo]
+//!               [--shutdown drain|now] [--version]
 //! ```
 //!
 //! Submits `--total` jobs (default: **2× the daemon's queue capacity**,
@@ -36,14 +36,29 @@
 //! a full queue exercises displacement (`shed` is then an accepted
 //! outcome); the default uniform-normal load tolerates no shedding.
 //!
+//! **Chaos arm.** Every submission carries a `dedupe_key`
+//! (`load-<seed>-<index>`), and all traffic flows through the
+//! `RetryingClient`, so a daemon restart or injected socket reset
+//! mid-burst is survived transparently. With `--chaos-drop-pct N`, a
+//! deterministic N % of indices first *lose their own ack* — submit,
+//! drop the connection before reading the response — then blindly
+//! resubmit; the answer must be `accepted` or `duplicate` of exactly
+//! one job id. The audit additionally asserts no two indices share a
+//! job id: zero lost, zero duplicated. On exit the daemon's
+//! `cmd=health` line is printed, showing which state
+//! (`running|draining|degraded|stopped`) the chaos left it in.
+//!
 //! Exit codes: 0 — contract held; 1 — a violation (silent drop, lost
-//! acknowledgement, digest mismatch); 2 — usage error.
+//! acknowledgement, duplicated execution, digest mismatch); 2 — usage
+//! error.
 
-use std::path::{Path, PathBuf};
+use std::path::PathBuf;
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
-use droidsim_daemon::{Admission, Client, JobKind, JobSpec, JobState, Priority, ShutdownMode};
+use droidsim_daemon::{
+    Admission, Client, JobKind, JobSpec, JobState, Priority, RetryingClient, ShutdownMode,
+};
 use droidsim_fleet::run_claiming_pool;
 use rch_experiments::daemon_exec::reference_digest;
 
@@ -60,6 +75,7 @@ struct LoadCli {
     mixed_priorities: bool,
     wait_ms: u64,
     reconnect_ms: u64,
+    chaos_drop_pct: u8,
     verify: bool,
     no_memo: bool,
     shutdown: Option<ShutdownMode>,
@@ -79,6 +95,7 @@ fn parse_cli(args: impl IntoIterator<Item = String>) -> Result<LoadCli, String> 
         mixed_priorities: false,
         wait_ms: 120_000,
         reconnect_ms: 30_000,
+        chaos_drop_pct: 0,
         verify: true,
         no_memo: false,
         shutdown: None,
@@ -132,6 +149,13 @@ fn parse_cli(args: impl IntoIterator<Item = String>) -> Result<LoadCli, String> 
             "--mixed-priorities" => cli.mixed_priorities = true,
             "--wait-ms" => cli.wait_ms = number(flag, &value(flag, inline, &mut args)?)?,
             "--reconnect-ms" => cli.reconnect_ms = number(flag, &value(flag, inline, &mut args)?)?,
+            "--chaos-drop-pct" => {
+                let pct = number(flag, &value(flag, inline, &mut args)?)?;
+                if pct > 100 {
+                    return Err(format!("--chaos-drop-pct: {pct} is not a percentage"));
+                }
+                cli.chaos_drop_pct = pct as u8;
+            }
             "--no-verify" => cli.verify = false,
             "--no-memo" => cli.no_memo = true,
             "--shutdown" => {
@@ -170,7 +194,10 @@ fn spec_for(cli: &LoadCli, index: usize) -> JobSpec {
     };
     let mut spec = JobSpec::new(kind)
         .with_seed(cli.seed + (index % cli.distinct) as u64)
-        .with_tag(format!("load-{index}"));
+        .with_tag(format!("load-{index}"))
+        // Every submission is idempotent-keyed, so any retry schedule
+        // (lost acks, daemon restarts) converges on one execution.
+        .with_dedupe_key(format!("load-{:x}-{index}", cli.seed));
     spec.inner_jobs = cli.inner_jobs;
     if cli.mixed_priorities {
         spec = spec.with_priority(Priority::ALL[index % Priority::ALL.len()]);
@@ -178,35 +205,23 @@ fn spec_for(cli: &LoadCli, index: usize) -> JobSpec {
     spec
 }
 
-/// Runs `op` against a live connection, transparently reconnecting
-/// (for up to `reconnect_ms`) when the daemon restarts underneath us.
-fn with_reconnect<T>(
-    conn: &mut Option<Client>,
-    socket: &Path,
-    reconnect_ms: u64,
-    mut op: impl FnMut(&mut Client) -> std::io::Result<T>,
-) -> Result<T, String> {
-    let deadline = Instant::now() + Duration::from_millis(reconnect_ms);
-    loop {
-        if conn.is_none() {
-            let left = deadline.saturating_duration_since(Instant::now());
-            match Client::connect_retry(socket, left) {
-                Ok(c) => *conn = Some(c),
-                Err(e) => return Err(format!("connect {}: {e}", socket.display())),
-            }
-        }
-        let client = conn.as_mut().expect("connection was just established");
-        match op(client) {
-            Ok(v) => return Ok(v),
-            Err(e) => {
-                *conn = None; // stale connection: the daemon went away
-                if Instant::now() >= deadline {
-                    return Err(format!("daemon unreachable: {e}"));
-                }
-                std::thread::sleep(Duration::from_millis(100));
-            }
-        }
+/// Deterministic per-index chaos decision: splitmix64 of (seed, index)
+/// so the same seed replays the same drop schedule.
+fn chaos_hits(seed: u64, index: usize, pct: u8) -> bool {
+    if pct == 0 {
+        return false;
     }
+    let mut z = seed
+        .wrapping_add(0x9E37_79B9_7F4A_7C15_u64.wrapping_mul(index as u64 + 1))
+        .wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^= z >> 31;
+    (z % 100) < pct as u64
+}
+
+fn retrying(cli: &LoadCli) -> RetryingClient {
+    RetryingClient::new(&cli.socket).with_deadline(Duration::from_millis(cli.reconnect_ms))
 }
 
 fn main() {
@@ -265,20 +280,60 @@ fn main() {
     // anchors the submit-to-done latency the summary reports.
     let slots: Vec<Mutex<Option<Slot>>> = (0..total).map(|_| Mutex::new(None)).collect();
     let submitted_at: Vec<Mutex<Option<Instant>>> = (0..total).map(|_| Mutex::new(None)).collect();
+    let dedupe_converged = std::sync::atomic::AtomicUsize::new(0);
     run_claiming_pool(cli.clients, total, |range| {
-        let mut conn: Option<Client> = None;
+        let mut rc = retrying(&cli);
         for i in range {
             let spec = spec_for(&cli, i);
             let sent = Instant::now();
-            let outcome = with_reconnect(&mut conn, &cli.socket, cli.reconnect_ms, |c| {
-                c.submit(&spec)
-            });
-            let slot = match outcome {
+            // Chaos arm: lose our own ack — the daemon hears the
+            // submit, we never read the answer — then blindly resubmit
+            // the same dedupe key.
+            let mut ack_lost = false;
+            if chaos_hits(cli.seed, i, cli.chaos_drop_pct) {
+                let owned = spec.kv_fields();
+                let mut fields: Vec<(&str, &str)> = vec![("cmd", "submit")];
+                fields.extend(owned.iter().map(|(k, v)| (*k, v.as_str())));
+                ack_lost = rc.send_and_drop(&fields).is_ok();
+            }
+            let slot = match rc.submit(&spec) {
                 Ok(Admission::Accepted { id, .. }) => {
                     *submitted_at[i].lock().unwrap() = Some(sent);
                     Slot::Accepted(id)
                 }
-                Ok(Admission::Rejected { reason }) => Slot::Rejected(reason),
+                Ok(Admission::Duplicate { id }) => {
+                    // An earlier submit of this key landed without its
+                    // ack: either our deliberate chaos drop, or the
+                    // RetryingClient re-sending after an injected
+                    // socket fault ate the response. Either way this is
+                    // the dedupe contract working — and the id-owner
+                    // audit below still catches any cross-index
+                    // conflation.
+                    dedupe_converged.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    *submitted_at[i].lock().unwrap() = Some(sent);
+                    Slot::Accepted(id)
+                }
+                Ok(Admission::Rejected { reason }) => {
+                    if ack_lost {
+                        // The lost-ack submit may still have been
+                        // accepted before the rejection (e.g. the queue
+                        // filled in between): ask the daemon once more.
+                        match rc.submit(&spec) {
+                            Ok(Admission::Accepted { id, .. }) => {
+                                *submitted_at[i].lock().unwrap() = Some(sent);
+                                Slot::Accepted(id)
+                            }
+                            Ok(Admission::Duplicate { id }) => {
+                                dedupe_converged.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                                *submitted_at[i].lock().unwrap() = Some(sent);
+                                Slot::Accepted(id)
+                            }
+                            _ => Slot::Rejected(reason),
+                        }
+                    } else {
+                        Slot::Rejected(reason)
+                    }
+                }
                 Err(e) => Slot::Violation(format!("no answer to submit: {e}")),
             };
             *slots[i].lock().unwrap() = Some(slot);
@@ -292,7 +347,7 @@ fn main() {
     let settled_after: Vec<Mutex<Option<Duration>>> =
         (0..total).map(|_| Mutex::new(None)).collect();
     run_claiming_pool(cli.clients, total, |range| {
-        let mut conn: Option<Client> = None;
+        let mut rc = retrying(&cli);
         for i in range {
             let id = match slots[i].lock().unwrap().as_ref() {
                 Some(Slot::Accepted(id)) => *id,
@@ -300,9 +355,7 @@ fn main() {
             };
             let deadline = Instant::now() + Duration::from_millis(cli.wait_ms);
             let settled = loop {
-                let status = with_reconnect(&mut conn, &cli.socket, cli.reconnect_ms, |c| {
-                    c.wait(id, Duration::from_millis(2_000))
-                });
+                let status = rc.wait(id, Duration::from_millis(2_000));
                 match status {
                     Ok(s) if s.state.is_terminal() => {
                         if let Some(sent) = *submitted_at[i].lock().unwrap() {
@@ -336,6 +389,20 @@ fn main() {
         std::collections::BTreeMap::new();
     let mut violations: Vec<String> = Vec::new();
     let mut done_latencies_ms: Vec<f64> = Vec::new();
+    // Zero-duplication oracle: every acknowledged index must own a
+    // distinct job id — two indices sharing one would mean the dedupe
+    // map conflated different keys.
+    let mut id_owner: std::collections::BTreeMap<u64, usize> = std::collections::BTreeMap::new();
+    for (i, slot) in slots.iter().enumerate() {
+        if let Some(Slot::Accepted(id) | Slot::Settled(id, _)) = slot.lock().unwrap().as_ref() {
+            if let Some(prev) = id_owner.insert(*id, i) {
+                violations.push(format!(
+                    "job {id}: acknowledged for both index {prev} and index {i} \
+                     (duplicated execution)"
+                ));
+            }
+        }
+    }
     for (i, slot) in slots.iter().enumerate() {
         match slot.lock().unwrap().take() {
             Some(Slot::Rejected(reason)) => {
@@ -391,6 +458,14 @@ fn main() {
         "droidsim-load: accepted={accepted} rejected={rejected} | done={done} shed={shed} \
          cancelled={cancelled} failed={failed}"
     );
+    let converged = dedupe_converged.load(std::sync::atomic::Ordering::Relaxed);
+    if cli.chaos_drop_pct > 0 || converged > 0 {
+        println!(
+            "droidsim-load: chaos: {converged} lost ack(s) converged via dedupe \
+             (drop-pct={})",
+            cli.chaos_drop_pct
+        );
+    }
     if !done_latencies_ms.is_empty() {
         let p = |q: f64| droidsim_metrics::stats::percentile(&done_latencies_ms, q);
         println!(
@@ -418,11 +493,17 @@ fn main() {
             total - accepted - rejected
         ));
     }
+    // The daemon's own view on the way out: which state the burst (and
+    // any chaos) left it in.
+    match retrying(&cli).health() {
+        Ok(h) => {
+            let line: Vec<String> = h.iter().map(|(k, v)| format!("{k}={v}")).collect();
+            println!("droidsim-load: daemon health: {}", line.join(" "));
+        }
+        Err(e) => println!("droidsim-load: daemon health unavailable: {e}"),
+    }
     if let Some(mode) = cli.shutdown {
-        let mut conn: Option<Client> = None;
-        match with_reconnect(&mut conn, &cli.socket, cli.reconnect_ms, |c| {
-            c.shutdown(mode)
-        }) {
+        match retrying(&cli).shutdown(mode) {
             Ok(()) => println!("droidsim-load: daemon shut down ({})", mode.name()),
             Err(e) => violations.push(format!("shutdown: {e}")),
         }

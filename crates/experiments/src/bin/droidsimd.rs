@@ -3,7 +3,10 @@
 //! ```text
 //! droidsimd [--socket PATH] [--capacity N] [--workers N]
 //!           [--journal-dir DIR] [--headroom-floor-kib N]
-//!           [--admission-fault-pct N] [--seed N] [--tick-ms N]
+//!           [--admission-fault-pct N] [--io-fault-pct N]
+//!           [--enospc-window N] [--seed N] [--tick-ms N]
+//!           [--max-conns N] [--read-timeout-ms N]
+//!           [--max-line-bytes N] [--max-wait-ms N]
 //!           [--no-memo] [--version]
 //! ```
 //!
@@ -24,6 +27,15 @@
 //! rejections (deterministic under `--seed`) — a testing aid proving
 //! clients see explicit `rejected` responses, never silence.
 //!
+//! `--io-fault-pct N` arms the I/O fault shim at that rate across the
+//! journal write/sync and socket read/write sites (deterministic under
+//! `--seed`): the chaos configuration. `--enospc-window N` forces the
+//! first N journal writes to fail with ENOSPC, driving the daemon
+//! through a full degraded → recovered round trip once the watchdog's
+//! probes consume the window. `--max-conns`, `--read-timeout-ms`,
+//! `--max-line-bytes` and `--max-wait-ms` tune the connection
+//! governor; see `cmd=health` for the resulting daemon state.
+//!
 //! `--no-memo` disables the warm-path memo caches (resolution,
 //! inflation, mapping plans) for the whole process — every job takes
 //! the cold path. The `stats` endpoint's `memo_*` fields then stay at
@@ -35,20 +47,24 @@ use std::path::PathBuf;
 use std::sync::Arc;
 use std::time::Duration;
 
-use droidsim_daemon::{server, Daemon, DaemonConfig, HeadroomProbe};
+use droidsim_daemon::{server, Daemon, DaemonConfig, HeadroomProbe, IoFaults};
 use droidsim_faults::{FaultPlan, FaultSite};
 use rch_experiments::StudyExecutor;
 
 struct DaemonCli {
     socket: PathBuf,
     config: DaemonConfig,
+    server: server::ServerConfig,
     no_memo: bool,
 }
 
 fn parse_cli(args: impl IntoIterator<Item = String>) -> Result<DaemonCli, String> {
     let mut socket = PathBuf::from("droidsimd.sock");
     let mut config = DaemonConfig::new();
+    let mut server_cfg = server::ServerConfig::new();
     let mut fault_pct: u8 = 0;
+    let mut io_fault_pct: u8 = 0;
+    let mut enospc_window: u64 = 0;
     let mut seed: u64 = 0x5EED;
     let mut no_memo = false;
     let mut args = args.into_iter();
@@ -99,6 +115,43 @@ fn parse_cli(args: impl IntoIterator<Item = String>) -> Result<DaemonCli, String
                 }
                 fault_pct = pct as u8;
             }
+            "--io-fault-pct" => {
+                let v = value(&flag, inline, &mut args)?;
+                let pct = number(&flag, &v)?;
+                if pct > 100 {
+                    return Err(format!("{flag}: {pct} is not a percentage"));
+                }
+                io_fault_pct = pct as u8;
+            }
+            "--enospc-window" => {
+                let v = value(&flag, inline, &mut args)?;
+                enospc_window = number(&flag, &v)?;
+            }
+            "--max-conns" => {
+                let v = value(&flag, inline, &mut args)?;
+                let n = number(&flag, &v)? as usize;
+                if n == 0 {
+                    return Err(format!("{flag}: must be at least 1"));
+                }
+                server_cfg = server_cfg.with_max_conns(n);
+            }
+            "--read-timeout-ms" => {
+                let v = value(&flag, inline, &mut args)?;
+                server_cfg =
+                    server_cfg.with_read_timeout(Duration::from_millis(number(&flag, &v)?));
+            }
+            "--max-line-bytes" => {
+                let v = value(&flag, inline, &mut args)?;
+                let n = number(&flag, &v)? as usize;
+                if n == 0 {
+                    return Err(format!("{flag}: must be at least 1"));
+                }
+                server_cfg = server_cfg.with_max_line_bytes(n);
+            }
+            "--max-wait-ms" => {
+                let v = value(&flag, inline, &mut args)?;
+                server_cfg = server_cfg.with_max_wait_ms(number(&flag, &v)?);
+            }
             "--seed" => {
                 let v = value("--seed", inline, &mut args)?;
                 seed = number("--seed", &v)?;
@@ -116,9 +169,26 @@ fn parse_cli(args: impl IntoIterator<Item = String>) -> Result<DaemonCli, String
             FaultPlan::seeded(seed).with_rate(FaultSite::Admission, f64::from(fault_pct) / 100.0),
         );
     }
+    if io_fault_pct > 0 || enospc_window > 0 {
+        let rate = f64::from(io_fault_pct) / 100.0;
+        let mut plan = FaultPlan::seeded(seed)
+            .with_rate(FaultSite::JournalWrite, rate)
+            .with_rate(FaultSite::JournalSync, rate)
+            .with_rate(FaultSite::SocketRead, rate)
+            .with_rate(FaultSite::SocketWrite, rate);
+        for nth in 1..=enospc_window {
+            plan = plan.on_nth_probe(FaultSite::JournalWrite, nth);
+        }
+        // One shared shim: journal and socket faults draw from the same
+        // seeded schedule, so a run is reproducible end to end.
+        let io = IoFaults::new(plan);
+        config = config.with_io_faults(io.clone());
+        server_cfg = server_cfg.with_io_faults(io);
+    }
     Ok(DaemonCli {
         socket,
         config,
+        server: server_cfg,
         no_memo,
     })
 }
@@ -159,7 +229,7 @@ fn main() {
         cli.config.workers,
         cli.config.queue_capacity,
     );
-    if let Err(e) = server::serve(&daemon, &cli.socket) {
+    if let Err(e) = server::serve_with(&daemon, &cli.socket, cli.server) {
         eprintln!("error: {e}");
         std::process::exit(1);
     }

@@ -225,6 +225,7 @@ mod tests {
         let id = match daemon.submit(spec) {
             droidsim_daemon::Admission::Accepted { id, .. } => id,
             droidsim_daemon::Admission::Rejected { reason } => panic!("rejected: {reason}"),
+            droidsim_daemon::Admission::Duplicate { id } => panic!("unexpected duplicate: {id}"),
         };
         let status = daemon.wait(id, Duration::from_secs(60)).unwrap();
         assert_eq!(status.state.digest(), Some(reference));

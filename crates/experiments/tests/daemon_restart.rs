@@ -65,6 +65,7 @@ fn killed_daemon_resumes_acknowledged_jobs_to_the_reference_digest() {
         .map(|spec| match client.submit(spec).unwrap() {
             Admission::Accepted { id, .. } => id,
             Admission::Rejected { reason } => panic!("rejected: {reason}"),
+            Admission::Duplicate { id } => panic!("unexpected duplicate: {id}"),
         })
         .collect();
 

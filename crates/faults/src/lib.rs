@@ -47,6 +47,23 @@ pub enum FaultSite {
     /// [`FaultSite::FleetTask`] it lives outside the change-handling
     /// path and is therefore not part of [`FaultSite::ALL`].
     Admission,
+    /// A daemon-journal record write fails (`ENOSPC`, or a short write
+    /// that tears the record mid-line). Probed by the daemon's I/O shim
+    /// once per appended record; outside [`FaultSite::ALL`].
+    JournalWrite,
+    /// The `fsync` after a daemon-journal append fails: the bytes may
+    /// or may not be durable, so the writer must treat the record as
+    /// unjournaled. Probed once per append; outside [`FaultSite::ALL`].
+    JournalSync,
+    /// A server-side socket read breaks mid-request (peer reset or a
+    /// stall the governor converts into a close). Probed by the
+    /// connection handler before each read; outside [`FaultSite::ALL`].
+    SocketRead,
+    /// A server-side socket write breaks before the response line is
+    /// flushed — the client sees EOF where an acknowledgment should
+    /// be, the canonical lost-ack window idempotent submission covers.
+    /// Probed before each response write; outside [`FaultSite::ALL`].
+    SocketWrite,
 }
 
 impl FaultSite {
@@ -73,6 +90,10 @@ impl FaultSite {
             FaultSite::AllocationFailure => "allocation-failure",
             FaultSite::FleetTask => "fleet-task",
             FaultSite::Admission => "admission",
+            FaultSite::JournalWrite => "journal-write",
+            FaultSite::JournalSync => "journal-sync",
+            FaultSite::SocketRead => "socket-read",
+            FaultSite::SocketWrite => "socket-write",
         }
     }
 
@@ -86,6 +107,10 @@ impl FaultSite {
             FaultSite::AllocationFailure => 5,
             FaultSite::FleetTask => 6,
             FaultSite::Admission => 7,
+            FaultSite::JournalWrite => 8,
+            FaultSite::JournalSync => 9,
+            FaultSite::SocketRead => 10,
+            FaultSite::SocketWrite => 11,
         }
     }
 }
@@ -96,7 +121,19 @@ impl fmt::Display for FaultSite {
     }
 }
 
-const SITES: usize = FaultSite::ALL.len() + 2; // + FleetTask and Admission, outside ALL
+// + FleetTask, Admission, and the four daemon-edge I/O sites, all
+// outside ALL (they are probed by the fleet driver and the daemon's
+// I/O shim, never on the change-handling path).
+const SITES: usize = FaultSite::ALL.len() + 6;
+
+/// The daemon-edge I/O sites the chaos shim probes, in a fixed order
+/// (the `--io-fault-pct` flag arms exactly these).
+pub const IO_SITES: [FaultSite; 4] = [
+    FaultSite::JournalWrite,
+    FaultSite::JournalSync,
+    FaultSite::SocketRead,
+    FaultSite::SocketWrite,
+];
 
 /// A seeded, deterministic schedule of injected faults.
 ///
@@ -320,13 +357,50 @@ mod tests {
         for site in FaultSite::ALL
             .into_iter()
             .chain([FaultSite::FleetTask, FaultSite::Admission])
+            .chain(IO_SITES)
         {
             assert!(seen.insert(site.name()));
             assert_eq!(site.to_string(), site.name());
         }
-        assert_eq!(seen.len(), 8);
+        assert_eq!(seen.len(), 12);
         assert!(!FaultSite::ALL.contains(&FaultSite::FleetTask));
         assert!(!FaultSite::ALL.contains(&FaultSite::Admission));
+        for site in IO_SITES {
+            assert!(!FaultSite::ALL.contains(&site), "{site} is daemon-edge");
+        }
+    }
+
+    #[test]
+    fn io_sites_draw_independent_streams_and_stay_disarmed_by_default() {
+        // Arming the I/O sites must not perturb the handling-path
+        // schedules (seeded CI runs stay stable), and
+        // with_rate_everywhere must leave them disarmed — the daemon
+        // arms them explicitly via --io-fault-pct.
+        let schedule = |arm_io: bool| -> Vec<bool> {
+            let mut plan = FaultPlan::seeded(21).with_rate_everywhere(0.3);
+            if arm_io {
+                for site in IO_SITES {
+                    plan = plan.with_rate(site, 1.0);
+                }
+            }
+            (0..60)
+                .map(|i| plan.should_inject(FaultSite::ALL[i % FaultSite::ALL.len()]))
+                .collect()
+        };
+        assert_eq!(schedule(false), schedule(true));
+        let mut blanket = FaultPlan::seeded(21).with_rate_everywhere(1.0);
+        for site in IO_SITES {
+            assert!(!blanket.should_inject(site), "{site} must stay disarmed");
+        }
+        // And each I/O site injects independently when armed.
+        let mut armed = FaultPlan::seeded(21);
+        for site in IO_SITES {
+            armed = armed.with_rate(site, 0.5);
+        }
+        for site in IO_SITES {
+            let hits = (0..200).filter(|_| armed.should_inject(site)).count();
+            assert!(hits > 50 && hits < 150, "{site}: {hits}/200");
+        }
     }
 
     #[test]

@@ -50,6 +50,24 @@ pub struct DaemonLedger {
     /// daemon start. Wall-clock-class telemetry: excluded from the
     /// deterministic fingerprint, surfaced for `bench_gate`-style tools.
     pub alloc_events: u64,
+    /// Times the daemon entered the `degraded` health state because the
+    /// journal stopped accepting writes. Environment-dependent (a real
+    /// or injected I/O fault), so fingerprint-excluded like
+    /// `alloc_events`.
+    pub degraded_entries: u64,
+    /// Journal write/fsync failures observed (real or injected).
+    /// Fingerprint-excluded.
+    pub journal_faults: u64,
+    /// Submissions answered `result=duplicate` because their
+    /// `dedupe_key` matched an already-accepted job. Fingerprint-
+    /// excluded: a retry schedule is timing, not admission order.
+    pub dedupe_hits: u64,
+    /// Connections refused by the concurrent-connection cap with
+    /// `error=too-many-connections`. Fingerprint-excluded.
+    pub conns_rejected: u64,
+    /// Connections closed by the per-connection read timeout (slowloris
+    /// defense). Fingerprint-excluded.
+    pub slowloris_closed: u64,
 }
 
 impl DaemonLedger {
@@ -91,13 +109,20 @@ impl DaemonLedger {
         self.reclaim_passes += other.reclaim_passes;
         self.queue_high_water = self.queue_high_water.max(other.queue_high_water);
         self.alloc_events += other.alloc_events;
+        self.degraded_entries += other.degraded_entries;
+        self.journal_faults += other.journal_faults;
+        self.dedupe_hits += other.dedupe_hits;
+        self.conns_rejected += other.conns_rejected;
+        self.slowloris_closed += other.slowloris_closed;
     }
 
     /// The admission-sequence-determined part of the ledger: everything
-    /// except the live queue-depth gauge and the allocation counter
-    /// (scheduling-dependent, like the fleet ledger's wall-clock
-    /// fields). Identical across runs replaying the same admission
-    /// sequence.
+    /// except the live queue-depth gauge, the allocation counter, and
+    /// the chaos-edge counters (degraded entries, journal faults,
+    /// dedupe hits, connection rejections, slowloris closes) — those
+    /// depend on fault timing and client behavior, like the fleet
+    /// ledger's wall-clock fields. Identical across runs replaying the
+    /// same admission sequence.
     pub fn deterministic_fingerprint(&self) -> String {
         format!(
             "daemon[accepted={} rejected={} rejected_injected={} shed={} resumed={} \
@@ -134,6 +159,11 @@ impl DaemonLedger {
             ("queue_depth", self.queue_depth.to_string()),
             ("queue_high_water", self.queue_high_water.to_string()),
             ("alloc_events", self.alloc_events.to_string()),
+            ("degraded_entries", self.degraded_entries.to_string()),
+            ("journal_faults", self.journal_faults.to_string()),
+            ("dedupe_hits", self.dedupe_hits.to_string()),
+            ("conns_rejected", self.conns_rejected.to_string()),
+            ("slowloris_closed", self.slowloris_closed.to_string()),
         ]
     }
 }
@@ -188,6 +218,11 @@ mod tests {
         b.accepted = 4;
         b.observe_queue_depth(9);
         b.alloc_events = 1234;
+        b.degraded_entries = 2;
+        b.journal_faults = 5;
+        b.dedupe_hits = 3;
+        b.conns_rejected = 8;
+        b.slowloris_closed = 1;
         assert_eq!(a.deterministic_fingerprint(), b.deterministic_fingerprint());
         b.shed += 1;
         assert_ne!(a.deterministic_fingerprint(), b.deterministic_fingerprint());
@@ -209,6 +244,11 @@ mod tests {
             resumed: 3,
             queue_high_water: 2,
             alloc_events: 5,
+            degraded_entries: 1,
+            journal_faults: 4,
+            dedupe_hits: 2,
+            conns_rejected: 6,
+            slowloris_closed: 3,
             ..DaemonLedger::new()
         };
         a.merge(&b);
@@ -217,6 +257,11 @@ mod tests {
         assert_eq!(a.resumed, 3);
         assert_eq!(a.queue_high_water, 5);
         assert_eq!(a.alloc_events, 15);
+        assert_eq!(a.degraded_entries, 1);
+        assert_eq!(a.journal_faults, 4);
+        assert_eq!(a.dedupe_hits, 2);
+        assert_eq!(a.conns_rejected, 6);
+        assert_eq!(a.slowloris_closed, 3);
     }
 
     #[test]
@@ -225,7 +270,17 @@ mod tests {
         l.observe_queue_depth(4);
         l.alloc_events = 99;
         let kv = l.kv_fields();
-        for key in ["accepted", "queue_high_water", "alloc_events", "shed"] {
+        for key in [
+            "accepted",
+            "queue_high_water",
+            "alloc_events",
+            "shed",
+            "degraded_entries",
+            "journal_faults",
+            "dedupe_hits",
+            "conns_rejected",
+            "slowloris_closed",
+        ] {
             assert!(kv.iter().any(|(k, _)| *k == key), "missing {key}");
         }
         let find = |key: &str| kv.iter().find(|(k, _)| *k == key).unwrap().1.clone();
