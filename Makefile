@@ -5,10 +5,10 @@ CARGO ?= cargo
 
 .PHONY: ci build test fmt fmt-fix clippy bench-smoke fault-matrix \
 	fleet-determinism memo-parity bench-json bench-gate soak lint-study \
-	daemon-soak chaos-soak
+	dataloss-study daemon-soak chaos-soak
 
 ci: build test fmt clippy fault-matrix fleet-determinism memo-parity \
-	bench-smoke lint-study soak daemon-soak chaos-soak
+	bench-smoke lint-study dataloss-study soak daemon-soak chaos-soak
 
 # Seeds for the fault-injection suite. Debug builds keep the
 # batched-vs-eager equivalence checker armed, so each seed also
@@ -92,8 +92,9 @@ chaos-soak:
 # The static-analysis study (DESIGN.md §10): every known-issue-free
 # corpus app must lint clean even under --deny-warnings, and the
 # static verdicts must agree with the dynamic detection oracle
-# field-by-field for all 127 apps, with the differential digest
-# identical at --jobs 1 and --jobs 4.
+# field-by-field for all 647 apps (tp27, top100, and the generated
+# data-loss corpus) under all three runtimes, with the differential
+# digest identical at --jobs 1 and --jobs 4.
 lint-study:
 	$(CARGO) run -q --release -p rch-experiments --bin rchlint -- \
 		--corpus all --clean-only --deny-warnings
@@ -102,6 +103,23 @@ lint-study:
 		--differential --corpus all --jobs 1 | tail -1); \
 	parallel=$$($(CARGO) run -q --release -p rch-experiments --bin rchlint -- \
 		--differential --corpus all --jobs 4 | tail -1); \
+	echo "serial:   $$serial"; echo "parallel: $$parallel"; \
+	test "$$(echo "$$serial" | sed 's/jobs=[0-9]*//')" = \
+		"$$(echo "$$parallel" | sed 's/jobs=[0-9]*//')"
+
+# The data-loss differential study (DESIGN.md §15): replay the whole
+# generated 520-app corpus through the three-runtime dynamic oracle
+# (stock / RCHDroid / RuntimeDroid class schedules), require zero
+# static/dynamic disagreements with the --jobs 1 and --jobs 4 digests
+# identical, and regenerate the committed per-class loss-rate table
+# (results/table_dataloss.csv) from the verified verdicts.
+dataloss-study:
+	set -e; \
+	serial=$$($(CARGO) run -q --release -p rch-experiments --bin rchlint -- \
+		--differential --corpus dataloss --jobs 1 | grep '^=> fleet:'); \
+	parallel=$$($(CARGO) run -q --release -p rch-experiments --bin rchlint -- \
+		--differential --corpus dataloss --jobs 4 \
+		--table results/table_dataloss.csv | grep '^=> fleet:'); \
 	echo "serial:   $$serial"; echo "parallel: $$parallel"; \
 	test "$$(echo "$$serial" | sed 's/jobs=[0-9]*//')" = \
 		"$$(echo "$$parallel" | sed 's/jobs=[0-9]*//')"

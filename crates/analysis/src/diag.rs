@@ -34,17 +34,44 @@ pub enum LintCode {
     /// `RCH006` — the verdict pass predicts a runtime-change issue for
     /// this app (warning under stock; error if RCHDroid cannot fix it).
     PredictedIssue,
+    /// `RCH007` — a transient field with no save site, lost across the
+    /// stop/restart a configuration change triggers.
+    UnsavedFieldLoss,
+    /// `RCH008` — dialog/fragment sub-state that an in-place
+    /// reconstruction (RuntimeDroid's hot reload) cannot rebuild —
+    /// and, for transient dialogs, that RCHDroid's snapshot misses.
+    SubStateLoss,
+    /// `RCH009` — an async field write racing the double rotation:
+    /// stock crashes on the released tree, RCHDroid's replacement
+    /// shadow never hears of the write.
+    AsyncFieldRace,
+    /// `RCH010` — a transient field lost on process death even though
+    /// the save bundle is retained: no save site ever wrote it.
+    ProcessDeathLoss,
+    /// `RCH011` — user input typed but uncommitted when the change
+    /// lands: no save site can see it, the stock restart drops it.
+    InputInFlightLoss,
+    /// `RCH012` — the data-loss verdict pass predicts field loss for
+    /// this app under a named handling scheme (warning under stock or
+    /// RuntimeDroid; error if RCHDroid cannot fix it).
+    PredictedDataLoss,
 }
 
 impl LintCode {
     /// Every code, in code order (the order passes run).
-    pub const ALL: [LintCode; 6] = [
+    pub const ALL: [LintCode; 12] = [
         LintCode::EssenceKeyCollision,
         LintCode::UnmappedView,
         LintCode::UncoveredAttribute,
         LintCode::StaleCallback,
         LintCode::SelfHandlingConflict,
         LintCode::PredictedIssue,
+        LintCode::UnsavedFieldLoss,
+        LintCode::SubStateLoss,
+        LintCode::AsyncFieldRace,
+        LintCode::ProcessDeathLoss,
+        LintCode::InputInFlightLoss,
+        LintCode::PredictedDataLoss,
     ];
 
     /// The stable `RCH0xx` code string.
@@ -56,6 +83,12 @@ impl LintCode {
             LintCode::StaleCallback => "RCH004",
             LintCode::SelfHandlingConflict => "RCH005",
             LintCode::PredictedIssue => "RCH006",
+            LintCode::UnsavedFieldLoss => "RCH007",
+            LintCode::SubStateLoss => "RCH008",
+            LintCode::AsyncFieldRace => "RCH009",
+            LintCode::ProcessDeathLoss => "RCH010",
+            LintCode::InputInFlightLoss => "RCH011",
+            LintCode::PredictedDataLoss => "RCH012",
         }
     }
 
@@ -68,6 +101,12 @@ impl LintCode {
             LintCode::StaleCallback => "stale-callback",
             LintCode::SelfHandlingConflict => "self-handling-conflict",
             LintCode::PredictedIssue => "predicted-issue",
+            LintCode::UnsavedFieldLoss => "unsaved-field-loss",
+            LintCode::SubStateLoss => "sub-state-loss",
+            LintCode::AsyncFieldRace => "async-field-race",
+            LintCode::ProcessDeathLoss => "process-death-loss",
+            LintCode::InputInFlightLoss => "input-in-flight-loss",
+            LintCode::PredictedDataLoss => "predicted-data-loss",
         }
     }
 

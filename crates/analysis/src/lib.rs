@@ -14,13 +14,17 @@
 //!   suppression, and byte-stable human/JSON renderers;
 //! * **Shapes** ([`shape`]) — the analyzable view of an app: strict
 //!   per-orientation inflation plus `onCreate`, no simulation;
-//! * **Passes** ([`passes`]) — the six analyses (key collisions,
+//! * **Passes** ([`passes`]) — the structural analyses (key collisions,
 //!   unmapped views, Table-1 coverage, stale callbacks, self-handling
-//!   conflicts, verdict prediction);
+//!   conflicts, verdict prediction), plus the data-loss dataflow family
+//!   ([`passes_dataloss`]): field-level save/restore reachability over
+//!   persistence descriptors, `RCH007`–`RCH012`;
 //! * **Verdicts** ([`verdict`]) — a field-exact static prediction of
-//!   the dynamic oracle's `DetectionReport` under stock and RCHDroid;
+//!   the dynamic oracle's `DetectionReport` under stock, RCHDroid and
+//!   RuntimeDroid;
 //! * **Reports** ([`report`]) — fleet-parallel corpus runs whose
-//!   digest, ledger and renderings are identical for any worker count.
+//!   digest, ledger and renderings (human, JSON, SARIF) are identical
+//!   for any worker count.
 //!
 //! The analyzer is deliberately *checkable*: `rchlint --differential`
 //! replays every corpus app through the dynamic oracle and fails on any
@@ -29,12 +33,14 @@
 
 pub mod diag;
 pub mod passes;
+pub mod passes_dataloss;
 pub mod report;
 pub mod shape;
 pub mod verdict;
 
 pub use diag::{Diagnostic, LintCode, Loc, Severity, Suppressions};
 pub use passes::analyze_app;
+pub use passes_dataloss::dataloss_passes;
 pub use report::{analyze_specs, AnalysisReport, AppAnalysis};
 pub use shape::{view_path, AppShape, ConfigTree};
 pub use verdict::{predict, AnalysisMode, StaticVerdict};

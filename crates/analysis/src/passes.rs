@@ -1,19 +1,23 @@
-//! The six analysis passes.
+//! The structural and verdict analysis passes (`RCH001`–`RCH006`).
 //!
 //! Each pass maps an [`AppShape`] (plus the corpus descriptor, when one
 //! exists) to zero or more [`Diagnostic`]s. Pass order and, within a
 //! pass, pre-order tree walks keep the output deterministic — the JSON
-//! renderer's byte-stability depends on it.
+//! renderer's byte-stability depends on it. The data-loss dataflow
+//! passes (`RCH007`–`RCH012`) live in [`crate::passes_dataloss`] and
+//! run last.
 
 use crate::diag::{Diagnostic, LintCode, Loc, Severity};
+use crate::passes_dataloss::dataloss_passes;
 use crate::shape::{view_path, AppShape, ConfigTree};
 use crate::verdict::{predict, AnalysisMode};
 use rch_workloads::GenericAppSpec;
 use std::collections::BTreeMap;
 
 /// Runs every pass over one app. `spec` unlocks the descriptor-level
-/// passes (4's aggravation note, 5, 6); shape-only models (e.g.
-/// `SimpleApp`) still get the structural passes.
+/// passes (4's aggravation note, 5, 6, and the data-loss family);
+/// shape-only models (e.g. `SimpleApp`) still get the structural
+/// passes.
 pub fn analyze_app(shape: &AppShape, spec: Option<&GenericAppSpec>) -> Vec<Diagnostic> {
     let mut out = Vec::new();
     essence_key_collisions(shape, &mut out);
@@ -22,6 +26,9 @@ pub fn analyze_app(shape: &AppShape, spec: Option<&GenericAppSpec>) -> Vec<Diagn
     stale_callbacks(shape, spec, &mut out);
     self_handling_conflicts(shape, spec, &mut out);
     predicted_issues(shape, spec, &mut out);
+    if let Some(spec) = spec {
+        dataloss_passes(shape, spec, &mut out);
+    }
     out
 }
 
@@ -224,6 +231,11 @@ fn self_handling_conflicts(
 /// Pass 6 (`RCH006`): the verdict prediction itself, as diagnostics.
 fn predicted_issues(shape: &AppShape, spec: Option<&GenericAppSpec>, out: &mut Vec<Diagnostic>) {
     let Some(spec) = spec else { return };
+    if spec.dataloss.is_some() {
+        // The field-aware RCH012 summary in `passes_dataloss` owns the
+        // data-loss corpus.
+        return;
+    }
     let stock = predict(spec, AnalysisMode::Stock);
     if stock.has_issue() {
         let detail = if stock.crashed {

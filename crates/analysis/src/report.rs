@@ -2,11 +2,11 @@
 //!
 //! `analyze_specs` partitions a corpus across the deterministic fleet
 //! driver; per-app results come back in task-index order, so the
-//! report, its digest and both renderings are bit-identical for any
-//! worker count — the property the CI `--jobs 1` vs `--jobs 4` diff
-//! enforces.
+//! report, its digest and all three renderings (human, JSON, SARIF)
+//! are bit-identical for any worker count — the property the CI
+//! `--jobs 1` vs `--jobs 4` diff enforces.
 
-use crate::diag::{json_string, Diagnostic, Severity, Suppressions};
+use crate::diag::{json_string, Diagnostic, LintCode, Severity, Suppressions};
 use crate::passes::analyze_app;
 use crate::shape::AppShape;
 use crate::verdict::{predict, AnalysisMode, StaticVerdict};
@@ -27,6 +27,10 @@ pub struct AppAnalysis {
     pub stock: StaticVerdict,
     /// Predicted oracle report under RCHDroid.
     pub rchdroid: StaticVerdict,
+    /// Predicted oracle report under RuntimeDroid.
+    pub runtimedroid: StaticVerdict,
+    /// The data-loss class label, for data-loss corpus apps.
+    pub dataloss_class: Option<&'static str>,
 }
 
 impl AppAnalysis {
@@ -43,6 +47,8 @@ impl AppAnalysis {
             suppressed: dropped.len() as u64,
             stock: predict(spec, AnalysisMode::Stock),
             rchdroid: predict(spec, AnalysisMode::RchDroid),
+            runtimedroid: predict(spec, AnalysisMode::RuntimeDroid),
+            dataloss_class: spec.dataloss.as_ref().map(|dl| dl.class.label()),
         }
     }
 
@@ -57,6 +63,7 @@ impl AppAnalysis {
         d.write_u64(self.suppressed);
         self.stock.digest_into(&mut d);
         self.rchdroid.digest_into(&mut d);
+        self.runtimedroid.digest_into(&mut d);
         d.finish()
     }
 
@@ -76,6 +83,14 @@ impl AppAnalysis {
         }
         l.predicted_stock_issues = u64::from(self.stock.has_issue());
         l.predicted_rchdroid_issues = u64::from(self.rchdroid.has_issue());
+        l.predicted_runtimedroid_issues = u64::from(self.runtimedroid.has_issue());
+        if let Some(class) = self.dataloss_class {
+            l.dataloss_apps = 1;
+            if self.stock.has_issue() || self.rchdroid.has_issue() || self.runtimedroid.has_issue()
+            {
+                l.dataloss_by_class.insert(class.to_owned(), 1);
+            }
+        }
         l
     }
 }
@@ -142,6 +157,8 @@ impl AnalysisReport {
             out.push_str(&verdict_json(&app.stock));
             out.push_str(",\"rchdroid\":");
             out.push_str(&verdict_json(&app.rchdroid));
+            out.push_str(",\"runtimedroid\":");
+            out.push_str(&verdict_json(&app.runtimedroid));
             out.push_str("}}");
         }
         out.push_str("\n  ],\n  \"summary\": {\"apps\":");
@@ -157,6 +174,68 @@ impl AnalysisReport {
         out.push_str(",\"digest\":");
         out.push_str(&json_string(&format!("{:016x}", self.digest())));
         out.push_str("}\n}\n");
+        out
+    }
+
+    /// Stable SARIF 2.1.0 rendering, for code-review UIs. Byte-stable
+    /// like the JSON renderer: fixed key order, corpus-ordered results,
+    /// no worker-count or host dependence — `tests/sarif_golden.rs`
+    /// pins the exact bytes.
+    pub fn render_sarif(&self) -> String {
+        let mut out = String::from(
+            "{\n  \"$schema\": \"https://json.schemastore.org/sarif-2.1.0.json\",\n  \
+             \"version\": \"2.1.0\",\n  \"runs\": [\n    {\n      \"tool\": {\"driver\": \
+             {\"name\": \"rchlint\",\n        \"rules\": [",
+        );
+        let mut first = true;
+        for code in LintCode::ALL {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push_str("\n          {\"id\":");
+            out.push_str(&json_string(code.code()));
+            out.push_str(",\"name\":");
+            out.push_str(&json_string(code.name()));
+            out.push('}');
+        }
+        out.push_str("\n        ]}},\n      \"results\": [");
+        let mut first_r = true;
+        for app in &self.apps {
+            for d in &app.diagnostics {
+                if !first_r {
+                    out.push(',');
+                }
+                first_r = false;
+                let rule_index = LintCode::ALL
+                    .iter()
+                    .position(|c| *c == d.code)
+                    .expect("every code is in ALL");
+                let level = match d.severity {
+                    Severity::Info => "note",
+                    Severity::Warning => "warning",
+                    Severity::Error => "error",
+                };
+                let mut fqn = format!("{}::{}", d.loc.app, d.loc.activity);
+                if !d.loc.view_path.is_empty() {
+                    fqn.push_str("::");
+                    fqn.push_str(&d.loc.view_path);
+                }
+                out.push_str("\n        {\"ruleId\":");
+                out.push_str(&json_string(d.code.code()));
+                out.push_str(&format!(",\"ruleIndex\":{rule_index},\"level\":"));
+                out.push_str(&json_string(level));
+                out.push_str(",\"message\":{\"text\":");
+                out.push_str(&json_string(&d.message));
+                out.push_str("},\"locations\":[{\"logicalLocations\":[{\"fullyQualifiedName\":");
+                out.push_str(&json_string(&fqn));
+                out.push_str("}]}]}");
+            }
+        }
+        if !first_r {
+            out.push_str("\n      ");
+        }
+        out.push_str("]\n    }\n  ]\n}\n");
         out
     }
 
@@ -212,7 +291,7 @@ pub fn analyze_specs(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rch_workloads::{top100_specs, tp27_specs};
+    use rch_workloads::{dataloss_specs, top100_specs, tp27_specs};
 
     fn cfg(jobs: usize) -> FleetConfig {
         FleetConfig::new(jobs, 0)
@@ -226,6 +305,7 @@ mod tests {
         assert_eq!(serial.digest(), parallel.digest());
         assert_eq!(serial.render_json(), parallel.render_json());
         assert_eq!(serial.render_human(), parallel.render_human());
+        assert_eq!(serial.render_sarif(), parallel.render_sarif());
     }
 
     #[test]
@@ -235,7 +315,22 @@ mod tests {
         assert_eq!(report.ledger.apps, 100);
         assert_eq!(report.ledger.predicted_stock_issues, 63);
         assert_eq!(report.ledger.predicted_rchdroid_issues, 4);
+        assert_eq!(report.ledger.predicted_runtimedroid_issues, 5);
+        assert_eq!(report.ledger.dataloss_apps, 0);
+        assert!(report.ledger.dataloss_by_class.is_empty());
         assert_eq!(report.ledger.clean_apps, 37, "issue-free apps stay clean");
+    }
+
+    #[test]
+    fn dataloss_ledger_counts_classes() {
+        let specs = dataloss_specs();
+        let report = analyze_specs(&specs, &cfg(4), &Suppressions::none());
+        assert_eq!(report.ledger.apps, specs.len() as u64);
+        assert_eq!(report.ledger.dataloss_apps, specs.len() as u64);
+        assert_eq!(report.ledger.dataloss_by_class.len(), 5, "all five classes");
+        let flagged: u64 = report.ledger.dataloss_by_class.values().sum();
+        let labeled = specs.iter().filter(|s| s.has_issue()).count() as u64;
+        assert_eq!(flagged, labeled, "ledger matches the corpus labels");
     }
 
     #[test]
@@ -248,5 +343,17 @@ mod tests {
         assert!(!suppressed.ledger.by_code.contains_key("RCH004"));
         assert_eq!(suppressed.ledger.suppressed, open.ledger.by_code["RCH004"]);
         assert_ne!(open.digest(), suppressed.digest());
+    }
+
+    #[test]
+    fn sarif_lists_every_rule_and_mirrors_diagnostics() {
+        let specs = tp27_specs();
+        let report = analyze_specs(&specs, &cfg(1), &Suppressions::none());
+        let sarif = report.render_sarif();
+        for code in LintCode::ALL {
+            assert!(sarif.contains(&format!("{{\"id\":\"{}\"", code.code())));
+        }
+        let findings: usize = report.apps.iter().map(|a| a.diagnostics.len()).sum();
+        assert_eq!(sarif.matches("\"ruleId\"").count(), findings);
     }
 }

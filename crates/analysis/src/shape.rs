@@ -4,14 +4,29 @@
 //! performs the same deterministic construction the framework would do
 //! on launch — strict layout inflation plus `onCreate` (which is where
 //! dynamically created views appear) — once per orientation. Everything
-//! the six passes need is captured here: the per-configuration view
-//! trees, the async specs, and the app's manifest-level flags.
+//! the passes need is captured here: the per-configuration view trees,
+//! the async specs, the app's manifest-level flags, and (for data-loss
+//! corpus apps) the per-field persistence descriptors.
+//!
+//! Extraction is memoized through [`kernel::memo`](droidsim_kernel::memo):
+//! the throwaway `perform_create` per configuration re-inflates
+//! identical templates, and corpus runs (lint, then the differential's
+//! static side, then a bench pass) extract the same shapes repeatedly.
+//! The cache key is the descriptor's content digest × the analyzed
+//! configuration digests — the descriptor deterministically generates
+//! the resource table, so keying on its content is the content-addressed
+//! equivalent of template digest × config digest without paying for
+//! resource construction on a hit. `tests/memo_parity.rs` holds the
+//! memoized path byte-equal to the cold path.
 
 use droidsim_app::{Activity, ActivityInstanceId, AppModel, AsyncSpec};
 use droidsim_atms::ActivityRecordId;
 use droidsim_config::{ConfigChanges, Configuration};
+use droidsim_fleet::Digest;
+use droidsim_kernel::memo::{self, Admission, MemoCache};
 use droidsim_view::{try_inflate, ViewError, ViewId, ViewTree};
-use rch_workloads::GenericAppSpec;
+use rch_workloads::{DataLossScenario, FieldOwner, FieldPersistence, GenericAppSpec};
+use std::sync::{Once, OnceLock};
 
 /// One inflated configuration of the app's main layout.
 #[derive(Debug, Clone)]
@@ -43,6 +58,8 @@ pub struct AppShape {
     /// Strict-inflation failures per orientation label: templates the
     /// lenient runtime inflater would silently truncate.
     pub inflate_errors: Vec<(&'static str, ViewError)>,
+    /// Per-field persistence descriptors, for data-loss corpus apps.
+    pub dataloss: Option<DataLossScenario>,
 }
 
 /// The two configurations the §6 oracle rotates between.
@@ -53,16 +70,94 @@ fn analyzed_configs() -> [(&'static str, Configuration); 2] {
     ]
 }
 
+/// Content digest of everything in the descriptor that shape extraction
+/// can observe (the descriptor generates the resource table and the
+/// model's `onCreate` behaviour, so this covers the template content),
+/// crossed with the analyzed configuration digests.
+fn shape_key(spec: &GenericAppSpec) -> u64 {
+    let mut d = Digest::new();
+    d.write_str(&spec.name);
+    d.write_str(spec.downloads);
+    d.write_str(spec.issue.as_deref().unwrap_or(""));
+    d.write_u64(spec.view_count as u64);
+    d.write_u64(spec.complexity.to_bits());
+    d.write_u64(spec.base_memory_bytes);
+    d.write_u64(spec.activity_heap_bytes);
+    d.write_u64(u64::from(spec.handles_changes));
+    d.write_u64(u64::from(spec.saves_instance_state));
+    d.write_u64(u64::from(spec.uses_async_task));
+    d.write_u64(spec.state_items.len() as u64);
+    for item in &spec.state_items {
+        d.write_str(&item.key);
+        d.write_u64(memo::stable_hash(&item.mechanism));
+        d.write_str(&item.test_value);
+    }
+    match &spec.dataloss {
+        None => d.write_u64(0),
+        Some(dl) => {
+            d.write_u64(1 + memo::stable_hash(&dl.class));
+            d.write_u64(dl.fields.len() as u64);
+            for f in &dl.fields {
+                d.write_str(&f.key);
+                d.write_u64(memo::stable_hash(&f.owner));
+                d.write_u64(memo::stable_hash(&f.persistence));
+                d.write_str(&f.test_value);
+            }
+        }
+    }
+    for (label, config) in analyzed_configs() {
+        d.write_str(label);
+        d.write_u64(memo::stable_hash(&config));
+    }
+    d.finish()
+}
+
+/// The process-wide shape cache: a hit skips resource construction and
+/// both per-orientation inflate + `perform_create` walks.
+fn shape_cache() -> &'static MemoCache<u64, AppShape> {
+    static CACHE: OnceLock<MemoCache<u64, AppShape>> = OnceLock::new();
+    static REGISTER: Once = Once::new();
+    let cache = CACHE.get_or_init(|| {
+        MemoCache::new("shape", 256, |shape: &AppShape| {
+            shape.trees.iter().map(|t| t.tree.heap_bytes()).sum()
+        })
+    });
+    REGISTER.call_once(|| memo::register(cache));
+    cache
+}
+
 impl AppShape {
-    /// Extracts the shape of a corpus descriptor.
+    /// Extracts the shape of a corpus descriptor, memoized on the
+    /// descriptor's content digest.
     pub fn from_spec(spec: &GenericAppSpec) -> AppShape {
+        if memo::enabled() {
+            let key = shape_key(spec);
+            match shape_cache().probe(key) {
+                Admission::Hit(cached) => return (*cached).clone(),
+                Admission::Build => {
+                    let built = AppShape::from_spec_cold(spec);
+                    shape_cache().publish(key, built.clone());
+                    return built;
+                }
+                Admission::Skip => {}
+            }
+        }
+        AppShape::from_spec_cold(spec)
+    }
+
+    /// The uncached extraction walk.
+    fn from_spec_cold(spec: &GenericAppSpec) -> AppShape {
         let app = spec.build();
-        let async_specs = if spec.uses_async_task {
-            vec![spec.async_task()]
-        } else {
-            Vec::new()
-        };
-        AppShape::from_model(&spec.name, &app, async_specs)
+        let mut async_specs = Vec::new();
+        if spec.uses_async_task {
+            async_specs.push(spec.async_task());
+        }
+        if let Some(task) = spec.dataloss_async_task() {
+            async_specs.push(task);
+        }
+        let mut shape = AppShape::from_model(&spec.name, &app, async_specs);
+        shape.dataloss = spec.dataloss.clone();
+        shape
     }
 
     /// Extracts the shape of any [`AppModel`] (e.g. `SimpleApp`).
@@ -105,6 +200,31 @@ impl AppShape {
             async_specs,
             trees,
             inflate_errors,
+            dataloss: None,
+        }
+    }
+
+    /// Where a data-loss field shows up in the extracted trees: the
+    /// first tree containing a view named after the field, if any.
+    /// Member fields and dialog views (created only when the dialog is
+    /// shown, which `onCreate` alone never does) have no tree site.
+    pub fn field_site(&self, field_key: &str, owner: FieldOwner) -> Option<(&ConfigTree, ViewId)> {
+        match owner {
+            FieldOwner::Member | FieldOwner::Dialog => None,
+            FieldOwner::Fragment | FieldOwner::AsyncView | FieldOwner::InputView => self
+                .trees
+                .iter()
+                .find_map(|ct| ct.tree.find_by_id_name(field_key).map(|id| (ct, id))),
+        }
+    }
+
+    /// Which save site, if any, statically covers a field — the "write"
+    /// half of the save/restore reachability pass.
+    pub fn save_site(&self, persistence: FieldPersistence) -> Option<&'static str> {
+        match persistence {
+            FieldPersistence::Transient => None,
+            FieldPersistence::BundleSaved => Some("onSaveInstanceState"),
+            FieldPersistence::StorePersisted => Some("the persistent store"),
         }
     }
 }
@@ -129,7 +249,9 @@ pub fn view_path(tree: &ViewTree, id: ViewId) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rch_workloads::{StateItem, StateMechanism};
+    use rch_workloads::{
+        DataLossClass, DataLossField, DataLossScenario, StateItem, StateMechanism,
+    };
 
     fn spec_with(item: StateItem) -> GenericAppSpec {
         let mut s = GenericAppSpec::sized("ShapeProbe", "1K+", false);
@@ -172,5 +294,59 @@ mod tests {
             path.ends_with(">root>issue_state"),
             "path walks decor→root→view: {path}"
         );
+    }
+
+    #[test]
+    fn dataloss_fields_surface_in_the_shape() {
+        let mut spec = GenericAppSpec::sized("ShapeDl", "1K+", false);
+        spec.dataloss = Some(DataLossScenario::new(
+            DataLossClass::SubStateOwner,
+            vec![
+                DataLossField::new(
+                    "alpha_field",
+                    FieldOwner::Fragment,
+                    FieldPersistence::Transient,
+                ),
+                DataLossField::new(
+                    "beta_field",
+                    FieldOwner::Dialog,
+                    FieldPersistence::Transient,
+                ),
+            ],
+        ));
+        let shape = AppShape::from_spec(&spec);
+        let dl = shape.dataloss.as_ref().unwrap();
+        assert_eq!(dl.fields.len(), 2);
+        // The fragment view is attached in onCreate and thus visible;
+        // the dialog view only exists once the dialog is shown.
+        assert!(shape
+            .field_site("alpha_field", FieldOwner::Fragment)
+            .is_some());
+        assert!(shape.field_site("beta_field", FieldOwner::Dialog).is_none());
+    }
+
+    #[test]
+    fn distinct_descriptors_never_collide_in_the_cache() {
+        // Same name, different dataloss descriptor: the memo key must
+        // separate them or the second extraction would return the
+        // first's trees.
+        let mut a = GenericAppSpec::sized("ShapeTwin", "1K+", false);
+        a.dataloss = Some(DataLossScenario::new(
+            DataLossClass::AsyncRace,
+            vec![DataLossField::new(
+                "alpha_field",
+                FieldOwner::AsyncView,
+                FieldPersistence::Transient,
+            )],
+        ));
+        let mut b = GenericAppSpec::sized("ShapeTwin", "1K+", false);
+        b.dataloss = None;
+        for _ in 0..3 {
+            // past admission, into published-hit territory
+            let sa = AppShape::from_spec(&a);
+            let sb = AppShape::from_spec(&b);
+            assert!(sa.trees[0].tree.find_by_id_name("alpha_field").is_some());
+            assert!(sb.trees[0].tree.find_by_id_name("alpha_field").is_none());
+        }
     }
 }

@@ -8,6 +8,7 @@
 //! arm is the headline number for the speedup criterion.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use droidsim_analysis::{analyze_specs, Suppressions};
 use droidsim_config::{Configuration, Orientation, UiMode};
 use droidsim_device::HandlingMode;
 use droidsim_fleet::{
@@ -17,7 +18,7 @@ use droidsim_fleet::{
 use droidsim_kernel::memo;
 use droidsim_resources::{LayoutNode, LayoutTemplate, Qualifiers, ResourceTable, ResourceValue};
 use rch_experiments::{run_app, RunConfig};
-use rch_workloads::{top100_sample, GenericAppSpec};
+use rch_workloads::{dataloss_specs, top100_sample, GenericAppSpec};
 use rchdroid::MigrationEngine;
 use std::hint::black_box;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -296,6 +297,37 @@ fn bench_memo(c: &mut Criterion) {
     group.finish();
 }
 
+/// The analyzer's fleet throughput over the whole generated data-loss
+/// corpus (`rchlint --corpus dataloss`): shape extraction (memoized),
+/// the twelve lint passes and the three-mode verdicts for every app,
+/// folded into the corpus report. Serial vs 8-way is the
+/// `rchlint_throughput` scaling pair the bench gate tracks; the digest
+/// identity across worker counts is asserted before any timing.
+fn bench_rchlint(c: &mut Criterion) {
+    let corpus = dataloss_specs();
+    let allow = Suppressions::none();
+    let analyze = |jobs: usize| analyze_specs(&corpus, &FleetConfig::new(jobs, 0), &allow);
+    let serial_digest = analyze(1).digest();
+    for jobs in [4usize, 8] {
+        assert_eq!(
+            analyze(jobs).digest(),
+            serial_digest,
+            "rchlint digest diverged at jobs={jobs}"
+        );
+    }
+    let mut group = c.benchmark_group("fleet_parallel");
+    for jobs in [1usize, 8] {
+        group.bench_with_input(
+            BenchmarkId::new("rchlint_throughput/jobs", jobs),
+            &jobs,
+            |b, &jobs| {
+                b.iter(|| black_box(analyze(jobs).digest()));
+            },
+        );
+    }
+    group.finish();
+}
+
 fn bench(c: &mut Criterion) {
     let sample = top100_sample(APPS);
     let serial = simulate(&FleetConfig::new(1, 0), &sample);
@@ -361,6 +393,6 @@ fn fast() -> Criterion {
 criterion_group! {
     name = benches;
     config = fast();
-    targets = bench, bench_memo
+    targets = bench, bench_memo, bench_rchlint
 }
 criterion_main!(benches);

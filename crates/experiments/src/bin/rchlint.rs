@@ -1,16 +1,21 @@
 //! `rchlint` — the static migration-safety analyzer.
 //!
 //! ```text
-//! rchlint [--corpus tp27|top100|all] [--format human|json] [--output PATH]
-//!         [--allow [APP:]CODE]... [--only APP] [--clean-only]
-//!         [--deny-warnings] [--differential] [--jobs N]
+//! rchlint [--corpus tp27|top100|dataloss|all] [--format human|json|sarif]
+//!         [--output PATH] [--allow [APP:]CODE]... [--only APP]
+//!         [--clean-only] [--deny-warnings] [--differential]
+//!         [--table PATH] [--jobs N]
 //! ```
 //!
-//! Default mode lints every corpus app with the six `RCH0xx` passes and
-//! prints diagnostics plus the run ledger. `--differential` instead
-//! replays each app through the dynamic §6 oracle and fails on any
+//! Default mode lints every corpus app with the `RCH0xx` passes
+//! (structural `RCH001`–`RCH006` plus the data-loss dataflow family
+//! `RCH007`–`RCH012`) and prints diagnostics plus the run ledger.
+//! `--differential` instead replays each app through the dynamic §6
+//! oracle — under stock, RCHDroid and RuntimeDroid — and fails on any
 //! field-level disagreement with the static verdict, printing a
-//! one-line repro recipe per disagreement.
+//! one-line repro recipe per disagreement; when the run covers the
+//! `dataloss` corpus, `--table PATH` additionally writes the per-class
+//! loss-rate CSV (`results/table_dataloss.csv`).
 //!
 //! Determinism contract: the report digest — and, in `--format json`,
 //! every byte on stdout / in `--output` — is identical for any
@@ -24,12 +29,13 @@
 use droidsim_analysis::{analyze_specs, Suppressions};
 use droidsim_fleet::combine_ordered;
 use rch_experiments::differential;
-use rch_workloads::{top100_specs, tp27_specs, GenericAppSpec};
+use rch_workloads::{dataloss_specs, top100_specs, tp27_specs, GenericAppSpec};
 
 #[derive(Debug, Clone, Copy, PartialEq)]
 enum Format {
     Human,
     Json,
+    Sarif,
 }
 
 #[derive(Debug)]
@@ -42,6 +48,7 @@ struct LintCli {
     clean_only: bool,
     deny_warnings: bool,
     differential: bool,
+    table: Option<String>,
 }
 
 /// Parses the tokens [`rch_experiments::FleetCli`] did not consume
@@ -57,6 +64,7 @@ fn parse_cli(args: impl IntoIterator<Item = String>) -> Result<LintCli, String> 
         clean_only: false,
         deny_warnings: false,
         differential: false,
+        table: None,
     };
     let mut args = args.into_iter();
     let value = |flag: &str, inline: Option<String>, args: &mut dyn Iterator<Item = String>| {
@@ -72,8 +80,10 @@ fn parse_cli(args: impl IntoIterator<Item = String>) -> Result<LintCli, String> 
         match flag.as_str() {
             "--corpus" => {
                 let v = value("--corpus", inline, &mut args)?;
-                if !["tp27", "top100", "all"].contains(&v.as_str()) {
-                    return Err(format!("--corpus: unknown corpus {v:?} (tp27|top100|all)"));
+                if !["tp27", "top100", "dataloss", "all"].contains(&v.as_str()) {
+                    return Err(format!(
+                        "--corpus: unknown corpus {v:?} (tp27|top100|dataloss|all)"
+                    ));
                 }
                 cli.corpus = v;
             }
@@ -81,7 +91,8 @@ fn parse_cli(args: impl IntoIterator<Item = String>) -> Result<LintCli, String> 
                 cli.format = match value("--format", inline, &mut args)?.as_str() {
                     "human" => Format::Human,
                     "json" => Format::Json,
-                    v => return Err(format!("--format: unknown format {v:?} (human|json)")),
+                    "sarif" => Format::Sarif,
+                    v => return Err(format!("--format: unknown format {v:?} (human|json|sarif)")),
                 };
             }
             "--output" => cli.output = Some(value("--output", inline, &mut args)?),
@@ -90,6 +101,7 @@ fn parse_cli(args: impl IntoIterator<Item = String>) -> Result<LintCli, String> 
             "--clean-only" => cli.clean_only = true,
             "--deny-warnings" => cli.deny_warnings = true,
             "--differential" => cli.differential = true,
+            "--table" => cli.table = Some(value("--table", inline, &mut args)?),
             other => return Err(format!("unknown flag {other:?}")),
         }
     }
@@ -98,9 +110,10 @@ fn parse_cli(args: impl IntoIterator<Item = String>) -> Result<LintCli, String> 
 
 fn corpora(corpus: &str) -> Vec<&'static str> {
     match corpus {
-        "all" => vec!["tp27", "top100"],
+        "all" => vec!["tp27", "top100", "dataloss"],
         "tp27" => vec!["tp27"],
         "top100" => vec!["top100"],
+        "dataloss" => vec!["dataloss"],
         _ => unreachable!("validated at parse time"),
     }
 }
@@ -110,7 +123,8 @@ fn lint_specs(cli: &LintCli) -> Result<Vec<GenericAppSpec>, String> {
     for c in corpora(&cli.corpus) {
         specs.extend(match c {
             "tp27" => tp27_specs(),
-            _ => top100_specs(),
+            "top100" => top100_specs(),
+            _ => dataloss_specs(),
         });
     }
     if let Some(name) = &cli.only {
@@ -164,6 +178,14 @@ fn main() {
             cfg.jobs,
             combine_ordered(digests),
         );
+        if let Some(path) = &cli.table {
+            let csv = differential::dataloss_table_csv(&differential::dataloss_table());
+            if let Err(e) = std::fs::write(path, csv) {
+                eprintln!("error: --table {path}: {e}");
+                std::process::exit(2);
+            }
+            println!("=> table: wrote per-class loss rates to {path}");
+        }
     } else {
         let specs = lint_specs(&cli).unwrap_or_else(|e| {
             eprintln!("error: {e}");
@@ -173,6 +195,7 @@ fn main() {
         let rendered = match cli.format {
             Format::Human => report.render_human(),
             Format::Json => report.render_json(),
+            Format::Sarif => report.render_sarif(),
         };
         if let Err(e) = emit(&cli, &rendered) {
             eprintln!("error: {e}");
@@ -185,7 +208,7 @@ fn main() {
         );
         // Jobs-dependent: must not contaminate the byte-stable JSON
         // stream CI diffs across worker counts.
-        if cli.format == Format::Json || cli.output.is_some() {
+        if cli.format != Format::Human || cli.output.is_some() {
             eprintln!("{digest_line}");
         } else {
             println!("{digest_line}");

@@ -17,7 +17,7 @@
 
 use droidsim_device::{Device, HandlingMode};
 use droidsim_kernel::SimDuration;
-use rch_workloads::GenericAppSpec;
+use rch_workloads::{DataLossClass, GenericAppSpec};
 use std::collections::BTreeSet;
 
 /// What the oracle found for one app under one system.
@@ -142,6 +142,171 @@ pub fn check(spec: &GenericAppSpec, mode: HandlingMode) -> DetectionReport {
         lost_after_two,
         latent_after_two,
         crashed,
+    }
+}
+
+/// One probe of a data-loss app's live instances, mirroring
+/// [`lost_items`] for the per-field data-loss corpus.
+fn dataloss_lost_items(
+    device: &Device,
+    component: &str,
+    probe: &rch_workloads::GenericApp,
+) -> Probe {
+    let Ok(process) = device.process(component) else {
+        return Probe::default();
+    };
+    let foreground = process.foreground_instance();
+    let mut result = Probe::default();
+    let mut latent = BTreeSet::new();
+    for id in process.thread().alive_instances() {
+        let Ok(activity) = process.thread().instance(id) else {
+            continue;
+        };
+        if activity.tree.is_released() {
+            continue;
+        }
+        let lost = probe
+            .dataloss_surviving(activity)
+            .into_iter()
+            .filter(|(_, survived)| !survived)
+            .map(|(field, _)| &field.key);
+        if Some(id) == foreground {
+            result.foreground = lost.cloned().collect();
+        } else {
+            latent.extend(lost.cloned());
+        }
+    }
+    result.latent = latent.into_iter().collect();
+    result
+}
+
+/// The dynamic data-loss oracle: drives the scenario's lifecycle
+/// interleaving (per [`DataLossClass`]) and diffs pre-change field state
+/// against what each live instance shows afterwards.
+///
+/// Rotation-based classes mirror [`check`]'s double-rotation schedule
+/// (the single-rotation probe catches what RCHDroid's coin flip masks,
+/// the latent probe catches the stale replacement shadow). The async
+/// race lets the write land *after* both rotations, so only the final
+/// probe is meaningful. Process death backgrounds the app behind a
+/// parked helper, reclaims it under memory pressure — the ATMS retains
+/// the save bundle, the persistent store survives by definition — and
+/// switches back.
+pub fn check_dataloss(spec: &GenericAppSpec, mode: HandlingMode) -> DetectionReport {
+    let Some(class) = spec.dataloss.as_ref().map(|dl| dl.class) else {
+        return DetectionReport {
+            app: spec.name.clone(),
+            lost_after_one: Vec::new(),
+            lost_after_two: Vec::new(),
+            latent_after_two: Vec::new(),
+            crashed: false,
+        };
+    };
+    let mut device = Device::new(mode);
+    let app = spec.build();
+    // The probe shares the installed copy's persistent store: state it
+    // applies through the foreground activity writes the same "disk"
+    // the installed model's on_create reads back.
+    let probe = app.shared_probe();
+    let Ok(component) =
+        device.install_and_launch(Box::new(app), spec.base_memory_bytes, spec.complexity)
+    else {
+        return DetectionReport::crashed_report(&spec.name);
+    };
+
+    match class {
+        DataLossClass::StopRestart
+        | DataLossClass::SubStateOwner
+        | DataLossClass::InputInFlight => {
+            if device
+                .with_foreground_activity_mut(|a| probe.apply_dataloss_state(a))
+                .is_err()
+            {
+                return DetectionReport::crashed_report(&spec.name);
+            }
+            let _ = device.rotate();
+            let lost_after_one = if device.is_crashed(&component) {
+                Vec::new()
+            } else {
+                dataloss_lost_items(&device, &component, &probe).foreground
+            };
+            let _ = device.rotate();
+            let crashed = device.is_crashed(&component);
+            let (lost_after_two, latent_after_two) = if crashed {
+                (Vec::new(), Vec::new())
+            } else {
+                let p = dataloss_lost_items(&device, &component, &probe);
+                (p.foreground, p.latent)
+            };
+            DetectionReport {
+                app: spec.name.clone(),
+                lost_after_one,
+                lost_after_two,
+                latent_after_two,
+                crashed,
+            }
+        }
+        DataLossClass::AsyncRace => {
+            if let Some(task) = spec.dataloss_async_task() {
+                let _ = device.start_async_on_foreground(task);
+            }
+            let _ = device.rotate();
+            let _ = device.rotate();
+            device.advance(SimDuration::from_secs(8)); // the racing write lands
+            let crashed = device.is_crashed(&component);
+            let (lost_after_two, latent_after_two) = if crashed {
+                (Vec::new(), Vec::new())
+            } else {
+                let p = dataloss_lost_items(&device, &component, &probe);
+                (p.foreground, p.latent)
+            };
+            DetectionReport {
+                app: spec.name.clone(),
+                // Nothing to lose before the write lands.
+                lost_after_one: Vec::new(),
+                lost_after_two,
+                latent_after_two,
+                crashed,
+            }
+        }
+        DataLossClass::ProcessDeath => {
+            if device
+                .with_foreground_activity_mut(|a| probe.apply_dataloss_state(a))
+                .is_err()
+            {
+                return DetectionReport::crashed_report(&spec.name);
+            }
+            // Background the app behind a parked helper, reclaim it,
+            // come back.
+            let parker = GenericAppSpec::sized("DlParkerApp", "1K+", false);
+            if device
+                .install_and_launch(
+                    Box::new(parker.build()),
+                    parker.base_memory_bytes,
+                    parker.complexity,
+                )
+                .is_err()
+                || {
+                    device.trigger_memory_pressure();
+                    device.switch_to_app(&component).is_err()
+                }
+            {
+                return DetectionReport::crashed_report(&spec.name);
+            }
+            let crashed = device.is_crashed(&component);
+            let lost = if crashed {
+                Vec::new()
+            } else {
+                dataloss_lost_items(&device, &component, &probe).foreground
+            };
+            DetectionReport {
+                app: spec.name.clone(),
+                lost_after_one: lost.clone(),
+                lost_after_two: lost,
+                latent_after_two: Vec::new(),
+                crashed,
+            }
+        }
     }
 }
 

@@ -32,6 +32,14 @@ pub struct AnalysisLedger {
     /// Apps the verdict pass predicts to still have an issue under
     /// RCHDroid.
     pub predicted_rchdroid_issues: u64,
+    /// Apps the verdict pass predicts to still have an issue under
+    /// RuntimeDroid's in-place hot reload.
+    pub predicted_runtimedroid_issues: u64,
+    /// Apps carrying a data-loss scenario descriptor.
+    pub dataloss_apps: u64,
+    /// Apps flagged lossy in at least one mode, per data-loss class
+    /// label (e.g. `"stop-restart"`), sorted by label.
+    pub dataloss_by_class: BTreeMap<String, u64>,
 }
 
 impl AnalysisLedger {
@@ -52,6 +60,11 @@ impl AnalysisLedger {
         }
         self.predicted_stock_issues += other.predicted_stock_issues;
         self.predicted_rchdroid_issues += other.predicted_rchdroid_issues;
+        self.predicted_runtimedroid_issues += other.predicted_runtimedroid_issues;
+        self.dataloss_apps += other.dataloss_apps;
+        for (class, n) in &other.dataloss_by_class {
+            *self.dataloss_by_class.entry(class.clone()).or_insert(0) += n;
+        }
     }
 
     /// A single stable line summarising the run. Every field is derived
@@ -62,7 +75,8 @@ impl AnalysisLedger {
     pub fn deterministic_fingerprint(&self) -> String {
         format!(
             "analysis[apps={} clean={} errors={} warnings={} suppressed={} \
-             by_code={:?} predicted[stock={} rchdroid={}]]",
+             by_code={:?} predicted[stock={} rchdroid={} runtimedroid={}] \
+             dataloss[apps={} by_class={:?}]]",
             self.apps,
             self.clean_apps,
             self.errors,
@@ -71,6 +85,9 @@ impl AnalysisLedger {
             self.by_code,
             self.predicted_stock_issues,
             self.predicted_rchdroid_issues,
+            self.predicted_runtimedroid_issues,
+            self.dataloss_apps,
+            self.dataloss_by_class,
         )
     }
 }
@@ -125,6 +142,24 @@ mod tests {
         let fp = l.deterministic_fingerprint();
         assert_eq!(fp, l.clone().deterministic_fingerprint());
         assert!(fp.contains("RCH006"));
-        assert!(fp.contains("predicted[stock=1 rchdroid=0]"));
+        assert!(fp.contains("predicted[stock=1 rchdroid=0 runtimedroid=0]"));
+        assert!(fp.contains("dataloss[apps=0 by_class={}]"));
+    }
+
+    #[test]
+    fn dataloss_fields_merge_like_the_rest() {
+        let mut a = AnalysisLedger::new();
+        a.dataloss_apps = 2;
+        a.predicted_runtimedroid_issues = 1;
+        a.dataloss_by_class.insert("stop-restart".into(), 1);
+        let mut b = AnalysisLedger::new();
+        b.dataloss_apps = 1;
+        b.dataloss_by_class.insert("stop-restart".into(), 1);
+        b.dataloss_by_class.insert("async-race".into(), 1);
+        a.merge(&b);
+        assert_eq!(a.dataloss_apps, 3);
+        assert_eq!(a.predicted_runtimedroid_issues, 1);
+        assert_eq!(a.dataloss_by_class["stop-restart"], 2);
+        assert_eq!(a.dataloss_by_class["async-race"], 1);
     }
 }

@@ -1,0 +1,349 @@
+//! The data-loss corpus: per-field persistence descriptors and a seeded
+//! generator for the five bug classes that dominate real change-handling
+//! failures (fields lost across stop/restart, dialog/fragment sub-state,
+//! async writes racing a second rotation, process death with a saved
+//! bundle, and in-flight user input — the taxonomy of "Detecting and
+//! Fixing Data Loss Issues in Android Apps" and the data-loss bug
+//! benchmark, PAPERS.md).
+//!
+//! A [`DataLossField`] describes *where* one piece of user data lives
+//! (activity member, dialog subtree, fragment subtree, an async-written
+//! view, an uncommitted input view) and *which save site* covers it
+//! (none, the instance bundle, or a persistent store). The
+//! [`DataLossClass`] picks the lifecycle interleaving the scenario
+//! drives. Together they mechanically determine survival under each
+//! handling scheme, exactly like [`StateMechanism`](crate::StateMechanism)
+//! does for the paper's corpus — the static pass and the dynamic oracle
+//! must agree on every field, which the differential gate enforces.
+
+use crate::generic::{hash_name, GenericAppSpec};
+use droidsim_kernel::{SplitMix64, Xoshiro256};
+
+/// Which save site (if any) covers a field.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FieldPersistence {
+    /// No save site at all: the field exists only in live memory.
+    Transient,
+    /// Written by `onSaveInstanceState` (explicitly, or via the view
+    /// hierarchy bundle for view-held fields) and read back on restore.
+    BundleSaved,
+    /// Written through to a persistent store at interaction time and
+    /// re-read in `onCreate`; survives even process death.
+    StorePersisted,
+}
+
+/// Where a field's live value is held.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FieldOwner {
+    /// A member field of the activity instance.
+    Member,
+    /// A view inside a dialog-like subtree the app creates in code when
+    /// the dialog is shown (absent from the layout resource).
+    Dialog,
+    /// A view inside a fragment subtree attached in `onCreate`.
+    Fragment,
+    /// A framework view in the layout that an in-flight async task
+    /// writes after the change.
+    AsyncView,
+    /// An input view in the layout holding text the user typed but the
+    /// app has not yet committed (no save site ever sees it).
+    InputView,
+}
+
+/// The lifecycle interleaving a data-loss scenario drives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DataLossClass {
+    /// Plain stop/restart: two rotations back to back.
+    StopRestart,
+    /// Dialog/fragment sub-state owners across two rotations.
+    SubStateOwner,
+    /// An async write racing a double rotation.
+    AsyncRace,
+    /// Process death with the save bundle retained: background the app,
+    /// reclaim it under memory pressure, switch back.
+    ProcessDeath,
+    /// User input in flight (typed but uncommitted) across two
+    /// rotations.
+    InputInFlight,
+}
+
+impl DataLossClass {
+    /// Every class, in corpus order.
+    pub const ALL: [DataLossClass; 5] = [
+        DataLossClass::StopRestart,
+        DataLossClass::SubStateOwner,
+        DataLossClass::AsyncRace,
+        DataLossClass::ProcessDeath,
+        DataLossClass::InputInFlight,
+    ];
+
+    /// CamelCase tag used in generated app names.
+    pub fn tag(self) -> &'static str {
+        match self {
+            DataLossClass::StopRestart => "StopRestart",
+            DataLossClass::SubStateOwner => "SubState",
+            DataLossClass::AsyncRace => "AsyncRace",
+            DataLossClass::ProcessDeath => "ProcDeath",
+            DataLossClass::InputInFlight => "InFlight",
+        }
+    }
+
+    /// Kebab-case label used in issue strings, tables and diagnostics.
+    pub fn label(self) -> &'static str {
+        match self {
+            DataLossClass::StopRestart => "stop-restart",
+            DataLossClass::SubStateOwner => "sub-state-owner",
+            DataLossClass::AsyncRace => "async-race",
+            DataLossClass::ProcessDeath => "process-death",
+            DataLossClass::InputInFlight => "input-in-flight",
+        }
+    }
+
+    /// Whether the scenario's lifecycle interleaving is a configuration
+    /// change (vs process death, which no `configChanges` declaration
+    /// can opt out of).
+    pub fn is_rotation_based(self) -> bool {
+        !matches!(self, DataLossClass::ProcessDeath)
+    }
+
+    /// The field owners this class exercises.
+    pub fn owners(self) -> &'static [FieldOwner] {
+        match self {
+            DataLossClass::StopRestart => &[FieldOwner::Member],
+            DataLossClass::SubStateOwner => &[FieldOwner::Dialog, FieldOwner::Fragment],
+            DataLossClass::AsyncRace => &[FieldOwner::AsyncView],
+            DataLossClass::ProcessDeath => &[FieldOwner::Member, FieldOwner::Fragment],
+            DataLossClass::InputInFlight => &[FieldOwner::InputView],
+        }
+    }
+
+    /// The persistence descriptors this class varies over. Async-written
+    /// and in-flight fields have no committed value for a save site to
+    /// cover, so only `Transient` is meaningful there.
+    pub fn persistences(self) -> &'static [FieldPersistence] {
+        match self {
+            DataLossClass::AsyncRace | DataLossClass::InputInFlight => {
+                &[FieldPersistence::Transient]
+            }
+            _ => &[
+                FieldPersistence::Transient,
+                FieldPersistence::BundleSaved,
+                FieldPersistence::StorePersisted,
+            ],
+        }
+    }
+}
+
+/// One field of user data with its persistence descriptor.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DataLossField {
+    /// The view id name or member-field key.
+    pub key: String,
+    /// Where the live value is held.
+    pub owner: FieldOwner,
+    /// Which save site covers it.
+    pub persistence: FieldPersistence,
+    /// The value the scenario expects to survive.
+    pub test_value: String,
+}
+
+impl DataLossField {
+    /// Creates a field descriptor.
+    pub fn new(key: &str, owner: FieldOwner, persistence: FieldPersistence) -> Self {
+        DataLossField {
+            key: key.to_owned(),
+            owner,
+            persistence,
+            test_value: format!("typed-{key}"),
+        }
+    }
+}
+
+/// A labeled data-loss scenario: the lifecycle interleaving plus the
+/// fields it puts at risk.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DataLossScenario {
+    /// The lifecycle interleaving driven by the oracle.
+    pub class: DataLossClass,
+    /// The fields the scenario exercises.
+    pub fields: Vec<DataLossField>,
+}
+
+impl DataLossScenario {
+    /// Creates a scenario.
+    pub fn new(class: DataLossClass, fields: Vec<DataLossField>) -> Self {
+        DataLossScenario { class, fields }
+    }
+
+    /// Whether *any* of the three schemes (stock, RCHDroid, RuntimeDroid)
+    /// loses or hides at least one field under this scenario — the
+    /// corpus label, mirroring how the paper's corpora label documented
+    /// issues. The mechanics:
+    ///
+    /// - Process death is mode-independent: only a `Transient` field is
+    ///   lost (the bundle is retained, the store survives by
+    ///   definition).
+    /// - A self-handled configuration change (`configChanges`) skips the
+    ///   restart under stock and RCHDroid — but **not** under
+    ///   RuntimeDroid, whose hot-reload patch re-inflates regardless and
+    ///   drops dialog and fragment subtrees it cannot rebuild.
+    /// - Sub-state owners are therefore always hazardous: RuntimeDroid's
+    ///   static reconstruction loses them whatever the save site says.
+    /// - An async write racing the double rotation crashes stock (the
+    ///   callback lands on a destroyed instance) and leaves RCHDroid's
+    ///   replacement shadow stale.
+    /// - In-flight input has no save site by definition: stock loses it.
+    pub fn hazardous(&self, handles_changes: bool) -> bool {
+        let any_transient = self
+            .fields
+            .iter()
+            .any(|f| f.persistence == FieldPersistence::Transient);
+        match self.class {
+            DataLossClass::ProcessDeath => any_transient,
+            DataLossClass::SubStateOwner => !self.fields.is_empty(),
+            DataLossClass::StopRestart => !handles_changes && any_transient,
+            DataLossClass::AsyncRace | DataLossClass::InputInFlight => {
+                !handles_changes && !self.fields.is_empty()
+            }
+        }
+    }
+}
+
+/// Generated apps per class (5 classes × this = the corpus size).
+pub const DATALOSS_APPS_PER_CLASS: usize = 104;
+
+/// The full generated data-loss corpus: ≥500 labeled apps spanning all
+/// five classes, deterministic for a given crate version (every
+/// parameter derives from the generated app name).
+pub fn dataloss_specs() -> Vec<GenericAppSpec> {
+    let mut specs = Vec::with_capacity(DataLossClass::ALL.len() * DATALOSS_APPS_PER_CLASS);
+    for class in DataLossClass::ALL {
+        for index in 0..DATALOSS_APPS_PER_CLASS {
+            specs.push(dataloss_app(class, index));
+        }
+    }
+    specs
+}
+
+/// Field keys, disjoint from the generic layout's fixed id names
+/// (`root`, `content_*`, `async_target`) and from the keys the other
+/// test corpora use.
+const FIELD_KEYS: [&str; 3] = ["alpha_field", "beta_field", "gamma_field"];
+
+/// One generated app: the class picks the scenario, the seeded RNG picks
+/// field count, owners, persistence mix and the self-handling flag.
+fn dataloss_app(class: DataLossClass, index: usize) -> GenericAppSpec {
+    let name = format!("Dl{}{:03}", class.tag(), index);
+    let mut spec = GenericAppSpec::sized(&name, "10K+", false);
+    let mut rng = Xoshiro256::seed_from(SplitMix64::new(hash_name(&name) ^ 0xda7a_1055).next_u64());
+    // Small layouts keep a 500-app × 3-mode fleet cheap; the heap target
+    // is untouched (the per-image cost just grows to compensate).
+    spec.view_count = rng.next_range(6, 20) as usize;
+
+    let owners = class.owners();
+    let persistences = class.persistences();
+    let field_count = match class {
+        DataLossClass::AsyncRace => rng.next_range(1, 2) as usize,
+        _ => rng.next_range(1, 3) as usize,
+    };
+    let fields = (0..field_count)
+        .map(|i| {
+            let owner = owners[rng.next_range(0, owners.len() as u64 - 1) as usize];
+            let persistence =
+                persistences[rng.next_range(0, persistences.len() as u64 - 1) as usize];
+            DataLossField::new(FIELD_KEYS[i], owner, persistence)
+        })
+        .collect();
+    let scenario = DataLossScenario::new(class, fields);
+
+    // A slice of every rotation-based class self-handles, so the corpus
+    // also covers the configChanges escape hatch (and RuntimeDroid's
+    // refusal to honour it).
+    if class.is_rotation_based() {
+        spec.handles_changes = rng.next_range(0, 5) == 0;
+    }
+    // The restore path only runs for apps that implement
+    // onSaveInstanceState; a bundle-saved field implies the app does.
+    spec.saves_instance_state = scenario
+        .fields
+        .iter()
+        .any(|f| f.persistence == FieldPersistence::BundleSaved);
+    if scenario.hazardous(spec.handles_changes) {
+        spec.issue = Some(format!("data-loss/{}", class.label()));
+    }
+    spec.dataloss = Some(scenario);
+    spec
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corpus_has_at_least_500_apps_across_all_classes() {
+        let specs = dataloss_specs();
+        assert!(specs.len() >= 500, "{} apps", specs.len());
+        for class in DataLossClass::ALL {
+            let n = specs
+                .iter()
+                .filter(|s| s.dataloss.as_ref().unwrap().class == class)
+                .count();
+            assert_eq!(n, DATALOSS_APPS_PER_CLASS, "{class:?}");
+        }
+    }
+
+    #[test]
+    fn generator_is_deterministic() {
+        assert_eq!(dataloss_specs(), dataloss_specs());
+    }
+
+    #[test]
+    fn every_app_has_fields_and_unique_keys() {
+        for spec in dataloss_specs() {
+            let dl = spec.dataloss.as_ref().unwrap();
+            assert!(!dl.fields.is_empty(), "{}", spec.name);
+            let mut keys: Vec<_> = dl.fields.iter().map(|f| &f.key).collect();
+            keys.sort();
+            keys.dedup();
+            assert_eq!(keys.len(), dl.fields.len(), "{}", spec.name);
+            assert!(
+                dl.fields
+                    .iter()
+                    .all(|f| dl.class.owners().contains(&f.owner)),
+                "{}: owners match the class",
+                spec.name
+            );
+        }
+    }
+
+    #[test]
+    fn bundle_saved_fields_imply_save_instance_state() {
+        for spec in dataloss_specs() {
+            let dl = spec.dataloss.as_ref().unwrap();
+            let has_bundle = dl
+                .fields
+                .iter()
+                .any(|f| f.persistence == FieldPersistence::BundleSaved);
+            assert_eq!(spec.saves_instance_state, has_bundle, "{}", spec.name);
+        }
+    }
+
+    #[test]
+    fn labels_follow_the_hazard_predicate() {
+        let specs = dataloss_specs();
+        let labeled = specs.iter().filter(|s| s.has_issue()).count();
+        // Both labeled and clean apps must exist, or the clean-only lint
+        // gate and the issue-rate table would be vacuous.
+        assert!(labeled > 100, "{labeled} labeled");
+        assert!(labeled < specs.len(), "some apps are clean");
+        for spec in &specs {
+            let dl = spec.dataloss.as_ref().unwrap();
+            assert_eq!(
+                spec.has_issue(),
+                dl.hazardous(spec.handles_changes),
+                "{}",
+                spec.name
+            );
+        }
+    }
+}

@@ -1,11 +1,14 @@
 //! The generic app model: a descriptor-driven black-box app.
 
-use droidsim_app::{Activity, AppModel, AsyncResult, AsyncSpec};
+use crate::dataloss::{DataLossScenario, FieldOwner, FieldPersistence};
+use droidsim_app::{Activity, AppModel, AsyncResult, AsyncSpec, FragmentSpec};
 use droidsim_bundle::Bundle;
 use droidsim_config::ConfigChanges;
 use droidsim_kernel::{SimDuration, SplitMix64, Xoshiro256};
 use droidsim_resources::{LayoutNode, LayoutTemplate, Qualifiers, ResourceTable, ResourceValue};
 use droidsim_view::{ViewKind, ViewOp};
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
 
 /// How a piece of app state is held — the property that *mechanically*
 /// determines whether it survives each handling scheme.
@@ -111,6 +114,9 @@ pub struct GenericAppSpec {
     /// Whether the test scenario has an async task in flight across the
     /// change.
     pub uses_async_task: bool,
+    /// The data-loss scenario this app exercises, if it belongs to the
+    /// generated data-loss corpus (see [`crate::dataloss`]).
+    pub dataloss: Option<DataLossScenario>,
 }
 
 impl GenericAppSpec {
@@ -145,6 +151,7 @@ impl GenericAppSpec {
             handles_changes: false,
             saves_instance_state: false,
             uses_async_task: false,
+            dataloss: None,
         }
     }
 
@@ -214,9 +221,32 @@ impl GenericAppSpec {
             },
         }
     }
+
+    /// The async write racing the data-loss scenario's rotations: a
+    /// 5-second task that writes each async-owned field's expected value
+    /// into its layout view. `None` when the scenario has no such field.
+    pub fn dataloss_async_task(&self) -> Option<AsyncSpec> {
+        let dl = self.dataloss.as_ref()?;
+        let ops: Vec<(String, ViewOp)> = dl
+            .fields
+            .iter()
+            .filter(|f| f.owner == FieldOwner::AsyncView)
+            .map(|f| (f.key.clone(), ViewOp::SetText(f.test_value.clone())))
+            .collect();
+        if ops.is_empty() {
+            return None;
+        }
+        Some(AsyncSpec {
+            duration: SimDuration::from_secs(5),
+            result: AsyncResult {
+                ops,
+                shows_dialog: false,
+            },
+        })
+    }
 }
 
-fn hash_name(name: &str) -> u64 {
+pub(crate) fn hash_name(name: &str) -> u64 {
     name.bytes().fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
         (h ^ b as u64).wrapping_mul(0x0000_0100_0000_01B3)
     })
@@ -228,6 +258,12 @@ pub struct GenericApp {
     spec: GenericAppSpec,
     component: String,
     resources: ResourceTable,
+    /// The app's persistent store ("disk"): written through at
+    /// interaction time by store-persisted data-loss fields, re-read in
+    /// `on_create`. Outlives any activity instance — and, unlike the
+    /// instance bundle, even a reclaimed process record. Shared with
+    /// probe copies via [`GenericApp::shared_probe`].
+    store: Arc<Mutex<HashMap<String, String>>>,
 }
 
 impl GenericApp {
@@ -274,11 +310,49 @@ impl GenericApp {
                     root = root.with_child(LayoutNode::new(class).with_id(&item.key));
                 }
             }
+            // Layout-declared homes for data-loss fields: a fragment
+            // container per fragment field, the async write's target
+            // view, and the uncommitted input view. Dialog fields have
+            // no layout presence (their subtree is created in code when
+            // the dialog is shown); member fields have no view at all.
+            if let Some(dl) = &spec.dataloss {
+                for f in &dl.fields {
+                    root = match f.owner {
+                        FieldOwner::Fragment => root.with_child(
+                            LayoutNode::new("FrameLayout").with_id(&format!("frag_{}", f.key)),
+                        ),
+                        FieldOwner::AsyncView => {
+                            root.with_child(LayoutNode::new("TextView").with_id(&f.key))
+                        }
+                        FieldOwner::InputView => root.with_child(
+                            LayoutNode::new("com.app.InFlightEditText").with_id(&f.key),
+                        ),
+                        FieldOwner::Member | FieldOwner::Dialog => root,
+                    };
+                }
+            }
             resources.put(
                 "activity_main",
                 qualifiers,
                 ResourceValue::Layout(LayoutTemplate::new("activity_main", root)),
             );
+        }
+        // One layout resource per fragment field, shared by both
+        // orientations.
+        if let Some(dl) = &spec.dataloss {
+            for f in &dl.fields {
+                if f.owner == FieldOwner::Fragment {
+                    let name = format!("fragment_{}", f.key);
+                    let root = LayoutNode::new("LinearLayout")
+                        .with_id(&format!("fragroot_{}", f.key))
+                        .with_child(LayoutNode::new("com.app.FieldEditText").with_id(&f.key));
+                    resources.put(
+                        &name,
+                        Qualifiers::any(),
+                        ResourceValue::Layout(LayoutTemplate::new(&name, root)),
+                    );
+                }
+            }
         }
         resources.put(
             "asset",
@@ -290,6 +364,20 @@ impl GenericApp {
             spec,
             component,
             resources,
+            store: Arc::new(Mutex::new(HashMap::new())),
+        }
+    }
+
+    /// A probe copy sharing this app's persistent store, for oracles
+    /// that install one copy into a device and apply/inspect state
+    /// through another: store writes made through either copy are seen
+    /// by both, like two handles on the same disk.
+    pub fn shared_probe(&self) -> GenericApp {
+        GenericApp {
+            spec: self.spec.clone(),
+            component: self.component.clone(),
+            resources: self.resources.clone(),
+            store: Arc::clone(&self.store),
         }
     }
 
@@ -341,6 +429,118 @@ impl GenericApp {
     /// Whether every state item survived (the app's issue is fixed).
     pub fn all_state_survived(&self, activity: &Activity) -> bool {
         self.surviving_state(activity).iter().all(|(_, ok)| *ok)
+    }
+
+    /// Shows a dialog-like subtree for a data-loss field: a container
+    /// plus the field view, created in code and absent from the layout
+    /// resource, neither participating in hierarchy save/restore — the
+    /// sub-state-owner shape the paper's data-loss taxonomy flags.
+    fn show_dialog(activity: &mut Activity, key: &str) {
+        let panel_id = format!("dlg_{key}");
+        if activity.tree.find_by_id_name(&panel_id).is_some() {
+            return;
+        }
+        let root = activity
+            .tree
+            .find_by_id_name("root")
+            .unwrap_or_else(|| activity.tree.root());
+        let Ok(panel) = activity.tree.add_view(
+            root,
+            ViewKind::from_class_name("com.app.DialogLayout"),
+            Some(&panel_id),
+        ) else {
+            return;
+        };
+        if let Ok(v) = activity.tree.view_mut(panel) {
+            v.saves_state = false;
+        }
+        if let Ok(field) = activity.tree.add_view(
+            panel,
+            ViewKind::from_class_name("com.app.DialogEditText"),
+            Some(key),
+        ) {
+            if let Ok(v) = activity.tree.view_mut(field) {
+                v.saves_state = false;
+            }
+        }
+    }
+
+    /// Sets a view's text directly (the restore-path analogue of a user
+    /// typing into it; bypasses the invalidation channel on purpose).
+    fn set_view_text(activity: &mut Activity, key: &str, value: &str) {
+        if let Some(view) = activity.tree.find_by_id_name(key) {
+            if let Ok(v) = activity.tree.view_mut(view) {
+                v.attrs.text = Some(value.to_owned());
+            }
+        }
+    }
+
+    /// The bundle key a dialog field's value is explicitly saved under.
+    fn dialog_key(key: &str) -> String {
+        format!("dialog:{key}")
+    }
+
+    /// The store key marking a dialog as open.
+    fn open_key(key: &str) -> String {
+        format!("{key}:open")
+    }
+
+    /// Applies the data-loss scenario's user interaction: commits every
+    /// field's expected value into its owner (member, dialog, fragment
+    /// view, input view), writing store-persisted fields through to the
+    /// persistent store. Async-owned fields are *not* set here — their
+    /// value arrives via [`GenericAppSpec::dataloss_async_task`].
+    pub fn apply_dataloss_state(&self, activity: &mut Activity) {
+        let Some(dl) = &self.spec.dataloss else {
+            return;
+        };
+        let mut store = self.store.lock().unwrap();
+        for f in &dl.fields {
+            match f.owner {
+                FieldOwner::Member => {
+                    activity.member_state.put_string(&f.key, &f.test_value);
+                }
+                FieldOwner::Dialog => {
+                    Self::show_dialog(activity, &f.key);
+                    Self::set_view_text(activity, &f.key, &f.test_value);
+                    if f.persistence == FieldPersistence::StorePersisted {
+                        store.insert(Self::open_key(&f.key), "open".to_owned());
+                    }
+                }
+                FieldOwner::Fragment | FieldOwner::InputView => {
+                    Self::set_view_text(activity, &f.key, &f.test_value);
+                }
+                FieldOwner::AsyncView => {}
+            }
+            if f.persistence == FieldPersistence::StorePersisted {
+                store.insert(f.key.clone(), f.test_value.clone());
+            }
+        }
+        activity.tree.drain_invalidations();
+    }
+
+    /// Checks which data-loss fields still hold their expected value on
+    /// the given instance.
+    pub fn dataloss_surviving(&self, activity: &Activity) -> Vec<(&crate::DataLossField, bool)> {
+        let Some(dl) = &self.spec.dataloss else {
+            return Vec::new();
+        };
+        dl.fields
+            .iter()
+            .map(|f| {
+                let survived = if f.owner == FieldOwner::Member {
+                    activity.member_state.string(&f.key) == Some(f.test_value.as_str())
+                } else {
+                    activity
+                        .tree
+                        .find_by_id_name(&f.key)
+                        .and_then(|v| activity.tree.view(v).ok())
+                        .and_then(|v| v.attrs.text.clone())
+                        .is_some_and(|t| t == f.test_value)
+                };
+                (f, survived)
+            })
+            .collect()
     }
 }
 
@@ -401,6 +601,70 @@ impl AppModel for GenericApp {
                 _ => {}
             }
         }
+
+        // Data-loss mechanics: attach fragments, mark non-saving views,
+        // and replay the persistent store into members, fragment views
+        // and re-shown dialogs.
+        if let Some(dl) = &self.spec.dataloss {
+            let store = self.store.lock().unwrap();
+            for f in &dl.fields {
+                match f.owner {
+                    FieldOwner::Fragment => {
+                        let fragment = FragmentSpec::new(
+                            &format!("tag_{}", f.key),
+                            &format!("fragment_{}", f.key),
+                            &format!("frag_{}", f.key),
+                        );
+                        let _ = activity.attach_fragment(&self.resources, &fragment);
+                        // Only a bundle-saved fragment field participates
+                        // in hierarchy save/restore.
+                        if f.persistence != FieldPersistence::BundleSaved {
+                            if let Some(view) = activity.tree.find_by_id_name(&f.key) {
+                                if let Ok(v) = activity.tree.view_mut(view) {
+                                    v.saves_state = false;
+                                }
+                            }
+                        }
+                        if f.persistence == FieldPersistence::StorePersisted {
+                            if let Some(v) = store.get(&f.key) {
+                                Self::set_view_text(activity, &f.key, v);
+                            }
+                        }
+                    }
+                    FieldOwner::InputView => {
+                        // Uncommitted input: the app never wired this
+                        // view into any save site.
+                        if let Some(view) = activity.tree.find_by_id_name(&f.key) {
+                            if let Ok(v) = activity.tree.view_mut(view) {
+                                v.saves_state = false;
+                            }
+                        }
+                    }
+                    FieldOwner::Member => {
+                        if f.persistence == FieldPersistence::StorePersisted {
+                            if let Some(v) = store.get(&f.key) {
+                                activity.member_state.put_string(&f.key, v);
+                            }
+                        }
+                    }
+                    FieldOwner::Dialog => {
+                        // A store-persisted dialog re-shows itself from
+                        // the open marker; a bundle-saved one re-shows in
+                        // on_restore_instance_state; a transient one is
+                        // simply gone.
+                        if f.persistence == FieldPersistence::StorePersisted
+                            && store.contains_key(&Self::open_key(&f.key))
+                        {
+                            Self::show_dialog(activity, &f.key);
+                            if let Some(v) = store.get(&f.key) {
+                                Self::set_view_text(activity, &f.key, v);
+                            }
+                        }
+                    }
+                    FieldOwner::AsyncView => {}
+                }
+            }
+        }
     }
 
     fn on_save_instance_state(&self, activity: &Activity, out: &mut Bundle) {
@@ -409,6 +673,51 @@ impl AppModel for GenericApp {
             if item.mechanism == StateMechanism::MemberSaved {
                 if let Some(v) = activity.member_state.string(&item.key) {
                     out.put_string(&item.key, v);
+                }
+            }
+        }
+        if let Some(dl) = &self.spec.dataloss {
+            for f in &dl.fields {
+                if f.persistence != FieldPersistence::BundleSaved {
+                    continue;
+                }
+                match f.owner {
+                    FieldOwner::Member => {
+                        if let Some(v) = activity.member_state.string(&f.key) {
+                            out.put_string(&f.key, v);
+                        }
+                    }
+                    FieldOwner::Dialog => {
+                        // Explicitly parcel the open dialog's value; the
+                        // hierarchy bundle never sees its subtree.
+                        let value = activity
+                            .tree
+                            .find_by_id_name(&f.key)
+                            .and_then(|v| activity.tree.view(v).ok())
+                            .and_then(|v| v.attrs.text.clone());
+                        if let Some(v) = value {
+                            out.put_string(&Self::dialog_key(&f.key), &v);
+                        }
+                    }
+                    // Fragment fields ride the hierarchy bundle; async
+                    // and input fields have nothing committed to save.
+                    _ => {}
+                }
+            }
+        }
+    }
+
+    fn on_restore_instance_state(&self, activity: &mut Activity, saved: &Bundle) {
+        // Default behaviour first: members come back from the bundle.
+        activity.member_state.merge(saved.clone());
+        // Then re-show bundle-saved dialogs from their parceled values.
+        if let Some(dl) = &self.spec.dataloss {
+            for f in &dl.fields {
+                if f.owner == FieldOwner::Dialog && f.persistence == FieldPersistence::BundleSaved {
+                    if let Some(v) = saved.string(&Self::dialog_key(&f.key)).map(str::to_owned) {
+                        Self::show_dialog(activity, &f.key);
+                        Self::set_view_text(activity, &f.key, &v);
+                    }
                 }
             }
         }

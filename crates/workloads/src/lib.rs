@@ -19,11 +19,16 @@
 //! ≈ 420 ms).
 
 pub mod benchmark;
+pub mod dataloss;
 pub mod generic;
 pub mod top100;
 pub mod tp27;
 
 pub use benchmark::{benchmark_app, view_sweep, DeepApp, BENCHMARK_BASE_MEMORY};
+pub use dataloss::{
+    dataloss_specs, DataLossClass, DataLossField, DataLossScenario, FieldOwner, FieldPersistence,
+    DATALOSS_APPS_PER_CLASS,
+};
 pub use generic::{GenericApp, GenericAppSpec, StateItem, StateMechanism};
 pub use top100::{top100_sample, top100_specs};
 pub use tp27::tp27_specs;

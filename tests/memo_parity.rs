@@ -9,6 +9,7 @@
 //! this binary serialises on [`FLAG_LOCK`] and restores the enabled
 //! state on exit (panic included) via [`MemoGuard`].
 
+use droidsim_analysis::{AppAnalysis, Suppressions};
 use droidsim_app::SimpleApp;
 use droidsim_device::{Device, HandlingMode};
 use droidsim_faults::FaultPlan;
@@ -190,6 +191,37 @@ proptest! {
             );
         }
     }
+}
+
+/// The analyzer's `AppShape` extraction is memoized through the same
+/// `kernel::memo` registry as the runtime caches. Cold (memo off),
+/// first-warm (fills), second-warm (hits), and post-reclaim /
+/// post-invalidate analyses of the same corpus must produce identical
+/// per-app digests — diagnostics, verdicts and suppression counts.
+#[test]
+fn shape_memoization_never_changes_analysis_results() {
+    let _serial = FLAG_LOCK.lock().unwrap();
+    let specs: Vec<GenericAppSpec> = rch_workloads::tp27_specs()
+        .into_iter()
+        .chain(rch_workloads::dataloss_specs().into_iter().step_by(23))
+        .collect();
+    let digest_all = || -> Vec<u64> {
+        specs
+            .iter()
+            .map(|s| AppAnalysis::of(s, &Suppressions::none()).digest())
+            .collect()
+    };
+    let cold = {
+        let _off = MemoGuard::set(false);
+        digest_all()
+    };
+    let _on = MemoGuard::set(true);
+    assert_eq!(digest_all(), cold, "first warm pass fills the shape cache");
+    assert_eq!(digest_all(), cold, "second warm pass hits the shape cache");
+    memo::reclaim_all();
+    assert_eq!(digest_all(), cold, "reclaim never changes analysis results");
+    memo::invalidate_all();
+    assert_eq!(digest_all(), cold, "invalidation never changes results");
 }
 
 #[test]

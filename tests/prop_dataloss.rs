@@ -1,0 +1,120 @@
+//! Property test for the data-loss lint family: over randomly
+//! generated persistence descriptors — any class, any owner/persistence
+//! combination the class admits, any field count, with and without
+//! `configChanges` self-handling — the static [`predict`] verdict must
+//! equal the dynamic class-specific oracle schedule **field by field**
+//! under all three runtimes, and the `RCH007`–`RCH012` diagnostics must
+//! fire **iff** some runtime loses (or hides, or crashes on) a field.
+//! This is the corpus differential gate extended to the whole
+//! descriptor space the generators can reach.
+
+use droidsim_analysis::{analyze_app, predict, AnalysisMode, AppShape};
+use droidsim_device::HandlingMode;
+use proptest::prelude::*;
+use rch_experiments::detector;
+use rch_workloads::{
+    DataLossClass, DataLossField, DataLossScenario, FieldPersistence, GenericAppSpec,
+};
+
+/// Alphabetical like the corpus generator's pool, so sorted oracle
+/// lists line up with descriptor field order.
+const KEYS: [&str; 3] = ["alpha_field", "beta_field", "gamma_field"];
+
+fn arb_class() -> impl Strategy<Value = DataLossClass> {
+    prop_oneof![
+        Just(DataLossClass::StopRestart),
+        Just(DataLossClass::SubStateOwner),
+        Just(DataLossClass::AsyncRace),
+        Just(DataLossClass::ProcessDeath),
+        Just(DataLossClass::InputInFlight),
+    ]
+}
+
+/// A spec carrying a random scenario of 1–3 fields drawn from the
+/// class's own owner × persistence space, plus a free self-handling
+/// flag. `saves_instance_state` follows the bundle fields, exactly as
+/// the corpus generator sets it.
+fn arb_dataloss_spec() -> impl Strategy<Value = GenericAppSpec> {
+    (
+        arb_class(),
+        proptest::collection::vec((0usize..8, 0usize..8), 1..4),
+        any::<bool>(),
+    )
+        .prop_map(|(class, picks, handles)| {
+            let fields: Vec<DataLossField> = picks
+                .into_iter()
+                .enumerate()
+                .map(|(i, (o, p))| {
+                    let owner = class.owners()[o % class.owners().len()];
+                    let persistence = class.persistences()[p % class.persistences().len()];
+                    DataLossField::new(KEYS[i], owner, persistence)
+                })
+                .collect();
+            let mut spec = GenericAppSpec::sized("PropDlApp", "1K+", false);
+            spec.handles_changes = handles && class.is_rotation_based();
+            spec.saves_instance_state = fields
+                .iter()
+                .any(|f| f.persistence == FieldPersistence::BundleSaved);
+            spec.dataloss = Some(DataLossScenario::new(class, fields));
+            spec
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn static_dataloss_verdict_equals_dynamic_oracle(spec in arb_dataloss_spec()) {
+        for (mode, dynamic) in [
+            (AnalysisMode::Stock, HandlingMode::Android10),
+            (AnalysisMode::RchDroid, HandlingMode::rchdroid_default()),
+            (AnalysisMode::RuntimeDroid, HandlingMode::RuntimeDroid),
+        ] {
+            let verdict = predict(&spec, mode);
+            let observed = detector::check_dataloss(&spec, dynamic);
+            prop_assert_eq!(
+                verdict.crashed, observed.crashed,
+                "crash verdict diverged under {} for {:?}", mode.label(), spec
+            );
+            prop_assert_eq!(
+                &verdict.lost_after_one, &observed.lost_after_one,
+                "lost-after-one diverged under {} for {:?}", mode.label(), spec
+            );
+            prop_assert_eq!(
+                &verdict.lost_after_two, &observed.lost_after_two,
+                "lost-after-two diverged under {} for {:?}", mode.label(), spec
+            );
+            prop_assert_eq!(
+                &verdict.latent_after_two, &observed.latent_after_two,
+                "latent-after-two diverged under {} for {:?}", mode.label(), spec
+            );
+        }
+    }
+
+    #[test]
+    fn dataloss_diagnostics_fire_iff_some_runtime_loses(spec in arb_dataloss_spec()) {
+        let shape = AppShape::from_spec(&spec);
+        let diagnostics = analyze_app(&shape, Some(&spec));
+        let scenario = spec.dataloss.as_ref().unwrap();
+        let hazardous = scenario.hazardous(spec.handles_changes);
+        prop_assert_eq!(
+            !diagnostics.is_empty(),
+            hazardous,
+            "diagnostics {:?} vs hazard predicate for {:?}",
+            diagnostics,
+            spec
+        );
+        // When hazardous, the summary lint and at least one field lint
+        // must both be present; when clean, the verdicts agree.
+        if hazardous {
+            prop_assert!(diagnostics.iter().any(|d| d.code.code() == "RCH012"));
+            prop_assert!(diagnostics
+                .iter()
+                .any(|d| ("RCH007".."RCH012").contains(&d.code.code())));
+        } else {
+            for mode in AnalysisMode::ALL {
+                prop_assert!(!predict(&spec, mode).has_issue());
+            }
+        }
+    }
+}

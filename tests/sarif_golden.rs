@@ -1,0 +1,51 @@
+//! SARIF golden-file gate: `rchlint --format sarif` output over the
+//! tp27 corpus is byte-for-byte stable. The golden file pins the exact
+//! rendering — rule table, result ordering, message text, logical
+//! locations — so any drift in the SARIF emitter, the diagnostic
+//! renderers, or the corpus itself shows up as a one-line diff here
+//! instead of silently breaking downstream code-review ingestion.
+//!
+//! Regenerate (after an *intentional* change) with:
+//!
+//! ```text
+//! cargo run -q -p rch-experiments --bin rchlint -- \
+//!     --corpus tp27 --format sarif --output tests/golden/rchlint_tp27.sarif
+//! ```
+
+use droidsim_analysis::{analyze_specs, Suppressions};
+use droidsim_fleet::FleetConfig;
+use rch_workloads::tp27_specs;
+
+const GOLDEN: &str = include_str!("golden/rchlint_tp27.sarif");
+
+#[test]
+fn sarif_rendering_matches_the_golden_bytes_at_any_worker_count() {
+    let specs = tp27_specs();
+    for jobs in [1usize, 4] {
+        let report = analyze_specs(&specs, &FleetConfig::new(jobs, 0), &Suppressions::none());
+        assert_eq!(
+            report.render_sarif(),
+            GOLDEN,
+            "SARIF drifted from tests/golden/rchlint_tp27.sarif at jobs={jobs}; \
+             regenerate if the change is intentional"
+        );
+    }
+}
+
+#[test]
+fn golden_file_is_wellformed_sarif() {
+    assert!(
+        GOLDEN.starts_with("{\n  \"$schema\": \"https://json.schemastore.org/sarif-2.1.0.json\"")
+    );
+    assert!(GOLDEN.contains("\"version\": \"2.1.0\""));
+    // All twelve rules are declared exactly once.
+    for i in 1..=12 {
+        let id = format!("{{\"id\":\"RCH{i:03}\"");
+        assert_eq!(GOLDEN.matches(&id).count(), 1, "rule RCH{i:03}");
+    }
+    // Every result points into the rule table.
+    assert_eq!(
+        GOLDEN.matches("\"ruleId\"").count(),
+        GOLDEN.matches("\"ruleIndex\"").count()
+    );
+}
